@@ -1,0 +1,48 @@
+//===- bench/TableCommon.h - Shared table-printing helpers ----------------===//
+//
+// Part of GranLog; see DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_BENCH_TABLECOMMON_H
+#define GRANLOG_BENCH_TABLECOMMON_H
+
+#include "corpus/Harness.h"
+
+#include <cstdio>
+
+namespace granlog {
+
+/// The paper's speedup column for comparison, by benchmark name.
+struct PaperRow {
+  const char *Name;
+  double Speedup; ///< percent
+};
+
+inline void printTableHeader(const char *System, unsigned Processors) {
+  std::printf("%s on %u processors (simulated Sequent Symmetry)\n", System,
+              Processors);
+  std::printf("%-22s %10s %10s %9s %9s\n", "programs", "T0 (units)",
+              "T1 (units)", "speedup", "paper");
+  std::printf("%-22s %10s %10s %9s %9s\n", "", "", "", "", "");
+}
+
+inline void printTableRow(const BenchmarkDef &B, int Input,
+                          const BenchmarkRun &Run, double PaperSpeedup) {
+  std::printf("%-22s %10.0f %10.0f %8.1f%% %8.1f%%%s\n",
+              B.label(Input).c_str(), Run.Sim0.ParallelTime,
+              Run.Sim1.ParallelTime, Run.speedupPercent(), PaperSpeedup,
+              Run.Ok0 && Run.Ok1 ? "" : "  [RUN FAILED]");
+}
+
+inline void printTableFooter() {
+  std::printf("T0: execution time with no granularity control.\n");
+  std::printf("T1: execution time with granularity control.\n");
+  std::printf("Times are simulated machine units (~1 resolution); the\n");
+  std::printf("paper reports wall-clock ms on real hardware, so only the\n");
+  std::printf("relative columns are comparable.\n");
+}
+
+} // namespace granlog
+
+#endif // GRANLOG_BENCH_TABLECOMMON_H

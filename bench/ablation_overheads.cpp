@@ -1,0 +1,182 @@
+//===- bench/ablation_overheads.cpp - Ablations of the design choices -----===//
+//
+// Studies the knobs DESIGN.md calls out:
+//   A. processor-count scaling of the controlled vs. uncontrolled program;
+//   B. sensitivity of the result to the assumed overhead W used when the
+//      threshold was computed (robustness of the "wide trough");
+//   C. maintained size information vs. traversal at the grain test
+//      (paper Section 2, footnote 1 and the Section 7 discussion).
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Harness.h"
+
+#include <cstdio>
+
+using namespace granlog;
+
+namespace {
+
+void processorScaling() {
+  std::printf("--- A. processor scaling (fib(15), ROLOG overheads) ---\n");
+  std::printf("%6s %12s %12s %9s\n", "procs", "T0", "T1", "speedup");
+  const BenchmarkDef *B = findBenchmark("fib");
+  for (unsigned P : {1u, 2u, 4u, 8u, 16u}) {
+    HarnessConfig Config;
+    Config.Machine = MachineConfig::rolog(P);
+    BenchmarkRun Run = runBenchmark(*B, 15, Config);
+    std::printf("%6u %12.0f %12.0f %8.1f%%\n", P, Run.Sim0.ParallelTime,
+                Run.Sim1.ParallelTime, Run.speedupPercent());
+  }
+  std::printf("\n");
+}
+
+void overheadSensitivity() {
+  std::printf("--- B. threshold sensitivity to assumed W "
+              "(quick_sort(75), ROLOG) ---\n");
+  std::printf("%10s %12s\n", "assumed W", "T1");
+  const BenchmarkDef *B = findBenchmark("quick_sort");
+  HarnessConfig Base;
+  Base.Machine = MachineConfig::rolog();
+  double TrueW = Base.Machine.taskOverhead();
+  for (double Factor : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    HarnessConfig Config = Base;
+    Config.OverheadW = TrueW * Factor;
+    BenchmarkRun Run = runBenchmark(*B, 75, Config);
+    std::printf("%10.0f %12.0f   (x%.2f of the machine's true overhead)\n",
+                Config.OverheadW, Run.Sim1.ParallelTime, Factor);
+  }
+  std::printf("A flat column = the paper's 'reasonable amount of leeway'"
+              "\nin how precise the threshold has to be.\n\n");
+}
+
+void sizeMaintenance() {
+  std::printf("--- C. maintained sizes vs. traversal at the test ---\n");
+  std::printf("%-18s %14s %14s\n", "program", "maintained", "traversal");
+  for (const char *Name : {"consistency", "quick_sort", "merge_sort"}) {
+    const BenchmarkDef *B = findBenchmark(Name);
+    HarnessConfig On;
+    On.Machine = MachineConfig::rolog();
+    On.Machine.MaintainedSizes = true;
+    HarnessConfig Off = On;
+    Off.Machine.MaintainedSizes = false;
+    BenchmarkRun R1 = runBenchmark(*B, B->DefaultInput, On);
+    BenchmarkRun R2 = runBenchmark(*B, B->DefaultInput, Off);
+    std::printf("%-18s %14.0f %14.0f\n", B->label(B->DefaultInput).c_str(),
+                R1.Sim1.ParallelTime, R2.Sim1.ParallelTime);
+  }
+  std::printf("Maintaining list-length/integer size information (footnote 1)"
+              "\nkeeps list-measure grain tests O(1).\n");
+}
+
+void sequentialSpecialization() {
+  std::printf("\n--- D. grain-size test unfolding "
+              "(sequential specialization) ---\n");
+  std::printf("The paper (Section 7) proposes reducing the runtime\n"
+              "overhead by not re-testing inside already-sequentialized\n"
+              "regions.  'T1+spec' enters test-free sequential clones when\n"
+              "a test decides 'small'.\n");
+  std::printf("%-18s %10s %10s %10s\n", "program", "T0", "T1", "T1+spec");
+  for (const char *Name :
+       {"flatten", "fib", "tree_traversal", "consistency"}) {
+    const BenchmarkDef *B = findBenchmark(Name);
+    HarnessConfig Plain;
+    Plain.Machine = MachineConfig::rolog();
+    HarnessConfig Spec = Plain;
+    Spec.Transform.SequentialSpecialization = true;
+    BenchmarkRun R1 = runBenchmark(*B, B->DefaultInput, Plain);
+    BenchmarkRun R2 = runBenchmark(*B, B->DefaultInput, Spec);
+    std::printf("%-18s %10.0f %10.0f %10.0f%s\n",
+                B->label(B->DefaultInput).c_str(), R1.Sim0.ParallelTime,
+                R1.Sim1.ParallelTime, R2.Sim1.ParallelTime,
+                R2.Ok1 ? "" : " [FAILED]");
+  }
+  std::printf("Unfolding removes the re-testing overhead inside"
+              "\nsequential regions (flatten recovers most of its loss;"
+              "\nthe residue is the term-size traversals at nodes that"
+              "\nstay parallel).\n");
+}
+
+void schemaAblation() {
+  std::printf("\n--- E. removing solver schemas (the approximation set S) "
+              "---\n");
+  std::printf("Without a schema the matching equations become 'infinite"
+              "\nwork' => always parallel => no granularity control:\n");
+  std::printf("%-18s %12s %16s %16s\n", "program", "T1 (full)",
+              "no geometric", "no divide&conq");
+  for (const char *Name : {"fib", "consistency", "merge_sort"}) {
+    const BenchmarkDef *B = findBenchmark(Name);
+    HarnessConfig Full;
+    Full.Machine = MachineConfig::rolog();
+    BenchmarkRun R0 = runBenchmark(*B, B->DefaultInput, Full);
+
+    TermArena Arena;
+    Diagnostics Diags;
+    auto Times = [&](const char *Schema) -> double {
+      TermArena A2;
+      Diagnostics D2;
+      auto P = loadProgram(B->Source, A2, D2);
+      AnalyzerOptions Opts{CostMetric::resolutions(),
+                           Full.Machine.taskOverhead(),
+                           {Schema}};
+      GranularityAnalyzer GA(*P, Opts);
+      GA.run();
+      TransformStats Stats;
+      Program T = applyGranularityControl(*P, GA, &Stats);
+      Interpreter I(T, A2, interpOptionsFor(Full.Machine));
+      if (!I.solve(B->BuildGoal(A2, B->DefaultInput)))
+        return -1;
+      std::unique_ptr<CostNode> Tree = I.takeTree();
+      return simulate(*Tree, Full.Machine).ParallelTime;
+    };
+    std::printf("%-18s %12.0f %16.0f %16.0f\n",
+                B->label(B->DefaultInput).c_str(), R0.Sim1.ParallelTime,
+                Times("geometric"), Times("divide-and-conquer"));
+  }
+}
+
+void lowerBoundPhilosophy() {
+  std::printf("\n--- F. upper vs. lower bound analysis (Section 1) ---\n");
+  std::printf(
+      "The paper chooses upper bounds partly because nontrivial lower\n"
+      "bounds are hard: \"very often the case where head unification\n"
+      "fails leads to a lower bound estimate of 0\".  A sound lower-bound\n"
+      "threshold test spawns only when LB(size) > W; with LB ~ the head\n"
+      "unification cost, nothing ever spawns and all parallelism is\n"
+      "lost:\n");
+  std::printf("%-14s %10s %12s %12s %14s\n", "program", "T0",
+              "T1 (upper)", "T1 (lower)", "T_sequential");
+  for (const char *Name : {"fib", "double_sum", "matrix_multi"}) {
+    const BenchmarkDef *B = findBenchmark(Name);
+    HarnessConfig Upper;
+    Upper.Machine = MachineConfig::rolog();
+    BenchmarkRun RU = runBenchmark(*B, B->DefaultInput, Upper);
+    // Lower-bound control: the trivial sound lower bound (a few units of
+    // head unification) never exceeds W, so every goal is sequentialized
+    // — model by forcing thresholds beyond any input size.
+    HarnessConfig Lower = Upper;
+    Lower.ThresholdOverride = 1 << 30;
+    BenchmarkRun RL = runBenchmark(*B, B->DefaultInput, Lower);
+    std::printf("%-14s %10.0f %12.0f %12.0f %14.0f\n",
+                B->label(B->DefaultInput).c_str(), RU.Sim0.ParallelTime,
+                RU.Sim1.ParallelTime, RL.Sim1.ParallelTime,
+                RL.Sim0.SequentialTime);
+  }
+  std::printf("A conservative lower bound \"sequentializes\" (paper: loses"
+              "\nparallelism); a conservative upper bound merely"
+              "\nover-spawns.  This is the asymmetry motivating the"
+              "\npaper's choice.\n");
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== Ablations ===\n\n");
+  processorScaling();
+  overheadSensitivity();
+  sizeMaintenance();
+  sequentialSpecialization();
+  schemaAblation();
+  lowerBoundPhilosophy();
+  return 0;
+}

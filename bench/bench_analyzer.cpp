@@ -1,0 +1,83 @@
+//===- bench/bench_analyzer.cpp - Analyzer micro-benchmarks ---------------===//
+//
+// The paper requires the analysis to be cheap enough to run inside a
+// compiler ("since our analyses are intended to be performed at compile
+// time, it is essential that they be efficient", Section 8).  These
+// google-benchmark measurements time each pipeline stage on the full
+// benchmark corpus.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/GranularityAnalyzer.h"
+#include "core/Transform.h"
+#include "corpus/Corpus.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace granlog;
+
+namespace {
+
+void BM_ParseCorpus(benchmark::State &State) {
+  for (auto _ : State) {
+    for (const BenchmarkDef &B : benchmarkCorpus()) {
+      TermArena Arena;
+      Diagnostics Diags;
+      auto P = loadProgram(B.Source, Arena, Diags);
+      benchmark::DoNotOptimize(P);
+    }
+  }
+}
+BENCHMARK(BM_ParseCorpus);
+
+void BM_AnalyzeOneProgram(benchmark::State &State, const char *Name) {
+  const BenchmarkDef *B = findBenchmark(Name);
+  for (auto _ : State) {
+    TermArena Arena;
+    Diagnostics Diags;
+    auto P = loadProgram(B->Source, Arena, Diags);
+    GranularityAnalyzer GA(*P, {CostMetric::resolutions(), 65.0});
+    GA.run();
+    benchmark::DoNotOptimize(GA.report());
+  }
+}
+BENCHMARK_CAPTURE(BM_AnalyzeOneProgram, fib, "fib");
+BENCHMARK_CAPTURE(BM_AnalyzeOneProgram, quick_sort, "quick_sort");
+BENCHMARK_CAPTURE(BM_AnalyzeOneProgram, merge_sort, "merge_sort");
+BENCHMARK_CAPTURE(BM_AnalyzeOneProgram, fft, "fft");
+BENCHMARK_CAPTURE(BM_AnalyzeOneProgram, matrix_multi, "matrix_multi");
+
+void BM_AnalyzeWholeCorpus(benchmark::State &State) {
+  for (auto _ : State) {
+    for (const BenchmarkDef &B : benchmarkCorpus()) {
+      TermArena Arena;
+      Diagnostics Diags;
+      auto P = loadProgram(B.Source, Arena, Diags);
+      GranularityAnalyzer GA(*P, {CostMetric::resolutions(), 65.0});
+      GA.run();
+      TransformStats Stats;
+      Program T = applyGranularityControl(*P, GA, &Stats);
+      benchmark::DoNotOptimize(T.predicates().size());
+    }
+  }
+}
+BENCHMARK(BM_AnalyzeWholeCorpus);
+
+void BM_TransformOnly(benchmark::State &State) {
+  TermArena Arena;
+  Diagnostics Diags;
+  const BenchmarkDef *B = findBenchmark("fib");
+  auto P = loadProgram(B->Source, Arena, Diags);
+  GranularityAnalyzer GA(*P, {CostMetric::resolutions(), 65.0});
+  GA.run();
+  for (auto _ : State) {
+    TransformStats Stats;
+    Program T = applyGranularityControl(*P, GA, &Stats);
+    benchmark::DoNotOptimize(T.predicates().size());
+  }
+}
+BENCHMARK(BM_TransformOnly);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+//===- bench/fig2_grainsize.cpp - Reproduces Figure 2 of the paper --------===//
+//
+// "Execution time vs. task granularity": sweep the threshold input size K
+// around the statically computed one and plot total execution time.  The
+// paper's two inferences should be visible in the series:
+//   1. proper grain size control gives significant speedups (the curve
+//      drops well below both endpoints), and
+//   2. the "trough" is wide — precision in K is not critical, so a
+//      compiler can infer it automatically.
+//
+// K = 0 approximates "everything parallel" (tests always fail);
+// K >= input size approximates "everything sequential".
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Harness.h"
+
+#include <cstdio>
+
+using namespace granlog;
+
+namespace {
+
+void sweep(const char *Name, int Input, const std::vector<int64_t> &Ks) {
+  const BenchmarkDef *B = findBenchmark(Name);
+  if (!B) {
+    std::printf("unknown benchmark %s\n", Name);
+    return;
+  }
+  HarnessConfig Config;
+  Config.Machine = MachineConfig::rolog();
+
+  // Reference: the statically chosen threshold.
+  BenchmarkRun Static = runBenchmark(*B, Input, Config);
+
+  std::printf("--- %s, ROLOG, 4 processors ---\n", B->label(Input).c_str());
+  std::printf("%8s %14s\n", "K", "time (units)");
+  std::printf("%8s %14.0f   (no granularity control)\n", "-",
+              Static.Sim0.ParallelTime);
+  for (int64_t K : Ks) {
+    Config.ThresholdOverride = K;
+    BenchmarkRun Run = runBenchmark(*B, Input, Config);
+    std::printf("%8lld %14.0f%s\n", static_cast<long long>(K),
+                Run.Sim1.ParallelTime, Run.Ok1 ? "" : "  [RUN FAILED]");
+  }
+  std::printf("%8s %14.0f   (static threshold)\n", "auto",
+              Static.Sim1.ParallelTime);
+  std::printf("\n");
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== Figure 2: execution time vs. grain size ===\n\n");
+  // fib(15): the threshold is an integer argument bound; the input size
+  // is 15, so K = 15 is fully sequential.
+  sweep("fib", 15, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 14, 15});
+  // quick_sort(75): the threshold is a list length; K = 75 is fully
+  // sequential.
+  sweep("quick_sort", 75, {0, 2, 4, 6, 8, 12, 16, 24, 32, 48, 64, 75});
+  std::printf("Expected shape (paper Figure 2): high at both ends, a wide\n"
+              "flat trough in the middle.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+//===- bench/metric_comparison.cpp - Cost metrics compared ----------------===//
+//
+// Section 4: "There are a number of different metrics that can be used as
+// the unit of cost ... the number of resolutions, the number of
+// unifications, or the number of instructions executed."  This binary
+// runs the granularity-control experiment under all three metrics (the
+// instructions metric backed by the WAM clause compiler) and shows that
+// the resulting thresholds — and therefore the speedups — are stable:
+// the choice of metric rescales both the cost function and the overhead
+// W, so the decision boundary barely moves.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Harness.h"
+
+#include <cstdio>
+
+using namespace granlog;
+
+namespace {
+
+/// Approximate unit conversions: one resolution is about 3 unifications
+/// and about 8 abstract machine instructions, so W scales accordingly.
+double overheadFor(CostMetricKind Kind, double BaseW) {
+  switch (Kind) {
+  case CostMetricKind::Resolutions:
+    return BaseW;
+  case CostMetricKind::Unifications:
+    return BaseW * 3;
+  case CostMetricKind::Instructions:
+    return BaseW * 8;
+  }
+  return BaseW;
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== Cost metrics compared (ROLOG, 4 processors) ===\n\n");
+  std::printf("%-16s %14s %14s %14s\n", "program", "resolutions",
+              "unifications", "instructions");
+  CostMetric Metrics[] = {CostMetric::resolutions(),
+                          CostMetric::unifications(),
+                          CostMetric::instructions()};
+  for (const char *Name :
+       {"fib", "quick_sort", "double_sum", "consistency"}) {
+    const BenchmarkDef *B = findBenchmark(Name);
+    std::printf("%-16s", B->label(B->DefaultInput).c_str());
+    for (CostMetric M : Metrics) {
+      HarnessConfig Config;
+      Config.Machine = MachineConfig::rolog();
+      Config.Metric = M;
+      Config.OverheadW =
+          overheadFor(M.kind(), Config.Machine.taskOverhead());
+      BenchmarkRun Run = runBenchmark(*B, B->DefaultInput, Config);
+      std::printf(" %13.1f%%", Run.speedupPercent());
+    }
+    std::printf("\n");
+  }
+  std::printf("\nEach column reports the T0->T1 speedup when thresholds\n"
+              "were derived under that metric (W scaled to the metric's\n"
+              "units).  Stability across columns shows the analysis does\n"
+              "not depend on the exact unit of cost — the paper's reason\n"
+              "for leaving the metric as a parameter.\n");
+  return 0;
+}

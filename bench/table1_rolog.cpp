@@ -1,0 +1,44 @@
+//===- bench/table1_rolog.cpp - Reproduces Table 1 of the paper -----------===//
+//
+// "Execution times for benchmarks on ROLOG" (4 processors): all twelve
+// benchmarks, compiled with no granularity information (T0) vs. with grain
+// size information inferred by the analysis (T1).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/TableCommon.h"
+
+using namespace granlog;
+
+namespace {
+
+// Paper Table 1 speedups, for side-by-side comparison.
+const PaperRow Paper[] = {
+    {"consistency", 31.7}, {"fib", 27.3},          {"hanoi", 11.1},
+    {"quick_sort", 3.3},   {"lr1_set", 2.0},       {"double_sum", 15.1},
+    {"fft", 4.5},          {"flatten", -19.5},     {"matrix_multi", 56.5},
+    {"merge_sort", 14.1},  {"poly_inclusion", 38.3}, {"tree_traversal", 3.0},
+};
+
+double paperSpeedup(const std::string &Name) {
+  for (const PaperRow &R : Paper)
+    if (Name == R.Name)
+      return R.Speedup;
+  return 0;
+}
+
+} // namespace
+
+int main() {
+  HarnessConfig Config;
+  Config.Machine = MachineConfig::rolog();
+
+  std::printf("=== Table 1: ROLOG (high task-management overhead) ===\n");
+  printTableHeader(Config.Machine.Name.c_str(), Config.Machine.Processors);
+  for (const BenchmarkDef &B : benchmarkCorpus()) {
+    BenchmarkRun Run = runBenchmark(B, B.DefaultInput, Config);
+    printTableRow(B, B.DefaultInput, Run, paperSpeedup(B.Name));
+  }
+  printTableFooter();
+  return 0;
+}

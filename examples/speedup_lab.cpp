@@ -1,0 +1,63 @@
+//===- examples/speedup_lab.cpp - Experiment with one benchmark -----------===//
+//
+// Runs one benchmark on both simulated systems, at a chosen input size and
+// processor count, and reports everything the paper's evaluation reports:
+// T0, T1, speedup, spawned task counts, sequential time, critical path.
+//
+// Usage:
+//   speedup_lab [benchmark] [input] [processors]
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace granlog;
+
+static void report(const char *Label, const BenchmarkRun &Run) {
+  std::printf("%s:\n", Label);
+  std::printf("  T0 (no control)    %10.0f units, %u tasks spawned\n",
+              Run.Sim0.ParallelTime, Run.Sim0.TasksSpawned);
+  std::printf("  T1 (with control)  %10.0f units, %u tasks spawned\n",
+              Run.Sim1.ParallelTime, Run.Sim1.TasksSpawned);
+  std::printf("  speedup            %9.1f%%\n", Run.speedupPercent());
+  std::printf("  sequential time    %10.0f units\n",
+              Run.Sim0.SequentialTime);
+  std::printf("  critical path      %10.0f units\n", Run.Sim0.CriticalPath);
+  std::printf("  transform: %u sites -> %u seq, %u guarded, %u parallel\n",
+              Run.Stats.ParallelSites, Run.Stats.Sequentialized,
+              Run.Stats.Guarded, Run.Stats.KeptParallel);
+}
+
+int main(int Argc, char **Argv) {
+  const char *Name = Argc > 1 ? Argv[1] : "quick_sort";
+  const BenchmarkDef *B = findBenchmark(Name);
+  if (!B) {
+    std::printf("unknown benchmark '%s'; available:", Name);
+    for (const BenchmarkDef &Def : benchmarkCorpus())
+      std::printf(" %s", Def.Name.c_str());
+    std::printf("\n");
+    return 1;
+  }
+  int Input = Argc > 2 ? std::atoi(Argv[2]) : B->DefaultInput;
+  unsigned Procs = Argc > 3 ? std::atoi(Argv[3]) : 4;
+
+  std::printf("=== %s on %u processors ===\n\n", B->label(Input).c_str(),
+              Procs);
+
+  HarnessConfig Rolog;
+  Rolog.Machine = MachineConfig::rolog(Procs);
+  BenchmarkRun R1 = runBenchmark(*B, Input, Rolog);
+  report("ROLOG (high task overhead)", R1);
+  std::printf("\n");
+
+  HarnessConfig AndP;
+  AndP.Machine = MachineConfig::andProlog(Procs);
+  BenchmarkRun R2 = runBenchmark(*B, Input, AndP);
+  report("&-Prolog (low task overhead)", R2);
+
+  std::printf("\n== analysis ==\n%s", R1.AnalysisReport.c_str());
+  return 0;
+}

@@ -1,0 +1,123 @@
+//===- analysis/DepGraph.cpp ----------------------------------------------===//
+
+#include "analysis/DepGraph.h"
+
+#include <algorithm>
+
+using namespace granlog;
+
+void DepGraph::addEdge(unsigned From, unsigned To) {
+  std::vector<unsigned> &P = Preds[To];
+  if (std::find(P.begin(), P.end(), From) == P.end())
+    P.push_back(From);
+}
+
+DepGraph::DepGraph(const Clause &C, Functor Head, const ModeTable &Modes,
+                   const SymbolTable &Symbols) {
+  const std::vector<const Term *> &Lits = C.bodyLiterals();
+  NumLiterals = static_cast<unsigned>(Lits.size());
+  Preds.resize(numNodes());
+  InPos.resize(numNodes());
+  OutPos.resize(numNodes());
+
+  const StructTerm *HeadT = dynCast<StructTerm>(deref(C.head()));
+
+  // Node argument position sets.
+  for (unsigned I = 0; I != Head.Arity; ++I) {
+    if (Modes.isOutput(Head, I))
+      InPos[endNode()].push_back(I); // end node consumes head outputs
+    else
+      OutPos[StartNode].push_back(I); // start node produces head inputs
+  }
+  for (unsigned J = 0; J != NumLiterals; ++J) {
+    std::optional<Functor> LF = literalFunctor(Lits[J]);
+    if (!LF)
+      continue;
+    if (isBuiltinFunctor(*LF, Symbols)) {
+      std::vector<bool> Outs = builtinOutputs(*LF, Symbols);
+      for (unsigned I = 0; I != LF->Arity; ++I)
+        (Outs[I] ? OutPos : InPos)[literalNode(J)].push_back(I);
+    } else {
+      for (unsigned I = 0; I != LF->Arity; ++I)
+        (Modes.isOutput(*LF, I) ? OutPos : InPos)[literalNode(J)]
+            .push_back(I);
+    }
+  }
+
+  // Producer map: head inputs first, then body outputs left to right (the
+  // earliest producer wins, matching the sequential control strategy).
+  auto Produce = [&](const Term *T, unsigned Node) {
+    std::vector<const VarTerm *> Vars;
+    collectVariables(T, Vars);
+    for (const VarTerm *V : Vars)
+      Producer.emplace(V, Node); // emplace keeps the earliest
+  };
+  if (HeadT)
+    for (unsigned I : OutPos[StartNode])
+      Produce(HeadT->arg(I), StartNode);
+  for (unsigned J = 0; J != NumLiterals; ++J) {
+    const StructTerm *S = dynCast<StructTerm>(deref(Lits[J]));
+    if (!S)
+      continue;
+    for (unsigned I : OutPos[literalNode(J)])
+      Produce(S->arg(I), literalNode(J));
+  }
+
+  // Edges: from each variable's producer to each consumer.
+  auto Consume = [&](const Term *T, unsigned Node) {
+    std::vector<const VarTerm *> Vars;
+    collectVariables(T, Vars);
+    for (const VarTerm *V : Vars) {
+      auto It = Producer.find(V);
+      if (It == Producer.end()) {
+        RangeRestricted = false;
+        continue;
+      }
+      if (It->second != Node)
+        addEdge(It->second, Node);
+    }
+  };
+  for (unsigned J = 0; J != NumLiterals; ++J) {
+    const StructTerm *S = dynCast<StructTerm>(deref(Lits[J]));
+    if (!S) {
+      // 0-ary literal: control dependency only; no data edges.
+      continue;
+    }
+    for (unsigned I : InPos[literalNode(J)])
+      Consume(S->arg(I), literalNode(J));
+  }
+  if (HeadT)
+    for (unsigned I : InPos[endNode()])
+      Consume(HeadT->arg(I), endNode());
+}
+
+bool DepGraph::hasEdge(unsigned From, unsigned To) const {
+  const std::vector<unsigned> &P = Preds[To];
+  return std::find(P.begin(), P.end(), From) != P.end();
+}
+
+unsigned DepGraph::producerOf(const VarTerm *V) const {
+  auto It = Producer.find(V);
+  return It == Producer.end() ? ~0u : It->second;
+}
+
+std::vector<unsigned> DepGraph::inputPositions(unsigned Node) const {
+  return InPos[Node];
+}
+
+std::vector<unsigned> DepGraph::outputPositions(unsigned Node) const {
+  return OutPos[Node];
+}
+
+unsigned DepGraph::height() const {
+  // Longest path; the graph is acyclic because edges go from earlier to
+  // later nodes under the left-to-right producer rule.
+  std::vector<unsigned> Depth(numNodes(), 0);
+  unsigned Max = 0;
+  for (unsigned N = 0; N != numNodes(); ++N) {
+    for (unsigned P : Preds[N])
+      Depth[N] = std::max(Depth[N], Depth[P] + 1);
+    Max = std::max(Max, Depth[N]);
+  }
+  return Max;
+}

@@ -1,0 +1,440 @@
+//===- analysis/Determinacy.cpp -------------------------------------------===//
+
+#include "analysis/Determinacy.h"
+
+#include <functional>
+#include <optional>
+
+using namespace granlog;
+
+namespace {
+
+/// A guard constraint "Var <op> Constant" extracted from a clause prefix.
+struct Guard {
+  const VarTerm *Var;
+  enum OpKind { LT, LE, GT, GE, EQ, NE } Op;
+  int64_t Bound;
+
+  /// Does the integer \p V satisfy this guard?
+  bool admits(int64_t V) const {
+    switch (Op) {
+    case LT:
+      return V < Bound;
+    case LE:
+      return V <= Bound;
+    case GT:
+      return V > Bound;
+    case GE:
+      return V >= Bound;
+    case EQ:
+      return V == Bound;
+    case NE:
+      return V != Bound;
+    }
+    return true;
+  }
+
+  /// Can this guard and \p Other both hold for some integer?
+  bool compatibleWith(const Guard &Other) const {
+    // Sample candidate integers around both bounds; guards are linear so
+    // this is exact for the comparison forms above.
+    for (int64_t Base : {Bound, Other.Bound})
+      for (int64_t Delta : {-1, 0, 1})
+        if (admits(Base + Delta) && Other.admits(Base + Delta))
+          return true;
+    return false;
+  }
+};
+
+std::optional<Guard> parseGuard(const Term *Lit, const SymbolTable &Symbols) {
+  const StructTerm *S = dynCast<StructTerm>(deref(Lit));
+  if (!S || S->arity() != 2)
+    return std::nullopt;
+  const std::string &Name = Symbols.text(S->name());
+  Guard::OpKind Op;
+  bool Swap = false;
+  const VarTerm *V = dynCast<VarTerm>(deref(S->arg(0)));
+  const IntTerm *C = dynCast<IntTerm>(deref(S->arg(1)));
+  if (!V || !C) {
+    // Maybe "Constant op Var".
+    V = dynCast<VarTerm>(deref(S->arg(1)));
+    C = dynCast<IntTerm>(deref(S->arg(0)));
+    Swap = true;
+  }
+  if (!V || !C)
+    return std::nullopt;
+  if (Name == "<")
+    Op = Swap ? Guard::GT : Guard::LT;
+  else if (Name == "=<")
+    Op = Swap ? Guard::GE : Guard::LE;
+  else if (Name == ">")
+    Op = Swap ? Guard::LT : Guard::GT;
+  else if (Name == ">=")
+    Op = Swap ? Guard::LE : Guard::GE;
+  else if (Name == "=:=")
+    Op = Guard::EQ;
+  else if (Name == "=\\=")
+    Op = Guard::NE;
+  else
+    return std::nullopt;
+  return Guard{V, Op, C->value()};
+}
+
+/// Guards over head variables in the leading prefix of the body (stopping
+/// at the first literal with another shape).
+std::vector<Guard> clauseGuards(const Clause &C, const SymbolTable &Symbols) {
+  std::vector<Guard> Guards;
+  for (const Term *Lit : C.bodyLiterals()) {
+    std::optional<Guard> G = parseGuard(Lit, Symbols);
+    if (!G)
+      break;
+    Guards.push_back(*G);
+  }
+  return Guards;
+}
+
+/// A comparison between two variables, e.g. "E =< M".
+struct VarGuard {
+  const VarTerm *L;
+  const VarTerm *R;
+  Guard::OpKind Op;
+};
+
+Guard::OpKind flipOp(Guard::OpKind Op) {
+  switch (Op) {
+  case Guard::LT:
+    return Guard::GT;
+  case Guard::LE:
+    return Guard::GE;
+  case Guard::GT:
+    return Guard::LT;
+  case Guard::GE:
+    return Guard::LE;
+  default:
+    return Op; // EQ/NE are symmetric
+  }
+}
+
+/// Are the two operator constraints on the *same* (L, R) pair mutually
+/// exclusive (no integer pair satisfies both)?
+bool opsExclusive(Guard::OpKind A, Guard::OpKind B) {
+  auto Key = [](Guard::OpKind X, Guard::OpKind Y) {
+    return static_cast<int>(X) * 16 + static_cast<int>(Y);
+  };
+  switch (Key(A, B)) {
+  case Guard::LT * 16 + Guard::GE:
+  case Guard::GE * 16 + Guard::LT:
+  case Guard::LE * 16 + Guard::GT:
+  case Guard::GT * 16 + Guard::LE:
+  case Guard::LT * 16 + Guard::GT: // x<y and x>y
+  case Guard::GT * 16 + Guard::LT:
+  case Guard::EQ * 16 + Guard::NE:
+  case Guard::NE * 16 + Guard::EQ:
+  case Guard::LT * 16 + Guard::EQ:
+  case Guard::EQ * 16 + Guard::LT:
+  case Guard::GT * 16 + Guard::EQ:
+  case Guard::EQ * 16 + Guard::GT:
+    return true;
+  default:
+    return false;
+  }
+}
+
+std::optional<VarGuard> parseVarGuard(const Term *Lit,
+                                      const SymbolTable &Symbols) {
+  const StructTerm *S = dynCast<StructTerm>(deref(Lit));
+  if (!S || S->arity() != 2)
+    return std::nullopt;
+  const VarTerm *L = dynCast<VarTerm>(deref(S->arg(0)));
+  const VarTerm *R = dynCast<VarTerm>(deref(S->arg(1)));
+  if (!L || !R)
+    return std::nullopt;
+  const std::string &Name = Symbols.text(S->name());
+  Guard::OpKind Op;
+  if (Name == "<")
+    Op = Guard::LT;
+  else if (Name == "=<")
+    Op = Guard::LE;
+  else if (Name == ">")
+    Op = Guard::GT;
+  else if (Name == ">=")
+    Op = Guard::GE;
+  else if (Name == "=:=")
+    Op = Guard::EQ;
+  else if (Name == "=\\=")
+    Op = Guard::NE;
+  else
+    return std::nullopt;
+  return VarGuard{L, R, Op};
+}
+
+std::vector<VarGuard> clauseVarGuards(const Clause &C,
+                                      const SymbolTable &Symbols) {
+  std::vector<VarGuard> Guards;
+  for (const Term *Lit : C.bodyLiterals()) {
+    std::optional<VarGuard> G = parseVarGuard(Lit, Symbols);
+    if (!G)
+      break;
+    Guards.push_back(*G);
+  }
+  return Guards;
+}
+
+/// The structural position of the first occurrence of \p V in the clause
+/// head: argument index followed by the child path.  Two clauses whose
+/// guard variables sit at the same head positions compare "the same"
+/// runtime values.
+std::optional<std::vector<unsigned>> headPath(const Clause &C,
+                                              const VarTerm *V) {
+  const StructTerm *Head = dynCast<StructTerm>(deref(C.head()));
+  if (!Head)
+    return std::nullopt;
+  std::vector<unsigned> Path;
+  std::function<bool(const Term *)> Find = [&](const Term *T) -> bool {
+    T = deref(T);
+    if (T == V)
+      return true;
+    const StructTerm *S = dynCast<StructTerm>(T);
+    if (!S)
+      return false;
+    for (unsigned I = 0; I != S->arity(); ++I) {
+      Path.push_back(I);
+      if (Find(S->arg(I)))
+        return true;
+      Path.pop_back();
+    }
+    return false;
+  };
+  for (unsigned I = 0; I != Head->arity(); ++I) {
+    Path.clear();
+    Path.push_back(I);
+    if (Find(Head->arg(I)))
+      return Path;
+  }
+  return std::nullopt;
+}
+
+/// Do clauses A and B carry complementary variable-variable guards over
+/// the same head positions (e.g. part's "E =< M" vs. "E > M")?
+bool varGuardsExclusive(const Clause &A, const Clause &B,
+                        const SymbolTable &Symbols) {
+  std::vector<VarGuard> GA = clauseVarGuards(A, Symbols);
+  std::vector<VarGuard> GB = clauseVarGuards(B, Symbols);
+  for (const VarGuard &X : GA) {
+    std::optional<std::vector<unsigned>> XL = headPath(A, X.L);
+    std::optional<std::vector<unsigned>> XR = headPath(A, X.R);
+    if (!XL || !XR)
+      continue;
+    for (const VarGuard &Y : GB) {
+      std::optional<std::vector<unsigned>> YL = headPath(B, Y.L);
+      std::optional<std::vector<unsigned>> YR = headPath(B, Y.R);
+      if (!YL || !YR)
+        continue;
+      if (*XL == *YL && *XR == *YR && opsExclusive(X.Op, Y.Op))
+        return true;
+      // Same pair written the other way around in clause B.
+      if (*XL == *YR && *XR == *YL && opsExclusive(X.Op, flipOp(Y.Op)))
+        return true;
+    }
+  }
+  return false;
+}
+
+/// Finds the head argument term at \p Index.
+const Term *headArg(const Clause &C, unsigned Index) {
+  const StructTerm *Head = dynCast<StructTerm>(deref(C.head()));
+  if (!Head || Index >= Head->arity())
+    return nullptr;
+  return deref(Head->arg(Index));
+}
+
+/// A coarse "principal functor" summary for indexing comparisons.  List
+/// patterns additionally record the spine shape: the number of cons cells
+/// visible in the pattern and whether the spine is closed by '[]' — this
+/// distinguishes e.g. the [X] base case from the [A,B|T] recursive case.
+struct IndexKey {
+  enum KindTy { Var, Nil, Cons, Int, Atom, Other } Kind = Var;
+  int64_t IntValue = 0;
+  Symbol Name;
+  unsigned Arity = 0;
+  unsigned SpineLen = 0;    ///< Cons only: visible cells
+  bool SpineClosed = false; ///< Cons only: ends in '[]'
+
+  static IndexKey of(const Term *T, const SymbolTable &Symbols) {
+    IndexKey K;
+    if (!T || T->isVariable())
+      return K;
+    if (const IntTerm *I = dynCast<IntTerm>(T)) {
+      K.Kind = Int;
+      K.IntValue = I->value();
+      return K;
+    }
+    if (const AtomTerm *A = dynCast<AtomTerm>(T)) {
+      K.Kind = Symbols.text(A->name()) == "[]" ? Nil : Atom;
+      K.Name = A->name();
+      return K;
+    }
+    if (const StructTerm *S = dynCast<StructTerm>(T)) {
+      if (S->arity() == 2 && Symbols.text(S->name()) == ".") {
+        K.Kind = Cons;
+        const Term *Spine = T;
+        while (isCons(Spine, Symbols)) {
+          ++K.SpineLen;
+          Spine = deref(cast<StructTerm>(deref(Spine))->arg(1));
+        }
+        K.SpineClosed = isNil(Spine, Symbols);
+        return K;
+      }
+      K.Kind = Other;
+      K.Name = S->name();
+      K.Arity = S->arity();
+      return K;
+    }
+    K.Kind = Other;
+    return K;
+  }
+
+  /// Can two terms with these keys unify?
+  bool mayUnify(const IndexKey &O) const {
+    if (Kind == Var || O.Kind == Var)
+      return true;
+    if (Kind != O.Kind)
+      return false;
+    switch (Kind) {
+    case Int:
+      return IntValue == O.IntValue;
+    case Atom:
+      return Name == O.Name;
+    case Other:
+      return Name == O.Name && Arity == O.Arity;
+    case Cons: {
+      // A closed spine matches exactly SpineLen elements; an open one
+      // matches >= SpineLen.
+      if (SpineClosed && O.SpineClosed)
+        return SpineLen == O.SpineLen;
+      if (SpineClosed)
+        return SpineLen >= O.SpineLen;
+      if (O.SpineClosed)
+        return O.SpineLen >= SpineLen;
+      return true;
+    }
+    default:
+      return true; // Nil/Nil
+    }
+  }
+};
+
+} // namespace
+
+Determinacy::Determinacy(const Program &Prog, const ModeTable &ModeTab)
+    : P(&Prog), Modes(&ModeTab) {
+  // Pass 1: clause-level mutual exclusion.
+  for (const auto &Pred : Prog.predicates()) {
+    bool AllExclusive = true;
+    unsigned N = static_cast<unsigned>(Pred->clauses().size());
+    for (unsigned A = 0; A < N && AllExclusive; ++A)
+      for (unsigned B = A + 1; B < N && AllExclusive; ++B)
+        AllExclusive = computeExclusive(*Pred, A, B);
+    Exclusive[Pred->functor()] = AllExclusive;
+  }
+  // Pass 2: determinacy fixpoint (start optimistic, demote).
+  for (const auto &Pred : Prog.predicates())
+    Determinate[Pred->functor()] = Exclusive[Pred->functor()];
+  const SymbolTable &Symbols = Prog.symbols();
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const auto &Pred : Prog.predicates()) {
+      if (!Determinate[Pred->functor()])
+        continue;
+      for (const Clause &C : Pred->clauses()) {
+        for (const Term *Lit : C.bodyLiterals()) {
+          std::optional<Functor> LF = literalFunctor(Lit);
+          if (!LF || isBuiltinFunctor(*LF, Symbols))
+            continue;
+          auto It = Determinate.find(*LF);
+          bool CalleeDet = It != Determinate.end() && It->second;
+          if (!CalleeDet) {
+            Determinate[Pred->functor()] = false;
+            Changed = true;
+            break;
+          }
+        }
+        if (!Determinate[Pred->functor()])
+          break;
+      }
+    }
+  }
+}
+
+bool Determinacy::computeExclusive(const Predicate &Pred, unsigned A,
+                                   unsigned B) const {
+  const SymbolTable &Symbols = P->symbols();
+  const Clause &CA = Pred.clauses()[A];
+  const Clause &CB = Pred.clauses()[B];
+  std::vector<unsigned> Inputs = Modes->inputPositions(Pred.functor());
+
+  for (unsigned I : Inputs) {
+    const Term *TA = headArg(CA, I);
+    const Term *TB = headArg(CB, I);
+    IndexKey KA = IndexKey::of(TA, Symbols);
+    IndexKey KB = IndexKey::of(TB, Symbols);
+    if (!KA.mayUnify(KB))
+      return true;
+
+    // Integer constant vs. guarded variable.
+    auto GuardExcludes = [&](const Term *ConstT, const Clause &GuardClause,
+                             const Term *VarT) {
+      const IntTerm *C = ConstT ? dynCast<IntTerm>(ConstT) : nullptr;
+      const VarTerm *V = VarT ? dynCast<VarTerm>(VarT) : nullptr;
+      if (!C || !V)
+        return false;
+      for (const Guard &G : clauseGuards(GuardClause, Symbols))
+        if (G.Var == V && !G.admits(C->value()))
+          return true;
+      return false;
+    };
+    if (GuardExcludes(TA, CB, TB) || GuardExcludes(TB, CA, TA))
+      return true;
+
+    // Guarded variable vs. guarded variable with incompatible guards.
+    const VarTerm *VA = TA ? dynCast<VarTerm>(TA) : nullptr;
+    const VarTerm *VB = TB ? dynCast<VarTerm>(TB) : nullptr;
+    if (VA && VB) {
+      for (const Guard &GA : clauseGuards(CA, Symbols)) {
+        if (GA.Var != VA)
+          continue;
+        for (const Guard &GB : clauseGuards(CB, Symbols)) {
+          if (GB.Var != VB)
+            continue;
+          if (!GA.compatibleWith(GB))
+            return true;
+        }
+      }
+    }
+  }
+  // Variable-variable guards over matching head positions (e.g. the
+  // paper's part/4: "E =< M" vs. "E > M").
+  if (varGuardsExclusive(CA, CB, Symbols))
+    return true;
+  return false;
+}
+
+bool Determinacy::isDeterminate(Functor F) const {
+  auto It = Determinate.find(F);
+  return It != Determinate.end() && It->second;
+}
+
+bool Determinacy::hasExclusiveClauses(Functor F) const {
+  auto It = Exclusive.find(F);
+  return It != Exclusive.end() && It->second;
+}
+
+bool Determinacy::clausesExclusive(Functor F, unsigned A, unsigned B) const {
+  const Predicate *Pred = P->lookup(F);
+  if (!Pred || A >= Pred->clauses().size() || B >= Pred->clauses().size())
+    return false;
+  if (A == B)
+    return false;
+  return computeExclusive(*Pred, A, B);
+}

@@ -1,0 +1,62 @@
+//===- analysis/Determinacy.h - Determinacy and mutual exclusion ----------===//
+//
+// Part of GranLog; see DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Conservative determinacy analysis in the style of Mellish [16], which
+/// the paper relies on for the simplification Sols_L = 1 (Section 4,
+/// equation (3)).  A predicate is determinate when (a) its clauses are
+/// pairwise mutually exclusive and (b) every user predicate called from
+/// its bodies is determinate.  Mutual exclusion is detected from
+///   - distinct non-variable principal functors in the same input head
+///     argument position (first-argument indexing, generalized), and
+///   - an integer constant in one head vs. an arithmetic guard over the
+///     corresponding head variable in the other that the constant fails
+///     (e.g. fib(0,...) vs. fib(M,...) :- M > 1, ...).
+///
+/// Mutual exclusion also tells the cost analysis when 'max' may replace
+/// '+' when combining clause costs ("using the maximum of the costs of
+/// mutually exclusive groups of clauses", Section 4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_ANALYSIS_DETERMINACY_H
+#define GRANLOG_ANALYSIS_DETERMINACY_H
+
+#include "analysis/Modes.h"
+#include "program/Program.h"
+
+#include <unordered_map>
+
+namespace granlog {
+
+/// Results of the determinacy analysis.
+class Determinacy {
+public:
+  Determinacy(const Program &P, const ModeTable &Modes);
+
+  /// True if every solution-producing path of \p F yields at most one
+  /// solution (conservative).
+  bool isDeterminate(Functor F) const;
+
+  /// True if the clauses of \p F are pairwise mutually exclusive (at most
+  /// one clause can succeed for any call).
+  bool hasExclusiveClauses(Functor F) const;
+
+  /// True if clauses \p A and \p B of \p F cannot both succeed.
+  bool clausesExclusive(Functor F, unsigned A, unsigned B) const;
+
+private:
+  bool computeExclusive(const Predicate &Pred, unsigned A, unsigned B) const;
+
+  const Program *P;
+  const ModeTable *Modes;
+  std::unordered_map<Functor, bool> Exclusive;
+  std::unordered_map<Functor, bool> Determinate;
+};
+
+} // namespace granlog
+
+#endif // GRANLOG_ANALYSIS_DETERMINACY_H

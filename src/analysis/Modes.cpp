@@ -1,0 +1,204 @@
+//===- analysis/Modes.cpp -------------------------------------------------===//
+
+#include "analysis/Modes.h"
+
+#include <deque>
+
+using namespace granlog;
+
+std::vector<bool> granlog::builtinOutputs(Functor F,
+                                          const SymbolTable &Symbols) {
+  const std::string &Name = Symbols.text(F.Name);
+  std::vector<bool> Out(F.Arity, false);
+  if (F.Arity == 2) {
+    if (Name == "is")
+      Out[0] = true; // X is Expr
+    else if (Name == "length")
+      Out[1] = true; // length(List, N)
+    else if (Name == "=")
+      Out[0] = Out[1] = true; // either side may be bound
+  } else if (F.Arity == 3 && Name == "functor") {
+    Out[1] = Out[2] = true;
+  } else if (F.Arity == 3 && Name == "arg") {
+    Out[2] = true;
+  }
+  return Out;
+}
+
+ModeTable::ModeTable(const Program &P, const CallGraph &CG) {
+  for (const auto &Pred : P.predicates()) {
+    if (Pred->hasDeclaredModes()) {
+      Modes[Pred->functor()] = Pred->declaredModes();
+      Declared.insert(Pred->functor());
+    }
+  }
+  infer(P, CG);
+}
+
+const std::vector<ArgMode> &ModeTable::modes(Functor F) const {
+  auto It = Modes.find(F);
+  if (It != Modes.end())
+    return It->second;
+  auto &Default = DefaultCache[F];
+  if (Default.empty() && F.Arity > 0)
+    Default.assign(F.Arity, ArgMode::In);
+  return Default;
+}
+
+std::vector<unsigned> ModeTable::inputPositions(Functor F) const {
+  std::vector<unsigned> Result;
+  const std::vector<ArgMode> &M = modes(F);
+  for (unsigned I = 0; I != M.size(); ++I)
+    if (M[I] != ArgMode::Out)
+      Result.push_back(I);
+  return Result;
+}
+
+std::vector<unsigned> ModeTable::outputPositions(Functor F) const {
+  std::vector<unsigned> Result;
+  const std::vector<ArgMode> &M = modes(F);
+  for (unsigned I = 0; I != M.size(); ++I)
+    if (M[I] == ArgMode::Out)
+      Result.push_back(I);
+  return Result;
+}
+
+namespace {
+
+/// Collects the variables of \p T into \p Vars (set semantics).
+void addVars(const Term *T, std::vector<const VarTerm *> &Vars) {
+  collectVariables(T, Vars);
+}
+
+bool allVarsIn(const Term *T, const std::vector<const VarTerm *> &Ground) {
+  std::vector<const VarTerm *> Vars;
+  collectVariables(T, Vars);
+  for (const VarTerm *V : Vars) {
+    bool Found = false;
+    for (const VarTerm *G : Ground)
+      if (G == V) {
+        Found = true;
+        break;
+      }
+    if (!Found)
+      return false;
+  }
+  return true;
+}
+
+} // namespace
+
+void ModeTable::infer(const Program &P, const CallGraph &CG) {
+  const SymbolTable &Symbols = P.symbols();
+
+  // Call patterns observed so far: for each predicate, per position, was
+  // it ground in every call seen?  Start "unseen".
+  std::unordered_map<Functor, std::vector<bool>> GroundIn;
+  std::deque<Functor> Worklist;
+
+  auto RecordCall = [&](Functor F, const std::vector<bool> &Pattern) {
+    if (Declared.count(F))
+      return;
+    auto It = GroundIn.find(F);
+    if (It == GroundIn.end()) {
+      GroundIn[F] = Pattern;
+      Worklist.push_back(F);
+      return;
+    }
+    bool Changed = false;
+    for (unsigned I = 0; I != Pattern.size(); ++I) {
+      if (It->second[I] && !Pattern[I]) {
+        It->second[I] = false;
+        Changed = true;
+      }
+    }
+    if (Changed)
+      Worklist.push_back(F);
+  };
+
+  // Seed: entry goals are fully ground calls; declared predicates process
+  // their own clauses with their declared input pattern.
+  for (const Term *Entry : P.entryPoints()) {
+    std::optional<Functor> F = literalFunctor(Entry);
+    if (!F || !P.lookup(*F))
+      continue;
+    std::vector<bool> Pattern(F->Arity, false);
+    if (const StructTerm *S = dynCast<StructTerm>(deref(Entry)))
+      for (unsigned I = 0; I != S->arity(); ++I)
+        Pattern[I] = S->arg(I)->isGround();
+    RecordCall(*F, Pattern);
+  }
+  for (Functor F : CG.topologicalOrder())
+    if (Declared.count(F))
+      Worklist.push_back(F);
+
+  auto PatternOf = [&](Functor F) -> std::vector<bool> {
+    if (Declared.count(F)) {
+      std::vector<bool> Pattern;
+      for (ArgMode M : Modes[F])
+        Pattern.push_back(M != ArgMode::Out);
+      return Pattern;
+    }
+    auto It = GroundIn.find(F);
+    if (It != GroundIn.end())
+      return It->second;
+    return std::vector<bool>(F.Arity, false);
+  };
+
+  unsigned Budget = 10000; // fixpoint safety net
+  while (!Worklist.empty() && Budget-- > 0) {
+    Functor F = Worklist.front();
+    Worklist.pop_front();
+    const Predicate *Pred = P.lookup(F);
+    if (!Pred)
+      continue;
+    std::vector<bool> Pattern = PatternOf(F);
+
+    for (const Clause &C : Pred->clauses()) {
+      // Variables known ground at the current program point.
+      std::vector<const VarTerm *> Ground;
+      const StructTerm *Head = dynCast<StructTerm>(deref(C.head()));
+      if (Head)
+        for (unsigned I = 0; I != Head->arity(); ++I)
+          if (I < Pattern.size() && Pattern[I])
+            addVars(Head->arg(I), Ground);
+
+      for (const Term *Lit : C.bodyLiterals()) {
+        std::optional<Functor> LF = literalFunctor(Lit);
+        if (!LF)
+          continue;
+        const StructTerm *S = dynCast<StructTerm>(deref(Lit));
+        if (isBuiltinFunctor(*LF, Symbols)) {
+          if (S)
+            for (unsigned I = 0; I != S->arity(); ++I)
+              addVars(S->arg(I), Ground); // builtins ground their args
+          continue;
+        }
+        if (P.lookup(*LF)) {
+          std::vector<bool> CallPattern(LF->Arity, true);
+          if (S)
+            for (unsigned I = 0; I != S->arity(); ++I)
+              CallPattern[I] = allVarsIn(S->arg(I), Ground);
+          RecordCall(*LF, CallPattern);
+        }
+        // Assume success grounds every argument.
+        if (S)
+          for (unsigned I = 0; I != S->arity(); ++I)
+            addVars(S->arg(I), Ground);
+      }
+    }
+  }
+
+  // Finalize inferred modes.
+  for (const auto &Pred : P.predicates()) {
+    Functor F = Pred->functor();
+    if (Declared.count(F) || F.Arity == 0)
+      continue;
+    auto It = GroundIn.find(F);
+    std::vector<ArgMode> M(F.Arity, ArgMode::In);
+    if (It != GroundIn.end())
+      for (unsigned I = 0; I != F.Arity; ++I)
+        M[I] = It->second[I] ? ArgMode::In : ArgMode::Out;
+    Modes[F] = std::move(M);
+  }
+}

@@ -1,0 +1,79 @@
+//===- analysis/Modes.h - Argument modes ----------------------------------===//
+//
+// Part of GranLog; see DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mode table: for every predicate, whether each argument position is
+/// an input (bound at call time) or an output (bound by the callee).  The
+/// paper assumes modes are "inferred via dataflow analysis [2, 5] or
+/// provided by the users"; we support both: ':- mode' declarations are
+/// authoritative, and a groundness-propagation inference fills in the
+/// rest, seeded from declared predicates and ':- entry' goals.
+///
+/// The inference abstracts each call by the set of definitely-ground
+/// argument positions, assumes (as is standard for well-moded programs)
+/// that a successful call grounds all of its arguments, and iterates to a
+/// fixpoint over the call graph.  A position is In if it was ground in
+/// every observed call, Out otherwise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_ANALYSIS_MODES_H
+#define GRANLOG_ANALYSIS_MODES_H
+
+#include "program/CallGraph.h"
+#include "program/Program.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace granlog {
+
+/// Per-predicate argument modes, declared or inferred.
+class ModeTable {
+public:
+  /// Builds the table: declarations first, then inference for the rest.
+  ModeTable(const Program &P, const CallGraph &CG);
+
+  /// Modes of \p F; all-In for unknown predicates (conservative: treating
+  /// an output as an input can only lose precision, not soundness, because
+  /// unknown input sizes become "undefined" and propagate to Infinity).
+  const std::vector<ArgMode> &modes(Functor F) const;
+
+  /// Convenience: is argument \p Index of \p F an input?
+  bool isInput(Functor F, unsigned Index) const {
+    const std::vector<ArgMode> &M = modes(F);
+    return Index < M.size() && M[Index] == ArgMode::In;
+  }
+  bool isOutput(Functor F, unsigned Index) const {
+    const std::vector<ArgMode> &M = modes(F);
+    return Index < M.size() && M[Index] == ArgMode::Out;
+  }
+
+  /// Input argument positions of \p F in ascending order.
+  std::vector<unsigned> inputPositions(Functor F) const;
+  /// Output argument positions of \p F in ascending order.
+  std::vector<unsigned> outputPositions(Functor F) const;
+
+  /// True when the predicate's modes came from a ':- mode' declaration.
+  bool isDeclared(Functor F) const { return Declared.count(F) > 0; }
+
+private:
+  void infer(const Program &P, const CallGraph &CG);
+
+  std::unordered_map<Functor, std::vector<ArgMode>> Modes;
+  std::unordered_set<Functor> Declared;
+  mutable std::unordered_map<Functor, std::vector<ArgMode>> DefaultCache;
+};
+
+/// Built-in dataflow: which argument positions of builtin \p F are outputs
+/// (bound by the builtin)?  E.g. is/2 binds its first argument; length/2
+/// binds its second; comparisons bind nothing.
+std::vector<bool> builtinOutputs(Functor F, const SymbolTable &Symbols);
+
+} // namespace granlog
+
+#endif // GRANLOG_ANALYSIS_MODES_H

@@ -1,0 +1,130 @@
+//===- analysis/Solutions.cpp ---------------------------------------------===//
+
+#include "analysis/Solutions.h"
+
+using namespace granlog;
+
+namespace {
+
+/// Bounds are capped to keep products meaningful; anything larger is
+/// treated as unbounded.
+constexpr int64_t SolutionCap = 1 << 20;
+
+std::optional<int64_t> saturatingMul(std::optional<int64_t> A,
+                                     std::optional<int64_t> B) {
+  if (!A || !B)
+    return std::nullopt;
+  if (*A > SolutionCap / std::max<int64_t>(1, *B))
+    return std::nullopt;
+  return *A * *B;
+}
+
+std::optional<int64_t> saturatingAdd(std::optional<int64_t> A,
+                                     std::optional<int64_t> B) {
+  if (!A || !B)
+    return std::nullopt;
+  if (*A + *B > SolutionCap)
+    return std::nullopt;
+  return *A + *B;
+}
+
+} // namespace
+
+SolutionsAnalysis::SolutionsAnalysis(const Program &P, const CallGraph &CG,
+                                     const Determinacy &Det)
+    : P(&P), CG(&CG), Det(&Det) {
+  for (const auto &Pred : P.predicates())
+    (void)computePredicate(Pred->functor());
+}
+
+std::optional<int64_t> SolutionsAnalysis::solutions(Functor F) const {
+  auto It = Cache.find(F);
+  if (It != Cache.end())
+    return It->second;
+  return std::nullopt;
+}
+
+std::optional<int64_t>
+SolutionsAnalysis::goalSolutions(const Term *Goal) const {
+  Goal = deref(Goal);
+  const SymbolTable &Symbols = P->symbols();
+  if (const StructTerm *S = dynCast<StructTerm>(Goal)) {
+    const std::string &Name = Symbols.text(S->name());
+    if (S->arity() == 2 && (Name == "," || Name == "&"))
+      return saturatingMul(goalSolutions(S->arg(0)),
+                           goalSolutions(S->arg(1)));
+    if (S->arity() == 2 && Name == ";") {
+      const StructTerm *Cond = dynCast<StructTerm>(deref(S->arg(0)));
+      if (Cond && Cond->arity() == 2 &&
+          Symbols.text(Cond->name()) == "->") {
+        // Committed choice: at most max(then, else) per condition commit.
+        std::optional<int64_t> T = goalSolutions(Cond->arg(1));
+        std::optional<int64_t> E = goalSolutions(S->arg(1));
+        if (!T || !E)
+          return std::nullopt;
+        return std::max(*T, *E);
+      }
+      return saturatingAdd(goalSolutions(S->arg(0)),
+                           goalSolutions(S->arg(1)));
+    }
+    if (S->arity() == 2 && Name == "->")
+      return goalSolutions(S->arg(1));
+    if (S->arity() == 1 && Name == "\\+")
+      return 1;
+  }
+  std::optional<Functor> F = literalFunctor(Goal);
+  if (!F)
+    return std::nullopt;
+  if (isBuiltinFunctor(*F, Symbols)) {
+    // between/3 enumerates its range; with constant bounds the count is
+    // known, otherwise it is unbounded.
+    if (F->Arity == 3 && Symbols.text(F->Name) == "between") {
+      const StructTerm *S = dynCast<StructTerm>(Goal);
+      const IntTerm *Lo = S ? dynCast<IntTerm>(deref(S->arg(0))) : nullptr;
+      const IntTerm *Hi = S ? dynCast<IntTerm>(deref(S->arg(1))) : nullptr;
+      if (Lo && Hi)
+        return std::max<int64_t>(0, Hi->value() - Lo->value() + 1);
+      return std::nullopt;
+    }
+    return 1; // all other builtins in the subset are determinate
+  }
+  auto It = Cache.find(*F);
+  if (It != Cache.end())
+    return It->second;
+  return std::nullopt;
+}
+
+std::optional<int64_t> SolutionsAnalysis::computePredicate(Functor F) {
+  auto It = Cache.find(F);
+  if (It != Cache.end())
+    return It->second;
+
+  const Predicate *Pred = P->lookup(F);
+  if (!Pred) {
+    Cache[F] = std::nullopt;
+    return std::nullopt;
+  }
+  // Determinate predicates produce at most one solution, recursion or not.
+  if (Det->isDeterminate(F)) {
+    Cache[F] = 1;
+    return 1;
+  }
+  // Non-determinate recursive predicates: unbounded (the paper's "beyond
+  // the scope" case — a size-dependent analysis would be needed).
+  if (CG->isRecursive(F)) {
+    Cache[F] = std::nullopt;
+    return std::nullopt;
+  }
+  // Break potential re-entry through undefined callees conservatively.
+  Cache[F] = std::nullopt;
+
+  // Ensure callees are computed first (the call graph is acyclic here).
+  for (Functor Callee : CG->callees(F))
+    (void)computePredicate(Callee);
+
+  std::optional<int64_t> Total = 0;
+  for (const Clause &C : Pred->clauses())
+    Total = saturatingAdd(Total, goalSolutions(C.body()));
+  Cache[F] = Total;
+  return Total;
+}

@@ -1,0 +1,63 @@
+//===- analysis/Solutions.h - Number-of-solutions bounds ------------------===//
+//
+// Part of GranLog; see DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A conservative upper bound on the number of solutions a call can
+/// produce — the Sols_L factors of the paper's equation (2):
+///
+///   Cost_cl <= Cost_H + sum_i (prod_{j<i} Sols_j) Cost_i
+///
+/// The paper notes that "compile-time estimation of the number of
+/// solutions a predicate can generate is a nontrivial problem beyond the
+/// scope of this paper" and restricts itself to determinate literals
+/// (Sols = 1).  This analysis recovers equation (2) for the tractable
+/// fragment: *constant* solution bounds.
+///
+///  - builtins produce at most one solution;
+///  - a determinate predicate produces at most one solution;
+///  - a non-recursive predicate produces at most
+///      sum over clauses of the product of its body literals' bounds
+///    (with ';' adding and if-then-else taking the max of its branches);
+///  - any other recursive predicate is unbounded.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_ANALYSIS_SOLUTIONS_H
+#define GRANLOG_ANALYSIS_SOLUTIONS_H
+
+#include "analysis/Determinacy.h"
+#include "program/CallGraph.h"
+
+#include <optional>
+#include <unordered_map>
+
+namespace granlog {
+
+/// Upper bounds on solution counts; nullopt = unbounded.
+class SolutionsAnalysis {
+public:
+  SolutionsAnalysis(const Program &P, const CallGraph &CG,
+                    const Determinacy &Det);
+
+  /// Upper bound on the number of solutions of a call to \p F, or nullopt
+  /// when no finite bound is known.
+  std::optional<int64_t> solutions(Functor F) const;
+
+  /// Bound for one goal term (handles control constructs).
+  std::optional<int64_t> goalSolutions(const Term *Goal) const;
+
+private:
+  std::optional<int64_t> computePredicate(Functor F);
+
+  const Program *P;
+  const CallGraph *CG;
+  const Determinacy *Det;
+  std::unordered_map<Functor, std::optional<int64_t>> Cache;
+};
+
+} // namespace granlog
+
+#endif // GRANLOG_ANALYSIS_SOLUTIONS_H

@@ -1,0 +1,116 @@
+//===- core/GranularityAnalyzer.cpp ---------------------------------------===//
+
+#include "core/GranularityAnalyzer.h"
+
+using namespace granlog;
+
+GranularityAnalyzer::GranularityAnalyzer(const Program &P,
+                                         AnalyzerOptions Options)
+    : P(&P), Options(Options) {}
+
+GranularityAnalyzer::~GranularityAnalyzer() = default;
+
+void GranularityAnalyzer::run() {
+  if (Ran)
+    return;
+  Ran = true;
+  CG = std::make_unique<CallGraph>(*P);
+  Modes = std::make_unique<ModeTable>(*P, *CG);
+  Det = std::make_unique<Determinacy>(*P, *Modes);
+  Sizes = std::make_unique<SizeAnalysis>(*P, *CG, *Modes);
+  for (const std::string &Name : Options.DisabledSchemas)
+    Sizes->disableSchema(Name);
+  Sizes->run();
+  if (Options.Metric.kind() == CostMetricKind::Instructions)
+    Wam = std::make_unique<WamCompiler>(*P);
+  Costs = std::make_unique<CostAnalysis>(*P, *CG, *Modes, *Det, *Sizes,
+                                         Options.Metric, Wam.get());
+  for (const std::string &Name : Options.DisabledSchemas)
+    Costs->disableSchema(Name);
+  Costs->run();
+
+  for (const auto &Pred : P->predicates()) {
+    Functor F = Pred->functor();
+    PredicateGranularity G;
+    const PredicateCostInfo &CI = Costs->info(F);
+    const PredicateSizeInfo &SI = Sizes->info(F);
+    G.CostFn = CI.CostFn ? CI.CostFn : makeInfinity();
+    G.CostExact = CI.Exact;
+    G.RecArgPos = SI.RecArgPos;
+
+    // Which single size variable does the cost depend on?
+    std::vector<std::string> Vars = exprVariables(G.CostFn);
+    std::string Var = Vars.size() == 1 ? Vars[0] : std::string("n1");
+    G.Threshold = computeThreshold(G.CostFn, Var, Options.Overhead);
+    if (G.Threshold.Class == GrainClass::RuntimeTest) {
+      // Recover the argument position from the parameter name "n<pos+1>".
+      int Pos = std::atoi(Var.c_str() + 1) - 1;
+      G.Threshold.ArgPos = Pos;
+      if (Pos >= 0 && Pos < static_cast<int>(SI.Measures.size()))
+        G.TestMeasure = SI.Measures[Pos];
+    }
+
+    // User directives override the inferred classification.
+    switch (Pred->parallelDecl()) {
+    case ParallelDecl::Parallel:
+      G.Threshold.Class = GrainClass::AlwaysParallel;
+      break;
+    case ParallelDecl::Sequential:
+      G.Threshold.Class = GrainClass::AlwaysSequential;
+      break;
+    case ParallelDecl::None:
+      break;
+    }
+    Info.emplace(F, std::move(G));
+  }
+}
+
+void GranularityAnalyzer::overrideThresholds(int64_t K) {
+  for (auto &[F, G] : Info)
+    if (G.Threshold.Class == GrainClass::RuntimeTest)
+      G.Threshold.Threshold = K;
+}
+
+const PredicateGranularity &GranularityAnalyzer::info(Functor F) const {
+  static const PredicateGranularity Empty;
+  auto It = Info.find(F);
+  return It == Info.end() ? Empty : It->second;
+}
+
+const PredicateGranularity *
+GranularityAnalyzer::lookup(std::string_view Name, unsigned Arity) const {
+  Symbol S = P->symbols().lookup(Name);
+  if (!S.isValid())
+    return nullptr;
+  auto It = Info.find(Functor{S, Arity});
+  return It == Info.end() ? nullptr : &It->second;
+}
+
+std::string GranularityAnalyzer::report() const {
+  std::string Out;
+  Out += "granularity analysis (metric: ";
+  Out += Options.Metric.name();
+  Out += ", overhead W = " + std::to_string(Options.Overhead) + ")\n";
+  for (const auto &Pred : P->predicates()) {
+    Functor F = Pred->functor();
+    auto It = Info.find(F);
+    if (It == Info.end())
+      continue;
+    const PredicateGranularity &G = It->second;
+    Out += "  " + P->symbols().text(F) + ": cost = " + exprText(G.CostFn);
+    switch (G.Threshold.Class) {
+    case GrainClass::AlwaysSequential:
+      Out += "  [always sequential]";
+      break;
+    case GrainClass::AlwaysParallel:
+      Out += "  [always parallel]";
+      break;
+    case GrainClass::RuntimeTest:
+      Out += "  [test: size(arg " + std::to_string(G.Threshold.ArgPos + 1) +
+             ") =< " + std::to_string(G.Threshold.Threshold) + "]";
+      break;
+    }
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,108 @@
+//===- core/GranularityAnalyzer.h - The analysis driver -------------------===//
+//
+// Part of GranLog; see DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The user-facing entry point of the library: runs the whole pipeline of
+/// the paper (modes -> determinacy -> data-dependency-based argument size
+/// analysis -> cost analysis -> difference equation solving -> threshold
+/// computation) and classifies every predicate as AlwaysSequential,
+/// AlwaysParallel or RuntimeTest(K).
+///
+/// Typical use:
+/// \code
+///   TermArena Arena;
+///   Diagnostics Diags;
+///   auto Prog = loadProgram(Source, Arena, Diags);
+///   GranularityAnalyzer GA(*Prog, {CostMetric::resolutions(), 48.0});
+///   GA.run();
+///   const PredicateGranularity &G = GA.info(F);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_CORE_GRANULARITYANALYZER_H
+#define GRANLOG_CORE_GRANULARITYANALYZER_H
+
+#include "analysis/Determinacy.h"
+#include "core/Threshold.h"
+#include "cost/CostAnalysis.h"
+#include "size/SizeAnalysis.h"
+#include "wam/WamCompiler.h"
+
+#include <memory>
+
+namespace granlog {
+
+/// Configuration of one analysis run.
+struct AnalyzerOptions {
+  CostMetric Metric = CostMetric::resolutions();
+  /// Task creation/management overhead W of the target system, in units
+  /// of the chosen metric (the paper's example uses 48).
+  double Overhead = 48.0;
+  /// Difference-equation schemas to remove from the solver table (for
+  /// ablation studies of the paper's "approximation set" S).
+  std::vector<std::string> DisabledSchemas;
+};
+
+/// Everything the analysis learned about one predicate.
+struct PredicateGranularity {
+  ExprRef CostFn;             ///< closed-form cost bound (may be Infinity)
+  bool CostExact = false;     ///< no upper-bound relaxation applied
+  ThresholdInfo Threshold;    ///< scheduling decision
+  int RecArgPos = -1;         ///< recursion argument position
+  MeasureKind TestMeasure = MeasureKind::TermSize; ///< for the size test
+};
+
+/// Runs and stores the full pipeline over one Program.
+class GranularityAnalyzer {
+public:
+  GranularityAnalyzer(const Program &P, AnalyzerOptions Options);
+  ~GranularityAnalyzer();
+  GranularityAnalyzer(GranularityAnalyzer &&) = delete;
+
+  /// Runs all phases.  Idempotent.
+  void run();
+
+  /// Replaces the threshold of every RuntimeTest-classified predicate by
+  /// \p K.  Used by the grain-size sweep of Figure 2, where the threshold
+  /// is varied around the statically computed one.
+  void overrideThresholds(int64_t K);
+
+  const PredicateGranularity &info(Functor F) const;
+  /// Convenience lookup by name.
+  const PredicateGranularity *lookup(std::string_view Name,
+                                     unsigned Arity) const;
+
+  const Program &program() const { return *P; }
+  const AnalyzerOptions &options() const { return Options; }
+  const CallGraph &callGraph() const { return *CG; }
+  const ModeTable &modes() const { return *Modes; }
+  const Determinacy &determinacy() const { return *Det; }
+  const SizeAnalysis &sizes() const { return *Sizes; }
+  const CostAnalysis &costs() const { return *Costs; }
+  /// Non-null when the Instructions metric is in use.
+  const WamCompiler *wam() const { return Wam.get(); }
+
+  /// Renders a human-readable report of the analysis results (cost
+  /// functions, thresholds and classifications per predicate).
+  std::string report() const;
+
+private:
+  const Program *P;
+  AnalyzerOptions Options;
+  std::unique_ptr<CallGraph> CG;
+  std::unique_ptr<ModeTable> Modes;
+  std::unique_ptr<Determinacy> Det;
+  std::unique_ptr<SizeAnalysis> Sizes;
+  std::unique_ptr<WamCompiler> Wam;
+  std::unique_ptr<CostAnalysis> Costs;
+  std::unordered_map<Functor, PredicateGranularity> Info;
+  bool Ran = false;
+};
+
+} // namespace granlog
+
+#endif // GRANLOG_CORE_GRANULARITYANALYZER_H

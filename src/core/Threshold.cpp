@@ -1,0 +1,80 @@
+//===- core/Threshold.cpp -------------------------------------------------===//
+
+#include "core/Threshold.h"
+
+#include <cmath>
+
+using namespace granlog;
+
+std::vector<std::string> granlog::exprVariables(const ExprRef &E) {
+  std::vector<std::string> Vars;
+  std::function<void(const ExprRef &)> Walk = [&](const ExprRef &X) {
+    if (X->isVar()) {
+      for (const std::string &V : Vars)
+        if (V == X->name())
+          return;
+      Vars.push_back(X->name());
+      return;
+    }
+    for (const ExprRef &Op : X->operands())
+      Walk(Op);
+  };
+  Walk(E);
+  return Vars;
+}
+
+ThresholdInfo granlog::computeThreshold(const ExprRef &CostFn,
+                                        const std::string &Var,
+                                        double Overhead, int64_t MaxSize) {
+  ThresholdInfo Result;
+  if (CostFn->isInfinity()) {
+    Result.Class = GrainClass::AlwaysParallel;
+    return Result;
+  }
+  std::vector<std::string> Vars = exprVariables(CostFn);
+  for (const std::string &V : Vars) {
+    if (V != Var) {
+      // Costs depending on several input sizes have no single threshold;
+      // under the "sequentialize a parallel language" philosophy the safe
+      // default is to keep the goal parallel.
+      Result.Class = GrainClass::AlwaysParallel;
+      return Result;
+    }
+  }
+
+  auto CostAt = [&](int64_t N) -> double {
+    std::optional<double> V =
+        evaluate(CostFn, {{Var, static_cast<double>(N)}});
+    return V ? *V : HUGE_VAL;
+  };
+
+  if (CostAt(0) > Overhead) {
+    Result.Class = GrainClass::AlwaysParallel;
+    return Result;
+  }
+  if (CostAt(MaxSize) <= Overhead) {
+    Result.Class = GrainClass::AlwaysSequential;
+    return Result;
+  }
+
+  // Exponential probe for an upper bracket, then binary search for the
+  // largest K with Cost(K) <= Overhead (monotonicity assumption).
+  int64_t Lo = 0;       // Cost(Lo) <= W
+  int64_t Hi = 1;       // will satisfy Cost(Hi) > W
+  while (Hi < MaxSize && CostAt(Hi) <= Overhead) {
+    Lo = Hi;
+    Hi *= 2;
+  }
+  if (Hi > MaxSize)
+    Hi = MaxSize;
+  while (Lo + 1 < Hi) {
+    int64_t Mid = Lo + (Hi - Lo) / 2;
+    if (CostAt(Mid) <= Overhead)
+      Lo = Mid;
+    else
+      Hi = Mid;
+  }
+  Result.Class = GrainClass::RuntimeTest;
+  Result.Threshold = Lo;
+  return Result;
+}

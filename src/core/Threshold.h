@@ -1,0 +1,59 @@
+//===- core/Threshold.h - Threshold input sizes ---------------------------===//
+//
+// Part of GranLog; see DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "threshold input size" of Section 5: given the closed-form cost
+/// f(n) of a predicate and the task-management overhead W of the target
+/// system, the least K such that f(n) > W iff n > K.  Code can then test
+/// "size(X) =< K" at runtime to decide between sequential and parallel
+/// execution.  Because f is monotone (Section 6 assumption), K is found by
+/// exponential + binary search on integer sizes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_CORE_THRESHOLD_H
+#define GRANLOG_CORE_THRESHOLD_H
+
+#include "expr/Expr.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace granlog {
+
+/// How a predicate should be scheduled.
+enum class GrainClass {
+  AlwaysSequential, ///< never enough work to pay for a task
+  AlwaysParallel,   ///< always enough work (or unknown => parallel)
+  RuntimeTest,      ///< compare the input size against a threshold
+};
+
+/// Result of threshold computation for one predicate.
+struct ThresholdInfo {
+  GrainClass Class = GrainClass::AlwaysParallel;
+  /// Valid for RuntimeTest: sizes <= Threshold run sequentially.
+  int64_t Threshold = 0;
+  /// Valid for RuntimeTest: the argument position whose size is tested.
+  int ArgPos = -1;
+};
+
+/// Computes the threshold for a cost function \p CostFn over the single
+/// size variable \p Var: the largest K with CostFn(K) <= W (so the test is
+/// "size =< K").  Returns:
+///  - AlwaysParallel  if CostFn is Infinity, depends on several variables,
+///    or exceeds W already at size 0;
+///  - AlwaysSequential if CostFn never exceeds W up to \p MaxSize;
+///  - RuntimeTest with the threshold otherwise.
+ThresholdInfo computeThreshold(const ExprRef &CostFn, const std::string &Var,
+                               double Overhead, int64_t MaxSize = 1 << 30);
+
+/// Collects the distinct variable names occurring in \p E.
+std::vector<std::string> exprVariables(const ExprRef &E);
+
+} // namespace granlog
+
+#endif // GRANLOG_CORE_THRESHOLD_H

@@ -1,0 +1,336 @@
+//===- core/Transform.cpp -------------------------------------------------===//
+
+#include "core/Transform.h"
+
+#include <functional>
+#include <set>
+
+using namespace granlog;
+
+namespace {
+
+/// Summary of the goals under one parallel conjunct.
+struct ConjunctClass {
+  bool HasParallel = false;
+  bool HasTest = false;
+  // First runtime test found: the literal argument to measure, plus its
+  // threshold and measure.
+  const Term *TestArg = nullptr;
+  int64_t Threshold = 0;
+  MeasureKind Measure = MeasureKind::TermSize;
+};
+
+class Transformer {
+public:
+  Transformer(const Program &P, const GranularityAnalyzer &GA,
+              TransformStats &Stats, TransformOptions Options)
+      : P(P), GA(GA), Arena(P.arena()), Symbols(P.symbols()), Stats(Stats),
+        Options(Options) {
+    if (Options.SequentialSpecialization)
+      computeNeedsClone();
+  }
+
+  const Term *transformBody(const Term *Body);
+
+  /// Predicates that need a sequential clone (they, or something they
+  /// transitively call, contain a '&').
+  const std::set<Functor> &cloneSet() const { return NeedsClone; }
+
+  /// Rewrites a goal for the sequential world: '&' becomes ',' and calls
+  /// to cloneSet() members are redirected to their '$seq' clone.
+  const Term *sequentialize(const Term *Goal);
+
+  /// The '$seq' name of \p F.
+  Functor seqFunctor(Functor F) {
+    return {Arena.symbols().intern(Symbols.text(F.Name) + "$seq"),
+            F.Arity};
+  }
+
+private:
+  void computeNeedsClone();
+  ConjunctClass classify(const Term *Conjunct);
+  const Term *joinWith(const std::vector<const Term *> &Goals,
+                       const char *Op);
+
+  const Program &P;
+  const GranularityAnalyzer &GA;
+  TermArena &Arena;
+  const SymbolTable &Symbols;
+  TransformStats &Stats;
+  TransformOptions Options;
+  std::set<Functor> NeedsClone;
+};
+
+void Transformer::computeNeedsClone() {
+  // Seed: predicates with a '&' anywhere in a clause body.
+  auto HasPar = [&](const Predicate &Pred) {
+    for (const Clause &C : Pred.clauses()) {
+      std::function<bool(const Term *)> Walk = [&](const Term *T) -> bool {
+        const StructTerm *S = dynCast<StructTerm>(deref(T));
+        if (!S)
+          return false;
+        if (S->arity() == 2 && Symbols.text(S->name()) == "&")
+          return true;
+        if (isControlFunctor(S->functor(), Symbols))
+          for (const Term *Arg : S->args())
+            if (Walk(Arg))
+              return true;
+        return false;
+      };
+      if (Walk(C.body()))
+        return true;
+    }
+    return false;
+  };
+  for (const auto &Pred : P.predicates())
+    if (HasPar(*Pred))
+      NeedsClone.insert(Pred->functor());
+  // Fixpoint: callers of clone-needing predicates need clones too (their
+  // sequential version must call the sequential callee).
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const auto &Pred : P.predicates()) {
+      if (NeedsClone.count(Pred->functor()))
+        continue;
+      for (const Clause &C : Pred->clauses()) {
+        for (const Term *Lit : C.bodyLiterals()) {
+          std::optional<Functor> F = literalFunctor(Lit);
+          if (F && NeedsClone.count(*F)) {
+            NeedsClone.insert(Pred->functor());
+            Changed = true;
+            break;
+          }
+        }
+        if (NeedsClone.count(Pred->functor()))
+          break;
+      }
+    }
+  }
+}
+
+const Term *Transformer::sequentialize(const Term *Goal) {
+  Goal = deref(Goal);
+  const StructTerm *S = dynCast<StructTerm>(Goal);
+  if (!S) {
+    if (const AtomTerm *A = dynCast<AtomTerm>(Goal)) {
+      Functor F{A->name(), 0};
+      if (NeedsClone.count(F))
+        return Arena.makeAtom(seqFunctor(F).Name);
+    }
+    return Goal;
+  }
+  const std::string &Name = Symbols.text(S->name());
+  if (S->arity() == 2 && Name == "&") {
+    return Arena.makeStruct(",", {sequentialize(S->arg(0)),
+                                  sequentialize(S->arg(1))});
+  }
+  if (isControlFunctor(S->functor(), Symbols)) {
+    std::vector<const Term *> Args;
+    for (const Term *Arg : S->args())
+      Args.push_back(sequentialize(Arg));
+    return Arena.makeStruct(S->name(), std::move(Args));
+  }
+  if (NeedsClone.count(S->functor()))
+    return Arena.makeStruct(seqFunctor(S->functor()).Name,
+                            std::vector<const Term *>(S->args()));
+  return Goal;
+}
+
+ConjunctClass Transformer::classify(const Term *Conjunct) {
+  ConjunctClass Result;
+  std::vector<const Term *> Literals;
+  flattenBodyLiterals(Conjunct, Symbols, Literals);
+  for (const Term *Lit : Literals) {
+    std::optional<Functor> F = literalFunctor(Lit);
+    if (!F || isBuiltinFunctor(*F, Symbols))
+      continue;
+    const PredicateGranularity &G = GA.info(*F);
+    switch (G.Threshold.Class) {
+    case GrainClass::AlwaysSequential:
+      break;
+    case GrainClass::AlwaysParallel:
+      Result.HasParallel = true;
+      break;
+    case GrainClass::RuntimeTest: {
+      if (Result.HasTest)
+        break; // first test wins
+      const StructTerm *S = dynCast<StructTerm>(deref(Lit));
+      int Pos = G.Threshold.ArgPos;
+      if (S && Pos >= 0 && Pos < static_cast<int>(S->arity())) {
+        Result.HasTest = true;
+        Result.TestArg = S->arg(Pos);
+        Result.Threshold = G.Threshold.Threshold;
+        Result.Measure = G.TestMeasure;
+      } else {
+        // No argument to test: be conservative, keep it parallel.
+        Result.HasParallel = true;
+      }
+      break;
+    }
+    }
+  }
+  return Result;
+}
+
+const Term *Transformer::joinWith(const std::vector<const Term *> &Goals,
+                                  const char *Op) {
+  assert(!Goals.empty());
+  const Term *Result = Goals.back();
+  for (auto It = Goals.rbegin() + 1; It != Goals.rend(); ++It)
+    Result = Arena.makeStruct(Op, {*It, Result});
+  return Result;
+}
+
+const Term *Transformer::transformBody(const Term *Body) {
+  Body = deref(Body);
+  const StructTerm *S = dynCast<StructTerm>(Body);
+  if (!S)
+    return Body;
+  const std::string &Name = Symbols.text(S->name());
+
+  if (S->arity() == 2 && (Name == "," || Name == ";" || Name == "->")) {
+    const Term *A = transformBody(S->arg(0));
+    const Term *B = transformBody(S->arg(1));
+    if (A == S->arg(0) && B == S->arg(1))
+      return Body;
+    return Arena.makeStruct(S->name(), {A, B});
+  }
+  if (S->arity() == 1 && Name == "\\+") {
+    const Term *A = transformBody(S->arg(0));
+    return A == S->arg(0) ? Body : Arena.makeStruct(S->name(), {A});
+  }
+  if (!(S->arity() == 2 && Name == "&"))
+    return Body;
+
+  // Flatten the '&' chain into conjuncts, transforming nested bodies.
+  std::vector<const Term *> Conjuncts;
+  std::function<void(const Term *)> Flatten = [&](const Term *T) {
+    T = deref(T);
+    const StructTerm *TS = dynCast<StructTerm>(T);
+    if (TS && TS->arity() == 2 && Symbols.text(TS->name()) == "&") {
+      Flatten(TS->arg(0));
+      Flatten(TS->arg(1));
+      return;
+    }
+    Conjuncts.push_back(transformBody(T));
+  };
+  Flatten(S);
+  ++Stats.ParallelSites;
+
+  std::vector<ConjunctClass> Classes;
+  Classes.reserve(Conjuncts.size());
+  for (const Term *C : Conjuncts)
+    Classes.push_back(classify(C));
+
+  bool AnyParallel = false;
+  bool AnyTest = false;
+  for (const ConjunctClass &C : Classes) {
+    AnyParallel |= C.HasParallel;
+    AnyTest |= C.HasTest;
+  }
+  const ConjunctClass *Guard = nullptr;
+  for (const ConjunctClass &C : Classes)
+    if (C.HasTest) {
+      Guard = &C;
+      break;
+    }
+
+  if (!AnyParallel && !AnyTest) {
+    // Every goal is known small at compile time: plain conjunction, no
+    // runtime overhead at all (Section 7's compile-time classification).
+    ++Stats.Sequentialized;
+    return joinWith(Conjuncts, ",");
+  }
+
+  if (!Guard) {
+    // No runtime test needed.  Goals known small are folded into the
+    // parent task (the '&' conjuncts are independent, so regrouping is
+    // safe); goals known large stay spawned.
+    std::vector<const Term *> Small, Large;
+    for (size_t I = 0; I != Conjuncts.size(); ++I)
+      (Classes[I].HasParallel ? Large : Small).push_back(Conjuncts[I]);
+    ++Stats.KeptParallel;
+    if (Small.empty())
+      return joinWith(Conjuncts, "&");
+    std::vector<const Term *> Chain{joinWith(Small, ",")};
+    for (const Term *L : Large)
+      Chain.push_back(L);
+    return joinWith(Chain, "&");
+  }
+
+  // Runtime grain-size test deciding between the fully sequential and the
+  // fully parallel version of the site (Section 2's generated code).
+  // Under SequentialSpecialization the sequential branch enters the
+  // test-free clone world and never tests or spawns again.
+  ++Stats.Guarded;
+  const Term *Test = Arena.makeStruct(
+      "$grain_leq", {Guard->TestArg, Arena.makeInt(Guard->Threshold),
+                     Arena.makeAtom(measureName(Guard->Measure))});
+  const Term *Seq = joinWith(Conjuncts, ",");
+  if (Options.SequentialSpecialization)
+    Seq = sequentialize(Seq);
+  const Term *Par = joinWith(Conjuncts, "&");
+  return Arena.makeStruct(
+      ";", {Arena.makeStruct("->", {Test, Seq}), Par});
+}
+
+} // namespace
+
+Program granlog::applyGranularityControl(const Program &P,
+                                         const GranularityAnalyzer &GA,
+                                         TransformStats *Stats,
+                                         TransformOptions Options) {
+  TransformStats Local;
+  TransformStats &S = Stats ? *Stats : Local;
+  Transformer T(P, GA, S, Options);
+
+  Program Result(P.arena());
+  for (const Term *Entry : P.entryPoints())
+    Result.addEntryPoint(Entry);
+  auto AddClause = [&](Predicate &NewPred, const Term *Head,
+                       const Term *Body, SourceLoc Loc) {
+    Clause NewClause(Head, Body, Loc);
+    std::vector<const Term *> Literals;
+    flattenBodyLiterals(Body, P.symbols(), Literals);
+    NewClause.setBodyLiterals(std::move(Literals));
+    NewPred.addClause(std::move(NewClause));
+  };
+  for (const auto &Pred : P.predicates()) {
+    Predicate &NewPred = Result.getOrCreate(Pred->functor());
+    NewPred.setDeclaredModes(Pred->declaredModes());
+    NewPred.setDeclaredMeasures(Pred->declaredMeasures());
+    NewPred.setParallelDecl(Pred->parallelDecl());
+    NewPred.setTrustCost(Pred->trustCost());
+    for (const auto &[Pos, Trust] : Pred->trustSizes())
+      NewPred.setTrustSize(Pos, Trust);
+    for (const Clause &C : Pred->clauses())
+      AddClause(NewPred, C.head(), T.transformBody(C.body()),
+                C.location());
+  }
+  // Emit the sequential clones: bodies with '&' replaced by ',' and calls
+  // into the clone set redirected, starting from the *original* bodies
+  // (no grain tests inside the sequential world).
+  if (Options.SequentialSpecialization) {
+    TermArena &Arena = P.arena();
+    for (Functor F : T.cloneSet()) {
+      const Predicate *Orig = P.lookup(F);
+      if (!Orig)
+        continue;
+      Functor SeqF = T.seqFunctor(F);
+      Predicate &Clone = Result.getOrCreate(SeqF);
+      ++S.SeqSpecializations;
+      for (const Clause &C : Orig->clauses()) {
+        // Rename the head functor, keep the argument terms.
+        const Term *Head = C.head();
+        if (const StructTerm *HS = dynCast<StructTerm>(deref(Head)))
+          Head = Arena.makeStruct(SeqF.Name,
+                                  std::vector<const Term *>(HS->args()));
+        else
+          Head = Arena.makeAtom(SeqF.Name);
+        AddClause(Clone, Head, T.sequentialize(C.body()), C.location());
+      }
+    }
+  }
+  return Result;
+}

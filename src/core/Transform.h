@@ -1,0 +1,65 @@
+//===- core/Transform.h - Grain size control transformation ---------------===//
+//
+// Part of GranLog; see DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The program transformation of Sections 2 and 5: every parallel
+/// conjunction "A & B" is rewritten according to the granularity
+/// classification of the predicates under it:
+///
+///  - all goals AlwaysSequential:   A & B  ==>  A, B
+///    (the compile-time case: "many predicates can be classified as either
+///    parallel or sequential predicates at compile time, so no grain size
+///    control is needed for them" — Section 7);
+///  - some goal AlwaysParallel:     kept as A & B;
+///  - otherwise, a goal with a RuntimeTest classification contributes a
+///    guard:   A & B  ==>  ( '$grain_leq'(Arg, K, Measure) -> A, B
+///                         ; A & B )
+///    which is the "if size(X) =< 4 then sequential else parallel" code of
+///    Section 2.  '$grain_leq'/3 is a builtin of the runtime; its cost
+///    models the grain-size test overhead (plus a size traversal when the
+///    system does not maintain size information, cf. footnote 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_CORE_TRANSFORM_H
+#define GRANLOG_CORE_TRANSFORM_H
+
+#include "core/GranularityAnalyzer.h"
+#include "program/Program.h"
+
+namespace granlog {
+
+/// Statistics of one transformation run.
+struct TransformStats {
+  unsigned ParallelSites = 0;  ///< '&' conjunctions seen
+  unsigned Sequentialized = 0; ///< rewritten to ','
+  unsigned Guarded = 0;        ///< wrapped in a grain-size test
+  unsigned KeptParallel = 0;   ///< left as '&'
+  unsigned SeqSpecializations = 0; ///< test-free sequential clones created
+};
+
+/// Options for the transformation.
+struct TransformOptions {
+  /// Section 7's grain-size-test unfolding, taken to its fixpoint: the
+  /// sequential branch of every guard calls test-free *sequential clones*
+  /// ('p$seq') in which all '&' are ',' and recursive calls stay in the
+  /// clone.  Once one test has decided "small enough", no descendant ever
+  /// tests (or spawns) again.  Off by default to match the paper's
+  /// measured configuration (their flatten result shows the overhead of
+  /// re-testing; see bench/ablation_overheads).
+  bool SequentialSpecialization = false;
+};
+
+/// Applies grain-size control to \p P, returning a new Program (terms are
+/// allocated in the same arena).  \p GA must have been run.
+Program applyGranularityControl(const Program &P,
+                                const GranularityAnalyzer &GA,
+                                TransformStats *Stats = nullptr,
+                                TransformOptions Options = TransformOptions());
+
+} // namespace granlog
+
+#endif // GRANLOG_CORE_TRANSFORM_H

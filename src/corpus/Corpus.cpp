@@ -1,0 +1,456 @@
+//===- corpus/Corpus.cpp - Benchmark sources and goal builders ------------===//
+#include <cmath>
+
+#include "corpus/Corpus.h"
+
+using namespace granlog;
+
+//===----------------------------------------------------------------------===//
+// Program sources
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+// Shared library text: even/odd list splitting and append, with modes.
+// Each benchmark source is self-contained, so this text is spliced in.
+#define LIST_LIB                                                             \
+  ":- mode(split(i, o, o)).\n"                                               \
+  "split([], [], []).\n"                                                     \
+  "split([X|T], [X|A], B) :- split(T, B, A).\n"                              \
+  ":- mode(append(i, i, o)).\n"                                              \
+  "append([], L, L).\n"                                                      \
+  "append([H|T], L, [H|R]) :- append(T, L, R).\n"
+
+const char *FibSource = R"(
+% Doubly recursive Fibonacci (paper Section 5).
+:- mode(fib(i, o)).
+:- measure(fib(value, value)).
+fib(0, 0).
+fib(1, 1).
+fib(M, N) :-
+    M > 1,
+    M1 is M - 1, M2 is M - 2,
+    ( fib(M1, N1) & fib(M2, N2) ),
+    N is N1 + N2.
+)";
+
+const char *HanoiSource = R"(
+% Towers of Hanoi producing the move list.
+:- mode(hanoi(i, i, i, i, o)).
+:- measure(hanoi(value, void, void, void, length)).
+hanoi(0, _, _, _, []).
+hanoi(N, A, B, C, M) :-
+    N > 0,
+    N1 is N - 1,
+    ( hanoi(N1, A, C, B, M1) & hanoi(N1, B, A, C, M2) ),
+    append(M1, [mv(A, C)|M2], M).
+)" LIST_LIB;
+
+const char *QuickSortSource = R"(
+% Quicksort with parallel recursive calls (paper introduction example).
+:- mode(qsort(i, o)).
+qsort([], []).
+qsort([H|T], S) :-
+    part(T, H, L, G),
+    ( qsort(L, SL) & qsort(G, SG) ),
+    append(SL, [H|SG], S).
+:- mode(part(i, i, o, o)).
+part([], _, [], []).
+part([E|L], M, [E|U1], U2) :- E =< M, part(L, M, U1, U2).
+part([E|L], M, U1, [E|U2]) :- E > M, part(L, M, U1, U2).
+)" LIST_LIB;
+
+const char *MergeSortSource = R"(
+% Mergesort; merge/3 consumes its two lists alternately, which is outside
+% the one-variable difference equations of the analysis, so its cost and
+% output size carry trust assertions (upper bounds; cf. CiaoPP trust).
+:- mode(msort(i, o)).
+msort([], []).
+msort([X], [X]).
+msort([A,B|T], S) :-
+    split([A,B|T], L, R),
+    ( msort(L, SL) & msort(R, SR) ),
+    merge(SL, SR, S).
+:- mode(merge(i, i, o)).
+:- measure(merge(length, length, length)).
+:- trust_cost(merge/3, n1 + n2 + 1).
+:- trust_size(merge/3, 3, n1 + n2).
+merge([], L, L).
+merge([H|T], [], [H|T]).
+merge([H1|T1], [H2|T2], [H1|R]) :- H1 =< H2, merge(T1, [H2|T2], R).
+merge([H1|T1], [H2|T2], [H2|R]) :- H1 > H2, merge([H1|T1], T2, R).
+)" LIST_LIB;
+
+const char *ConsistencySource = R"(
+% Constraint-consistency sweep: N binary constraints checked
+% divide-and-conquer style (reconstruction; see DESIGN.md).
+:- mode(consistency(i)).
+consistency([]).
+consistency([C]) :- check(C).
+consistency([A,B|T]) :-
+    split([A,B|T], L, R),
+    ( consistency(L) & consistency(R) ).
+:- mode(check(i)).
+check(c(X, Y)) :-
+    Z is X * 3 + Y * 2,
+    Z >= 0,
+    W is Z mod 7,
+    V is W * W + Z,
+    V >= W.
+)" LIST_LIB;
+
+const char *DoubleSumSource = R"(
+% double-sum: sum of 1..N by the doubling identity
+%   sum(N) = 2 sum(N/2) + (N/2)^2   for even N
+% (reconstruction; the input 2048 is a power of two).
+:- mode(dsum(i, o)).
+:- measure(dsum(value, value)).
+dsum(1, 1).
+dsum(N, S) :-
+    N > 1,
+    H is N // 2,
+    ( dsum(H, S1) & dsum(H, S2) ),
+    Q is H * H,
+    S is S1 + S2 + Q.
+)";
+
+const char *FftSource = R"(
+% Radix-2 Cooley-Tukey FFT over c(Re, Im) lists.  Twiddle factors are
+% threaded incrementally so that the combine loop's numeric arguments are
+% untracked (void) constants for the analysis.
+:- mode(fft(i, o)).
+fft([X], [X]).
+fft([X,Y|T], F) :-
+    split([X,Y|T], E, O),
+    length([X,Y|T], N),
+    ( fft(E, FE) & fft(O, FO) ),
+    A is -2.0 * pi / N,
+    Sr is cos(A), Si is sin(A),
+    combine(FE, FO, 1.0, 0.0, Sr, Si, Hi, Lo),
+    append(Hi, Lo, F).
+:- mode(combine(i, i, i, i, i, i, o, o)).
+:- measure(combine(length, length, void, void, void, void, length, length)).
+combine([], [], _, _, _, _, [], []).
+combine([c(Er,Ei)|Es], [c(Or,Oi)|Os], Wr, Wi, Sr, Si,
+        [c(Ar,Ai)|As], [c(Br,Bi)|Bs]) :-
+    Tr is Wr * Or - Wi * Oi,
+    Ti is Wr * Oi + Wi * Or,
+    Ar is Er + Tr, Ai is Ei + Ti,
+    Br is Er - Tr, Bi is Ei - Ti,
+    W2r is Wr * Sr - Wi * Si,
+    W2i is Wr * Si + Wi * Sr,
+    combine(Es, Os, W2r, W2i, Sr, Si, As, Bs).
+)" LIST_LIB;
+
+const char *FlattenSource = R"(
+% Flattening a binary leaf tree into the list of its leaf values.  Grains
+% are uniformly tiny and the grain test must traverse the term (term-size
+% measure), which is how the paper's negative result arises.
+:- mode(flatten(i, o)).
+:- measure(flatten(size, length)).
+flatten(leaf(X), [X]).
+flatten(node(L, R), F) :-
+    ( flatten(L, F1) & flatten(R, F2) ),
+    append(F1, F2, F).
+)" LIST_LIB;
+
+const char *MatrixSource = R"(
+% Dense matrix multiplication; the second matrix is given transposed
+% (columns as rows).  Rows are spawned; inner products are guarded.
+:- mode(mmul(i, i, o)).
+mmul([], _, []).
+mmul([R|Rs], Cols, [CR|CRs]) :-
+    ( mrow(R, Cols, CR) & mmul(Rs, Cols, CRs) ).
+:- mode(mrow(i, i, o)).
+mrow(_, [], []).
+mrow(R, [C|Cs], [X|Xs]) :-
+    ( ip(R, C, 0, X) & mrow(R, Cs, Xs) ).
+:- mode(ip(i, i, i, o)).
+:- measure(ip(length, length, value, value)).
+ip([], [], A, A).
+ip([X|Xs], [Y|Ys], A, S) :-
+    A1 is A + X * Y,
+    ip(Xs, Ys, A1, S).
+)";
+
+const char *PolySource = R"(
+% Point-in-polygon (ray crossing) for a batch of points against a fixed
+% polygon (reconstruction; see DESIGN.md).
+:- mode(poly_inclusion(i, i, o)).
+poly_inclusion([], _, []).
+poly_inclusion([P], Poly, [R]) :- inside(P, Poly, R).
+poly_inclusion([P,Q|Ps], Poly, Rs) :-
+    split([P,Q|Ps], A, B),
+    ( poly_inclusion(A, Poly, R1) & poly_inclusion(B, Poly, R2) ),
+    append(R1, R2, Rs).
+:- mode(inside(i, i, o)).
+inside(pt(X, Y), Edges, R) :-
+    count_crossings(Edges, X, Y, C),
+    R is C mod 2.
+:- mode(count_crossings(i, i, i, o)).
+:- measure(count_crossings(length, value, value, value)).
+count_crossings([], _, _, 0).
+count_crossings([E], X, Y, C) :-
+    ( crosses(E, X, Y) -> C = 1 ; C = 0 ).
+count_crossings([E1,E2|Es], X, Y, C) :-
+    split([E1,E2|Es], A, B),
+    ( count_crossings(A, X, Y, C1) & count_crossings(B, X, Y, C2) ),
+    C is C1 + C2.
+:- mode(crosses(i, i, i)).
+crosses(e(X1, Y1, X2, Y2), PX, PY) :-
+    straddles(Y1, Y2, PY),
+    T is (PY - Y1) * (X2 - X1) - (PX - X1) * (Y2 - Y1),
+    rightside(Y1, Y2, T).
+:- mode(straddles(i, i, i)).
+straddles(Y1, Y2, PY) :- Y1 =< PY, PY < Y2.
+straddles(Y1, Y2, PY) :- Y2 =< PY, PY < Y1.
+:- mode(rightside(i, i, i)).
+rightside(Y1, Y2, T) :- Y2 > Y1, T > 0.
+rightside(Y1, Y2, T) :- Y2 < Y1, T < 0.
+)" LIST_LIB;
+
+const char *TreeTraversalSource = R"(
+% Sums the values at the leaves of a binary tree of the given depth.
+:- mode(tsum(i, o)).
+:- measure(tsum(size, value)).
+tsum(leaf(V), V).
+tsum(node(L, R), S) :-
+    ( tsum(L, S1) & tsum(R, S2) ),
+    S is S1 + S2.
+)";
+
+const char *Lr1SetSource = R"(
+% LR(1)-item-set-closure-shaped workload: expands the derivations of the
+% three nonterminals of a small cyclic grammar to a bounded depth
+% (reconstruction; see DESIGN.md).
+:- mode(lr1_set(i, o)).
+:- measure(lr1_set(value, length)).
+lr1_set(Depth, Set) :-
+    ( expand(Depth, e, S1) & expand(Depth, t, S2) & expand(Depth, f, S3) ),
+    append(S1, S2, S12),
+    append(S12, S3, Set).
+:- mode(expand(i, i, o)).
+:- measure(expand(value, void, length)).
+expand(0, NT, [item(NT)]).
+expand(D, NT, [item(NT)|Items]) :-
+    D > 0,
+    D1 is D - 1,
+    next1(NT, A), next2(NT, B),
+    ( expand(D1, A, I1) & expand(D1, B, I2) ),
+    append(I1, I2, Items).
+:- mode(next1(i, o)).
+next1(e, t). next1(t, f). next1(f, e).
+:- mode(next2(i, o)).
+next2(e, f). next2(t, e). next2(f, t).
+)" LIST_LIB;
+
+//===----------------------------------------------------------------------===//
+// Goal builders
+//===----------------------------------------------------------------------===//
+
+/// Deterministic pseudo-random values (LCG) so runs are reproducible.
+class Lcg {
+public:
+  explicit Lcg(uint64_t Seed) : State(Seed) {}
+  int64_t next(int64_t Bound) {
+    State = State * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<int64_t>((State >> 33) % static_cast<uint64_t>(Bound));
+  }
+
+private:
+  uint64_t State;
+};
+
+const Term *randomIntList(TermArena &A, int N, int Bound, uint64_t Seed) {
+  Lcg Rng(Seed);
+  std::vector<const Term *> Elements;
+  Elements.reserve(N);
+  for (int I = 0; I != N; ++I)
+    Elements.push_back(A.makeInt(Rng.next(Bound)));
+  return A.makeList(Elements);
+}
+
+const Term *buildTree(TermArena &A, int Leaves, Lcg &Rng, bool Skew) {
+  if (Leaves <= 1)
+    return A.makeStruct("leaf", {A.makeInt(Rng.next(100))});
+  // Random split for a moderately unbalanced tree (Skew) or halving.
+  int Left = Skew ? 1 + static_cast<int>(Rng.next(Leaves - 1)) : Leaves / 2;
+  return A.makeStruct("node", {buildTree(A, Left, Rng, Skew),
+                               buildTree(A, Leaves - Left, Rng, Skew)});
+}
+
+const Term *fullTree(TermArena &A, int Depth, Lcg &Rng) {
+  if (Depth <= 0)
+    return A.makeStruct("leaf", {A.makeInt(Rng.next(10))});
+  return A.makeStruct(
+      "node", {fullTree(A, Depth - 1, Rng), fullTree(A, Depth - 1, Rng)});
+}
+
+const Term *complexList(TermArena &A, int N, uint64_t Seed) {
+  Lcg Rng(Seed);
+  std::vector<const Term *> Elements;
+  for (int I = 0; I != N; ++I)
+    Elements.push_back(A.makeStruct(
+        "c", {A.makeFloat(static_cast<double>(Rng.next(200)) / 10.0 - 10.0),
+              A.makeFloat(0.0)}));
+  return A.makeList(Elements);
+}
+
+const Term *matrix(TermArena &A, int N, uint64_t Seed) {
+  Lcg Rng(Seed);
+  std::vector<const Term *> Rows;
+  for (int I = 0; I != N; ++I)
+    Rows.push_back(randomIntList(A, N, 10, Seed * 31 + I));
+  return A.makeList(Rows);
+}
+
+/// A convex-ish 20-gon as e(X1,Y1,X2,Y2) edges on a 0..100 grid.
+const Term *polygon(TermArena &A, int Vertices) {
+  std::vector<const Term *> Edges;
+  std::vector<std::pair<int, int>> Pts;
+  for (int I = 0; I != Vertices; ++I) {
+    double Angle = 2.0 * 3.14159265358979 * I / Vertices;
+    Pts.push_back({50 + static_cast<int>(40 * std::cos(Angle)),
+                   50 + static_cast<int>(40 * std::sin(Angle))});
+  }
+  for (int I = 0; I != Vertices; ++I) {
+    auto [X1, Y1] = Pts[I];
+    auto [X2, Y2] = Pts[(I + 1) % Vertices];
+    Edges.push_back(A.makeStruct("e", {A.makeInt(X1), A.makeInt(Y1),
+                                       A.makeInt(X2), A.makeInt(Y2)}));
+  }
+  return A.makeList(Edges);
+}
+
+std::vector<BenchmarkDef> buildCorpus() {
+  std::vector<BenchmarkDef> Corpus;
+
+  Corpus.push_back({"consistency", ConsistencySource, 500,
+                    "N binary constraint checks, divide-and-conquer",
+                    [](TermArena &A, int N) -> const Term * {
+                      Lcg Rng(11);
+                      std::vector<const Term *> Cs;
+                      for (int I = 0; I != N; ++I)
+                        Cs.push_back(A.makeStruct(
+                            "c", {A.makeInt(Rng.next(50)),
+                                  A.makeInt(Rng.next(50))}));
+                      return A.makeStruct("consistency", {A.makeList(Cs)});
+                    }});
+
+  Corpus.push_back({"fib", FibSource, 15, "doubly recursive Fibonacci",
+                    [](TermArena &A, int N) -> const Term * {
+                      return A.makeStruct(
+                          "fib", {A.makeInt(N), A.makeVariable("F")});
+                    }});
+
+  Corpus.push_back({"hanoi", HanoiSource, 6,
+                    "Towers of Hanoi move list for N discs",
+                    [](TermArena &A, int N) -> const Term * {
+                      return A.makeStruct(
+                          "hanoi",
+                          {A.makeInt(N), A.makeAtom("a"), A.makeAtom("b"),
+                           A.makeAtom("c"), A.makeVariable("M")});
+                    }});
+
+  Corpus.push_back({"quick_sort", QuickSortSource, 75,
+                    "quicksort of N pseudo-random integers",
+                    [](TermArena &A, int N) -> const Term * {
+                      return A.makeStruct(
+                          "qsort", {randomIntList(A, N, 1000, 7),
+                                    A.makeVariable("S")});
+                    }});
+
+  Corpus.push_back({"lr1_set", Lr1SetSource, 3,
+                    "LR(1) item-set closure to depth N (reconstruction)",
+                    [](TermArena &A, int N) -> const Term * {
+                      return A.makeStruct(
+                          "lr1_set", {A.makeInt(N), A.makeVariable("S")});
+                    }});
+
+  Corpus.push_back({"double_sum", DoubleSumSource, 2048,
+                    "sum of 1..N by doubling decomposition",
+                    [](TermArena &A, int N) -> const Term * {
+                      return A.makeStruct(
+                          "dsum", {A.makeInt(N), A.makeVariable("S")});
+                    }});
+
+  Corpus.push_back({"fft", FftSource, 256,
+                    "radix-2 FFT of N complex points",
+                    [](TermArena &A, int N) -> const Term * {
+                      return A.makeStruct(
+                          "fft", {complexList(A, N, 23),
+                                  A.makeVariable("F")});
+                    }});
+
+  Corpus.push_back({"flatten", FlattenSource, 536,
+                    "flattening a leaf tree with N leaves",
+                    [](TermArena &A, int N) -> const Term * {
+                      Lcg Rng(5);
+                      return A.makeStruct(
+                          "flatten", {buildTree(A, N, Rng, /*Skew=*/true),
+                                      A.makeVariable("F")});
+                    }});
+
+  Corpus.push_back({"matrix_multi", MatrixSource, 8,
+                    "N x N integer matrix product",
+                    [](TermArena &A, int N) -> const Term * {
+                      return A.makeStruct(
+                          "mmul", {matrix(A, N, 3), matrix(A, N, 17),
+                                   A.makeVariable("C")});
+                    }});
+
+  Corpus.push_back({"merge_sort", MergeSortSource, 128,
+                    "mergesort of N pseudo-random integers",
+                    [](TermArena &A, int N) -> const Term * {
+                      return A.makeStruct(
+                          "msort", {randomIntList(A, N, 1000, 13),
+                                    A.makeVariable("S")});
+                    }});
+
+  Corpus.push_back({"poly_inclusion", PolySource, 30,
+                    "N points tested against a fixed 20-gon",
+                    [](TermArena &A, int N) -> const Term * {
+                      Lcg Rng(29);
+                      std::vector<const Term *> Pts;
+                      for (int I = 0; I != N; ++I)
+                        Pts.push_back(A.makeStruct(
+                            "pt", {A.makeInt(Rng.next(100)),
+                                   A.makeInt(Rng.next(100))}));
+                      return A.makeStruct(
+                          "poly_inclusion",
+                          {A.makeList(Pts), polygon(A, 20),
+                           A.makeVariable("R")});
+                    }});
+
+  Corpus.push_back({"tree_traversal", TreeTraversalSource, 8,
+                    "leaf sum of a full binary tree of depth N",
+                    [](TermArena &A, int N) -> const Term * {
+                      Lcg Rng(41);
+                      return A.makeStruct(
+                          "tsum", {fullTree(A, N, Rng),
+                                   A.makeVariable("S")});
+                    }});
+
+  return Corpus;
+}
+
+} // namespace
+
+const std::vector<BenchmarkDef> &granlog::benchmarkCorpus() {
+  static const std::vector<BenchmarkDef> Corpus = buildCorpus();
+  return Corpus;
+}
+
+const BenchmarkDef *granlog::findBenchmark(std::string_view Name) {
+  for (const BenchmarkDef &B : benchmarkCorpus())
+    if (B.Name == Name)
+      return &B;
+  return nullptr;
+}
+
+std::vector<const BenchmarkDef *> granlog::table2Benchmarks() {
+  std::vector<const BenchmarkDef *> Result;
+  for (const char *Name : {"consistency", "fib", "hanoi", "quick_sort"})
+    Result.push_back(findBenchmark(Name));
+  return Result;
+}

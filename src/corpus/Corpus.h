@@ -1,0 +1,56 @@
+//===- corpus/Corpus.h - The benchmark programs ---------------------------===//
+//
+// Part of GranLog; see DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The twelve benchmarks of Table 1 of the paper, as Prolog sources with
+/// "maximal parallelism" '&' annotations (every independent conjunction is
+/// annotated — the paper's "parallel unless proven otherwise" philosophy),
+/// plus C++ goal builders producing deterministic inputs of a given size.
+///
+/// Sources the paper does not print (consistency, LR(1)-set, double-sum,
+/// flatten, matrix-multi, poly-inclusion, tree-traversal) are faithful
+/// reconstructions of the benchmark families; see DESIGN.md Section 6.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_CORPUS_CORPUS_H
+#define GRANLOG_CORPUS_CORPUS_H
+
+#include "term/Term.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace granlog {
+
+/// One benchmark: a program plus a goal builder.
+struct BenchmarkDef {
+  std::string Name;        ///< e.g. "fib"
+  const char *Source;      ///< annotated Prolog source
+  int DefaultInput;        ///< the paper's input parameter
+  const char *Description; ///< one line
+  /// Builds the query term for input parameter N.
+  std::function<const Term *(TermArena &, int)> BuildGoal;
+  /// Renders the paper-style label, e.g. "fib(15)".
+  std::string label(int N) const {
+    return Name + "(" + std::to_string(N) + ")";
+  }
+};
+
+/// All benchmarks, in Table 1 order.
+const std::vector<BenchmarkDef> &benchmarkCorpus();
+
+/// Finds a benchmark by name; nullptr if unknown.
+const BenchmarkDef *findBenchmark(std::string_view Name);
+
+/// The subset used in Table 2 (the &-Prolog experiments):
+/// consistency, fib, hanoi, quick_sort.
+std::vector<const BenchmarkDef *> table2Benchmarks();
+
+} // namespace granlog
+
+#endif // GRANLOG_CORPUS_CORPUS_H

@@ -1,0 +1,56 @@
+//===- corpus/Harness.cpp --------------------------------------------------===//
+
+#include "corpus/Harness.h"
+
+using namespace granlog;
+
+InterpOptions granlog::interpOptionsFor(const MachineConfig &M) {
+  InterpOptions Options;
+  Options.Weights.GrainTest = M.GrainTestCost;
+  Options.Weights.SizePerElement =
+      M.MaintainedSizes ? 0.0 : M.SizeCostPerElement;
+  Options.Weights.SizePerElementDeep = M.SizeCostPerElement;
+  return Options;
+}
+
+BenchmarkRun granlog::runBenchmark(const BenchmarkDef &B, int Input,
+                                   const HarnessConfig &Config) {
+  BenchmarkRun Run;
+  TermArena Arena;
+  Diagnostics Diags;
+  std::optional<Program> P0 = loadProgram(B.Source, Arena, Diags);
+  if (!P0) {
+    Run.AnalysisReport = "load failed: " + Diags.str();
+    return Run;
+  }
+
+  GranularityAnalyzer GA(
+      *P0, AnalyzerOptions{Config.Metric, Config.effectiveW()});
+  GA.run();
+  if (Config.ThresholdOverride >= 0)
+    GA.overrideThresholds(Config.ThresholdOverride);
+  Run.AnalysisReport = GA.report();
+
+  Program P1 =
+      applyGranularityControl(*P0, GA, &Run.Stats, Config.Transform);
+
+  InterpOptions Options = interpOptionsFor(Config.Machine);
+
+  {
+    Interpreter I0(*P0, Arena, Options);
+    Run.Ok0 = I0.solve(B.BuildGoal(Arena, Input));
+    Run.Counters0 = I0.counters();
+    std::unique_ptr<CostNode> Tree = I0.takeTree();
+    if (Tree)
+      Run.Sim0 = simulate(*Tree, Config.Machine);
+  }
+  {
+    Interpreter I1(P1, Arena, Options);
+    Run.Ok1 = I1.solve(B.BuildGoal(Arena, Input));
+    Run.Counters1 = I1.counters();
+    std::unique_ptr<CostNode> Tree = I1.takeTree();
+    if (Tree)
+      Run.Sim1 = simulate(*Tree, Config.Machine);
+  }
+  return Run;
+}

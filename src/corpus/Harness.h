@@ -1,0 +1,74 @@
+//===- corpus/Harness.h - The experiment harness ---------------------------===//
+//
+// Part of GranLog; see DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs one benchmark through the full pipeline of the paper's Section 7
+/// experiments: analyze -> transform -> execute both the uncontrolled
+/// program (T0) and the granularity-controlled one (T1) -> replay both
+/// traces on the simulated machine.  Used by the bench binaries, the
+/// examples and the integration tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_CORPUS_HARNESS_H
+#define GRANLOG_CORPUS_HARNESS_H
+
+#include "core/GranularityAnalyzer.h"
+#include "core/Transform.h"
+#include "corpus/Corpus.h"
+#include "interp/Interpreter.h"
+#include "runtime/Scheduler.h"
+
+namespace granlog {
+
+/// Configuration of one experiment.
+struct HarnessConfig {
+  MachineConfig Machine = MachineConfig::rolog();
+  CostMetric Metric = CostMetric::resolutions();
+  /// Analyzer overhead W; negative means "derive from the machine"
+  /// (spawn + sched + join), as the paper suggests.
+  double OverheadW = -1;
+  /// Force this threshold on every RuntimeTest predicate (Figure 2
+  /// sweeps); negative means "use the computed thresholds".
+  int64_t ThresholdOverride = -1;
+  /// Transformation options (e.g. sequential specialization).
+  TransformOptions Transform;
+
+  double effectiveW() const {
+    return OverheadW >= 0 ? OverheadW : Machine.taskOverhead();
+  }
+};
+
+/// The results of one benchmark experiment.
+struct BenchmarkRun {
+  bool Ok0 = false; ///< uncontrolled run succeeded
+  bool Ok1 = false; ///< controlled run succeeded
+  SimResult Sim0;   ///< no granularity control (T0)
+  SimResult Sim1;   ///< with granularity control (T1)
+  InterpCounters Counters0;
+  InterpCounters Counters1;
+  TransformStats Stats;
+  std::string AnalysisReport;
+
+  /// The paper's "speedup" column: (T0 - T1) / T0, in percent.
+  double speedupPercent() const {
+    if (Sim0.ParallelTime <= 0)
+      return 0;
+    return (Sim0.ParallelTime - Sim1.ParallelTime) / Sim0.ParallelTime *
+           100.0;
+  }
+};
+
+/// Runs benchmark \p B with input parameter \p Input under \p Config.
+BenchmarkRun runBenchmark(const BenchmarkDef &B, int Input,
+                          const HarnessConfig &Config);
+
+/// Interpreter weights consistent with \p M (grain test costs etc.).
+InterpOptions interpOptionsFor(const MachineConfig &M);
+
+} // namespace granlog
+
+#endif // GRANLOG_CORPUS_HARNESS_H

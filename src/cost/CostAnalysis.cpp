@@ -1,0 +1,400 @@
+//===- cost/CostAnalysis.cpp ----------------------------------------------===//
+
+#include "cost/CostAnalysis.h"
+
+using namespace granlog;
+
+const char *CostMetric::name() const {
+  switch (Kind) {
+  case CostMetricKind::Resolutions:
+    return "resolutions";
+  case CostMetricKind::Unifications:
+    return "unifications";
+  case CostMetricKind::Instructions:
+    return "instructions";
+  }
+  return "?";
+}
+
+Rational CostMetric::headCost(unsigned Arity) const {
+  switch (Kind) {
+  case CostMetricKind::Resolutions:
+    return Rational(1);
+  case CostMetricKind::Unifications:
+    return Rational(static_cast<int64_t>(Arity));
+  case CostMetricKind::Instructions:
+    // A WAM-flavoured estimate: call/allocate overhead plus one get/unify
+    // instruction per argument.
+    return Rational(static_cast<int64_t>(2 + 2 * Arity));
+  }
+  return Rational(1);
+}
+
+Rational CostMetric::builtinCost(Functor F, const SymbolTable &Symbols) const {
+  switch (Kind) {
+  case CostMetricKind::Resolutions:
+    // Builtins are not resolutions.
+    return Rational(0);
+  case CostMetricKind::Unifications: {
+    const std::string &Name = Symbols.text(F.Name);
+    return Rational(Name == "=" ? 1 : 0);
+  }
+  case CostMetricKind::Instructions:
+    return Rational(2);
+  }
+  return Rational(0);
+}
+
+CostAnalysis::CostAnalysis(const Program &P, const CallGraph &CG,
+                           const ModeTable &Modes, const Determinacy &Det,
+                           const SizeAnalysis &Sizes, CostMetric Metric,
+                           const WamCompiler *Wam)
+    : P(&P), CG(&CG), Modes(&Modes), Det(&Det), Sizes(&Sizes),
+      Metric(Metric), Wam(Wam), Sols(P, CG, Det) {}
+
+const PredicateCostInfo &CostAnalysis::info(Functor F) const {
+  static const PredicateCostInfo Empty{nullptr, false, std::string()};
+  auto It = Info.find(F);
+  return It == Info.end() ? Empty : It->second;
+}
+
+std::string CostAnalysis::costName(Functor F) const {
+  return "cost:" + P->symbols().text(F);
+}
+
+void CostAnalysis::run() {
+  for (unsigned Id = 0; Id != CG->numSCCs(); ++Id)
+    analyzeSCC(CG->sccMembers(Id));
+}
+
+namespace {
+
+/// Walks a clause body structurally, consuming the flat literal facts in
+/// the same pre-order that flattenBodyLiterals produced them, and builds
+/// the cost expression:
+///   (A , B), (A & B):   cost(A) + cost(B)
+///   (C -> T ; E):       cost(C) + max(cost(T), cost(E))   (Section 4's
+///                       "H Test -> Alt1 ; Alt2" refinement)
+///   (A ; B):            cost(A) + cost(B)   (both may run on backtracking)
+///   \+ A:               cost(A)
+class BodyCostWalker {
+public:
+  BodyCostWalker(const SolutionsAnalysis &Sols, const SymbolTable &Symbols,
+                 const std::vector<LiteralFacts> &Lits,
+                 const std::function<ExprRef(const LiteralFacts &)> &CallCost)
+      : Sols(Sols), Symbols(Symbols), Lits(Lits), CallCost(CallCost),
+        Mult(makeNumber(1)) {}
+
+  /// Cost of \p Goal; as a side effect Mult accumulates the product of
+  /// the goal's solution bounds, so later siblings get equation (2)'s
+  /// prefix factor.
+  ExprRef cost(const Term *Goal) {
+    Goal = deref(Goal);
+    const StructTerm *S = dynCast<StructTerm>(Goal);
+    if (S) {
+      const std::string &Name = Symbols.text(S->name());
+      if (S->arity() == 2 && (Name == "," || Name == "&")) {
+        // Sequence explicitly: cost() mutates Mult left to right.
+        ExprRef A = cost(S->arg(0));
+        ExprRef B = cost(S->arg(1));
+        return makeAdd(A, B);
+      }
+      if (S->arity() == 2 && Name == ";") {
+        const StructTerm *Cond = dynCast<StructTerm>(deref(S->arg(0)));
+        if (Cond && Cond->arity() == 2 &&
+            Symbols.text(Cond->name()) == "->") {
+          ExprRef C = cost(Cond->arg(0));
+          // The condition commits to its first solution.
+          ExprRef AfterCond = Mult;
+          ExprRef T = cost(Cond->arg(1));
+          ExprRef MultT = Mult;
+          Mult = AfterCond;
+          ExprRef E = cost(S->arg(1));
+          Mult = makeMax(MultT, Mult);
+          return makeAdd(C, makeMax(T, E));
+        }
+        ExprRef Before = Mult;
+        ExprRef A = cost(S->arg(0));
+        Mult = Before;
+        ExprRef B = cost(S->arg(1));
+        Mult = makeMul(Before, solsExpr(Goal));
+        return makeAdd(A, B);
+      }
+      if (S->arity() == 2 && Name == "->") {
+        ExprRef C = cost(S->arg(0));
+        ExprRef T = cost(S->arg(1));
+        return makeAdd(C, T);
+      }
+      if (S->arity() == 1 && Name == "\\+") {
+        ExprRef Before = Mult;
+        ExprRef Inner = cost(S->arg(0));
+        Mult = Before; // negation yields at most one (empty) solution
+        return Inner;
+      }
+    }
+    // A literal: take the next recorded fact.  'true' produces no fact.
+    if (const AtomTerm *A = dynCast<AtomTerm>(Goal))
+      if (Symbols.text(A->name()) == "true")
+        return makeNumber(0);
+    assert(Next < Lits.size() && "cost walk out of sync with facts");
+    const LiteralFacts &LF = Lits[Next++];
+    ExprRef Result = makeMul(Mult, CallCost(LF));
+    Mult = makeMul(Mult, solsExpr(Goal));
+    return Result;
+  }
+
+private:
+  ExprRef solsExpr(const Term *Goal) {
+    std::optional<int64_t> N = Sols.goalSolutions(Goal);
+    return N ? makeNumber(*N) : makeInfinity();
+  }
+
+  const SolutionsAnalysis &Sols;
+  const SymbolTable &Symbols;
+  const std::vector<LiteralFacts> &Lits;
+  const std::function<ExprRef(const LiteralFacts &)> &CallCost;
+  ExprRef Mult;
+  size_t Next = 0;
+};
+
+} // namespace
+
+ExprRef CostAnalysis::clauseCost(Functor F, unsigned ClauseIndex,
+                                 const Clause &C) {
+  const SymbolTable &Symbols = P->symbols();
+  // Input sizes per literal come from the size analysis, with same-SCC Psi
+  // functions already solved (the size analysis has completed).
+  ClauseFacts Facts = Sizes->analyzeClause(F, C, /*KeepSCCCalls=*/false);
+  bool UseWam = Wam && Metric.kind() == CostMetricKind::Instructions;
+
+  size_t LitIndex = 0;
+  std::function<ExprRef(const LiteralFacts &)> CallCost =
+      [&](const LiteralFacts &LF) -> ExprRef {
+    // With a WAM cost model, the caller-side argument loading and call
+    // instruction are charged per compiled literal.
+    ExprRef Setup = makeNumber(0);
+    if (UseWam)
+      Setup = makeNumber(static_cast<int64_t>(
+          Wam->literalCost(F, ClauseIndex,
+                           static_cast<unsigned>(LitIndex))));
+    ++LitIndex;
+    if (!LF.F)
+      return Setup;
+    if (LF.IsBuiltin) {
+      // findall runs an arbitrary goal to exhaustion: no static bound.
+      if (Symbols.text(LF.F->Name) == "findall")
+        return makeInfinity();
+      return UseWam ? Setup
+                    : makeNumber(Metric.builtinCost(*LF.F, Symbols));
+    }
+    if (!P->lookup(*LF.F))
+      return makeInfinity(); // undefined predicate: unbounded
+    // Gather the callee's input sizes in input-position order.
+    std::vector<ExprRef> Args;
+    std::vector<std::string> Params;
+    for (unsigned I : Modes->inputPositions(*LF.F)) {
+      Params.push_back(SizeAnalysis::paramName(I));
+      Args.push_back(I < LF.InputSizes.size() && LF.InputSizes[I]
+                         ? LF.InputSizes[I]
+                         : makeInfinity());
+    }
+    const PredicateCostInfo &Callee = info(*LF.F);
+    if (Callee.CostFn)
+      return makeAdd(Setup, instantiateDef({Params, Callee.CostFn}, Args));
+    return makeAdd(Setup,
+                   makeCall(costName(*LF.F), Args)); // same SCC: symbolic
+  };
+
+  ExprRef HeadCost =
+      UseWam ? makeNumber(static_cast<int64_t>(Wam->headCost(F, ClauseIndex)))
+             : makeNumber(Metric.headCost(F.Arity));
+  BodyCostWalker Walker(Sols, Symbols, Facts.Literals, CallCost);
+  return makeAdd(HeadCost, Walker.cost(C.body()));
+}
+
+void CostAnalysis::analyzeSCC(const std::vector<Functor> &Members) {
+  // Clause costs with symbolic SCC calls.
+  std::map<Functor, std::vector<ExprRef>> ClauseCosts;
+  for (Functor F : Members) {
+    const Predicate *Pred = P->lookup(F);
+    if (!Pred)
+      continue;
+    for (size_t I = 0; I != Pred->clauses().size(); ++I)
+      ClauseCosts[F].push_back(
+          clauseCost(F, static_cast<unsigned>(I), Pred->clauses()[I]));
+  }
+  for (Functor F : Members) {
+    PredicateCostInfo &CI = Info[F];
+    bool Exact = true;
+    std::string Schema;
+    CI.CostFn = solvePredicate(F, ClauseCosts[F], &Exact, &Schema);
+    CI.Exact = Exact;
+    CI.Schema = Schema;
+  }
+}
+
+ExprRef CostAnalysis::solvePredicate(Functor F,
+                                     const std::vector<ExprRef> &ClauseCosts,
+                                     bool *Exact, std::string *Schema) {
+  *Exact = true;
+  const Predicate *Pred = P->lookup(F);
+  if (!Pred || ClauseCosts.empty())
+    return makeInfinity();
+
+  // A ':- trust_cost' declaration overrides the inference entirely.
+  if (const Term *Trust = Pred->trustCost()) {
+    *Exact = false;
+    *Schema = "trusted";
+    return trustTermToExpr(Trust, P->symbols());
+  }
+
+  std::vector<unsigned> Inputs = Modes->inputPositions(F);
+  std::vector<std::string> Params;
+  for (unsigned I : Inputs)
+    Params.push_back(SizeAnalysis::paramName(I));
+
+  unsigned SCCId = CG->sccId(F);
+  const std::string SelfName = costName(F);
+  bool Exclusive = Det->hasExclusiveClauses(F);
+
+  // Definitions of the other SCC members' cost functions for elimination.
+  std::vector<std::string> SCCNames;
+  std::map<std::string, EquationDef> OtherDefs;
+  for (Functor M : CG->sccMembers(SCCId)) {
+    std::string Name = costName(M);
+    SCCNames.push_back(Name);
+    if (Name == SelfName)
+      continue;
+    const Predicate *MP = P->lookup(M);
+    if (!MP)
+      continue;
+    std::vector<std::string> MParams;
+    for (unsigned I : Modes->inputPositions(M))
+      MParams.push_back(SizeAnalysis::paramName(I));
+    std::vector<ExprRef> Rhses;
+    for (size_t I = 0; I != MP->clauses().size(); ++I)
+      Rhses.push_back(clauseCost(M, static_cast<unsigned>(I),
+                                 MP->clauses()[I]));
+    ExprRef Merged = Det->hasExclusiveClauses(M) ? makeMax(Rhses)
+                                                 : makeAdd(Rhses);
+    OtherDefs[Name] = EquationDef{MParams, Merged};
+  }
+
+  auto ContainsSCCCall = [&](const ExprRef &E) {
+    for (const std::string &Name : SCCNames)
+      if (containsCall(E, Name))
+        return true;
+    return false;
+  };
+
+  int RecArg = Sizes->recursionArg(F);
+  int RecIndex = -1;
+  for (size_t I = 0; I != Inputs.size(); ++I)
+    if (static_cast<int>(Inputs[I]) == RecArg)
+      RecIndex = static_cast<int>(I);
+  MeasureKind RecMeasure = RecArg >= 0 && !Sizes->info(F).Measures.empty()
+                               ? Sizes->info(F).Measures[RecArg]
+                               : MeasureKind::TermSize;
+
+  std::vector<Boundary> Boundaries;
+  std::vector<ExprRef> Bases; // base clause costs (non-boundary "floors")
+  std::vector<Recurrence> Recs;
+
+  for (size_t CI = 0; CI != ClauseCosts.size(); ++CI) {
+    const Clause &C = Pred->clauses()[CI];
+    ExprRef Rhs = ClauseCosts[CI];
+    if (!ContainsSCCCall(Rhs)) {
+      if (RecArg >= 0) {
+        const StructTerm *Head = dynCast<StructTerm>(deref(C.head()));
+        std::optional<int64_t> At =
+            Head ? minPatternSize(Head->arg(RecArg), RecMeasure,
+                                  P->symbols())
+                 : std::nullopt;
+        if (At) {
+          Boundaries.push_back({Rational(*At), Rhs});
+          continue;
+        }
+      }
+      Bases.push_back(Rhs);
+      continue;
+    }
+    ExprRef Reduced = inlineCalls(
+        Rhs, OtherDefs, static_cast<unsigned>(OtherDefs.size()) + 2);
+    bool StillForeign = false;
+    for (const std::string &Name : SCCNames)
+      if (Name != SelfName && containsCall(Reduced, Name))
+        StillForeign = true;
+    if (StillForeign || RecIndex < 0) {
+      *Exact = false;
+      return makeInfinity();
+    }
+    std::optional<Recurrence> R = extractRecurrence(
+        SelfName, Params, static_cast<unsigned>(RecIndex), Reduced);
+    if (!R) {
+      *Exact = false;
+      return makeInfinity();
+    }
+    Recs.push_back(std::move(*R));
+  }
+
+  if (Recs.empty()) {
+    // Nonrecursive: combine clause costs by max (exclusive) or + (paper
+    // equation (1)).
+    std::vector<ExprRef> All = Bases;
+    for (const Boundary &B : Boundaries)
+      All.push_back(B.Value);
+    if (All.empty())
+      return makeInfinity();
+    *Exact = All.size() == 1;
+    return Exclusive ? makeMax(std::move(All)) : makeAdd(std::move(All));
+  }
+
+  bool MergeExact = Recs.size() == 1;
+  Recurrence Merged = mergeRecurrences(Recs, /*Sum=*/!Exclusive);
+  // Non-exclusive predicates pay the non-recursive clauses at every level
+  // too (every clause is tried); fold them into the additive part.
+  if (!Exclusive && !Bases.empty()) {
+    std::vector<ExprRef> Parts{Merged.Additive};
+    for (const ExprRef &B : Bases)
+      Parts.push_back(B);
+    Merged.Additive = makeAdd(std::move(Parts));
+    MergeExact = false;
+  }
+  if (!Exclusive && !Boundaries.empty()) {
+    std::vector<ExprRef> Parts{Merged.Additive};
+    for (const Boundary &B : Boundaries) {
+      // Only the head-unification cost of a base clause is paid when its
+      // head fails to match; bound it by the full base cost.
+      Parts.push_back(B.Value);
+    }
+    Merged.Additive = makeAdd(std::move(Parts));
+    MergeExact = false;
+  }
+  Merged.Boundaries = Boundaries;
+  SolveResult S = Solver.solve(Merged);
+  *Schema = S.SchemaName;
+  *Exact = S.Exact && MergeExact && Bases.empty() && Exclusive;
+  if (S.failed())
+    return makeInfinity();
+  ExprRef Result = S.Closed;
+  if (!Bases.empty()) {
+    // Base clauses applicable at any size floor the bound.
+    Bases.push_back(Result);
+    Result = Exclusive ? makeMax(std::move(Bases)) : Result;
+  }
+  return Result;
+}
+
+std::optional<double>
+CostAnalysis::costAt(Functor F, const std::vector<double> &InputSizes) const {
+  const PredicateCostInfo &CI = info(F);
+  if (!CI.CostFn)
+    return std::nullopt;
+  std::vector<unsigned> Inputs = Modes->inputPositions(F);
+  if (Inputs.size() != InputSizes.size())
+    return std::nullopt;
+  std::map<std::string, double> Env;
+  for (size_t I = 0; I != Inputs.size(); ++I)
+    Env[SizeAnalysis::paramName(Inputs[I])] = InputSizes[I];
+  return evaluate(CI.CostFn, Env);
+}

@@ -1,0 +1,136 @@
+//===- cost/CostAnalysis.h - Predicate cost estimation --------------------===//
+//
+// Part of GranLog; see DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cost analysis of Section 4: for every predicate p, an upper bound
+/// Cost_p on the work performed by a call, as a closed-form function of
+/// its input argument sizes.
+///
+/// Per clause (equation (3), determinate case):
+///   Cost_cl <= Cost_H + sum_i Cost_{L_i}(sizes of L_i's inputs)
+/// where the input sizes come from the argument-size analysis.  Clause
+/// costs combine by max when the clauses are provably mutually exclusive
+/// (the "indexing" refinement of Section 4) and by + otherwise (equation
+/// (1)).  Recursive clauses yield difference equations solved by the
+/// schema table; unsolvable equations yield Infinity, meaning the
+/// predicate is always worth parallelizing.
+///
+/// Cost metrics: number of resolutions (Cost_H = 1), number of
+/// unifications (Cost_H = arity of the head), or a WAM-flavoured
+/// instruction weighting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_COST_COSTANALYSIS_H
+#define GRANLOG_COST_COSTANALYSIS_H
+
+#include "analysis/Determinacy.h"
+#include "analysis/Solutions.h"
+#include "wam/WamCompiler.h"
+#include "size/SizeAnalysis.h"
+
+#include <unordered_map>
+
+namespace granlog {
+
+/// The unit of cost (Section 4: "the number of resolutions, the number of
+/// unifications, or the number of instructions executed").
+enum class CostMetricKind { Resolutions, Unifications, Instructions };
+
+/// A cost metric: how much head unification and each builtin cost.
+class CostMetric {
+public:
+  static CostMetric resolutions() {
+    return CostMetric(CostMetricKind::Resolutions);
+  }
+  static CostMetric unifications() {
+    return CostMetric(CostMetricKind::Unifications);
+  }
+  static CostMetric instructions() {
+    return CostMetric(CostMetricKind::Instructions);
+  }
+
+  CostMetricKind kind() const { return Kind; }
+  const char *name() const;
+
+  /// Cost of resolving a clause head of the given arity.
+  Rational headCost(unsigned Arity) const;
+
+  /// Cost of executing builtin \p F once.
+  Rational builtinCost(Functor F, const SymbolTable &Symbols) const;
+
+private:
+  explicit CostMetric(CostMetricKind Kind) : Kind(Kind) {}
+  CostMetricKind Kind;
+};
+
+/// Cost-analysis result for one predicate.
+struct PredicateCostInfo {
+  /// Closed-form upper bound in the input-size parameters "n<pos+1>";
+  /// Infinity when no bound was found.
+  ExprRef CostFn;
+  bool Exact = false;
+  std::string Schema; ///< solver schema used ("" if none / nonrecursive)
+};
+
+/// The cost analysis driver.  Requires a completed SizeAnalysis.
+class CostAnalysis {
+public:
+  /// \p Wam (optional) supplies exact per-clause instruction counts for
+  /// the Instructions metric; without it a flat per-arity estimate is
+  /// used.
+  CostAnalysis(const Program &P, const CallGraph &CG, const ModeTable &Modes,
+               const Determinacy &Det, const SizeAnalysis &Sizes,
+               CostMetric Metric, const WamCompiler *Wam = nullptr);
+
+  /// Runs over all SCCs in topological order.
+  void run();
+
+  const PredicateCostInfo &info(Functor F) const;
+  CostMetric metric() const { return Metric; }
+
+  /// The number-of-solutions bounds used for equation (2)'s Sols factors.
+  const SolutionsAnalysis &solutionsAnalysis() const { return Sols; }
+
+  /// The symbolic name of the cost function of \p F.
+  std::string costName(Functor F) const;
+
+  /// Evaluates Cost_F for concrete input sizes (by input position order).
+  /// Returns +inf for Infinity, nullopt if the function is missing or the
+  /// wrong number of sizes was supplied.
+  std::optional<double> costAt(Functor F,
+                               const std::vector<double> &InputSizes) const;
+
+  /// Removes a difference-equation schema before run() (ablations).
+  void disableSchema(const std::string &Name) {
+    Solver.disableSchema(Name);
+  }
+
+private:
+  void analyzeSCC(const std::vector<Functor> &Members);
+
+  /// Builds the cost expression of one clause; SCC-internal calls appear
+  /// as symbolic Call nodes.
+  ExprRef clauseCost(Functor F, unsigned ClauseIndex, const Clause &C);
+
+  ExprRef solvePredicate(Functor F, const std::vector<ExprRef> &ClauseCosts,
+                         bool *Exact, std::string *Schema);
+
+  const Program *P;
+  const CallGraph *CG;
+  const ModeTable *Modes;
+  const Determinacy *Det;
+  const SizeAnalysis *Sizes;
+  CostMetric Metric;
+  const WamCompiler *Wam;
+  DiffEqSolver Solver;
+  SolutionsAnalysis Sols;
+  std::unordered_map<Functor, PredicateCostInfo> Info;
+};
+
+} // namespace granlog
+
+#endif // GRANLOG_COST_COSTANALYSIS_H

@@ -1,0 +1,296 @@
+//===- diffeq/Recurrence.cpp ----------------------------------------------===//
+
+#include "diffeq/Recurrence.h"
+
+using namespace granlog;
+
+std::string Recurrence::str() const {
+  std::string Out = Function + "(" + Var + ") = ";
+  bool First = true;
+  for (const ShiftTerm &T : ShiftTerms) {
+    if (!First)
+      Out += " + ";
+    First = false;
+    if (!T.Coeff.isOne())
+      Out += T.Coeff.str() + "*";
+    Out += Function + "(" + Var + " - " + T.Shift.str() + ")";
+  }
+  for (const DivideTerm &T : DivideTerms) {
+    if (!First)
+      Out += " + ";
+    First = false;
+    if (!T.Coeff.isOne())
+      Out += T.Coeff.str() + "*";
+    Out += Function + "(" + Var + "/" + T.Divisor.str() + ")";
+  }
+  if (!Additive->isZero() || First) {
+    if (!First)
+      Out += " + ";
+    Out += exprText(Additive);
+  }
+  for (const Boundary &B : Boundaries)
+    Out += "; " + Function + "(" + B.At.str() + ") = " + exprText(B.Value);
+  return Out;
+}
+
+namespace {
+
+/// Rewrites max(...) nodes that contain calls to \p Function into sums.
+/// For non-negative operands max(a, b) <= a + b, so this preserves the
+/// upper-bound property while making the equation linear.
+ExprRef relaxMaxOverCalls(const ExprRef &E, const std::string &Function) {
+  if (E->operands().empty())
+    return E;
+  std::vector<ExprRef> Ops;
+  Ops.reserve(E->operands().size());
+  for (const ExprRef &Op : E->operands())
+    Ops.push_back(relaxMaxOverCalls(Op, Function));
+  switch (E->kind()) {
+  case ExprKind::Max:
+    if (containsCall(E, Function))
+      return makeAdd(std::move(Ops));
+    return makeMax(std::move(Ops));
+  case ExprKind::Min:
+    return makeMin(std::move(Ops));
+  case ExprKind::Add:
+    return makeAdd(std::move(Ops));
+  case ExprKind::Mul:
+    return makeMul(std::move(Ops));
+  case ExprKind::Pow:
+    return makePow(Ops[0], Ops[1]);
+  case ExprKind::Log2:
+    return makeLog2(Ops[0]);
+  case ExprKind::Call:
+    return makeCall(E->name(), std::move(Ops));
+  default:
+    return E;
+  }
+}
+
+/// Classifies a self-call argument: returns a shift k (Var - k) or a
+/// divisor b (Var / b).
+struct ArgShape {
+  bool IsShift = false;
+  Rational Amount;               ///< shift k or divisor b
+  Rational Offset = Rational(0); ///< divide only: constant in [0, 1]
+};
+
+std::optional<ArgShape> classifyRecArg(const ExprRef &Arg,
+                                       const std::string &Var) {
+  std::optional<std::vector<ExprRef>> Poly = polynomialIn(Arg, Var);
+  if (!Poly || Poly->size() != 2)
+    return std::nullopt;
+  const ExprRef &C0 = (*Poly)[0];
+  const ExprRef &C1 = (*Poly)[1];
+  if (!C1->isNumber())
+    return std::nullopt;
+  Rational Slope = C1->number();
+  if (Slope == Rational(1)) {
+    // Var - k
+    if (!C0->isNumber())
+      return std::nullopt;
+    Rational K = -C0->number();
+    if (K <= Rational(0))
+      return std::nullopt;
+    return ArgShape{true, K};
+  }
+  // (1/b) * Var + c for a small non-negative constant c (at most 1, as
+  // produced by even/odd list splitting where |half| = n/2 + 1/2).  The
+  // offset is recorded; the solver compensates by the change of variable
+  // F(n) = f(n + c*b/(b-1)), which satisfies the offset-free recurrence
+  // with the additive part evaluated at n + c*b/(b-1).
+  if (Slope <= Rational(0) || Slope >= Rational(1))
+    return std::nullopt;
+  if (!C0->isNumber() || C0->number().isNegative() ||
+      C0->number() > Rational(1))
+    return std::nullopt;
+  return ArgShape{false, Rational(1) / Slope, C0->number()};
+}
+
+} // namespace
+
+std::optional<Recurrence>
+granlog::extractRecurrence(const std::string &Function,
+                           const std::vector<std::string> &Params,
+                           unsigned RecIndex, const ExprRef &Rhs) {
+  assert(RecIndex < Params.size() && "bad recursion argument index");
+  Recurrence R;
+  R.Function = Function;
+  R.Var = Params[RecIndex];
+  R.Additive = makeNumber(0);
+
+  ExprRef E = relaxMaxOverCalls(Rhs, Function);
+
+  // Walk the (canonical) sum structure.
+  std::vector<ExprRef> Addends;
+  if (E->kind() == ExprKind::Add)
+    Addends = E->operands();
+  else
+    Addends.push_back(E);
+
+  std::vector<ExprRef> AdditiveParts;
+  for (const ExprRef &Addend : Addends) {
+    if (!containsCall(Addend, Function)) {
+      AdditiveParts.push_back(Addend);
+      continue;
+    }
+    // Must be K * Function(args).
+    Rational K(1);
+    ExprRef Base = Addend;
+    if (Addend->kind() == ExprKind::Mul) {
+      const std::vector<ExprRef> &Ops = Addend->operands();
+      if (Ops.size() != 2 || !Ops[0]->isNumber() ||
+          Ops[1]->kind() != ExprKind::Call)
+        return std::nullopt;
+      K = Ops[0]->number();
+      Base = Ops[1];
+    }
+    if (Base->kind() != ExprKind::Call || Base->name() != Function)
+      return std::nullopt;
+    if (K <= Rational(0))
+      return std::nullopt;
+    const std::vector<ExprRef> &Args = Base->operands();
+    if (Args.size() != Params.size())
+      return std::nullopt;
+    // Check the non-recursion parameters pass through unchanged (or are
+    // call-free constants, which is equally harmless for the 1-variable
+    // equation).
+    for (unsigned I = 0; I != Args.size(); ++I) {
+      if (I == RecIndex)
+        continue;
+      if (Args[I]->isVar() && Args[I]->name() == Params[I])
+        continue;
+      // A fully constant argument (no variables at all) is also fine: it
+      // stays fixed across unfoldings.
+      bool HasVar = false;
+      for (const std::string &P : Params)
+        HasVar |= containsVar(Args[I], P);
+      if (!HasVar && !containsAnyCall(Args[I]))
+        continue;
+      // A parameter that only *shrinks* along the recursion (e.g. two
+      // lists consumed in lockstep: f(n1-1, n2-1)) may be frozen at its
+      // initial value: by the monotonicity assumption of Section 6 this
+      // only increases the bound.
+      if (!containsAnyCall(Args[I])) {
+        std::optional<std::vector<ExprRef>> Poly =
+            polynomialIn(Args[I], Params[I]);
+        if (Poly && Poly->size() == 2 && (*Poly)[0]->isNumber() &&
+            (*Poly)[1]->isNumber()) {
+          Rational C0 = (*Poly)[0]->number();
+          Rational C1 = (*Poly)[1]->number();
+          if (C1 > Rational(0) && C1 <= Rational(1) && C0 <= Rational(0))
+            continue;
+        }
+      }
+      return std::nullopt;
+    }
+    std::optional<ArgShape> Shape = classifyRecArg(Args[RecIndex], R.Var);
+    if (!Shape)
+      return std::nullopt;
+    if (Shape->IsShift) {
+      bool Merged = false;
+      for (ShiftTerm &T : R.ShiftTerms)
+        if (T.Shift == Shape->Amount) {
+          T.Coeff += K;
+          Merged = true;
+          break;
+        }
+      if (!Merged)
+        R.ShiftTerms.push_back({K, Shape->Amount});
+    } else {
+      bool Merged = false;
+      for (DivideTerm &T : R.DivideTerms)
+        if (T.Divisor == Shape->Amount) {
+          T.Coeff += K;
+          T.Offset = std::max(T.Offset, Shape->Offset);
+          Merged = true;
+          break;
+        }
+      if (!Merged)
+        R.DivideTerms.push_back({K, Shape->Amount, Shape->Offset});
+    }
+  }
+  R.Additive = makeAdd(std::move(AdditiveParts));
+  if (containsCall(R.Additive, Function))
+    return std::nullopt;
+  return R;
+}
+
+ExprRef granlog::instantiateDef(const EquationDef &Def,
+                                const std::vector<ExprRef> &Args) {
+  if (Args.size() != Def.Params.size())
+    return makeInfinity();
+  ExprRef Body = Def.Rhs;
+  // Rename parameters to fresh names first to avoid capture (an argument
+  // expression may itself mention a name equal to a later parameter).
+  std::vector<std::string> Fresh;
+  for (size_t I = 0; I != Def.Params.size(); ++I) {
+    Fresh.push_back("$tmp" + std::to_string(I));
+    Body = substituteVar(Body, Def.Params[I], makeVar(Fresh[I]));
+  }
+  for (size_t I = 0; I != Args.size(); ++I)
+    Body = substituteVar(Body, Fresh[I], Args[I]);
+  return Body;
+}
+
+ExprRef granlog::inlineCalls(const ExprRef &E,
+                             const std::map<std::string, EquationDef> &Defs,
+                             unsigned Rounds) {
+  ExprRef Current = E;
+  for (unsigned Round = 0; Round != Rounds; ++Round) {
+    ExprRef Next = Current;
+    for (const auto &[Name, Def] : Defs) {
+      const EquationDef &D = Def;
+      Next = substituteCall(
+          Next, Name, [&](const std::vector<ExprRef> &Args) -> ExprRef {
+            return instantiateDef(D, Args);
+          });
+    }
+    if (Next == Current)
+      break;
+    Current = Next;
+  }
+  return Current;
+}
+
+Recurrence granlog::mergeRecurrences(const std::vector<Recurrence> &Rs,
+                                     bool Sum) {
+  assert(!Rs.empty() && "nothing to merge");
+  Recurrence Merged;
+  Merged.Function = Rs[0].Function;
+  Merged.Var = Rs[0].Var;
+  std::vector<ExprRef> Additives;
+  for (const Recurrence &R : Rs) {
+    assert(R.Function == Merged.Function && R.Var == Merged.Var &&
+           "merging unrelated recurrences");
+    for (const ShiftTerm &T : R.ShiftTerms) {
+      bool Found = false;
+      for (ShiftTerm &M : Merged.ShiftTerms)
+        if (M.Shift == T.Shift) {
+          M.Coeff = Sum ? M.Coeff + T.Coeff : std::max(M.Coeff, T.Coeff);
+          Found = true;
+          break;
+        }
+      if (!Found)
+        Merged.ShiftTerms.push_back(T);
+    }
+    for (const DivideTerm &T : R.DivideTerms) {
+      bool Found = false;
+      for (DivideTerm &M : Merged.DivideTerms)
+        if (M.Divisor == T.Divisor) {
+          M.Coeff = Sum ? M.Coeff + T.Coeff : std::max(M.Coeff, T.Coeff);
+          M.Offset = std::max(M.Offset, T.Offset);
+          Found = true;
+          break;
+        }
+      if (!Found)
+        Merged.DivideTerms.push_back(T);
+    }
+    Additives.push_back(R.Additive);
+    for (const Boundary &B : R.Boundaries)
+      Merged.Boundaries.push_back(B);
+  }
+  Merged.Additive = Sum ? makeAdd(std::move(Additives))
+                        : makeMax(std::move(Additives));
+  return Merged;
+}

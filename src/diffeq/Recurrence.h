@@ -1,0 +1,121 @@
+//===- diffeq/Recurrence.h - Difference equations -------------------------===//
+//
+// Part of GranLog; see DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The normal form of the difference equations produced by the size and
+/// cost analyses (paper Sections 3-5):
+///
+///   f(n) = sum_i  C_i * f(n - K_i)        (shift terms,  K_i > 0)
+///        + sum_j  D_j * f(n / B_j)        (divide terms, B_j > 1)
+///        + g(n)                           (additive part)
+///   with boundary conditions f(a_1) = v_1, ...
+///
+/// extractRecurrence() brings a right-hand-side expression containing
+/// self-calls into this form (or fails); inlineCalls() performs the
+/// substitution step that reduces a *system* of equations from a mutually
+/// recursive SCC to single-variable equations (paper Section 5's variable
+/// elimination, specialized to substitution).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_DIFFEQ_RECURRENCE_H
+#define GRANLOG_DIFFEQ_RECURRENCE_H
+
+#include "expr/Expr.h"
+#include "support/Rational.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace granlog {
+
+/// C * f(n - Shift).
+struct ShiftTerm {
+  Rational Coeff;
+  Rational Shift; ///< > 0
+};
+
+/// C * f(n / Divisor + Offset).
+struct DivideTerm {
+  Rational Coeff;
+  Rational Divisor;           ///< > 1
+  Rational Offset = Rational(0); ///< small additive constant, in [0, 1]
+};
+
+/// f(At) = Value.
+struct Boundary {
+  Rational At;
+  ExprRef Value;
+};
+
+/// A difference equation in one variable, plus boundary conditions.
+struct Recurrence {
+  std::string Function; ///< the unknown, e.g. "cost:nrev/2"
+  std::string Var;      ///< the recursion variable, e.g. "n"
+  std::vector<ShiftTerm> ShiftTerms;
+  std::vector<DivideTerm> DivideTerms;
+  ExprRef Additive; ///< g(n); free of calls to Function
+  std::vector<Boundary> Boundaries;
+
+  bool hasSelfTerms() const {
+    return !ShiftTerms.empty() || !DivideTerms.empty();
+  }
+
+  std::string str() const;
+};
+
+/// Brings "Function(Params) = Rhs" into Recurrence normal form.
+///
+/// Every call to \p Function in \p Rhs must (a) occur linearly with a
+/// constant rational coefficient, (b) have its argument at position
+/// \p RecIndex of the form Var - k (k > 0) or Var / b (b > 1), and (c)
+/// leave all other argument positions unchanged (syntactically equal to
+/// the corresponding parameter, or a call-free constant).  Max nodes that
+/// contain self-calls are relaxed to sums first, which is sound for upper
+/// bounds over non-negative values.
+///
+/// Returns nullopt if the right-hand side is not of this shape; the caller
+/// then reports the solution Infinity (always parallel), per Section 5.
+std::optional<Recurrence>
+extractRecurrence(const std::string &Function,
+                  const std::vector<std::string> &Params, unsigned RecIndex,
+                  const ExprRef &Rhs);
+
+/// One equation of a system: the unknown's parameter names and its
+/// right-hand side.
+struct EquationDef {
+  std::vector<std::string> Params;
+  ExprRef Rhs;
+};
+
+/// Instantiates \p Def's right-hand side with the given arguments
+/// (capture-avoiding: parameters are renamed apart first).
+ExprRef instantiateDef(const EquationDef &Def,
+                       const std::vector<ExprRef> &Args);
+
+/// Substitutes the definitions in \p Defs into \p E (each call
+/// name(args...) becomes Defs[name].Rhs with parameters replaced by args),
+/// repeating up to \p Rounds times.  Used to eliminate the other unknowns
+/// of a mutually recursive SCC before extractRecurrence.
+ExprRef inlineCalls(const ExprRef &E,
+                    const std::map<std::string, EquationDef> &Defs,
+                    unsigned Rounds);
+
+/// Merges the recurrences of alternative clauses into one sound upper
+/// bound.  With \p Sum = false (mutually exclusive clauses) the merge is a
+/// pointwise max:  max_i (sum_j c_ij f(n-k_j) + g_i)
+///              <= sum_j (max_i c_ij) f(n-k_j) + max_i g_i
+/// for non-negative monotone f.  With \p Sum = true (clauses that may all
+/// contribute solutions) coefficients and additive parts are summed, which
+/// bounds the total work of trying every clause (paper equation (1)).
+/// Boundary conditions are unioned in both cases.
+Recurrence mergeRecurrences(const std::vector<Recurrence> &Rs, bool Sum);
+
+} // namespace granlog
+
+#endif // GRANLOG_DIFFEQ_RECURRENCE_H

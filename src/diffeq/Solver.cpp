@@ -1,0 +1,281 @@
+//===- diffeq/Solver.cpp - The schema library ------------------------------===//
+
+#include "diffeq/Solver.h"
+
+#include <cmath>
+
+using namespace granlog;
+
+bool granlog::chooseBase(const Recurrence &R, Rational &BaseAt,
+                         ExprRef &BaseValue) {
+  if (R.Boundaries.empty())
+    return false;
+  BaseAt = R.Boundaries[0].At;
+  std::vector<ExprRef> Values;
+  for (const Boundary &B : R.Boundaries) {
+    BaseAt = std::min(BaseAt, B.At);
+    Values.push_back(B.Value);
+  }
+  BaseValue = makeMax(std::move(Values));
+  return true;
+}
+
+ShiftTerm granlog::collapseShiftTerms(const Recurrence &R, bool &WasExact) {
+  assert(!R.ShiftTerms.empty() && R.DivideTerms.empty() &&
+         "collapse requires shift-only equations");
+  WasExact = R.ShiftTerms.size() == 1;
+  ShiftTerm Result = R.ShiftTerms[0];
+  for (size_t I = 1; I != R.ShiftTerms.size(); ++I) {
+    Result.Coeff += R.ShiftTerms[I].Coeff;
+    Result.Shift = std::min(Result.Shift, R.ShiftTerms[I].Shift);
+  }
+  return Result;
+}
+
+namespace {
+
+/// Substitutes a rational constant for the recurrence variable.
+ExprRef atPoint(const ExprRef &E, const std::string &Var, Rational At) {
+  return substituteVar(E, Var, makeNumber(At));
+}
+
+/// A rational upper bound on log2(X) ... times 1: returns the smallest
+/// rational with denominator 4096 that is >= Value.
+Rational rationalCeil(double Value) {
+  return Rational(static_cast<int64_t>(std::ceil(Value * 4096.0)), 4096);
+}
+
+/// No self terms at all: f(n) = g(n), possibly refined by boundary values.
+class ClosedSchema : public Schema {
+public:
+  const char *name() const override { return "closed"; }
+
+  std::optional<SolveResult> apply(const Recurrence &R) const override {
+    if (R.hasSelfTerms())
+      return std::nullopt;
+    std::vector<ExprRef> Parts{R.Additive};
+    for (const Boundary &B : R.Boundaries)
+      Parts.push_back(B.Value);
+    return SolveResult{makeMax(std::move(Parts)), name(), /*Exact=*/true};
+  }
+};
+
+/// f(n) = f(n-k) + g(n): first-order summation.
+///
+/// For k = 1 and polynomial g the solution is exact via Faulhaber:
+///   f(n) = C + Sum_{j=b+1}^{n} g(j) = C + G(n) - G(b).
+/// Otherwise the bound uses monotonicity of g: at most (n-b)/k + 1
+/// unfoldings, each contributing at most g(n):
+///   f(n) <= C + ((n-b)/k + 1) * g(n).
+class FirstOrderSumSchema : public Schema {
+public:
+  const char *name() const override { return "first-order-sum"; }
+
+  std::optional<SolveResult> apply(const Recurrence &R) const override {
+    if (R.ShiftTerms.empty() || !R.DivideTerms.empty())
+      return std::nullopt;
+    bool WasExact = true;
+    ShiftTerm T = collapseShiftTerms(R, WasExact);
+    // Coefficient sums below one are rounded up to one (monotone f).
+    if (T.Coeff > Rational(1))
+      return std::nullopt;
+    if (T.Coeff < Rational(1))
+      WasExact = false;
+
+    Rational BaseAt;
+    ExprRef BaseValue;
+    if (!chooseBase(R, BaseAt, BaseValue))
+      return std::nullopt;
+    WasExact &= R.Boundaries.size() == 1;
+
+    if (T.Shift == Rational(1)) {
+      std::optional<std::vector<ExprRef>> Poly =
+          polynomialIn(R.Additive, R.Var);
+      if (Poly) {
+        ExprRef G = sumPolynomial(*Poly, R.Var);
+        ExprRef Closed = makeAdd(
+            {BaseValue, G,
+             makeScale(Rational(-1), atPoint(G, R.Var, BaseAt))});
+        return SolveResult{Closed, name(), WasExact};
+      }
+    }
+    // General monotone bound.
+    ExprRef Steps = makeAdd(
+        makeScale(Rational(1) / T.Shift,
+                  makeSub(makeVar(R.Var), makeNumber(BaseAt))),
+        makeNumber(1));
+    ExprRef Closed = makeAdd(BaseValue, makeMul(Steps, R.Additive));
+    return SolveResult{Closed, name(), /*Exact=*/false};
+  }
+};
+
+/// f(n) = A f(n-k) + g(n) with A > 1: geometric growth.
+///
+/// Constant g = B (paper's library schema):
+///   f(n) = (C + B/(A-1)) * A^((n-b)/k) - B/(A-1)            [exact]
+/// Monotone non-constant g:
+///   f(n) = A^m C + Sum_{j<m} A^j g(n - jk)
+///        <= A^m (C + g(n)/(A-1))    with m = (n-b)/k.
+class GeometricSchema : public Schema {
+public:
+  const char *name() const override { return "geometric"; }
+
+  std::optional<SolveResult> apply(const Recurrence &R) const override {
+    if (R.ShiftTerms.empty() || !R.DivideTerms.empty())
+      return std::nullopt;
+    bool WasExact = true;
+    ShiftTerm T = collapseShiftTerms(R, WasExact);
+    if (T.Coeff <= Rational(1))
+      return std::nullopt;
+
+    Rational BaseAt;
+    ExprRef BaseValue;
+    if (!chooseBase(R, BaseAt, BaseValue))
+      return std::nullopt;
+    WasExact &= R.Boundaries.size() == 1;
+
+    Rational A = T.Coeff;
+    ExprRef Exponent = makeScale(Rational(1) / T.Shift,
+                                 makeSub(makeVar(R.Var), makeNumber(BaseAt)));
+    ExprRef Growth = makePow(makeNumber(A), Exponent);
+    Rational InvAm1 = Rational(1) / (A - Rational(1));
+
+    if (!containsVar(R.Additive, R.Var)) {
+      // Constant additive part: exact closed form.
+      ExprRef BOver = makeScale(InvAm1, R.Additive);
+      ExprRef Closed =
+          makeAdd(makeMul(makeAdd(BaseValue, BOver), Growth),
+                  makeScale(Rational(-1), BOver));
+      return SolveResult{Closed, name(), WasExact};
+    }
+    ExprRef Closed = makeMul(
+        makeAdd(BaseValue, makeScale(InvAm1, R.Additive)), Growth);
+    return SolveResult{Closed, name(), /*Exact=*/false};
+  }
+};
+
+/// f(n) = a f(n/b) + g(n) with b > 1: divide and conquer.
+///
+/// With d = deg g and c = log_b a (rounded up to a rational), the master-
+/// theorem-style upper bounds are:
+///   a == b^d:  f(n) <= g(n) * (log2(n)/log2(b) + 1) + C n^d
+///   a <  b^d:  f(n) <= g(n) * b^d/(b^d - a)         + C n^d
+///   a >  b^d:  f(n) <= (C + g(n) a/(a-1)) * n^c
+/// For non-polynomial monotone g:
+///   a == 1:    f(n) <= g(n) * (log2(n)/log2(b) + 1) + C
+///   a >  1:    f(n) <= (C + g(n) a/(a-1)) * n^c
+class DivideConquerSchema : public Schema {
+public:
+  const char *name() const override { return "divide-and-conquer"; }
+
+  std::optional<SolveResult> apply(const Recurrence &R) const override {
+    if (R.DivideTerms.empty() || !R.ShiftTerms.empty())
+      return std::nullopt;
+    Rational A = R.DivideTerms[0].Coeff;
+    Rational B = R.DivideTerms[0].Divisor;
+    Rational MaxOffset = R.DivideTerms[0].Offset;
+    for (size_t I = 1; I != R.DivideTerms.size(); ++I) {
+      A += R.DivideTerms[I].Coeff;
+      B = std::min(B, R.DivideTerms[I].Divisor);
+      MaxOffset = std::max(MaxOffset, R.DivideTerms[I].Offset);
+    }
+    if (A < Rational(1) || B <= Rational(1))
+      return std::nullopt;
+
+    Rational BaseAt;
+    ExprRef BaseValue;
+    if (!chooseBase(R, BaseAt, BaseValue))
+      return std::nullopt;
+
+    ExprRef N = makeVar(R.Var);
+    // Recursive arguments of the form n/b + c (c > 0, from e.g. even/odd
+    // list splitting) are handled by the change of variable
+    //   F(n) := f(n + c*b/(b-1)),
+    // which satisfies the offset-free recurrence
+    //   F(n) = a F(n/b) + g(n + c*b/(b-1)),
+    // and f(n) <= F(n) by monotonicity.  So: shift the additive part and
+    // allow one extra recursion level below.
+    ExprRef Additive = R.Additive;
+    int64_t ExtraLevel = 0;
+    if (MaxOffset > Rational(0)) {
+      Rational Shift = MaxOffset * B / (B - Rational(1));
+      Additive =
+          substituteVar(Additive, R.Var, makeAdd(N, makeNumber(Shift)));
+      ExtraLevel = 1;
+    }
+    // log2(n)/log2(b) + 1 levels (+1 when offset-shifted).
+    Rational InvLog2B = rationalCeil(1.0 / std::log2(B.asDouble()));
+    ExprRef Levels = makeAdd(makeScale(InvLog2B, makeLog2(N)),
+                             makeNumber(1 + ExtraLevel));
+
+    std::optional<std::vector<ExprRef>> Poly = polynomialIn(Additive, R.Var);
+    if (Poly) {
+      int64_t D = static_cast<int64_t>(Poly->size()) - 1;
+      Rational BPowD = B.pow(D);
+      ExprRef NPowD = makePow(N, makeNumber(D));
+      if (A == BPowD) {
+        ExprRef Closed = makeAdd(makeMul(Additive, Levels),
+                                 makeMul(BaseValue, NPowD));
+        return SolveResult{Closed, name(), /*Exact=*/false};
+      }
+      if (A < BPowD) {
+        Rational Factor = BPowD / (BPowD - A);
+        ExprRef Closed = makeAdd(makeScale(Factor, Additive),
+                                 makeMul(BaseValue, NPowD));
+        return SolveResult{Closed, name(), /*Exact=*/false};
+      }
+    }
+    // a > b^d, or non-polynomial g.
+    if (A == Rational(1)) {
+      ExprRef Closed = makeAdd(makeMul(Additive, Levels), BaseValue);
+      return SolveResult{Closed, name(), /*Exact=*/false};
+    }
+    Rational C =
+        rationalCeil(std::log(A.asDouble()) / std::log(B.asDouble()));
+    ExprRef NPowC = makePow(N, makeNumber(C));
+    Rational AOverAm1 = A / (A - Rational(1));
+    ExprRef Extra = ExtraLevel ? makeNumber(A) : makeNumber(1);
+    ExprRef Closed = makeMul(
+        {makeAdd(BaseValue, makeScale(AOverAm1, Additive)), NPowC, Extra});
+    return SolveResult{Closed, name(), /*Exact=*/false};
+  }
+};
+
+} // namespace
+
+DiffEqSolver::DiffEqSolver() {
+  Schemas.push_back(std::make_unique<ClosedSchema>());
+  Schemas.push_back(std::make_unique<FirstOrderSumSchema>());
+  Schemas.push_back(std::make_unique<GeometricSchema>());
+  Schemas.push_back(std::make_unique<DivideConquerSchema>());
+}
+
+DiffEqSolver::~DiffEqSolver() = default;
+
+SolveResult DiffEqSolver::solve(const Recurrence &R) const {
+  // Equations whose additive part still mentions unknown functions cannot
+  // be solved; and equations with both shift and divide terms have no
+  // schema in the library.
+  if (!containsAnyCall(R.Additive)) {
+    for (const auto &S : Schemas)
+      if (std::optional<SolveResult> Result = S->apply(R))
+        return *Result;
+  }
+  return SolveResult{makeInfinity(), std::string(), /*Exact=*/false};
+}
+
+void DiffEqSolver::disableSchema(const std::string &Name) {
+  for (auto It = Schemas.begin(); It != Schemas.end(); ++It) {
+    if ((*It)->name() == Name) {
+      Schemas.erase(It);
+      return;
+    }
+  }
+}
+
+std::vector<std::string> DiffEqSolver::schemaNames() const {
+  std::vector<std::string> Names;
+  for (const auto &S : Schemas)
+    Names.push_back(S->name());
+  return Names;
+}

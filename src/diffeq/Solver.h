@@ -1,0 +1,99 @@
+//===- diffeq/Solver.h - Table-driven difference equation solving ---------===//
+//
+// Part of GranLog; see DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's "granularity analysis structure" (Definition 5.2): a domain
+/// of difference equations R, an approximation set S of schemas with known
+/// closed-form solutions, an approximation function alpha mapping each
+/// equation to a schema whose solution upper-bounds it, and the solution
+/// function soln.  Here each Schema implements both alpha (matches/
+/// normalize) and soln (solve); the SolverTable tries schemas in order and
+/// returns Infinity when none applies — such predicates are then always
+/// executed in parallel ("sequentializing a parallel language", Section 5).
+///
+/// Every schema guarantees: if f satisfies the recurrence with the given
+/// boundary conditions and f, g are monotone non-decreasing and
+/// non-negative, then the returned closed form is >= f pointwise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_DIFFEQ_SOLVER_H
+#define GRANLOG_DIFFEQ_SOLVER_H
+
+#include "diffeq/Recurrence.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace granlog {
+
+/// The result of solving one difference equation.
+struct SolveResult {
+  ExprRef Closed;         ///< closed form in Recurrence::Var; Infinity on failure
+  std::string SchemaName; ///< which library schema produced it ("" = none)
+  bool Exact = false;     ///< true when no upper-bound relaxation was applied
+
+  bool failed() const { return Closed->isInfinity(); }
+};
+
+/// One entry of the approximation set S: a recognizable equation shape with
+/// a known closed-form (upper-bound) solution.
+class Schema {
+public:
+  virtual ~Schema() = default;
+
+  /// A short stable identifier, e.g. "first-order-sum".
+  virtual const char *name() const = 0;
+
+  /// Tries to solve \p R; nullopt when the shape does not match.
+  virtual std::optional<SolveResult> apply(const Recurrence &R) const = 0;
+};
+
+/// The solver: an ordered schema table.
+class DiffEqSolver {
+public:
+  /// Builds the default table (summation, geometric, divide-and-conquer).
+  DiffEqSolver();
+  ~DiffEqSolver();
+  DiffEqSolver(DiffEqSolver &&) = default;
+  DiffEqSolver &operator=(DiffEqSolver &&) = default;
+
+  /// Solves \p R, returning Infinity ("always parallel") when no schema
+  /// matches.  Multi-term equations are first collapsed to a single term
+  /// using the monotonicity assumption of Section 6.
+  SolveResult solve(const Recurrence &R) const;
+
+  /// Removes the schema with the given name (for the ablation benchmark).
+  void disableSchema(const std::string &Name);
+
+  /// Names of the installed schemas, in match order.
+  std::vector<std::string> schemaNames() const;
+
+private:
+  std::vector<std::unique_ptr<Schema>> Schemas;
+};
+
+/// \name Helpers shared by schemas and the analyses.
+/// @{
+
+/// Selects the base point (smallest boundary At) and a sound base value
+/// (max over boundary values).  Returns false if there is no boundary —
+/// the equation then describes a non-terminating computation and the
+/// solver must fail (Infinity).
+bool chooseBase(const Recurrence &R, Rational &BaseAt, ExprRef &BaseValue);
+
+/// Collapses all self terms into a single shift term (A, K): A is the sum
+/// of all coefficients, K the minimum shift.  Requires shift-only
+/// equations.  Sound for monotone f:  sum C_i f(n-K_i) <= (sum C_i) f(n-K).
+/// Sets \p WasExact when the equation already had exactly one term.
+ShiftTerm collapseShiftTerms(const Recurrence &R, bool &WasExact);
+
+/// @}
+
+} // namespace granlog
+
+#endif // GRANLOG_DIFFEQ_SOLVER_H

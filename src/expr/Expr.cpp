@@ -1,0 +1,319 @@
+//===- expr/Expr.cpp - Construction and canonicalization ------------------===//
+
+#include "expr/Expr.h"
+
+#include <algorithm>
+
+using namespace granlog;
+
+namespace granlog {
+ExprRef makeRaw(ExprKind Kind, std::string Name, Rational Value,
+                std::vector<ExprRef> Ops) {
+  return ExprRef(new Expr(Kind, std::move(Name), Value, std::move(Ops)));
+}
+} // namespace granlog
+
+ExprRef granlog::makeNumber(Rational Value) {
+  return makeRaw(ExprKind::Number, std::string(), Value, {});
+}
+
+ExprRef granlog::makeVar(std::string Name) {
+  return makeRaw(ExprKind::Var, std::move(Name), Rational(), {});
+}
+
+ExprRef granlog::makeInfinity() {
+  return makeRaw(ExprKind::Infinity, std::string(), Rational(), {});
+}
+
+ExprRef granlog::makeCall(std::string Name, std::vector<ExprRef> Args) {
+  return makeRaw(ExprKind::Call, std::move(Name), Rational(),
+                 std::move(Args));
+}
+
+int granlog::compareExpr(const Expr &A, const Expr &B) {
+  if (A.kind() != B.kind())
+    return static_cast<int>(A.kind()) < static_cast<int>(B.kind()) ? -1 : 1;
+  switch (A.kind()) {
+  case ExprKind::Number: {
+    if (A.number() == B.number())
+      return 0;
+    return A.number() < B.number() ? -1 : 1;
+  }
+  case ExprKind::Var:
+    return A.name().compare(B.name());
+  case ExprKind::Infinity:
+    return 0;
+  case ExprKind::Call: {
+    int C = A.name().compare(B.name());
+    if (C != 0)
+      return C;
+    break;
+  }
+  default:
+    break;
+  }
+  const std::vector<ExprRef> &OA = A.operands();
+  const std::vector<ExprRef> &OB = B.operands();
+  if (OA.size() != OB.size())
+    return OA.size() < OB.size() ? -1 : 1;
+  for (size_t I = 0; I != OA.size(); ++I)
+    if (int C = compareExpr(*OA[I], *OB[I]))
+      return C;
+  return 0;
+}
+
+namespace {
+
+/// Splits an addend into (numeric coefficient, symbolic part).  The
+/// symbolic part is nullptr for pure constants.
+std::pair<Rational, ExprRef> splitCoefficient(const ExprRef &E) {
+  if (E->isNumber())
+    return {E->number(), nullptr};
+  if (E->kind() == ExprKind::Mul) {
+    const std::vector<ExprRef> &Ops = E->operands();
+    if (!Ops.empty() && Ops[0]->isNumber()) {
+      Rational K = Ops[0]->number();
+      if (Ops.size() == 2)
+        return {K, Ops[1]};
+      std::vector<ExprRef> Rest(Ops.begin() + 1, Ops.end());
+      return {K, makeRaw(ExprKind::Mul, std::string(), Rational(),
+                         std::move(Rest))};
+    }
+  }
+  return {Rational(1), E};
+}
+
+void flattenInto(ExprKind Kind, const ExprRef &E, std::vector<ExprRef> &Out) {
+  if (E->kind() == Kind) {
+    for (const ExprRef &Op : E->operands())
+      flattenInto(Kind, Op, Out);
+    return;
+  }
+  Out.push_back(E);
+}
+
+} // namespace
+
+ExprRef granlog::makeAdd(std::vector<ExprRef> RawOps) {
+  std::vector<ExprRef> Flat;
+  for (const ExprRef &Op : RawOps)
+    flattenInto(ExprKind::Add, Op, Flat);
+
+  Rational Constant(0);
+  // (symbolic part, coefficient) with like terms merged.
+  std::vector<std::pair<ExprRef, Rational>> Terms;
+  for (const ExprRef &Op : Flat) {
+    if (Op->isInfinity())
+      return makeInfinity();
+    auto [K, Base] = splitCoefficient(Op);
+    if (!Base) {
+      Constant += K;
+      continue;
+    }
+    bool Merged = false;
+    for (auto &T : Terms) {
+      if (exprEqual(T.first, Base)) {
+        T.second += K;
+        Merged = true;
+        break;
+      }
+    }
+    if (!Merged)
+      Terms.emplace_back(Base, K);
+  }
+
+  // Sort by the symbolic part (not the whole term) so that e.g. n comes
+  // before n^2 regardless of coefficients — this keeps polynomial output
+  // in ascending-degree order.
+  std::sort(Terms.begin(), Terms.end(),
+            [](const auto &A, const auto &B) {
+              return compareExpr(*A.first, *B.first) < 0;
+            });
+  std::vector<ExprRef> Ops;
+  for (auto &T : Terms) {
+    if (T.second.isZero())
+      continue;
+    if (T.second.isOne())
+      Ops.push_back(T.first);
+    else
+      Ops.push_back(makeScale(T.second, T.first));
+  }
+  if (!Constant.isZero() || Ops.empty())
+    Ops.insert(Ops.begin(), makeNumber(Constant));
+  if (Ops.size() == 1)
+    return Ops[0];
+  return makeRaw(ExprKind::Add, std::string(), Rational(), std::move(Ops));
+}
+
+ExprRef granlog::makeSub(ExprRef A, ExprRef B) {
+  return makeAdd(std::move(A), makeScale(Rational(-1), std::move(B)));
+}
+
+ExprRef granlog::makeScale(Rational K, ExprRef E) {
+  return makeMul(makeNumber(K), std::move(E));
+}
+
+ExprRef granlog::makeMul(std::vector<ExprRef> RawOps) {
+  std::vector<ExprRef> Flat;
+  for (const ExprRef &Op : RawOps)
+    flattenInto(ExprKind::Mul, Op, Flat);
+
+  Rational Constant(1);
+  bool SawInfinity = false;
+  // (base, numeric exponent) pairs for merged factors; non-numeric
+  // exponents keep their Pow node as an opaque factor.
+  std::vector<std::pair<ExprRef, Rational>> Factors;
+  std::vector<ExprRef> Opaque;
+  for (const ExprRef &Op : Flat) {
+    if (Op->isNumber()) {
+      Constant *= Op->number();
+      continue;
+    }
+    if (Op->isInfinity()) {
+      SawInfinity = true;
+      continue;
+    }
+    ExprRef Base = Op;
+    Rational Exp(1);
+    if (Op->kind() == ExprKind::Pow && Op->exponent()->isNumber()) {
+      Base = Op->base();
+      Exp = Op->exponent()->number();
+    } else if (Op->kind() == ExprKind::Pow) {
+      Opaque.push_back(Op);
+      continue;
+    }
+    bool Merged = false;
+    for (auto &F : Factors) {
+      if (exprEqual(F.first, Base)) {
+        F.second += Exp;
+        Merged = true;
+        break;
+      }
+    }
+    if (!Merged)
+      Factors.emplace_back(Base, Exp);
+  }
+
+  if (Constant.isZero())
+    return makeNumber(0); // 0 * x = 0, including 0 * oo in our domain
+  if (SawInfinity)
+    return makeInfinity();
+
+  std::vector<ExprRef> Ops;
+  for (auto &F : Factors) {
+    if (F.second.isZero())
+      continue;
+    if (F.second.isOne())
+      Ops.push_back(F.first);
+    else
+      Ops.push_back(makePow(F.first, makeNumber(F.second)));
+  }
+  for (ExprRef &Op : Opaque)
+    Ops.push_back(std::move(Op));
+  std::sort(Ops.begin(), Ops.end(), [](const ExprRef &A, const ExprRef &B) {
+    return compareExpr(*A, *B) < 0;
+  });
+  if (Ops.empty())
+    return makeNumber(Constant);
+  if (!Constant.isOne())
+    Ops.insert(Ops.begin(), makeNumber(Constant));
+  if (Ops.size() == 1)
+    return Ops[0];
+  return makeRaw(ExprKind::Mul, std::string(), Rational(), std::move(Ops));
+}
+
+ExprRef granlog::makePow(ExprRef Base, ExprRef Exponent) {
+  if (Exponent->isZero())
+    return makeNumber(1);
+  if (Exponent->isOne())
+    return Base;
+  if (Base->isInfinity() || Exponent->isInfinity())
+    return makeInfinity();
+  if (Base->isNumber() && Exponent->isNumber() &&
+      Exponent->number().isInteger())
+    return makeNumber(Base->number().pow(Exponent->number().asInteger()));
+  if (Base->isOne())
+    return makeNumber(1);
+  // (b^e1)^e2 = b^(e1*e2)
+  if (Base->kind() == ExprKind::Pow)
+    return makePow(Base->base(), makeMul(Base->exponent(), Exponent));
+  return makeRaw(ExprKind::Pow, std::string(), Rational(),
+                 {std::move(Base), std::move(Exponent)});
+}
+
+ExprRef granlog::makeLog2(ExprRef Arg) {
+  if (Arg->isInfinity())
+    return makeInfinity();
+  if (Arg->isNumber()) {
+    // Fold exact powers of two; clamp below 1 to 0 (our domain is [0,oo]).
+    Rational V = Arg->number();
+    if (V <= Rational(1))
+      return makeNumber(0);
+    if (V.isInteger()) {
+      int64_t N = V.asInteger();
+      if ((N & (N - 1)) == 0) {
+        int64_t L = 0;
+        while (N > 1) {
+          N >>= 1;
+          ++L;
+        }
+        return makeNumber(L);
+      }
+    }
+  }
+  return makeRaw(ExprKind::Log2, std::string(), Rational(),
+                 {std::move(Arg)});
+}
+
+static ExprRef makeLattice(ExprKind Kind, std::vector<ExprRef> RawOps,
+                           bool IsMax) {
+  std::vector<ExprRef> Flat;
+  for (const ExprRef &Op : RawOps)
+    flattenInto(Kind, Op, Flat);
+  std::optional<Rational> Numeric;
+  std::vector<ExprRef> Ops;
+  for (const ExprRef &Op : Flat) {
+    if (Op->isInfinity()) {
+      if (IsMax)
+        return makeInfinity();
+      continue; // min(oo, x) = x
+    }
+    if (Op->isNumber()) {
+      if (!Numeric)
+        Numeric = Op->number();
+      else
+        Numeric = IsMax ? std::max(*Numeric, Op->number())
+                        : std::min(*Numeric, Op->number());
+      continue;
+    }
+    bool Dup = false;
+    for (const ExprRef &Seen : Ops)
+      if (exprEqual(Seen, Op)) {
+        Dup = true;
+        break;
+      }
+    if (!Dup)
+      Ops.push_back(Op);
+  }
+  // max(0, x) = x for non-negative expressions.
+  if (Numeric && IsMax && Numeric->isZero() && !Ops.empty())
+    Numeric.reset();
+  if (Numeric)
+    Ops.push_back(makeNumber(*Numeric));
+  std::sort(Ops.begin(), Ops.end(), [](const ExprRef &A, const ExprRef &B) {
+    return compareExpr(*A, *B) < 0;
+  });
+  if (Ops.empty())
+    return IsMax ? makeNumber(0) : makeInfinity();
+  if (Ops.size() == 1)
+    return Ops[0];
+  return makeRaw(Kind, std::string(), Rational(), std::move(Ops));
+}
+
+ExprRef granlog::makeMax(std::vector<ExprRef> Ops) {
+  return makeLattice(ExprKind::Max, std::move(Ops), /*IsMax=*/true);
+}
+
+ExprRef granlog::makeMin(std::vector<ExprRef> Ops) {
+  return makeLattice(ExprKind::Min, std::move(Ops), /*IsMax=*/false);
+}

@@ -1,0 +1,193 @@
+//===- expr/Expr.h - Symbolic size/cost expressions -----------------------===//
+//
+// Part of GranLog; see DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Symbolic expressions over argument sizes.  These are the values the
+/// argument-size and cost analyses manipulate: polynomials with rational
+/// coefficients, exponentials A^e, binary logarithms, max/min, applications
+/// of not-yet-solved functions (the paper's Psi and Cost symbols), and a
+/// top element Infinity ("an infinite amount of work", the solution
+/// returned for equations the solver cannot handle — such predicates are
+/// then always executed in parallel, paper Section 5).
+///
+/// All expressions denote values in [0, +oo]: sizes and costs are
+/// non-negative.  The simplifier relies on this (e.g. Infinity absorbs
+/// addition, max under-approximated by sum is sound as an upper bound).
+///
+/// Expressions are immutable and shared (ExprRef).  Use the factory
+/// functions (makeNumber, makeAdd, ...) — they maintain a canonical form:
+/// flattened n-ary sums/products, folded constants, merged like terms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_EXPR_EXPR_H
+#define GRANLOG_EXPR_EXPR_H
+
+#include "support/Rational.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace granlog {
+
+class Expr;
+using ExprRef = std::shared_ptr<const Expr>;
+
+/// Discriminator for Expr nodes.
+enum class ExprKind {
+  Number,   ///< rational constant
+  Var,      ///< named size variable (e.g. "n")
+  Add,      ///< n-ary sum
+  Mul,      ///< n-ary product
+  Pow,      ///< Base ^ Exponent
+  Log2,     ///< binary logarithm, clamped to 0 below 1
+  Max,      ///< n-ary maximum
+  Min,      ///< n-ary minimum
+  Call,     ///< unknown function application, e.g. Psi_append(x, y)
+  Infinity, ///< top: unbounded work / undefined size
+};
+
+/// One immutable expression node.
+class Expr {
+public:
+  ExprKind kind() const { return Kind; }
+
+  bool isNumber() const { return Kind == ExprKind::Number; }
+  bool isVar() const { return Kind == ExprKind::Var; }
+  bool isInfinity() const { return Kind == ExprKind::Infinity; }
+  bool isZero() const { return isNumber() && Value.isZero(); }
+  bool isOne() const { return isNumber() && Value.isOne(); }
+
+  /// Number: the constant value.
+  const Rational &number() const {
+    assert(isNumber() && "not a number");
+    return Value;
+  }
+  /// Var / Call: the name.
+  const std::string &name() const {
+    assert((isVar() || Kind == ExprKind::Call) && "no name");
+    return Name;
+  }
+  /// Add/Mul/Max/Min operands, Call arguments.
+  const std::vector<ExprRef> &operands() const { return Ops; }
+  /// Pow base / Log2 argument.
+  const ExprRef &base() const {
+    assert((Kind == ExprKind::Pow || Kind == ExprKind::Log2) && "no base");
+    return Ops[0];
+  }
+  /// Pow exponent.
+  const ExprRef &exponent() const {
+    assert(Kind == ExprKind::Pow && "no exponent");
+    return Ops[1];
+  }
+
+private:
+  friend ExprRef makeNumber(Rational);
+  friend ExprRef makeVar(std::string);
+  friend ExprRef makeInfinity();
+  friend ExprRef makeCall(std::string, std::vector<ExprRef>);
+  friend ExprRef makeRaw(ExprKind, std::string, Rational,
+                         std::vector<ExprRef>);
+
+  Expr(ExprKind Kind, std::string Name, Rational Value,
+       std::vector<ExprRef> Ops)
+      : Kind(Kind), Name(std::move(Name)), Value(Value),
+        Ops(std::move(Ops)) {}
+
+  ExprKind Kind;
+  std::string Name;
+  Rational Value;
+  std::vector<ExprRef> Ops;
+};
+
+/// \name Factory functions (simplifying constructors)
+/// @{
+ExprRef makeNumber(Rational Value);
+inline ExprRef makeNumber(int64_t Value) { return makeNumber(Rational(Value)); }
+ExprRef makeVar(std::string Name);
+ExprRef makeInfinity();
+ExprRef makeAdd(std::vector<ExprRef> Ops);
+inline ExprRef makeAdd(ExprRef A, ExprRef B) {
+  return makeAdd(std::vector<ExprRef>{std::move(A), std::move(B)});
+}
+ExprRef makeSub(ExprRef A, ExprRef B);
+ExprRef makeMul(std::vector<ExprRef> Ops);
+inline ExprRef makeMul(ExprRef A, ExprRef B) {
+  return makeMul(std::vector<ExprRef>{std::move(A), std::move(B)});
+}
+ExprRef makeScale(Rational K, ExprRef E);
+ExprRef makePow(ExprRef Base, ExprRef Exponent);
+ExprRef makeLog2(ExprRef Arg);
+ExprRef makeMax(std::vector<ExprRef> Ops);
+inline ExprRef makeMax(ExprRef A, ExprRef B) {
+  return makeMax(std::vector<ExprRef>{std::move(A), std::move(B)});
+}
+ExprRef makeMin(std::vector<ExprRef> Ops);
+ExprRef makeCall(std::string Name, std::vector<ExprRef> Args);
+/// @}
+
+/// Total structural order; 0 iff structurally equal.
+int compareExpr(const Expr &A, const Expr &B);
+inline bool exprEqual(const ExprRef &A, const ExprRef &B) {
+  return compareExpr(*A, *B) == 0;
+}
+
+/// True if the variable \p Name occurs in \p E.
+bool containsVar(const ExprRef &E, const std::string &Name);
+
+/// True if a Call to \p Name occurs in \p E.
+bool containsCall(const ExprRef &E, const std::string &Name);
+
+/// True if any Call occurs in \p E.
+bool containsAnyCall(const ExprRef &E);
+
+/// Replaces every occurrence of variable \p Name by \p Replacement.
+ExprRef substituteVar(const ExprRef &E, const std::string &Name,
+                      const ExprRef &Replacement);
+
+/// Replaces every Call named \p Name by \p Unfold(args).  The paper's
+/// normalization rule "replace each occurrence of an instance of phi by the
+/// appropriate instance of psi".
+ExprRef substituteCall(
+    const ExprRef &E, const std::string &Name,
+    const std::function<ExprRef(const std::vector<ExprRef> &)> &Unfold);
+
+/// Numeric evaluation.  Unbound variables and remaining Calls yield
+/// nullopt; Infinity yields +inf.
+std::optional<double> evaluate(const ExprRef &E,
+                               const std::map<std::string, double> &Env);
+
+/// Extracts \p E as a polynomial in variable \p Var: returns coefficients
+/// low-to-high degree, each coefficient an expression free of \p Var.
+/// Returns nullopt if \p E is not polynomial in \p Var (e.g. Var under
+/// Pow exponent, Log2, Max or Call).
+std::optional<std::vector<ExprRef>> polynomialIn(const ExprRef &E,
+                                                 const std::string &Var);
+
+/// Rebuilds an expression from polynomial coefficients (inverse of
+/// polynomialIn).
+ExprRef polynomialExpr(const std::vector<ExprRef> &Coeffs,
+                       const std::string &Var);
+
+/// Closed form of the power sum S_p(n) = sum_{j=1}^{n} j^p as coefficients
+/// of a degree-(p+1) polynomial in n (Faulhaber's formula, exact).
+const std::vector<Rational> &powerSumPolynomial(unsigned P);
+
+/// Closed form of sum_{j=1}^{n} p(j) for a polynomial p given by \p Coeffs
+/// (in the summation variable).  Result is a polynomial in \p Var.
+ExprRef sumPolynomial(const std::vector<ExprRef> &Coeffs,
+                      const std::string &Var);
+
+/// Renders the expression, e.g. "1/2*n^2 + 3/2*n + 1".
+std::string exprText(const ExprRef &E);
+
+} // namespace granlog
+
+#endif // GRANLOG_EXPR_EXPR_H

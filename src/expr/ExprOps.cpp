@@ -1,0 +1,415 @@
+//===- expr/ExprOps.cpp - Traversals, evaluation, polynomials -------------===//
+
+#include "expr/Expr.h"
+
+#include <cmath>
+
+using namespace granlog;
+
+bool granlog::containsVar(const ExprRef &E, const std::string &Name) {
+  if (E->isVar())
+    return E->name() == Name;
+  for (const ExprRef &Op : E->operands())
+    if (containsVar(Op, Name))
+      return true;
+  return false;
+}
+
+bool granlog::containsCall(const ExprRef &E, const std::string &Name) {
+  if (E->kind() == ExprKind::Call && E->name() == Name)
+    return true;
+  for (const ExprRef &Op : E->operands())
+    if (containsCall(Op, Name))
+      return true;
+  return false;
+}
+
+bool granlog::containsAnyCall(const ExprRef &E) {
+  if (E->kind() == ExprKind::Call)
+    return true;
+  for (const ExprRef &Op : E->operands())
+    if (containsAnyCall(Op))
+      return true;
+  return false;
+}
+
+namespace {
+
+/// Rebuilds \p E with every operand mapped through \p Map.  Re-runs the
+/// simplifying factories so the result is canonical again.
+ExprRef rebuild(const ExprRef &E,
+                const std::function<ExprRef(const ExprRef &)> &Map) {
+  std::vector<ExprRef> Ops;
+  Ops.reserve(E->operands().size());
+  bool Changed = false;
+  for (const ExprRef &Op : E->operands()) {
+    ExprRef M = Map(Op);
+    Changed |= (M != Op);
+    Ops.push_back(std::move(M));
+  }
+  if (!Changed)
+    return E;
+  switch (E->kind()) {
+  case ExprKind::Add:
+    return makeAdd(std::move(Ops));
+  case ExprKind::Mul:
+    return makeMul(std::move(Ops));
+  case ExprKind::Pow:
+    return makePow(Ops[0], Ops[1]);
+  case ExprKind::Log2:
+    return makeLog2(Ops[0]);
+  case ExprKind::Max:
+    return makeMax(std::move(Ops));
+  case ExprKind::Min:
+    return makeMin(std::move(Ops));
+  case ExprKind::Call:
+    return makeCall(E->name(), std::move(Ops));
+  default:
+    assert(false && "leaf kinds have no operands");
+    return E;
+  }
+}
+
+} // namespace
+
+ExprRef granlog::substituteVar(const ExprRef &E, const std::string &Name,
+                               const ExprRef &Replacement) {
+  if (E->isVar())
+    return E->name() == Name ? Replacement : E;
+  if (E->operands().empty())
+    return E;
+  return rebuild(E, [&](const ExprRef &Op) {
+    return substituteVar(Op, Name, Replacement);
+  });
+}
+
+ExprRef granlog::substituteCall(
+    const ExprRef &E, const std::string &Name,
+    const std::function<ExprRef(const std::vector<ExprRef> &)> &Unfold) {
+  if (E->kind() == ExprKind::Call && E->name() == Name) {
+    std::vector<ExprRef> Args;
+    Args.reserve(E->operands().size());
+    for (const ExprRef &A : E->operands())
+      Args.push_back(substituteCall(A, Name, Unfold));
+    return Unfold(Args);
+  }
+  if (E->operands().empty())
+    return E;
+  return rebuild(E, [&](const ExprRef &Op) {
+    return substituteCall(Op, Name, Unfold);
+  });
+}
+
+std::optional<double>
+granlog::evaluate(const ExprRef &E, const std::map<std::string, double> &Env) {
+  switch (E->kind()) {
+  case ExprKind::Number:
+    return E->number().asDouble();
+  case ExprKind::Var: {
+    auto It = Env.find(E->name());
+    if (It == Env.end())
+      return std::nullopt;
+    return It->second;
+  }
+  case ExprKind::Infinity:
+    return HUGE_VAL;
+  case ExprKind::Call:
+    return std::nullopt;
+  case ExprKind::Add: {
+    double Sum = 0;
+    for (const ExprRef &Op : E->operands()) {
+      std::optional<double> V = evaluate(Op, Env);
+      if (!V)
+        return std::nullopt;
+      Sum += *V;
+    }
+    return Sum;
+  }
+  case ExprKind::Mul: {
+    double Product = 1;
+    for (const ExprRef &Op : E->operands()) {
+      std::optional<double> V = evaluate(Op, Env);
+      if (!V)
+        return std::nullopt;
+      Product *= *V;
+    }
+    return Product;
+  }
+  case ExprKind::Pow: {
+    std::optional<double> B = evaluate(E->base(), Env);
+    std::optional<double> X = evaluate(E->exponent(), Env);
+    if (!B || !X)
+      return std::nullopt;
+    return std::pow(*B, *X);
+  }
+  case ExprKind::Log2: {
+    std::optional<double> A = evaluate(E->base(), Env);
+    if (!A)
+      return std::nullopt;
+    return *A <= 1.0 ? 0.0 : std::log2(*A);
+  }
+  case ExprKind::Max: {
+    double M = -HUGE_VAL;
+    for (const ExprRef &Op : E->operands()) {
+      std::optional<double> V = evaluate(Op, Env);
+      if (!V)
+        return std::nullopt;
+      M = std::max(M, *V);
+    }
+    return M;
+  }
+  case ExprKind::Min: {
+    double M = HUGE_VAL;
+    for (const ExprRef &Op : E->operands()) {
+      std::optional<double> V = evaluate(Op, Env);
+      if (!V)
+        return std::nullopt;
+      M = std::min(M, *V);
+    }
+    return M;
+  }
+  }
+  assert(false && "unknown expr kind");
+  return std::nullopt;
+}
+
+namespace {
+
+/// Adds two coefficient vectors.
+std::vector<ExprRef> polyAdd(const std::vector<ExprRef> &A,
+                             const std::vector<ExprRef> &B) {
+  std::vector<ExprRef> R(std::max(A.size(), B.size()));
+  for (size_t I = 0; I != R.size(); ++I) {
+    std::vector<ExprRef> Parts;
+    if (I < A.size())
+      Parts.push_back(A[I]);
+    if (I < B.size())
+      Parts.push_back(B[I]);
+    R[I] = Parts.size() == 1 ? Parts[0] : makeAdd(std::move(Parts));
+  }
+  return R;
+}
+
+/// Convolves two coefficient vectors.
+std::vector<ExprRef> polyMul(const std::vector<ExprRef> &A,
+                             const std::vector<ExprRef> &B) {
+  std::vector<ExprRef> R(A.size() + B.size() - 1, makeNumber(0));
+  for (size_t I = 0; I != A.size(); ++I)
+    for (size_t J = 0; J != B.size(); ++J)
+      R[I + J] = makeAdd(R[I + J], makeMul(A[I], B[J]));
+  return R;
+}
+
+void polyTrim(std::vector<ExprRef> &P) {
+  while (P.size() > 1 && P.back()->isZero())
+    P.pop_back();
+}
+
+} // namespace
+
+std::optional<std::vector<ExprRef>>
+granlog::polynomialIn(const ExprRef &E, const std::string &Var) {
+  if (!containsVar(E, Var))
+    return std::vector<ExprRef>{E};
+  switch (E->kind()) {
+  case ExprKind::Var:
+    return std::vector<ExprRef>{makeNumber(0), makeNumber(1)};
+  case ExprKind::Add: {
+    std::vector<ExprRef> R{makeNumber(0)};
+    for (const ExprRef &Op : E->operands()) {
+      std::optional<std::vector<ExprRef>> P = polynomialIn(Op, Var);
+      if (!P)
+        return std::nullopt;
+      R = polyAdd(R, *P);
+    }
+    polyTrim(R);
+    return R;
+  }
+  case ExprKind::Mul: {
+    std::vector<ExprRef> R{makeNumber(1)};
+    for (const ExprRef &Op : E->operands()) {
+      std::optional<std::vector<ExprRef>> P = polynomialIn(Op, Var);
+      if (!P)
+        return std::nullopt;
+      R = polyMul(R, *P);
+    }
+    polyTrim(R);
+    return R;
+  }
+  case ExprKind::Pow: {
+    if (containsVar(E->exponent(), Var))
+      return std::nullopt;
+    if (!E->exponent()->isNumber() || !E->exponent()->number().isInteger() ||
+        E->exponent()->number().isNegative())
+      return std::nullopt;
+    std::optional<std::vector<ExprRef>> Base = polynomialIn(E->base(), Var);
+    if (!Base)
+      return std::nullopt;
+    int64_t N = E->exponent()->number().asInteger();
+    std::vector<ExprRef> R{makeNumber(1)};
+    for (int64_t I = 0; I != N; ++I)
+      R = polyMul(R, *Base);
+    polyTrim(R);
+    return R;
+  }
+  default:
+    // Var occurs under Log2 / Max / Min / Call: not polynomial.
+    return std::nullopt;
+  }
+}
+
+ExprRef granlog::polynomialExpr(const std::vector<ExprRef> &Coeffs,
+                                const std::string &Var) {
+  std::vector<ExprRef> Terms;
+  ExprRef V = makeVar(Var);
+  for (size_t Degree = 0; Degree != Coeffs.size(); ++Degree) {
+    if (Coeffs[Degree]->isZero())
+      continue;
+    if (Degree == 0) {
+      Terms.push_back(Coeffs[0]);
+      continue;
+    }
+    ExprRef P = Degree == 1
+                    ? V
+                    : makePow(V, makeNumber(static_cast<int64_t>(Degree)));
+    Terms.push_back(makeMul(Coeffs[Degree], P));
+  }
+  if (Terms.empty())
+    return makeNumber(0);
+  return makeAdd(std::move(Terms));
+}
+
+const std::vector<Rational> &granlog::powerSumPolynomial(unsigned P) {
+  // S_p(n) = sum_{j=1}^n j^p satisfies
+  //   (p+1) S_p(n) = (n+1)^{p+1} - 1 - sum_{k<p} C(p+1, k) S_k(n).
+  static std::vector<std::vector<Rational>> Cache;
+  while (Cache.size() <= P) {
+    unsigned Q = static_cast<unsigned>(Cache.size());
+    // Binomial row for exponent Q+1.
+    std::vector<Rational> Binom(Q + 2);
+    Binom[0] = Rational(1);
+    for (unsigned K = 1; K <= Q + 1; ++K)
+      Binom[K] = Binom[K - 1] * Rational(static_cast<int64_t>(Q + 2 - K)) /
+                 Rational(static_cast<int64_t>(K));
+    // (n+1)^{Q+1} - 1 as coefficients in n.
+    std::vector<Rational> R(Q + 2, Rational(0));
+    for (unsigned K = 0; K <= Q + 1; ++K)
+      R[K] = Binom[Q + 1 - K]; // coefficient of n^K in (n+1)^{Q+1}
+    R[0] -= Rational(1);
+    // Subtract C(Q+1, k) * S_k for k < Q.
+    for (unsigned K = 0; K < Q; ++K) {
+      const std::vector<Rational> &SK = Cache[K];
+      for (size_t I = 0; I != SK.size(); ++I)
+        R[I] -= Binom[K] * SK[I];
+    }
+    Rational Div(static_cast<int64_t>(Q + 1));
+    for (Rational &C : R)
+      C /= Div;
+    Cache.push_back(std::move(R));
+  }
+  return Cache[P];
+}
+
+ExprRef granlog::sumPolynomial(const std::vector<ExprRef> &Coeffs,
+                               const std::string &Var) {
+  std::vector<ExprRef> Result{makeNumber(0)};
+  for (size_t P = 0; P != Coeffs.size(); ++P) {
+    const std::vector<Rational> &S = powerSumPolynomial(static_cast<unsigned>(P));
+    std::vector<ExprRef> Scaled(S.size());
+    for (size_t I = 0; I != S.size(); ++I)
+      Scaled[I] = makeMul(makeNumber(S[I]), Coeffs[P]);
+    Result = polyAdd(Result, Scaled);
+  }
+  polyTrim(Result);
+  return polynomialExpr(Result, Var);
+}
+
+namespace {
+
+void writeExpr(const ExprRef &E, std::string &Out, int Prec);
+
+void writeOperands(const ExprRef &E, std::string &Out, const char *Sep,
+                   int Prec) {
+  bool First = true;
+  for (const ExprRef &Op : E->operands()) {
+    if (!First)
+      Out += Sep;
+    First = false;
+    writeExpr(Op, Out, Prec);
+  }
+}
+
+/// Precedence levels: 0 add, 1 mul, 2 pow/primary.
+void writeExpr(const ExprRef &E, std::string &Out, int Prec) {
+  switch (E->kind()) {
+  case ExprKind::Number: {
+    // Negative constants only need parentheses inside products/powers.
+    bool Neg = E->number().isNegative();
+    if (Neg && Prec > 1)
+      Out += '(';
+    Out += E->number().str();
+    if (Neg && Prec > 1)
+      Out += ')';
+    return;
+  }
+  case ExprKind::Var:
+    Out += E->name();
+    return;
+  case ExprKind::Infinity:
+    Out += "inf";
+    return;
+  case ExprKind::Add: {
+    if (Prec > 0)
+      Out += '(';
+    writeOperands(E, Out, " + ", 1);
+    if (Prec > 0)
+      Out += ')';
+    return;
+  }
+  case ExprKind::Mul: {
+    if (Prec > 1)
+      Out += '(';
+    writeOperands(E, Out, "*", 2);
+    if (Prec > 1)
+      Out += ')';
+    return;
+  }
+  case ExprKind::Pow: {
+    writeExpr(E->base(), Out, 2);
+    Out += '^';
+    writeExpr(E->exponent(), Out, 2);
+    return;
+  }
+  case ExprKind::Log2:
+    Out += "log2(";
+    writeExpr(E->base(), Out, 0);
+    Out += ')';
+    return;
+  case ExprKind::Max:
+    Out += "max(";
+    writeOperands(E, Out, ", ", 0);
+    Out += ')';
+    return;
+  case ExprKind::Min:
+    Out += "min(";
+    writeOperands(E, Out, ", ", 0);
+    Out += ')';
+    return;
+  case ExprKind::Call: {
+    Out += E->name();
+    Out += '(';
+    writeOperands(E, Out, ", ", 0);
+    Out += ')';
+    return;
+  }
+  }
+  assert(false && "unknown expr kind");
+}
+
+} // namespace
+
+std::string granlog::exprText(const ExprRef &E) {
+  std::string Out;
+  writeExpr(E, Out, 0);
+  return Out;
+}

@@ -1,0 +1,595 @@
+//===- interp/Interpreter.cpp ---------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "reader/Parser.h"
+#include "size/Measures.h"
+
+#include <cmath>
+#include <pthread.h>
+
+using namespace granlog;
+
+Interpreter::Interpreter(const Program &P, TermArena &Arena,
+                         InterpOptions Options)
+    : P(P), Arena(Arena), Symbols(Arena.symbols()), Options(Options) {
+  if (Options.CaptureTree)
+    Tree = std::make_unique<CostTreeBuilder>();
+}
+
+namespace {
+
+/// The interpreter is written in continuation-passing style, so the C++
+/// stack depth grows with the size of the proof.  Queries therefore run on
+/// a dedicated thread with a large stack.
+void runOnLargeStack(const std::function<void()> &Fn) {
+  struct Ctx {
+    const std::function<void()> *Fn;
+  } C{&Fn};
+  pthread_attr_t Attr;
+  pthread_attr_init(&Attr);
+  pthread_attr_setstacksize(&Attr, 1ull << 30); // 1 GiB
+  pthread_t Thread;
+  auto Trampoline = [](void *Arg) -> void * {
+    (*static_cast<Ctx *>(Arg)->Fn)();
+    return nullptr;
+  };
+  if (pthread_create(&Thread, &Attr, Trampoline, &C) == 0) {
+    pthread_join(Thread, nullptr);
+  } else {
+    Fn(); // fall back to the caller's stack
+  }
+  pthread_attr_destroy(&Attr);
+}
+
+} // namespace
+
+bool Interpreter::solve(const Term *Goal) {
+  bool Result = false;
+  runOnLargeStack([&] {
+    bool Cut = false;
+    Result = solveGoal(Goal, &Cut, [] { return true; });
+  });
+  Counters.Unifications = UStats.Unifications;
+  if (Tree)
+    FinishedTree = Tree->finish();
+  return Result && !Aborted;
+}
+
+bool Interpreter::solveText(std::string_view GoalText, Diagnostics &Diags) {
+  const Term *Goal = parseTermText(GoalText, Arena, Diags);
+  if (!Goal)
+    return false;
+  return solve(Goal);
+}
+
+std::unique_ptr<CostNode> Interpreter::takeTree() {
+  return std::move(FinishedTree);
+}
+
+bool Interpreter::solveGoal(const Term *Goal, bool *CutSignal, Cont K) {
+  if (Aborted)
+    return false;
+  Goal = deref(Goal);
+
+  if (const AtomTerm *A = dynCast<AtomTerm>(Goal)) {
+    const std::string &Name = Symbols.text(A->name());
+    if (Name == "true")
+      return K();
+    if (Name == "fail" || Name == "false")
+      return false;
+    if (Name == "!") {
+      if (K())
+        return true;
+      *CutSignal = true;
+      return false;
+    }
+    if (Name == "nl") {
+      charge(Options.Weights.Builtin);
+      return K();
+    }
+    return callPredicate(Functor{A->name(), 0}, Goal, K);
+  }
+
+  const StructTerm *S = dynCast<StructTerm>(Goal);
+  if (!S)
+    return false; // calling a variable or number: error => failure
+  const std::string &Name = Symbols.text(S->name());
+
+  if (S->arity() == 2) {
+    if (Name == ",") {
+      const Term *A = S->arg(0);
+      const Term *B = S->arg(1);
+      return solveGoal(A, CutSignal, [&]() -> bool {
+        return solveGoal(B, CutSignal, K);
+      });
+    }
+    if (Name == "&")
+      return solveParallel(S, CutSignal, K);
+    if (Name == ";") {
+      const Term *A = deref(S->arg(0));
+      const StructTerm *Cond = dynCast<StructTerm>(A);
+      if (Cond && Cond->arity() == 2 &&
+          Symbols.text(Cond->name()) == "->") {
+        BindingEnv::Mark M = Env.mark();
+        bool LocalCut = false;
+        bool Met = false;
+        solveGoal(Cond->arg(0), &LocalCut, [&]() -> bool {
+          Met = true;
+          return true; // commit to the first solution of the condition
+        });
+        if (Met)
+          return solveGoal(Cond->arg(1), CutSignal, K);
+        Env.undoTo(M);
+        return solveGoal(S->arg(1), CutSignal, K);
+      }
+      // Plain disjunction.
+      BindingEnv::Mark M = Env.mark();
+      if (solveGoal(S->arg(0), CutSignal, K))
+        return true;
+      if (*CutSignal)
+        return false;
+      Env.undoTo(M);
+      return solveGoal(S->arg(1), CutSignal, K);
+    }
+    if (Name == "->") {
+      // Bare if-then: (C -> T) == (C -> T ; fail).
+      BindingEnv::Mark M = Env.mark();
+      bool LocalCut = false;
+      bool Met = false;
+      solveGoal(S->arg(0), &LocalCut, [&]() -> bool {
+        Met = true;
+        return true;
+      });
+      if (Met)
+        return solveGoal(S->arg(1), CutSignal, K);
+      Env.undoTo(M);
+      return false;
+    }
+  }
+  if (S->arity() == 1 && Name == "\\+") {
+    BindingEnv::Mark M = Env.mark();
+    bool LocalCut = false;
+    bool Met = false;
+    solveGoal(S->arg(0), &LocalCut, [&]() -> bool {
+      Met = true;
+      return true;
+    });
+    Env.undoTo(M);
+    return Met ? false : K();
+  }
+
+  Functor F = S->functor();
+  // between/3 is the one nondeterministic builtin: it enumerates integers
+  // through the continuation.
+  if (S->arity() == 3 && Name == "between") {
+    Number Lo, Hi;
+    if (!evalArith(S->arg(0), Lo) || !evalArith(S->arg(1), Hi))
+      return false;
+    charge(Options.Weights.Builtin);
+    const Term *X = deref(S->arg(2));
+    if (!X->isVariable()) {
+      Number V;
+      if (!evalArith(X, V))
+        return false;
+      return V.asDouble() >= Lo.asDouble() &&
+             V.asDouble() <= Hi.asDouble() && K();
+    }
+    for (int64_t V = Lo.IntVal; V <= Hi.IntVal; ++V) {
+      BindingEnv::Mark M = Env.mark();
+      if (unify(X, Arena.makeInt(V), Env, &UStats) && K())
+        return true;
+      Env.undoTo(M);
+      if (Aborted)
+        return false;
+    }
+    return false;
+  }
+  if (S->arity() == 3 && Name == "findall") {
+    charge(Options.Weights.Builtin);
+    std::vector<const Term *> Results;
+    BindingEnv::Mark M = Env.mark();
+    bool LocalCut = false;
+    solveGoal(S->arg(1), &LocalCut, [&]() -> bool {
+      Results.push_back(resolve(S->arg(0), Arena));
+      return false; // keep enumerating solutions
+    });
+    Env.undoTo(M);
+    if (!unify(S->arg(2), Arena.makeList(Results), Env, &UStats))
+      return false;
+    return K();
+  }
+  if (isBuiltinFunctor(F, Symbols)) {
+    if (!evalBuiltin(F, S))
+      return false;
+    return K();
+  }
+  return callPredicate(F, Goal, K);
+}
+
+bool Interpreter::solveParallel(const StructTerm *S, bool *CutSignal,
+                                Cont K) {
+  // Flatten the '&' chain.
+  std::vector<const Term *> Goals;
+  std::function<void(const Term *)> Flatten = [&](const Term *T) {
+    T = deref(T);
+    const StructTerm *TS = dynCast<StructTerm>(T);
+    if (TS && TS->arity() == 2 && Symbols.text(TS->name()) == "&") {
+      Flatten(TS->arg(0));
+      Flatten(TS->arg(1));
+      return;
+    }
+    Goals.push_back(T);
+  };
+  Flatten(S);
+
+  if (!Tree) {
+    // No trace capture: semantics of '&' equal ','.
+    std::function<bool(size_t)> Run = [&](size_t I) -> bool {
+      if (I == Goals.size())
+        return K();
+      return solveGoal(Goals[I], CutSignal,
+                       [&, I]() -> bool { return Run(I + 1); });
+    };
+    return Run(0);
+  }
+
+  size_t M0 = Tree->mark();
+  Tree->beginPar();
+  size_t ParDepth = Tree->mark();
+  std::function<bool(size_t)> Run = [&](size_t I) -> bool {
+    if (I == Goals.size()) {
+      Tree->unwindTo(M0); // close all branches and the Par node
+      return K();
+    }
+    // If backtracking re-entered this region after the Par was closed,
+    // skip the structural bookkeeping (work is still recorded).
+    if (Tree->mark() >= ParDepth) {
+      Tree->unwindTo(ParDepth);
+      Tree->beginBranch();
+    }
+    return solveGoal(Goals[I], CutSignal,
+                     [&, I]() -> bool { return Run(I + 1); });
+  };
+  bool Ok = Run(0);
+  if (!Ok)
+    Tree->unwindTo(M0);
+  return Ok;
+}
+
+bool Interpreter::callPredicate(Functor F, const Term *Goal, Cont K) {
+  const Predicate *Pred = P.lookup(F);
+  if (!Pred)
+    return false; // unknown procedure: fail (no exceptions in this subset)
+  bool CutHit = false;
+  for (size_t CI = 0; CI != Pred->clauses().size(); ++CI) {
+    const Clause &C = Pred->clauses()[CI];
+    if (budgetExceeded())
+      return false;
+    BindingEnv::Mark M = Env.mark();
+    TermRenamer Renamer(Arena);
+    const Term *Head = Renamer.rename(C.head());
+    ++Counters.Attempts;
+    if (unify(Goal, Head, Env, &UStats)) {
+      ++Counters.Resolutions;
+      if (Options.Wam) {
+        // Instruction accounting: the clause's full compiled size is
+        // charged at entry (head unification + the argument loading and
+        // call instructions its body will execute).
+        const CompiledClause *CC =
+            Options.Wam->clause(F, static_cast<unsigned>(CI));
+        unsigned N = CC ? CC->totalCount() : 2;
+        Counters.Instructions += N;
+        charge(static_cast<double>(N));
+      } else {
+        charge(Options.Weights.Resolution);
+      }
+      const Term *Body = Renamer.rename(C.body());
+      if (solveGoal(Body, &CutHit, K))
+        return true;
+    } else {
+      if (Options.Wam) {
+        // First-argument indexing filters non-matching clauses cheaply.
+        Counters.Instructions += 1;
+        charge(1.0);
+      } else {
+        charge(Options.Weights.FailedAttempt);
+      }
+    }
+    Env.undoTo(M);
+    if (CutHit || Aborted)
+      return false;
+  }
+  return false;
+}
+
+bool Interpreter::evalArith(const Term *T, Number &Out) {
+  T = deref(T);
+  if (const IntTerm *I = dynCast<IntTerm>(T)) {
+    Out = {false, I->value(), 0};
+    return true;
+  }
+  if (const FloatTerm *F = dynCast<FloatTerm>(T)) {
+    Out = {true, 0, F->value()};
+    return true;
+  }
+  if (const AtomTerm *A = dynCast<AtomTerm>(T)) {
+    const std::string &Name = Symbols.text(A->name());
+    if (Name == "pi") {
+      Out = {true, 0, M_PI};
+      return true;
+    }
+    if (Name == "e") {
+      Out = {true, 0, M_E};
+      return true;
+    }
+    return false;
+  }
+  const StructTerm *S = dynCast<StructTerm>(T);
+  if (!S)
+    return false;
+  const std::string &Name = Symbols.text(S->name());
+
+  if (S->arity() == 1) {
+    Number A;
+    if (!evalArith(S->arg(0), A))
+      return false;
+    if (Name == "-") {
+      Out = A.IsFloat ? Number{true, 0, -A.FloatVal}
+                      : Number{false, -A.IntVal, 0};
+      return true;
+    }
+    if (Name == "+") {
+      Out = A;
+      return true;
+    }
+    if (Name == "abs") {
+      Out = A.IsFloat ? Number{true, 0, std::fabs(A.FloatVal)}
+                      : Number{false, std::llabs(A.IntVal), 0};
+      return true;
+    }
+    if (Name == "sqrt") {
+      Out = {true, 0, std::sqrt(A.asDouble())};
+      return true;
+    }
+    if (Name == "sin") {
+      Out = {true, 0, std::sin(A.asDouble())};
+      return true;
+    }
+    if (Name == "cos") {
+      Out = {true, 0, std::cos(A.asDouble())};
+      return true;
+    }
+    if (Name == "float") {
+      Out = {true, 0, A.asDouble()};
+      return true;
+    }
+    if (Name == "integer" || Name == "truncate") {
+      Out = {false, static_cast<int64_t>(A.asDouble()), 0};
+      return true;
+    }
+    return false;
+  }
+  if (S->arity() != 2)
+    return false;
+  Number A, B;
+  if (!evalArith(S->arg(0), A) || !evalArith(S->arg(1), B))
+    return false;
+  bool Float = A.IsFloat || B.IsFloat;
+
+  auto IntOp = [&](int64_t V) {
+    Out = {false, V, 0};
+    return true;
+  };
+  auto FloatOp = [&](double V) {
+    Out = {true, 0, V};
+    return true;
+  };
+  if (Name == "+")
+    return Float ? FloatOp(A.asDouble() + B.asDouble())
+                 : IntOp(A.IntVal + B.IntVal);
+  if (Name == "-")
+    return Float ? FloatOp(A.asDouble() - B.asDouble())
+                 : IntOp(A.IntVal - B.IntVal);
+  if (Name == "*")
+    return Float ? FloatOp(A.asDouble() * B.asDouble())
+                 : IntOp(A.IntVal * B.IntVal);
+  if (Name == "/") {
+    if (!Float && B.IntVal != 0 && A.IntVal % B.IntVal == 0)
+      return IntOp(A.IntVal / B.IntVal);
+    if (B.asDouble() == 0)
+      return false;
+    return FloatOp(A.asDouble() / B.asDouble());
+  }
+  if (Name == "//") {
+    if (Float || B.IntVal == 0)
+      return false;
+    return IntOp(A.IntVal / B.IntVal);
+  }
+  if (Name == "mod") {
+    if (Float || B.IntVal == 0)
+      return false;
+    int64_t R = A.IntVal % B.IntVal;
+    if (R != 0 && (R < 0) != (B.IntVal < 0))
+      R += B.IntVal;
+    return IntOp(R);
+  }
+  if (Name == "min")
+    return Float ? FloatOp(std::min(A.asDouble(), B.asDouble()))
+                 : IntOp(std::min(A.IntVal, B.IntVal));
+  if (Name == "max")
+    return Float ? FloatOp(std::max(A.asDouble(), B.asDouble()))
+                 : IntOp(std::max(A.IntVal, B.IntVal));
+  if (Name == ">>") {
+    if (Float)
+      return false;
+    return IntOp(A.IntVal >> B.IntVal);
+  }
+  if (Name == "<<") {
+    if (Float)
+      return false;
+    return IntOp(A.IntVal << B.IntVal);
+  }
+  return false;
+}
+
+bool Interpreter::evalBuiltin(Functor F, const Term *Goal) {
+  ++Counters.Builtins;
+  charge(Options.Weights.Builtin);
+  const StructTerm *S = dynCast<StructTerm>(deref(Goal));
+  const std::string &Name = Symbols.text(F.Name);
+
+  if (Name == "is" && S) {
+    Number V;
+    if (!evalArith(S->arg(1), V))
+      return false;
+    const Term *Result = V.IsFloat
+                             ? static_cast<const Term *>(
+                                   Arena.makeFloat(V.FloatVal))
+                             : Arena.makeInt(V.IntVal);
+    return unify(S->arg(0), Result, Env, &UStats);
+  }
+
+  if (S && S->arity() == 2 &&
+      (Name == "<" || Name == ">" || Name == "=<" || Name == ">=" ||
+       Name == "=:=" || Name == "=\\=")) {
+    Number A, B;
+    if (!evalArith(S->arg(0), A) || !evalArith(S->arg(1), B))
+      return false;
+    double X = A.asDouble(), Y = B.asDouble();
+    if (Name == "<")
+      return X < Y;
+    if (Name == ">")
+      return X > Y;
+    if (Name == "=<")
+      return X <= Y;
+    if (Name == ">=")
+      return X >= Y;
+    if (Name == "=:=")
+      return X == Y;
+    return X != Y;
+  }
+
+  if (Name == "=" && S)
+    return unify(S->arg(0), S->arg(1), Env, &UStats);
+  if (Name == "\\=" && S) {
+    BindingEnv::Mark M = Env.mark();
+    bool Ok = unify(S->arg(0), S->arg(1), Env, &UStats);
+    Env.undoTo(M);
+    return !Ok;
+  }
+  if (Name == "==" && S)
+    return termsEqual(S->arg(0), S->arg(1));
+  if (Name == "\\==" && S)
+    return !termsEqual(S->arg(0), S->arg(1));
+
+  if (S && S->arity() == 1) {
+    const Term *A = deref(S->arg(0));
+    if (Name == "var")
+      return A->isVariable();
+    if (Name == "nonvar")
+      return !A->isVariable();
+    if (Name == "atom")
+      return A->isAtom();
+    if (Name == "number")
+      return A->isNumber();
+    if (Name == "integer")
+      return A->isInt();
+    if (Name == "float")
+      return A->isFloat();
+    if (Name == "atomic")
+      return A->isAtomic();
+    if (Name == "is_list") {
+      std::vector<const Term *> Elements;
+      return collectListElements(A, Symbols, Elements);
+    }
+    if (Name == "write")
+      return true; // output is discarded in benchmark runs
+  }
+
+  if (Name == "length" && S) {
+    const Term *L = deref(S->arg(0));
+    const Term *N = deref(S->arg(1));
+    if (!L->isVariable()) {
+      int64_t Count = 0;
+      const Term *T = L;
+      while (isCons(T, Symbols)) {
+        ++Count;
+        T = deref(cast<StructTerm>(deref(T))->arg(1));
+      }
+      if (!isNil(T, Symbols))
+        return false;
+      return unify(N, Arena.makeInt(Count), Env, &UStats);
+    }
+    if (const IntTerm *NI = dynCast<IntTerm>(N)) {
+      if (NI->value() < 0)
+        return false;
+      std::vector<const Term *> Elements;
+      for (int64_t I = 0; I != NI->value(); ++I)
+        Elements.push_back(Arena.makeVariable());
+      return unify(L, Arena.makeList(Elements), Env, &UStats);
+    }
+    return false;
+  }
+
+  if (Name == "functor" && S) {
+    const Term *T = deref(S->arg(0));
+    if (const StructTerm *ST = dynCast<StructTerm>(T)) {
+      return unify(S->arg(1), Arena.makeAtom(ST->name()), Env, &UStats) &&
+             unify(S->arg(2), Arena.makeInt(ST->arity()), Env, &UStats);
+    }
+    if (!T->isVariable())
+      return unify(S->arg(1), T, Env, &UStats) &&
+             unify(S->arg(2), Arena.makeInt(0), Env, &UStats);
+    return false;
+  }
+  if (Name == "arg" && S) {
+    const IntTerm *I = dynCast<IntTerm>(deref(S->arg(0)));
+    const StructTerm *T = dynCast<StructTerm>(deref(S->arg(1)));
+    if (!I || !T || I->value() < 1 ||
+        I->value() > static_cast<int64_t>(T->arity()))
+      return false;
+    return unify(S->arg(2), T->arg(static_cast<unsigned>(I->value() - 1)),
+                 Env, &UStats);
+  }
+
+  if (Name == "$grain_leq" && S && S->arity() == 3) {
+    ++Counters.GrainTests;
+    const Term *T = deref(S->arg(0));
+    const IntTerm *K = dynCast<IntTerm>(deref(S->arg(1)));
+    const AtomTerm *MA = dynCast<AtomTerm>(deref(S->arg(2)));
+    if (!K || !MA)
+      return false;
+    const std::string &MName = Symbols.text(MA->name());
+    int64_t Size = 0;
+    double TraversalCost = 0;
+    if (MName == "value") {
+      Number V;
+      if (!evalArith(T, V))
+        return false; // unknown size: treat as > K (stay parallel)
+      Size = static_cast<int64_t>(V.asDouble());
+    } else if (MName == "length") {
+      const Term *L = T;
+      while (isCons(L, Symbols)) {
+        ++Size;
+        L = deref(cast<StructTerm>(deref(L))->arg(1));
+      }
+      TraversalCost =
+          Options.Weights.SizePerElement * static_cast<double>(Size);
+    } else {
+      std::optional<int64_t> GS =
+          groundSize(T, MName == "depth" ? MeasureKind::TermDepth
+                                         : MeasureKind::TermSize,
+                     Symbols);
+      if (!GS)
+        return false;
+      Size = *GS;
+      TraversalCost =
+          Options.Weights.SizePerElementDeep * static_cast<double>(Size);
+    }
+    charge(Options.Weights.GrainTest + TraversalCost);
+    return Size <= K->value();
+  }
+
+  return false;
+}

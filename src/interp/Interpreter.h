@@ -1,0 +1,146 @@
+//===- interp/Interpreter.h - Resolution interpreter ----------------------===//
+//
+// Part of GranLog; see DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tree-walking resolution interpreter for the Prolog subset, with
+/// - standard backtracking, cut, if-then-else, negation as failure;
+/// - arithmetic over integers and doubles (enough for FFT twiddles);
+/// - exact cost counters (resolutions, head-unification attempts,
+///   unifications, builtins, grain tests) that realize the paper's cost
+///   metrics on real executions;
+/// - optional capture of the series-parallel cost tree: '&' conjunctions
+///   become Par nodes whose branch work is measured in configurable
+///   abstract units, ready for runtime/Scheduler.h;
+/// - the '$grain_leq'(Term, K, Measure) builtin inserted by the
+///   granularity-control transformation, charging a configurable test
+///   cost plus (optionally) a linear size-traversal cost when the system
+///   does not maintain size information (paper Section 2, footnote 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_INTERP_INTERPRETER_H
+#define GRANLOG_INTERP_INTERPRETER_H
+
+#include "program/Program.h"
+#include "runtime/CostTree.h"
+#include "wam/WamCompiler.h"
+#include "term/Unify.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace granlog {
+
+/// Work-unit weights used to convert counted events into the abstract
+/// cost units of the runtime simulation (one unit ~ one resolution).
+struct CostWeights {
+  double Resolution = 1.0;    ///< successful head unification + body entry
+  double FailedAttempt = 0.3; ///< clause head that did not match
+  double Builtin = 0.3;       ///< arithmetic/comparison/unification builtin
+  double GrainTest = 1.0;     ///< '$grain_leq' evaluation
+  double SizePerElement = 0;  ///< per element of a list-length test when
+                              ///< the system does not maintain sizes
+                              ///< (paper footnote 1)
+  double SizePerElementDeep = 0.25; ///< per symbol of a term-size or
+                                    ///< term-depth test (never maintained)
+};
+
+/// Interpreter configuration.
+struct InterpOptions {
+  CostWeights Weights;
+  bool CaptureTree = true;
+  uint64_t StepLimit = 200u * 1000 * 1000; ///< resolutions before abort
+  /// When set, work is charged in *compiled instruction counts*: each
+  /// resolved clause costs its WAM head instructions plus all of its body
+  /// literals' argument-loading/call instructions (charged at entry), and
+  /// a failed head match costs one instruction (indexing).  Builtins and
+  /// resolutions then carry no extra flat weight.
+  const WamCompiler *Wam = nullptr;
+};
+
+/// Event counters of one run.
+struct InterpCounters {
+  uint64_t Resolutions = 0;
+  uint64_t Attempts = 0; ///< clause head unification attempts
+  uint64_t Builtins = 0;
+  uint64_t GrainTests = 0;
+  uint64_t Unifications = 0;
+  uint64_t Instructions = 0; ///< only counted in WAM-accounting mode
+  double WorkUnits = 0;
+};
+
+/// The interpreter.  One instance per query run (counters and the cost
+/// tree are per-run).
+class Interpreter {
+public:
+  Interpreter(const Program &P, TermArena &Arena,
+              InterpOptions Options = InterpOptions());
+
+  /// Proves \p Goal (to its first solution).  Returns false on failure or
+  /// when the step limit was hit (see aborted()).
+  bool solve(const Term *Goal);
+
+  /// Parses and proves a goal given as text.  Errors are reported through
+  /// \p Diags.
+  bool solveText(std::string_view GoalText, Diagnostics &Diags);
+
+  const InterpCounters &counters() const { return Counters; }
+  bool aborted() const { return Aborted; }
+
+  /// The captured execution trace (valid after solve(); null when
+  /// CaptureTree is off).
+  std::unique_ptr<CostNode> takeTree();
+
+  /// Access to bindings after a successful solve (for checking results).
+  TermArena &arena() { return Arena; }
+
+private:
+  using Cont = const std::function<bool()> &;
+
+  bool solveGoal(const Term *Goal, bool *CutSignal, Cont K);
+  bool callPredicate(Functor F, const Term *Goal, Cont K);
+  bool evalBuiltin(Functor F, const Term *Goal);
+  bool solveParallel(const StructTerm *S, bool *CutSignal, Cont K);
+
+  /// Arithmetic evaluation; false on type error / unbound variable.
+  struct Number {
+    bool IsFloat = false;
+    int64_t IntVal = 0;
+    double FloatVal = 0;
+    double asDouble() const {
+      return IsFloat ? FloatVal : static_cast<double>(IntVal);
+    }
+  };
+  bool evalArith(const Term *T, Number &Out);
+
+  void charge(double Units) {
+    Counters.WorkUnits += Units;
+    if (Tree)
+      Tree->addWork(Units);
+  }
+  bool budgetExceeded() {
+    if (Counters.Resolutions <= Options.StepLimit)
+      return false;
+    Aborted = true;
+    return true;
+  }
+
+  const Program &P;
+  TermArena &Arena;
+  const SymbolTable &Symbols;
+  InterpOptions Options;
+  BindingEnv Env;
+  UnifyStats UStats;
+  InterpCounters Counters;
+  std::unique_ptr<CostTreeBuilder> Tree;
+  std::unique_ptr<CostNode> FinishedTree;
+  bool Aborted = false;
+};
+
+} // namespace granlog
+
+#endif // GRANLOG_INTERP_INTERPRETER_H

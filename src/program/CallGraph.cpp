@@ -1,0 +1,153 @@
+//===- program/CallGraph.cpp ----------------------------------------------===//
+
+#include "program/CallGraph.h"
+
+#include <algorithm>
+
+using namespace granlog;
+
+CallGraph::CallGraph(const Program &P) : P(&P) {
+  const SymbolTable &Symbols = P.symbols();
+  // Build edges.
+  for (const auto &PredPtr : P.predicates()) {
+    Functor F = PredPtr->functor();
+    std::vector<Functor> &Out = Callees[F];
+    for (const Clause &C : PredPtr->clauses()) {
+      for (const Term *Lit : C.bodyLiterals()) {
+        std::optional<Functor> LF = literalFunctor(Lit);
+        if (!LF || isBuiltinFunctor(*LF, Symbols))
+          continue;
+        if (!P.lookup(*LF))
+          continue; // call to an undefined predicate; ignored here
+        if (std::find(Out.begin(), Out.end(), *LF) == Out.end())
+          Out.push_back(*LF);
+      }
+    }
+  }
+  runTarjan();
+}
+
+const std::vector<Functor> &CallGraph::callees(Functor Pred) const {
+  static const std::vector<Functor> Empty;
+  auto It = Callees.find(Pred);
+  return It == Callees.end() ? Empty : It->second;
+}
+
+unsigned CallGraph::sccId(Functor Pred) const {
+  auto It = SCCIds.find(Pred);
+  assert(It != SCCIds.end() && "predicate not in call graph");
+  return It->second;
+}
+
+const std::vector<Functor> &CallGraph::sccMembers(unsigned Id) const {
+  assert(Id < SCCs.size() && "bad SCC id");
+  return SCCs[Id];
+}
+
+bool CallGraph::isRecursive(Functor Pred) const {
+  auto It = SCCIds.find(Pred);
+  if (It == SCCIds.end())
+    return false;
+  if (SCCs[It->second].size() > 1)
+    return true;
+  const std::vector<Functor> &Out = callees(Pred);
+  return std::find(Out.begin(), Out.end(), Pred) != Out.end();
+}
+
+bool CallGraph::inSameSCC(Functor Caller, Functor Callee) const {
+  auto ItA = SCCIds.find(Caller);
+  auto ItB = SCCIds.find(Callee);
+  if (ItA == SCCIds.end() || ItB == SCCIds.end())
+    return false;
+  // A self-call only counts as recursive when the predicate actually is.
+  if (Caller == Callee)
+    return isRecursive(Caller);
+  return ItA->second == ItB->second;
+}
+
+ClauseRecursion CallGraph::classifyClause(Functor Pred,
+                                          const Clause &C) const {
+  bool AnyRecursive = false;
+  bool AnyMutual = false;
+  for (const Term *Lit : C.bodyLiterals()) {
+    std::optional<Functor> LF = literalFunctor(Lit);
+    if (!LF)
+      continue;
+    if (!inSameSCC(Pred, *LF))
+      continue;
+    AnyRecursive = true;
+    if (*LF != Pred)
+      AnyMutual = true;
+  }
+  if (!AnyRecursive)
+    return ClauseRecursion::Nonrecursive;
+  return AnyMutual ? ClauseRecursion::Mutual : ClauseRecursion::Simple;
+}
+
+void CallGraph::runTarjan() {
+  for (const auto &PredPtr : P->predicates())
+    if (!State[PredPtr->functor()].Visited)
+      strongConnect(PredPtr->functor());
+  // Tarjan emits SCCs in reverse topological order of the condensation
+  // (callers before callees when edges point caller -> callee)... in fact
+  // Tarjan pops an SCC only after all its successors' SCCs were emitted, so
+  // the emission order is callee-first already.  Build the flat order.
+  for (const std::vector<Functor> &SCC : SCCs)
+    for (Functor F : SCC)
+      TopoOrder.push_back(F);
+}
+
+void CallGraph::strongConnect(Functor V) {
+  // Iterative Tarjan to avoid deep recursion on long call chains.
+  struct Frame {
+    Functor Node;
+    size_t NextEdge = 0;
+  };
+  std::vector<Frame> Work;
+  auto Push = [&](Functor N) {
+    NodeState &NS = State[N];
+    NS.Visited = true;
+    NS.Index = NS.LowLink = NextIndex++;
+    NS.OnStack = true;
+    Stack.push_back(N);
+    Work.push_back({N, 0});
+  };
+  Push(V);
+  while (!Work.empty()) {
+    Frame &F = Work.back();
+    const std::vector<Functor> &Out = callees(F.Node);
+    if (F.NextEdge < Out.size()) {
+      Functor W = Out[F.NextEdge++];
+      NodeState &WS = State[W];
+      if (!WS.Visited) {
+        Push(W);
+      } else if (WS.OnStack) {
+        NodeState &NS = State[F.Node];
+        NS.LowLink = std::min(NS.LowLink, WS.Index);
+      }
+      continue;
+    }
+    // All edges done: maybe emit an SCC, then propagate lowlink upward.
+    NodeState &NS = State[F.Node];
+    if (NS.LowLink == NS.Index) {
+      std::vector<Functor> SCC;
+      for (;;) {
+        Functor W = Stack.back();
+        Stack.pop_back();
+        State[W].OnStack = false;
+        SCC.push_back(W);
+        SCCIds[W] = static_cast<unsigned>(SCCs.size());
+        if (W == F.Node)
+          break;
+      }
+      std::reverse(SCC.begin(), SCC.end());
+      SCCs.push_back(std::move(SCC));
+    }
+    Functor Done = F.Node;
+    Work.pop_back();
+    if (!Work.empty()) {
+      NodeState &Parent = State[Work.back().Node];
+      Parent.LowLink = std::min(Parent.LowLink, State[Done].LowLink);
+    }
+  }
+}

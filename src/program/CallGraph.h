@@ -1,0 +1,90 @@
+//===- program/CallGraph.h - Call graph and SCCs --------------------------===//
+//
+// Part of GranLog; see DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The call graph over user predicates, its strongly connected components
+/// (Tarjan), a callee-first topological order of the SCCs, and the clause
+/// classification of Section 3 of the paper: a body literal is *recursive*
+/// if it is part of a cycle containing the clause head; a clause is
+/// nonrecursive / simple recursive / mutually recursive accordingly.
+///
+/// The analyses process predicates in topological order so that when a
+/// clause of p is analyzed, every non-recursive callee already has closed
+/// form size/cost functions (paper Theorem 3.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_PROGRAM_CALLGRAPH_H
+#define GRANLOG_PROGRAM_CALLGRAPH_H
+
+#include "program/Program.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace granlog {
+
+/// Call graph plus SCC decomposition for one Program.
+class CallGraph {
+public:
+  explicit CallGraph(const Program &P);
+
+  const Program &program() const { return *P; }
+
+  /// The user predicates called by \p Pred's clause bodies (no builtins,
+  /// deduplicated, in first-call order).
+  const std::vector<Functor> &callees(Functor Pred) const;
+
+  /// SCC id of \p Pred.  Ids are numbered in callee-first topological
+  /// order: if p calls q and they are in different SCCs, then
+  /// sccId(q) < sccId(p).
+  unsigned sccId(Functor Pred) const;
+
+  /// All members of the SCC with the given id.
+  const std::vector<Functor> &sccMembers(unsigned Id) const;
+
+  unsigned numSCCs() const { return static_cast<unsigned>(SCCs.size()); }
+
+  /// True if \p Pred is on a call-graph cycle (its SCC has more than one
+  /// member, or it calls itself).
+  bool isRecursive(Functor Pred) const;
+
+  /// True if \p Caller and \p Callee are in the same SCC — i.e. a call to
+  /// Callee from a clause of Caller is a *recursive literal*.
+  bool inSameSCC(Functor Caller, Functor Callee) const;
+
+  /// Classification of one clause of \p Pred per Section 3.
+  ClauseRecursion classifyClause(Functor Pred, const Clause &C) const;
+
+  /// Predicates in callee-first topological order (members of one SCC are
+  /// adjacent).
+  const std::vector<Functor> &topologicalOrder() const { return TopoOrder; }
+
+private:
+  void runTarjan();
+  void strongConnect(Functor V);
+
+  const Program *P;
+  std::unordered_map<Functor, std::vector<Functor>> Callees;
+  std::unordered_map<Functor, unsigned> SCCIds;
+  std::vector<std::vector<Functor>> SCCs;
+  std::vector<Functor> TopoOrder;
+
+  // Tarjan state.
+  struct NodeState {
+    unsigned Index = 0;
+    unsigned LowLink = 0;
+    bool OnStack = false;
+    bool Visited = false;
+  };
+  std::unordered_map<Functor, NodeState> State;
+  std::vector<Functor> Stack;
+  unsigned NextIndex = 0;
+};
+
+} // namespace granlog
+
+#endif // GRANLOG_PROGRAM_CALLGRAPH_H

@@ -1,0 +1,414 @@
+//===- program/Program.cpp ------------------------------------------------===//
+
+#include "program/Program.h"
+
+#include "reader/Parser.h"
+#include "term/TermWriter.h"
+
+#include <set>
+
+using namespace granlog;
+
+const char *granlog::measureName(MeasureKind M) {
+  switch (M) {
+  case MeasureKind::ListLength:
+    return "length";
+  case MeasureKind::TermSize:
+    return "size";
+  case MeasureKind::TermDepth:
+    return "depth";
+  case MeasureKind::IntValue:
+    return "value";
+  case MeasureKind::Void:
+    return "void";
+  }
+  assert(false && "unknown measure");
+  return "?";
+}
+
+Predicate &Program::getOrCreate(Functor F) {
+  auto It = Index.find(F);
+  if (It != Index.end())
+    return *It->second;
+  Preds.push_back(std::make_unique<Predicate>(F));
+  Index.emplace(F, Preds.back().get());
+  return *Preds.back();
+}
+
+const Predicate *Program::lookup(Functor F) const {
+  auto It = Index.find(F);
+  return It == Index.end() ? nullptr : It->second;
+}
+
+Predicate *Program::lookup(Functor F) {
+  auto It = Index.find(F);
+  return It == Index.end() ? nullptr : It->second;
+}
+
+const Predicate *Program::lookup(std::string_view Name,
+                                 unsigned Arity) const {
+  Symbol S = Arena->symbols().lookup(Name);
+  if (!S.isValid())
+    return nullptr;
+  return lookup(Functor{S, Arity});
+}
+
+std::optional<Functor> granlog::literalFunctor(const Term *Literal) {
+  Literal = deref(Literal);
+  if (const AtomTerm *A = dynCast<AtomTerm>(Literal))
+    return Functor{A->name(), 0};
+  if (const StructTerm *S = dynCast<StructTerm>(Literal))
+    return S->functor();
+  return std::nullopt;
+}
+
+bool granlog::isControlFunctor(Functor F, const SymbolTable &Symbols) {
+  const std::string &Name = Symbols.text(F.Name);
+  if (F.Arity == 2)
+    return Name == "," || Name == "&" || Name == ";" || Name == "->";
+  if (F.Arity == 1)
+    return Name == "\\+";
+  return false;
+}
+
+bool granlog::isBuiltinFunctor(Functor F, const SymbolTable &Symbols) {
+  const std::string &Name = Symbols.text(F.Name);
+  switch (F.Arity) {
+  case 0:
+    return Name == "true" || Name == "fail" || Name == "!" || Name == "nl";
+  case 1:
+    return Name == "var" || Name == "nonvar" || Name == "atom" ||
+           Name == "number" || Name == "integer" || Name == "float" ||
+           Name == "atomic" || Name == "is_list" || Name == "write";
+  case 2:
+    return Name == "is" || Name == "=" || Name == "\\=" || Name == "==" ||
+           Name == "\\==" || Name == "<" || Name == ">" || Name == "=<" ||
+           Name == ">=" || Name == "=:=" || Name == "=\\=" ||
+           Name == "length" || Name == "$grain_leq";
+  case 3:
+    return Name == "functor" || Name == "arg" || Name == "$grain_leq" ||
+           Name == "findall" || Name == "between";
+  default:
+    return false;
+  }
+}
+
+void granlog::flattenBodyLiterals(const Term *Body,
+                                  const SymbolTable &Symbols,
+                                  std::vector<const Term *> &Out) {
+  Body = deref(Body);
+  if (const StructTerm *S = dynCast<StructTerm>(Body)) {
+    if (isControlFunctor(S->functor(), Symbols)) {
+      for (const Term *Arg : S->args())
+        flattenBodyLiterals(Arg, Symbols, Out);
+      return;
+    }
+  }
+  if (const AtomTerm *A = dynCast<AtomTerm>(Body))
+    if (Symbols.text(A->name()) == "true")
+      return;
+  Out.push_back(Body);
+}
+
+namespace {
+
+/// Directive interpretation helpers for loadProgram().
+class ProgramLoader {
+public:
+  ProgramLoader(Program &P, TermArena &Arena, Diagnostics &Diags)
+      : P(P), Arena(Arena), Symbols(Arena.symbols()), Diags(Diags) {}
+
+  void addClauseTerm(const Term *T, SourceLoc Loc);
+
+private:
+  void handleDirective(const Term *D, SourceLoc Loc);
+  std::optional<Functor> parseIndicator(const Term *T);
+  std::optional<ArgMode> parseMode(const Term *T);
+  std::optional<MeasureKind> parseMeasure(const Term *T);
+  std::string text(const Term *T) { return termText(T, Symbols); }
+
+  Program &P;
+  TermArena &Arena;
+  SymbolTable &Symbols;
+  Diagnostics &Diags;
+};
+
+} // namespace
+
+std::optional<Functor> ProgramLoader::parseIndicator(const Term *T) {
+  // Either p/2 or a template term p(_, _).
+  T = deref(T);
+  if (const StructTerm *S = dynCast<StructTerm>(T)) {
+    if (S->arity() == 2 && Symbols.text(S->name()) == "/") {
+      const AtomTerm *Name = dynCast<AtomTerm>(deref(S->arg(0)));
+      const IntTerm *Arity = dynCast<IntTerm>(deref(S->arg(1)));
+      if (Name && Arity && Arity->value() >= 0)
+        return Functor{Name->name(), static_cast<unsigned>(Arity->value())};
+      return std::nullopt;
+    }
+    return S->functor();
+  }
+  if (const AtomTerm *A = dynCast<AtomTerm>(T))
+    return Functor{A->name(), 0};
+  return std::nullopt;
+}
+
+std::optional<ArgMode> ProgramLoader::parseMode(const Term *T) {
+  const AtomTerm *A = dynCast<AtomTerm>(deref(T));
+  if (!A)
+    return std::nullopt;
+  const std::string &Name = Symbols.text(A->name());
+  if (Name == "i" || Name == "+")
+    return ArgMode::In;
+  if (Name == "o" || Name == "-")
+    return ArgMode::Out;
+  if (Name == "?")
+    return ArgMode::Unknown;
+  return std::nullopt;
+}
+
+std::optional<MeasureKind> ProgramLoader::parseMeasure(const Term *T) {
+  const AtomTerm *A = dynCast<AtomTerm>(deref(T));
+  if (!A)
+    return std::nullopt;
+  const std::string &Name = Symbols.text(A->name());
+  if (Name == "length")
+    return MeasureKind::ListLength;
+  if (Name == "size")
+    return MeasureKind::TermSize;
+  if (Name == "depth")
+    return MeasureKind::TermDepth;
+  if (Name == "value" || Name == "int")
+    return MeasureKind::IntValue;
+  if (Name == "void")
+    return MeasureKind::Void;
+  return std::nullopt;
+}
+
+void ProgramLoader::handleDirective(const Term *D, SourceLoc Loc) {
+  D = deref(D);
+  std::optional<Functor> F = literalFunctor(D);
+  if (!F) {
+    Diags.error(Loc, "malformed directive: " + text(D));
+    return;
+  }
+  const std::string &Name = Symbols.text(F->Name);
+
+  if (Name == "mode" && F->Arity >= 1) {
+    const StructTerm *S = cast<StructTerm>(D);
+    std::vector<ArgMode> Modes;
+    Functor Target;
+    if (F->Arity == 2) {
+      // mode(p/2, [i,o])
+      std::optional<Functor> Ind = parseIndicator(S->arg(0));
+      std::vector<const Term *> Elements;
+      if (!Ind ||
+          !collectListElements(S->arg(1), Symbols, Elements)) {
+        Diags.error(Loc, "malformed mode directive: " + text(D));
+        return;
+      }
+      for (const Term *E : Elements) {
+        std::optional<ArgMode> M = parseMode(E);
+        if (!M) {
+          Diags.error(Loc, "bad mode specifier in: " + text(D));
+          return;
+        }
+        Modes.push_back(*M);
+      }
+      Target = *Ind;
+    } else {
+      // mode(p(i, o))
+      const Term *Tmpl = deref(S->arg(0));
+      std::optional<Functor> Ind = literalFunctor(Tmpl);
+      if (!Ind) {
+        Diags.error(Loc, "malformed mode directive: " + text(D));
+        return;
+      }
+      if (const StructTerm *TS = dynCast<StructTerm>(Tmpl)) {
+        for (const Term *Arg : TS->args()) {
+          std::optional<ArgMode> M = parseMode(Arg);
+          if (!M) {
+            Diags.error(Loc, "bad mode specifier in: " + text(D));
+            return;
+          }
+          Modes.push_back(*M);
+        }
+      }
+      Target = *Ind;
+    }
+    if (Modes.size() != Target.Arity) {
+      Diags.error(Loc, "mode arity mismatch in: " + text(D));
+      return;
+    }
+    P.getOrCreate(Target).setDeclaredModes(std::move(Modes));
+    return;
+  }
+
+  if (Name == "measure" && F->Arity >= 1) {
+    const StructTerm *S = cast<StructTerm>(D);
+    std::vector<MeasureKind> Measures;
+    Functor Target;
+    if (F->Arity == 2) {
+      std::optional<Functor> Ind = parseIndicator(S->arg(0));
+      std::vector<const Term *> Elements;
+      if (!Ind || !collectListElements(S->arg(1), Symbols, Elements)) {
+        Diags.error(Loc, "malformed measure directive: " + text(D));
+        return;
+      }
+      for (const Term *E : Elements) {
+        std::optional<MeasureKind> M = parseMeasure(E);
+        if (!M) {
+          Diags.error(Loc, "bad measure specifier in: " + text(D));
+          return;
+        }
+        Measures.push_back(*M);
+      }
+      Target = *Ind;
+    } else {
+      const Term *Tmpl = deref(S->arg(0));
+      std::optional<Functor> Ind = literalFunctor(Tmpl);
+      if (!Ind) {
+        Diags.error(Loc, "malformed measure directive: " + text(D));
+        return;
+      }
+      if (const StructTerm *TS = dynCast<StructTerm>(Tmpl)) {
+        for (const Term *Arg : TS->args()) {
+          std::optional<MeasureKind> M = parseMeasure(Arg);
+          if (!M) {
+            Diags.error(Loc, "bad measure specifier in: " + text(D));
+            return;
+          }
+          Measures.push_back(*M);
+        }
+      }
+      Target = *Ind;
+    }
+    if (Measures.size() != Target.Arity) {
+      Diags.error(Loc, "measure arity mismatch in: " + text(D));
+      return;
+    }
+    P.getOrCreate(Target).setDeclaredMeasures(std::move(Measures));
+    return;
+  }
+
+  if ((Name == "parallel" || Name == "sequential") && F->Arity == 1) {
+    const StructTerm *S = cast<StructTerm>(D);
+    std::optional<Functor> Ind = parseIndicator(S->arg(0));
+    if (!Ind) {
+      Diags.error(Loc, "malformed " + Name + " directive: " + text(D));
+      return;
+    }
+    P.getOrCreate(*Ind).setParallelDecl(Name == "parallel"
+                                            ? ParallelDecl::Parallel
+                                            : ParallelDecl::Sequential);
+    return;
+  }
+
+  if (Name == "trust_cost" && F->Arity == 2) {
+    const StructTerm *S = cast<StructTerm>(D);
+    std::optional<Functor> Ind = parseIndicator(S->arg(0));
+    if (!Ind) {
+      Diags.error(Loc, "malformed trust_cost directive: " + text(D));
+      return;
+    }
+    P.getOrCreate(*Ind).setTrustCost(deref(S->arg(1)));
+    return;
+  }
+
+  if (Name == "trust_size" && F->Arity == 3) {
+    const StructTerm *S = cast<StructTerm>(D);
+    std::optional<Functor> Ind = parseIndicator(S->arg(0));
+    const IntTerm *Pos = dynCast<IntTerm>(deref(S->arg(1)));
+    if (!Ind || !Pos || Pos->value() < 1 ||
+        Pos->value() > static_cast<int64_t>(Ind->Arity)) {
+      Diags.error(Loc, "malformed trust_size directive: " + text(D));
+      return;
+    }
+    P.getOrCreate(*Ind).setTrustSize(
+        static_cast<unsigned>(Pos->value() - 1), deref(S->arg(2)));
+    return;
+  }
+
+  if (Name == "entry" && F->Arity == 1) {
+    P.addEntryPoint(deref(cast<StructTerm>(D)->arg(0)));
+    return;
+  }
+
+  Diags.warning(Loc, "ignoring unknown directive: " + text(D));
+}
+
+void ProgramLoader::addClauseTerm(const Term *T, SourceLoc Loc) {
+  T = deref(T);
+  // Directive?
+  if (const StructTerm *S = dynCast<StructTerm>(T)) {
+    const std::string &Name = Symbols.text(S->name());
+    if (Name == ":-" && S->arity() == 1) {
+      handleDirective(S->arg(0), Loc);
+      return;
+    }
+    if (Name == ":-" && S->arity() == 2) {
+      const Term *Head = deref(S->arg(0));
+      std::optional<Functor> HF = literalFunctor(Head);
+      if (!HF || isBuiltinFunctor(*HF, Symbols) ||
+          isControlFunctor(*HF, Symbols)) {
+        Diags.error(Loc, "invalid clause head: " + text(Head));
+        return;
+      }
+      Clause C(Head, deref(S->arg(1)), Loc);
+      std::vector<const Term *> Literals;
+      flattenBodyLiterals(C.body(), Symbols, Literals);
+      C.setBodyLiterals(std::move(Literals));
+      P.getOrCreate(*HF).addClause(std::move(C));
+      return;
+    }
+  }
+  // Fact.
+  std::optional<Functor> HF = literalFunctor(T);
+  if (!HF || isBuiltinFunctor(*HF, Symbols) ||
+      isControlFunctor(*HF, Symbols)) {
+    Diags.error(Loc, "invalid clause: " + text(T));
+    return;
+  }
+  Clause C(T, Arena.makeAtom("true"), Loc);
+  P.getOrCreate(*HF).addClause(std::move(C));
+}
+
+std::optional<Program> granlog::loadProgram(std::string_view Source,
+                                            TermArena &Arena,
+                                            Diagnostics &Diags) {
+  Program P(Arena);
+  ProgramLoader Loader(P, Arena, Diags);
+  Parser Parse(Source, Arena, Diags);
+  while (!Parse.atEnd()) {
+    const Term *T = Parse.readClause();
+    if (!T) {
+      if (Parse.atEnd())
+        break;
+      continue; // error recovery: the parser skipped to the clause end
+    }
+    Loader.addClauseTerm(T, SourceLoc());
+  }
+  if (Diags.hasErrors())
+    return std::nullopt;
+  return P;
+}
+
+std::string granlog::clauseText(const Clause &C, const SymbolTable &Symbols) {
+  std::string Head = termText(C.head(), Symbols);
+  const AtomTerm *True = dynCast<AtomTerm>(deref(C.body()));
+  if (True && Symbols.text(True->name()) == "true")
+    return Head + ".";
+  return Head + " :-\n    " + termText(C.body(), Symbols) + ".";
+}
+
+std::string granlog::programText(const Program &P) {
+  std::string Out;
+  const SymbolTable &Symbols = P.symbols();
+  for (const auto &Pred : P.predicates()) {
+    for (const Clause &C : Pred->clauses()) {
+      Out += clauseText(C, Symbols);
+      Out += '\n';
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,212 @@
+//===- program/Program.h - Programs, predicates, clauses ------------------===//
+//
+// Part of GranLog; see DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The program representation the analyses and the interpreter share.  A
+/// Program owns Predicates; each Predicate owns Clauses.  Clause bodies are
+/// kept as plain terms — ','/2 sequential conjunction, '&'/2 parallel
+/// conjunction, ';'/2 disjunction, '->'/2 if-then — which the analyses and
+/// the interpreter traverse structurally.
+///
+/// Directives understood by the loader:
+///   :- mode(p(i, o)).            argument modes (i/+ input, o/- output)
+///   :- mode(p/2, [i, o]).        same, by indicator
+///   :- measure(p(length, length)).  size measures per argument:
+///                                length | size | depth | value | void
+///   :- measure(p/2, [...]).
+///   :- parallel(p/2).            force classification AlwaysParallel
+///   :- sequential(p/2).          force classification AlwaysSequential
+///   :- entry(p(...)).            entry point (used by mode inference)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_PROGRAM_PROGRAM_H
+#define GRANLOG_PROGRAM_PROGRAM_H
+
+#include "support/Diagnostics.h"
+#include "term/Term.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace granlog {
+
+/// Argument mode: does the caller supply the argument (In) or does the
+/// callee produce it (Out)?
+enum class ArgMode { In, Out, Unknown };
+
+/// The size measures of Section 3 of the paper.  Void marks argument
+/// positions whose size is not tracked.
+enum class MeasureKind {
+  ListLength, ///< |[a,b]| = 2; undefined on non-lists
+  TermSize,   ///< number of constant and function symbols
+  TermDepth,  ///< depth of the tree representation
+  IntValue,   ///< the value of an integer term
+  Void,       ///< untracked
+};
+
+/// Returns a printable name ("length", "size", ...).
+const char *measureName(MeasureKind M);
+
+/// One clause Head :- Body.  Facts have the body atom 'true'.
+class Clause {
+public:
+  Clause(const Term *Head, const Term *Body, SourceLoc Loc)
+      : Head(Head), Body(Body), Loc(Loc) {}
+
+  const Term *head() const { return Head; }
+  const Term *body() const { return Body; }
+  SourceLoc location() const { return Loc; }
+
+  /// The callable body literals in left-to-right order, looking through
+  /// ','/2, '&'/2, ';'/2, '->'/2 and '\\+'/1.  Computed by the loader.
+  const std::vector<const Term *> &bodyLiterals() const {
+    return BodyLiterals;
+  }
+  void setBodyLiterals(std::vector<const Term *> Literals) {
+    BodyLiterals = std::move(Literals);
+  }
+
+private:
+  const Term *Head;
+  const Term *Body;
+  SourceLoc Loc;
+  std::vector<const Term *> BodyLiterals;
+};
+
+/// How a clause recurses (paper Section 3: nonrecursive, simple recursive,
+/// mutually recursive).
+enum class ClauseRecursion { Nonrecursive, Simple, Mutual };
+
+/// Scheduling preference forced by directives.
+enum class ParallelDecl { None, Parallel, Sequential };
+
+/// A predicate: all clauses with the same name/arity plus its declarations.
+class Predicate {
+public:
+  Predicate(Functor F) : F(F) {}
+
+  Functor functor() const { return F; }
+  unsigned arity() const { return F.Arity; }
+
+  const std::vector<Clause> &clauses() const { return Clauses; }
+  std::vector<Clause> &clauses() { return Clauses; }
+  void addClause(Clause C) { Clauses.push_back(std::move(C)); }
+
+  /// Declared modes; empty when no declaration was given.
+  const std::vector<ArgMode> &declaredModes() const { return Modes; }
+  void setDeclaredModes(std::vector<ArgMode> M) { Modes = std::move(M); }
+  bool hasDeclaredModes() const { return !Modes.empty(); }
+
+  /// Declared measures; empty when no declaration was given.
+  const std::vector<MeasureKind> &declaredMeasures() const {
+    return Measures;
+  }
+  void setDeclaredMeasures(std::vector<MeasureKind> M) {
+    Measures = std::move(M);
+  }
+  bool hasDeclaredMeasures() const { return !Measures.empty(); }
+
+  ParallelDecl parallelDecl() const { return ParDecl; }
+  void setParallelDecl(ParallelDecl D) { ParDecl = D; }
+
+  /// A ':- trust_cost(p/k, Expr)' declaration: a user-asserted upper bound
+  /// on the predicate's cost as an arithmetic term over n1..nk (the sizes
+  /// of the input arguments).  Used for predicates whose recursion falls
+  /// outside the solvable class (e.g. merge/3, which consumes two lists
+  /// alternately) — the analogue of CiaoPP trust assertions.
+  const Term *trustCost() const { return TrustCost; }
+  void setTrustCost(const Term *T) { TrustCost = T; }
+
+  /// ':- trust_size(p/k, Pos, Expr)': asserted upper bound on the size of
+  /// output argument Pos (1-based in the directive, stored 0-based).
+  const Term *trustSize(unsigned Pos) const {
+    auto It = TrustSizes.find(Pos);
+    return It == TrustSizes.end() ? nullptr : It->second;
+  }
+  void setTrustSize(unsigned Pos, const Term *T) { TrustSizes[Pos] = T; }
+  const std::unordered_map<unsigned, const Term *> &trustSizes() const {
+    return TrustSizes;
+  }
+
+private:
+  Functor F;
+  std::vector<Clause> Clauses;
+  std::vector<ArgMode> Modes;
+  std::vector<MeasureKind> Measures;
+  ParallelDecl ParDecl = ParallelDecl::None;
+  const Term *TrustCost = nullptr;
+  std::unordered_map<unsigned, const Term *> TrustSizes;
+};
+
+/// A whole program: predicates indexed by functor, in definition order.
+class Program {
+public:
+  explicit Program(TermArena &Arena) : Arena(&Arena) {}
+
+  TermArena &arena() const { return *Arena; }
+  SymbolTable &symbols() const { return Arena->symbols(); }
+
+  /// Finds or creates the predicate for \p F.
+  Predicate &getOrCreate(Functor F);
+
+  /// Returns the predicate for \p F, or nullptr.
+  const Predicate *lookup(Functor F) const;
+  Predicate *lookup(Functor F);
+
+  /// Convenience lookup by source name.
+  const Predicate *lookup(std::string_view Name, unsigned Arity) const;
+
+  const std::vector<std::unique_ptr<Predicate>> &predicates() const {
+    return Preds;
+  }
+
+  /// Entry-point goals from ':- entry(...)' directives.
+  const std::vector<const Term *> &entryPoints() const { return Entries; }
+  void addEntryPoint(const Term *Goal) { Entries.push_back(Goal); }
+
+private:
+  TermArena *Arena;
+  std::vector<std::unique_ptr<Predicate>> Preds;
+  std::unordered_map<Functor, Predicate *> Index;
+  std::vector<const Term *> Entries;
+};
+
+/// Returns the functor of a callable term (atom => arity 0), or nullopt if
+/// \p Literal is not callable (a variable or number).
+std::optional<Functor> literalFunctor(const Term *Literal);
+
+/// True for control constructs and built-in predicates the interpreter
+/// implements natively (they are not user predicates in the call graph).
+bool isBuiltinFunctor(Functor F, const SymbolTable &Symbols);
+
+/// True for ','/2, '&'/2, ';'/2, '->'/2, '\\+'/1.
+bool isControlFunctor(Functor F, const SymbolTable &Symbols);
+
+/// Appends the callable literals of \p Body, looking through control
+/// constructs, in left-to-right order.
+void flattenBodyLiterals(const Term *Body, const SymbolTable &Symbols,
+                         std::vector<const Term *> &Out);
+
+/// Parses \p Source and loads it into a Program, processing directives.
+/// Returns nullopt if the source has errors (see \p Diags).
+std::optional<Program> loadProgram(std::string_view Source, TermArena &Arena,
+                                   Diagnostics &Diags);
+
+/// Renders one clause back to surface syntax ("head." or
+/// "head :-\n    body.").
+std::string clauseText(const Clause &C, const SymbolTable &Symbols);
+
+/// Renders the whole program (clauses only; directives are not
+/// round-tripped).
+std::string programText(const Program &P);
+
+} // namespace granlog
+
+#endif // GRANLOG_PROGRAM_PROGRAM_H

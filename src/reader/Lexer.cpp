@@ -1,0 +1,294 @@
+//===- reader/Lexer.cpp ---------------------------------------------------===//
+
+#include "reader/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace granlog;
+
+static bool isSymbolChar(char C) {
+  switch (C) {
+  case '+':
+  case '-':
+  case '*':
+  case '/':
+  case '\\':
+  case '^':
+  case '<':
+  case '>':
+  case '=':
+  case '~':
+  case ':':
+  case '.':
+  case '?':
+  case '@':
+  case '#':
+  case '&':
+  case '$':
+    return true;
+  default:
+    return false;
+  }
+}
+
+static bool isAlnumChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+}
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    LineStart = Pos;
+  }
+  return C;
+}
+
+int Lexer::column() const { return static_cast<int>(Pos - LineStart) + 1; }
+
+bool Lexer::skipLayoutAndComments() {
+  for (;;) {
+    if (atEnd())
+      return true;
+    char C = peek();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    if (C == '%') {
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLoc Start = location();
+      advance();
+      advance();
+      while (!atEnd() && !(peek() == '*' && peek(1) == '/'))
+        advance();
+      if (atEnd()) {
+        Diags.error(Start, "unterminated block comment");
+        return false;
+      }
+      advance();
+      advance();
+      continue;
+    }
+    return true;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind, std::string Text) {
+  Token T;
+  T.Kind = Kind;
+  T.Text = std::move(Text);
+  T.Loc = location();
+  return T;
+}
+
+Token Lexer::next() {
+  bool PrevWasAtomLike = LastWasAtomLike;
+  LastWasAtomLike = false;
+  if (!skipLayoutAndComments())
+    return makeToken(TokenKind::Error);
+  if (atEnd())
+    return makeToken(TokenKind::EndOfFile);
+
+  // If layout was skipped, a following '(' is not an argument-list paren.
+  char C = peek();
+  SourceLoc Loc = location();
+
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber();
+
+  if (std::isupper(static_cast<unsigned char>(C)) || C == '_')
+    return lexAlphaAtomOrVariable();
+  if (std::isalpha(static_cast<unsigned char>(C))) {
+    Token T = lexAlphaAtomOrVariable();
+    LastWasAtomLike = true;
+    return T;
+  }
+  // '$'-prefixed identifiers are system atoms (e.g. '$grain_leq'), so the
+  // printer's output for transformed programs reads back.
+  if (C == '$' && std::isalnum(static_cast<unsigned char>(peek(1)))) {
+    SourceLoc Loc2 = location();
+    advance(); // '$'
+    Token T = lexAlphaAtomOrVariable();
+    T.Kind = TokenKind::Atom;
+    T.Text = "$" + T.Text;
+    T.Loc = Loc2;
+    LastWasAtomLike = true;
+    return T;
+  }
+
+  switch (C) {
+  case '(': {
+    advance();
+    Token T = makeToken(TokenKind::LParen);
+    T.Loc = Loc;
+    // FollowsAtom is only meaningful when the parser saw no layout between
+    // the previous atom and this paren; we approximate it by position.
+    T.FollowsAtom = PrevWasAtomLike && Pos >= 2 &&
+                    !std::isspace(static_cast<unsigned char>(Source[Pos - 2]));
+    return T;
+  }
+  case ')':
+    advance();
+    return makeToken(TokenKind::RParen);
+  case '[':
+    advance();
+    return makeToken(TokenKind::LBracket);
+  case ']':
+    advance();
+    return makeToken(TokenKind::RBracket);
+  case ',':
+    advance();
+    return makeToken(TokenKind::Comma);
+  case '|':
+    advance();
+    return makeToken(TokenKind::Bar);
+  case '\'':
+    return lexQuotedAtom();
+  case '!':
+    advance();
+    LastWasAtomLike = true;
+    return makeToken(TokenKind::Atom, "!");
+  case ';':
+    advance();
+    LastWasAtomLike = true;
+    return makeToken(TokenKind::Atom, ";");
+  default:
+    break;
+  }
+
+  if (isSymbolChar(C)) {
+    // '.' followed by layout or EOF terminates a clause.
+    if (C == '.') {
+      char After = peek(1);
+      if (After == '\0' || std::isspace(static_cast<unsigned char>(After)) ||
+          After == '%') {
+        advance();
+        return makeToken(TokenKind::EndClause);
+      }
+    }
+    Token T = lexSymbolicAtom();
+    LastWasAtomLike = true;
+    return T;
+  }
+
+  Diags.error(Loc, std::string("unexpected character '") + C + "'");
+  advance();
+  return makeToken(TokenKind::Error);
+}
+
+Token Lexer::lexNumber() {
+  SourceLoc Loc = location();
+  size_t Start = Pos;
+  while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+    advance();
+  bool IsFloat = false;
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    IsFloat = true;
+    advance();
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+      advance();
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    size_t Save = Pos;
+    advance();
+    if (peek() == '+' || peek() == '-')
+      advance();
+    if (std::isdigit(static_cast<unsigned char>(peek()))) {
+      IsFloat = true;
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+        advance();
+    } else {
+      Pos = Save;
+    }
+  }
+  std::string Text(Source.substr(Start, Pos - Start));
+  Token T;
+  T.Loc = Loc;
+  if (IsFloat) {
+    T.Kind = TokenKind::Float;
+    T.FloatValue = std::strtod(Text.c_str(), nullptr);
+  } else {
+    T.Kind = TokenKind::Int;
+    T.IntValue = std::strtoll(Text.c_str(), nullptr, 10);
+  }
+  T.Text = std::move(Text);
+  LastWasAtomLike = false;
+  return T;
+}
+
+Token Lexer::lexAlphaAtomOrVariable() {
+  SourceLoc Loc = location();
+  size_t Start = Pos;
+  char First = peek();
+  while (!atEnd() && isAlnumChar(peek()))
+    advance();
+  std::string Text(Source.substr(Start, Pos - Start));
+  Token T;
+  T.Loc = Loc;
+  if (std::isupper(static_cast<unsigned char>(First)) || First == '_') {
+    T.Kind = TokenKind::Variable;
+  } else {
+    T.Kind = TokenKind::Atom;
+  }
+  T.Text = std::move(Text);
+  return T;
+}
+
+Token Lexer::lexSymbolicAtom() {
+  SourceLoc Loc = location();
+  size_t Start = Pos;
+  while (!atEnd() && isSymbolChar(peek()))
+    advance();
+  Token T;
+  T.Loc = Loc;
+  T.Kind = TokenKind::Atom;
+  T.Text = std::string(Source.substr(Start, Pos - Start));
+  return T;
+}
+
+Token Lexer::lexQuotedAtom() {
+  SourceLoc Loc = location();
+  advance(); // opening quote
+  std::string Text;
+  for (;;) {
+    if (atEnd()) {
+      Diags.error(Loc, "unterminated quoted atom");
+      return makeToken(TokenKind::Error);
+    }
+    char C = advance();
+    if (C == '\'') {
+      if (peek() == '\'') { // '' escapes a quote
+        advance();
+        Text += '\'';
+        continue;
+      }
+      break;
+    }
+    if (C == '\\' && !atEnd()) {
+      char E = advance();
+      switch (E) {
+      case 'n':
+        Text += '\n';
+        break;
+      case 't':
+        Text += '\t';
+        break;
+      default:
+        Text += E;
+        break;
+      }
+      continue;
+    }
+    Text += C;
+  }
+  Token T = makeToken(TokenKind::Atom, std::move(Text));
+  T.Loc = Loc;
+  LastWasAtomLike = true;
+  return T;
+}

@@ -1,0 +1,98 @@
+//===- reader/Lexer.h - Prolog tokenizer ----------------------------------===//
+//
+// Part of GranLog; see DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the Prolog subset used by the granularity analyzer:
+/// atoms (alphanumeric, symbolic, quoted), variables, integers, floats,
+/// punctuation, '%' line comments and '/* */' block comments.  The clause
+/// terminator is a '.' followed by layout or end of input, as in standard
+/// Prolog (a '.' followed by a symbol character is a symbolic atom).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_READER_LEXER_H
+#define GRANLOG_READER_LEXER_H
+
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace granlog {
+
+/// Kinds of token produced by the Lexer.
+enum class TokenKind {
+  Atom,      ///< foo, 'quoted', + , :- , etc.  Text carries the name.
+  Variable,  ///< X, _Foo, _
+  Int,       ///< 42
+  Float,     ///< 3.14
+  LParen,    ///< '('  (FollowsAtom distinguishes f( from f ()
+  RParen,    ///< ')'
+  LBracket,  ///< '['
+  RBracket,  ///< ']'
+  Comma,     ///< ','
+  Bar,       ///< '|'
+  EndClause, ///< '.' followed by layout
+  EndOfFile,
+  Error,
+};
+
+/// One token.  Text/IntValue/FloatValue are valid depending on Kind.
+struct Token {
+  TokenKind Kind = TokenKind::Error;
+  std::string Text;
+  int64_t IntValue = 0;
+  double FloatValue = 0;
+  SourceLoc Loc;
+  /// For LParen: true when the '(' immediately follows an atom with no
+  /// intervening layout, i.e. this opens an argument list.
+  bool FollowsAtom = false;
+
+  bool isAtom(std::string_view Name) const {
+    return Kind == TokenKind::Atom && Text == Name;
+  }
+};
+
+/// Produces Tokens from a source buffer.  Diagnoses malformed input (e.g.
+/// unterminated quotes) through the Diagnostics sink and then yields an
+/// Error token.
+class Lexer {
+public:
+  Lexer(std::string_view Source, Diagnostics &Diags)
+      : Source(Source), Diags(Diags) {}
+
+  /// Lexes and returns the next token.
+  Token next();
+
+  SourceLoc location() const { return {Line, column()}; }
+
+private:
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+  bool atEnd() const { return Pos >= Source.size(); }
+  char advance();
+  bool skipLayoutAndComments(); ///< returns false on unterminated comment
+  int column() const;
+
+  Token makeToken(TokenKind Kind, std::string Text = std::string());
+  Token lexNumber();
+  Token lexAlphaAtomOrVariable();
+  Token lexSymbolicAtom();
+  Token lexQuotedAtom();
+
+  std::string_view Source;
+  Diagnostics &Diags;
+  size_t Pos = 0;
+  size_t LineStart = 0;
+  int Line = 1;
+  bool LastWasAtomLike = false;
+};
+
+} // namespace granlog
+
+#endif // GRANLOG_READER_LEXER_H

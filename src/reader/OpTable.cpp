@@ -1,0 +1,59 @@
+//===- reader/OpTable.cpp -------------------------------------------------===//
+
+#include "reader/OpTable.h"
+
+#include <cassert>
+
+using namespace granlog;
+
+OpTable::OpTable() {
+  addInfix(":-", 1200, OpType::XFX);
+  addInfix("-->", 1200, OpType::XFX);
+  addPrefix(":-", 1200, OpType::FX);
+  addPrefix("?-", 1200, OpType::FX);
+  addInfix(";", 1100, OpType::XFY);
+  addInfix("->", 1050, OpType::XFY);
+  // &-Prolog parallel conjunction: binds looser than ',' so that
+  // "a, b & c, d" groups as "(a, b) & (c, d)".
+  addInfix("&", 1025, OpType::XFY);
+  addInfix(",", 1000, OpType::XFY);
+  addPrefix("\\+", 900, OpType::FY);
+  for (const char *Name : {"=", "\\=", "==", "\\==", "@<", "@>", "@=<", "@>=",
+                           "is", "=..", "<", ">", "=<", ">=", "=:=", "=\\="})
+    addInfix(Name, 700, OpType::XFX);
+  addInfix("+", 500, OpType::YFX);
+  addInfix("-", 500, OpType::YFX);
+  addInfix("/\\", 500, OpType::YFX);
+  addInfix("\\/", 500, OpType::YFX);
+  addInfix("*", 400, OpType::YFX);
+  addInfix("/", 400, OpType::YFX);
+  addInfix("//", 400, OpType::YFX);
+  addInfix("mod", 400, OpType::YFX);
+  addInfix("rem", 400, OpType::YFX);
+  addInfix("<<", 400, OpType::YFX);
+  addInfix(">>", 400, OpType::YFX);
+  addInfix("**", 200, OpType::XFX);
+  addInfix("^", 200, OpType::XFY);
+  addPrefix("-", 200, OpType::FY);
+  addPrefix("+", 200, OpType::FY);
+}
+
+void OpTable::addInfix(std::string Name, int Priority, OpType Type) {
+  assert(Type == OpType::XFX || Type == OpType::XFY || Type == OpType::YFX);
+  Infix[std::move(Name)] = {Priority, Type};
+}
+
+void OpTable::addPrefix(std::string Name, int Priority, OpType Type) {
+  assert(Type == OpType::FY || Type == OpType::FX);
+  Prefix[std::move(Name)] = {Priority, Type};
+}
+
+const OpDef *OpTable::lookupInfix(std::string_view Name) const {
+  auto It = Infix.find(std::string(Name));
+  return It == Infix.end() ? nullptr : &It->second;
+}
+
+const OpDef *OpTable::lookupPrefix(std::string_view Name) const {
+  auto It = Prefix.find(std::string(Name));
+  return It == Prefix.end() ? nullptr : &It->second;
+}

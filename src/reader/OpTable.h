@@ -1,0 +1,68 @@
+//===- reader/OpTable.h - Prolog operator table ---------------------------===//
+//
+// Part of GranLog; see DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The standard Prolog operator table plus the '&' parallel-conjunction
+/// operator of &-Prolog (priority 1025, xfy: "a, b & c, d" reads as
+/// "(a, b) & (c, d)").  Priorities follow ISO conventions: larger numbers
+/// bind looser.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_READER_OPTABLE_H
+#define GRANLOG_READER_OPTABLE_H
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace granlog {
+
+/// Operator associativity types.
+enum class OpType {
+  XFX, ///< infix, neither side may be same priority
+  XFY, ///< infix, right-associative
+  YFX, ///< infix, left-associative
+  FY,  ///< prefix, argument may be same priority
+  FX,  ///< prefix, argument must be lower priority
+};
+
+/// One operator definition.
+struct OpDef {
+  int Priority = 0;
+  OpType Type = OpType::XFX;
+
+  bool isPrefix() const { return Type == OpType::FY || Type == OpType::FX; }
+  /// Maximum priority allowed for the left operand (infix only).
+  int leftMax() const { return Type == OpType::YFX ? Priority : Priority - 1; }
+  /// Maximum priority allowed for the right (or prefix) operand.
+  int rightMax() const {
+    return (Type == OpType::XFY || Type == OpType::FY) ? Priority
+                                                       : Priority - 1;
+  }
+};
+
+/// Operator lookups for the parser.  An atom may be both a prefix and an
+/// infix operator (e.g. '-').
+class OpTable {
+public:
+  /// Builds the standard table (ISO core operators plus '&').
+  OpTable();
+
+  void addInfix(std::string Name, int Priority, OpType Type);
+  void addPrefix(std::string Name, int Priority, OpType Type);
+
+  const OpDef *lookupInfix(std::string_view Name) const;
+  const OpDef *lookupPrefix(std::string_view Name) const;
+
+private:
+  std::unordered_map<std::string, OpDef> Infix;
+  std::unordered_map<std::string, OpDef> Prefix;
+};
+
+} // namespace granlog
+
+#endif // GRANLOG_READER_OPTABLE_H

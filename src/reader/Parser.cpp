@@ -1,0 +1,250 @@
+//===- reader/Parser.cpp --------------------------------------------------===//
+
+#include "reader/Parser.h"
+
+using namespace granlog;
+
+bool Parser::expect(TokenKind Kind, const char *What) {
+  if (Tok.Kind == Kind) {
+    consume();
+    return true;
+  }
+  Diags.error(Tok.Loc, std::string("expected ") + What);
+  return false;
+}
+
+void Parser::skipToClauseEnd() {
+  while (Tok.Kind != TokenKind::EndClause && Tok.Kind != TokenKind::EndOfFile)
+    consume();
+  if (Tok.Kind == TokenKind::EndClause)
+    consume();
+}
+
+const VarTerm *Parser::variableFor(const std::string &Name) {
+  if (Name == "_") {
+    const VarTerm *V = Arena.makeVariable(Arena.symbols().intern("_"));
+    ClauseVarOrder.push_back(V);
+    return V;
+  }
+  auto It = ClauseVars.find(Name);
+  if (It != ClauseVars.end())
+    return It->second;
+  const VarTerm *V = Arena.makeVariable(Arena.symbols().intern(Name));
+  ClauseVars.emplace(Name, V);
+  ClauseVarOrder.push_back(V);
+  return V;
+}
+
+bool Parser::startsTerm() const {
+  switch (Tok.Kind) {
+  case TokenKind::Atom:
+  case TokenKind::Variable:
+  case TokenKind::Int:
+  case TokenKind::Float:
+  case TokenKind::LParen:
+  case TokenKind::LBracket:
+    return true;
+  default:
+    return false;
+  }
+}
+
+const Term *Parser::readClause() {
+  ClauseVars.clear();
+  ClauseVarOrder.clear();
+  if (Tok.Kind == TokenKind::EndOfFile)
+    return nullptr;
+  const Term *T = parse(1200);
+  if (!T) {
+    skipToClauseEnd();
+    return nullptr;
+  }
+  if (!expect(TokenKind::EndClause, "'.' at end of clause")) {
+    skipToClauseEnd();
+    return nullptr;
+  }
+  return T;
+}
+
+const Term *Parser::parse(int MaxPrec) {
+  const Term *Left = nullptr;
+  int LeftPrec = 0;
+
+  // Prefix operator or primary.
+  if (Tok.Kind == TokenKind::Atom) {
+    const OpDef *Pre = Ops.lookupPrefix(Tok.Text);
+    if (Pre && Pre->Priority <= MaxPrec) {
+      std::string Name = Tok.Text;
+      // "f(" is always a compound, never a prefix operator application.
+      bool IsCall = false;
+      {
+        // Peek: we cannot look ahead in the lexer, so parse the atom and
+        // check the next token.
+        consume();
+        IsCall = Tok.Kind == TokenKind::LParen && Tok.FollowsAtom;
+      }
+      if (IsCall) {
+        Left = parseArgs(Arena.symbols().intern(Name));
+        if (!Left)
+          return nullptr;
+      } else if ((Name == "-" || Name == "+") &&
+                 (Tok.Kind == TokenKind::Int ||
+                  Tok.Kind == TokenKind::Float)) {
+        // Negative numeric literal.
+        bool Negate = Name == "-";
+        if (Tok.Kind == TokenKind::Int)
+          Left = Arena.makeInt(Negate ? -Tok.IntValue : Tok.IntValue);
+        else
+          Left = Arena.makeFloat(Negate ? -Tok.FloatValue : Tok.FloatValue);
+        consume();
+      } else if (startsTerm()) {
+        const Term *Operand = parse(Pre->rightMax());
+        if (!Operand)
+          return nullptr;
+        Left = Arena.makeStruct(Arena.symbols().intern(Name), {Operand});
+        LeftPrec = Pre->Priority;
+      } else {
+        // The operator atom used as a plain atom (e.g. in "[+,-]").
+        Left = Arena.makeAtom(Name);
+      }
+    }
+  }
+
+  if (!Left) {
+    Left = parsePrimary();
+    if (!Left)
+      return nullptr;
+  }
+
+  // Infix operator loop.
+  for (;;) {
+    const OpDef *In = nullptr;
+    std::string OpName;
+    if (Tok.Kind == TokenKind::Atom) {
+      In = Ops.lookupInfix(Tok.Text);
+      OpName = Tok.Text;
+    } else if (Tok.Kind == TokenKind::Comma) {
+      In = Ops.lookupInfix(",");
+      OpName = ",";
+    } else if (Tok.Kind == TokenKind::Bar) {
+      // '|' as an infix alias for ';' is not supported; lists handle Bar.
+      break;
+    }
+    if (!In || In->Priority > MaxPrec || LeftPrec > In->leftMax())
+      break;
+    consume();
+    const Term *Right = parse(In->rightMax());
+    if (!Right)
+      return nullptr;
+    Left = Arena.makeStruct(Arena.symbols().intern(OpName), {Left, Right});
+    LeftPrec = In->Priority;
+  }
+  return Left;
+}
+
+const Term *Parser::parsePrimary() {
+  switch (Tok.Kind) {
+  case TokenKind::Int: {
+    const Term *T = Arena.makeInt(Tok.IntValue);
+    consume();
+    return T;
+  }
+  case TokenKind::Float: {
+    const Term *T = Arena.makeFloat(Tok.FloatValue);
+    consume();
+    return T;
+  }
+  case TokenKind::Variable: {
+    const Term *T = variableFor(Tok.Text);
+    consume();
+    return T;
+  }
+  case TokenKind::Atom: {
+    std::string Name = Tok.Text;
+    consume();
+    if (Tok.Kind == TokenKind::LParen && Tok.FollowsAtom)
+      return parseArgs(Arena.symbols().intern(Name));
+    return Arena.makeAtom(Name);
+  }
+  case TokenKind::LParen: {
+    consume();
+    const Term *T = parse(1200);
+    if (!T)
+      return nullptr;
+    if (!expect(TokenKind::RParen, "')'"))
+      return nullptr;
+    return T;
+  }
+  case TokenKind::LBracket:
+    return parseList();
+  default:
+    Diags.error(Tok.Loc, "expected a term");
+    return nullptr;
+  }
+}
+
+const Term *Parser::parseArgs(Symbol Name) {
+  assert(Tok.Kind == TokenKind::LParen && "parseArgs expects '('");
+  consume();
+  std::vector<const Term *> Args;
+  for (;;) {
+    const Term *Arg = parse(999);
+    if (!Arg)
+      return nullptr;
+    Args.push_back(Arg);
+    if (Tok.Kind == TokenKind::Comma) {
+      consume();
+      continue;
+    }
+    break;
+  }
+  if (!expect(TokenKind::RParen, "')' after arguments"))
+    return nullptr;
+  return Arena.makeStruct(Name, std::move(Args));
+}
+
+const Term *Parser::parseList() {
+  assert(Tok.Kind == TokenKind::LBracket && "parseList expects '['");
+  consume();
+  if (Tok.Kind == TokenKind::RBracket) {
+    consume();
+    return Arena.makeNil();
+  }
+  std::vector<const Term *> Elements;
+  const Term *Tail = nullptr;
+  for (;;) {
+    const Term *E = parse(999);
+    if (!E)
+      return nullptr;
+    Elements.push_back(E);
+    if (Tok.Kind == TokenKind::Comma) {
+      consume();
+      continue;
+    }
+    if (Tok.Kind == TokenKind::Bar) {
+      consume();
+      Tail = parse(999);
+      if (!Tail)
+        return nullptr;
+    }
+    break;
+  }
+  if (!expect(TokenKind::RBracket, "']' at end of list"))
+    return nullptr;
+  const Term *List = Tail ? Tail : Arena.makeNil();
+  for (auto It = Elements.rbegin(); It != Elements.rend(); ++It)
+    List = Arena.makeCons(*It, List);
+  return List;
+}
+
+const Term *granlog::parseTermText(std::string_view Text, TermArena &Arena,
+                                   Diagnostics &Diags) {
+  std::string Buffer(Text);
+  // Ensure the term is terminated so readClause() succeeds.
+  Buffer += " .";
+  Parser P(Buffer, Arena, Diags);
+  const Term *T = P.readClause();
+  if (Diags.hasErrors())
+    return nullptr;
+  return T;
+}

@@ -1,0 +1,77 @@
+//===- reader/Parser.h - Prolog reader ------------------------------------===//
+//
+// Part of GranLog; see DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Operator-precedence parser producing arena terms.  One Parser reads a
+/// whole source buffer clause by clause; variables are scoped per clause
+/// (same name = same variable, '_' always fresh).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_READER_PARSER_H
+#define GRANLOG_READER_PARSER_H
+
+#include "reader/Lexer.h"
+#include "reader/OpTable.h"
+#include "support/Diagnostics.h"
+#include "term/Term.h"
+
+#include <optional>
+#include <unordered_map>
+
+namespace granlog {
+
+/// Parses Prolog text into terms.
+class Parser {
+public:
+  Parser(std::string_view Source, TermArena &Arena, Diagnostics &Diags)
+      : Lex(Source, Diags), Arena(Arena), Diags(Diags) {
+    consume();
+  }
+
+  /// Reads the next clause (a term of priority at most 1200 followed by the
+  /// clause terminator).  Returns nullptr at end of input or after a parse
+  /// error; distinguish the two with atEnd()/Diags.hasErrors().
+  const Term *readClause();
+
+  bool atEnd() const { return Tok.Kind == TokenKind::EndOfFile; }
+
+  /// The variables of the most recently read clause, in source order.
+  const std::vector<const VarTerm *> &clauseVariables() const {
+    return ClauseVarOrder;
+  }
+
+private:
+  void consume() { Tok = Lex.next(); }
+  bool expect(TokenKind Kind, const char *What);
+  void skipToClauseEnd();
+
+  const Term *parse(int MaxPrec);
+  const Term *parsePrimary();
+  const Term *parseList();
+  const Term *parseArgs(Symbol Name);
+  const VarTerm *variableFor(const std::string &Name);
+
+  /// True if the current token can begin a term (operand position).
+  bool startsTerm() const;
+
+  Lexer Lex;
+  TermArena &Arena;
+  Diagnostics &Diags;
+  OpTable Ops;
+  Token Tok;
+  std::unordered_map<std::string, const VarTerm *> ClauseVars;
+  std::vector<const VarTerm *> ClauseVarOrder;
+};
+
+/// Parses a single term from \p Text (for tests and small embedded goals).
+/// Returns nullptr on error.
+const Term *parseTermText(std::string_view Text, TermArena &Arena,
+                          Diagnostics &Diags);
+
+} // namespace granlog
+
+#endif // GRANLOG_READER_PARSER_H

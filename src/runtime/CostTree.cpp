@@ -1,0 +1,107 @@
+//===- runtime/CostTree.cpp -----------------------------------------------===//
+
+#include "runtime/CostTree.h"
+
+#include <algorithm>
+
+using namespace granlog;
+
+double CostNode::totalWork() const {
+  if (NodeKind == Kind::Work)
+    return Units;
+  double Sum = 0;
+  for (const auto &C : Children)
+    Sum += C->totalWork();
+  return Sum;
+}
+
+double CostNode::criticalPath() const {
+  switch (NodeKind) {
+  case Kind::Work:
+    return Units;
+  case Kind::Seq: {
+    double Sum = 0;
+    for (const auto &C : Children)
+      Sum += C->criticalPath();
+    return Sum;
+  }
+  case Kind::Par: {
+    double Max = 0;
+    for (const auto &C : Children)
+      Max = std::max(Max, C->criticalPath());
+    return Max;
+  }
+  }
+  return 0;
+}
+
+unsigned CostNode::parCount() const {
+  unsigned N = NodeKind == Kind::Par ? 1 : 0;
+  for (const auto &C : Children)
+    N += C->parCount();
+  return N;
+}
+
+CostTreeBuilder::CostTreeBuilder() {
+  Root = std::make_unique<CostNode>(CostNode::Kind::Seq);
+  Stack.push_back(Root.get());
+}
+
+void CostTreeBuilder::addWork(double Units) {
+  if (Units <= 0)
+    return;
+  CostNode *Cur = current();
+  assert(Cur->NodeKind != CostNode::Kind::Work);
+  // Accumulate into a trailing Work leaf when the current node is a Seq;
+  // a Par node's "work" belongs to branches, so open an implicit one...
+  // (the interpreter always adds work inside branches, so Cur is a Seq).
+  if (!Cur->Children.empty() &&
+      Cur->Children.back()->NodeKind == CostNode::Kind::Work) {
+    Cur->Children.back()->Units += Units;
+    return;
+  }
+  auto Leaf = std::make_unique<CostNode>(CostNode::Kind::Work);
+  Leaf->Units = Units;
+  Cur->Children.push_back(std::move(Leaf));
+}
+
+void CostTreeBuilder::beginPar() {
+  auto Par = std::make_unique<CostNode>(CostNode::Kind::Par);
+  CostNode *P = Par.get();
+  current()->Children.push_back(std::move(Par));
+  Stack.push_back(P);
+}
+
+void CostTreeBuilder::beginBranch() {
+  assert(current()->NodeKind == CostNode::Kind::Par &&
+         "branch outside a Par node");
+  auto Branch = std::make_unique<CostNode>(CostNode::Kind::Seq);
+  CostNode *B = Branch.get();
+  current()->Children.push_back(std::move(Branch));
+  Stack.push_back(B);
+}
+
+void CostTreeBuilder::endBranch() {
+  assert(Stack.size() > 1 && current()->NodeKind == CostNode::Kind::Seq);
+  Stack.pop_back();
+}
+
+void CostTreeBuilder::endPar() {
+  assert(Stack.size() > 1 && current()->NodeKind == CostNode::Kind::Par);
+  Stack.pop_back();
+}
+
+void CostTreeBuilder::unwindTo(size_t M) {
+  assert(M >= 1 && "cannot unwind past the root");
+  // A mark deeper than the current stack can occur when execution
+  // backtracks into an already-closed parallel region; unwinding is then a
+  // no-op (the recorded structure is kept as-is).
+  while (Stack.size() > M)
+    Stack.pop_back();
+}
+
+std::unique_ptr<CostNode> CostTreeBuilder::finish() {
+  unwindTo(1);
+  Stack.clear();
+  return std::move(Root);
+}

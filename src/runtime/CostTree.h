@@ -1,0 +1,87 @@
+//===- runtime/CostTree.h - Series-parallel execution traces --------------===//
+//
+// Part of GranLog; see DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A series-parallel trace of one program execution: Work leaves hold
+/// abstract cost units, Seq nodes sequence children, Par nodes represent
+/// '&' conjunctions whose branches may run as separate tasks.  The
+/// interpreter builds the tree; the scheduler (Scheduler.h) replays it on
+/// a simulated multiprocessor.
+///
+/// This is the substitution for the paper's physical Sequent Symmetry: the
+/// trace captures exactly the quantities the paper's comparison depends on
+/// (work per task and the fork/join structure), while the machine config
+/// supplies the overhead constants that differ between ROLOG and &-Prolog.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_RUNTIME_COSTTREE_H
+#define GRANLOG_RUNTIME_COSTTREE_H
+
+#include <cassert>
+#include <memory>
+#include <vector>
+
+namespace granlog {
+
+/// One node of the trace.
+struct CostNode {
+  enum class Kind { Work, Seq, Par };
+
+  explicit CostNode(Kind K) : NodeKind(K) {}
+
+  Kind NodeKind;
+  double Units = 0; ///< Work only
+  std::vector<std::unique_ptr<CostNode>> Children; ///< Seq/Par only
+
+  /// Total work in the subtree (ignoring all scheduling).
+  double totalWork() const;
+  /// Critical path: the minimum completion time with unbounded processors
+  /// and zero overheads.
+  double criticalPath() const;
+  /// Number of Par nodes in the subtree.
+  unsigned parCount() const;
+};
+
+/// Incremental builder used by the interpreter.  The tree under
+/// construction is a stack of open Seq/Par nodes; addWork accumulates into
+/// the innermost open Seq.
+class CostTreeBuilder {
+public:
+  CostTreeBuilder();
+
+  /// Adds \p Units of sequential work at the current position.
+  void addWork(double Units);
+
+  /// Opens a Par node (a '&' conjunction).
+  void beginPar();
+  /// Opens the next branch of the innermost Par.
+  void beginBranch();
+  /// Closes the current branch.
+  void endBranch();
+  /// Closes the innermost Par.
+  void endPar();
+
+  /// Opaque checkpoint: the current open-node stack depth.
+  size_t mark() const { return Stack.size(); }
+  /// Closes any nodes opened since \p M (used when execution backtracks
+  /// out of a partially built parallel region; the recorded work is kept —
+  /// it was really performed).
+  void unwindTo(size_t M);
+
+  /// Finishes construction and returns the root (a Seq node).
+  std::unique_ptr<CostNode> finish();
+
+private:
+  CostNode *current() { return Stack.back(); }
+
+  std::unique_ptr<CostNode> Root;
+  std::vector<CostNode *> Stack;
+};
+
+} // namespace granlog
+
+#endif // GRANLOG_RUNTIME_COSTTREE_H

@@ -1,0 +1,244 @@
+//===- runtime/Scheduler.cpp ----------------------------------------------===//
+
+#include "runtime/Scheduler.h"
+
+#include <deque>
+#include <queue>
+
+using namespace granlog;
+
+namespace {
+
+/// One step of a task's execution.
+struct Segment {
+  enum class Kind { Work, Fork, Join };
+  Kind SegKind = Kind::Work;
+  double Units = 0;               ///< Work: duration
+  std::vector<unsigned> Children; ///< Fork: tasks to enqueue
+  unsigned Group = 0;             ///< Fork/Join: join group id
+};
+
+/// A schedulable task: a flattened branch of the cost tree.
+struct SimTask {
+  std::vector<Segment> Segments;
+  size_t NextSeg = 0;
+  int Parent = -1;
+  unsigned ParentGroup = 0;
+  std::vector<unsigned> GroupRemaining; ///< outstanding children per group
+  bool BlockedAtJoin = false;
+};
+
+/// Flattens a CostNode tree into SimTasks.
+class TaskBuilder {
+public:
+  TaskBuilder(const MachineConfig &Config) : Config(Config) {}
+
+  unsigned build(const CostNode &Branch) {
+    unsigned Id = static_cast<unsigned>(Tasks.size());
+    Tasks.emplace_back();
+    append(Id, Branch);
+    return Id;
+  }
+
+  std::vector<SimTask> take() { return std::move(Tasks); }
+  unsigned tasksSpawned() const { return Spawned; }
+  double overheadUnits() const { return Overhead; }
+
+private:
+  void addWork(unsigned Task, double Units) {
+    if (Units <= 0)
+      return;
+    std::vector<Segment> &Segs = Tasks[Task].Segments;
+    if (!Segs.empty() && Segs.back().SegKind == Segment::Kind::Work) {
+      Segs.back().Units += Units;
+      return;
+    }
+    Segment S;
+    S.SegKind = Segment::Kind::Work;
+    S.Units = Units;
+    Segs.push_back(std::move(S));
+  }
+
+  void append(unsigned Task, const CostNode &Node) {
+    switch (Node.NodeKind) {
+    case CostNode::Kind::Work:
+      addWork(Task, Node.Units);
+      return;
+    case CostNode::Kind::Seq:
+      for (const auto &C : Node.Children)
+        append(Task, *C);
+      return;
+    case CostNode::Kind::Par:
+      break;
+    }
+    const std::vector<std::unique_ptr<CostNode>> &Branches = Node.Children;
+    if (Branches.empty())
+      return;
+    if (Branches.size() == 1) {
+      append(Task, *Branches[0]);
+      return;
+    }
+    // Parent forks branches 2..k, runs branch 1 inline, then joins.
+    unsigned Extra = static_cast<unsigned>(Branches.size()) - 1;
+    double SpawnCost = Config.SpawnOverhead * Extra;
+    Overhead += SpawnCost + Config.JoinOverhead +
+                Config.SchedOverhead * Extra;
+    addWork(Task, SpawnCost);
+
+    unsigned Group = static_cast<unsigned>(Tasks[Task].GroupRemaining.size());
+    Tasks[Task].GroupRemaining.push_back(Extra);
+
+    Segment Fork;
+    Fork.SegKind = Segment::Kind::Fork;
+    Fork.Group = Group;
+    for (size_t I = 1; I != Branches.size(); ++I) {
+      unsigned Child = static_cast<unsigned>(Tasks.size());
+      Tasks.emplace_back();
+      Tasks[Child].Parent = static_cast<int>(Task);
+      Tasks[Child].ParentGroup = Group;
+      ++Spawned;
+      addWork(Child, Config.SchedOverhead);
+      append(Child, *Branches[I]);
+      Fork.Children.push_back(Child);
+    }
+    Tasks[Task].Segments.push_back(std::move(Fork));
+    append(Task, *Branches[0]);
+    Segment Join;
+    Join.SegKind = Segment::Kind::Join;
+    Join.Group = Group;
+    Tasks[Task].Segments.push_back(std::move(Join));
+    addWork(Task, Config.JoinOverhead);
+  }
+
+  const MachineConfig &Config;
+  std::vector<SimTask> Tasks;
+  unsigned Spawned = 0;
+  double Overhead = 0;
+};
+
+/// The event-driven simulation.
+class Simulation {
+public:
+  Simulation(std::vector<SimTask> Tasks, unsigned Workers)
+      : Tasks(std::move(Tasks)) {
+    for (unsigned W = 0; W != Workers; ++W)
+      IdleWorkers.push_back(Workers - 1 - W); // pop lowest id first
+  }
+
+  double run() {
+    Ready.push_back(0);
+    dispatch(0.0);
+    while (!Events.empty()) {
+      Event E = Events.top();
+      Events.pop();
+      Makespan = std::max(Makespan, E.Time);
+      // The worker completed a Work segment of its task.
+      SimTask &T = Tasks[E.Task];
+      ++T.NextSeg;
+      advance(E.Task, E.Worker, E.Time);
+      dispatch(E.Time);
+    }
+    return Makespan;
+  }
+
+private:
+  struct Event {
+    double Time;
+    uint64_t Seq;
+    unsigned Worker;
+    unsigned Task;
+    bool operator>(const Event &O) const {
+      if (Time != O.Time)
+        return Time > O.Time;
+      return Seq > O.Seq;
+    }
+  };
+
+  /// Runs \p Task on \p Worker from segment NextSeg at time \p T until it
+  /// starts a Work segment (event queued), blocks, or finishes.
+  void advance(unsigned TaskId, unsigned Worker, double T) {
+    SimTask &Task = Tasks[TaskId];
+    for (;;) {
+      if (Task.NextSeg >= Task.Segments.size()) {
+        finish(TaskId, T);
+        releaseWorker(Worker);
+        return;
+      }
+      Segment &S = Task.Segments[Task.NextSeg];
+      switch (S.SegKind) {
+      case Segment::Kind::Work:
+        Events.push({T + S.Units, NextSeq++, Worker, TaskId});
+        return;
+      case Segment::Kind::Fork:
+        for (unsigned C : S.Children)
+          Ready.push_back(C);
+        ++Task.NextSeg;
+        continue;
+      case Segment::Kind::Join:
+        if (Task.GroupRemaining[S.Group] > 0) {
+          Task.BlockedAtJoin = true;
+          releaseWorker(Worker);
+          return;
+        }
+        ++Task.NextSeg;
+        continue;
+      }
+    }
+  }
+
+  void finish(unsigned TaskId, double T) {
+    Makespan = std::max(Makespan, T);
+    SimTask &Task = Tasks[TaskId];
+    if (Task.Parent < 0)
+      return;
+    SimTask &Parent = Tasks[Task.Parent];
+    assert(Parent.GroupRemaining[Task.ParentGroup] > 0);
+    if (--Parent.GroupRemaining[Task.ParentGroup] == 0 &&
+        Parent.BlockedAtJoin) {
+      // Check the parent is blocked on *this* group's join.
+      const Segment &S = Parent.Segments[Parent.NextSeg];
+      if (S.SegKind == Segment::Kind::Join && S.Group == Task.ParentGroup) {
+        Parent.BlockedAtJoin = false;
+        ++Parent.NextSeg;
+        Ready.push_back(static_cast<unsigned>(Task.Parent));
+      }
+    }
+  }
+
+  void releaseWorker(unsigned Worker) { IdleWorkers.push_back(Worker); }
+
+  void dispatch(double T) {
+    while (!IdleWorkers.empty() && !Ready.empty()) {
+      unsigned Worker = IdleWorkers.back();
+      IdleWorkers.pop_back();
+      unsigned TaskId = Ready.front();
+      Ready.pop_front();
+      advance(TaskId, Worker, T);
+    }
+  }
+
+  std::vector<SimTask> Tasks;
+  std::vector<unsigned> IdleWorkers;
+  std::deque<unsigned> Ready;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> Events;
+  uint64_t NextSeq = 0;
+  double Makespan = 0;
+};
+
+} // namespace
+
+SimResult granlog::simulate(const CostNode &Root,
+                            const MachineConfig &Config) {
+  SimResult Result;
+  Result.SequentialTime = Root.totalWork();
+  Result.CriticalPath = Root.criticalPath();
+
+  TaskBuilder Builder(Config);
+  Builder.build(Root);
+  Result.TasksSpawned = Builder.tasksSpawned();
+  Result.OverheadUnits = Builder.overheadUnits();
+
+  Simulation Sim(Builder.take(), std::max(1u, Config.Processors));
+  Result.ParallelTime = Sim.run();
+  return Result;
+}

@@ -1,0 +1,103 @@
+//===- runtime/Scheduler.h - Simulated multiprocessor ---------------------===//
+//
+// Part of GranLog; see DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic discrete-event simulation of AND-parallel execution on
+/// P workers.  A Par node forks its branches: the parent pays a spawn
+/// overhead per extra branch, pushes branches 2..k to a global FIFO goal
+/// queue (each pays a scheduling overhead when a worker picks it up),
+/// executes branch 1 itself, then blocks at the join until all branches
+/// finish (paying a join overhead) — the RAP-WAM goal-stack discipline of
+/// &-Prolog [6, 7], which ROLOG's reduce-or model approximates with larger
+/// constants.
+///
+/// The two named configurations model the paper's two systems: ROLOG
+/// (high task-management overhead: remote process creation, message-based
+/// scheduling) and &-Prolog (low overhead: shared-memory goal stacks).
+/// Absolute constants are in abstract work units (one unit = one
+/// resolution's worth of work); only their ratio to grain sizes matters
+/// for the shapes the paper reports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_RUNTIME_SCHEDULER_H
+#define GRANLOG_RUNTIME_SCHEDULER_H
+
+#include "runtime/CostTree.h"
+
+#include <string>
+
+namespace granlog {
+
+/// The simulated machine.
+struct MachineConfig {
+  unsigned Processors = 4;
+  double SpawnOverhead = 10;  ///< parent cost per extra branch forked
+  double SchedOverhead = 10;  ///< startup cost when a worker picks a task
+  double JoinOverhead = 5;    ///< parent cost at the join point
+  std::string Name = "generic";
+  double GrainTestCost = 1;      ///< '$grain_leq' evaluation cost
+  double SizeCostPerElement = 0.25; ///< per-element size traversal cost
+  /// Whether the system maintains list-length/integer size information so
+  /// grain tests on those measures are O(1) (paper footnote 1).  Term-size
+  /// measures always traverse.
+  bool MaintainedSizes = true;
+
+  /// The task-management overhead W a spawned goal must amortize — the
+  /// paper determines the threshold input size from exactly this quantity.
+  double taskOverhead() const {
+    return SpawnOverhead + SchedOverhead + JoinOverhead;
+  }
+
+  /// ROLOG-like: a reduce-or system with heavyweight task management.
+  static MachineConfig rolog(unsigned Processors = 4) {
+    MachineConfig M;
+    M.Processors = Processors;
+    M.SpawnOverhead = 30;
+    M.SchedOverhead = 25;
+    M.JoinOverhead = 10;
+    M.Name = "ROLOG";
+    M.GrainTestCost = 2;
+    // Term-size grain tests traverse the term; with maintenance-free
+    // deep measures this is the dominant overhead for flatten-style
+    // workloads (the paper's negative result).
+    M.SizeCostPerElement = 3.0;
+    return M;
+  }
+  /// &-Prolog-like: RAP-WAM goal stacks on shared memory.
+  static MachineConfig andProlog(unsigned Processors = 4) {
+    MachineConfig M;
+    M.Processors = Processors;
+    M.SpawnOverhead = 3;
+    M.SchedOverhead = 3;
+    M.JoinOverhead = 2;
+    M.Name = "&-Prolog";
+    M.GrainTestCost = 2;
+    M.SizeCostPerElement = 0.5;
+
+    return M;
+  }
+};
+
+/// Result of one simulation.
+struct SimResult {
+  double ParallelTime = 0;   ///< makespan on P workers with overheads
+  double SequentialTime = 0; ///< total work, no tasking, one worker
+  double CriticalPath = 0;   ///< bound with infinite workers, no overheads
+  unsigned TasksSpawned = 0; ///< branches that became separate tasks
+  double OverheadUnits = 0;  ///< total spawn+sched+join cost paid
+
+  double speedup() const {
+    return ParallelTime > 0 ? SequentialTime / ParallelTime : 0;
+  }
+};
+
+/// Simulates the execution trace \p Root on \p Config.
+SimResult simulate(const CostNode &Root, const MachineConfig &Config);
+
+} // namespace granlog
+
+#endif // GRANLOG_RUNTIME_SCHEDULER_H

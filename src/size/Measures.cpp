@@ -1,0 +1,243 @@
+//===- size/Measures.cpp --------------------------------------------------===//
+
+#include "size/Measures.h"
+
+#include <algorithm>
+
+using namespace granlog;
+
+std::optional<int64_t> granlog::groundSize(const Term *T, MeasureKind M,
+                                           const SymbolTable &Symbols) {
+  T = deref(T);
+  switch (M) {
+  case MeasureKind::ListLength: {
+    int64_t Length = 0;
+    while (isCons(T, Symbols)) {
+      ++Length;
+      T = deref(cast<StructTerm>(T)->arg(1));
+    }
+    if (!isNil(T, Symbols))
+      return std::nullopt;
+    return Length;
+  }
+  case MeasureKind::TermSize: {
+    switch (T->kind()) {
+    case TermKind::Variable:
+      return std::nullopt;
+    case TermKind::Atom:
+    case TermKind::Int:
+    case TermKind::Float:
+      return 1;
+    case TermKind::Struct: {
+      int64_t Size = 1;
+      for (const Term *Arg : cast<StructTerm>(T)->args()) {
+        std::optional<int64_t> S = groundSize(Arg, M, Symbols);
+        if (!S)
+          return std::nullopt;
+        Size += *S;
+      }
+      return Size;
+    }
+    }
+    return std::nullopt;
+  }
+  case MeasureKind::TermDepth: {
+    switch (T->kind()) {
+    case TermKind::Variable:
+      return std::nullopt;
+    case TermKind::Atom:
+    case TermKind::Int:
+    case TermKind::Float:
+      return 0;
+    case TermKind::Struct: {
+      int64_t Depth = 0;
+      for (const Term *Arg : cast<StructTerm>(T)->args()) {
+        std::optional<int64_t> D = groundSize(Arg, M, Symbols);
+        if (!D)
+          return std::nullopt;
+        Depth = std::max(Depth, *D);
+      }
+      return Depth + 1;
+    }
+    }
+    return std::nullopt;
+  }
+  case MeasureKind::IntValue:
+    if (const IntTerm *I = dynCast<IntTerm>(T))
+      return I->value();
+    return std::nullopt;
+  case MeasureKind::Void:
+    return std::nullopt;
+  }
+  assert(false && "unknown measure");
+  return std::nullopt;
+}
+
+namespace {
+
+/// Does \p V occur in \p T?
+bool occursIn(const VarTerm *V, const Term *T) {
+  std::vector<const VarTerm *> Vars;
+  collectVariables(T, Vars);
+  return std::find(Vars.begin(), Vars.end(), V) != Vars.end();
+}
+
+
+} // namespace
+
+std::vector<MeasureKind> granlog::inferMeasures(const Predicate &Pred,
+                                                const SymbolTable &Symbols) {
+  if (Pred.hasDeclaredMeasures())
+    return Pred.declaredMeasures();
+
+  unsigned Arity = Pred.arity();
+  std::vector<MeasureKind> Result(Arity, MeasureKind::TermSize);
+  for (unsigned I = 0; I != Arity; ++I) {
+    bool SawList = false;
+    bool SawInt = false;
+    bool SawArith = false;
+    for (const Clause &C : Pred.clauses()) {
+      const StructTerm *Head = dynCast<StructTerm>(deref(C.head()));
+      if (!Head || I >= Head->arity())
+        continue;
+      const Term *Arg = deref(Head->arg(I));
+      if (isNil(Arg, Symbols) || isCons(Arg, Symbols))
+        SawList = true;
+      else if (Arg->isInt())
+        SawInt = true;
+      else if (const VarTerm *V = dynCast<VarTerm>(Arg)) {
+        // Variable argument used in arithmetic in the body?
+        for (const Term *Lit : C.bodyLiterals()) {
+          const StructTerm *S = dynCast<StructTerm>(deref(Lit));
+          if (!S)
+            continue;
+          const std::string &Name = Symbols.text(S->name());
+          bool Arith = Name == "is" || Name == "<" || Name == ">" ||
+                       Name == "=<" || Name == ">=" || Name == "=:=" ||
+                       Name == "=\\=";
+          if (Arith && occursIn(V, S))
+            SawArith = true;
+        }
+      }
+    }
+    if (SawList)
+      Result[I] = MeasureKind::ListLength;
+    else if (SawInt || SawArith)
+      Result[I] = MeasureKind::IntValue;
+  }
+
+  // Positions connected by a shared head variable (e.g. the pass-through
+  // clause append([], L, L)) must agree on their measure; prefer the more
+  // specific one so list lengths flow through pass-through arguments.
+  auto Rank = measureRank;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const Clause &C : Pred.clauses()) {
+      const StructTerm *Head = dynCast<StructTerm>(deref(C.head()));
+      if (!Head)
+        continue;
+      for (unsigned I = 0; I != Arity; ++I) {
+        const VarTerm *VI = dynCast<VarTerm>(deref(Head->arg(I)));
+        if (!VI)
+          continue;
+        for (unsigned J = I + 1; J != Arity; ++J) {
+          if (deref(Head->arg(J)) != VI)
+            continue;
+          MeasureKind Best =
+              Rank(Result[I]) >= Rank(Result[J]) ? Result[I] : Result[J];
+          if (Result[I] != Best || Result[J] != Best) {
+            Result[I] = Result[J] = Best;
+            Changed = true;
+          }
+        }
+      }
+    }
+  }
+  return Result;
+}
+
+std::optional<int64_t> granlog::minPatternSize(const Term *T, MeasureKind M,
+                                               const SymbolTable &Symbols) {
+  T = deref(T);
+  switch (M) {
+  case MeasureKind::ListLength: {
+    int64_t Length = 0;
+    while (isCons(T, Symbols)) {
+      ++Length;
+      T = deref(cast<StructTerm>(T)->arg(1));
+    }
+    if (T->isVariable())
+      return Length; // an open tail may be []
+    if (!isNil(T, Symbols))
+      return std::nullopt;
+    return Length;
+  }
+  case MeasureKind::TermSize: {
+    switch (T->kind()) {
+    case TermKind::Variable:
+      return 1; // smallest term is a constant
+    case TermKind::Atom:
+    case TermKind::Int:
+    case TermKind::Float:
+      return 1;
+    case TermKind::Struct: {
+      int64_t Size = 1;
+      for (const Term *Arg : cast<StructTerm>(T)->args()) {
+        std::optional<int64_t> S = minPatternSize(Arg, M, Symbols);
+        if (!S)
+          return std::nullopt;
+        Size += *S;
+      }
+      return Size;
+    }
+    }
+    return std::nullopt;
+  }
+  case MeasureKind::TermDepth: {
+    switch (T->kind()) {
+    case TermKind::Variable:
+      return 0;
+    case TermKind::Atom:
+    case TermKind::Int:
+    case TermKind::Float:
+      return 0;
+    case TermKind::Struct: {
+      int64_t Depth = 0;
+      for (const Term *Arg : cast<StructTerm>(T)->args()) {
+        std::optional<int64_t> D = minPatternSize(Arg, M, Symbols);
+        if (!D)
+          return std::nullopt;
+        Depth = std::max(Depth, *D);
+      }
+      return Depth + 1;
+    }
+    }
+    return std::nullopt;
+  }
+  case MeasureKind::IntValue:
+    // Integers are unbounded below: only ground values give a boundary.
+    if (const IntTerm *I = dynCast<IntTerm>(T))
+      return I->value();
+    return std::nullopt;
+  case MeasureKind::Void:
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+int granlog::measureRank(MeasureKind M) {
+  switch (M) {
+  case MeasureKind::ListLength:
+    return 4;
+  case MeasureKind::IntValue:
+    return 3;
+  case MeasureKind::TermDepth:
+    return 2;
+  case MeasureKind::TermSize:
+    return 1;
+  case MeasureKind::Void:
+    return 0;
+  }
+  return 0;
+}

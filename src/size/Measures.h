@@ -1,0 +1,54 @@
+//===- size/Measures.h - Term size measures -------------------------------===//
+//
+// Part of GranLog; see DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The size measures of Section 3: list_length, term_size, term_depth and
+/// integer value, as (a) ground-term evaluators (the |.|_m functions) and
+/// (b) a per-argument measure inference used when no ':- measure'
+/// declaration is given ("the measure(s) appropriate in a given situation
+/// can generally be determined by examining the operations used in the
+/// program").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_SIZE_MEASURES_H
+#define GRANLOG_SIZE_MEASURES_H
+
+#include "analysis/Modes.h"
+#include "program/Program.h"
+
+#include <optional>
+
+namespace granlog {
+
+/// |T|_m for ground (or sufficiently instantiated) terms.  Returns nullopt
+/// for the paper's bottom element (undefined), e.g. the list length of a
+/// non-list.
+std::optional<int64_t> groundSize(const Term *T, MeasureKind M,
+                                  const SymbolTable &Symbols);
+
+/// Infers a measure for every argument position of \p Pred by inspecting
+/// head patterns and arithmetic usage across its clauses.  Declared
+/// measures are returned unchanged.
+std::vector<MeasureKind> inferMeasures(const Predicate &Pred,
+                                       const SymbolTable &Symbols);
+
+/// Specificity order used when measures inferred from different evidence
+/// disagree: ListLength > IntValue > TermDepth > TermSize > Void.
+int measureRank(MeasureKind M);
+
+/// The *minimum* size any instance of the (possibly non-ground) pattern
+/// \p T can have under \p M: variables contribute their smallest possible
+/// size (0 for list length and depth, 1 for term size).  Used to place
+/// boundary conditions for base clauses like flatten(leaf(X), [X]) whose
+/// head pattern is not ground.  nullopt when no finite lower bound exists
+/// (e.g. an integer-valued variable) or the measure is undefined on \p T.
+std::optional<int64_t> minPatternSize(const Term *T, MeasureKind M,
+                                      const SymbolTable &Symbols);
+
+} // namespace granlog
+
+#endif // GRANLOG_SIZE_MEASURES_H

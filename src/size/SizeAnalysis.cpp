@@ -1,0 +1,688 @@
+//===- size/SizeAnalysis.cpp ----------------------------------------------===//
+
+#include "size/SizeAnalysis.h"
+
+#include <algorithm>
+
+using namespace granlog;
+
+namespace granlog {
+
+/// Walks one clause, maintaining a variable -> (measure -> size expression)
+/// environment.  This realizes the paper's normalization: inter-literal
+/// size relations are propagated by construction (each consumed size is
+/// expressed via its producer), and intra-literal relations are unfolded
+/// by substituting callee output-size functions.
+class ClauseSizeWalker {
+public:
+  ClauseSizeWalker(const SizeAnalysis &SA, Functor Pred, bool KeepSCCCalls)
+      : SA(SA), P(SA.program()), Symbols(P.symbols()), Pred(Pred),
+        KeepSCCCalls(KeepSCCCalls) {}
+
+  ClauseFacts walk(const Clause &C);
+
+private:
+  using VarSizes = std::map<MeasureKind, ExprRef>;
+
+  ExprRef sizeOf(const Term *T, MeasureKind M);
+  void bindVar(const VarTerm *V, MeasureKind M, ExprRef S);
+  void bindPattern(const Term *T, MeasureKind M, ExprRef S);
+  ExprRef evalArith(const Term *T);
+  void processBuiltin(Functor F, const StructTerm *S);
+  void processUserCall(Functor F, const StructTerm *S, LiteralFacts &Facts);
+
+  const SizeAnalysis &SA;
+  const Program &P;
+  const SymbolTable &Symbols;
+  Functor Pred;
+  bool KeepSCCCalls;
+  std::map<const VarTerm *, VarSizes> Env;
+};
+
+} // namespace granlog
+
+void ClauseSizeWalker::bindVar(const VarTerm *V, MeasureKind M, ExprRef S) {
+  VarSizes &Sizes = Env[V];
+  // First binding wins: it corresponds to the producer under the
+  // left-to-right dataflow; later bindings would be re-derivations.
+  Sizes.emplace(M, std::move(S));
+}
+
+void ClauseSizeWalker::bindPattern(const Term *T, MeasureKind M, ExprRef S) {
+  // Void positions are untracked by design: recording a size for them
+  // would make e.g. permuted void arguments look like changing sizes and
+  // defeat recurrence extraction.
+  if (M == MeasureKind::Void)
+    return;
+  T = deref(T);
+  if (const VarTerm *V = dynCast<VarTerm>(T)) {
+    bindVar(V, M, std::move(S));
+    return;
+  }
+  const StructTerm *St = dynCast<StructTerm>(T);
+  if (!St)
+    return;
+  switch (M) {
+  case MeasureKind::ListLength:
+    if (isCons(St, Symbols))
+      bindPattern(St->arg(1), M, makeSub(S, makeNumber(1)));
+    return;
+  case MeasureKind::TermSize: {
+    // Each argument's size is at most S minus the functor symbol and the
+    // minimal size (1) of each sibling.
+    ExprRef Bound =
+        makeSub(S, makeNumber(static_cast<int64_t>(St->arity())));
+    for (const Term *Arg : St->args())
+      bindPattern(Arg, M, Bound);
+    return;
+  }
+  case MeasureKind::TermDepth: {
+    ExprRef Bound = makeSub(S, makeNumber(1));
+    for (const Term *Arg : St->args())
+      bindPattern(Arg, M, Bound);
+    return;
+  }
+  case MeasureKind::IntValue:
+  case MeasureKind::Void:
+    return;
+  }
+}
+
+ExprRef ClauseSizeWalker::sizeOf(const Term *T, MeasureKind M) {
+  if (M == MeasureKind::Void)
+    return makeInfinity();
+  T = deref(T);
+  if (const VarTerm *V = dynCast<VarTerm>(T)) {
+    auto It = Env.find(V);
+    if (It != Env.end()) {
+      auto MIt = It->second.find(M);
+      if (MIt != It->second.end())
+        return MIt->second;
+    }
+    return makeInfinity();
+  }
+  if (T->isGround()) {
+    std::optional<int64_t> S = groundSize(T, M, Symbols);
+    return S ? makeNumber(*S) : makeInfinity();
+  }
+  switch (M) {
+  case MeasureKind::ListLength: {
+    if (isCons(T, Symbols))
+      return makeAdd(makeNumber(1),
+                     sizeOf(cast<StructTerm>(T)->arg(1), M));
+    return makeInfinity();
+  }
+  case MeasureKind::TermSize: {
+    const StructTerm *St = dynCast<StructTerm>(T);
+    if (!St)
+      return makeNumber(1);
+    std::vector<ExprRef> Parts{makeNumber(1)};
+    for (const Term *Arg : St->args())
+      Parts.push_back(sizeOf(Arg, M));
+    return makeAdd(std::move(Parts));
+  }
+  case MeasureKind::TermDepth: {
+    const StructTerm *St = dynCast<StructTerm>(T);
+    if (!St)
+      return makeNumber(0);
+    std::vector<ExprRef> Parts;
+    for (const Term *Arg : St->args())
+      Parts.push_back(sizeOf(Arg, M));
+    return makeAdd(makeNumber(1), makeMax(std::move(Parts)));
+  }
+  case MeasureKind::IntValue:
+    if (const IntTerm *I = dynCast<IntTerm>(T))
+      return makeNumber(I->value());
+    return evalArith(T);
+  case MeasureKind::Void:
+    return makeInfinity();
+  }
+  return makeInfinity();
+}
+
+ExprRef ClauseSizeWalker::evalArith(const Term *T) {
+  T = deref(T);
+  if (const IntTerm *I = dynCast<IntTerm>(T))
+    return makeNumber(I->value());
+  if (const VarTerm *V = dynCast<VarTerm>(T)) {
+    auto It = Env.find(V);
+    if (It != Env.end()) {
+      auto MIt = It->second.find(MeasureKind::IntValue);
+      if (MIt != It->second.end())
+        return MIt->second;
+    }
+    return makeInfinity();
+  }
+  const StructTerm *S = dynCast<StructTerm>(T);
+  if (!S)
+    return makeInfinity();
+  const std::string &Name = Symbols.text(S->name());
+  if (S->arity() == 1) {
+    ExprRef A = evalArith(S->arg(0));
+    if (Name == "-")
+      return makeScale(Rational(-1), A);
+    if (Name == "+" || Name == "abs")
+      return A;
+    return makeInfinity();
+  }
+  if (S->arity() != 2)
+    return makeInfinity();
+  ExprRef A = evalArith(S->arg(0));
+  ExprRef B = evalArith(S->arg(1));
+  if (Name == "+")
+    return makeAdd(A, B);
+  if (Name == "-")
+    return makeSub(A, B);
+  if (Name == "*")
+    return makeMul(A, B);
+  if (Name == "//" || Name == "/") {
+    // Division by a constant only; x / k <= x * (1/k) for k >= 1.
+    if (B->isNumber() && !B->number().isZero())
+      return makeScale(Rational(1) / B->number(), A);
+    return makeInfinity();
+  }
+  if (Name == "mod") {
+    // 0 <= x mod k < k for k > 0.
+    if (B->isNumber())
+      return makeNumber(B->number() - Rational(1));
+    return makeInfinity();
+  }
+  if (Name == "min")
+    return makeMin({A, B});
+  if (Name == "max")
+    return makeMax(A, B);
+  return makeInfinity();
+}
+
+void ClauseSizeWalker::processBuiltin(Functor F, const StructTerm *S) {
+  const std::string &Name = Symbols.text(F.Name);
+  if (!S)
+    return;
+  if (Name == "is" && F.Arity == 2) {
+    bindPattern(S->arg(0), MeasureKind::IntValue, evalArith(S->arg(1)));
+    return;
+  }
+  if (Name == "=" && F.Arity == 2) {
+    // Propagate every defined measure across the equation, both ways.
+    for (MeasureKind M :
+         {MeasureKind::ListLength, MeasureKind::TermSize,
+          MeasureKind::TermDepth, MeasureKind::IntValue}) {
+      ExprRef L = sizeOf(S->arg(0), M);
+      ExprRef R = sizeOf(S->arg(1), M);
+      if (!L->isInfinity())
+        bindPattern(S->arg(1), M, L);
+      else if (!R->isInfinity())
+        bindPattern(S->arg(0), M, R);
+    }
+    return;
+  }
+  if (Name == "length" && F.Arity == 2) {
+    ExprRef L = sizeOf(S->arg(0), MeasureKind::ListLength);
+    if (!L->isInfinity())
+      bindPattern(S->arg(1), MeasureKind::IntValue, L);
+    ExprRef N = sizeOf(S->arg(1), MeasureKind::IntValue);
+    if (!N->isInfinity())
+      bindPattern(S->arg(0), MeasureKind::ListLength, N);
+    return;
+  }
+  // Comparisons, type tests, cut: no size effects.
+}
+
+void ClauseSizeWalker::processUserCall(Functor F, const StructTerm *S,
+                                       LiteralFacts &Facts) {
+  const PredicateSizeInfo &Callee = SA.info(F);
+
+  // Input sizes.
+  std::vector<unsigned> Inputs;
+  std::vector<ExprRef> InputSizes;
+  for (unsigned I = 0; I != F.Arity; ++I) {
+    if (I < Callee.Modes.size() && Callee.Modes[I] == ArgMode::Out)
+      continue;
+    Inputs.push_back(I);
+    MeasureKind M = I < Callee.Measures.size() ? Callee.Measures[I]
+                                               : MeasureKind::TermSize;
+    ExprRef Size = S ? sizeOf(S->arg(I), M) : makeNumber(0);
+    Facts.InputSizes[I] = Size;
+    InputSizes.push_back(Size);
+  }
+
+  // Output sizes via Psi.
+  for (unsigned O = 0; O != F.Arity; ++O) {
+    if (O >= Callee.Modes.size() || Callee.Modes[O] != ArgMode::Out)
+      continue;
+    ExprRef Psi;
+    if (O < Callee.OutputSize.size() && Callee.OutputSize[O]) {
+      // Solved: instantiate the closed form.
+      EquationDef Def;
+      for (unsigned I : Inputs)
+        Def.Params.push_back(SizeAnalysis::paramName(I));
+      Def.Rhs = Callee.OutputSize[O];
+      Psi = instantiateDef(Def, InputSizes);
+    } else if (KeepSCCCalls && P.lookup(F)) {
+      Psi = makeCall(SA.psiName(F, O), InputSizes);
+    } else {
+      Psi = makeInfinity();
+    }
+    MeasureKind M = O < Callee.Measures.size() ? Callee.Measures[O]
+                                               : MeasureKind::TermSize;
+    if (S)
+      bindPattern(S->arg(O), M, Psi);
+  }
+}
+
+ClauseFacts ClauseSizeWalker::walk(const Clause &C) {
+  ClauseFacts Facts;
+  const PredicateSizeInfo &Self = SA.info(Pred);
+  const StructTerm *Head = dynCast<StructTerm>(deref(C.head()));
+
+  // Seed the environment from the head input patterns.
+  for (unsigned I = 0; I != Pred.Arity; ++I) {
+    if (I < Self.Modes.size() && Self.Modes[I] == ArgMode::Out)
+      continue;
+    MeasureKind M = I < Self.Measures.size() ? Self.Measures[I]
+                                             : MeasureKind::TermSize;
+    if (Head)
+      bindPattern(Head->arg(I), M, makeVar(SizeAnalysis::paramName(I)));
+  }
+
+  // Walk the body literals in control order.
+  for (const Term *Lit : C.bodyLiterals()) {
+    LiteralFacts LF;
+    LF.Literal = Lit;
+    LF.F = literalFunctor(Lit);
+    if (!LF.F) {
+      Facts.Literals.push_back(std::move(LF));
+      continue;
+    }
+    LF.InputSizes.assign(LF.F->Arity, nullptr);
+    const StructTerm *S = dynCast<StructTerm>(deref(Lit));
+    if (isBuiltinFunctor(*LF.F, Symbols)) {
+      LF.IsBuiltin = true;
+      processBuiltin(*LF.F, S);
+    } else {
+      processUserCall(*LF.F, S, LF);
+    }
+    Facts.Literals.push_back(std::move(LF));
+  }
+
+  // Read off the head output sizes.
+  Facts.HeadOutputSizes.assign(Pred.Arity, nullptr);
+  for (unsigned O = 0; O != Pred.Arity; ++O) {
+    if (O >= Self.Modes.size() || Self.Modes[O] != ArgMode::Out)
+      continue;
+    MeasureKind M = O < Self.Measures.size() ? Self.Measures[O]
+                                             : MeasureKind::TermSize;
+    Facts.HeadOutputSizes[O] =
+        Head ? sizeOf(Head->arg(O), M) : makeNumber(0);
+  }
+  return Facts;
+}
+
+ExprRef granlog::trustTermToExpr(const Term *T, const SymbolTable &Symbols) {
+  T = deref(T);
+  if (const IntTerm *I = dynCast<IntTerm>(T))
+    return makeNumber(I->value());
+  if (const AtomTerm *A = dynCast<AtomTerm>(T)) {
+    const std::string &Name = Symbols.text(A->name());
+    if (Name == "inf")
+      return makeInfinity();
+    if (Name.size() >= 2 && Name[0] == 'n')
+      return makeVar(Name);
+    return makeInfinity();
+  }
+  const StructTerm *S = dynCast<StructTerm>(T);
+  if (!S)
+    return makeInfinity();
+  const std::string &Name = Symbols.text(S->name());
+  if (S->arity() == 1) {
+    ExprRef A = trustTermToExpr(S->arg(0), Symbols);
+    if (Name == "log2")
+      return makeLog2(A);
+    if (Name == "-")
+      return makeScale(Rational(-1), A);
+    return makeInfinity();
+  }
+  if (S->arity() != 2)
+    return makeInfinity();
+  ExprRef A = trustTermToExpr(S->arg(0), Symbols);
+  ExprRef B = trustTermToExpr(S->arg(1), Symbols);
+  if (Name == "+")
+    return makeAdd(A, B);
+  if (Name == "-")
+    return makeSub(A, B);
+  if (Name == "*")
+    return makeMul(A, B);
+  if (Name == "/" || Name == "//") {
+    if (B->isNumber() && !B->number().isZero())
+      return makeScale(Rational(1) / B->number(), A);
+    return makeInfinity();
+  }
+  if (Name == "^" || Name == "**")
+    return makePow(A, B);
+  if (Name == "min")
+    return makeMin({A, B});
+  if (Name == "max")
+    return makeMax(A, B);
+  return makeInfinity();
+}
+
+//===----------------------------------------------------------------------===//
+// SizeAnalysis driver
+//===----------------------------------------------------------------------===//
+
+SizeAnalysis::SizeAnalysis(const Program &P, const CallGraph &CG,
+                           const ModeTable &Modes)
+    : P(&P), CG(&CG), Modes(&Modes) {}
+
+const PredicateSizeInfo &SizeAnalysis::info(Functor F) const {
+  static const PredicateSizeInfo Empty;
+  auto It = Info.find(F);
+  return It == Info.end() ? Empty : It->second;
+}
+
+std::string SizeAnalysis::psiName(Functor F, unsigned OutPos) const {
+  return "psi:" + P->symbols().text(F) + "#" + std::to_string(OutPos);
+}
+
+ClauseFacts SizeAnalysis::analyzeClause(Functor Pred, const Clause &C,
+                                        bool KeepSCCCalls) const {
+  ClauseSizeWalker Walker(*this, Pred, KeepSCCCalls);
+  return Walker.walk(C);
+}
+
+void SizeAnalysis::run() {
+  for (unsigned Id = 0; Id != CG->numSCCs(); ++Id)
+    analyzeSCC(CG->sccMembers(Id));
+}
+
+namespace {
+
+/// Is \p E of the form param - k or param / b (+ small constant), i.e.
+/// strictly decreasing in \p Param?  Mirrors classifyRecArg in the
+/// recurrence extractor.
+bool isDecreasingIn(const ExprRef &E, const std::string &Param) {
+  std::optional<std::vector<ExprRef>> Poly = polynomialIn(E, Param);
+  if (!Poly || Poly->size() != 2)
+    return false;
+  const ExprRef &C0 = (*Poly)[0];
+  const ExprRef &C1 = (*Poly)[1];
+  if (!C1->isNumber() || !C0->isNumber())
+    return false;
+  Rational Slope = C1->number();
+  if (Slope == Rational(1))
+    return C0->number().isNegative();
+  return Slope > Rational(0) && Slope < Rational(1) &&
+         !C0->number().isNegative() && C0->number() <= Rational(1);
+}
+
+} // namespace
+
+int SizeAnalysis::recursionArg(Functor F) const {
+  auto Cached = RecArgCache.find(F);
+  if (Cached != RecArgCache.end())
+    return Cached->second;
+  const Predicate *Pred = P->lookup(F);
+  if (!Pred) {
+    RecArgCache[F] = -1;
+    return -1;
+  }
+  std::vector<unsigned> Inputs = Modes->inputPositions(F);
+
+  // Gather the input sizes of direct self-calls across clauses.
+  std::vector<std::vector<ExprRef>> SelfCallSizes;
+  for (const Clause &C : Pred->clauses()) {
+    if (CG->classifyClause(F, C) == ClauseRecursion::Nonrecursive)
+      continue;
+    ClauseFacts Facts = analyzeClause(F, C, /*KeepSCCCalls=*/true);
+    for (const LiteralFacts &LF : Facts.Literals)
+      if (LF.F && *LF.F == F)
+        SelfCallSizes.push_back(LF.InputSizes);
+  }
+
+  int Result = -1;
+  for (unsigned R : Inputs) {
+    const PredicateSizeInfo &Self = info(F);
+    if (R < Self.Measures.size() && Self.Measures[R] == MeasureKind::Void)
+      continue;
+    bool AllDecrease = !SelfCallSizes.empty();
+    for (const std::vector<ExprRef> &Sizes : SelfCallSizes) {
+      if (R >= Sizes.size() || !Sizes[R] ||
+          !isDecreasingIn(Sizes[R], paramName(R))) {
+        AllDecrease = false;
+        break;
+      }
+    }
+    if (AllDecrease) {
+      Result = static_cast<int>(R);
+      break;
+    }
+  }
+  // Pure mutual recursion (no direct self-calls): default to the first
+  // measurable input position.
+  if (Result < 0 && SelfCallSizes.empty() && CG->isRecursive(F)) {
+    for (unsigned R : Inputs) {
+      const PredicateSizeInfo &Self = info(F);
+      if (R < Self.Measures.size() && Self.Measures[R] != MeasureKind::Void) {
+        Result = static_cast<int>(R);
+        break;
+      }
+    }
+  }
+  RecArgCache[F] = Result;
+  return Result;
+}
+
+void SizeAnalysis::analyzeSCC(const std::vector<Functor> &Members) {
+  // Phase 1: resolve modes and measures for all members so that calls
+  // within the SCC see them.
+  for (Functor F : Members) {
+    const Predicate *Pred = P->lookup(F);
+    PredicateSizeInfo &PI = Info[F];
+    PI.Modes = Modes->modes(F);
+    PI.Measures = Pred ? inferMeasures(*Pred, P->symbols())
+                       : std::vector<MeasureKind>(F.Arity,
+                                                  MeasureKind::TermSize);
+  }
+
+  // Phase 1b: cross-predicate measure propagation.  If a head variable is
+  // passed straight to a callee position with a more specific measure
+  // (e.g. a list consumed by nrev inside a wrapper predicate), the head
+  // position adopts that measure — but only for inferred measures, never
+  // for declared ones.
+  for (int Round = 0; Round != 2; ++Round) {
+    for (Functor F : Members) {
+      const Predicate *Pred = P->lookup(F);
+      if (!Pred || Pred->hasDeclaredMeasures())
+        continue;
+      PredicateSizeInfo &PI = Info[F];
+      for (const Clause &C : Pred->clauses()) {
+        const StructTerm *Head = dynCast<StructTerm>(deref(C.head()));
+        if (!Head)
+          continue;
+        for (const Term *Lit : C.bodyLiterals()) {
+          std::optional<Functor> LF = literalFunctor(Lit);
+          const StructTerm *S = dynCast<StructTerm>(deref(Lit));
+          if (!LF || !S || isBuiltinFunctor(*LF, P->symbols()))
+            continue;
+          const PredicateSizeInfo &Callee = info(*LF);
+          if (Callee.Measures.empty())
+            continue;
+          for (unsigned J = 0; J != S->arity(); ++J) {
+            const VarTerm *V = dynCast<VarTerm>(deref(S->arg(J)));
+            if (!V)
+              continue;
+            for (unsigned I = 0; I != Head->arity(); ++I) {
+              if (deref(Head->arg(I)) != V)
+                continue;
+              if (measureRank(Callee.Measures[J]) >
+                  measureRank(PI.Measures[I]))
+                PI.Measures[I] = Callee.Measures[J];
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Phase 2: clause facts with symbolic SCC Psi calls.
+  std::map<Functor, std::vector<ClauseFacts>> Facts;
+  for (Functor F : Members) {
+    const Predicate *Pred = P->lookup(F);
+    if (!Pred)
+      continue;
+    for (const Clause &C : Pred->clauses())
+      Facts[F].push_back(analyzeClause(F, C, /*KeepSCCCalls=*/true));
+  }
+
+  // Phase 3: solve each output of each member.
+  for (Functor F : Members) {
+    PredicateSizeInfo &PI = Info[F];
+    PI.OutputSize.assign(F.Arity, nullptr);
+    PI.RecArgPos = recursionArg(F);
+    for (unsigned O : Modes->outputPositions(F)) {
+      bool Exact = true;
+      PI.OutputSize[O] = solveOutput(F, O, Facts[F], &Exact);
+      PI.Exact &= Exact;
+    }
+  }
+}
+
+ExprRef SizeAnalysis::solveOutput(Functor F, unsigned OutPos,
+                                  const std::vector<ClauseFacts> &Facts,
+                                  bool *Exact) {
+  *Exact = true;
+  const Predicate *Pred = P->lookup(F);
+  if (!Pred)
+    return makeInfinity();
+
+  // A ':- trust_size' declaration overrides the inference entirely.
+  if (const Term *Trust = Pred->trustSize(OutPos)) {
+    *Exact = false;
+    return trustTermToExpr(Trust, P->symbols());
+  }
+
+  std::vector<unsigned> Inputs = Modes->inputPositions(F);
+  std::vector<std::string> Params;
+  for (unsigned I : Inputs)
+    Params.push_back(paramName(I));
+
+  const std::string SelfName = psiName(F, OutPos);
+  unsigned SCCId = CG->sccId(F);
+
+  // Names of all Psi functions belonging to this SCC.
+  std::vector<std::string> SCCNames;
+  std::map<std::string, EquationDef> OtherDefs;
+  for (Functor M : CG->sccMembers(SCCId)) {
+    std::vector<std::string> MParams;
+    for (unsigned I : Modes->inputPositions(M))
+      MParams.push_back(paramName(I));
+    for (unsigned O : Modes->outputPositions(M)) {
+      std::string Name = psiName(M, O);
+      SCCNames.push_back(Name);
+      if (Name == SelfName)
+        continue;
+      // Merged rhs of the other Psi (max over its clauses).
+      std::vector<ExprRef> Rhses;
+      if (const Predicate *MP = P->lookup(M)) {
+        for (size_t CI = 0; CI != MP->clauses().size(); ++CI) {
+          ClauseFacts CF =
+              M == F ? Facts[CI]
+                     : analyzeClause(M, MP->clauses()[CI],
+                                     /*KeepSCCCalls=*/true);
+          if (O < CF.HeadOutputSizes.size() && CF.HeadOutputSizes[O])
+            Rhses.push_back(CF.HeadOutputSizes[O]);
+        }
+      }
+      if (Rhses.empty())
+        Rhses.push_back(makeInfinity());
+      OtherDefs[Name] = EquationDef{MParams, makeMax(std::move(Rhses))};
+    }
+  }
+
+  auto ContainsSCCCall = [&](const ExprRef &E) {
+    for (const std::string &Name : SCCNames)
+      if (containsCall(E, Name))
+        return true;
+    return false;
+  };
+
+  int RecArg = recursionArg(F);
+  int RecIndex = -1;
+  for (size_t I = 0; I != Inputs.size(); ++I)
+    if (static_cast<int>(Inputs[I]) == RecArg)
+      RecIndex = static_cast<int>(I);
+
+  MeasureKind RecMeasure =
+      RecArg >= 0 ? info(F).Measures[RecArg] : MeasureKind::TermSize;
+
+  std::vector<Boundary> Boundaries;
+  std::vector<ExprRef> Floors;
+  std::vector<Recurrence> Recs;
+
+  for (size_t CI = 0; CI != Facts.size(); ++CI) {
+    const Clause &C = Pred->clauses()[CI];
+    ExprRef Rhs = Facts[CI].HeadOutputSizes[OutPos];
+    if (!Rhs)
+      continue;
+    if (!ContainsSCCCall(Rhs)) {
+      // Base clause: boundary condition if the recursion argument's head
+      // pattern has a constant size, else a floor for the final max.
+      if (RecArg >= 0) {
+        const StructTerm *Head = dynCast<StructTerm>(deref(C.head()));
+        std::optional<int64_t> At =
+            Head ? minPatternSize(Head->arg(RecArg), RecMeasure,
+                                  P->symbols())
+                 : std::nullopt;
+        if (At) {
+          Boundaries.push_back({Rational(*At), Rhs});
+          continue;
+        }
+      }
+      Floors.push_back(Rhs);
+      continue;
+    }
+    // Recursive clause: eliminate other SCC unknowns, then extract.
+    ExprRef Reduced = inlineCalls(
+        Rhs, OtherDefs, static_cast<unsigned>(OtherDefs.size()) + 2);
+    bool StillForeign = false;
+    for (const std::string &Name : SCCNames)
+      if (Name != SelfName && containsCall(Reduced, Name))
+        StillForeign = true;
+    if (StillForeign || RecIndex < 0) {
+      *Exact = false;
+      return makeInfinity();
+    }
+    std::optional<Recurrence> R = extractRecurrence(
+        SelfName, Params, static_cast<unsigned>(RecIndex), Reduced);
+    if (!R) {
+      *Exact = false;
+      return makeInfinity();
+    }
+    Recs.push_back(std::move(*R));
+  }
+
+  if (Recs.empty()) {
+    // Nonrecursive for this output: upper bound is the max across clauses.
+    std::vector<ExprRef> All = Floors;
+    for (const Boundary &B : Boundaries)
+      All.push_back(B.Value);
+    if (All.empty())
+      return makeInfinity();
+    *Exact = All.size() == 1;
+    return makeMax(std::move(All));
+  }
+
+  bool MergeExact = Recs.size() == 1;
+  Recurrence Merged = mergeRecurrences(Recs, /*Sum=*/false);
+  Merged.Boundaries = Boundaries;
+  SolveResult S = Solver.solve(Merged);
+  *Exact = S.Exact && MergeExact && Floors.empty();
+  if (S.failed())
+    return makeInfinity();
+  ExprRef Result = S.Closed;
+  if (!Floors.empty()) {
+    Floors.push_back(Result);
+    Result = makeMax(std::move(Floors));
+  }
+  return Result;
+}

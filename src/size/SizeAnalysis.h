@@ -1,0 +1,144 @@
+//===- size/SizeAnalysis.h - Argument size relations ----------------------===//
+//
+// Part of GranLog; see DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The argument-size analysis of Section 3.  Processing the call graph in
+/// topological order, it derives for every predicate p and every output
+/// argument position o a function Psi_p,o mapping the sizes of p's input
+/// arguments to an upper bound on the size of that output (or Infinity
+/// when no bound can be established).
+///
+/// Per clause, the analysis propagates size expressions along the data
+/// dependency order (the paper's normalization of inter- and intra-literal
+/// argument size relations, realized as substitution while walking the
+/// body): head input patterns seed an environment mapping variables to
+/// symbolic sizes; each body literal consumes input sizes and produces
+/// output sizes via its callee's Psi (already in closed form for earlier
+/// SCCs, a symbolic Call for the current one); head outputs are then read
+/// off.  Recursive clauses yield difference equations, non-recursive
+/// clauses boundary conditions; the diffeq solver produces closed forms.
+/// Mutually recursive SCCs are reduced by substitution (inlineCalls)
+/// before extraction.
+///
+/// Undefined sizes are represented by Infinity rather than bottom — for an
+/// upper-bound analysis "unknown" and "unbounded" are interchangeable, and
+/// Infinity propagates naturally through the expression algebra.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_SIZE_SIZEANALYSIS_H
+#define GRANLOG_SIZE_SIZEANALYSIS_H
+
+#include "analysis/Determinacy.h"
+#include "analysis/Modes.h"
+#include "diffeq/Solver.h"
+#include "program/CallGraph.h"
+#include "size/Measures.h"
+
+#include <unordered_map>
+
+namespace granlog {
+
+/// Size-analysis results for one predicate.
+struct PredicateSizeInfo {
+  std::vector<ArgMode> Modes;
+  std::vector<MeasureKind> Measures;
+  /// Per argument position: the closed-form output size function in the
+  /// parameters "n1".."nk" (named by *argument position* of the inputs),
+  /// Infinity if unknown, nullptr for input positions.
+  std::vector<ExprRef> OutputSize;
+  /// Argument position whose size drives the recursion (-1 if the
+  /// predicate is not recursive or no single decreasing argument exists).
+  int RecArgPos = -1;
+  /// True when every output size was solved without upper-bound
+  /// relaxations.
+  bool Exact = true;
+};
+
+/// Facts about one body literal gathered while walking a clause.
+struct LiteralFacts {
+  const Term *Literal = nullptr;
+  std::optional<Functor> F;
+  bool IsBuiltin = false;
+  /// Size expressions for the literal's *input* argument positions (by
+  /// absolute position; output positions are nullptr).  In terms of the
+  /// clause head's input parameters.
+  std::vector<ExprRef> InputSizes;
+};
+
+/// Facts about one clause: literal-by-literal input sizes plus the head
+/// output sizes, all in terms of head input parameters.
+struct ClauseFacts {
+  std::vector<LiteralFacts> Literals;
+  /// Per argument position; nullptr for inputs.
+  std::vector<ExprRef> HeadOutputSizes;
+};
+
+/// Converts a ':- trust_cost'/'trust_size' arithmetic term (over atoms
+/// n1..nk, integers, + - * /, min/max, ^, log2, inf) into a symbolic
+/// expression.  Returns Infinity for unconvertible terms.
+ExprRef trustTermToExpr(const Term *T, const SymbolTable &Symbols);
+
+/// The analysis driver.
+class SizeAnalysis {
+public:
+  SizeAnalysis(const Program &P, const CallGraph &CG, const ModeTable &Modes);
+
+  /// Runs the analysis over all SCCs in topological order.
+  void run();
+
+  const PredicateSizeInfo &info(Functor F) const;
+
+  /// Walks one clause of \p Pred with the current solved knowledge,
+  /// producing per-literal input sizes and head output sizes.  Used
+  /// internally and by the cost analysis.  When \p KeepSCCCalls is true,
+  /// calls to predicates in the same SCC as \p Pred appear as symbolic
+  /// Call nodes instead of closed forms.
+  ClauseFacts analyzeClause(Functor Pred, const Clause &C,
+                            bool KeepSCCCalls) const;
+
+  /// The canonical parameter name of argument position \p ArgPos (0-based):
+  /// "n1", "n2", ...
+  static std::string paramName(unsigned ArgPos) {
+    return "n" + std::to_string(ArgPos + 1);
+  }
+
+  /// The symbolic name of Psi for output position \p OutPos of \p F.
+  std::string psiName(Functor F, unsigned OutPos) const;
+
+  /// Chooses (and caches) the recursion argument position of \p F.
+  int recursionArg(Functor F) const;
+
+  const Program &program() const { return *P; }
+  const ModeTable &modeTable() const { return *Modes; }
+  const DiffEqSolver &solver() const { return Solver; }
+
+  /// Removes a difference-equation schema before run() (ablations).
+  void disableSchema(const std::string &Name) {
+    Solver.disableSchema(Name);
+  }
+
+private:
+  friend class ClauseSizeWalker;
+
+  void analyzeSCC(const std::vector<Functor> &Members);
+
+  /// Builds, for output \p OutPos of \p F, the per-clause equations and
+  /// solves them; called with all clause facts of the SCC available.
+  ExprRef solveOutput(Functor F, unsigned OutPos,
+                      const std::vector<ClauseFacts> &Facts, bool *Exact);
+
+  const Program *P;
+  const CallGraph *CG;
+  const ModeTable *Modes;
+  DiffEqSolver Solver;
+  std::unordered_map<Functor, PredicateSizeInfo> Info;
+  mutable std::unordered_map<Functor, int> RecArgCache;
+};
+
+} // namespace granlog
+
+#endif // GRANLOG_SIZE_SIZEANALYSIS_H

@@ -1,0 +1,22 @@
+//===- support/Diagnostics.cpp --------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+using namespace granlog;
+
+std::string Diagnostic::str() const {
+  const char *KindName = Kind == DiagKind::Error     ? "error"
+                         : Kind == DiagKind::Warning ? "warning"
+                                                     : "note";
+  return Loc.str() + ": " + KindName + ": " + Message;
+}
+
+std::string Diagnostics::str() const {
+  std::string Result;
+  for (const Diagnostic &D : Diags) {
+    if (!Result.empty())
+      Result += '\n';
+    Result += D.str();
+  }
+  return Result;
+}

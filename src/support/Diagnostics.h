@@ -1,0 +1,75 @@
+//===- support/Diagnostics.h - Error reporting ----------------------------===//
+//
+// Part of GranLog; see DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simple diagnostics sink.  Library code never throws; components that
+/// can fail take a Diagnostics& and report through it, returning
+/// std::optional / empty results on error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_SUPPORT_DIAGNOSTICS_H
+#define GRANLOG_SUPPORT_DIAGNOSTICS_H
+
+#include <string>
+#include <vector>
+
+namespace granlog {
+
+/// A position in a source buffer, 1-based.  Line 0 means "unknown".
+struct SourceLoc {
+  int Line = 0;
+  int Column = 0;
+
+  bool isValid() const { return Line > 0; }
+  std::string str() const {
+    if (!isValid())
+      return "<unknown>";
+    return std::to_string(Line) + ":" + std::to_string(Column);
+  }
+};
+
+/// Severity of a diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// One reported diagnostic.
+struct Diagnostic {
+  DiagKind Kind;
+  SourceLoc Loc;
+  std::string Message;
+
+  std::string str() const;
+};
+
+/// Collects diagnostics produced while processing one input.
+class Diagnostics {
+public:
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
+    ++NumErrors;
+  }
+  void warning(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Warning, Loc, std::move(Message)});
+  }
+  void note(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Note, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return NumErrors > 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &all() const { return Diags; }
+
+  /// All diagnostics joined by newlines, for test failure messages.
+  std::string str() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace granlog
+
+#endif // GRANLOG_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,27 @@
+//===- support/Rational.cpp -----------------------------------------------===//
+
+#include "support/Rational.h"
+
+using namespace granlog;
+
+Rational Rational::pow(int64_t E) const {
+  if (E < 0) {
+    assert(!isZero() && "zero to a negative power");
+    return Rational(Den, Num).pow(-E);
+  }
+  Rational Result(1);
+  Rational Base = *this;
+  while (E > 0) {
+    if (E & 1)
+      Result *= Base;
+    Base *= Base;
+    E >>= 1;
+  }
+  return Result;
+}
+
+std::string Rational::str() const {
+  if (Den == 1)
+    return std::to_string(Num);
+  return std::to_string(Num) + "/" + std::to_string(Den);
+}

@@ -1,0 +1,137 @@
+//===- support/Rational.h - Exact rational arithmetic ---------------------===//
+//
+// Part of GranLog, a reproduction of Debray, Lin & Hermenegildo,
+// "Task Granularity Analysis in Logic Programs", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact rational numbers over int64, used as the coefficient domain of the
+/// symbolic expression library.  The paper's closed forms (e.g. the cost of
+/// naive reverse, 0.5 n^2 + 1.5 n + 1) have non-integer rational
+/// coefficients, so double arithmetic would make the analysis results
+/// unstable to compare in tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_SUPPORT_RATIONAL_H
+#define GRANLOG_SUPPORT_RATIONAL_H
+
+#include <cassert>
+#include <cstdint>
+#include <numeric>
+#include <string>
+
+namespace granlog {
+
+/// An exact rational number with a canonical representation: the denominator
+/// is always positive and gcd(|num|, den) == 1.  Overflow of int64 is not
+/// checked; the analyses in this project produce small coefficients.
+class Rational {
+public:
+  Rational() : Num(0), Den(1) {}
+  Rational(int64_t N) : Num(N), Den(1) {}
+  Rational(int64_t N, int64_t D) : Num(N), Den(D) {
+    assert(D != 0 && "rational with zero denominator");
+    normalize();
+  }
+
+  int64_t numerator() const { return Num; }
+  int64_t denominator() const { return Den; }
+
+  bool isZero() const { return Num == 0; }
+  bool isOne() const { return Num == 1 && Den == 1; }
+  bool isInteger() const { return Den == 1; }
+  bool isNegative() const { return Num < 0; }
+
+  /// Returns the integer value; only valid when isInteger().
+  int64_t asInteger() const {
+    assert(isInteger() && "not an integer");
+    return Num;
+  }
+
+  double asDouble() const {
+    return static_cast<double>(Num) / static_cast<double>(Den);
+  }
+
+  Rational operator-() const { return Rational(-Num, Den, NoNormalize()); }
+
+  Rational operator+(const Rational &R) const {
+    return Rational(Num * R.Den + R.Num * Den, Den * R.Den);
+  }
+  Rational operator-(const Rational &R) const {
+    return Rational(Num * R.Den - R.Num * Den, Den * R.Den);
+  }
+  Rational operator*(const Rational &R) const {
+    return Rational(Num * R.Num, Den * R.Den);
+  }
+  Rational operator/(const Rational &R) const {
+    assert(!R.isZero() && "division by zero");
+    return Rational(Num * R.Den, Den * R.Num);
+  }
+
+  Rational &operator+=(const Rational &R) { return *this = *this + R; }
+  Rational &operator-=(const Rational &R) { return *this = *this - R; }
+  Rational &operator*=(const Rational &R) { return *this = *this * R; }
+  Rational &operator/=(const Rational &R) { return *this = *this / R; }
+
+  bool operator==(const Rational &R) const {
+    return Num == R.Num && Den == R.Den;
+  }
+  bool operator!=(const Rational &R) const { return !(*this == R); }
+  bool operator<(const Rational &R) const {
+    return Num * R.Den < R.Num * Den;
+  }
+  bool operator<=(const Rational &R) const {
+    return Num * R.Den <= R.Num * Den;
+  }
+  bool operator>(const Rational &R) const { return R < *this; }
+  bool operator>=(const Rational &R) const { return R <= *this; }
+
+  /// Largest integer <= this.
+  int64_t floor() const {
+    if (Num >= 0 || Num % Den == 0)
+      return Num / Den;
+    return Num / Den - 1;
+  }
+
+  /// Smallest integer >= this.
+  int64_t ceil() const {
+    if (Num <= 0 || Num % Den == 0)
+      return Num / Den;
+    return Num / Den + 1;
+  }
+
+  Rational abs() const { return Num < 0 ? -*this : *this; }
+
+  /// Integer power; \p E may be negative for nonzero values.
+  Rational pow(int64_t E) const;
+
+  /// Renders e.g. "3", "-1/2".
+  std::string str() const;
+
+private:
+  struct NoNormalize {};
+  Rational(int64_t N, int64_t D, NoNormalize) : Num(N), Den(D) {}
+
+  void normalize() {
+    if (Den < 0) {
+      Num = -Num;
+      Den = -Den;
+    }
+    int64_t G = std::gcd(Num < 0 ? -Num : Num, Den);
+    if (G > 1) {
+      Num /= G;
+      Den /= G;
+    }
+    if (Num == 0)
+      Den = 1;
+  }
+
+  int64_t Num;
+  int64_t Den;
+};
+
+} // namespace granlog
+
+#endif // GRANLOG_SUPPORT_RATIONAL_H

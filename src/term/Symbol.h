@@ -1,0 +1,115 @@
+//===- term/Symbol.h - Interned identifiers -------------------------------===//
+//
+// Part of GranLog; see DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interned strings (atom and functor names) and functor descriptors
+/// (name/arity pairs), shared by the whole front end and all analyses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_TERM_SYMBOL_H
+#define GRANLOG_TERM_SYMBOL_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace granlog {
+
+/// An interned string.  Symbols are cheap to copy and compare; the text
+/// lives in the SymbolTable that created them.
+class Symbol {
+public:
+  Symbol() : Id(~0u) {}
+  explicit Symbol(uint32_t Id) : Id(Id) {}
+
+  bool isValid() const { return Id != ~0u; }
+  uint32_t id() const { return Id; }
+
+  bool operator==(const Symbol &S) const { return Id == S.Id; }
+  bool operator!=(const Symbol &S) const { return Id != S.Id; }
+  bool operator<(const Symbol &S) const { return Id < S.Id; }
+
+private:
+  uint32_t Id;
+};
+
+/// A predicate or structure descriptor: name plus arity.  "p/2" style.
+struct Functor {
+  Symbol Name;
+  unsigned Arity = 0;
+
+  bool operator==(const Functor &F) const {
+    return Name == F.Name && Arity == F.Arity;
+  }
+  bool operator!=(const Functor &F) const { return !(*this == F); }
+  bool operator<(const Functor &F) const {
+    if (Name != F.Name)
+      return Name < F.Name;
+    return Arity < F.Arity;
+  }
+};
+
+/// Maps strings to Symbols and back.  Not thread-safe; one table per
+/// Program (or per test).
+class SymbolTable {
+public:
+  /// Interns \p Text, returning its unique Symbol.
+  Symbol intern(std::string_view Text) {
+    auto It = Ids.find(std::string(Text));
+    if (It != Ids.end())
+      return Symbol(It->second);
+    uint32_t Id = static_cast<uint32_t>(Texts.size());
+    Texts.emplace_back(Text);
+    Ids.emplace(Texts.back(), Id);
+    return Symbol(Id);
+  }
+
+  /// Looks up \p Text without interning; returns an invalid Symbol if the
+  /// string has never been seen.
+  Symbol lookup(std::string_view Text) const {
+    auto It = Ids.find(std::string(Text));
+    if (It == Ids.end())
+      return Symbol();
+    return Symbol(It->second);
+  }
+
+  const std::string &text(Symbol S) const {
+    assert(S.isValid() && S.id() < Texts.size() && "bad symbol");
+    return Texts[S.id()];
+  }
+
+  /// Renders "name/arity".
+  std::string text(const Functor &F) const {
+    return text(F.Name) + "/" + std::to_string(F.Arity);
+  }
+
+  size_t size() const { return Texts.size(); }
+
+private:
+  std::vector<std::string> Texts;
+  std::unordered_map<std::string, uint32_t> Ids;
+};
+
+} // namespace granlog
+
+namespace std {
+template <> struct hash<granlog::Symbol> {
+  size_t operator()(const granlog::Symbol &S) const {
+    return hash<uint32_t>()(S.id());
+  }
+};
+template <> struct hash<granlog::Functor> {
+  size_t operator()(const granlog::Functor &F) const {
+    return hash<uint32_t>()(F.Name.id()) * 131 + F.Arity;
+  }
+};
+} // namespace std
+
+#endif // GRANLOG_TERM_SYMBOL_H

@@ -1,0 +1,118 @@
+//===- term/Term.cpp ------------------------------------------------------===//
+
+#include "term/Term.h"
+
+#include <unordered_set>
+
+using namespace granlog;
+
+bool Term::isGround() const {
+  switch (Kind) {
+  case TermKind::Variable:
+    return false;
+  case TermKind::Atom:
+  case TermKind::Int:
+  case TermKind::Float:
+    return true;
+  case TermKind::Struct: {
+    const auto *S = static_cast<const StructTerm *>(this);
+    for (const Term *Arg : S->args())
+      if (!Arg->isGround())
+        return false;
+    return true;
+  }
+  }
+  assert(false && "unknown term kind");
+  return false;
+}
+
+const Term *granlog::deref(const Term *T) {
+  while (const VarTerm *V = dynCast<VarTerm>(T)) {
+    if (!V->isBound())
+      return T;
+    T = V->binding();
+  }
+  return T;
+}
+
+const Term *TermArena::makeList(const std::vector<const Term *> &Elements) {
+  const Term *List = makeNil();
+  for (auto It = Elements.rbegin(); It != Elements.rend(); ++It)
+    List = makeCons(*It, List);
+  return List;
+}
+
+const Term *TermArena::makeIntList(const std::vector<int64_t> &Values) {
+  std::vector<const Term *> Elements;
+  Elements.reserve(Values.size());
+  for (int64_t V : Values)
+    Elements.push_back(makeInt(V));
+  return makeList(Elements);
+}
+
+bool granlog::isNil(const Term *T, const SymbolTable &Symbols) {
+  const AtomTerm *A = dynCast<AtomTerm>(deref(T));
+  return A && Symbols.text(A->name()) == "[]";
+}
+
+bool granlog::isCons(const Term *T, const SymbolTable &Symbols) {
+  const StructTerm *S = dynCast<StructTerm>(deref(T));
+  return S && S->arity() == 2 && Symbols.text(S->name()) == ".";
+}
+
+bool granlog::collectListElements(const Term *T, const SymbolTable &Symbols,
+                                  std::vector<const Term *> &Elements) {
+  T = deref(T);
+  while (isCons(T, Symbols)) {
+    const StructTerm *Cell = cast<StructTerm>(deref(T));
+    Elements.push_back(deref(Cell->arg(0)));
+    T = deref(Cell->arg(1));
+  }
+  return isNil(T, Symbols);
+}
+
+void granlog::collectVariables(const Term *T,
+                               std::vector<const VarTerm *> &Vars) {
+  T = deref(T);
+  if (const VarTerm *V = dynCast<VarTerm>(T)) {
+    for (const VarTerm *Seen : Vars)
+      if (Seen == V)
+        return;
+    Vars.push_back(V);
+    return;
+  }
+  if (const StructTerm *S = dynCast<StructTerm>(T))
+    for (const Term *Arg : S->args())
+      collectVariables(Arg, Vars);
+}
+
+bool granlog::termsEqual(const Term *A, const Term *B) {
+  A = deref(A);
+  B = deref(B);
+  if (A == B)
+    return true;
+  if (A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case TermKind::Variable:
+    return false; // distinct unbound variables
+  case TermKind::Atom:
+    return cast<AtomTerm>(A)->name() == cast<AtomTerm>(B)->name();
+  case TermKind::Int:
+    return cast<IntTerm>(A)->value() == cast<IntTerm>(B)->value();
+  case TermKind::Float:
+    return cast<FloatTerm>(A)->value() == cast<FloatTerm>(B)->value();
+  case TermKind::Struct: {
+    const StructTerm *SA = cast<StructTerm>(A);
+    const StructTerm *SB = cast<StructTerm>(B);
+    if (SA->name() != SB->name() || SA->arity() != SB->arity())
+      return false;
+    for (unsigned I = 0, E = SA->arity(); I != E; ++I)
+      if (!termsEqual(SA->arg(I), SB->arg(I)))
+        return false;
+    return true;
+  }
+  }
+  assert(false && "unknown term kind");
+  return false;
+}

@@ -1,0 +1,267 @@
+//===- term/Term.h - Logic program terms ----------------------------------===//
+//
+// Part of GranLog; see DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The term representation: variables, atoms, integers, floats and compound
+/// terms, allocated in a TermArena.  Terms are structurally immutable; the
+/// only mutable state is a variable's binding slot, which the unification
+/// machinery (Unify.h) manages through a trail so bindings can be undone on
+/// backtracking.
+///
+/// Lists use the conventional encoding: '[]' for nil and './2' for cons.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_TERM_TERM_H
+#define GRANLOG_TERM_TERM_H
+
+#include "term/Symbol.h"
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <initializer_list>
+#include <vector>
+
+namespace granlog {
+
+/// Discriminator for the Term class hierarchy (hand-rolled RTTI).
+enum class TermKind { Variable, Atom, Int, Float, Struct };
+
+/// Base class of all terms.  Instances live in a TermArena and are referred
+/// to by plain const pointers; the arena owns them.
+class Term {
+public:
+  TermKind kind() const { return Kind; }
+
+  bool isVariable() const { return Kind == TermKind::Variable; }
+  bool isAtom() const { return Kind == TermKind::Atom; }
+  bool isInt() const { return Kind == TermKind::Int; }
+  bool isFloat() const { return Kind == TermKind::Float; }
+  bool isStruct() const { return Kind == TermKind::Struct; }
+  bool isNumber() const { return isInt() || isFloat(); }
+  bool isAtomic() const { return isAtom() || isNumber(); }
+
+  /// Returns true if no variable occurs in this term (ignoring bindings —
+  /// call resolve() first if partially bound terms may be involved).
+  bool isGround() const;
+
+protected:
+  explicit Term(TermKind Kind) : Kind(Kind) {}
+  ~Term() = default;
+
+private:
+  TermKind Kind;
+};
+
+/// A logic variable.  Name is the source name (may be invalid for variables
+/// created fresh at runtime); Id is unique within the arena.  Binding is
+/// managed by BindingEnv.
+class VarTerm : public Term {
+  friend class TermArena;
+  friend class BindingEnv;
+
+public:
+  Symbol name() const { return Name; }
+  unsigned id() const { return Id; }
+
+  /// The term this variable is bound to, or nullptr if unbound.
+  const Term *binding() const { return Binding; }
+  bool isBound() const { return Binding != nullptr; }
+
+private:
+  VarTerm(Symbol Name, unsigned Id)
+      : Term(TermKind::Variable), Name(Name), Id(Id) {}
+
+  Symbol Name;
+  unsigned Id;
+  mutable const Term *Binding = nullptr;
+};
+
+/// A constant symbol, e.g. 'foo' or '[]'.
+class AtomTerm : public Term {
+  friend class TermArena;
+
+public:
+  Symbol name() const { return Name; }
+
+private:
+  explicit AtomTerm(Symbol Name) : Term(TermKind::Atom), Name(Name) {}
+  Symbol Name;
+};
+
+/// An integer constant.
+class IntTerm : public Term {
+  friend class TermArena;
+
+public:
+  int64_t value() const { return Value; }
+
+private:
+  explicit IntTerm(int64_t Value) : Term(TermKind::Int), Value(Value) {}
+  int64_t Value;
+};
+
+/// A floating-point constant.
+class FloatTerm : public Term {
+  friend class TermArena;
+
+public:
+  double value() const { return Value; }
+
+private:
+  explicit FloatTerm(double Value) : Term(TermKind::Float), Value(Value) {}
+  double Value;
+};
+
+/// A compound term f(t1, ..., tn), n >= 1.
+class StructTerm : public Term {
+  friend class TermArena;
+
+public:
+  Symbol name() const { return Name; }
+  unsigned arity() const { return static_cast<unsigned>(Args.size()); }
+  Functor functor() const { return {Name, arity()}; }
+
+  const Term *arg(unsigned I) const {
+    assert(I < Args.size() && "argument index out of range");
+    return Args[I];
+  }
+  const std::vector<const Term *> &args() const { return Args; }
+
+private:
+  StructTerm(Symbol Name, std::vector<const Term *> Args)
+      : Term(TermKind::Struct), Name(Name), Args(std::move(Args)) {}
+
+  Symbol Name;
+  std::vector<const Term *> Args;
+};
+
+/// Casting helpers in the spirit of llvm::cast/dyn_cast.
+template <typename T> const T *dynCast(const Term *TP);
+
+template <> inline const VarTerm *dynCast<VarTerm>(const Term *TP) {
+  return TP->isVariable() ? static_cast<const VarTerm *>(TP) : nullptr;
+}
+template <> inline const AtomTerm *dynCast<AtomTerm>(const Term *TP) {
+  return TP->isAtom() ? static_cast<const AtomTerm *>(TP) : nullptr;
+}
+template <> inline const IntTerm *dynCast<IntTerm>(const Term *TP) {
+  return TP->isInt() ? static_cast<const IntTerm *>(TP) : nullptr;
+}
+template <> inline const FloatTerm *dynCast<FloatTerm>(const Term *TP) {
+  return TP->isFloat() ? static_cast<const FloatTerm *>(TP) : nullptr;
+}
+template <> inline const StructTerm *dynCast<StructTerm>(const Term *TP) {
+  return TP->isStruct() ? static_cast<const StructTerm *>(TP) : nullptr;
+}
+
+template <typename T> const T *cast(const Term *TP) {
+  const T *Result = dynCast<T>(TP);
+  assert(Result && "cast to wrong term kind");
+  return Result;
+}
+
+/// Owns all terms of one program or one interpreter run.  Also owns the
+/// SymbolTable so that atoms can be created from bare strings.
+class TermArena {
+public:
+  TermArena() = default;
+  TermArena(const TermArena &) = delete;
+  TermArena &operator=(const TermArena &) = delete;
+
+  SymbolTable &symbols() { return Symbols; }
+  const SymbolTable &symbols() const { return Symbols; }
+
+  /// Creates a fresh, unbound variable.  \p Name may be an invalid Symbol
+  /// for machine-generated variables.
+  const VarTerm *makeVariable(Symbol Name = Symbol()) {
+    Vars.push_back(VarTerm(Name, NextVarId++));
+    return &Vars.back();
+  }
+  const VarTerm *makeVariable(std::string_view Name) {
+    return makeVariable(Symbols.intern(Name));
+  }
+
+  const AtomTerm *makeAtom(Symbol Name) {
+    Atoms.push_back(AtomTerm(Name));
+    return &Atoms.back();
+  }
+  const AtomTerm *makeAtom(std::string_view Name) {
+    return makeAtom(Symbols.intern(Name));
+  }
+
+  const IntTerm *makeInt(int64_t Value) {
+    Ints.push_back(IntTerm(Value));
+    return &Ints.back();
+  }
+  const FloatTerm *makeFloat(double Value) {
+    Floats.push_back(FloatTerm(Value));
+    return &Floats.back();
+  }
+
+  const StructTerm *makeStruct(Symbol Name,
+                               std::vector<const Term *> Args) {
+    assert(!Args.empty() && "structs have at least one argument");
+    Structs.push_back(StructTerm(Name, std::move(Args)));
+    return &Structs.back();
+  }
+  const StructTerm *makeStruct(std::string_view Name,
+                               std::vector<const Term *> Args) {
+    return makeStruct(Symbols.intern(Name), std::move(Args));
+  }
+
+  /// The empty list atom '[]'.
+  const AtomTerm *makeNil() { return makeAtom("[]"); }
+
+  /// A cons cell [Head|Tail].
+  const StructTerm *makeCons(const Term *Head, const Term *Tail) {
+    return makeStruct(".", {Head, Tail});
+  }
+
+  /// A proper list of the given elements.
+  const Term *makeList(const std::vector<const Term *> &Elements);
+
+  /// A proper list of integers, convenient for tests and workloads.
+  const Term *makeIntList(const std::vector<int64_t> &Values);
+
+  size_t numVariables() const { return Vars.size(); }
+
+private:
+  SymbolTable Symbols;
+  std::deque<VarTerm> Vars;
+  std::deque<AtomTerm> Atoms;
+  std::deque<IntTerm> Ints;
+  std::deque<FloatTerm> Floats;
+  std::deque<StructTerm> Structs;
+  unsigned NextVarId = 0;
+};
+
+/// Follows variable bindings until reaching an unbound variable or a
+/// non-variable term.
+const Term *deref(const Term *T);
+
+/// True if \p T (after deref) is the atom '[]'.
+bool isNil(const Term *T, const SymbolTable &Symbols);
+
+/// True if \p T (after deref) is a './2' cons cell.
+bool isCons(const Term *T, const SymbolTable &Symbols);
+
+/// If \p T is a proper list, appends its (dereferenced) elements to
+/// \p Elements and returns true; otherwise returns false.
+bool collectListElements(const Term *T, const SymbolTable &Symbols,
+                         std::vector<const Term *> &Elements);
+
+/// Appends every distinct unbound variable occurring in \p T (after deref)
+/// to \p Vars, in first-occurrence order.
+void collectVariables(const Term *T, std::vector<const VarTerm *> &Vars);
+
+/// Structural equality after dereferencing (the '==' builtin).
+bool termsEqual(const Term *A, const Term *B);
+
+} // namespace granlog
+
+#endif // GRANLOG_TERM_TERM_H

@@ -1,0 +1,129 @@
+//===- term/TermWriter.cpp ------------------------------------------------===//
+
+#include "term/TermWriter.h"
+
+#include <cstdio>
+
+using namespace granlog;
+
+namespace {
+
+/// Infix operators the writer knows about, with their parser priorities.
+/// Lower priority binds tighter.  This mirrors reader/OpTable.cpp; the
+/// writer keeps its own copy to preserve library layering (term must not
+/// depend on reader).
+struct InfixOp {
+  const char *Name;
+  int Prec;
+};
+
+const InfixOp InfixOps[] = {
+    {":-", 1200}, {"-->", 1200}, {";", 1100},  {"->", 1050}, {"&", 1025},
+    {",", 1000},  {"=", 700},    {"\\=", 700}, {"==", 700},  {"\\==", 700},
+    {"is", 700},  {"<", 700},    {">", 700},   {"=<", 700},  {">=", 700},
+    {"=:=", 700}, {"=\\=", 700}, {"+", 500},   {"-", 500},   {"*", 400},
+    {"/", 400},   {"//", 400},   {"mod", 400}, {"**", 200},  {"^", 200},
+};
+
+int infixPrec(const std::string &Name) {
+  for (const InfixOp &Op : InfixOps)
+    if (Name == Op.Name)
+      return Op.Prec;
+  return -1;
+}
+
+} // namespace
+
+std::string TermWriter::str(const Term *T) const {
+  std::string Out;
+  write(T, Out, 1200);
+  return Out;
+}
+
+void TermWriter::writeList(const Term *T, std::string &Out) const {
+  Out += '[';
+  bool First = true;
+  T = deref(T);
+  while (isCons(T, Symbols)) {
+    const StructTerm *Cell = cast<StructTerm>(deref(T));
+    if (!First)
+      Out += ',';
+    First = false;
+    write(Cell->arg(0), Out, 999);
+    T = deref(Cell->arg(1));
+  }
+  if (!isNil(T, Symbols)) {
+    Out += '|';
+    write(T, Out, 999);
+  }
+  Out += ']';
+}
+
+void TermWriter::write(const Term *T, std::string &Out, int ParentPrec) const {
+  T = deref(T);
+  switch (T->kind()) {
+  case TermKind::Variable: {
+    const VarTerm *V = cast<VarTerm>(T);
+    if (V->name().isValid())
+      Out += Symbols.text(V->name());
+    else
+      Out += "_G" + std::to_string(V->id());
+    return;
+  }
+  case TermKind::Atom:
+    Out += Symbols.text(cast<AtomTerm>(T)->name());
+    return;
+  case TermKind::Int:
+    Out += std::to_string(cast<IntTerm>(T)->value());
+    return;
+  case TermKind::Float: {
+    char Buffer[32];
+    std::snprintf(Buffer, sizeof(Buffer), "%g", cast<FloatTerm>(T)->value());
+    Out += Buffer;
+    return;
+  }
+  case TermKind::Struct:
+    break;
+  }
+
+  const StructTerm *S = cast<StructTerm>(T);
+  const std::string &Name = Symbols.text(S->name());
+  if (Name == "." && S->arity() == 2) {
+    writeList(S, Out);
+    return;
+  }
+  if (S->arity() == 2) {
+    int Prec = infixPrec(Name);
+    if (Prec >= 0) {
+      bool NeedParens = Prec > ParentPrec;
+      if (NeedParens)
+        Out += '(';
+      write(S->arg(0), Out, Prec - 1);
+      if (Name == ",") {
+        Out += ",";
+      } else {
+        Out += ' ';
+        Out += Name;
+        Out += ' ';
+      }
+      write(S->arg(1), Out, Prec);
+      if (NeedParens)
+        Out += ')';
+      return;
+    }
+  }
+  if (S->arity() == 1 && Name == "-") {
+    Out += '-';
+    write(S->arg(0), Out, 200);
+    return;
+  }
+
+  Out += Name;
+  Out += '(';
+  for (unsigned I = 0, E = S->arity(); I != E; ++I) {
+    if (I != 0)
+      Out += ',';
+    write(S->arg(I), Out, 999);
+  }
+  Out += ')';
+}

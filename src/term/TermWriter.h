@@ -1,0 +1,44 @@
+//===- term/TermWriter.h - Printing terms ---------------------------------===//
+//
+// Part of GranLog; see DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders terms back to (approximately) the surface syntax: list sugar,
+/// infix rendering for the standard operators, canonical f(...) form for
+/// everything else.  Used by diagnostics, tests and the examples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_TERM_TERMWRITER_H
+#define GRANLOG_TERM_TERMWRITER_H
+
+#include "term/Term.h"
+
+#include <string>
+
+namespace granlog {
+
+/// Pretty-prints terms created against \p Symbols.
+class TermWriter {
+public:
+  explicit TermWriter(const SymbolTable &Symbols) : Symbols(Symbols) {}
+
+  std::string str(const Term *T) const;
+
+private:
+  void write(const Term *T, std::string &Out, int ParentPrec) const;
+  void writeList(const Term *T, std::string &Out) const;
+
+  const SymbolTable &Symbols;
+};
+
+/// Convenience wrapper: one-shot printing.
+inline std::string termText(const Term *T, const SymbolTable &Symbols) {
+  return TermWriter(Symbols).str(T);
+}
+
+} // namespace granlog
+
+#endif // GRANLOG_TERM_TERMWRITER_H

@@ -1,0 +1,106 @@
+//===- term/Unify.cpp -----------------------------------------------------===//
+
+#include "term/Unify.h"
+
+using namespace granlog;
+
+bool granlog::unify(const Term *A, const Term *B, BindingEnv &Env,
+                    UnifyStats *Stats) {
+  A = deref(A);
+  B = deref(B);
+  if (Stats)
+    ++Stats->Unifications;
+  if (A == B)
+    return true;
+
+  if (const VarTerm *VA = dynCast<VarTerm>(A)) {
+    Env.bind(VA, B);
+    if (Stats)
+      ++Stats->Bindings;
+    return true;
+  }
+  if (const VarTerm *VB = dynCast<VarTerm>(B)) {
+    Env.bind(VB, A);
+    if (Stats)
+      ++Stats->Bindings;
+    return true;
+  }
+
+  if (A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case TermKind::Atom:
+    return cast<AtomTerm>(A)->name() == cast<AtomTerm>(B)->name();
+  case TermKind::Int:
+    return cast<IntTerm>(A)->value() == cast<IntTerm>(B)->value();
+  case TermKind::Float:
+    return cast<FloatTerm>(A)->value() == cast<FloatTerm>(B)->value();
+  case TermKind::Struct: {
+    const StructTerm *SA = cast<StructTerm>(A);
+    const StructTerm *SB = cast<StructTerm>(B);
+    if (SA->name() != SB->name() || SA->arity() != SB->arity())
+      return false;
+    for (unsigned I = 0, E = SA->arity(); I != E; ++I)
+      if (!unify(SA->arg(I), SB->arg(I), Env, Stats))
+        return false;
+    return true;
+  }
+  case TermKind::Variable:
+    break;
+  }
+  assert(false && "unreachable: variables handled above");
+  return false;
+}
+
+const Term *TermRenamer::rename(const Term *T) {
+  T = deref(T);
+  switch (T->kind()) {
+  case TermKind::Variable: {
+    const VarTerm *V = cast<VarTerm>(T);
+    auto It = Map.find(V);
+    if (It != Map.end())
+      return It->second;
+    const VarTerm *Fresh = Arena.makeVariable(V->name());
+    Map.emplace(V, Fresh);
+    return Fresh;
+  }
+  case TermKind::Atom:
+  case TermKind::Int:
+  case TermKind::Float:
+    return T;
+  case TermKind::Struct: {
+    const StructTerm *S = cast<StructTerm>(T);
+    std::vector<const Term *> Args;
+    Args.reserve(S->arity());
+    bool Changed = false;
+    for (const Term *Arg : S->args()) {
+      const Term *R = rename(Arg);
+      Changed |= (R != Arg);
+      Args.push_back(R);
+    }
+    if (!Changed)
+      return S;
+    return Arena.makeStruct(S->name(), std::move(Args));
+  }
+  }
+  assert(false && "unknown term kind");
+  return T;
+}
+
+const Term *granlog::resolve(const Term *T, TermArena &Arena) {
+  T = deref(T);
+  const StructTerm *S = dynCast<StructTerm>(T);
+  if (!S)
+    return T;
+  std::vector<const Term *> Args;
+  Args.reserve(S->arity());
+  bool Changed = false;
+  for (const Term *Arg : S->args()) {
+    const Term *R = resolve(Arg, Arena);
+    Changed |= (R != Arg);
+    Args.push_back(R);
+  }
+  if (!Changed)
+    return S;
+  return Arena.makeStruct(S->name(), std::move(Args));
+}

@@ -1,0 +1,89 @@
+//===- term/Unify.h - Unification with trailing ---------------------------===//
+//
+// Part of GranLog; see DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Standard (occurs-check-free) unification over arena terms.  Bindings are
+/// recorded on a trail so the interpreter can undo them on backtracking.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_TERM_UNIFY_H
+#define GRANLOG_TERM_UNIFY_H
+
+#include "term/Term.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace granlog {
+
+/// Manages variable bindings and their undo trail.  One BindingEnv is
+/// shared by a whole interpreter run.
+class BindingEnv {
+public:
+  /// Opaque checkpoint for undoTo().
+  using Mark = size_t;
+
+  Mark mark() const { return Trail.size(); }
+
+  /// Binds \p V (which must be unbound) to \p Value, recording the binding
+  /// on the trail.
+  void bind(const VarTerm *V, const Term *Value) {
+    assert(!V->isBound() && "rebinding a bound variable");
+    V->Binding = Value;
+    Trail.push_back(V);
+  }
+
+  /// Undoes all bindings made since \p M.
+  void undoTo(Mark M) {
+    while (Trail.size() > M) {
+      Trail.back()->Binding = nullptr;
+      Trail.pop_back();
+    }
+  }
+
+  size_t trailSize() const { return Trail.size(); }
+
+private:
+  std::vector<const VarTerm *> Trail;
+};
+
+/// Counters for the unification work performed, feeding the cost metrics of
+/// the paper (Section 4: "the number of unifications, or the number of
+/// instructions executed").
+struct UnifyStats {
+  uint64_t Unifications = 0; ///< unify() calls that reached a leaf pair
+  uint64_t Bindings = 0;     ///< variable bindings performed
+};
+
+/// Unifies \p A and \p B, trailing bindings in \p Env.  On failure the
+/// caller is responsible for undoing to its own mark (partial bindings are
+/// left on the trail, as in a WAM).  \p Stats may be null.
+bool unify(const Term *A, const Term *B, BindingEnv &Env,
+           UnifyStats *Stats = nullptr);
+
+/// Copies \p T into \p Arena with every unbound variable consistently
+/// replaced by a fresh variable ("renaming apart" for clause activation).
+/// Bound variables are chased through their bindings first.
+class TermRenamer {
+public:
+  explicit TermRenamer(TermArena &Arena) : Arena(Arena) {}
+
+  const Term *rename(const Term *T);
+
+private:
+  TermArena &Arena;
+  std::unordered_map<const VarTerm *, const VarTerm *> Map;
+};
+
+/// Fully dereferences \p T, rebuilding any struct that contains bound
+/// variables, so the result is stable after the trail is undone.  Ground
+/// subterms are shared, not copied.
+const Term *resolve(const Term *T, TermArena &Arena);
+
+} // namespace granlog
+
+#endif // GRANLOG_TERM_UNIFY_H

@@ -1,0 +1,434 @@
+//===- wam/WamCompiler.cpp ------------------------------------------------===//
+
+#include "wam/WamCompiler.h"
+
+#include <deque>
+#include <set>
+
+using namespace granlog;
+
+const char *granlog::wamOpName(WamOp Op) {
+  switch (Op) {
+  case WamOp::GetVariable:
+    return "get_variable";
+  case WamOp::GetValue:
+    return "get_value";
+  case WamOp::GetConstant:
+    return "get_constant";
+  case WamOp::GetNil:
+    return "get_nil";
+  case WamOp::GetList:
+    return "get_list";
+  case WamOp::GetStructure:
+    return "get_structure";
+  case WamOp::UnifyVariable:
+    return "unify_variable";
+  case WamOp::UnifyValue:
+    return "unify_value";
+  case WamOp::UnifyConstant:
+    return "unify_constant";
+  case WamOp::UnifyVoid:
+    return "unify_void";
+  case WamOp::PutVariable:
+    return "put_variable";
+  case WamOp::PutValue:
+    return "put_value";
+  case WamOp::PutConstant:
+    return "put_constant";
+  case WamOp::PutNil:
+    return "put_nil";
+  case WamOp::PutList:
+    return "put_list";
+  case WamOp::PutStructure:
+    return "put_structure";
+  case WamOp::SetVariable:
+    return "set_variable";
+  case WamOp::SetValue:
+    return "set_value";
+  case WamOp::SetConstant:
+    return "set_constant";
+  case WamOp::SetVoid:
+    return "set_void";
+  case WamOp::Allocate:
+    return "allocate";
+  case WamOp::Deallocate:
+    return "deallocate";
+  case WamOp::Call:
+    return "call";
+  case WamOp::Execute:
+    return "execute";
+  case WamOp::Proceed:
+    return "proceed";
+  case WamOp::CallBuiltin:
+    return "call_builtin";
+  case WamOp::TryMeElse:
+    return "try_me_else";
+  case WamOp::RetryMeElse:
+    return "retry_me_else";
+  case WamOp::TrustMe:
+    return "trust_me";
+  case WamOp::NeckCut:
+    return "neck_cut";
+  }
+  return "?";
+}
+
+std::string WamInstr::text(const SymbolTable &Symbols) const {
+  std::string Out = wamOpName(Op);
+  if (Sym.isValid()) {
+    Out += " " + Symbols.text(Sym);
+    if (B >= 0)
+      Out += "/" + std::to_string(B);
+  }
+  if (A >= 0)
+    Out += (Sym.isValid() ? ", " : " ") + std::string("r") +
+           std::to_string(A);
+  return Out;
+}
+
+std::string CompiledClause::listing(const SymbolTable &Symbols) const {
+  std::string Out;
+  for (const WamInstr &I : Code) {
+    Out += "    ";
+    Out += I.text(Symbols);
+    Out += '\n';
+  }
+  return Out;
+}
+
+namespace {
+
+/// Compiles the clauses of one predicate.
+class ClauseCompiler {
+public:
+  ClauseCompiler(const Program &P, const Clause &C, bool HasChoicePoints,
+                 unsigned ClauseIndex, unsigned NumClauses)
+      : P(P), Symbols(P.symbols()), C(C) {
+    // Choice-point management on clause entry.
+    if (HasChoicePoints) {
+      if (ClauseIndex == 0)
+        emit({WamOp::TryMeElse});
+      else if (ClauseIndex + 1 < NumClauses)
+        emit({WamOp::RetryMeElse});
+      else
+        emit({WamOp::TrustMe});
+    }
+    classifyVariables();
+    if (NeedsFrame)
+      emit({WamOp::Allocate, static_cast<int>(PermanentCount)});
+    compileHead();
+    Out.HeadCount = static_cast<unsigned>(Out.Code.size());
+    compileBody();
+  }
+
+  CompiledClause take() { return std::move(Out); }
+
+private:
+  void emit(WamInstr I) { Out.Code.push_back(I); }
+
+  /// Permanent variables occur in more than one body goal (or in the head
+  /// and a non-first body goal); everything else is temporary.  Only the
+  /// count matters for instruction counting.
+  void classifyVariables() {
+    const std::vector<const Term *> &Lits = C.bodyLiterals();
+    NeedsFrame = Lits.size() > 1;
+    std::unordered_map<const VarTerm *, int> FirstGoal;
+    std::unordered_map<const VarTerm *, bool> Permanent;
+    auto Visit = [&](const Term *T, int Goal) {
+      std::vector<const VarTerm *> Vars;
+      collectVariables(T, Vars);
+      for (const VarTerm *V : Vars) {
+        auto It = FirstGoal.find(V);
+        if (It == FirstGoal.end())
+          FirstGoal[V] = Goal;
+        else if (It->second != Goal)
+          Permanent[V] = true;
+      }
+    };
+    // The head counts as part of the first goal (argument registers
+    // survive until the first call).
+    Visit(C.head(), 0);
+    for (size_t I = 0; I != Lits.size(); ++I)
+      Visit(Lits[I], static_cast<int>(I == 0 ? 0 : I));
+    for (const auto &[V, IsPerm] : Permanent)
+      if (IsPerm)
+        ++PermanentCount;
+    NeedsFrame = NeedsFrame && PermanentCount > 0;
+  }
+
+  /// Emits head-unification code for argument \p Arg in register \p Reg.
+  void compileHeadArg(const Term *Arg, int Reg) {
+    Arg = deref(Arg);
+    switch (Arg->kind()) {
+    case TermKind::Variable: {
+      const VarTerm *V = cast<VarTerm>(Arg);
+      if (Seen.count(V)) {
+        emit({WamOp::GetValue, Reg});
+      } else {
+        Seen.insert(V);
+        emit({WamOp::GetVariable, Reg});
+      }
+      return;
+    }
+    case TermKind::Atom:
+      if (isNil(Arg, Symbols))
+        emit({WamOp::GetNil, Reg});
+      else
+        emit({WamOp::GetConstant, Reg, -1, cast<AtomTerm>(Arg)->name()});
+      return;
+    case TermKind::Int:
+    case TermKind::Float:
+      emit({WamOp::GetConstant, Reg});
+      return;
+    case TermKind::Struct: {
+      const StructTerm *S = cast<StructTerm>(Arg);
+      if (isCons(Arg, Symbols))
+        emit({WamOp::GetList, Reg});
+      else
+        emit({WamOp::GetStructure, Reg,
+              static_cast<int>(S->arity()), S->name()});
+      // Unify each subterm; nested structures get fresh temporaries and
+      // are processed afterwards (breadth-first flattening).
+      std::deque<std::pair<const Term *, int>> Pending;
+      for (const Term *Sub : S->args())
+        unifySubterm(Sub, Pending);
+      while (!Pending.empty()) {
+        auto [Nested, Temp] = Pending.front();
+        Pending.pop_front();
+        const StructTerm *NS = cast<StructTerm>(deref(Nested));
+        if (isCons(Nested, Symbols))
+          emit({WamOp::GetList, Temp});
+        else
+          emit({WamOp::GetStructure, Temp,
+                static_cast<int>(NS->arity()), NS->name()});
+        for (const Term *Sub : NS->args())
+          unifySubterm(Sub, Pending);
+      }
+      return;
+    }
+    }
+  }
+
+  void unifySubterm(const Term *Sub,
+                    std::deque<std::pair<const Term *, int>> &Pending) {
+    Sub = deref(Sub);
+    switch (Sub->kind()) {
+    case TermKind::Variable: {
+      const VarTerm *V = cast<VarTerm>(Sub);
+      if (Seen.count(V)) {
+        emit({WamOp::UnifyValue});
+      } else {
+        Seen.insert(V);
+        emit({WamOp::UnifyVariable});
+      }
+      return;
+    }
+    case TermKind::Atom:
+      emit({WamOp::UnifyConstant, -1, -1, cast<AtomTerm>(Sub)->name()});
+      return;
+    case TermKind::Int:
+    case TermKind::Float:
+      emit({WamOp::UnifyConstant});
+      return;
+    case TermKind::Struct: {
+      int Temp = NextTemp++;
+      emit({WamOp::UnifyVariable, Temp});
+      Pending.push_back({Sub, Temp});
+      return;
+    }
+    }
+  }
+
+  void compileHead() {
+    const StructTerm *Head = dynCast<StructTerm>(deref(C.head()));
+    if (!Head)
+      return; // 0-ary predicate: nothing to unify
+    NextTemp = static_cast<int>(Head->arity()) + 1;
+    for (unsigned I = 0; I != Head->arity(); ++I)
+      compileHeadArg(Head->arg(I), static_cast<int>(I + 1));
+  }
+
+  /// Emits argument-loading code for one body goal argument.
+  void compileBodyArg(const Term *Arg, int Reg) {
+    Arg = deref(Arg);
+    switch (Arg->kind()) {
+    case TermKind::Variable: {
+      const VarTerm *V = cast<VarTerm>(Arg);
+      if (Seen.count(V)) {
+        emit({WamOp::PutValue, Reg});
+      } else {
+        Seen.insert(V);
+        emit({WamOp::PutVariable, Reg});
+      }
+      return;
+    }
+    case TermKind::Atom:
+      if (isNil(Arg, Symbols))
+        emit({WamOp::PutNil, Reg});
+      else
+        emit({WamOp::PutConstant, Reg, -1, cast<AtomTerm>(Arg)->name()});
+      return;
+    case TermKind::Int:
+    case TermKind::Float:
+      emit({WamOp::PutConstant, Reg});
+      return;
+    case TermKind::Struct: {
+      // Build nested structures bottom-up with set_* into temporaries,
+      // then put the outermost.
+      const StructTerm *S = cast<StructTerm>(Arg);
+      for (const Term *Sub : S->args())
+        buildSubterm(Sub);
+      if (isCons(Arg, Symbols))
+        emit({WamOp::PutList, Reg});
+      else
+        emit({WamOp::PutStructure, Reg,
+              static_cast<int>(S->arity()), S->name()});
+      for (const Term *Sub : S->args())
+        setSubterm(Sub);
+      return;
+    }
+    }
+  }
+
+  /// Pre-builds a nested structure into a temporary (bottom-up).
+  void buildSubterm(const Term *Sub) {
+    Sub = deref(Sub);
+    const StructTerm *S = dynCast<StructTerm>(Sub);
+    if (!S)
+      return;
+    for (const Term *Inner : S->args())
+      buildSubterm(Inner);
+    int Temp = NextTemp++;
+    if (isCons(Sub, Symbols))
+      emit({WamOp::PutList, Temp});
+    else
+      emit({WamOp::PutStructure, Temp, static_cast<int>(S->arity()),
+            S->name()});
+    for (const Term *Inner : S->args())
+      setSubterm(Inner);
+    BuiltTemps[S] = Temp;
+  }
+
+  void setSubterm(const Term *Sub) {
+    Sub = deref(Sub);
+    switch (Sub->kind()) {
+    case TermKind::Variable: {
+      const VarTerm *V = cast<VarTerm>(Sub);
+      if (Seen.count(V)) {
+        emit({WamOp::SetValue});
+      } else {
+        Seen.insert(V);
+        emit({WamOp::SetVariable});
+      }
+      return;
+    }
+    case TermKind::Atom:
+      emit({WamOp::SetConstant, -1, -1, cast<AtomTerm>(Sub)->name()});
+      return;
+    case TermKind::Int:
+    case TermKind::Float:
+      emit({WamOp::SetConstant});
+      return;
+    case TermKind::Struct: {
+      auto It = BuiltTemps.find(cast<StructTerm>(Sub));
+      emit({WamOp::SetValue, It == BuiltTemps.end() ? -1 : It->second});
+      return;
+    }
+    }
+  }
+
+  void compileBody() {
+    const std::vector<const Term *> &Lits = C.bodyLiterals();
+    if (Lits.empty()) {
+      emit({WamOp::Proceed});
+      return;
+    }
+    for (size_t I = 0; I != Lits.size(); ++I) {
+      size_t Before = Out.Code.size();
+      const Term *Lit = deref(Lits[I]);
+      std::optional<Functor> F = literalFunctor(Lit);
+      bool IsCut = F && F->Arity == 0 && Symbols.text(F->Name) == "!";
+      if (IsCut) {
+        emit({WamOp::NeckCut});
+      } else if (F) {
+        if (const StructTerm *S = dynCast<StructTerm>(Lit))
+          for (unsigned A = 0; A != S->arity(); ++A)
+            compileBodyArg(S->arg(A), static_cast<int>(A + 1));
+        if (isBuiltinFunctor(*F, Symbols)) {
+          emit({WamOp::CallBuiltin, -1, static_cast<int>(F->Arity),
+                F->Name});
+        } else if (I + 1 == Lits.size() && !NeedsFrame) {
+          emit({WamOp::Execute, -1, static_cast<int>(F->Arity), F->Name});
+        } else {
+          emit({WamOp::Call, -1, static_cast<int>(F->Arity), F->Name});
+        }
+      }
+      Out.LiteralCounts.push_back(
+          static_cast<unsigned>(Out.Code.size() - Before));
+    }
+    if (NeedsFrame) {
+      emit({WamOp::Deallocate});
+      emit({WamOp::Proceed});
+      // Frame teardown is part of the clause's own (head) cost share.
+      Out.HeadCount += 2;
+    } else if (!Lits.empty()) {
+      const Term *Last = deref(Lits.back());
+      std::optional<Functor> F = literalFunctor(Last);
+      if (!F || isBuiltinFunctor(*F, Symbols))
+        emit({WamOp::Proceed});
+    }
+  }
+
+  const Program &P;
+  const SymbolTable &Symbols;
+  const Clause &C;
+  CompiledClause Out;
+  std::set<const VarTerm *> Seen;
+  std::unordered_map<const StructTerm *, int> BuiltTemps;
+  int NextTemp = 16;
+  bool NeedsFrame = false;
+  unsigned PermanentCount = 0;
+};
+
+} // namespace
+
+WamCompiler::WamCompiler(const Program &P) : P(&P) {
+  for (const auto &Pred : P.predicates()) {
+    std::vector<CompiledClause> Clauses;
+    unsigned N = static_cast<unsigned>(Pred->clauses().size());
+    for (unsigned I = 0; I != N; ++I) {
+      ClauseCompiler CC(P, Pred->clauses()[I], /*HasChoicePoints=*/N > 1,
+                        I, N);
+      Clauses.push_back(CC.take());
+    }
+    Compiled.emplace(Pred->functor(), std::move(Clauses));
+  }
+}
+
+const CompiledClause *WamCompiler::clause(Functor F, unsigned Index) const {
+  auto It = Compiled.find(F);
+  if (It == Compiled.end() || Index >= It->second.size())
+    return nullptr;
+  return &It->second[Index];
+}
+
+unsigned WamCompiler::headCost(Functor F, unsigned Index) const {
+  const CompiledClause *C = clause(F, Index);
+  return C ? C->HeadCount : 2;
+}
+
+unsigned WamCompiler::literalCost(Functor F, unsigned Index,
+                                  unsigned LitIndex) const {
+  const CompiledClause *C = clause(F, Index);
+  if (!C || LitIndex >= C->LiteralCounts.size())
+    return 1;
+  return C->LiteralCounts[LitIndex];
+}
+
+unsigned WamCompiler::programSize() const {
+  unsigned N = 0;
+  for (const auto &[F, Clauses] : Compiled)
+    for (const CompiledClause &C : Clauses)
+      N += static_cast<unsigned>(C.Code.size());
+  return N;
+}

@@ -1,0 +1,146 @@
+//===- wam/WamCompiler.h - WAM-style clause compilation -------------------===//
+//
+// Part of GranLog; see DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Warren Abstract Machine flavoured clause compiler, after the
+/// RAP-WAM that underlies the paper's &-Prolog system [6].  GranLog does
+/// not execute WAM code (the tree interpreter defines the semantics);
+/// the compiler exists to make the paper's third cost metric — "the
+/// number of instructions executed" (Section 4) — concrete: every clause
+/// is flattened into get/unify (head), put/set (argument loading) and
+/// control instructions, and the resulting counts feed both the static
+/// cost analysis and the dynamic instruction accounting.
+///
+/// The compilation scheme is the standard one (Aït-Kaci's tutorial
+/// subset):
+///  - head arguments compile to get_constant / get_variable / get_value /
+///    get_list / get_structure with unify_* for subterms, breadth-first
+///    through nested structures via fresh temporaries;
+///  - body goal arguments compile to put_* / set_* bottom-up;
+///  - each body goal costs an additional call (or execute for the last),
+///    builtins a call_builtin;
+///  - clauses with permanent variables pay allocate/deallocate;
+///  - multi-clause predicates pay try_me_else / retry_me_else / trust_me
+///    choice-point management on entry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_WAM_WAMCOMPILER_H
+#define GRANLOG_WAM_WAMCOMPILER_H
+
+#include "program/Program.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace granlog {
+
+/// WAM instruction opcodes (the counting subset).
+enum class WamOp {
+  // Head unification.
+  GetVariable,
+  GetValue,
+  GetConstant,
+  GetNil,
+  GetList,
+  GetStructure,
+  UnifyVariable,
+  UnifyValue,
+  UnifyConstant,
+  UnifyVoid,
+  // Body argument loading.
+  PutVariable,
+  PutValue,
+  PutConstant,
+  PutNil,
+  PutList,
+  PutStructure,
+  SetVariable,
+  SetValue,
+  SetConstant,
+  SetVoid,
+  // Control.
+  Allocate,
+  Deallocate,
+  Call,
+  Execute,
+  Proceed,
+  CallBuiltin,
+  TryMeElse,
+  RetryMeElse,
+  TrustMe,
+  NeckCut,
+};
+
+/// Printable opcode name ("get_structure", ...).
+const char *wamOpName(WamOp Op);
+
+/// One instruction: opcode plus up to two small operands and an optional
+/// symbol (functor or constant).
+struct WamInstr {
+  WamOp Op = WamOp::Proceed;
+  int A = -1; ///< register / arity, -1 when unused
+  int B = -1;
+  Symbol Sym = Symbol(); ///< functor or constant name; invalid when unused
+
+  WamInstr() = default;
+  WamInstr(WamOp Op, int A = -1, int B = -1, Symbol Sym = Symbol())
+      : Op(Op), A(A), B(B), Sym(Sym) {}
+
+  std::string text(const SymbolTable &Symbols) const;
+};
+
+/// The compiled form of one clause.
+struct CompiledClause {
+  std::vector<WamInstr> Code;
+
+  /// Instructions charged to resolving the head: choice-point management,
+  /// allocate, and all get/unify instructions.
+  unsigned HeadCount = 0;
+  /// Per body literal (in bodyLiterals() order): put/set argument loading
+  /// plus the call/execute (or call_builtin) itself.
+  std::vector<unsigned> LiteralCounts;
+
+  unsigned totalCount() const {
+    unsigned N = HeadCount;
+    for (unsigned C : LiteralCounts)
+      N += C;
+    return N;
+  }
+
+  /// Disassembles the clause for debugging / the examples.
+  std::string listing(const SymbolTable &Symbols) const;
+};
+
+/// Compiles every clause of a program and serves instruction counts.
+class WamCompiler {
+public:
+  explicit WamCompiler(const Program &P);
+
+  /// The compiled form of clause \p Index of \p F.  Returns nullptr for
+  /// unknown predicates / indices.
+  const CompiledClause *clause(Functor F, unsigned Index) const;
+
+  /// Instruction count charged when clause \p Index of \p F resolves
+  /// (head + its share of choice-point management).
+  unsigned headCost(Functor F, unsigned Index) const;
+
+  /// Instruction count for invoking body literal \p LitIndex of that
+  /// clause (argument loading + call).
+  unsigned literalCost(Functor F, unsigned Index, unsigned LitIndex) const;
+
+  /// Whole-program instruction total (for reporting).
+  unsigned programSize() const;
+
+private:
+  const Program *P;
+  std::unordered_map<Functor, std::vector<CompiledClause>> Compiled;
+};
+
+} // namespace granlog
+
+#endif // GRANLOG_WAM_WAMCOMPILER_H

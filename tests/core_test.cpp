@@ -1,0 +1,325 @@
+//===- tests/core_test.cpp - Threshold, analyzer and transform tests ------===//
+//
+// Validates the granularity-control pipeline end to end, including the
+// paper's Section 2 example: a predicate of cost 3n^2 against an overhead
+// of 48 units yields the threshold test "size =< 4" (3*4^2 = 48 <= 48,
+// 3*5^2 = 75 > 48).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/GranularityAnalyzer.h"
+#include "core/Transform.h"
+#include "term/TermWriter.h"
+
+#include <gtest/gtest.h>
+
+using namespace granlog;
+
+namespace {
+
+TEST(ThresholdTest, PaperSection2Example) {
+  // Cost q(n) = 3 n^2, overhead W = 48: threshold K = 4.
+  ExprRef Cost = makeScale(Rational(3), makePow(makeVar("n"), makeNumber(2)));
+  ThresholdInfo T = computeThreshold(Cost, "n", 48.0);
+  EXPECT_EQ(T.Class, GrainClass::RuntimeTest);
+  EXPECT_EQ(T.Threshold, 4);
+}
+
+TEST(ThresholdTest, InfinityIsAlwaysParallel) {
+  ThresholdInfo T = computeThreshold(makeInfinity(), "n", 48.0);
+  EXPECT_EQ(T.Class, GrainClass::AlwaysParallel);
+}
+
+TEST(ThresholdTest, ConstantBelowOverheadIsAlwaysSequential) {
+  ThresholdInfo T = computeThreshold(makeNumber(7), "n", 48.0);
+  EXPECT_EQ(T.Class, GrainClass::AlwaysSequential);
+}
+
+TEST(ThresholdTest, CostAboveOverheadAtZeroIsAlwaysParallel) {
+  ThresholdInfo T = computeThreshold(makeNumber(100), "n", 48.0);
+  EXPECT_EQ(T.Class, GrainClass::AlwaysParallel);
+}
+
+TEST(ThresholdTest, MultiVariableCostIsAlwaysParallel) {
+  ExprRef Cost = makeAdd(makeVar("n1"), makeVar("n2"));
+  ThresholdInfo T = computeThreshold(Cost, "n1", 48.0);
+  EXPECT_EQ(T.Class, GrainClass::AlwaysParallel);
+}
+
+TEST(ThresholdTest, ExponentialCostSmallThreshold) {
+  // 2^{n+1} - 1 > 48 iff n >= 5 (2^6-1=63); threshold 4.
+  ExprRef Cost =
+      makeSub(makePow(makeNumber(2), makeAdd(makeVar("n"), makeNumber(1))),
+              makeNumber(1));
+  ThresholdInfo T = computeThreshold(Cost, "n", 48.0);
+  EXPECT_EQ(T.Class, GrainClass::RuntimeTest);
+  EXPECT_EQ(T.Threshold, 4);
+}
+
+TEST(ThresholdTest, LinearCostThresholdScalesWithOverhead) {
+  ExprRef Cost = makeAdd(makeVar("n"), makeNumber(1)); // n + 1
+  EXPECT_EQ(computeThreshold(Cost, "n", 10.0).Threshold, 9);
+  EXPECT_EQ(computeThreshold(Cost, "n", 100.0).Threshold, 99);
+}
+
+class AnalyzerTest : public ::testing::Test {
+protected:
+  void analyze(std::string_view Source, double W = 48.0,
+               CostMetric Metric = CostMetric::resolutions()) {
+    Prog = loadProgram(Source, Arena, Diags);
+    ASSERT_TRUE(Prog.has_value()) << Diags.str();
+    GA = std::make_unique<GranularityAnalyzer>(*Prog,
+                                               AnalyzerOptions{Metric, W});
+    GA->run();
+  }
+
+  TermArena Arena;
+  Diagnostics Diags;
+  std::optional<Program> Prog;
+  std::unique_ptr<GranularityAnalyzer> GA;
+};
+
+const char *FibParSource = R"(
+:- mode(fib(i, o)).
+:- measure(fib(value, value)).
+fib(0, 0).
+fib(1, 1).
+fib(M, N) :- M > 1, M1 is M - 1, M2 is M - 2,
+             fib(M1, N1) & fib(M2, N2), N is N1 + N2.
+)";
+
+TEST_F(AnalyzerTest, FibGetsRuntimeTest) {
+  analyze(FibParSource, 48.0);
+  const PredicateGranularity *G = GA->lookup("fib", 2);
+  ASSERT_NE(G, nullptr);
+  EXPECT_EQ(G->Threshold.Class, GrainClass::RuntimeTest);
+  // Cost(n) = 2^{n+1} - 1 > 48 iff n > 4.
+  EXPECT_EQ(G->Threshold.Threshold, 4);
+  EXPECT_EQ(G->Threshold.ArgPos, 0);
+  EXPECT_EQ(G->TestMeasure, MeasureKind::IntValue);
+}
+
+TEST_F(AnalyzerTest, TinyPredicateAlwaysSequential) {
+  analyze(R"(
+    :- mode(tiny(i)).
+    tiny(_).
+  )");
+  EXPECT_EQ(GA->lookup("tiny", 1)->Threshold.Class,
+            GrainClass::AlwaysSequential);
+}
+
+TEST_F(AnalyzerTest, UnboundedPredicateAlwaysParallel) {
+  analyze(R"(
+    :- mode(loop(i)).
+    loop(X) :- loop(X).
+  )");
+  EXPECT_EQ(GA->lookup("loop", 1)->Threshold.Class,
+            GrainClass::AlwaysParallel);
+}
+
+TEST_F(AnalyzerTest, DirectivesOverrideInference) {
+  analyze(R"(
+    :- parallel(p/1).
+    :- sequential(q/1).
+    p(_).
+    q(X) :- q(X).
+  )");
+  EXPECT_EQ(GA->lookup("p", 1)->Threshold.Class, GrainClass::AlwaysParallel);
+  EXPECT_EQ(GA->lookup("q", 1)->Threshold.Class,
+            GrainClass::AlwaysSequential);
+}
+
+TEST_F(AnalyzerTest, ReportMentionsEveryPredicate) {
+  analyze(FibParSource);
+  std::string R = GA->report();
+  EXPECT_NE(R.find("fib/2"), std::string::npos);
+  EXPECT_NE(R.find("test:"), std::string::npos);
+}
+
+TEST_F(AnalyzerTest, HigherOverheadRaisesThreshold) {
+  analyze(FibParSource, 48.0);
+  int64_t K48 = GA->lookup("fib", 2)->Threshold.Threshold;
+  analyze(FibParSource, 10000.0);
+  int64_t K10k = GA->lookup("fib", 2)->Threshold.Threshold;
+  EXPECT_GT(K10k, K48);
+}
+
+class TransformTest : public AnalyzerTest {
+protected:
+  std::string bodyOf(const Program &P, std::string_view Name, unsigned Arity,
+                     unsigned ClauseIdx) {
+    const Predicate *Pred = P.lookup(Name, Arity);
+    EXPECT_NE(Pred, nullptr);
+    return termText(Pred->clauses()[ClauseIdx].body(), P.symbols());
+  }
+};
+
+TEST_F(TransformTest, GuardsRecursiveParallelCalls) {
+  analyze(FibParSource, 48.0);
+  TransformStats Stats;
+  Program T = applyGranularityControl(*Prog, *GA, &Stats);
+  EXPECT_EQ(Stats.ParallelSites, 1u);
+  EXPECT_EQ(Stats.Guarded, 1u);
+  std::string Body = bodyOf(T, "fib", 2, 2);
+  // The guard tests the first tested goal's input M1 against 4.
+  EXPECT_NE(Body.find("$grain_leq(M1,4,value)"), std::string::npos) << Body;
+  EXPECT_NE(Body.find("&"), std::string::npos) << Body;
+}
+
+TEST_F(TransformTest, SequentializesTinyGoals) {
+  // The paper's introduction: a comparison E > M in parallel with a
+  // recursive call is never worth a task... here both conjuncts are
+  // trivially small predicates.
+  analyze(R"(
+    :- mode(p(i)).
+    p(X) :- a(X) & b(X).
+    a(_).
+    b(_).
+    :- mode(a(i)).
+    :- mode(b(i)).
+  )");
+  TransformStats Stats;
+  Program T = applyGranularityControl(*Prog, *GA, &Stats);
+  EXPECT_EQ(Stats.Sequentialized, 1u);
+  std::string Body = bodyOf(T, "p", 1, 0);
+  EXPECT_EQ(Body.find("&"), std::string::npos) << Body;
+}
+
+TEST_F(TransformTest, KeepsUnboundedGoalsParallel) {
+  analyze(R"(
+    :- mode(p(i)).
+    :- mode(mystery(i)).
+    p(X) :- mystery(X) & mystery(X).
+    mystery(X) :- mystery(X).
+  )");
+  TransformStats Stats;
+  Program T = applyGranularityControl(*Prog, *GA, &Stats);
+  EXPECT_EQ(Stats.KeptParallel, 1u);
+  std::string Body = bodyOf(T, "p", 1, 0);
+  EXPECT_NE(Body.find("&"), std::string::npos);
+  EXPECT_EQ(Body.find("$grain_leq"), std::string::npos);
+}
+
+TEST_F(TransformTest, NestedParallelConjunctions) {
+  analyze(R"(
+    :- mode(p(i)).
+    p(X) :- (a(X) & b(X)), c(X).
+    a(_).
+    b(_).
+    c(_).
+    :- mode(a(i)).
+    :- mode(b(i)).
+    :- mode(c(i)).
+  )");
+  TransformStats Stats;
+  Program T = applyGranularityControl(*Prog, *GA, &Stats);
+  EXPECT_EQ(Stats.ParallelSites, 1u);
+  EXPECT_EQ(Stats.Sequentialized, 1u);
+  std::string Body = bodyOf(T, "p", 1, 0);
+  EXPECT_EQ(Body.find("&"), std::string::npos) << Body;
+}
+
+TEST_F(TransformTest, ThreeWayConjunctionFlattened) {
+  analyze(FibParSource, 48.0);
+  // Build a program with a three-goal chain to check '&' flattening.
+  TermArena Arena2;
+  Diagnostics Diags2;
+  auto P2 = loadProgram(R"(
+    :- mode(t(i, o)).
+    :- measure(t(value, value)).
+    t(0, 0).
+    t(N, R) :- N > 0, M is N - 1,
+               t(M, A) & t(M, B) & t(M, C),
+               R is A + B + C.
+  )",
+                        Arena2, Diags2);
+  ASSERT_TRUE(P2) << Diags2.str();
+  GranularityAnalyzer GA2(*P2, {CostMetric::resolutions(), 48.0});
+  GA2.run();
+  TransformStats Stats;
+  Program T = applyGranularityControl(*P2, GA2, &Stats);
+  EXPECT_EQ(Stats.ParallelSites, 1u); // one flattened site, not two
+}
+
+TEST_F(TransformTest, SequentialSpecializationCreatesClones) {
+  analyze(FibParSource, 48.0);
+  TransformStats Stats;
+  TransformOptions Options;
+  Options.SequentialSpecialization = true;
+  Program T = applyGranularityControl(*Prog, *GA, &Stats, Options);
+  EXPECT_EQ(Stats.SeqSpecializations, 1u);
+  const Predicate *Clone = T.lookup("fib$seq", 2);
+  ASSERT_NE(Clone, nullptr);
+  ASSERT_EQ(Clone->clauses().size(), 3u);
+  // The clone's recursive clause has no '&', no '$grain_leq', and calls
+  // itself (fib$seq), not fib.
+  std::string Body =
+      termText(Clone->clauses()[2].body(), T.symbols());
+  EXPECT_EQ(Body.find("&"), std::string::npos) << Body;
+  EXPECT_EQ(Body.find("$grain_leq"), std::string::npos) << Body;
+  EXPECT_NE(Body.find("fib$seq"), std::string::npos) << Body;
+}
+
+TEST_F(TransformTest, SpecializedGuardEntersCloneWorld) {
+  analyze(FibParSource, 48.0);
+  TransformStats Stats;
+  TransformOptions Options;
+  Options.SequentialSpecialization = true;
+  Program T = applyGranularityControl(*Prog, *GA, &Stats, Options);
+  std::string Body = bodyOf(T, "fib", 2, 2);
+  // The sequential branch of the guard calls fib$seq.
+  EXPECT_NE(Body.find("fib$seq"), std::string::npos) << Body;
+  // The parallel branch still spawns plain fib.
+  EXPECT_NE(Body.find("&"), std::string::npos) << Body;
+}
+
+TEST_F(TransformTest, SpecializationOnlyClonesParallelReachable) {
+  analyze(R"(
+    :- mode(top(i, o)).
+    :- measure(top(value, value)).
+    top(0, 0).
+    top(N, R) :- N > 0, M is N - 1,
+                 ( top(M, A) & top(M, B) ),
+                 helper(A, B, R).
+    helper(A, B, R) :- R is A + B.
+    :- mode(helper(i, i, o)).
+  )");
+  TransformStats Stats;
+  TransformOptions Options;
+  Options.SequentialSpecialization = true;
+  Program T = applyGranularityControl(*Prog, *GA, &Stats, Options);
+  // helper/3 has no '&' anywhere below it: no clone needed.
+  EXPECT_NE(T.lookup("top$seq", 2), nullptr);
+  EXPECT_EQ(T.lookup("helper$seq", 3), nullptr);
+}
+
+TEST_F(TransformTest, SchemaAblationDisablesControl) {
+  // Without the geometric schema, fib's cost equation has no solution:
+  // the predicate classifies AlwaysParallel and no guard is inserted.
+  TermArena Arena2;
+  Diagnostics Diags2;
+  auto P2 = loadProgram(FibParSource, Arena2, Diags2);
+  ASSERT_TRUE(P2) << Diags2.str();
+  AnalyzerOptions Opts{CostMetric::resolutions(), 48.0, {"geometric"}};
+  GranularityAnalyzer GA2(*P2, Opts);
+  GA2.run();
+  EXPECT_TRUE(GA2.lookup("fib", 2)->CostFn->isInfinity());
+  EXPECT_EQ(GA2.lookup("fib", 2)->Threshold.Class,
+            GrainClass::AlwaysParallel);
+  TransformStats Stats;
+  Program T = applyGranularityControl(*P2, GA2, &Stats);
+  EXPECT_EQ(Stats.Guarded, 0u);
+  EXPECT_EQ(Stats.KeptParallel, 1u);
+}
+
+TEST_F(TransformTest, TransformPreservesDeclarations) {
+  analyze(FibParSource);
+  Program T = applyGranularityControl(*Prog, *GA, nullptr);
+  const Predicate *Fib = T.lookup("fib", 2);
+  ASSERT_NE(Fib, nullptr);
+  EXPECT_TRUE(Fib->hasDeclaredModes());
+  EXPECT_TRUE(Fib->hasDeclaredMeasures());
+  EXPECT_EQ(Fib->clauses().size(), 3u);
+}
+
+} // namespace

@@ -1,0 +1,248 @@
+//===- tests/corpus_test.cpp - End-to-end benchmark pipeline tests --------===//
+//
+// For every benchmark of Table 1: load, analyze, transform, execute both
+// the uncontrolled and the controlled program on a reduced input, and
+// check that (a) both runs succeed, (b) granularity control preserves the
+// computed answer, and (c) the simulated times are sane.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Harness.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+using namespace granlog;
+
+namespace {
+
+/// Reduced inputs so the test suite stays fast.
+int smallInput(const BenchmarkDef &B) {
+  if (B.Name == "consistency")
+    return 64;
+  if (B.Name == "fib")
+    return 10;
+  if (B.Name == "hanoi")
+    return 5;
+  if (B.Name == "quick_sort")
+    return 30;
+  if (B.Name == "lr1_set")
+    return 3;
+  if (B.Name == "double_sum")
+    return 256;
+  if (B.Name == "fft")
+    return 32;
+  if (B.Name == "flatten")
+    return 64;
+  if (B.Name == "matrix_multi")
+    return 4;
+  if (B.Name == "merge_sort")
+    return 32;
+  if (B.Name == "poly_inclusion")
+    return 8;
+  if (B.Name == "tree_traversal")
+    return 5;
+  return 4;
+}
+
+class CorpusPipeline : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(CorpusPipeline, RunsUnderRolog) {
+  const BenchmarkDef *B = findBenchmark(GetParam());
+  ASSERT_NE(B, nullptr);
+  HarnessConfig Config;
+  Config.Machine = MachineConfig::rolog();
+  BenchmarkRun Run = runBenchmark(*B, smallInput(*B), Config);
+  EXPECT_TRUE(Run.Ok0) << Run.AnalysisReport;
+  EXPECT_TRUE(Run.Ok1) << Run.AnalysisReport;
+  EXPECT_GT(Run.Sim0.ParallelTime, 0.0);
+  EXPECT_GT(Run.Sim1.ParallelTime, 0.0);
+  EXPECT_GT(Run.Sim0.SequentialTime, 0.0);
+  // The parallel makespan can never beat the critical path or the
+  // sequential time divided by the number of processors.
+  EXPECT_GE(Run.Sim0.ParallelTime, Run.Sim0.CriticalPath - 1e-9);
+  EXPECT_GE(Run.Sim0.ParallelTime * 4, Run.Sim0.SequentialTime - 1e-9);
+}
+
+TEST_P(CorpusPipeline, ControlPreservesSemantics) {
+  // The controlled program must perform the same logical computation:
+  // same resolutions up to the grain tests' control flow, and identical
+  // success.  We compare the number of *user-predicate* resolutions; the
+  // transformed program may differ only via the added '$grain_leq' tests
+  // (which are builtins, not resolutions).
+  const BenchmarkDef *B = findBenchmark(GetParam());
+  ASSERT_NE(B, nullptr);
+  HarnessConfig Config;
+  Config.Machine = MachineConfig::andProlog();
+  BenchmarkRun Run = runBenchmark(*B, smallInput(*B), Config);
+  ASSERT_TRUE(Run.Ok0);
+  ASSERT_TRUE(Run.Ok1);
+  EXPECT_EQ(Run.Counters0.Resolutions, Run.Counters1.Resolutions);
+  // Work differs only by grain-test charges.
+  EXPECT_GE(Run.Counters1.WorkUnits, Run.Counters0.WorkUnits - 1e-9);
+}
+
+TEST_P(CorpusPipeline, SequentialSpecializationPreservesSemantics) {
+  const BenchmarkDef *B = findBenchmark(GetParam());
+  ASSERT_NE(B, nullptr);
+  HarnessConfig Config;
+  Config.Machine = MachineConfig::rolog();
+  Config.Transform.SequentialSpecialization = true;
+  BenchmarkRun Run = runBenchmark(*B, smallInput(*B), Config);
+  ASSERT_TRUE(Run.Ok0) << Run.AnalysisReport;
+  ASSERT_TRUE(Run.Ok1) << Run.AnalysisReport;
+  // The specialized program performs the same logical computation: same
+  // resolution count (clones resolve once per original resolution).
+  EXPECT_EQ(Run.Counters0.Resolutions, Run.Counters1.Resolutions);
+  // And it never tests more than the plain transformed program.
+  HarnessConfig Plain = Config;
+  Plain.Transform.SequentialSpecialization = false;
+  BenchmarkRun PlainRun = runBenchmark(*B, smallInput(*B), Plain);
+  EXPECT_LE(Run.Counters1.GrainTests, PlainRun.Counters1.GrainTests);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, CorpusPipeline,
+    ::testing::Values("consistency", "fib", "hanoi", "quick_sort",
+                      "lr1_set", "double_sum", "fft", "flatten",
+                      "matrix_multi", "merge_sort", "poly_inclusion",
+                      "tree_traversal"));
+
+TEST(CorpusTest, TwelveBenchmarksRegistered) {
+  EXPECT_EQ(benchmarkCorpus().size(), 12u);
+  EXPECT_EQ(table2Benchmarks().size(), 4u);
+  for (const BenchmarkDef *B : table2Benchmarks())
+    ASSERT_NE(B, nullptr);
+}
+
+TEST(CorpusTest, DefaultInputsMatchPaper) {
+  EXPECT_EQ(findBenchmark("consistency")->DefaultInput, 500);
+  EXPECT_EQ(findBenchmark("fib")->DefaultInput, 15);
+  EXPECT_EQ(findBenchmark("hanoi")->DefaultInput, 6);
+  EXPECT_EQ(findBenchmark("quick_sort")->DefaultInput, 75);
+  EXPECT_EQ(findBenchmark("lr1_set")->DefaultInput, 3);
+  EXPECT_EQ(findBenchmark("double_sum")->DefaultInput, 2048);
+  EXPECT_EQ(findBenchmark("fft")->DefaultInput, 256);
+  EXPECT_EQ(findBenchmark("flatten")->DefaultInput, 536);
+  EXPECT_EQ(findBenchmark("matrix_multi")->DefaultInput, 8);
+  EXPECT_EQ(findBenchmark("merge_sort")->DefaultInput, 128);
+  EXPECT_EQ(findBenchmark("poly_inclusion")->DefaultInput, 30);
+  EXPECT_EQ(findBenchmark("tree_traversal")->DefaultInput, 8);
+}
+
+TEST(CorpusTest, DoubleSumComputesTheSum) {
+  // dsum(N) must equal N(N+1)/2 for powers of two.
+  const BenchmarkDef *B = findBenchmark("double_sum");
+  TermArena Arena;
+  Diagnostics Diags;
+  auto P = loadProgram(B->Source, Arena, Diags);
+  ASSERT_TRUE(P) << Diags.str();
+  Interpreter I(*P, Arena);
+  ASSERT_TRUE(I.solveText("dsum(256, S), S =:= 32896", Diags))
+      << Diags.str();
+}
+
+TEST(CorpusTest, QuickSortSortsCorrectly) {
+  const BenchmarkDef *B = findBenchmark("quick_sort");
+  TermArena Arena;
+  Diagnostics Diags;
+  auto P = loadProgram(B->Source, Arena, Diags);
+  ASSERT_TRUE(P) << Diags.str();
+  Interpreter I(*P, Arena);
+  ASSERT_TRUE(I.solveText("qsort([5,3,8,1,9,2], [1,2,3,5,8,9])", Diags));
+}
+
+TEST(CorpusTest, MergeSortSortsCorrectly) {
+  const BenchmarkDef *B = findBenchmark("merge_sort");
+  TermArena Arena;
+  Diagnostics Diags;
+  auto P = loadProgram(B->Source, Arena, Diags);
+  ASSERT_TRUE(P) << Diags.str();
+  Interpreter I(*P, Arena);
+  ASSERT_TRUE(I.solveText("msort([5,3,8,1,9,2], [1,2,3,5,8,9])", Diags));
+}
+
+TEST(CorpusTest, HanoiMoveCount) {
+  const BenchmarkDef *B = findBenchmark("hanoi");
+  TermArena Arena;
+  Diagnostics Diags;
+  auto P = loadProgram(B->Source, Arena, Diags);
+  ASSERT_TRUE(P) << Diags.str();
+  Interpreter I(*P, Arena);
+  // 2^5 - 1 = 31 moves.
+  ASSERT_TRUE(
+      I.solveText("hanoi(5, a, b, c, M), length(M, N), N =:= 31", Diags));
+}
+
+TEST(CorpusTest, FftPreservesParseval) {
+  // Energy conservation: sum |x|^2 == sum |X|^2 / N (within tolerance) —
+  // checked in Prolog with a small helper goal.
+  const BenchmarkDef *B = findBenchmark("fft");
+  TermArena Arena;
+  Diagnostics Diags;
+  std::string Src = std::string(B->Source) + R"(
+    energy([], 0.0).
+    energy([c(R, I)|T], E) :- energy(T, E1), E is E1 + R * R + I * I.
+  )";
+  auto P = loadProgram(Src, Arena, Diags);
+  ASSERT_TRUE(P) << Diags.str();
+  Interpreter I(*P, Arena);
+  ASSERT_TRUE(I.solveText(
+      "fft([c(1.0,0.0), c(2.0,0.0), c(3.0,0.0), c(4.0,0.0)], F), "
+      "energy([c(1.0,0.0), c(2.0,0.0), c(3.0,0.0), c(4.0,0.0)], Ein), "
+      "energy(F, Eout), D is Eout - 4.0 * Ein, D < 0.001, D > -0.001",
+      Diags))
+      << Diags.str();
+}
+
+TEST(CorpusTest, FlattenProducesLeafList) {
+  const BenchmarkDef *B = findBenchmark("flatten");
+  TermArena Arena;
+  Diagnostics Diags;
+  auto P = loadProgram(B->Source, Arena, Diags);
+  ASSERT_TRUE(P) << Diags.str();
+  Interpreter I(*P, Arena);
+  ASSERT_TRUE(I.solveText(
+      "flatten(node(node(leaf(1), leaf(2)), leaf(3)), [1,2,3])", Diags));
+}
+
+TEST(CorpusTest, TreeTraversalSum) {
+  const BenchmarkDef *B = findBenchmark("tree_traversal");
+  TermArena Arena;
+  Diagnostics Diags;
+  auto P = loadProgram(B->Source, Arena, Diags);
+  ASSERT_TRUE(P) << Diags.str();
+  Interpreter I(*P, Arena);
+  ASSERT_TRUE(I.solveText(
+      "tsum(node(node(leaf(1), leaf(2)), leaf(3)), 6)", Diags));
+}
+
+TEST(CorpusTest, MatrixMultiplySmall) {
+  const BenchmarkDef *B = findBenchmark("matrix_multi");
+  TermArena Arena;
+  Diagnostics Diags;
+  auto P = loadProgram(B->Source, Arena, Diags);
+  ASSERT_TRUE(P) << Diags.str();
+  Interpreter I(*P, Arena);
+  // [[1,2],[3,4]] x [[5,6],[7,8]]: with B transposed, columns are
+  // [5,7] and [6,8]; C = [[19,22],[43,50]].
+  ASSERT_TRUE(I.solveText(
+      "mmul([[1,2],[3,4]], [[5,7],[6,8]], [[19,22],[43,50]])", Diags));
+}
+
+TEST(CorpusTest, PolyInclusionCenterInside) {
+  const BenchmarkDef *B = findBenchmark("poly_inclusion");
+  TermArena Arena;
+  Diagnostics Diags;
+  auto P = loadProgram(B->Source, Arena, Diags);
+  ASSERT_TRUE(P) << Diags.str();
+  Interpreter I(*P, Arena);
+  // A unit square; the point (1,1) is inside, (5,5) is outside.
+  ASSERT_TRUE(I.solveText(
+      "poly_inclusion([pt(1,1), pt(5,5)], "
+      "[e(0,0,2,0), e(2,0,2,2), e(2,2,0,2), e(0,2,0,0)], [1, 0])",
+      Diags))
+      << Diags.str();
+}
+
+} // namespace

@@ -1,0 +1,340 @@
+//===- tests/cost_test.cpp - Cost analysis tests --------------------------===//
+//
+// Validates the end-to-end cost analysis against Appendix A of the paper:
+//   Cost_append(n, y) = n + 1
+//   Cost_nrev(n)      = 0.5 n^2 + 1.5 n + 1
+//   Cost_fib(n)      <= 2^{n+1} - 1  (with builtins at cost 0, Section 5)
+//
+//===----------------------------------------------------------------------===//
+
+#include "cost/CostAnalysis.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+using namespace granlog;
+
+namespace {
+
+class CostTest : public ::testing::Test {
+protected:
+  void analyze(std::string_view Source,
+               CostMetric Metric = CostMetric::resolutions()) {
+    Prog = loadProgram(Source, Arena, Diags);
+    ASSERT_TRUE(Prog.has_value()) << Diags.str();
+    CG.emplace(*Prog);
+    Modes.emplace(*Prog, *CG);
+    Det.emplace(*Prog, *Modes);
+    SA.emplace(*Prog, *CG, *Modes);
+    SA->run();
+    CA.emplace(*Prog, *CG, *Modes, *Det, *SA, Metric);
+    CA->run();
+  }
+
+  Functor functor(std::string_view Name, unsigned Arity) {
+    return Functor{Arena.symbols().intern(Name), Arity};
+  }
+
+  double costAt(std::string_view Name, unsigned Arity,
+                std::vector<double> Sizes) {
+    auto V = CA->costAt(functor(Name, Arity), Sizes);
+    EXPECT_TRUE(V.has_value());
+    return V.value_or(-1);
+  }
+
+  TermArena Arena;
+  Diagnostics Diags;
+  std::optional<Program> Prog;
+  std::optional<CallGraph> CG;
+  std::optional<ModeTable> Modes;
+  std::optional<Determinacy> Det;
+  std::optional<SizeAnalysis> SA;
+  std::optional<CostAnalysis> CA;
+};
+
+const char *NrevSource = R"(
+:- mode(nrev(i, o)).
+:- mode(append(i, i, o)).
+
+nrev([], []).
+nrev([H|L], R) :- nrev(L, R1), append(R1, [H], R).
+
+append([], L, L).
+append([H|L1], L2, [H|L3]) :- append(L1, L2, L3).
+)";
+
+const char *FibSource = R"(
+:- mode(fib(i, o)).
+:- measure(fib(value, value)).
+fib(0, 0).
+fib(1, 1).
+fib(M, N) :- M > 1, M1 is M - 1, M2 is M - 2,
+             fib(M1, N1), fib(M2, N2), N is N1 + N2.
+)";
+
+TEST_F(CostTest, AppendCostMatchesPaper) {
+  analyze(NrevSource);
+  const PredicateCostInfo &CI = CA->info(functor("append", 3));
+  ASSERT_TRUE(CI.CostFn);
+  // Cost_append(n1, n2) = n1 + 1 (paper Appendix A).
+  EXPECT_EQ(exprText(CI.CostFn), "1 + n1");
+  EXPECT_TRUE(CI.Exact);
+}
+
+TEST_F(CostTest, NrevCostMatchesPaper) {
+  analyze(NrevSource);
+  const PredicateCostInfo &CI = CA->info(functor("nrev", 2));
+  ASSERT_TRUE(CI.CostFn);
+  // Cost_nrev(n) = 0.5 n^2 + 1.5 n + 1 (paper Appendix A).
+  EXPECT_EQ(exprText(CI.CostFn), "1 + 3/2*n1 + 1/2*n1^2");
+  EXPECT_TRUE(CI.Exact);
+  EXPECT_DOUBLE_EQ(costAt("nrev", 2, {30}), 0.5 * 900 + 1.5 * 30 + 1);
+}
+
+TEST_F(CostTest, FibCostMatchesPaper) {
+  analyze(FibSource);
+  const PredicateCostInfo &CI = CA->info(functor("fib", 2));
+  ASSERT_TRUE(CI.CostFn);
+  // Cost_fib(n) <= 2^{n+1} - 1 (paper Section 5).
+  EXPECT_DOUBLE_EQ(costAt("fib", 2, {10}), std::pow(2, 11) - 1);
+  EXPECT_EQ(CI.Schema, "geometric");
+}
+
+TEST_F(CostTest, FibCostIsUpperBoundOnTrueResolutions) {
+  analyze(FibSource);
+  // True resolution counts: R(0)=R(1)=1, R(n)=1+R(n-1)+R(n-2).
+  double R[16];
+  R[0] = R[1] = 1;
+  for (int I = 2; I <= 15; ++I)
+    R[I] = 1 + R[I - 1] + R[I - 2];
+  for (int I = 0; I <= 15; ++I)
+    EXPECT_GE(costAt("fib", 2, {static_cast<double>(I)}), R[I]);
+}
+
+TEST_F(CostTest, HanoiCostExponential) {
+  analyze(R"(
+    :- mode(hanoi(i, i, i, i, o)).
+    :- measure(hanoi(value, void, void, void, length)).
+    hanoi(0, _, _, _, []).
+    hanoi(N, A, B, C, M) :-
+      N > 0, N1 is N - 1,
+      hanoi(N1, A, C, B, M1),
+      hanoi(N1, B, A, C, M2),
+      append(M1, [m(A, C)|M2], M).
+    :- mode(append(i, i, o)).
+    append([], L, L).
+    append([H|T], L, [H|R]) :- append(T, L, R).
+  )");
+  // 2^n doubling recursion: cost roughly doubles per disc.
+  double C5 = costAt("hanoi", 5, {5, 1, 1, 1});
+  double C6 = costAt("hanoi", 5, {6, 1, 1, 1});
+  EXPECT_GT(C6, 1.8 * C5);
+  EXPECT_FALSE(std::isinf(C6));
+}
+
+TEST_F(CostTest, QuicksortGetsExponentialUpperBound) {
+  // The sizes of part/4's outputs are each bounded only by the input
+  // length, so the analysis (soundly) derives an exponential bound —
+  // this is the known imprecision the paper accepts for quicksort-style
+  // programs (cf. the discussion of Kaplan's work in Section 8).
+  analyze(R"(
+    :- mode(qsort(i, o)).
+    :- mode(part(i, i, o, o)).
+    :- mode(append(i, i, o)).
+    qsort([], []).
+    qsort([H|T], S) :-
+      part(T, H, L, G),
+      qsort(L, SL), qsort(G, SG),
+      append(SL, [H|SG], S).
+    part([], _, [], []).
+    part([E|L], M, [E|U1], U2) :- E > M, part(L, M, U1, U2).
+    part([E|L], M, U1, [E|U2]) :- E =< M, part(L, M, U1, U2).
+    append([], L, L).
+    append([H|T], L, [H|R]) :- append(T, L, R).
+  )");
+  double C10 = costAt("qsort", 2, {10});
+  double C11 = costAt("qsort", 2, {11});
+  EXPECT_FALSE(std::isinf(C10));
+  EXPECT_GT(C11 / C10, 1.5); // exponential growth
+  // Still an upper bound on the true quadratic worst case.
+  EXPECT_GE(C10, 10 * 10 / 2.0);
+}
+
+TEST_F(CostTest, UnificationsMetricCountsArity) {
+  analyze(NrevSource, CostMetric::unifications());
+  // append/3: Cost(n) = 3 + Cost(n-1), Cost(0) = 3 => 3n + 3.
+  EXPECT_DOUBLE_EQ(costAt("append", 3, {4, 1}), 3 * 4 + 3);
+}
+
+TEST_F(CostTest, InstructionsMetricLarger) {
+  analyze(NrevSource, CostMetric::instructions());
+  double I = costAt("append", 3, {4, 1});
+  analyze(NrevSource, CostMetric::resolutions());
+  double R = costAt("append", 3, {4, 1});
+  EXPECT_GT(I, R);
+}
+
+TEST_F(CostTest, MutualRecursionEvenOdd) {
+  analyze(R"(
+    :- mode(ev(i)).
+    :- mode(od(i)).
+    :- measure(ev(value)).
+    :- measure(od(value)).
+    ev(0).
+    ev(N) :- N > 0, M is N - 1, od(M).
+    od(1).
+    od(N) :- N > 1, M is N - 1, ev(M).
+  )");
+  const PredicateCostInfo &CI = CA->info(functor("ev", 1));
+  ASSERT_TRUE(CI.CostFn);
+  EXPECT_FALSE(CI.CostFn->isInfinity()) << exprText(CI.CostFn);
+  // True cost is about n resolutions; bound must cover it and stay
+  // polynomial (the n/2-step recursion of depth 2 solves linearly).
+  EXPECT_GE(costAt("ev", 1, {10}), 10.0 / 2);
+  EXPECT_LE(costAt("ev", 1, {10}), 100.0);
+}
+
+TEST_F(CostTest, NonTerminatingPredicateIsInfinity) {
+  analyze(R"(
+    :- mode(loop(i)).
+    loop(N) :- loop(N).
+  )");
+  const PredicateCostInfo &CI = CA->info(functor("loop", 1));
+  ASSERT_TRUE(CI.CostFn);
+  EXPECT_TRUE(CI.CostFn->isInfinity());
+}
+
+TEST_F(CostTest, GrowingRecursionIsInfinity) {
+  analyze(R"(
+    :- mode(up(i)).
+    :- measure(up(value)).
+    up(100).
+    up(N) :- N < 100, M is N + 1, up(M).
+  )");
+  // The recursion argument increases: no downward difference equation.
+  EXPECT_TRUE(CA->info(functor("up", 1)).CostFn->isInfinity());
+}
+
+TEST_F(CostTest, NondeterministicClausesSummed) {
+  analyze(R"(
+    :- mode(both(i)).
+    both(X) :- p(X).
+    both(X) :- q(X).
+    p(_).
+    q(_).
+    :- mode(p(i)).
+    :- mode(q(i)).
+  )");
+  // Not mutually exclusive: costs add (1 + 1) + (1 + 1) = 4 resolutions.
+  EXPECT_DOUBLE_EQ(costAt("both", 1, {1}), 4.0);
+}
+
+TEST_F(CostTest, ExclusiveClausesTakeMax) {
+  analyze(R"(
+    :- mode(pick(i)).
+    :- measure(pick(value)).
+    pick(0) :- cheap(0).
+    pick(N) :- N > 0, expensive(N).
+    cheap(_).
+    expensive(N) :- helper(N), helper(N), helper(N).
+    helper(_).
+    :- mode(cheap(i)).
+    :- mode(expensive(i)).
+    :- mode(helper(i)).
+  )");
+  // Exclusive: max(1+1, 1+(1+3)) = 5, not 7.
+  EXPECT_DOUBLE_EQ(costAt("pick", 1, {5}), 5.0);
+}
+
+TEST_F(CostTest, CostUsesCalleeSizes) {
+  // doublerev reverses a doubled list: cost depends on Psi_dup = 2n.
+  analyze(R"(
+    :- mode(doublerev(i, o)).
+    :- mode(dup(i, o)).
+    :- mode(nrev(i, o)).
+    :- mode(append(i, i, o)).
+    doublerev(L, R) :- dup(L, D), nrev(D, R).
+    dup([], []).
+    dup([H|T], [H,H|T1]) :- dup(T, T1).
+    nrev([], []).
+    nrev([H|L], R) :- nrev(L, R1), append(R1, [H], R).
+    append([], L, L).
+    append([H|L1], L2, [H|L3]) :- append(L1, L2, L3).
+  )");
+  // Cost = 1 + Cost_dup(n) + Cost_nrev(2n)
+  //      = 1 + (n+1) + (0.5(2n)^2 + 1.5(2n) + 1) = 2n^2 + 4n + 3.
+  EXPECT_DOUBLE_EQ(costAt("doublerev", 2, {5}), 2 * 25 + 4 * 5 + 3);
+}
+
+TEST_F(CostTest, CostOfZeroArityPredicate) {
+  analyze("main :- t1, t2.\nt1.\nt2.");
+  EXPECT_DOUBLE_EQ(costAt("main", 0, {}), 3.0);
+}
+
+TEST_F(CostTest, IfThenElseCostsMaxOfBranches) {
+  // Section 4: "H Test -> Alt1 ; Alt2 ... CostH + CostTest +
+  // max(CostAlt1, CostAlt2)".
+  analyze(R"(
+    :- mode(choose(i)).
+    :- measure(choose(value)).
+    choose(N) :- ( N > 0 -> big(N) ; small(N) ).
+    big(_) :- w, w, w, w, w.
+    small(_) :- w.
+    w.
+    :- mode(big(i)).
+    :- mode(small(i)).
+  )");
+  // 1 (head) + max(big = 1+5 = 6, small = 1+1 = 2) = 7.
+  EXPECT_DOUBLE_EQ(costAt("choose", 1, {5}), 7.0);
+}
+
+TEST_F(CostTest, PlainDisjunctionCostsSum) {
+  // Without the committed test, both branches may be executed on
+  // backtracking: the sound bound is the sum.
+  analyze(R"(
+    :- mode(either(i)).
+    either(N) :- ( a(N) ; b(N) ).
+    a(_).
+    b(_).
+    :- mode(a(i)).
+    :- mode(b(i)).
+  )");
+  // 1 (head) + (1 + 1) = 3.
+  EXPECT_DOUBLE_EQ(costAt("either", 1, {0}), 3.0);
+}
+
+TEST_F(CostTest, NegationCostsInnerGoal) {
+  analyze(R"(
+    :- mode(no(i)).
+    no(N) :- \+ p(N).
+    p(_) :- q, q.
+    q.
+    :- mode(p(i)).
+  )");
+  // 1 + (1 + 2) = 4.
+  EXPECT_DOUBLE_EQ(costAt("no", 1, {0}), 4.0);
+}
+
+TEST_F(CostTest, TrustCostOverridesInference) {
+  analyze(R"(
+    :- mode(merge(i, i, o)).
+    :- measure(merge(length, length, length)).
+    :- trust_cost(merge/3, n1 + n2 + 1).
+    :- trust_size(merge/3, 3, n1 + n2).
+    merge([], L, L).
+    merge([H|T], [], [H|T]).
+    merge([H1|T1], [H2|T2], [H1|R]) :- H1 =< H2, merge(T1, [H2|T2], R).
+    merge([H1|T1], [H2|T2], [H2|R]) :- H1 > H2, merge([H1|T1], T2, R).
+  )");
+  EXPECT_DOUBLE_EQ(costAt("merge", 3, {4, 5}), 10.0);
+  const PredicateCostInfo &CI = CA->info(functor("merge", 3));
+  EXPECT_EQ(CI.Schema, "trusted");
+  EXPECT_FALSE(CI.Exact);
+}
+
+TEST_F(CostTest, UndefinedCalleeGivesInfinity) {
+  analyze(":- mode(p(i)).\np(X) :- undefined_thing(X).");
+  EXPECT_TRUE(CA->info(functor("p", 1)).CostFn->isInfinity());
+}
+
+} // namespace

@@ -1,0 +1,168 @@
+//===- tests/determinacy_test.cpp - Determinacy analysis unit tests -------===//
+//
+// Focused tests of the mutual-exclusion machinery that licenses the
+// paper's Sols = 1 simplification and the max-vs-+ clause combination:
+// indexing on principal functors, list-spine discrimination, constant and
+// variable-variable arithmetic guards.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Determinacy.h"
+
+#include <gtest/gtest.h>
+
+using namespace granlog;
+
+namespace {
+
+class DeterminacyTest : public ::testing::Test {
+protected:
+  void analyze(std::string_view Source) {
+    Prog = loadProgram(Source, Arena, Diags);
+    ASSERT_TRUE(Prog.has_value()) << Diags.str();
+    CG.emplace(*Prog);
+    Modes.emplace(*Prog, *CG);
+    Det = std::make_unique<Determinacy>(*Prog, *Modes);
+  }
+
+  Functor functor(std::string_view Name, unsigned Arity) {
+    return Functor{Arena.symbols().intern(Name), Arity};
+  }
+
+  TermArena Arena;
+  Diagnostics Diags;
+  std::optional<Program> Prog;
+  std::optional<CallGraph> CG;
+  std::optional<ModeTable> Modes;
+  std::unique_ptr<Determinacy> Det;
+};
+
+TEST_F(DeterminacyTest, DistinctConstantsExclusive) {
+  analyze(":- mode(p(i)).\np(0).\np(1).\np(2).");
+  EXPECT_TRUE(Det->hasExclusiveClauses(functor("p", 1)));
+  EXPECT_TRUE(Det->clausesExclusive(functor("p", 1), 0, 2));
+}
+
+TEST_F(DeterminacyTest, DistinctFunctorsExclusive) {
+  analyze(":- mode(p(i)).\np(leaf(_)).\np(node(_, _)).");
+  EXPECT_TRUE(Det->hasExclusiveClauses(functor("p", 1)));
+}
+
+TEST_F(DeterminacyTest, NilVsConsExclusive) {
+  analyze(":- mode(p(i)).\np([]).\np([_|_]).");
+  EXPECT_TRUE(Det->hasExclusiveClauses(functor("p", 1)));
+}
+
+TEST_F(DeterminacyTest, ListSpineDiscrimination) {
+  // [X] matches exactly one element; [A,B|T] at least two.
+  analyze(":- mode(p(i)).\np([_]).\np([_,_|_]).");
+  EXPECT_TRUE(Det->hasExclusiveClauses(functor("p", 1)));
+}
+
+TEST_F(DeterminacyTest, OverlappingSpinesNotExclusive) {
+  // [X|T] (>=1) overlaps [A,B|T] (>=2).
+  analyze(":- mode(p(i)).\np([_|_]).\np([_,_|_]).");
+  EXPECT_FALSE(Det->hasExclusiveClauses(functor("p", 1)));
+}
+
+TEST_F(DeterminacyTest, ClosedSpineLengthsExclusive) {
+  analyze(":- mode(p(i)).\np([_]).\np([_,_]).");
+  EXPECT_TRUE(Det->hasExclusiveClauses(functor("p", 1)));
+}
+
+TEST_F(DeterminacyTest, ConstantGuardExcludesConstantHead) {
+  // fib-style: fib(0,...) vs fib(M,...) :- M > 1.
+  analyze(R"(
+    :- mode(p(i)).
+    :- measure(p(value)).
+    p(0).
+    p(N) :- N > 1, q(N).
+    q(_).
+  )");
+  EXPECT_TRUE(Det->hasExclusiveClauses(functor("p", 1)));
+}
+
+TEST_F(DeterminacyTest, GuardAdmittingConstantNotExclusive) {
+  // p(1) vs p(N) :- N > 0: N = 1 satisfies the guard.
+  analyze(R"(
+    :- mode(p(i)).
+    :- measure(p(value)).
+    p(1).
+    p(N) :- N > 0.
+  )");
+  EXPECT_FALSE(Det->hasExclusiveClauses(functor("p", 1)));
+}
+
+TEST_F(DeterminacyTest, ComplementaryConstantGuards) {
+  analyze(R"(
+    :- mode(p(i)).
+    :- measure(p(value)).
+    p(N) :- N =< 5, small(N).
+    p(N) :- N > 5, large(N).
+    small(_).
+    large(_).
+  )");
+  EXPECT_TRUE(Det->hasExclusiveClauses(functor("p", 1)));
+}
+
+TEST_F(DeterminacyTest, VariableVariableGuards) {
+  // The paper's part/4: E =< M in one clause, E > M in the other, same
+  // head positions.
+  analyze(R"(
+    :- mode(part(i, i, o, o)).
+    part([], _, [], []).
+    part([E|L], M, [E|U1], U2) :- E =< M, part(L, M, U1, U2).
+    part([E|L], M, U1, [E|U2]) :- E > M, part(L, M, U1, U2).
+  )");
+  EXPECT_TRUE(Det->hasExclusiveClauses(functor("part", 4)));
+  EXPECT_TRUE(Det->isDeterminate(functor("part", 4)));
+}
+
+TEST_F(DeterminacyTest, VariableGuardsFlippedOrientation) {
+  // "X < Y" vs. "Y =< X": same pair, flipped writing.
+  analyze(R"(
+    :- mode(m(i, i, o)).
+    m(X, Y, X) :- X < Y.
+    m(X, Y, Y) :- Y =< X.
+  )");
+  EXPECT_TRUE(Det->hasExclusiveClauses(functor("m", 3)));
+}
+
+TEST_F(DeterminacyTest, CompatibleVarGuardsNotExclusive) {
+  analyze(R"(
+    :- mode(m(i, i)).
+    m(X, Y) :- X =< Y.
+    m(X, Y) :- X < Y.
+  )");
+  EXPECT_FALSE(Det->hasExclusiveClauses(functor("m", 2)));
+}
+
+TEST_F(DeterminacyTest, GuardsAtDifferentPositionsNotExclusive) {
+  // The guards compare different head arguments: no conclusion.
+  analyze(R"(
+    :- mode(m(i, i, i)).
+    m(X, Y, _) :- X =< Y.
+    m(_, Y, Z) :- Y > Z.
+  )");
+  EXPECT_FALSE(Det->hasExclusiveClauses(functor("m", 3)));
+}
+
+TEST_F(DeterminacyTest, OutputPositionsDoNotDiscriminate) {
+  // Distinct constants in an *output* position mean nothing at call time.
+  analyze(":- mode(p(o)).\np(1).\np(2).");
+  EXPECT_FALSE(Det->hasExclusiveClauses(functor("p", 1)));
+}
+
+TEST_F(DeterminacyTest, DeterminacyRequiresDeterminateCallees) {
+  analyze(R"(
+    :- mode(top(i)).
+    :- mode(gen(o)).
+    top(X) :- gen(X).
+    gen(1).
+    gen(2).
+  )");
+  EXPECT_TRUE(Det->hasExclusiveClauses(functor("top", 1)));
+  EXPECT_FALSE(Det->isDeterminate(functor("top", 1)));
+}
+
+} // namespace

@@ -1,0 +1,415 @@
+//===- tests/diffeq_test.cpp - Difference equation solver tests -----------===//
+//
+// Validates the solver against the closed forms the paper derives:
+//   append:  Cost(n)   = n + 1
+//   nrev:    Cost(n)   = 0.5 n^2 + 1.5 n + 1          (Appendix A)
+//   fib:     Cost(n)  <= 2^{n+1} - 1                   (Section 5)
+//
+//===----------------------------------------------------------------------===//
+
+#include "diffeq/Recurrence.h"
+#include "diffeq/Solver.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+using namespace granlog;
+
+namespace {
+
+ExprRef n() { return makeVar("n"); }
+
+double evalAt(const ExprRef &E, double N) {
+  auto V = evaluate(E, {{"n", N}});
+  EXPECT_TRUE(V.has_value()) << exprText(E);
+  return V.value_or(-1);
+}
+
+class DiffEqTest : public ::testing::Test {
+protected:
+  DiffEqSolver Solver;
+};
+
+TEST_F(DiffEqTest, ExtractSimpleShift) {
+  // f(n) = f(n-1) + n + 1
+  ExprRef Rhs = makeAdd({makeCall("f", {makeSub(n(), makeNumber(1))}), n(),
+                         makeNumber(1)});
+  auto R = extractRecurrence("f", {"n"}, 0, Rhs);
+  ASSERT_TRUE(R.has_value());
+  ASSERT_EQ(R->ShiftTerms.size(), 1u);
+  EXPECT_EQ(R->ShiftTerms[0].Coeff, Rational(1));
+  EXPECT_EQ(R->ShiftTerms[0].Shift, Rational(1));
+  EXPECT_EQ(exprText(R->Additive), "1 + n");
+}
+
+TEST_F(DiffEqTest, ExtractMergesEqualShifts) {
+  // f(n-1) + f(n-1) canonicalizes to 2 f(n-1).
+  ExprRef Self = makeCall("f", {makeSub(n(), makeNumber(1))});
+  ExprRef Rhs = makeAdd({Self, Self, makeNumber(1)});
+  auto R = extractRecurrence("f", {"n"}, 0, Rhs);
+  ASSERT_TRUE(R.has_value());
+  ASSERT_EQ(R->ShiftTerms.size(), 1u);
+  EXPECT_EQ(R->ShiftTerms[0].Coeff, Rational(2));
+}
+
+TEST_F(DiffEqTest, ExtractFibonacciShape) {
+  // f(n) = f(n-1) + f(n-2) + 1
+  ExprRef Rhs = makeAdd({makeCall("f", {makeSub(n(), makeNumber(1))}),
+                         makeCall("f", {makeSub(n(), makeNumber(2))}),
+                         makeNumber(1)});
+  auto R = extractRecurrence("f", {"n"}, 0, Rhs);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->ShiftTerms.size(), 2u);
+}
+
+TEST_F(DiffEqTest, ExtractDivideTerm) {
+  // f(n) = 2 f(n/2) + n
+  ExprRef Rhs = makeAdd(
+      makeScale(Rational(2),
+                makeCall("f", {makeScale(Rational(1, 2), n())})),
+      n());
+  auto R = extractRecurrence("f", {"n"}, 0, Rhs);
+  ASSERT_TRUE(R.has_value());
+  ASSERT_EQ(R->DivideTerms.size(), 1u);
+  EXPECT_EQ(R->DivideTerms[0].Coeff, Rational(2));
+  EXPECT_EQ(R->DivideTerms[0].Divisor, Rational(2));
+}
+
+TEST_F(DiffEqTest, ExtractParametricPassThrough) {
+  // f(n, y) = f(n-1, y) + 1 — parameter y carried through unchanged.
+  ExprRef Rhs = makeAdd(
+      makeCall("f", {makeSub(n(), makeNumber(1)), makeVar("y")}),
+      makeNumber(1));
+  auto R = extractRecurrence("f", {"n", "y"}, 0, Rhs);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->ShiftTerms.size(), 1u);
+}
+
+TEST_F(DiffEqTest, ExtractRejectsChangedParameter) {
+  // f(n, y) = f(n-1, y+1) + 1 — the second parameter changes: reject.
+  ExprRef Rhs = makeAdd(
+      makeCall("f", {makeSub(n(), makeNumber(1)),
+                     makeAdd(makeVar("y"), makeNumber(1))}),
+      makeNumber(1));
+  EXPECT_FALSE(extractRecurrence("f", {"n", "y"}, 0, Rhs).has_value());
+}
+
+TEST_F(DiffEqTest, ExtractRejectsNonlinearSelf) {
+  // n * f(n-1) has a non-constant coefficient: reject.
+  ExprRef Rhs = makeMul(n(), makeCall("f", {makeSub(n(), makeNumber(1))}));
+  EXPECT_FALSE(extractRecurrence("f", {"n"}, 0, Rhs).has_value());
+}
+
+TEST_F(DiffEqTest, ExtractRejectsGrowingArgument) {
+  // f(n+1) never terminates downward: reject.
+  ExprRef Rhs = makeCall("f", {makeAdd(n(), makeNumber(1))});
+  EXPECT_FALSE(extractRecurrence("f", {"n"}, 0, Rhs).has_value());
+}
+
+TEST_F(DiffEqTest, ExtractRelaxesMaxOverSelfCalls) {
+  // max(f(n-1), n) becomes f(n-1) + n (sound upper bound).
+  ExprRef Rhs = makeMax(makeCall("f", {makeSub(n(), makeNumber(1))}), n());
+  auto R = extractRecurrence("f", {"n"}, 0, Rhs);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->ShiftTerms.size(), 1u);
+  EXPECT_EQ(exprText(R->Additive), "n");
+}
+
+// --- Solving ---
+
+TEST_F(DiffEqTest, AppendCostClosedForm) {
+  // Cost(n) = Cost(n-1) + 1, Cost(0) = 1  =>  n + 1  (paper Appendix A).
+  Recurrence R;
+  R.Function = "cost:append";
+  R.Var = "n";
+  R.ShiftTerms.push_back({Rational(1), Rational(1)});
+  R.Additive = makeNumber(1);
+  R.Boundaries.push_back({Rational(0), makeNumber(1)});
+  SolveResult S = Solver.solve(R);
+  ASSERT_FALSE(S.failed());
+  EXPECT_EQ(S.SchemaName, "first-order-sum");
+  EXPECT_TRUE(S.Exact);
+  EXPECT_EQ(exprText(S.Closed), "1 + n");
+}
+
+TEST_F(DiffEqTest, NrevCostClosedForm) {
+  // Cost(n) = Cost(n-1) + n + 1, Cost(0) = 1 => 0.5 n^2 + 1.5 n + 1.
+  Recurrence R;
+  R.Function = "cost:nrev";
+  R.Var = "n";
+  R.ShiftTerms.push_back({Rational(1), Rational(1)});
+  R.Additive = makeAdd(n(), makeNumber(1));
+  R.Boundaries.push_back({Rational(0), makeNumber(1)});
+  SolveResult S = Solver.solve(R);
+  ASSERT_FALSE(S.failed());
+  EXPECT_TRUE(S.Exact);
+  EXPECT_EQ(exprText(S.Closed), "1 + 3/2*n + 1/2*n^2");
+}
+
+TEST_F(DiffEqTest, FibCostUpperBound) {
+  // Cost(n) = Cost(n-1) + Cost(n-2) + 1, Cost(0)=Cost(1)=1.
+  // Simplified by monotonicity to 2 Cost(n-1) + 1 => 2^{n+1} - 1.
+  Recurrence R;
+  R.Function = "cost:fib";
+  R.Var = "n";
+  R.ShiftTerms.push_back({Rational(1), Rational(1)});
+  R.ShiftTerms.push_back({Rational(1), Rational(2)});
+  R.Additive = makeNumber(1);
+  R.Boundaries.push_back({Rational(0), makeNumber(1)});
+  R.Boundaries.push_back({Rational(1), makeNumber(1)});
+  SolveResult S = Solver.solve(R);
+  ASSERT_FALSE(S.failed());
+  EXPECT_EQ(S.SchemaName, "geometric");
+  EXPECT_FALSE(S.Exact); // the collapse is an upper-bound step
+  EXPECT_DOUBLE_EQ(evalAt(S.Closed, 10), 2048.0 - 1.0); // 2^{11} - 1
+}
+
+TEST_F(DiffEqTest, HanoiExactGeometric) {
+  // f(n) = 2 f(n-1) + 1, f(0) = 1 => 2^{n+1} - 1, exact.
+  Recurrence R;
+  R.Function = "cost:hanoi";
+  R.Var = "n";
+  R.ShiftTerms.push_back({Rational(2), Rational(1)});
+  R.Additive = makeNumber(1);
+  R.Boundaries.push_back({Rational(0), makeNumber(1)});
+  SolveResult S = Solver.solve(R);
+  ASSERT_FALSE(S.failed());
+  EXPECT_TRUE(S.Exact);
+  EXPECT_DOUBLE_EQ(evalAt(S.Closed, 6), 127.0);
+}
+
+TEST_F(DiffEqTest, GeometricSolutionIsUpperBoundOnFibonacci) {
+  Recurrence R;
+  R.Function = "f";
+  R.Var = "n";
+  R.ShiftTerms.push_back({Rational(1), Rational(1)});
+  R.ShiftTerms.push_back({Rational(1), Rational(2)});
+  R.Additive = makeNumber(1);
+  R.Boundaries.push_back({Rational(0), makeNumber(1)});
+  R.Boundaries.push_back({Rational(1), makeNumber(1)});
+  SolveResult S = Solver.solve(R);
+  ASSERT_FALSE(S.failed());
+  // Direct evaluation of the true recurrence.
+  double F[21];
+  F[0] = F[1] = 1;
+  for (int I = 2; I <= 20; ++I)
+    F[I] = F[I - 1] + F[I - 2] + 1;
+  for (int I = 0; I <= 20; ++I)
+    EXPECT_GE(evalAt(S.Closed, I), F[I]) << "at n=" << I;
+}
+
+TEST_F(DiffEqTest, SummationUpperBoundNonUnitShift) {
+  // f(n) = f(n-2) + n, f(0) = 0.  True value: n/2 terms of ~n: about n^2/4.
+  Recurrence R;
+  R.Function = "f";
+  R.Var = "n";
+  R.ShiftTerms.push_back({Rational(1), Rational(2)});
+  R.Additive = n();
+  R.Boundaries.push_back({Rational(0), makeNumber(0)});
+  SolveResult S = Solver.solve(R);
+  ASSERT_FALSE(S.failed());
+  double True = 0;
+  for (int I = 10; I > 0; I -= 2)
+    True += I;
+  EXPECT_GE(evalAt(S.Closed, 10), True);
+}
+
+TEST_F(DiffEqTest, MergeSortDivideAndConquer) {
+  // f(n) = 2 f(n/2) + n, f(1) = 1 => n (log2 n + 1) + n.
+  Recurrence R;
+  R.Function = "cost:msort";
+  R.Var = "n";
+  R.DivideTerms.push_back({Rational(2), Rational(2)});
+  R.Additive = n();
+  R.Boundaries.push_back({Rational(1), makeNumber(1)});
+  SolveResult S = Solver.solve(R);
+  ASSERT_FALSE(S.failed());
+  EXPECT_EQ(S.SchemaName, "divide-and-conquer");
+  // Upper bound at n = 1024: true cost is 1024*10 + extras ~ 11264.
+  double True;
+  {
+    auto F = [](auto &&Self, double N) -> double {
+      if (N <= 1)
+        return 1;
+      return 2 * Self(Self, N / 2) + N;
+    };
+    True = F(F, 1024);
+  }
+  EXPECT_GE(evalAt(S.Closed, 1024), True);
+  // And not grossly loose: within a small constant factor.
+  EXPECT_LE(evalAt(S.Closed, 1024), 4 * True);
+}
+
+TEST_F(DiffEqTest, DivideAndConquerRootHeavy) {
+  // f(n) = 2 f(n/2) + n^2, f(1) = 1: a < b^d, so f(n) = O(n^2).
+  Recurrence R;
+  R.Function = "f";
+  R.Var = "n";
+  R.DivideTerms.push_back({Rational(2), Rational(2)});
+  R.Additive = makePow(n(), makeNumber(2));
+  R.Boundaries.push_back({Rational(1), makeNumber(1)});
+  SolveResult S = Solver.solve(R);
+  ASSERT_FALSE(S.failed());
+  EXPECT_GE(evalAt(S.Closed, 64), 2.0 * 64 * 64); // true ~ 2 n^2
+  EXPECT_LE(evalAt(S.Closed, 64), 16.0 * 64 * 64);
+}
+
+TEST_F(DiffEqTest, DivideAndConquerLeafHeavy) {
+  // f(n) = 3 f(n/2) + n, f(1) = 1: a > b^d, f(n) = O(n^{log2 3}).
+  Recurrence R;
+  R.Function = "f";
+  R.Var = "n";
+  R.DivideTerms.push_back({Rational(3), Rational(2)});
+  R.Additive = n();
+  R.Boundaries.push_back({Rational(1), makeNumber(1)});
+  SolveResult S = Solver.solve(R);
+  ASSERT_FALSE(S.failed());
+  auto F = [](auto &&Self, double N) -> double {
+    if (N <= 1)
+      return 1;
+    return 3 * Self(Self, N / 2) + N;
+  };
+  EXPECT_GE(evalAt(S.Closed, 256), F(F, 256));
+}
+
+TEST_F(DiffEqTest, NoBoundaryMeansInfinity) {
+  // No base case: a non-terminating branch; the paper maps this to
+  // "infinite work" so the goal is always parallelized.
+  Recurrence R;
+  R.Function = "f";
+  R.Var = "n";
+  R.ShiftTerms.push_back({Rational(1), Rational(1)});
+  R.Additive = makeNumber(1);
+  SolveResult S = Solver.solve(R);
+  EXPECT_TRUE(S.failed());
+}
+
+TEST_F(DiffEqTest, MixedShiftAndDivideFails) {
+  Recurrence R;
+  R.Function = "f";
+  R.Var = "n";
+  R.ShiftTerms.push_back({Rational(1), Rational(1)});
+  R.DivideTerms.push_back({Rational(1), Rational(2)});
+  R.Additive = makeNumber(1);
+  R.Boundaries.push_back({Rational(0), makeNumber(1)});
+  EXPECT_TRUE(Solver.solve(R).failed());
+}
+
+TEST_F(DiffEqTest, UnresolvedCalleeFails) {
+  Recurrence R;
+  R.Function = "f";
+  R.Var = "n";
+  R.ShiftTerms.push_back({Rational(1), Rational(1)});
+  R.Additive = makeCall("unknown", {n()});
+  R.Boundaries.push_back({Rational(0), makeNumber(1)});
+  EXPECT_TRUE(Solver.solve(R).failed());
+}
+
+TEST_F(DiffEqTest, ParametricBoundaryValue) {
+  // Psi_append(x, y): f(x) = f(x-1) + 1, f(0) = y  =>  x + y.
+  Recurrence R;
+  R.Function = "psi:append";
+  R.Var = "x";
+  R.ShiftTerms.push_back({Rational(1), Rational(1)});
+  R.Additive = makeNumber(1);
+  R.Boundaries.push_back({Rational(0), makeVar("y")});
+  SolveResult S = Solver.solve(R);
+  ASSERT_FALSE(S.failed());
+  auto V = evaluate(S.Closed, {{"x", 5}, {"y", 3}});
+  ASSERT_TRUE(V.has_value());
+  EXPECT_DOUBLE_EQ(*V, 8.0);
+}
+
+TEST_F(DiffEqTest, MultipleBoundariesTakeMax) {
+  // f(n) = f(n-1) + 1 with f(0) = 1 and f(1) = 5: base must use the max
+  // value for soundness.
+  Recurrence R;
+  R.Function = "f";
+  R.Var = "n";
+  R.ShiftTerms.push_back({Rational(1), Rational(1)});
+  R.Additive = makeNumber(1);
+  R.Boundaries.push_back({Rational(0), makeNumber(1)});
+  R.Boundaries.push_back({Rational(1), makeNumber(5)});
+  SolveResult S = Solver.solve(R);
+  ASSERT_FALSE(S.failed());
+  EXPECT_FALSE(S.Exact);
+  // f(2) truly is 6 (via f(1) = 5); bound must be >= 6.
+  EXPECT_GE(evalAt(S.Closed, 2), 6.0);
+}
+
+TEST_F(DiffEqTest, DisableSchemaFallsThrough) {
+  DiffEqSolver S2;
+  S2.disableSchema("geometric");
+  Recurrence R;
+  R.Function = "f";
+  R.Var = "n";
+  R.ShiftTerms.push_back({Rational(2), Rational(1)});
+  R.Additive = makeNumber(1);
+  R.Boundaries.push_back({Rational(0), makeNumber(1)});
+  EXPECT_TRUE(S2.solve(R).failed());
+  EXPECT_FALSE(Solver.solve(R).failed());
+}
+
+TEST_F(DiffEqTest, InlineCallsEliminatesMutualRecursion) {
+  // even(n) = odd(n-1) + 1; odd(n) = even(n-1) + 1.
+  // After inlining odd into even: even(n) = even(n-2) + 2.
+  std::map<std::string, EquationDef> Defs;
+  Defs["odd"] = EquationDef{
+      {"n"},
+      makeAdd(makeCall("even", {makeSub(n(), makeNumber(1))}), makeNumber(1))};
+  ExprRef EvenRhs =
+      makeAdd(makeCall("odd", {makeSub(n(), makeNumber(1))}), makeNumber(1));
+  ExprRef Reduced = inlineCalls(EvenRhs, Defs, 3);
+  EXPECT_FALSE(containsCall(Reduced, "odd"));
+  auto R = extractRecurrence("even", {"n"}, 0, Reduced);
+  ASSERT_TRUE(R.has_value());
+  ASSERT_EQ(R->ShiftTerms.size(), 1u);
+  EXPECT_EQ(R->ShiftTerms[0].Shift, Rational(2));
+  EXPECT_EQ(exprText(R->Additive), "2");
+}
+
+TEST_F(DiffEqTest, RecurrenceStr) {
+  Recurrence R;
+  R.Function = "f";
+  R.Var = "n";
+  R.ShiftTerms.push_back({Rational(2), Rational(1)});
+  R.Additive = makeNumber(1);
+  R.Boundaries.push_back({Rational(0), makeNumber(1)});
+  EXPECT_EQ(R.str(), "f(n) = 2*f(n - 1) + 1; f(0) = 1");
+}
+
+// Property sweep: the first-order-sum schema is exact for k=1 polynomial
+// additive parts — compare against direct iteration.
+class SumSchemaProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SumSchemaProperty, MatchesDirectIteration) {
+  int Degree = GetParam();
+  Recurrence R;
+  R.Function = "f";
+  R.Var = "n";
+  R.ShiftTerms.push_back({Rational(1), Rational(1)});
+  std::vector<ExprRef> Coeffs;
+  for (int I = 0; I <= Degree; ++I)
+    Coeffs.push_back(makeNumber(I + 1));
+  R.Additive = polynomialExpr(Coeffs, "n");
+  R.Boundaries.push_back({Rational(0), makeNumber(7)});
+  DiffEqSolver Solver;
+  SolveResult S = Solver.solve(R);
+  ASSERT_FALSE(S.failed());
+  EXPECT_TRUE(S.Exact);
+  double F = 7;
+  for (int N = 1; N <= 12; ++N) {
+    double G = 0;
+    for (int I = 0; I <= Degree; ++I)
+      G += (I + 1) * std::pow(N, I);
+    F += G;
+    auto V = evaluate(S.Closed, {{"n", static_cast<double>(N)}});
+    ASSERT_TRUE(V.has_value());
+    EXPECT_NEAR(*V, F, 1e-6) << "n=" << N;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, SumSchemaProperty,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+} // namespace

@@ -1,0 +1,279 @@
+//===- tests/interp_test.cpp - Interpreter tests --------------------------===//
+
+#include "interp/Interpreter.h"
+#include "term/TermWriter.h"
+
+#include <gtest/gtest.h>
+
+using namespace granlog;
+
+namespace {
+
+class InterpTest : public ::testing::Test {
+protected:
+  /// Loads a program and proves a goal; returns success.
+  bool prove(std::string_view Source, std::string_view Goal,
+             InterpOptions Options = InterpOptions()) {
+    Prog.reset();
+    Arena = std::make_unique<TermArena>();
+    Diagnostics Diags;
+    auto P = loadProgram(Source, *Arena, Diags);
+    EXPECT_TRUE(P.has_value()) << Diags.str();
+    if (!P)
+      return false;
+    Prog = std::make_unique<Program>(std::move(*P));
+    Interp = std::make_unique<Interpreter>(*Prog, *Arena, Options);
+    Diagnostics GoalDiags;
+    bool Ok = Interp->solveText(Goal, GoalDiags);
+    EXPECT_FALSE(GoalDiags.hasErrors()) << GoalDiags.str();
+    return Ok;
+  }
+
+  std::unique_ptr<TermArena> Arena;
+  std::unique_ptr<Program> Prog;
+  std::unique_ptr<Interpreter> Interp;
+};
+
+const char *ListLib = R"(
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+nrev([], []).
+nrev([H|L], R) :- nrev(L, R1), append(R1, [H], R).
+len([], 0).
+len([_|T], N) :- len(T, M), N is M + 1.
+)";
+
+TEST_F(InterpTest, FactsAndFailure) {
+  EXPECT_TRUE(prove("p(1).", "p(1)"));
+  EXPECT_FALSE(prove("p(1).", "p(2)"));
+  EXPECT_FALSE(prove("p(1).", "q(1)")); // undefined predicate fails
+}
+
+TEST_F(InterpTest, UnificationBindsOutput) {
+  EXPECT_TRUE(prove(ListLib, "append([1,2], [3], [1,2,3])"));
+  EXPECT_FALSE(prove(ListLib, "append([1,2], [3], [1,2])"));
+  EXPECT_TRUE(prove(ListLib, "append([1,2], [3], X), X == [1,2,3]"));
+}
+
+TEST_F(InterpTest, NaiveReverse) {
+  EXPECT_TRUE(prove(ListLib, "nrev([1,2,3,4], [4,3,2,1])"));
+  EXPECT_TRUE(prove(ListLib, "nrev([1,2,3], R), R == [3,2,1]"));
+}
+
+TEST_F(InterpTest, NrevResolutionCountMatchesPaperFormula) {
+  // Cost_nrev(n) = 0.5 n^2 + 1.5 n + 1 resolutions, exactly, for the
+  // indexed (first-solution) execution.
+  for (int N : {0, 1, 5, 10}) {
+    std::string List = "[";
+    for (int I = 0; I < N; ++I)
+      List += (I ? "," : "") + std::to_string(I);
+    List += "]";
+    ASSERT_TRUE(prove(ListLib, "nrev(" + List + ", _)"));
+    uint64_t Expected = N * N / 2 + (3 * N) / 2 + 1 + (N % 2 ? 1 : 0);
+    // 0.5n^2 + 1.5n + 1 is an integer for all n; compute exactly:
+    Expected = (N * N + 3 * N + 2) / 2;
+    EXPECT_EQ(Interp->counters().Resolutions, Expected) << "n=" << N;
+  }
+}
+
+TEST_F(InterpTest, ArithmeticEvaluation) {
+  EXPECT_TRUE(prove("", "X is 2 + 3 * 4, X =:= 14"));
+  EXPECT_TRUE(prove("", "X is 10 // 3, X =:= 3"));
+  EXPECT_TRUE(prove("", "X is 10 mod 3, X =:= 1"));
+  EXPECT_TRUE(prove("", "X is -7, X < 0"));
+  EXPECT_TRUE(prove("", "X is min(3, 5), X =:= 3"));
+  EXPECT_TRUE(prove("", "X is 2.5 + 1.5, X =:= 4.0"));
+  EXPECT_FALSE(prove("", "_ is 1 / 0"));
+}
+
+TEST_F(InterpTest, FloatFunctions) {
+  EXPECT_TRUE(prove("", "X is sin(0.0), X =:= 0.0"));
+  EXPECT_TRUE(prove("", "X is cos(0.0), X =:= 1.0"));
+  EXPECT_TRUE(prove("", "X is sqrt(16.0), X =:= 4.0"));
+  EXPECT_TRUE(prove("", "X is pi, X > 3.14, X < 3.15"));
+}
+
+TEST_F(InterpTest, ComparisonBuiltins) {
+  EXPECT_TRUE(prove("", "1 < 2, 2 =< 2, 3 > 2, 3 >= 3, 1 =:= 1, 1 =\\= 2"));
+  EXPECT_FALSE(prove("", "2 < 1"));
+}
+
+TEST_F(InterpTest, CutCommitsToFirstClause) {
+  const char *Src = R"(
+    max(X, Y, X) :- X >= Y, !.
+    max(_, Y, Y).
+  )";
+  EXPECT_TRUE(prove(Src, "max(3, 2, M), M == 3"));
+  EXPECT_TRUE(prove(Src, "max(2, 3, M), M == 3"));
+  // Without the cut, max(3,2,2) would succeed through clause 2; the cut
+  // does not block it here because clause 1's head binds M=3 first and
+  // fails the continuation... but a direct check:
+  EXPECT_TRUE(prove(Src, "max(3, 2, 2)")); // clause 2 still reachable
+}
+
+TEST_F(InterpTest, CutPrunesAlternatives) {
+  const char *Src = R"(
+    first([X|_], X) :- !.
+    first(_, none).
+    test(R) :- first([a,b], R).
+  )";
+  EXPECT_TRUE(prove(Src, "test(a)"));
+  // With an unbound output, clause 1 commits via the cut; when the
+  // continuation then fails, the cut forbids falling back to clause 2.
+  EXPECT_FALSE(prove(Src, "first([a,b], R), R == none"));
+  // A call whose head fails before reaching the cut still tries clause 2.
+  EXPECT_TRUE(prove(Src, "first([a,b], none)"));
+}
+
+TEST_F(InterpTest, IfThenElse) {
+  const char *Src = R"(
+    classify(N, small) :- (N < 10 -> true ; fail).
+    sign(N, pos) :- (N > 0 -> true ; fail).
+    sign(N, nonpos) :- (N > 0 -> fail ; true).
+  )";
+  EXPECT_TRUE(prove(Src, "classify(5, small)"));
+  EXPECT_FALSE(prove(Src, "classify(50, small)"));
+  EXPECT_TRUE(prove(Src, "sign(3, pos)"));
+  EXPECT_TRUE(prove(Src, "sign(-3, nonpos)"));
+  EXPECT_FALSE(prove(Src, "sign(-3, pos)"));
+}
+
+TEST_F(InterpTest, NegationAsFailure) {
+  EXPECT_TRUE(prove("p(1).", "\\+ p(2)"));
+  EXPECT_FALSE(prove("p(1).", "\\+ p(1)"));
+}
+
+TEST_F(InterpTest, Disjunction) {
+  EXPECT_TRUE(prove("", "(fail ; true)"));
+  EXPECT_TRUE(prove("p(2).", "(p(1) ; p(2))"));
+  EXPECT_FALSE(prove("", "(fail ; fail)"));
+}
+
+TEST_F(InterpTest, BacktrackingAcrossClauses) {
+  const char *Src = R"(
+    color(red).
+    color(green).
+    color(blue).
+    likes(green).
+  )";
+  EXPECT_TRUE(prove(Src, "color(X), likes(X)"));
+}
+
+TEST_F(InterpTest, TypeTests) {
+  EXPECT_TRUE(prove("", "atom(foo), number(1), integer(2), float(1.5)"));
+  EXPECT_TRUE(prove("", "var(_), nonvar(foo), atomic(1)"));
+  EXPECT_TRUE(prove("", "is_list([1,2]), \\+ is_list([1|_])"));
+}
+
+TEST_F(InterpTest, LengthBuiltin) {
+  EXPECT_TRUE(prove("", "length([a,b,c], N), N =:= 3"));
+  EXPECT_TRUE(prove("", "length(L, 3), L = [1,2,3]"));
+  EXPECT_FALSE(prove("", "length([a|_], _)")); // partial list
+}
+
+TEST_F(InterpTest, FunctorAndArg) {
+  EXPECT_TRUE(prove("", "functor(f(a,b), F, A), F == f, A =:= 2"));
+  EXPECT_TRUE(prove("", "arg(2, f(a,b), X), X == b"));
+  EXPECT_FALSE(prove("", "arg(3, f(a,b), _)"));
+}
+
+TEST_F(InterpTest, GrainTestBuiltin) {
+  EXPECT_TRUE(prove("", "'$grain_leq'([a,b,c], 5, length)"));
+  EXPECT_FALSE(prove("", "'$grain_leq'([a,b,c], 2, length)"));
+  EXPECT_TRUE(prove("", "'$grain_leq'(7, 10, value)"));
+  EXPECT_FALSE(prove("", "'$grain_leq'(12, 10, value)"));
+  EXPECT_GE(Interp->counters().GrainTests, 1u);
+}
+
+TEST_F(InterpTest, ParallelConjunctionSemanticsEqualSequential) {
+  const char *Src = R"(
+    p(X, Y) :- q(X) & r(Y).
+    q(1).
+    r(2).
+  )";
+  EXPECT_TRUE(prove(Src, "p(1, 2)"));
+  EXPECT_FALSE(prove(Src, "p(2, 1)"));
+}
+
+TEST_F(InterpTest, ParallelConjunctionBuildsParNode) {
+  const char *Src = R"(
+    p :- q & r.
+    q.
+    r.
+  )";
+  ASSERT_TRUE(prove(Src, "p"));
+  std::unique_ptr<CostNode> Tree = Interp->takeTree();
+  ASSERT_NE(Tree, nullptr);
+  EXPECT_EQ(Tree->parCount(), 1u);
+  EXPECT_GT(Tree->totalWork(), 0.0);
+}
+
+TEST_F(InterpTest, NestedParallelNodes) {
+  const char *Src = R"(
+    p :- (a & b) & c.
+    a. b. c.
+  )";
+  ASSERT_TRUE(prove(Src, "p"));
+  std::unique_ptr<CostNode> Tree = Interp->takeTree();
+  // '&' chains are flattened: one Par with three branches.
+  ASSERT_NE(Tree, nullptr);
+  EXPECT_EQ(Tree->parCount(), 1u);
+}
+
+TEST_F(InterpTest, BetweenGeneratesAndChecks) {
+  EXPECT_TRUE(prove("", "between(1, 5, 3)"));
+  EXPECT_FALSE(prove("", "between(1, 5, 9)"));
+  EXPECT_TRUE(prove("", "between(1, 5, X), X =:= 1"));
+  // Backtracks through the range to find a value satisfying the filter.
+  EXPECT_TRUE(prove("", "between(1, 10, X), X mod 7 =:= 0, X > 1"));
+  EXPECT_FALSE(prove("", "between(3, 2, _)")); // empty range
+}
+
+TEST_F(InterpTest, FindallCollectsAllSolutions) {
+  const char *Src = R"(
+    color(red).
+    color(green).
+    color(blue).
+  )";
+  EXPECT_TRUE(prove(Src, "findall(C, color(C), [red, green, blue])"));
+  EXPECT_TRUE(prove(Src, "findall(C, color(C), L), length(L, 3)"));
+  EXPECT_TRUE(prove("", "findall(X, fail, [])"));
+}
+
+TEST_F(InterpTest, FindallWithTemplate) {
+  EXPECT_TRUE(prove("", "findall(p(X, Y), (between(1, 2, X), "
+                        "between(1, 2, Y)), L), length(L, 4)"));
+}
+
+TEST_F(InterpTest, FindallDoesNotLeakBindings) {
+  EXPECT_TRUE(
+      prove("p(1).", "findall(X, p(X), _), var(Y), Y = 2, Y =:= 2"));
+}
+
+TEST_F(InterpTest, DeepRecursionOnLargeStack) {
+  // 100k-deep recursion exercises the dedicated large-stack thread.
+  const char *Src = R"(
+    count(0).
+    count(N) :- N > 0, M is N - 1, count(M).
+  )";
+  EXPECT_TRUE(prove(Src, "count(100000)"));
+  EXPECT_EQ(Interp->counters().Resolutions, 100001u);
+}
+
+TEST_F(InterpTest, StepLimitAborts) {
+  InterpOptions Options;
+  Options.StepLimit = 1000;
+  EXPECT_FALSE(prove("loop :- loop.", "loop", Options));
+  EXPECT_TRUE(Interp->aborted());
+}
+
+TEST_F(InterpTest, CountersTrackWork) {
+  ASSERT_TRUE(prove(ListLib, "nrev([1,2,3], _)"));
+  const InterpCounters &C = Interp->counters();
+  EXPECT_GT(C.Resolutions, 0u);
+  EXPECT_GT(C.Unifications, 0u);
+  EXPECT_GT(C.WorkUnits, 0.0);
+  EXPECT_GE(C.Attempts, C.Resolutions);
+}
+
+} // namespace

@@ -1,0 +1,200 @@
+//===- tests/measures_test.cpp - Size measure unit tests ------------------===//
+//
+// Direct tests of the |.|_m functions of Section 3 (ground sizes, minimum
+// pattern sizes, measure inference) and of the trust-expression parser.
+//
+//===----------------------------------------------------------------------===//
+
+#include "reader/Parser.h"
+#include "size/Measures.h"
+#include "size/SizeAnalysis.h"
+
+#include <gtest/gtest.h>
+
+using namespace granlog;
+
+namespace {
+
+class MeasuresTest : public ::testing::Test {
+protected:
+  const Term *term(std::string_view Text) {
+    const Term *T = parseTermText(Text, Arena, Diags);
+    EXPECT_NE(T, nullptr) << Diags.str();
+    return T;
+  }
+
+  std::optional<int64_t> size(std::string_view Text, MeasureKind M) {
+    return groundSize(term(Text), M, Arena.symbols());
+  }
+
+  std::optional<int64_t> minSize(std::string_view Text, MeasureKind M) {
+    return minPatternSize(term(Text), M, Arena.symbols());
+  }
+
+  TermArena Arena;
+  Diagnostics Diags;
+};
+
+TEST_F(MeasuresTest, ListLengthOnGroundLists) {
+  // |[a,b]|_list_length = 2 (the paper's own example).
+  EXPECT_EQ(size("[a, b]", MeasureKind::ListLength), 2);
+  EXPECT_EQ(size("[]", MeasureKind::ListLength), 0);
+  EXPECT_EQ(size("[1,2,3,4,5]", MeasureKind::ListLength), 5);
+}
+
+TEST_F(MeasuresTest, ListLengthUndefinedElsewhere) {
+  // |f(a)|_list_length = bottom (the paper's example).
+  EXPECT_FALSE(size("f(a)", MeasureKind::ListLength).has_value());
+  EXPECT_FALSE(size("[1|foo]", MeasureKind::ListLength).has_value());
+}
+
+TEST_F(MeasuresTest, TermSizeCountsSymbols) {
+  EXPECT_EQ(size("a", MeasureKind::TermSize), 1);
+  EXPECT_EQ(size("f(a)", MeasureKind::TermSize), 2);
+  EXPECT_EQ(size("f(a, g(b))", MeasureKind::TermSize), 4);
+  // [a] = '.'(a, []) = 3 symbols.
+  EXPECT_EQ(size("[a]", MeasureKind::TermSize), 3);
+}
+
+TEST_F(MeasuresTest, TermDepth) {
+  EXPECT_EQ(size("a", MeasureKind::TermDepth), 0);
+  EXPECT_EQ(size("f(a)", MeasureKind::TermDepth), 1);
+  // The paper: diff_term_depth(f(a, g(X)), X) = 2 — i.e. the g branch is
+  // at depth 2.
+  EXPECT_EQ(size("f(a, g(b))", MeasureKind::TermDepth), 2);
+}
+
+TEST_F(MeasuresTest, IntValue) {
+  EXPECT_EQ(size("42", MeasureKind::IntValue), 42);
+  EXPECT_EQ(size("-3", MeasureKind::IntValue), -3);
+  EXPECT_FALSE(size("foo", MeasureKind::IntValue).has_value());
+  EXPECT_FALSE(size("1.5", MeasureKind::IntValue).has_value());
+}
+
+TEST_F(MeasuresTest, VoidAlwaysUndefined) {
+  EXPECT_FALSE(size("42", MeasureKind::Void).has_value());
+}
+
+TEST_F(MeasuresTest, NonGroundSizesUndefined) {
+  EXPECT_FALSE(size("[a|T]", MeasureKind::ListLength).has_value());
+  EXPECT_FALSE(size("f(X)", MeasureKind::TermSize).has_value());
+}
+
+TEST_F(MeasuresTest, MinPatternSizeListLength) {
+  // A pattern with an open tail matches lists of length >= visible cells.
+  EXPECT_EQ(minSize("[A|T]", MeasureKind::ListLength), 1);
+  EXPECT_EQ(minSize("[A, B|T]", MeasureKind::ListLength), 2);
+  EXPECT_EQ(minSize("[]", MeasureKind::ListLength), 0);
+}
+
+TEST_F(MeasuresTest, MinPatternSizeTermSize) {
+  // leaf(X): the functor plus at least a constant for X.
+  EXPECT_EQ(minSize("leaf(X)", MeasureKind::TermSize), 2);
+  EXPECT_EQ(minSize("node(L, R)", MeasureKind::TermSize), 3);
+  EXPECT_EQ(minSize("X", MeasureKind::TermSize), 1);
+}
+
+TEST_F(MeasuresTest, MinPatternSizeIntValueNeedsGround) {
+  EXPECT_EQ(minSize("7", MeasureKind::IntValue), 7);
+  EXPECT_FALSE(minSize("X", MeasureKind::IntValue).has_value());
+}
+
+TEST_F(MeasuresTest, MeasureNamesRoundTrip) {
+  EXPECT_STREQ(measureName(MeasureKind::ListLength), "length");
+  EXPECT_STREQ(measureName(MeasureKind::TermSize), "size");
+  EXPECT_STREQ(measureName(MeasureKind::TermDepth), "depth");
+  EXPECT_STREQ(measureName(MeasureKind::IntValue), "value");
+  EXPECT_STREQ(measureName(MeasureKind::Void), "void");
+}
+
+TEST_F(MeasuresTest, MeasureRankOrdering) {
+  EXPECT_GT(measureRank(MeasureKind::ListLength),
+            measureRank(MeasureKind::IntValue));
+  EXPECT_GT(measureRank(MeasureKind::IntValue),
+            measureRank(MeasureKind::TermSize));
+  EXPECT_GT(measureRank(MeasureKind::TermSize),
+            measureRank(MeasureKind::Void));
+}
+
+class MeasureInferenceTest : public ::testing::Test {
+protected:
+  std::vector<MeasureKind> infer(std::string_view Source,
+                                 std::string_view Pred, unsigned Arity) {
+    auto P = loadProgram(Source, Arena, Diags);
+    EXPECT_TRUE(P.has_value()) << Diags.str();
+    const Predicate *PP = P->lookup(Pred, Arity);
+    EXPECT_NE(PP, nullptr);
+    return inferMeasures(*PP, Arena.symbols());
+  }
+
+  TermArena Arena;
+  Diagnostics Diags;
+};
+
+TEST_F(MeasureInferenceTest, ListPatternsGiveLength) {
+  auto M = infer("len([], 0).\nlen([_|T], N) :- len(T, M), N is M + 1.",
+                 "len", 2);
+  EXPECT_EQ(M[0], MeasureKind::ListLength);
+  EXPECT_EQ(M[1], MeasureKind::IntValue);
+}
+
+TEST_F(MeasureInferenceTest, ArithmeticGivesValue) {
+  auto M = infer("tick(N) :- N > 0.", "tick", 1);
+  EXPECT_EQ(M[0], MeasureKind::IntValue);
+}
+
+TEST_F(MeasureInferenceTest, DefaultIsTermSize) {
+  auto M = infer("any(_).", "any", 1);
+  EXPECT_EQ(M[0], MeasureKind::TermSize);
+}
+
+TEST_F(MeasureInferenceTest, SharedVariableUnifiesMeasures) {
+  // append([], L, L): the pass-through clause connects positions 2 and 3.
+  auto M = infer("app([], L, L).\napp([H|T], L, [H|R]) :- app(T, L, R).",
+                 "app", 3);
+  EXPECT_EQ(M[1], MeasureKind::ListLength);
+  EXPECT_EQ(M[2], MeasureKind::ListLength);
+}
+
+TEST_F(MeasureInferenceTest, DeclarationWins) {
+  auto M = infer(":- measure(len(size, void)).\nlen([], 0).", "len", 2);
+  EXPECT_EQ(M[0], MeasureKind::TermSize);
+  EXPECT_EQ(M[1], MeasureKind::Void);
+}
+
+class TrustExprTest : public ::testing::Test {
+protected:
+  double eval(std::string_view Text,
+              std::map<std::string, double> Env = {{"n1", 4}, {"n2", 5}}) {
+    const Term *T = parseTermText(Text, Arena, Diags);
+    EXPECT_NE(T, nullptr) << Diags.str();
+    auto V = evaluate(trustTermToExpr(T, Arena.symbols()), Env);
+    EXPECT_TRUE(V.has_value());
+    return V.value_or(-1);
+  }
+
+  TermArena Arena;
+  Diagnostics Diags;
+};
+
+TEST_F(TrustExprTest, Arithmetic) {
+  EXPECT_DOUBLE_EQ(eval("n1 + n2 + 1"), 10.0);
+  EXPECT_DOUBLE_EQ(eval("n1 * n2"), 20.0);
+  EXPECT_DOUBLE_EQ(eval("n1 - 1"), 3.0);
+  EXPECT_DOUBLE_EQ(eval("n1 / 2"), 2.0);
+  EXPECT_DOUBLE_EQ(eval("2 ^ n1"), 16.0);
+  EXPECT_DOUBLE_EQ(eval("max(n1, n2)"), 5.0);
+  EXPECT_DOUBLE_EQ(eval("min(n1, n2)"), 4.0);
+  EXPECT_DOUBLE_EQ(eval("log2(n1)"), 2.0);
+}
+
+TEST_F(TrustExprTest, UnknownsBecomeInfinity) {
+  TermArena A2;
+  Diagnostics D2;
+  const Term *T = parseTermText("mystery(n1)", A2, D2);
+  EXPECT_TRUE(trustTermToExpr(T, A2.symbols())->isInfinity());
+  const Term *T2 = parseTermText("inf", A2, D2);
+  EXPECT_TRUE(trustTermToExpr(T2, A2.symbols())->isInfinity());
+}
+
+} // namespace

@@ -1,0 +1,115 @@
+//===- tests/program_print_test.cpp - Printer and misc API tests ----------===//
+
+#include "program/CallGraph.h"
+#include "program/Program.h"
+#include "reader/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace granlog;
+
+namespace {
+
+TEST(ProgramPrintTest, FactsAndRules) {
+  TermArena Arena;
+  Diagnostics Diags;
+  auto P = loadProgram("p(1).\nq(X) :- p(X), p(X).", Arena, Diags);
+  ASSERT_TRUE(P) << Diags.str();
+  std::string Text = programText(*P);
+  EXPECT_NE(Text.find("p(1)."), std::string::npos);
+  EXPECT_NE(Text.find("q(X) :-"), std::string::npos);
+  EXPECT_NE(Text.find("p(X),p(X)."), std::string::npos);
+}
+
+TEST(ProgramPrintTest, RoundTripThroughLoader) {
+  // programText output must itself load (clauses only; no directives).
+  TermArena Arena;
+  Diagnostics Diags;
+  auto P = loadProgram(R"(
+    app([], L, L).
+    app([H|T], L, [H|R]) :- app(T, L, R).
+    rev([], []).
+    rev([H|T], R) :- rev(T, R1), app(R1, [H], R).
+  )",
+                       Arena, Diags);
+  ASSERT_TRUE(P) << Diags.str();
+  std::string Text = programText(*P);
+
+  TermArena Arena2;
+  Diagnostics Diags2;
+  auto P2 = loadProgram(Text, Arena2, Diags2);
+  ASSERT_TRUE(P2) << Diags2.str() << "\nsource was:\n" << Text;
+  EXPECT_EQ(P2->lookup("app", 3)->clauses().size(), 2u);
+  EXPECT_EQ(P2->lookup("rev", 2)->clauses().size(), 2u);
+}
+
+TEST(ProgramPrintTest, GuardedBodyRoundTrips) {
+  TermArena Arena;
+  Diagnostics Diags;
+  auto P = loadProgram(
+      "p(X) :- ( '$grain_leq'(X, 4, length) -> q(X), r(X) ; q(X) & r(X) )."
+      "\nq(_).\nr(_).",
+      Arena, Diags);
+  ASSERT_TRUE(P) << Diags.str();
+  std::string Text = programText(*P);
+  TermArena Arena2;
+  Diagnostics Diags2;
+  auto P2 = loadProgram(Text, Arena2, Diags2);
+  ASSERT_TRUE(P2) << Diags2.str() << "\nsource was:\n" << Text;
+}
+
+TEST(SymbolTableTest, InternAndLookup) {
+  SymbolTable Symbols;
+  Symbol A = Symbols.intern("foo");
+  Symbol B = Symbols.intern("foo");
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(Symbols.text(A), "foo");
+  EXPECT_FALSE(Symbols.lookup("bar").isValid());
+  EXPECT_TRUE(Symbols.lookup("foo").isValid());
+  EXPECT_EQ(Symbols.size(), 1u);
+  Functor F{A, 3};
+  EXPECT_EQ(Symbols.text(F), "foo/3");
+}
+
+TEST(CallGraphTest, SelfRecursionWithoutSelfCallNotRecursive) {
+  TermArena Arena;
+  Diagnostics Diags;
+  auto P = loadProgram("p(X) :- q(X).\nq(X) :- r(X).\nr(1).", Arena, Diags);
+  ASSERT_TRUE(P) << Diags.str();
+  CallGraph CG(*P);
+  Functor Q{Arena.symbols().intern("q"), 1};
+  EXPECT_FALSE(CG.isRecursive(Q));
+  EXPECT_EQ(CG.numSCCs(), 3u);
+}
+
+TEST(CallGraphTest, DiamondTopologicalOrder) {
+  TermArena Arena;
+  Diagnostics Diags;
+  auto P = loadProgram(R"(
+    top(X) :- left(X), right(X).
+    left(X) :- bottom(X).
+    right(X) :- bottom(X).
+    bottom(_).
+  )",
+                       Arena, Diags);
+  ASSERT_TRUE(P) << Diags.str();
+  CallGraph CG(*P);
+  auto Id = [&](const char *N, unsigned A) {
+    return CG.sccId(Functor{Arena.symbols().intern(N), A});
+  };
+  EXPECT_LT(Id("bottom", 1), Id("left", 1));
+  EXPECT_LT(Id("bottom", 1), Id("right", 1));
+  EXPECT_LT(Id("left", 1), Id("top", 1));
+  EXPECT_LT(Id("right", 1), Id("top", 1));
+}
+
+TEST(ClauseTextTest, FactHasNoBody) {
+  TermArena Arena;
+  Diagnostics Diags;
+  auto P = loadProgram("f(a, b).", Arena, Diags);
+  ASSERT_TRUE(P) << Diags.str();
+  EXPECT_EQ(clauseText(P->lookup("f", 2)->clauses()[0], P->symbols()),
+            "f(a,b).");
+}
+
+} // namespace

@@ -1,0 +1,212 @@
+//===- tests/program_test.cpp - Program loading and call graph tests ------===//
+
+#include "program/CallGraph.h"
+#include "program/Program.h"
+
+#include <gtest/gtest.h>
+
+using namespace granlog;
+
+namespace {
+
+const char *NrevSource = R"(
+:- mode(nrev(i, o)).
+:- mode(append(i, i, o)).
+
+nrev([], []).
+nrev([H|L], R) :- nrev(L, R1), append(R1, [H], R).
+
+append([], L, L).
+append([H|L1], L2, [H|L3]) :- append(L1, L2, L3).
+)";
+
+class ProgramTest : public ::testing::Test {
+protected:
+  std::optional<Program> load(std::string_view Source) {
+    return loadProgram(Source, Arena, Diags);
+  }
+
+  Functor functor(std::string_view Name, unsigned Arity) {
+    return Functor{Arena.symbols().intern(Name), Arity};
+  }
+
+  TermArena Arena;
+  Diagnostics Diags;
+};
+
+TEST_F(ProgramTest, LoadsClausesAndFacts) {
+  auto P = load(NrevSource);
+  ASSERT_TRUE(P) << Diags.str();
+  const Predicate *Nrev = P->lookup("nrev", 2);
+  ASSERT_NE(Nrev, nullptr);
+  EXPECT_EQ(Nrev->clauses().size(), 2u);
+  // Fact bodies are 'true' with no body literals.
+  EXPECT_TRUE(Nrev->clauses()[0].bodyLiterals().empty());
+  EXPECT_EQ(Nrev->clauses()[1].bodyLiterals().size(), 2u);
+}
+
+TEST_F(ProgramTest, ModeDirectiveTemplateForm) {
+  auto P = load(NrevSource);
+  ASSERT_TRUE(P) << Diags.str();
+  const Predicate *Nrev = P->lookup("nrev", 2);
+  ASSERT_TRUE(Nrev->hasDeclaredModes());
+  EXPECT_EQ(Nrev->declaredModes()[0], ArgMode::In);
+  EXPECT_EQ(Nrev->declaredModes()[1], ArgMode::Out);
+}
+
+TEST_F(ProgramTest, ModeDirectiveIndicatorForm) {
+  auto P = load(":- mode(p/3, [i, o, i]).\np(1, 2, 3).");
+  ASSERT_TRUE(P) << Diags.str();
+  const Predicate *Pred = P->lookup("p", 3);
+  ASSERT_TRUE(Pred->hasDeclaredModes());
+  EXPECT_EQ(Pred->declaredModes()[1], ArgMode::Out);
+  EXPECT_EQ(Pred->declaredModes()[2], ArgMode::In);
+}
+
+TEST_F(ProgramTest, MeasureDirective) {
+  auto P = load(":- measure(p(length, value)).\np([], 0).");
+  ASSERT_TRUE(P) << Diags.str();
+  const Predicate *Pred = P->lookup("p", 2);
+  ASSERT_TRUE(Pred->hasDeclaredMeasures());
+  EXPECT_EQ(Pred->declaredMeasures()[0], MeasureKind::ListLength);
+  EXPECT_EQ(Pred->declaredMeasures()[1], MeasureKind::IntValue);
+}
+
+TEST_F(ProgramTest, ParallelSequentialDirectives) {
+  auto P = load(":- parallel(p/1).\n:- sequential(q/1).\np(1).\nq(2).");
+  ASSERT_TRUE(P) << Diags.str();
+  EXPECT_EQ(P->lookup("p", 1)->parallelDecl(), ParallelDecl::Parallel);
+  EXPECT_EQ(P->lookup("q", 1)->parallelDecl(), ParallelDecl::Sequential);
+}
+
+TEST_F(ProgramTest, EntryDirective) {
+  auto P = load(":- entry(main(10)).\nmain(N) :- N > 1.");
+  ASSERT_TRUE(P) << Diags.str();
+  ASSERT_EQ(P->entryPoints().size(), 1u);
+}
+
+TEST_F(ProgramTest, ModeArityMismatchIsError) {
+  auto P = load(":- mode(p/2, [i]).\np(1, 2).");
+  EXPECT_FALSE(P);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST_F(ProgramTest, InvalidClauseHeadIsError) {
+  auto P = load("42 :- true.");
+  EXPECT_FALSE(P);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST_F(ProgramTest, FlattenLooksThroughControl) {
+  auto P = load("p(X) :- (a(X) -> b(X) ; c(X)), d(X) & e(X), \\+ f(X).");
+  ASSERT_TRUE(P) << Diags.str();
+  const Clause &C = P->lookup("p", 1)->clauses()[0];
+  ASSERT_EQ(C.bodyLiterals().size(), 6u);
+}
+
+TEST_F(ProgramTest, BuiltinsRecognized) {
+  SymbolTable &Symbols = Arena.symbols();
+  auto F = [&](const char *Name, unsigned Arity) {
+    return Functor{Symbols.intern(Name), Arity};
+  };
+  EXPECT_TRUE(isBuiltinFunctor(F("is", 2), Symbols));
+  EXPECT_TRUE(isBuiltinFunctor(F(">", 2), Symbols));
+  EXPECT_TRUE(isBuiltinFunctor(F("true", 0), Symbols));
+  EXPECT_TRUE(isBuiltinFunctor(F("!", 0), Symbols));
+  EXPECT_FALSE(isBuiltinFunctor(F("append", 3), Symbols));
+  EXPECT_TRUE(isControlFunctor(F(",", 2), Symbols));
+  EXPECT_TRUE(isControlFunctor(F("&", 2), Symbols));
+  EXPECT_FALSE(isControlFunctor(F("f", 2), Symbols));
+}
+
+TEST_F(ProgramTest, CallGraphEdges) {
+  auto P = load(NrevSource);
+  ASSERT_TRUE(P) << Diags.str();
+  CallGraph CG(*P);
+  Functor Nrev = functor("nrev", 2);
+  Functor Append = functor("append", 3);
+  const std::vector<Functor> &Out = CG.callees(Nrev);
+  ASSERT_EQ(Out.size(), 2u);
+  EXPECT_EQ(Out[0], Nrev);
+  EXPECT_EQ(Out[1], Append);
+  EXPECT_EQ(CG.callees(Append).size(), 1u);
+}
+
+TEST_F(ProgramTest, SCCAndRecursion) {
+  auto P = load(NrevSource);
+  ASSERT_TRUE(P) << Diags.str();
+  CallGraph CG(*P);
+  Functor Nrev = functor("nrev", 2);
+  Functor Append = functor("append", 3);
+  EXPECT_TRUE(CG.isRecursive(Nrev));
+  EXPECT_TRUE(CG.isRecursive(Append));
+  EXPECT_NE(CG.sccId(Nrev), CG.sccId(Append));
+  // Callee-first: append's SCC must come before nrev's.
+  EXPECT_LT(CG.sccId(Append), CG.sccId(Nrev));
+}
+
+TEST_F(ProgramTest, TopologicalOrderCalleesFirst) {
+  auto P = load(NrevSource);
+  ASSERT_TRUE(P) << Diags.str();
+  CallGraph CG(*P);
+  const std::vector<Functor> &Order = CG.topologicalOrder();
+  ASSERT_EQ(Order.size(), 2u);
+  EXPECT_EQ(Order[0], functor("append", 3));
+  EXPECT_EQ(Order[1], functor("nrev", 2));
+}
+
+TEST_F(ProgramTest, MutualRecursionSCC) {
+  auto P = load(R"(
+    even(0).
+    even(N) :- N > 0, M is N - 1, odd(M).
+    odd(N) :- N > 0, M is N - 1, even(M).
+  )");
+  ASSERT_TRUE(P) << Diags.str();
+  CallGraph CG(*P);
+  Functor Even = functor("even", 1);
+  Functor Odd = functor("odd", 1);
+  EXPECT_EQ(CG.sccId(Even), CG.sccId(Odd));
+  EXPECT_TRUE(CG.isRecursive(Even));
+  EXPECT_EQ(CG.sccMembers(CG.sccId(Even)).size(), 2u);
+}
+
+TEST_F(ProgramTest, ClauseClassification) {
+  auto P = load(R"(
+    even(0).
+    even(N) :- N > 0, M is N - 1, odd(M).
+    odd(N) :- N > 0, M is N - 1, even(M).
+    nrev([], []).
+    nrev([H|L], R) :- nrev(L, R1), append(R1, [H], R).
+    append([], L, L).
+    append([H|L1], L2, [H|L3]) :- append(L1, L2, L3).
+  )");
+  ASSERT_TRUE(P) << Diags.str();
+  CallGraph CG(*P);
+  Functor Even = functor("even", 1);
+  Functor Nrev = functor("nrev", 2);
+  EXPECT_EQ(CG.classifyClause(Even, P->lookup("even", 1)->clauses()[0]),
+            ClauseRecursion::Nonrecursive);
+  EXPECT_EQ(CG.classifyClause(Even, P->lookup("even", 1)->clauses()[1]),
+            ClauseRecursion::Mutual);
+  EXPECT_EQ(CG.classifyClause(Nrev, P->lookup("nrev", 2)->clauses()[1]),
+            ClauseRecursion::Simple);
+}
+
+TEST_F(ProgramTest, NonRecursivePredicateNotRecursive) {
+  auto P = load("p(X) :- q(X).\nq(1).");
+  ASSERT_TRUE(P) << Diags.str();
+  CallGraph CG(*P);
+  EXPECT_FALSE(CG.isRecursive(functor("p", 1)));
+  EXPECT_FALSE(CG.isRecursive(functor("q", 1)));
+  // q defined before use still must come first topologically.
+  EXPECT_LT(CG.sccId(functor("q", 1)), CG.sccId(functor("p", 1)));
+}
+
+TEST_F(ProgramTest, UndefinedCalleeIgnored) {
+  auto P = load("p(X) :- undefined_pred(X).");
+  ASSERT_TRUE(P) << Diags.str();
+  CallGraph CG(*P);
+  EXPECT_TRUE(CG.callees(functor("p", 1)).empty());
+}
+
+} // namespace

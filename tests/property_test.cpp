@@ -1,0 +1,288 @@
+//===- tests/property_test.cpp - Randomized property tests ----------------===//
+//
+// Properties over randomly generated structures:
+//  - expression simplification preserves numeric semantics;
+//  - polynomial extraction round-trips;
+//  - the scheduler's makespan respects the fundamental bounds
+//      max(critical path, work/P) <= T <= work + overheads
+//    and is monotone in the processor count;
+//  - the lexer/parser never crash on arbitrary input and report errors
+//    through Diagnostics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "expr/Expr.h"
+#include "program/Program.h"
+#include "reader/Parser.h"
+#include "runtime/Scheduler.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+#include <random>
+
+using namespace granlog;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Expression properties
+//===----------------------------------------------------------------------===//
+
+/// Builds a random expression over variables x, y with small rational
+/// constants.  Returns both the expression and a parallel "reference
+/// evaluator" tree is unnecessary: we compare the *same* expression before
+/// and after an extra normalization pass.
+ExprRef randomExpr(std::mt19937 &Rng, int Depth) {
+  std::uniform_int_distribution<int> Pick(0, Depth <= 0 ? 2 : 7);
+  switch (Pick(Rng)) {
+  case 0:
+    return makeNumber(Rational(static_cast<int64_t>(Rng() % 7),
+                               1 + static_cast<int64_t>(Rng() % 3)));
+  case 1:
+    return makeVar("x");
+  case 2:
+    return makeVar("y");
+  case 3:
+    return makeAdd(randomExpr(Rng, Depth - 1), randomExpr(Rng, Depth - 1));
+  case 4:
+    return makeMul(randomExpr(Rng, Depth - 1), randomExpr(Rng, Depth - 1));
+  case 5:
+    return makeMax(randomExpr(Rng, Depth - 1), randomExpr(Rng, Depth - 1));
+  case 6:
+    return makePow(randomExpr(Rng, Depth - 1),
+                   makeNumber(static_cast<int64_t>(Rng() % 3)));
+  default:
+    return makeLog2(randomExpr(Rng, Depth - 1));
+  }
+}
+
+/// Re-normalizes an expression by rebuilding it through the factories.
+ExprRef renormalize(const ExprRef &E) {
+  switch (E->kind()) {
+  case ExprKind::Add: {
+    std::vector<ExprRef> Ops;
+    for (const ExprRef &Op : E->operands())
+      Ops.push_back(renormalize(Op));
+    return makeAdd(std::move(Ops));
+  }
+  case ExprKind::Mul: {
+    std::vector<ExprRef> Ops;
+    for (const ExprRef &Op : E->operands())
+      Ops.push_back(renormalize(Op));
+    return makeMul(std::move(Ops));
+  }
+  case ExprKind::Max: {
+    std::vector<ExprRef> Ops;
+    for (const ExprRef &Op : E->operands())
+      Ops.push_back(renormalize(Op));
+    return makeMax(std::move(Ops));
+  }
+  case ExprKind::Min: {
+    std::vector<ExprRef> Ops;
+    for (const ExprRef &Op : E->operands())
+      Ops.push_back(renormalize(Op));
+    return makeMin(std::move(Ops));
+  }
+  case ExprKind::Pow:
+    return makePow(renormalize(E->base()), renormalize(E->exponent()));
+  case ExprKind::Log2:
+    return makeLog2(renormalize(E->base()));
+  default:
+    return E;
+  }
+}
+
+class ExprProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ExprProperty, RenormalizationPreservesValue) {
+  std::mt19937 Rng(GetParam());
+  for (int Trial = 0; Trial != 50; ++Trial) {
+    ExprRef E = randomExpr(Rng, 4);
+    ExprRef R = renormalize(E);
+    for (double X : {0.0, 1.0, 2.5}) {
+      for (double Y : {0.5, 3.0}) {
+        std::map<std::string, double> Env{{"x", X}, {"y", Y}};
+        std::optional<double> V1 = evaluate(E, Env);
+        std::optional<double> V2 = evaluate(R, Env);
+        ASSERT_EQ(V1.has_value(), V2.has_value());
+        if (V1 && std::isfinite(*V1)) {
+          EXPECT_NEAR(*V1, *V2, 1e-9 + std::fabs(*V1) * 1e-12)
+              << exprText(E) << "  vs  " << exprText(R);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(ExprProperty, SubstituteVarThenEvaluateCommutes) {
+  std::mt19937 Rng(GetParam() + 100);
+  for (int Trial = 0; Trial != 50; ++Trial) {
+    ExprRef E = randomExpr(Rng, 3);
+    // Substitute x := y + 1 and compare against direct evaluation.
+    ExprRef S = substituteVar(E, "x", makeAdd(makeVar("y"), makeNumber(1)));
+    for (double Y : {0.0, 1.5, 4.0}) {
+      std::optional<double> Direct =
+          evaluate(E, {{"x", Y + 1.0}, {"y", Y}});
+      std::optional<double> Subst = evaluate(S, {{"y", Y}});
+      ASSERT_EQ(Direct.has_value(), Subst.has_value());
+      if (Direct && std::isfinite(*Direct)) {
+        EXPECT_NEAR(*Direct, *Subst, 1e-9 + std::fabs(*Direct) * 1e-12);
+      }
+    }
+  }
+}
+
+TEST_P(ExprProperty, PolynomialRoundTripPreservesValue) {
+  std::mt19937 Rng(GetParam() + 200);
+  for (int Trial = 0; Trial != 50; ++Trial) {
+    ExprRef E = randomExpr(Rng, 3);
+    std::optional<std::vector<ExprRef>> Poly = polynomialIn(E, "x");
+    if (!Poly)
+      continue; // not polynomial in x: nothing to check
+    ExprRef Back = polynomialExpr(*Poly, "x");
+    for (double X : {0.0, 1.0, 3.0}) {
+      std::optional<double> V1 = evaluate(E, {{"x", X}, {"y", 2.0}});
+      std::optional<double> V2 = evaluate(Back, {{"x", X}, {"y", 2.0}});
+      ASSERT_EQ(V1.has_value(), V2.has_value());
+      if (V1 && std::isfinite(*V1)) {
+        EXPECT_NEAR(*V1, *V2, 1e-9 + std::fabs(*V1) * 1e-12)
+            << exprText(E);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExprProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+//===----------------------------------------------------------------------===//
+// Scheduler properties
+//===----------------------------------------------------------------------===//
+
+void buildRandomTree(CostTreeBuilder &B, std::mt19937 &Rng, int Depth) {
+  std::uniform_int_distribution<int> Work(1, 20);
+  B.addWork(Work(Rng));
+  if (Depth <= 0)
+    return;
+  std::uniform_int_distribution<int> Branches(0, 3);
+  int K = Branches(Rng);
+  if (K >= 2) {
+    B.beginPar();
+    for (int I = 0; I != K; ++I) {
+      B.beginBranch();
+      buildRandomTree(B, Rng, Depth - 1);
+      B.endBranch();
+    }
+    B.endPar();
+  }
+  B.addWork(Work(Rng));
+}
+
+class SchedulerProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SchedulerProperty, MakespanBounds) {
+  std::mt19937 Rng(GetParam());
+  for (int Trial = 0; Trial != 20; ++Trial) {
+    CostTreeBuilder B;
+    buildRandomTree(B, Rng, 4);
+    std::unique_ptr<CostNode> T = B.finish();
+    for (unsigned P : {1u, 2u, 4u, 8u}) {
+      MachineConfig M;
+      M.Processors = P;
+      M.SpawnOverhead = 2;
+      M.SchedOverhead = 3;
+      M.JoinOverhead = 1;
+      SimResult R = simulate(*T, M);
+      // Lower bounds: critical path; total work / P.
+      EXPECT_GE(R.ParallelTime + 1e-9, R.CriticalPath);
+      EXPECT_GE(R.ParallelTime * P + 1e-9, R.SequentialTime);
+      // Upper bound: everything serialized including all overheads.
+      EXPECT_LE(R.ParallelTime,
+                R.SequentialTime + R.OverheadUnits + 1e-9);
+    }
+  }
+}
+
+TEST_P(SchedulerProperty, DeterministicReplay) {
+  std::mt19937 Rng(GetParam() + 50);
+  CostTreeBuilder B;
+  buildRandomTree(B, Rng, 5);
+  std::unique_ptr<CostNode> T = B.finish();
+  SimResult R1 = simulate(*T, MachineConfig::rolog());
+  SimResult R2 = simulate(*T, MachineConfig::rolog());
+  EXPECT_DOUBLE_EQ(R1.ParallelTime, R2.ParallelTime);
+  EXPECT_EQ(R1.TasksSpawned, R2.TasksSpawned);
+}
+
+TEST_P(SchedulerProperty, ZeroOverheadMonotoneInProcessors) {
+  // With zero overheads, adding workers can only help (greedy scheduling
+  // of a fixed task set; our FIFO order is processor-count independent).
+  std::mt19937 Rng(GetParam() + 99);
+  for (int Trial = 0; Trial != 10; ++Trial) {
+    CostTreeBuilder B;
+    buildRandomTree(B, Rng, 4);
+    std::unique_ptr<CostNode> T = B.finish();
+    MachineConfig M;
+    M.SpawnOverhead = M.SchedOverhead = M.JoinOverhead = 0;
+    double Prev = HUGE_VAL;
+    for (unsigned P : {1u, 2u, 4u, 8u, 16u}) {
+      M.Processors = P;
+      double Time = simulate(*T, M).ParallelTime;
+      EXPECT_LE(Time, Prev * 1.01 + 1e-9) << "P=" << P;
+      Prev = Time;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerProperty,
+                         ::testing::Values(11u, 22u, 33u));
+
+//===----------------------------------------------------------------------===//
+// Reader robustness
+//===----------------------------------------------------------------------===//
+
+class ReaderRobustness : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ReaderRobustness, ArbitraryInputNeverCrashes) {
+  std::mt19937 Rng(GetParam());
+  const char Alphabet[] =
+      "abcXYZ012 ._,()[]|&;:-+*/\\'\"<>=!?\n\t%";
+  for (int Trial = 0; Trial != 200; ++Trial) {
+    std::string Input;
+    std::uniform_int_distribution<int> Len(0, 60);
+    std::uniform_int_distribution<size_t> Ch(0, sizeof(Alphabet) - 2);
+    int N = Len(Rng);
+    for (int I = 0; I != N; ++I)
+      Input += Alphabet[Ch(Rng)];
+    TermArena Arena;
+    Diagnostics Diags;
+    Parser P(Input, Arena, Diags);
+    // Reading all clauses must terminate without crashing.
+    int Guard = 0;
+    while (!P.atEnd() && Guard++ < 1000)
+      P.readClause();
+    EXPECT_LT(Guard, 1000) << Input;
+  }
+}
+
+TEST_P(ReaderRobustness, LoadProgramHandlesGarbage) {
+  std::mt19937 Rng(GetParam() + 7);
+  for (int Trial = 0; Trial != 100; ++Trial) {
+    std::string Input = "p(X) :- q(X).\n";
+    std::uniform_int_distribution<int> Ch(32, 126);
+    for (int I = 0; I != 40; ++I)
+      Input += static_cast<char>(Ch(Rng));
+    TermArena Arena;
+    Diagnostics Diags;
+    // Must either load or report errors — never crash.
+    std::optional<Program> P = loadProgram(Input, Arena, Diags);
+    if (!P) {
+      EXPECT_TRUE(Diags.hasErrors());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReaderRobustness,
+                         ::testing::Values(101u, 202u));
+
+} // namespace

@@ -1,0 +1,233 @@
+//===- tests/runtime_test.cpp - Cost tree and scheduler tests -------------===//
+
+#include "runtime/Scheduler.h"
+
+#include <gtest/gtest.h>
+
+using namespace granlog;
+
+namespace {
+
+/// Convenience: a machine with uniform overhead X.
+MachineConfig machine(unsigned P, double Spawn, double Sched, double Join) {
+  MachineConfig M;
+  M.Processors = P;
+  M.SpawnOverhead = Spawn;
+  M.SchedOverhead = Sched;
+  M.JoinOverhead = Join;
+  return M;
+}
+
+MachineConfig freeMachine(unsigned P) { return machine(P, 0, 0, 0); }
+
+TEST(CostTreeTest, BuilderAccumulatesWork) {
+  CostTreeBuilder B;
+  B.addWork(3);
+  B.addWork(4);
+  std::unique_ptr<CostNode> T = B.finish();
+  EXPECT_DOUBLE_EQ(T->totalWork(), 7.0);
+  // Adjacent work merges into one leaf.
+  ASSERT_EQ(T->Children.size(), 1u);
+}
+
+TEST(CostTreeTest, ParStructure) {
+  CostTreeBuilder B;
+  B.addWork(1);
+  B.beginPar();
+  B.beginBranch();
+  B.addWork(10);
+  B.endBranch();
+  B.beginBranch();
+  B.addWork(20);
+  B.endBranch();
+  B.endPar();
+  B.addWork(2);
+  std::unique_ptr<CostNode> T = B.finish();
+  EXPECT_DOUBLE_EQ(T->totalWork(), 33.0);
+  EXPECT_DOUBLE_EQ(T->criticalPath(), 23.0); // 1 + max(10,20) + 2
+  EXPECT_EQ(T->parCount(), 1u);
+}
+
+TEST(CostTreeTest, UnwindClosesOpenNodes) {
+  CostTreeBuilder B;
+  size_t M = B.mark();
+  B.beginPar();
+  B.beginBranch();
+  B.addWork(5);
+  B.unwindTo(M);
+  B.addWork(1); // lands after the par node, at the root
+  std::unique_ptr<CostNode> T = B.finish();
+  EXPECT_DOUBLE_EQ(T->totalWork(), 6.0);
+}
+
+TEST(SchedulerTest, SequentialTreeIgnoresProcessors) {
+  CostTreeBuilder B;
+  B.addWork(100);
+  std::unique_ptr<CostNode> T = B.finish();
+  SimResult R = simulate(*T, freeMachine(4));
+  EXPECT_DOUBLE_EQ(R.ParallelTime, 100.0);
+  EXPECT_DOUBLE_EQ(R.SequentialTime, 100.0);
+  EXPECT_EQ(R.TasksSpawned, 0u);
+}
+
+TEST(SchedulerTest, PerfectSplitOnTwoProcessors) {
+  CostTreeBuilder B;
+  B.beginPar();
+  for (int I = 0; I != 2; ++I) {
+    B.beginBranch();
+    B.addWork(50);
+    B.endBranch();
+  }
+  B.endPar();
+  std::unique_ptr<CostNode> T = B.finish();
+  SimResult R = simulate(*T, freeMachine(2));
+  EXPECT_DOUBLE_EQ(R.ParallelTime, 50.0);
+  EXPECT_DOUBLE_EQ(R.speedup(), 2.0);
+  EXPECT_EQ(R.TasksSpawned, 1u);
+}
+
+TEST(SchedulerTest, MoreBranchesThanProcessors) {
+  CostTreeBuilder B;
+  B.beginPar();
+  for (int I = 0; I != 8; ++I) {
+    B.beginBranch();
+    B.addWork(10);
+    B.endBranch();
+  }
+  B.endPar();
+  std::unique_ptr<CostNode> T = B.finish();
+  SimResult R = simulate(*T, freeMachine(4));
+  // 8 tasks of 10 units on 4 workers: two waves.
+  EXPECT_DOUBLE_EQ(R.ParallelTime, 20.0);
+}
+
+TEST(SchedulerTest, OverheadsExtendMakespan) {
+  CostTreeBuilder B;
+  B.beginPar();
+  for (int I = 0; I != 2; ++I) {
+    B.beginBranch();
+    B.addWork(50);
+    B.endBranch();
+  }
+  B.endPar();
+  std::unique_ptr<CostNode> T = B.finish();
+  // Spawn 10 (parent), sched 5 (child), join 3 (parent).
+  SimResult R = simulate(*T, machine(2, 10, 5, 3));
+  // Parent: 10 spawn + 50 inline; child starts at 10, runs 5 + 50 => ends
+  // at 65. Parent joins at 65 + 3 = 68.
+  EXPECT_DOUBLE_EQ(R.ParallelTime, 68.0);
+  EXPECT_DOUBLE_EQ(R.OverheadUnits, 18.0);
+  // Sequential time excludes tasking overheads entirely.
+  EXPECT_DOUBLE_EQ(R.SequentialTime, 100.0);
+}
+
+TEST(SchedulerTest, OneProcessorSerializesEverything) {
+  CostTreeBuilder B;
+  B.beginPar();
+  for (int I = 0; I != 3; ++I) {
+    B.beginBranch();
+    B.addWork(10);
+    B.endBranch();
+  }
+  B.endPar();
+  std::unique_ptr<CostNode> T = B.finish();
+  SimResult R = simulate(*T, freeMachine(1));
+  EXPECT_DOUBLE_EQ(R.ParallelTime, 30.0);
+}
+
+TEST(SchedulerTest, NestedParallelism) {
+  // ((10 & 10) & (10 & 10)): 40 units, cp 10.
+  CostTreeBuilder B;
+  B.beginPar();
+  for (int I = 0; I != 2; ++I) {
+    B.beginBranch();
+    B.beginPar();
+    for (int J = 0; J != 2; ++J) {
+      B.beginBranch();
+      B.addWork(10);
+      B.endBranch();
+    }
+    B.endPar();
+    B.endBranch();
+  }
+  B.endPar();
+  std::unique_ptr<CostNode> T = B.finish();
+  EXPECT_DOUBLE_EQ(T->criticalPath(), 10.0);
+  SimResult R = simulate(*T, freeMachine(4));
+  EXPECT_DOUBLE_EQ(R.ParallelTime, 10.0);
+  EXPECT_DOUBLE_EQ(R.speedup(), 4.0);
+}
+
+TEST(SchedulerTest, UnbalancedBranches) {
+  CostTreeBuilder B;
+  B.beginPar();
+  B.beginBranch();
+  B.addWork(90);
+  B.endBranch();
+  B.beginBranch();
+  B.addWork(10);
+  B.endBranch();
+  B.endPar();
+  std::unique_ptr<CostNode> T = B.finish();
+  SimResult R = simulate(*T, freeMachine(4));
+  EXPECT_DOUBLE_EQ(R.ParallelTime, 90.0); // critical path dominates
+}
+
+TEST(SchedulerTest, HighOverheadMakesParallelSlowerThanSequential) {
+  // The paper's core premise: tiny grains + high task overhead =>
+  // parallel execution is a net loss.
+  CostTreeBuilder B;
+  for (int I = 0; I != 10; ++I) {
+    B.beginPar();
+    B.beginBranch();
+    B.addWork(1);
+    B.endBranch();
+    B.beginBranch();
+    B.addWork(1);
+    B.endBranch();
+    B.endPar();
+  }
+  std::unique_ptr<CostNode> T = B.finish();
+  SimResult R = simulate(*T, MachineConfig::rolog());
+  EXPECT_GT(R.ParallelTime, R.SequentialTime);
+  EXPECT_LT(R.speedup(), 1.0);
+}
+
+TEST(SchedulerTest, LargeGrainsGiveGoodSpeedup) {
+  CostTreeBuilder B;
+  B.beginPar();
+  for (int I = 0; I != 4; ++I) {
+    B.beginBranch();
+    B.addWork(100000);
+    B.endBranch();
+  }
+  B.endPar();
+  std::unique_ptr<CostNode> T = B.finish();
+  SimResult R = simulate(*T, MachineConfig::rolog());
+  EXPECT_GT(R.speedup(), 3.5);
+}
+
+TEST(SchedulerTest, DeterministicAcrossRuns) {
+  CostTreeBuilder B;
+  B.beginPar();
+  for (int I = 0; I != 7; ++I) {
+    B.beginBranch();
+    B.addWork(3 + I);
+    B.endBranch();
+  }
+  B.endPar();
+  std::unique_ptr<CostNode> T = B.finish();
+  SimResult R1 = simulate(*T, MachineConfig::andProlog());
+  SimResult R2 = simulate(*T, MachineConfig::andProlog());
+  EXPECT_DOUBLE_EQ(R1.ParallelTime, R2.ParallelTime);
+}
+
+TEST(SchedulerTest, PresetsDifferInOverhead) {
+  MachineConfig R = MachineConfig::rolog();
+  MachineConfig A = MachineConfig::andProlog();
+  EXPECT_GT(R.SpawnOverhead, A.SpawnOverhead);
+  EXPECT_EQ(R.Processors, 4u);
+  EXPECT_EQ(A.Processors, 4u);
+}
+
+} // namespace

@@ -1,0 +1,350 @@
+//===- tests/size_test.cpp - Argument size analysis tests -----------------===//
+//
+// Validates Section 3 / Appendix A of the paper:
+//   Psi_append(x, y) = x + y
+//   Psi_nrev(n)      = n
+//   part/4: both output lists bounded by the input list length
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DepGraph.h"
+#include "analysis/Determinacy.h"
+#include "analysis/Modes.h"
+#include "size/SizeAnalysis.h"
+
+#include <gtest/gtest.h>
+
+using namespace granlog;
+
+namespace {
+
+class SizeTest : public ::testing::Test {
+protected:
+  /// Loads a program and runs the size analysis.
+  void analyze(std::string_view Source) {
+    Prog = loadProgram(Source, Arena, Diags);
+    ASSERT_TRUE(Prog.has_value()) << Diags.str();
+    CG.emplace(*Prog);
+    Modes.emplace(*Prog, *CG);
+    SA.emplace(*Prog, *CG, *Modes);
+    SA->run();
+  }
+
+  Functor functor(std::string_view Name, unsigned Arity) {
+    return Functor{Arena.symbols().intern(Name), Arity};
+  }
+
+  /// Evaluates the output size function of \p F at \p InputSizes.
+  double psiAt(Functor F, unsigned OutPos,
+               const std::map<std::string, double> &Env) {
+    const PredicateSizeInfo &PI = SA->info(F);
+    EXPECT_LT(OutPos, PI.OutputSize.size());
+    EXPECT_TRUE(PI.OutputSize[OutPos]) << "no size function";
+    auto V = evaluate(PI.OutputSize[OutPos], Env);
+    EXPECT_TRUE(V.has_value())
+        << "unevaluable: " << exprText(PI.OutputSize[OutPos]);
+    return V.value_or(-1);
+  }
+
+  TermArena Arena;
+  Diagnostics Diags;
+  std::optional<Program> Prog;
+  std::optional<CallGraph> CG;
+  std::optional<ModeTable> Modes;
+  std::optional<SizeAnalysis> SA;
+};
+
+const char *NrevSource = R"(
+:- mode(nrev(i, o)).
+:- mode(append(i, i, o)).
+:- measure(nrev(length, length)).
+:- measure(append(length, length, length)).
+
+nrev([], []).
+nrev([H|L], R) :- nrev(L, R1), append(R1, [H], R).
+
+append([], L, L).
+append([H|L1], L2, [H|L3]) :- append(L1, L2, L3).
+)";
+
+TEST_F(SizeTest, AppendOutputIsSumOfInputs) {
+  analyze(NrevSource);
+  Functor Append = functor("append", 3);
+  const PredicateSizeInfo &PI = SA->info(Append);
+  ASSERT_EQ(PI.OutputSize.size(), 3u);
+  // Psi_append(n1, n2) = n1 + n2 (paper Appendix A).
+  EXPECT_EQ(exprText(PI.OutputSize[2]), "n1 + n2");
+  EXPECT_TRUE(PI.Exact);
+  EXPECT_EQ(PI.RecArgPos, 0);
+}
+
+TEST_F(SizeTest, NrevOutputEqualsInput) {
+  analyze(NrevSource);
+  Functor Nrev = functor("nrev", 2);
+  const PredicateSizeInfo &PI = SA->info(Nrev);
+  // Psi_nrev(n1) = n1 (paper Appendix A).
+  EXPECT_EQ(exprText(PI.OutputSize[1]), "n1");
+  EXPECT_TRUE(PI.Exact);
+}
+
+TEST_F(SizeTest, ModesAndMeasuresRecorded) {
+  analyze(NrevSource);
+  const PredicateSizeInfo &PI = SA->info(functor("nrev", 2));
+  ASSERT_EQ(PI.Modes.size(), 2u);
+  EXPECT_EQ(PI.Modes[0], ArgMode::In);
+  EXPECT_EQ(PI.Modes[1], ArgMode::Out);
+  EXPECT_EQ(PI.Measures[0], MeasureKind::ListLength);
+}
+
+TEST_F(SizeTest, PartitionOutputsBoundedByInput) {
+  analyze(R"(
+    :- mode(part(i, i, o, o)).
+    :- measure(part(length, value, length, length)).
+    part([], _, [], []).
+    part([E|L], M, [E|U1], U2) :- E > M, part(L, M, U1, U2).
+    part([E|L], M, U1, [E|U2]) :- E =< M, part(L, M, U1, U2).
+  )");
+  Functor Part = functor("part", 4);
+  const PredicateSizeInfo &PI = SA->info(Part);
+  // Upper bound: every element may land in either list => Psi = n1 each.
+  ASSERT_TRUE(PI.OutputSize[2]);
+  ASSERT_TRUE(PI.OutputSize[3]);
+  EXPECT_EQ(exprText(PI.OutputSize[2]), "n1");
+  EXPECT_EQ(exprText(PI.OutputSize[3]), "n1");
+}
+
+TEST_F(SizeTest, IntegerMeasureThroughIs) {
+  // double(N, M) with M = 2 * N.
+  analyze(R"(
+    :- mode(double(i, o)).
+    :- measure(double(value, value)).
+    double(N, M) :- M is 2 * N.
+  )");
+  EXPECT_DOUBLE_EQ(psiAt(functor("double", 2), 1, {{"n1", 21.0}}), 42.0);
+}
+
+TEST_F(SizeTest, MeasureInferenceListAndInt) {
+  analyze(R"(
+    len([], 0).
+    len([_|T], N) :- len(T, M), N is M + 1.
+    :- mode(len(i, o)).
+  )");
+  const PredicateSizeInfo &PI = SA->info(functor("len", 2));
+  EXPECT_EQ(PI.Measures[0], MeasureKind::ListLength);
+  EXPECT_EQ(PI.Measures[1], MeasureKind::IntValue);
+  // Psi_len(n) = n.
+  EXPECT_DOUBLE_EQ(psiAt(functor("len", 2), 1, {{"n1", 9.0}}), 9.0);
+}
+
+TEST_F(SizeTest, CopyListIdentity) {
+  analyze(R"(
+    :- mode(copy(i, o)).
+    copy([], []).
+    copy([H|T], [H|T1]) :- copy(T, T1).
+  )");
+  EXPECT_DOUBLE_EQ(psiAt(functor("copy", 2), 1, {{"n1", 5.0}}), 5.0);
+}
+
+TEST_F(SizeTest, DoubleListOutput) {
+  // Each element duplicated: output length 2n.
+  analyze(R"(
+    :- mode(dup(i, o)).
+    dup([], []).
+    dup([H|T], [H,H|T1]) :- dup(T, T1).
+  )");
+  EXPECT_DOUBLE_EQ(psiAt(functor("dup", 2), 1, {{"n1", 6.0}}), 12.0);
+}
+
+TEST_F(SizeTest, HalvingViaArithmetic) {
+  analyze(R"(
+    :- mode(halve(i, o)).
+    :- measure(halve(value, value)).
+    halve(0, 0).
+    halve(N, M) :- N > 0, M is N // 2.
+  )");
+  EXPECT_DOUBLE_EQ(psiAt(functor("halve", 2), 1, {{"n1", 10.0}}), 5.0);
+}
+
+TEST_F(SizeTest, MutualRecursionEvenOdd) {
+  analyze(R"(
+    :- mode(ev(i, o)).
+    :- mode(od(i, o)).
+    :- measure(ev(value, value)).
+    :- measure(od(value, value)).
+    ev(0, 0).
+    ev(N, R) :- N > 0, M is N - 1, od(M, R1), R is R1 + 1.
+    od(N, R) :- N > 0, M is N - 1, ev(M, R1), R is R1 + 1.
+  )");
+  // ev counts down: output = n.
+  Functor Ev = functor("ev", 2);
+  const PredicateSizeInfo &PI = SA->info(Ev);
+  ASSERT_TRUE(PI.OutputSize[1]);
+  EXPECT_FALSE(PI.OutputSize[1]->isInfinity())
+      << exprText(PI.OutputSize[1]);
+  EXPECT_GE(psiAt(Ev, 1, {{"n1", 8.0}}), 8.0);
+}
+
+TEST_F(SizeTest, UnboundedOutputIsInfinity) {
+  // The output is a fresh variable: no bound exists.
+  analyze(R"(
+    :- mode(mystery(i, o)).
+    mystery(_, _).
+  )");
+  const PredicateSizeInfo &PI = SA->info(functor("mystery", 2));
+  ASSERT_TRUE(PI.OutputSize[1]);
+  EXPECT_TRUE(PI.OutputSize[1]->isInfinity());
+}
+
+TEST_F(SizeTest, NonRecursivePredicateClosedForm) {
+  analyze(R"(
+    :- mode(wrap(i, o)).
+    wrap(X, [X]).
+  )");
+  // Output is a one-element list.
+  EXPECT_DOUBLE_EQ(psiAt(functor("wrap", 2), 1, {{"n1", 3.0}}), 1.0);
+}
+
+TEST_F(SizeTest, RecursionArgDetected) {
+  analyze(NrevSource);
+  EXPECT_EQ(SA->recursionArg(functor("nrev", 2)), 0);
+  EXPECT_EQ(SA->recursionArg(functor("append", 3)), 0);
+}
+
+TEST_F(SizeTest, RecursionOnSecondArgument) {
+  analyze(R"(
+    :- mode(countdown(i, i, o)).
+    :- measure(countdown(void, value, value)).
+    countdown(_, 0, 0).
+    countdown(X, N, R) :- N > 0, M is N - 1, countdown(X, M, R1), R is R1 + 1.
+  )");
+  EXPECT_EQ(SA->recursionArg(functor("countdown", 3)), 1);
+  EXPECT_DOUBLE_EQ(psiAt(functor("countdown", 3), 2, {{"n2", 4.0}}), 4.0);
+}
+
+TEST_F(SizeTest, ClauseFactsExposeLiteralInputSizes) {
+  analyze(NrevSource);
+  Functor Nrev = functor("nrev", 2);
+  const Predicate *Pred = Prog->lookup("nrev", 2);
+  const Clause &Rec = Pred->clauses()[1];
+  ClauseFacts Facts = SA->analyzeClause(Nrev, Rec, /*KeepSCCCalls=*/false);
+  ASSERT_EQ(Facts.Literals.size(), 2u);
+  // First literal: nrev(L, R1) with |L| = n1 - 1.
+  ASSERT_TRUE(Facts.Literals[0].InputSizes[0]);
+  EXPECT_EQ(exprText(Facts.Literals[0].InputSizes[0]), "-1 + n1");
+  // Second literal: append(R1, [H], R) with |R1| = n1 - 1, |[H]| = 1.
+  ASSERT_TRUE(Facts.Literals[1].InputSizes[0]);
+  EXPECT_EQ(exprText(Facts.Literals[1].InputSizes[0]), "-1 + n1");
+  EXPECT_EQ(exprText(Facts.Literals[1].InputSizes[1]), "1");
+}
+
+// --- DepGraph tests (Figure 1 of the paper) ---
+
+TEST_F(SizeTest, DepGraphForNrevMatchesFigure1) {
+  analyze(NrevSource);
+  Functor Nrev = functor("nrev", 2);
+  const Predicate *Pred = Prog->lookup("nrev", 2);
+  const Clause &Rec = Pred->clauses()[1];
+  DepGraph G(Rec, Nrev, *Modes, Prog->symbols());
+  ASSERT_EQ(G.numLiterals(), 2u);
+  // start -> nrev(L,R1): L comes from the head input.
+  EXPECT_TRUE(G.hasEdge(DepGraph::StartNode, G.literalNode(0)));
+  // start -> append(R1,[H],R): H comes from the head input.
+  EXPECT_TRUE(G.hasEdge(DepGraph::StartNode, G.literalNode(1)));
+  // nrev -> append: R1.
+  EXPECT_TRUE(G.hasEdge(G.literalNode(0), G.literalNode(1)));
+  // append -> end: R.
+  EXPECT_TRUE(G.hasEdge(G.literalNode(1), G.endNode()));
+  // No direct edge nrev -> end.
+  EXPECT_FALSE(G.hasEdge(G.literalNode(0), G.endNode()));
+  EXPECT_TRUE(G.isRangeRestricted());
+  EXPECT_EQ(G.height(), 3u);
+}
+
+TEST_F(SizeTest, DepGraphFactClause) {
+  analyze(NrevSource);
+  Functor Nrev = functor("nrev", 2);
+  const Clause &Base = Prog->lookup("nrev", 2)->clauses()[0];
+  DepGraph G(Base, Nrev, *Modes, Prog->symbols());
+  EXPECT_EQ(G.numLiterals(), 0u);
+  EXPECT_TRUE(G.isRangeRestricted());
+}
+
+TEST_F(SizeTest, DepGraphNotRangeRestricted) {
+  analyze(R"(
+    :- mode(bad(i, o)).
+    bad(X, Y) :- p(Z, Y).
+    p(1, 2).
+    :- mode(p(i, o)).
+  )");
+  Functor Bad = functor("bad", 2);
+  const Clause &C = Prog->lookup("bad", 2)->clauses()[0];
+  DepGraph G(C, Bad, *Modes, Prog->symbols());
+  // Z is consumed by p but produced by nothing.
+  EXPECT_FALSE(G.isRangeRestricted());
+}
+
+// --- Mode inference tests ---
+
+TEST_F(SizeTest, ModeInferenceFromEntry) {
+  analyze(R"(
+    :- entry(main(5)).
+    main(N) :- helper(N, R), use(R).
+    helper(N, R) :- R is N + 1.
+    use(_).
+  )");
+  Functor Helper = functor("helper", 2);
+  EXPECT_TRUE(Modes->isInput(Helper, 0));
+  EXPECT_TRUE(Modes->isOutput(Helper, 1));
+  // use/1 receives the grounded result.
+  EXPECT_TRUE(Modes->isInput(functor("use", 1), 0));
+}
+
+// --- Determinacy tests ---
+
+TEST_F(SizeTest, DeterminacyByIndexing) {
+  analyze(NrevSource);
+  Determinacy Det(*Prog, *Modes);
+  EXPECT_TRUE(Det.isDeterminate(functor("nrev", 2)));
+  EXPECT_TRUE(Det.isDeterminate(functor("append", 3)));
+  EXPECT_TRUE(Det.hasExclusiveClauses(functor("append", 3)));
+}
+
+TEST_F(SizeTest, DeterminacyByGuards) {
+  analyze(R"(
+    :- mode(fib(i, o)).
+    :- measure(fib(value, value)).
+    fib(0, 0).
+    fib(1, 1).
+    fib(M, N) :- M > 1, M1 is M - 1, M2 is M - 2,
+                 fib(M1, N1), fib(M2, N2), N is N1 + N2.
+  )");
+  Determinacy Det(*Prog, *Modes);
+  EXPECT_TRUE(Det.hasExclusiveClauses(functor("fib", 2)));
+  EXPECT_TRUE(Det.isDeterminate(functor("fib", 2)));
+}
+
+TEST_F(SizeTest, NondeterminacyDetected) {
+  analyze(R"(
+    :- mode(pick(i, o)).
+    pick([H|_], H).
+    pick([_|T], X) :- pick(T, X).
+  )");
+  Determinacy Det(*Prog, *Modes);
+  // Both clauses match any nonempty list: not exclusive.
+  EXPECT_FALSE(Det.hasExclusiveClauses(functor("pick", 2)));
+  EXPECT_FALSE(Det.isDeterminate(functor("pick", 2)));
+}
+
+TEST_F(SizeTest, NondeterminacyPropagatesToCallers) {
+  analyze(R"(
+    :- mode(pick(i, o)).
+    :- mode(user(i, o)).
+    pick([H|_], H).
+    pick([_|T], X) :- pick(T, X).
+    user(L, X) :- pick(L, X).
+  )");
+  Determinacy Det(*Prog, *Modes);
+  EXPECT_FALSE(Det.isDeterminate(functor("user", 2)));
+}
+
+} // namespace

@@ -1,0 +1,226 @@
+//===- tests/solutions_test.cpp - Number-of-solutions analysis tests ------===//
+//
+// The Sols factors of the paper's equation (2): tests of the conservative
+// constant-bound analysis and of its effect on the cost analysis.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Solutions.h"
+#include "cost/CostAnalysis.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+using namespace granlog;
+
+namespace {
+
+class SolutionsTest : public ::testing::Test {
+protected:
+  void analyze(std::string_view Source) {
+    Prog = loadProgram(Source, Arena, Diags);
+    ASSERT_TRUE(Prog.has_value()) << Diags.str();
+    CG.emplace(*Prog);
+    Modes.emplace(*Prog, *CG);
+    Det.emplace(*Prog, *Modes);
+    Sols = std::make_unique<SolutionsAnalysis>(*Prog, *CG, *Det);
+  }
+
+  std::optional<int64_t> solsOf(std::string_view Name, unsigned Arity) {
+    Symbol S = Arena.symbols().lookup(Name);
+    EXPECT_TRUE(S.isValid());
+    return Sols->solutions(Functor{S, Arity});
+  }
+
+  TermArena Arena;
+  Diagnostics Diags;
+  std::optional<Program> Prog;
+  std::optional<CallGraph> CG;
+  std::optional<ModeTable> Modes;
+  std::optional<Determinacy> Det;
+  std::unique_ptr<SolutionsAnalysis> Sols;
+};
+
+TEST_F(SolutionsTest, FactsCountClauses) {
+  analyze(R"(
+    :- mode(color(o)).
+    color(red).
+    color(green).
+    color(blue).
+  )");
+  EXPECT_EQ(solsOf("color", 1), 3);
+}
+
+TEST_F(SolutionsTest, ConjunctionMultiplies) {
+  analyze(R"(
+    :- mode(color(o)).
+    :- mode(size(o)).
+    :- mode(pair(o, o)).
+    color(red).
+    color(green).
+    size(big).
+    size(small).
+    pair(C, S) :- color(C), size(S).
+  )");
+  EXPECT_EQ(solsOf("pair", 2), 4);
+}
+
+TEST_F(SolutionsTest, DisjunctionAdds) {
+  analyze(R"(
+    :- mode(color(o)).
+    :- mode(size(o)).
+    :- mode(thing(o)).
+    color(red).
+    color(green).
+    size(big).
+    thing(X) :- ( color(X) ; size(X) ).
+  )");
+  EXPECT_EQ(solsOf("thing", 1), 3);
+}
+
+TEST_F(SolutionsTest, IfThenElseTakesMax) {
+  analyze(R"(
+    :- mode(color(o)).
+    :- mode(size(o)).
+    color(red).
+    color(green).
+    size(big).
+    choose(N, X) :- ( N > 0 -> color(X) ; size(X) ).
+    :- mode(choose(i, o)).
+    :- measure(choose(value, void)).
+  )");
+  EXPECT_EQ(solsOf("choose", 2), 2);
+}
+
+TEST_F(SolutionsTest, DeterminateIsOne) {
+  analyze(R"(
+    :- mode(append(i, i, o)).
+    append([], L, L).
+    append([H|T], L, [H|R]) :- append(T, L, R).
+  )");
+  EXPECT_EQ(solsOf("append", 3), 1);
+}
+
+TEST_F(SolutionsTest, NondetRecursionUnbounded) {
+  analyze(R"(
+    :- mode(member(o, i)).
+    member(X, [X|_]).
+    member(X, [_|T]) :- member(X, T).
+  )");
+  EXPECT_FALSE(solsOf("member", 2).has_value());
+}
+
+TEST_F(SolutionsTest, NegationIsOne) {
+  analyze(R"(
+    :- mode(color(o)).
+    :- mode(nocolor(i)).
+    color(red).
+    color(green).
+    nocolor(X) :- \+ color(X).
+  )");
+  EXPECT_EQ(solsOf("nocolor", 1), 1);
+}
+
+TEST_F(SolutionsTest, BuiltinsAreDeterminate) {
+  analyze("calc(X, Y) :- Y is X + 1.\n:- mode(calc(i, o)).");
+  EXPECT_EQ(solsOf("calc", 2), 1);
+}
+
+// --- Equation (2) effects on the cost analysis ---
+
+class Eq2CostTest : public ::testing::Test {
+protected:
+  void analyze(std::string_view Source) {
+    Prog = loadProgram(Source, Arena, Diags);
+    ASSERT_TRUE(Prog.has_value()) << Diags.str();
+    CG.emplace(*Prog);
+    Modes.emplace(*Prog, *CG);
+    Det.emplace(*Prog, *Modes);
+    SA.emplace(*Prog, *CG, *Modes);
+    SA->run();
+    CA.emplace(*Prog, *CG, *Modes, *Det, *SA, CostMetric::resolutions());
+    CA->run();
+  }
+
+  double costAt(std::string_view Name, unsigned Arity,
+                std::vector<double> Sizes) {
+    Symbol S = Arena.symbols().lookup(Name);
+    auto V = CA->costAt(Functor{S, Arity}, Sizes);
+    EXPECT_TRUE(V.has_value());
+    return V.value_or(-1);
+  }
+
+  TermArena Arena;
+  Diagnostics Diags;
+  std::optional<Program> Prog;
+  std::optional<CallGraph> CG;
+  std::optional<ModeTable> Modes;
+  std::optional<Determinacy> Det;
+  std::optional<SizeAnalysis> SA;
+  std::optional<CostAnalysis> CA;
+};
+
+TEST_F(Eq2CostTest, GeneratorMultipliesDownstreamCost) {
+  // gen/1 has 3 solutions; expensive/1 runs once per solution on
+  // backtracking: Cost <= 1 + (gen-cost) + 3 * (expensive-cost).
+  analyze(R"(
+    gen(1).
+    gen(2).
+    gen(3).
+    expensive(_) :- w, w, w, w.
+    w.
+    test(X) :- gen(X), expensive(X).
+    :- mode(gen(o)).
+    :- mode(expensive(i)).
+    :- mode(test(o)).
+  )");
+  // gen costs 3 resolutions total (all clauses tried, non-exclusive);
+  // expensive costs 1 + 4 = 5; eq (2): 1 + 3 + 3*5 = 19.
+  EXPECT_DOUBLE_EQ(costAt("test", 1, {}), 19.0);
+}
+
+TEST_F(Eq2CostTest, DeterminatePrefixKeepsFactorOne) {
+  analyze(R"(
+    one(1).
+    expensive(_) :- w, w, w, w.
+    w.
+    test(X) :- one(X), expensive(X).
+    :- mode(one(o)).
+    :- mode(expensive(i)).
+    :- mode(test(o)).
+  )");
+  // 1 + 1 + 1*5 = 7.
+  EXPECT_DOUBLE_EQ(costAt("test", 1, {}), 7.0);
+}
+
+TEST_F(Eq2CostTest, UnboundedGeneratorGivesInfinity) {
+  analyze(R"(
+    :- mode(member(o, i)).
+    member(X, [X|_]).
+    member(X, [_|T]) :- member(X, T).
+    test(L) :- member(X, L), expensive(X).
+    expensive(_) :- w.
+    w.
+    :- mode(test(i)).
+    :- mode(expensive(i)).
+  )");
+  EXPECT_TRUE(std::isinf(costAt("test", 1, {3})));
+}
+
+TEST_F(Eq2CostTest, SolutionsOfTrailingGoalDoNotMatter) {
+  // The nondeterministic goal is *last*: nothing downstream multiplies.
+  analyze(R"(
+    gen(1).
+    gen(2).
+    gen(3).
+    cheap(_).
+    test(X) :- cheap(X), gen(X).
+    :- mode(gen(o)).
+    :- mode(cheap(i)).
+    :- mode(test(o)).
+  )");
+  // 1 + 1 + 1*3 = 5 (gen itself costs 3 resolutions, counted once).
+  EXPECT_DOUBLE_EQ(costAt("test", 1, {}), 5.0);
+}
+
+} // namespace

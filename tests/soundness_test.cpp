@@ -1,0 +1,171 @@
+//===- tests/soundness_test.cpp - Static bounds vs. dynamic counts --------===//
+//
+// The paper's soundness theorem (Section 6): the inferred cost function is
+// an upper bound on the actual runtime cost, and the inferred output size
+// functions bound the actual output sizes.  These property tests check
+// both claims *dynamically*: for each benchmark and a sweep of input
+// sizes, the statically derived bound must dominate the interpreter's
+// exact resolution count (resolutions metric, so the two are in the same
+// unit).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/GranularityAnalyzer.h"
+#include "corpus/Corpus.h"
+#include "interp/Interpreter.h"
+#include "reader/Parser.h"
+#include "size/Measures.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+using namespace granlog;
+
+namespace {
+
+struct SoundnessCase {
+  const char *Benchmark; ///< corpus program to load
+  const char *Pred;      ///< predicate whose bound is checked
+  unsigned Arity;
+  std::vector<int> Sizes; ///< input parameters to sweep
+};
+
+class CostSoundness : public ::testing::TestWithParam<SoundnessCase> {};
+
+TEST_P(CostSoundness, StaticBoundDominatesDynamicCount) {
+  const SoundnessCase &C = GetParam();
+  const BenchmarkDef *B = findBenchmark(C.Benchmark);
+  ASSERT_NE(B, nullptr);
+
+  TermArena Arena;
+  Diagnostics Diags;
+  std::optional<Program> P = loadProgram(B->Source, Arena, Diags);
+  ASSERT_TRUE(P) << Diags.str();
+
+  GranularityAnalyzer GA(*P, {CostMetric::resolutions(), 48.0});
+  GA.run();
+  const CostAnalysis &Costs = GA.costs();
+  Symbol S = Arena.symbols().lookup(C.Pred);
+  ASSERT_TRUE(S.isValid());
+  Functor F{S, C.Arity};
+
+  for (int N : C.Sizes) {
+    // Execute the benchmark goal and count actual resolutions.
+    const Term *Goal = B->BuildGoal(Arena, N);
+    InterpOptions Options;
+    Options.CaptureTree = false;
+    Interpreter I(*P, Arena, Options);
+    ASSERT_TRUE(I.solve(Goal)) << B->label(N);
+    double Actual = static_cast<double>(I.counters().Resolutions);
+
+    // Evaluate the static bound at the sizes of the goal's input
+    // arguments (measured with the predicate's own measures).
+    const PredicateSizeInfo &SI = GA.sizes().info(F);
+    const StructTerm *G = cast<StructTerm>(deref(Goal));
+    std::vector<double> InputSizes;
+    for (unsigned Pos : GA.modes().inputPositions(F)) {
+      MeasureKind M = Pos < SI.Measures.size() ? SI.Measures[Pos]
+                                               : MeasureKind::TermSize;
+      std::optional<int64_t> Size =
+          groundSize(G->arg(Pos), M, Arena.symbols());
+      InputSizes.push_back(Size ? static_cast<double>(*Size) : 0.0);
+    }
+    std::optional<double> Bound = Costs.costAt(F, InputSizes);
+    ASSERT_TRUE(Bound.has_value());
+    EXPECT_GE(*Bound, Actual)
+        << B->label(N) << ": bound " << *Bound << " < actual " << Actual;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Benchmarks, CostSoundness,
+    ::testing::Values(
+        SoundnessCase{"fib", "fib", 2, {0, 1, 2, 5, 8, 12, 15}},
+        SoundnessCase{"hanoi", "hanoi", 5, {0, 1, 3, 5, 7}},
+        SoundnessCase{"quick_sort", "qsort", 2, {0, 1, 5, 20, 75}},
+        SoundnessCase{"merge_sort", "msort", 2, {0, 1, 2, 9, 33, 128}},
+        SoundnessCase{"double_sum", "dsum", 2, {1, 2, 8, 64, 2048}},
+        SoundnessCase{"consistency", "consistency", 1, {0, 1, 2, 7, 100}},
+        SoundnessCase{"fft", "fft", 2, {1, 2, 8, 64, 256}},
+        SoundnessCase{"flatten", "flatten", 2, {1, 2, 9, 60, 536}},
+        SoundnessCase{"tree_traversal", "tsum", 2, {0, 1, 4, 8}},
+        SoundnessCase{"lr1_set", "lr1_set", 2, {0, 1, 3, 6}}),
+    [](const ::testing::TestParamInfo<SoundnessCase> &Info) {
+      return Info.param.Benchmark;
+    });
+
+/// Output-size soundness: Psi bounds the measured output size.
+class SizeSoundness : public ::testing::Test {
+protected:
+  /// Runs Goal (text) in the context of benchmark \p Bench, then checks
+  /// the size of the term bound to the output position against Psi.
+  void checkOutput(const char *Bench, const char *Pred, unsigned Arity,
+                   const std::vector<int64_t> &InputSizes,
+                   const std::string &GoalText, unsigned OutPos) {
+    const BenchmarkDef *B = findBenchmark(Bench);
+    ASSERT_NE(B, nullptr);
+    TermArena Arena;
+    Diagnostics Diags;
+    std::optional<Program> P = loadProgram(B->Source, Arena, Diags);
+    ASSERT_TRUE(P) << Diags.str();
+    GranularityAnalyzer GA(*P, {CostMetric::resolutions(), 48.0});
+    GA.run();
+
+    const Term *Goal = parseTermText(GoalText, Arena, Diags);
+    ASSERT_NE(Goal, nullptr) << Diags.str();
+    Interpreter I(*P, Arena);
+    ASSERT_TRUE(I.solve(Goal));
+
+    Functor F{Arena.symbols().lookup(Pred), Arity};
+    const PredicateSizeInfo &SI = GA.sizes().info(F);
+    ASSERT_LT(OutPos, SI.OutputSize.size());
+    ASSERT_TRUE(SI.OutputSize[OutPos]);
+
+    std::map<std::string, double> Env;
+    std::vector<unsigned> Inputs = GA.modes().inputPositions(F);
+    ASSERT_EQ(Inputs.size(), InputSizes.size());
+    for (size_t J = 0; J != Inputs.size(); ++J)
+      Env[SizeAnalysis::paramName(Inputs[J])] =
+          static_cast<double>(InputSizes[J]);
+    std::optional<double> Bound = evaluate(SI.OutputSize[OutPos], Env);
+    ASSERT_TRUE(Bound.has_value());
+
+    const StructTerm *G = cast<StructTerm>(deref(Goal));
+    MeasureKind M = SI.Measures[OutPos];
+    std::optional<int64_t> Actual =
+        groundSize(G->arg(OutPos), M, Arena.symbols());
+    ASSERT_TRUE(Actual.has_value());
+    EXPECT_GE(*Bound + 1e-9, static_cast<double>(*Actual))
+        << GoalText << " output measured " << *Actual << " bound "
+        << *Bound;
+  }
+};
+
+TEST_F(SizeSoundness, HanoiMoveList) {
+  // Psi bounds the 2^n - 1 move list.
+  checkOutput("hanoi", "hanoi", 5, {6, 0, 0, 0}, "hanoi(6, a, b, c, M)", 4);
+}
+
+TEST_F(SizeSoundness, QuicksortOutput) {
+  checkOutput("quick_sort", "qsort", 2, {6},
+              "qsort([3,1,4,1,5,9], S)", 1);
+}
+
+TEST_F(SizeSoundness, MergeSortOutput) {
+  checkOutput("merge_sort", "msort", 2, {6},
+              "msort([3,1,4,1,5,9], S)", 1);
+}
+
+TEST_F(SizeSoundness, FlattenOutput) {
+  // term_size of the input tree is 11; Psi bounds the 4-element list.
+  checkOutput("flatten", "flatten", 2, {11},
+              "flatten(node(node(leaf(1), leaf(2)), node(leaf(3), "
+              "leaf(4))), F)",
+              1);
+}
+
+TEST_F(SizeSoundness, Lr1SetOutput) {
+  checkOutput("lr1_set", "lr1_set", 2, {3}, "lr1_set(3, S)", 1);
+}
+
+} // namespace

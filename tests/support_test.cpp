@@ -1,0 +1,89 @@
+//===- tests/support_test.cpp - Rational and Diagnostics tests ------------===//
+
+#include "support/Diagnostics.h"
+#include "support/Rational.h"
+
+#include <gtest/gtest.h>
+
+using namespace granlog;
+
+TEST(RationalTest, DefaultIsZero) {
+  Rational R;
+  EXPECT_TRUE(R.isZero());
+  EXPECT_EQ(R.numerator(), 0);
+  EXPECT_EQ(R.denominator(), 1);
+}
+
+TEST(RationalTest, NormalizesSignAndGcd) {
+  Rational R(4, -6);
+  EXPECT_EQ(R.numerator(), -2);
+  EXPECT_EQ(R.denominator(), 3);
+  EXPECT_TRUE(R.isNegative());
+}
+
+TEST(RationalTest, ZeroNormalizesDenominator) {
+  Rational R(0, 17);
+  EXPECT_EQ(R.denominator(), 1);
+  EXPECT_TRUE(R.isZero());
+}
+
+TEST(RationalTest, Arithmetic) {
+  Rational Half(1, 2), Third(1, 3);
+  EXPECT_EQ(Half + Third, Rational(5, 6));
+  EXPECT_EQ(Half - Third, Rational(1, 6));
+  EXPECT_EQ(Half * Third, Rational(1, 6));
+  EXPECT_EQ(Half / Third, Rational(3, 2));
+  EXPECT_EQ(-Half, Rational(-1, 2));
+}
+
+TEST(RationalTest, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 4), Rational(-1, 2));
+  EXPECT_GE(Rational(7), Rational(7));
+  EXPECT_NE(Rational(1, 3), Rational(1, 2));
+}
+
+TEST(RationalTest, FloorCeil) {
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(7, 2).ceil(), 4);
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rational(6, 2).floor(), 3);
+  EXPECT_EQ(Rational(6, 2).ceil(), 3);
+}
+
+TEST(RationalTest, Pow) {
+  EXPECT_EQ(Rational(2).pow(10), Rational(1024));
+  EXPECT_EQ(Rational(2, 3).pow(2), Rational(4, 9));
+  EXPECT_EQ(Rational(2).pow(0), Rational(1));
+  EXPECT_EQ(Rational(2).pow(-2), Rational(1, 4));
+}
+
+TEST(RationalTest, Str) {
+  EXPECT_EQ(Rational(3).str(), "3");
+  EXPECT_EQ(Rational(-1, 2).str(), "-1/2");
+}
+
+TEST(RationalTest, AsDouble) {
+  EXPECT_DOUBLE_EQ(Rational(1, 2).asDouble(), 0.5);
+  EXPECT_DOUBLE_EQ(Rational(-3, 4).asDouble(), -0.75);
+}
+
+TEST(DiagnosticsTest, CollectsAndCounts) {
+  Diagnostics Diags;
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.warning({1, 2}, "w");
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.error({3, 4}, "e");
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.errorCount(), 1u);
+  EXPECT_EQ(Diags.all().size(), 2u);
+  EXPECT_NE(Diags.str().find("3:4: error: e"), std::string::npos);
+}
+
+TEST(DiagnosticsTest, UnknownLocation) {
+  SourceLoc Loc;
+  EXPECT_FALSE(Loc.isValid());
+  EXPECT_EQ(Loc.str(), "<unknown>");
+}

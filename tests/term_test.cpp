@@ -1,0 +1,195 @@
+//===- tests/term_test.cpp - Term, unification, writer tests --------------===//
+
+#include "term/Term.h"
+#include "term/TermWriter.h"
+#include "term/Unify.h"
+
+#include <gtest/gtest.h>
+
+using namespace granlog;
+
+namespace {
+
+class TermTest : public ::testing::Test {
+protected:
+  TermArena Arena;
+  BindingEnv Env;
+};
+
+TEST_F(TermTest, Kinds) {
+  const Term *V = Arena.makeVariable("X");
+  const Term *A = Arena.makeAtom("foo");
+  const Term *I = Arena.makeInt(42);
+  const Term *F = Arena.makeFloat(2.5);
+  const Term *S = Arena.makeStruct("f", {A, I});
+  EXPECT_TRUE(V->isVariable());
+  EXPECT_TRUE(A->isAtom());
+  EXPECT_TRUE(I->isInt());
+  EXPECT_TRUE(F->isFloat());
+  EXPECT_TRUE(S->isStruct());
+  EXPECT_TRUE(I->isNumber());
+  EXPECT_TRUE(A->isAtomic());
+  EXPECT_FALSE(V->isAtomic());
+}
+
+TEST_F(TermTest, SymbolInterning) {
+  const AtomTerm *A1 = Arena.makeAtom("foo");
+  const AtomTerm *A2 = Arena.makeAtom("foo");
+  EXPECT_EQ(A1->name(), A2->name());
+  EXPECT_EQ(Arena.symbols().text(A1->name()), "foo");
+  EXPECT_NE(Arena.makeAtom("bar")->name(), A1->name());
+}
+
+TEST_F(TermTest, Groundness) {
+  const Term *V = Arena.makeVariable("X");
+  const Term *G = Arena.makeStruct("f", {Arena.makeInt(1), Arena.makeAtom("a")});
+  const Term *NG = Arena.makeStruct("f", {Arena.makeInt(1), V});
+  EXPECT_TRUE(G->isGround());
+  EXPECT_FALSE(NG->isGround());
+  EXPECT_FALSE(V->isGround());
+}
+
+TEST_F(TermTest, ListHelpers) {
+  const Term *L = Arena.makeIntList({1, 2, 3});
+  EXPECT_TRUE(isCons(L, Arena.symbols()));
+  std::vector<const Term *> Elements;
+  ASSERT_TRUE(collectListElements(L, Arena.symbols(), Elements));
+  ASSERT_EQ(Elements.size(), 3u);
+  EXPECT_EQ(cast<IntTerm>(Elements[1])->value(), 2);
+  EXPECT_TRUE(isNil(Arena.makeNil(), Arena.symbols()));
+}
+
+TEST_F(TermTest, ImproperListDetected) {
+  const Term *L = Arena.makeCons(Arena.makeInt(1), Arena.makeInt(2));
+  std::vector<const Term *> Elements;
+  EXPECT_FALSE(collectListElements(L, Arena.symbols(), Elements));
+}
+
+TEST_F(TermTest, UnifyAtomsAndNumbers) {
+  EXPECT_TRUE(unify(Arena.makeAtom("a"), Arena.makeAtom("a"), Env));
+  EXPECT_FALSE(unify(Arena.makeAtom("a"), Arena.makeAtom("b"), Env));
+  EXPECT_TRUE(unify(Arena.makeInt(1), Arena.makeInt(1), Env));
+  EXPECT_FALSE(unify(Arena.makeInt(1), Arena.makeInt(2), Env));
+  EXPECT_FALSE(unify(Arena.makeInt(1), Arena.makeFloat(1.0), Env));
+  EXPECT_FALSE(unify(Arena.makeInt(1), Arena.makeAtom("1"), Env));
+}
+
+TEST_F(TermTest, UnifyBindsVariables) {
+  const VarTerm *X = Arena.makeVariable("X");
+  const Term *A = Arena.makeAtom("a");
+  EXPECT_TRUE(unify(X, A, Env));
+  EXPECT_EQ(deref(X), A);
+}
+
+TEST_F(TermTest, UnifyStructsRecursively) {
+  const VarTerm *X = Arena.makeVariable("X");
+  const VarTerm *Y = Arena.makeVariable("Y");
+  const Term *T1 = Arena.makeStruct("f", {X, Arena.makeInt(2)});
+  const Term *T2 = Arena.makeStruct("f", {Arena.makeInt(1), Y});
+  ASSERT_TRUE(unify(T1, T2, Env));
+  EXPECT_EQ(cast<IntTerm>(deref(X))->value(), 1);
+  EXPECT_EQ(cast<IntTerm>(deref(Y))->value(), 2);
+}
+
+TEST_F(TermTest, UnifyArityMismatch) {
+  const Term *T1 = Arena.makeStruct("f", {Arena.makeInt(1)});
+  const Term *T2 = Arena.makeStruct("f", {Arena.makeInt(1), Arena.makeInt(2)});
+  EXPECT_FALSE(unify(T1, T2, Env));
+}
+
+TEST_F(TermTest, TrailUndo) {
+  const VarTerm *X = Arena.makeVariable("X");
+  BindingEnv::Mark M = Env.mark();
+  ASSERT_TRUE(unify(X, Arena.makeAtom("a"), Env));
+  EXPECT_TRUE(X->isBound());
+  Env.undoTo(M);
+  EXPECT_FALSE(X->isBound());
+}
+
+TEST_F(TermTest, VarVarUnification) {
+  const VarTerm *X = Arena.makeVariable("X");
+  const VarTerm *Y = Arena.makeVariable("Y");
+  ASSERT_TRUE(unify(X, Y, Env));
+  ASSERT_TRUE(unify(Y, Arena.makeInt(7), Env));
+  EXPECT_EQ(cast<IntTerm>(deref(X))->value(), 7);
+}
+
+TEST_F(TermTest, UnifyStatsCounted) {
+  UnifyStats Stats;
+  const Term *T1 = Arena.makeStruct("f", {Arena.makeVariable("X"),
+                                          Arena.makeInt(2)});
+  const Term *T2 =
+      Arena.makeStruct("f", {Arena.makeInt(1), Arena.makeInt(2)});
+  ASSERT_TRUE(unify(T1, T2, Env, &Stats));
+  EXPECT_GE(Stats.Unifications, 3u); // f pair + two argument pairs
+  EXPECT_EQ(Stats.Bindings, 1u);
+}
+
+TEST_F(TermTest, RenamerSharesRenamedVariables) {
+  const VarTerm *X = Arena.makeVariable("X");
+  const Term *T = Arena.makeStruct("f", {X, X});
+  TermRenamer Renamer(Arena);
+  const StructTerm *R = cast<StructTerm>(Renamer.rename(T));
+  EXPECT_NE(deref(R->arg(0)), static_cast<const Term *>(X));
+  EXPECT_EQ(deref(R->arg(0)), deref(R->arg(1)));
+}
+
+TEST_F(TermTest, RenamerSharesGroundSubterms) {
+  const Term *G = Arena.makeStruct("g", {Arena.makeInt(1)});
+  TermRenamer Renamer(Arena);
+  EXPECT_EQ(Renamer.rename(G), G);
+}
+
+TEST_F(TermTest, ResolveRebuildsBoundStructs) {
+  const VarTerm *X = Arena.makeVariable("X");
+  const Term *T = Arena.makeStruct("f", {X});
+  ASSERT_TRUE(unify(X, Arena.makeInt(5), Env));
+  const Term *R = resolve(T, Arena);
+  Env.undoTo(0);
+  const StructTerm *S = cast<StructTerm>(R);
+  EXPECT_EQ(cast<IntTerm>(deref(S->arg(0)))->value(), 5);
+}
+
+TEST_F(TermTest, TermsEqualStructural) {
+  const Term *A = Arena.makeStruct("f", {Arena.makeInt(1), Arena.makeAtom("a")});
+  const Term *B = Arena.makeStruct("f", {Arena.makeInt(1), Arena.makeAtom("a")});
+  const Term *C = Arena.makeStruct("f", {Arena.makeInt(2), Arena.makeAtom("a")});
+  EXPECT_TRUE(termsEqual(A, B));
+  EXPECT_FALSE(termsEqual(A, C));
+  const VarTerm *X = Arena.makeVariable("X");
+  EXPECT_FALSE(termsEqual(X, Arena.makeVariable("Y")));
+  EXPECT_TRUE(termsEqual(X, X));
+}
+
+TEST_F(TermTest, WriterBasics) {
+  TermWriter W(Arena.symbols());
+  EXPECT_EQ(W.str(Arena.makeAtom("foo")), "foo");
+  EXPECT_EQ(W.str(Arena.makeInt(-3)), "-3");
+  EXPECT_EQ(W.str(Arena.makeIntList({1, 2})), "[1,2]");
+  EXPECT_EQ(W.str(Arena.makeStruct("f", {Arena.makeInt(1)})), "f(1)");
+}
+
+TEST_F(TermTest, WriterPartialList) {
+  TermWriter W(Arena.symbols());
+  const Term *T = Arena.makeCons(Arena.makeInt(1), Arena.makeVariable("T"));
+  EXPECT_EQ(W.str(T), "[1|T]");
+}
+
+TEST_F(TermTest, WriterInfixOperators) {
+  TermWriter W(Arena.symbols());
+  const Term *Plus =
+      Arena.makeStruct("+", {Arena.makeInt(1), Arena.makeInt(2)});
+  const Term *Is = Arena.makeStruct("is", {Arena.makeVariable("X"), Plus});
+  EXPECT_EQ(W.str(Is), "X is 1 + 2");
+}
+
+TEST_F(TermTest, WriterParenthesizesByPriority) {
+  TermWriter W(Arena.symbols());
+  // (1 + 2) * 3 — the '+' (500) under '*' (400) needs parentheses.
+  const Term *Plus =
+      Arena.makeStruct("+", {Arena.makeInt(1), Arena.makeInt(2)});
+  const Term *Mul = Arena.makeStruct("*", {Plus, Arena.makeInt(3)});
+  EXPECT_EQ(W.str(Mul), "(1 + 2) * 3");
+}
+
+} // namespace

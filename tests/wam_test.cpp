@@ -1,0 +1,213 @@
+//===- tests/wam_test.cpp - WAM clause compiler tests ---------------------===//
+//
+// Checks the compilation scheme on the textbook cases and the integration
+// of compiled instruction counts with the Instructions cost metric and
+// the interpreter's instruction accounting.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/GranularityAnalyzer.h"
+#include "corpus/Corpus.h"
+#include "interp/Interpreter.h"
+#include "wam/WamCompiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace granlog;
+
+namespace {
+
+class WamTest : public ::testing::Test {
+protected:
+  void compile(std::string_view Source) {
+    Prog = loadProgram(Source, Arena, Diags);
+    ASSERT_TRUE(Prog.has_value()) << Diags.str();
+    Wam = std::make_unique<WamCompiler>(*Prog);
+  }
+
+  const CompiledClause *clause(std::string_view Name, unsigned Arity,
+                               unsigned Index) {
+    Symbol S = Arena.symbols().lookup(Name);
+    EXPECT_TRUE(S.isValid());
+    return Wam->clause(Functor{S, Arity}, Index);
+  }
+
+  /// Counts instructions of one opcode in a clause.
+  static unsigned countOp(const CompiledClause &C, WamOp Op) {
+    unsigned N = 0;
+    for (const WamInstr &I : C.Code)
+      N += I.Op == Op ? 1 : 0;
+    return N;
+  }
+
+  TermArena Arena;
+  Diagnostics Diags;
+  std::optional<Program> Prog;
+  std::unique_ptr<WamCompiler> Wam;
+};
+
+TEST_F(WamTest, FactCompilesToGetsAndProceed) {
+  compile("p(a, X, X).");
+  const CompiledClause *C = clause("p", 3, 0);
+  ASSERT_NE(C, nullptr);
+  // get_constant a, get_variable X, get_value X, proceed.
+  EXPECT_EQ(countOp(*C, WamOp::GetConstant), 1u);
+  EXPECT_EQ(countOp(*C, WamOp::GetVariable), 1u);
+  EXPECT_EQ(countOp(*C, WamOp::GetValue), 1u);
+  EXPECT_EQ(countOp(*C, WamOp::Proceed), 1u);
+  EXPECT_EQ(C->Code.size(), 4u);
+  EXPECT_EQ(C->HeadCount, 3u);
+  EXPECT_TRUE(C->LiteralCounts.empty());
+}
+
+TEST_F(WamTest, ListHeadCompilesToGetList) {
+  compile("first([H|_], H).");
+  const CompiledClause *C = clause("first", 2, 0);
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(countOp(*C, WamOp::GetList), 1u);
+  // H and the void tail are unify instructions.
+  EXPECT_EQ(countOp(*C, WamOp::UnifyVariable), 2u);
+  EXPECT_EQ(countOp(*C, WamOp::GetValue), 1u); // second occurrence of H
+}
+
+TEST_F(WamTest, NestedStructureFlattens) {
+  compile("p(f(g(X), Y)).");
+  const CompiledClause *C = clause("p", 1, 0);
+  ASSERT_NE(C, nullptr);
+  // get_structure f/2 on A1, then unify_variable for g-cell and Y, then
+  // get_structure g/1 on the temporary with unify_variable X.
+  EXPECT_EQ(countOp(*C, WamOp::GetStructure), 2u);
+  EXPECT_EQ(countOp(*C, WamOp::UnifyVariable), 3u);
+}
+
+TEST_F(WamTest, BodyArgumentsUsePuts) {
+  compile("p(X) :- q(X, [1, 2]).\nq(_, _).");
+  const CompiledClause *C = clause("p", 1, 0);
+  ASSERT_NE(C, nullptr);
+  // The list [1,2] builds bottom-up: put_list for both cells.
+  EXPECT_EQ(countOp(*C, WamOp::PutList), 2u);
+  EXPECT_EQ(countOp(*C, WamOp::PutValue) + countOp(*C, WamOp::PutVariable),
+            1u); // X
+  EXPECT_EQ(countOp(*C, WamOp::Execute), 1u); // last (only) goal
+  ASSERT_EQ(C->LiteralCounts.size(), 1u);
+  EXPECT_GT(C->LiteralCounts[0], 3u);
+}
+
+TEST_F(WamTest, MultiClausePredicatesPayChoicePoints) {
+  compile("p(1).\np(2).\np(3).");
+  EXPECT_EQ(countOp(*clause("p", 1, 0), WamOp::TryMeElse), 1u);
+  EXPECT_EQ(countOp(*clause("p", 1, 1), WamOp::RetryMeElse), 1u);
+  EXPECT_EQ(countOp(*clause("p", 1, 2), WamOp::TrustMe), 1u);
+}
+
+TEST_F(WamTest, PermanentVariablesForceEnvironment) {
+  // X spans two body goals: a permanent variable => allocate/deallocate.
+  compile("p(X) :- q(X), r(X).\nq(_).\nr(_).");
+  const CompiledClause *C = clause("p", 1, 0);
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(countOp(*C, WamOp::Allocate), 1u);
+  EXPECT_EQ(countOp(*C, WamOp::Deallocate), 1u);
+  EXPECT_EQ(countOp(*C, WamOp::Call), 2u); // no last-call opt with a frame
+}
+
+TEST_F(WamTest, ChainRuleUsesLastCallOptimization) {
+  compile("p(X) :- q(X).\nq(_).");
+  const CompiledClause *C = clause("p", 1, 0);
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(countOp(*C, WamOp::Allocate), 0u);
+  EXPECT_EQ(countOp(*C, WamOp::Execute), 1u);
+}
+
+TEST_F(WamTest, CutCompilesToNeckCut) {
+  compile("p(X) :- X > 0, !.");
+  const CompiledClause *C = clause("p", 1, 0);
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(countOp(*C, WamOp::NeckCut), 1u);
+  EXPECT_EQ(countOp(*C, WamOp::CallBuiltin), 1u);
+}
+
+TEST_F(WamTest, ListingIsReadable) {
+  compile("app([], L, L).");
+  const CompiledClause *C = clause("app", 3, 0);
+  std::string Listing = C->listing(Arena.symbols());
+  EXPECT_NE(Listing.find("get_nil"), std::string::npos);
+  EXPECT_NE(Listing.find("get_variable"), std::string::npos);
+  EXPECT_NE(Listing.find("proceed"), std::string::npos);
+}
+
+TEST_F(WamTest, ProgramSizeAggregates) {
+  compile("p(1).\nq(X) :- p(X).");
+  EXPECT_GT(Wam->programSize(), 4u);
+}
+
+TEST_F(WamTest, DeeperHeadsCostMore) {
+  compile(R"(
+    shallow(X, X).
+    deep(f(g(h(X))), X).
+  )");
+  EXPECT_LT(clause("shallow", 2, 0)->HeadCount,
+            clause("deep", 2, 0)->HeadCount);
+}
+
+// --- Integration: static instruction bound vs. dynamic instruction count.
+
+TEST(WamIntegration, InstructionMetricUsesCompiledCounts) {
+  TermArena Arena;
+  Diagnostics Diags;
+  const BenchmarkDef *B = findBenchmark("fib");
+  auto P = loadProgram(B->Source, Arena, Diags);
+  ASSERT_TRUE(P) << Diags.str();
+  GranularityAnalyzer GA(*P, {CostMetric::instructions(), 500.0});
+  GA.run();
+  ASSERT_NE(GA.wam(), nullptr);
+  const PredicateGranularity *G = GA.lookup("fib", 2);
+  ASSERT_NE(G, nullptr);
+  EXPECT_FALSE(G->CostFn->isInfinity());
+  // Instructions cost strictly dominates the resolutions cost.
+  GranularityAnalyzer GR(*P, {CostMetric::resolutions(), 500.0});
+  GR.run();
+  auto CostOf = [&](const GranularityAnalyzer &A) {
+    return evaluate(A.lookup("fib", 2)->CostFn, {{"n1", 10.0}}).value();
+  };
+  EXPECT_GT(CostOf(GA), CostOf(GR));
+}
+
+class WamSoundness : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(WamSoundness, StaticInstructionBoundDominatesDynamicCount) {
+  const BenchmarkDef *B = findBenchmark(GetParam());
+  ASSERT_NE(B, nullptr);
+  TermArena Arena;
+  Diagnostics Diags;
+  auto P = loadProgram(B->Source, Arena, Diags);
+  ASSERT_TRUE(P) << Diags.str();
+  GranularityAnalyzer GA(*P, {CostMetric::instructions(), 500.0});
+  GA.run();
+  ASSERT_NE(GA.wam(), nullptr);
+
+  int Input = B->Name == "fib" ? 12 : (B->Name == "hanoi" ? 5 : 32);
+  const Term *Goal = B->BuildGoal(Arena, Input);
+  InterpOptions Options;
+  Options.CaptureTree = false;
+  Options.Wam = GA.wam();
+  Interpreter I(*P, Arena, Options);
+  ASSERT_TRUE(I.solve(Goal));
+  EXPECT_GT(I.counters().Instructions, 0u);
+
+  // Evaluate the static bound at the goal's input sizes.
+  Symbol S = Arena.symbols().lookup(
+      B->Name == "fib" ? "fib" : (B->Name == "hanoi" ? "hanoi" : "dsum"));
+  Functor F{S, B->Name == "hanoi" ? 5u : 2u};
+  std::map<std::string, double> Env{{"n1", static_cast<double>(Input)}};
+  std::optional<double> Bound = evaluate(GA.info(F).CostFn, Env);
+  ASSERT_TRUE(Bound.has_value());
+  EXPECT_GE(*Bound, static_cast<double>(I.counters().Instructions));
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, WamSoundness,
+                         ::testing::Values("fib", "hanoi", "double_sum"),
+                         [](const ::testing::TestParamInfo<const char *> &I) {
+                           return std::string(I.param);
+                         });
+
+} // namespace
