@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_overheads.dir/ablation_overheads.cpp.o"
+  "CMakeFiles/ablation_overheads.dir/ablation_overheads.cpp.o.d"
+  "ablation_overheads"
+  "ablation_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

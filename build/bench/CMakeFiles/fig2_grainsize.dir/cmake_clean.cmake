@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_grainsize.dir/fig2_grainsize.cpp.o"
+  "CMakeFiles/fig2_grainsize.dir/fig2_grainsize.cpp.o.d"
+  "fig2_grainsize"
+  "fig2_grainsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_grainsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_rolog.dir/table1_rolog.cpp.o"
+  "CMakeFiles/table1_rolog.dir/table1_rolog.cpp.o.d"
+  "table1_rolog"
+  "table1_rolog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_rolog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_andprolog.dir/table2_andprolog.cpp.o"
+  "CMakeFiles/table2_andprolog.dir/table2_andprolog.cpp.o.d"
+  "table2_andprolog"
+  "table2_andprolog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_andprolog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedup_lab.dir/speedup_lab.cpp.o"
+  "CMakeFiles/speedup_lab.dir/speedup_lab.cpp.o.d"
+  "speedup_lab"
+  "speedup_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedup_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wam_listing.dir/wam_listing.cpp.o"
+  "CMakeFiles/wam_listing.dir/wam_listing.cpp.o.d"
+  "wam_listing"
+  "wam_listing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wam_listing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("term")
+subdirs("reader")
+subdirs("program")
+subdirs("analysis")
+subdirs("expr")
+subdirs("diffeq")
+subdirs("size")
+subdirs("cost")
+subdirs("core")
+subdirs("interp")
+subdirs("runtime")
+subdirs("wam")
+subdirs("corpus")

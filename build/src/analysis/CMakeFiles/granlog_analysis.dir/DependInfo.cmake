@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/DepGraph.cpp" "src/analysis/CMakeFiles/granlog_analysis.dir/DepGraph.cpp.o" "gcc" "src/analysis/CMakeFiles/granlog_analysis.dir/DepGraph.cpp.o.d"
+  "/root/repo/src/analysis/Determinacy.cpp" "src/analysis/CMakeFiles/granlog_analysis.dir/Determinacy.cpp.o" "gcc" "src/analysis/CMakeFiles/granlog_analysis.dir/Determinacy.cpp.o.d"
+  "/root/repo/src/analysis/Modes.cpp" "src/analysis/CMakeFiles/granlog_analysis.dir/Modes.cpp.o" "gcc" "src/analysis/CMakeFiles/granlog_analysis.dir/Modes.cpp.o.d"
+  "/root/repo/src/analysis/Solutions.cpp" "src/analysis/CMakeFiles/granlog_analysis.dir/Solutions.cpp.o" "gcc" "src/analysis/CMakeFiles/granlog_analysis.dir/Solutions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/program/CMakeFiles/granlog_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/term/CMakeFiles/granlog_term.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/granlog_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/reader/CMakeFiles/granlog_reader.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/granlog_analysis.dir/DepGraph.cpp.o"
+  "CMakeFiles/granlog_analysis.dir/DepGraph.cpp.o.d"
+  "CMakeFiles/granlog_analysis.dir/Determinacy.cpp.o"
+  "CMakeFiles/granlog_analysis.dir/Determinacy.cpp.o.d"
+  "CMakeFiles/granlog_analysis.dir/Modes.cpp.o"
+  "CMakeFiles/granlog_analysis.dir/Modes.cpp.o.d"
+  "CMakeFiles/granlog_analysis.dir/Solutions.cpp.o"
+  "CMakeFiles/granlog_analysis.dir/Solutions.cpp.o.d"
+  "libgranlog_analysis.a"
+  "libgranlog_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/granlog_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/granlog_core.dir/GranularityAnalyzer.cpp.o"
+  "CMakeFiles/granlog_core.dir/GranularityAnalyzer.cpp.o.d"
+  "CMakeFiles/granlog_core.dir/Threshold.cpp.o"
+  "CMakeFiles/granlog_core.dir/Threshold.cpp.o.d"
+  "CMakeFiles/granlog_core.dir/Transform.cpp.o"
+  "CMakeFiles/granlog_core.dir/Transform.cpp.o.d"
+  "libgranlog_core.a"
+  "libgranlog_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/granlog_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/granlog_corpus.dir/Corpus.cpp.o"
+  "CMakeFiles/granlog_corpus.dir/Corpus.cpp.o.d"
+  "CMakeFiles/granlog_corpus.dir/Harness.cpp.o"
+  "CMakeFiles/granlog_corpus.dir/Harness.cpp.o.d"
+  "libgranlog_corpus.a"
+  "libgranlog_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/granlog_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

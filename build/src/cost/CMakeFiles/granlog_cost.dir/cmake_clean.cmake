@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/granlog_cost.dir/CostAnalysis.cpp.o"
+  "CMakeFiles/granlog_cost.dir/CostAnalysis.cpp.o.d"
+  "libgranlog_cost.a"
+  "libgranlog_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/granlog_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/diffeq/Recurrence.cpp" "src/diffeq/CMakeFiles/granlog_diffeq.dir/Recurrence.cpp.o" "gcc" "src/diffeq/CMakeFiles/granlog_diffeq.dir/Recurrence.cpp.o.d"
+  "/root/repo/src/diffeq/Solver.cpp" "src/diffeq/CMakeFiles/granlog_diffeq.dir/Solver.cpp.o" "gcc" "src/diffeq/CMakeFiles/granlog_diffeq.dir/Solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expr/CMakeFiles/granlog_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/granlog_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/granlog_diffeq.dir/Recurrence.cpp.o"
+  "CMakeFiles/granlog_diffeq.dir/Recurrence.cpp.o.d"
+  "CMakeFiles/granlog_diffeq.dir/Solver.cpp.o"
+  "CMakeFiles/granlog_diffeq.dir/Solver.cpp.o.d"
+  "libgranlog_diffeq.a"
+  "libgranlog_diffeq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/granlog_diffeq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/granlog_expr.dir/Expr.cpp.o"
+  "CMakeFiles/granlog_expr.dir/Expr.cpp.o.d"
+  "CMakeFiles/granlog_expr.dir/ExprOps.cpp.o"
+  "CMakeFiles/granlog_expr.dir/ExprOps.cpp.o.d"
+  "libgranlog_expr.a"
+  "libgranlog_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/granlog_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/granlog_interp.dir/Interpreter.cpp.o"
+  "CMakeFiles/granlog_interp.dir/Interpreter.cpp.o.d"
+  "libgranlog_interp.a"
+  "libgranlog_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/granlog_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/granlog_program.dir/CallGraph.cpp.o"
+  "CMakeFiles/granlog_program.dir/CallGraph.cpp.o.d"
+  "CMakeFiles/granlog_program.dir/Program.cpp.o"
+  "CMakeFiles/granlog_program.dir/Program.cpp.o.d"
+  "libgranlog_program.a"
+  "libgranlog_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/granlog_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

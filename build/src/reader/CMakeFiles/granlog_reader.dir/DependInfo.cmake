@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reader/Lexer.cpp" "src/reader/CMakeFiles/granlog_reader.dir/Lexer.cpp.o" "gcc" "src/reader/CMakeFiles/granlog_reader.dir/Lexer.cpp.o.d"
+  "/root/repo/src/reader/OpTable.cpp" "src/reader/CMakeFiles/granlog_reader.dir/OpTable.cpp.o" "gcc" "src/reader/CMakeFiles/granlog_reader.dir/OpTable.cpp.o.d"
+  "/root/repo/src/reader/Parser.cpp" "src/reader/CMakeFiles/granlog_reader.dir/Parser.cpp.o" "gcc" "src/reader/CMakeFiles/granlog_reader.dir/Parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/term/CMakeFiles/granlog_term.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/granlog_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/granlog_reader.dir/Lexer.cpp.o"
+  "CMakeFiles/granlog_reader.dir/Lexer.cpp.o.d"
+  "CMakeFiles/granlog_reader.dir/OpTable.cpp.o"
+  "CMakeFiles/granlog_reader.dir/OpTable.cpp.o.d"
+  "CMakeFiles/granlog_reader.dir/Parser.cpp.o"
+  "CMakeFiles/granlog_reader.dir/Parser.cpp.o.d"
+  "libgranlog_reader.a"
+  "libgranlog_reader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/granlog_reader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/granlog_runtime.dir/CostTree.cpp.o"
+  "CMakeFiles/granlog_runtime.dir/CostTree.cpp.o.d"
+  "CMakeFiles/granlog_runtime.dir/Scheduler.cpp.o"
+  "CMakeFiles/granlog_runtime.dir/Scheduler.cpp.o.d"
+  "libgranlog_runtime.a"
+  "libgranlog_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/granlog_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

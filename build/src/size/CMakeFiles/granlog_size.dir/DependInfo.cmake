@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/size/Measures.cpp" "src/size/CMakeFiles/granlog_size.dir/Measures.cpp.o" "gcc" "src/size/CMakeFiles/granlog_size.dir/Measures.cpp.o.d"
+  "/root/repo/src/size/SizeAnalysis.cpp" "src/size/CMakeFiles/granlog_size.dir/SizeAnalysis.cpp.o" "gcc" "src/size/CMakeFiles/granlog_size.dir/SizeAnalysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/granlog_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/diffeq/CMakeFiles/granlog_diffeq.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/granlog_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/reader/CMakeFiles/granlog_reader.dir/DependInfo.cmake"
+  "/root/repo/build/src/term/CMakeFiles/granlog_term.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/granlog_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/granlog_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/granlog_size.dir/Measures.cpp.o"
+  "CMakeFiles/granlog_size.dir/Measures.cpp.o.d"
+  "CMakeFiles/granlog_size.dir/SizeAnalysis.cpp.o"
+  "CMakeFiles/granlog_size.dir/SizeAnalysis.cpp.o.d"
+  "libgranlog_size.a"
+  "libgranlog_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/granlog_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

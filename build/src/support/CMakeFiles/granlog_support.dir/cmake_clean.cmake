@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/granlog_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/granlog_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/granlog_support.dir/Rational.cpp.o"
+  "CMakeFiles/granlog_support.dir/Rational.cpp.o.d"
+  "libgranlog_support.a"
+  "libgranlog_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/granlog_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

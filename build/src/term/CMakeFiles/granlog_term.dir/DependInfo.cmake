@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/term/Term.cpp" "src/term/CMakeFiles/granlog_term.dir/Term.cpp.o" "gcc" "src/term/CMakeFiles/granlog_term.dir/Term.cpp.o.d"
+  "/root/repo/src/term/TermWriter.cpp" "src/term/CMakeFiles/granlog_term.dir/TermWriter.cpp.o" "gcc" "src/term/CMakeFiles/granlog_term.dir/TermWriter.cpp.o.d"
+  "/root/repo/src/term/Unify.cpp" "src/term/CMakeFiles/granlog_term.dir/Unify.cpp.o" "gcc" "src/term/CMakeFiles/granlog_term.dir/Unify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/granlog_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/granlog_term.dir/Term.cpp.o"
+  "CMakeFiles/granlog_term.dir/Term.cpp.o.d"
+  "CMakeFiles/granlog_term.dir/TermWriter.cpp.o"
+  "CMakeFiles/granlog_term.dir/TermWriter.cpp.o.d"
+  "CMakeFiles/granlog_term.dir/Unify.cpp.o"
+  "CMakeFiles/granlog_term.dir/Unify.cpp.o.d"
+  "libgranlog_term.a"
+  "libgranlog_term.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/granlog_term.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgranlog_term.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/granlog_wam.dir/WamCompiler.cpp.o"
+  "CMakeFiles/granlog_wam.dir/WamCompiler.cpp.o.d"
+  "libgranlog_wam.a"
+  "libgranlog_wam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/granlog_wam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

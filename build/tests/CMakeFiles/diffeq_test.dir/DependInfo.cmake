@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/diffeq_test.cpp" "tests/CMakeFiles/diffeq_test.dir/diffeq_test.cpp.o" "gcc" "tests/CMakeFiles/diffeq_test.dir/diffeq_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/diffeq/CMakeFiles/granlog_diffeq.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/granlog_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/granlog_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffeq_test.dir/diffeq_test.cpp.o"
+  "CMakeFiles/diffeq_test.dir/diffeq_test.cpp.o.d"
+  "diffeq_test"
+  "diffeq_test.pdb"
+  "diffeq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffeq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/program_print_test.dir/program_print_test.cpp.o"
+  "CMakeFiles/program_print_test.dir/program_print_test.cpp.o.d"
+  "program_print_test"
+  "program_print_test.pdb"
+  "program_print_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/program_print_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/size_test.dir/size_test.cpp.o"
+  "CMakeFiles/size_test.dir/size_test.cpp.o.d"
+  "size_test"
+  "size_test.pdb"
+  "size_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/size_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

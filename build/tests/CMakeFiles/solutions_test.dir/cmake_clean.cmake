@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solutions_test.dir/solutions_test.cpp.o"
+  "CMakeFiles/solutions_test.dir/solutions_test.cpp.o.d"
+  "solutions_test"
+  "solutions_test.pdb"
+  "solutions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solutions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

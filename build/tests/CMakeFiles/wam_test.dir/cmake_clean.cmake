@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wam_test.dir/wam_test.cpp.o"
+  "CMakeFiles/wam_test.dir/wam_test.cpp.o.d"
+  "wam_test"
+  "wam_test.pdb"
+  "wam_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wam_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
