@@ -11,8 +11,13 @@
 #include "core/GranularityAnalyzer.h"
 #include "core/Transform.h"
 #include "corpus/Corpus.h"
+#include "support/Json.h"
+#include "support/Stats.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <fstream>
 
 using namespace granlog;
 
@@ -78,6 +83,69 @@ void BM_TransformOnly(benchmark::State &State) {
 }
 BENCHMARK(BM_TransformOnly);
 
+/// Analyzes the whole corpus once with instrumentation on and writes one
+/// JSON document (schema version: StatsJsonVersion) carrying, for every
+/// benchmark, the stats registry (phase timings, solver schema hits) and
+/// per-predicate provenance.  This is the machine-readable side of the
+/// Section 8 efficiency claim: CI can diff phase timings across commits.
+bool writeCorpusStats(const char *Path) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("version");
+  W.value(StatsJsonVersion);
+  W.key("benchmarks");
+  W.beginArray();
+  for (const BenchmarkDef &B : benchmarkCorpus()) {
+    TermArena Arena;
+    Diagnostics Diags;
+    auto P = loadProgram(B.Source, Arena, Diags);
+    if (!P)
+      continue;
+    StatsRegistry Stats;
+    AnalyzerOptions Options{CostMetric::resolutions(), 65.0};
+    Options.Stats = &Stats;
+    GranularityAnalyzer GA(*P, Options);
+    GA.run();
+    W.beginObject();
+    W.key("name");
+    W.value(B.Name);
+    W.key("analysis");
+    GA.writeJson(W);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << W.str() << '\n';
+  return true;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int Argc, char **Argv) {
+  const char *StatsOut = nullptr;
+  // Strip our flag before google-benchmark sees the argument list.
+  int OutArgc = 0;
+  for (int I = 0; I < Argc; ++I) {
+    constexpr const char Flag[] = "--granlog-stats-out=";
+    if (std::strncmp(Argv[I], Flag, sizeof(Flag) - 1) == 0)
+      StatsOut = Argv[I] + sizeof(Flag) - 1;
+    else
+      Argv[OutArgc++] = Argv[I];
+  }
+  Argc = OutArgc;
+
+  if (StatsOut && !writeCorpusStats(StatsOut)) {
+    std::fprintf(stderr, "error: cannot write %s\n", StatsOut);
+    return 1;
+  }
+
+  benchmark::Initialize(&Argc, Argv);
+  if (benchmark::ReportUnrecognizedArguments(Argc, Argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

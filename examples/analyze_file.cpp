@@ -6,41 +6,116 @@
 // would embed.
 //
 // Usage:
-//   analyze_file <file.pl | benchmark-name> [overhead-W] [metric]
+//   analyze_file [options] <file.pl | benchmark-name> [overhead-W] [metric]
 //   metric: resolutions | unifications | instructions
+// Options:
+//   --stats              print per-phase timings and domain counters
+//   --stats-json=FILE    write stats + per-predicate provenance as JSON
+//                        (schema version: StatsJsonVersion)
+//   --explain            print the provenance report for every predicate
+//   --explain=NAME       ... for predicates named NAME only
+//   --trace-out=FILE     run the benchmark goal on the simulated machine
+//                        and write a Chrome trace (Perfetto /
+//                        chrome://tracing); built-in benchmarks only
+//   --input=N            input parameter for --trace-out (default: the
+//                        paper's)
+//   --machine=M          rolog | andprolog simulated machine for
+//                        --trace-out (default: rolog)
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/GranularityAnalyzer.h"
 #include "core/Transform.h"
 #include "corpus/Corpus.h"
+#include "corpus/Harness.h"
+#include "interp/Interpreter.h"
+#include "runtime/Scheduler.h"
+#include "support/Json.h"
+#include "support/Stats.h"
+#include "support/TraceEvent.h"
 #include "term/TermWriter.h"
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 using namespace granlog;
 
+namespace {
+
+void usage(const char *Prog) {
+  std::printf("usage: %s [options] <file.pl | benchmark-name> [W] "
+              "[metric]\n",
+              Prog);
+  std::printf("options: --stats --stats-json=FILE --explain[=NAME] "
+              "--trace-out=FILE --input=N --machine=rolog|andprolog\n");
+  std::printf("built-in benchmarks:");
+  for (const BenchmarkDef &B : benchmarkCorpus())
+    std::printf(" %s", B.Name.c_str());
+  std::printf("\n");
+}
+
+/// --flag=value style option; returns nullptr when \p Arg is not \p Name.
+const char *optValue(const char *Arg, const char *Name) {
+  size_t Len = std::strlen(Name);
+  if (std::strncmp(Arg, Name, Len) == 0 && Arg[Len] == '=')
+    return Arg + Len + 1;
+  return nullptr;
+}
+
+} // namespace
+
 int main(int Argc, char **Argv) {
-  if (Argc < 2) {
-    std::printf("usage: %s <file.pl | benchmark-name> [W] [metric]\n",
-                Argv[0]);
-    std::printf("built-in benchmarks:");
-    for (const BenchmarkDef &B : benchmarkCorpus())
-      std::printf(" %s", B.Name.c_str());
-    std::printf("\n");
+  bool PrintStats = false;
+  bool Explain = false;
+  std::string ExplainName;
+  std::string StatsJsonPath;
+  std::string TraceOutPath;
+  std::string MachineName = "rolog";
+  int TraceInput = -1;
+  std::vector<const char *> Positional;
+
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (std::strcmp(Arg, "--stats") == 0) {
+      PrintStats = true;
+    } else if (std::strcmp(Arg, "--explain") == 0) {
+      Explain = true;
+    } else if (const char *V = optValue(Arg, "--explain")) {
+      Explain = true;
+      ExplainName = V;
+    } else if (const char *V = optValue(Arg, "--stats-json")) {
+      StatsJsonPath = V;
+    } else if (const char *V = optValue(Arg, "--trace-out")) {
+      TraceOutPath = V;
+    } else if (const char *V = optValue(Arg, "--input")) {
+      TraceInput = std::atoi(V);
+    } else if (const char *V = optValue(Arg, "--machine")) {
+      MachineName = V;
+    } else if (Arg[0] == '-' && Arg[1] == '-') {
+      std::printf("error: unknown option %s\n", Arg);
+      usage(Argv[0]);
+      return 1;
+    } else {
+      Positional.push_back(Arg);
+    }
+  }
+  if (Positional.empty()) {
+    usage(Argv[0]);
     return 1;
   }
 
+  const BenchmarkDef *Bench = findBenchmark(Positional[0]);
   std::string Source;
-  if (const BenchmarkDef *B = findBenchmark(Argv[1])) {
-    Source = B->Source;
+  if (Bench) {
+    Source = Bench->Source;
   } else {
-    std::ifstream In(Argv[1]);
+    std::ifstream In(Positional[0]);
     if (!In) {
-      std::printf("error: cannot open %s\n", Argv[1]);
+      std::printf("error: cannot open %s\n", Positional[0]);
       return 1;
     }
     std::stringstream Buffer;
@@ -48,10 +123,10 @@ int main(int Argc, char **Argv) {
     Source = Buffer.str();
   }
 
-  double W = Argc > 2 ? std::atof(Argv[2]) : 65.0;
+  double W = Positional.size() > 1 ? std::atof(Positional[1]) : 65.0;
   CostMetric Metric = CostMetric::resolutions();
-  if (Argc > 3) {
-    std::string M = Argv[3];
+  if (Positional.size() > 2) {
+    std::string M = Positional[2];
     if (M == "unifications")
       Metric = CostMetric::unifications();
     else if (M == "instructions")
@@ -68,16 +143,99 @@ int main(int Argc, char **Argv) {
   for (const Diagnostic &D : Diags.all())
     std::printf("%s\n", D.str().c_str());
 
-  GranularityAnalyzer GA(*P, {Metric, W});
+  StatsRegistry Stats;
+  bool WantStats =
+      PrintStats || !StatsJsonPath.empty() || !TraceOutPath.empty();
+  AnalyzerOptions Options{Metric, W};
+  if (WantStats)
+    Options.Stats = &Stats;
+  GranularityAnalyzer GA(*P, Options);
   GA.run();
   std::printf("%s\n", GA.report().c_str());
 
-  TransformStats Stats;
-  Program T = applyGranularityControl(*P, GA, &Stats);
+  if (Explain) {
+    std::printf("== provenance ==\n");
+    if (ExplainName.empty()) {
+      std::printf("%s\n", GA.explainAll().c_str());
+    } else {
+      bool Found = false;
+      for (const auto &Pred : P->predicates()) {
+        Functor F = Pred->functor();
+        if (P->symbols().text(F.Name) == ExplainName) {
+          std::printf("%s", GA.explain(F).c_str());
+          Found = true;
+        }
+      }
+      if (!Found)
+        std::printf("no predicate named '%s'\n", ExplainName.c_str());
+      std::printf("\n");
+    }
+  }
+
+  TransformStats TStats;
+  Program T = applyGranularityControl(*P, GA, &TStats);
   std::printf("== transformed program ==\n%s", programText(T).c_str());
   std::printf("\n%% %u parallel sites: %u sequentialized, %u guarded, "
               "%u kept parallel\n",
-              Stats.ParallelSites, Stats.Sequentialized, Stats.Guarded,
-              Stats.KeptParallel);
+              TStats.ParallelSites, TStats.Sequentialized, TStats.Guarded,
+              TStats.KeptParallel);
+
+  if (!TraceOutPath.empty()) {
+    if (!Bench) {
+      std::printf("error: --trace-out requires a built-in benchmark "
+                  "(a goal to run)\n");
+      return 1;
+    }
+    MachineConfig Machine = MachineName == "andprolog"
+                                ? MachineConfig::andProlog()
+                                : MachineConfig::rolog();
+    InterpOptions IOpts = interpOptionsFor(Machine);
+    IOpts.Stats = WantStats ? &Stats : nullptr;
+    Interpreter Interp(T, Arena, IOpts);
+    int Input = TraceInput >= 0 ? TraceInput : Bench->DefaultInput;
+    if (!Interp.solve(Bench->BuildGoal(Arena, Input))) {
+      std::printf("error: goal %s failed\n", Bench->label(Input).c_str());
+      return 1;
+    }
+    std::unique_ptr<CostNode> Tree = Interp.takeTree();
+    if (!Tree) {
+      std::printf("error: no execution trace captured\n");
+      return 1;
+    }
+    TraceWriter Trace;
+    SimResult Sim = simulate(*Tree, Machine, &Trace);
+    if (!Trace.writeFile(TraceOutPath)) {
+      std::printf("error: cannot write %s\n", TraceOutPath.c_str());
+      return 1;
+    }
+    std::printf("== simulation (%s, %s, P=%u) ==\n",
+                Bench->label(Input).c_str(), Machine.Name.c_str(),
+                Machine.Processors);
+    std::printf("  T = %.1f  Tseq = %.1f  speedup = %.2fx  tasks = %u  "
+                "overhead = %.1f\n",
+                Sim.ParallelTime, Sim.SequentialTime, Sim.speedup(),
+                Sim.TasksSpawned, Sim.OverheadUnits);
+    for (size_t I = 0; I != Sim.WorkerBusy.size(); ++I)
+      std::printf("  worker %zu: busy %.1f (%.0f%%)\n", I,
+                  Sim.WorkerBusy[I],
+                  Sim.utilization(static_cast<unsigned>(I)) * 100.0);
+    std::printf("  trace written to %s (open in Perfetto or "
+                "chrome://tracing)\n",
+                TraceOutPath.c_str());
+  }
+
+  if (PrintStats)
+    std::printf("== stats ==\n%s", Stats.str().c_str());
+
+  if (!StatsJsonPath.empty()) {
+    JsonWriter Writer;
+    GA.writeJson(Writer);
+    std::ofstream Out(StatsJsonPath);
+    if (!Out) {
+      std::printf("error: cannot write %s\n", StatsJsonPath.c_str());
+      return 1;
+    }
+    Out << Writer.str() << '\n';
+  }
   return 0;
 }

@@ -2,6 +2,8 @@
 
 #include "core/GranularityAnalyzer.h"
 
+#include "support/Json.h"
+
 using namespace granlog;
 
 GranularityAnalyzer::GranularityAnalyzer(const Program &P,
@@ -14,21 +16,43 @@ void GranularityAnalyzer::run() {
   if (Ran)
     return;
   Ran = true;
-  CG = std::make_unique<CallGraph>(*P);
-  Modes = std::make_unique<ModeTable>(*P, *CG);
-  Det = std::make_unique<Determinacy>(*P, *Modes);
-  Sizes = std::make_unique<SizeAnalysis>(*P, *CG, *Modes);
-  for (const std::string &Name : Options.DisabledSchemas)
-    Sizes->disableSchema(Name);
-  Sizes->run();
-  if (Options.Metric.kind() == CostMetricKind::Instructions)
+  StatsRegistry *Stats = Options.Stats;
+  ScopedTimer Total(Stats, "phase.total");
+  {
+    ScopedTimer T(Stats, "phase.callgraph");
+    CG = std::make_unique<CallGraph>(*P);
+  }
+  {
+    ScopedTimer T(Stats, "phase.modes");
+    Modes = std::make_unique<ModeTable>(*P, *CG);
+  }
+  {
+    ScopedTimer T(Stats, "phase.determinacy");
+    Det = std::make_unique<Determinacy>(*P, *Modes);
+  }
+  {
+    ScopedTimer T(Stats, "phase.size");
+    Sizes = std::make_unique<SizeAnalysis>(*P, *CG, *Modes);
+    Sizes->setStats(Stats);
+    for (const std::string &Name : Options.DisabledSchemas)
+      Sizes->disableSchema(Name);
+    Sizes->run();
+  }
+  if (Options.Metric.kind() == CostMetricKind::Instructions) {
+    ScopedTimer T(Stats, "phase.wam");
     Wam = std::make_unique<WamCompiler>(*P);
-  Costs = std::make_unique<CostAnalysis>(*P, *CG, *Modes, *Det, *Sizes,
-                                         Options.Metric, Wam.get());
-  for (const std::string &Name : Options.DisabledSchemas)
-    Costs->disableSchema(Name);
-  Costs->run();
+  }
+  {
+    ScopedTimer T(Stats, "phase.cost");
+    Costs = std::make_unique<CostAnalysis>(*P, *CG, *Modes, *Det, *Sizes,
+                                           Options.Metric, Wam.get());
+    Costs->setStats(Stats);
+    for (const std::string &Name : Options.DisabledSchemas)
+      Costs->disableSchema(Name);
+    Costs->run();
+  }
 
+  ScopedTimer ThresholdTimer(Stats, "phase.threshold");
   for (const auto &Pred : P->predicates()) {
     Functor F = Pred->functor();
     PredicateGranularity G;
@@ -53,13 +77,33 @@ void GranularityAnalyzer::run() {
     // User directives override the inferred classification.
     switch (Pred->parallelDecl()) {
     case ParallelDecl::Parallel:
+      if (G.Threshold.Class != GrainClass::AlwaysParallel)
+        G.Directive = ParallelDecl::Parallel;
       G.Threshold.Class = GrainClass::AlwaysParallel;
       break;
     case ParallelDecl::Sequential:
+      if (G.Threshold.Class != GrainClass::AlwaysSequential)
+        G.Directive = ParallelDecl::Sequential;
       G.Threshold.Class = GrainClass::AlwaysSequential;
       break;
     case ParallelDecl::None:
       break;
+    }
+    if (Stats) {
+      Stats->add("analyzer.predicates");
+      switch (G.Threshold.Class) {
+      case GrainClass::AlwaysSequential:
+        Stats->add("classify.always_sequential");
+        break;
+      case GrainClass::AlwaysParallel:
+        Stats->add("classify.always_parallel");
+        break;
+      case GrainClass::RuntimeTest:
+        Stats->add("classify.runtime_test");
+        break;
+      }
+      if (G.Directive != ParallelDecl::None)
+        Stats->add("classify.directive_override");
     }
     Info.emplace(F, std::move(G));
   }
@@ -113,4 +157,161 @@ std::string GranularityAnalyzer::report() const {
     Out += '\n';
   }
   return Out;
+}
+
+namespace {
+
+const char *className(GrainClass C) {
+  switch (C) {
+  case GrainClass::AlwaysSequential:
+    return "always sequential";
+  case GrainClass::AlwaysParallel:
+    return "always parallel";
+  case GrainClass::RuntimeTest:
+    return "runtime test";
+  }
+  return "?";
+}
+
+} // namespace
+
+std::string GranularityAnalyzer::explain(Functor F) const {
+  const SymbolTable &Symbols = P->symbols();
+  std::string Out = Symbols.text(F) + ":\n";
+  auto It = Info.find(F);
+  if (It == Info.end() || !Ran)
+    return Out + "  not analyzed\n";
+  const PredicateGranularity &G = It->second;
+  const PredicateSizeInfo &SI = Sizes->info(F);
+  const PredicateCostInfo &CI = Costs->info(F);
+
+  // Modes and measures (Section 3's givens).
+  Out += "  modes/measures:";
+  for (unsigned I = 0; I != F.Arity; ++I) {
+    ArgMode M = I < SI.Modes.size() ? SI.Modes[I] : ArgMode::Unknown;
+    const char *MC = M == ArgMode::In ? "+" : M == ArgMode::Out ? "-" : "?";
+    const char *Measure =
+        I < SI.Measures.size() ? measureName(SI.Measures[I]) : "?";
+    Out += std::string(" arg") + std::to_string(I + 1) + ":" + MC + Measure;
+  }
+  Out += '\n';
+
+  // Argument-size analysis provenance (Section 3 / schema table of
+  // Section 5).
+  for (unsigned I = 0; I != F.Arity; ++I) {
+    if (I >= SI.OutputSize.size() || !SI.OutputSize[I])
+      continue;
+    Out += "  size of output arg " + std::to_string(I + 1) + ": " +
+           exprText(SI.OutputSize[I]);
+    if (I < SI.OutputSchema.size() && !SI.OutputSchema[I].empty())
+      Out += "  [schema: " + SI.OutputSchema[I] + "]";
+    if (I < SI.OutputWhy.size() && !SI.OutputWhy[I].empty())
+      Out += "  [infinity: " + SI.OutputWhy[I] + "]";
+    Out += '\n';
+  }
+  if (G.RecArgPos >= 0)
+    Out += "  recursion on arg " + std::to_string(G.RecArgPos + 1) +
+           " (measure: " +
+           (static_cast<size_t>(G.RecArgPos) < SI.Measures.size()
+                ? measureName(SI.Measures[G.RecArgPos])
+                : "?") +
+           ")\n";
+
+  // Cost analysis provenance (Sections 4-5).
+  Out += "  cost bound: " + exprText(G.CostFn);
+  Out += G.CostExact ? "  (exact)\n" : "  (upper bound)\n";
+  if (!CI.Schema.empty())
+    Out += "  matched schema: " + CI.Schema + "\n";
+  if (!CI.Why.empty())
+    Out += "  infinity because: " + CI.Why + "\n";
+
+  // Threshold derivation and classification (Section 5).
+  Out += "  overhead W = " + std::to_string(Options.Overhead) + " " +
+         Options.Metric.name() + "\n";
+  Out += std::string("  classification: ") + className(G.Threshold.Class);
+  switch (G.Threshold.Class) {
+  case GrainClass::RuntimeTest:
+    Out += ": least n with Cost(n) > W is " +
+           std::to_string(G.Threshold.Threshold + 1) +
+           "; guard 'size(arg " + std::to_string(G.Threshold.ArgPos + 1) +
+           ") =< " + std::to_string(G.Threshold.Threshold) +
+           "' runs sequentially (threshold K = " +
+           std::to_string(G.Threshold.Threshold) + ", measure: " +
+           measureName(G.TestMeasure) + ")";
+    break;
+  case GrainClass::AlwaysParallel:
+    Out += G.Directive == ParallelDecl::Parallel
+               ? " (':- parallel' directive override)"
+               : (G.CostFn->isInfinity()
+                      ? " (no cost bound: spawn unconditionally, "
+                        "\"sequentializing a parallel language\")"
+                      : " (cost exceeds W already at size 0)");
+    break;
+  case GrainClass::AlwaysSequential:
+    Out += G.Directive == ParallelDecl::Sequential
+               ? " (':- sequential' directive override)"
+               : " (cost bound never exceeds W)";
+    break;
+  }
+  Out += '\n';
+  return Out;
+}
+
+std::string GranularityAnalyzer::explainAll() const {
+  std::string Out;
+  for (const auto &Pred : P->predicates())
+    Out += explain(Pred->functor());
+  return Out;
+}
+
+void GranularityAnalyzer::writeJson(JsonWriter &W) const {
+  W.beginObject();
+  W.key("version");
+  W.value(StatsJsonVersion);
+  W.key("metric");
+  W.value(Options.Metric.name());
+  W.key("overhead_w");
+  W.value(Options.Overhead);
+  if (Options.Stats) {
+    W.key("stats");
+    Options.Stats->writeJson(W);
+  }
+  W.key("predicates");
+  W.beginArray();
+  for (const auto &Pred : P->predicates()) {
+    Functor F = Pred->functor();
+    auto It = Info.find(F);
+    if (It == Info.end())
+      continue;
+    const PredicateGranularity &G = It->second;
+    const PredicateCostInfo &CI = Costs->info(F);
+    W.beginObject();
+    W.key("name");
+    W.value(P->symbols().text(F));
+    W.key("cost");
+    W.value(exprText(G.CostFn));
+    W.key("exact");
+    W.value(G.CostExact);
+    if (!CI.Schema.empty()) {
+      W.key("schema");
+      W.value(CI.Schema);
+    }
+    if (!CI.Why.empty()) {
+      W.key("why_infinity");
+      W.value(CI.Why);
+    }
+    W.key("class");
+    W.value(className(G.Threshold.Class));
+    if (G.Threshold.Class == GrainClass::RuntimeTest) {
+      W.key("threshold");
+      W.value(static_cast<int64_t>(G.Threshold.Threshold));
+      W.key("test_arg");
+      W.value(G.Threshold.ArgPos + 1);
+      W.key("test_measure");
+      W.value(measureName(G.TestMeasure));
+    }
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
 }

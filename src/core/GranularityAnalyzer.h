@@ -30,11 +30,14 @@
 #include "core/Threshold.h"
 #include "cost/CostAnalysis.h"
 #include "size/SizeAnalysis.h"
+#include "support/Stats.h"
 #include "wam/WamCompiler.h"
 
 #include <memory>
 
 namespace granlog {
+
+class JsonWriter;
 
 /// Configuration of one analysis run.
 struct AnalyzerOptions {
@@ -45,6 +48,10 @@ struct AnalyzerOptions {
   /// Difference-equation schemas to remove from the solver table (for
   /// ablation studies of the paper's "approximation set" S).
   std::vector<std::string> DisabledSchemas;
+  /// When non-null, run() records per-phase wall-clock timers
+  /// ("phase.<name>") and domain counters from every layer into this
+  /// registry.  Null (the default) keeps the pipeline instrumentation-free.
+  StatsRegistry *Stats = nullptr;
 };
 
 /// Everything the analysis learned about one predicate.
@@ -54,6 +61,9 @@ struct PredicateGranularity {
   ThresholdInfo Threshold;    ///< scheduling decision
   int RecArgPos = -1;         ///< recursion argument position
   MeasureKind TestMeasure = MeasureKind::TermSize; ///< for the size test
+  /// A ':- parallel'/':- sequential' directive that overrode the inferred
+  /// classification (None when the classification was computed).
+  ParallelDecl Directive = ParallelDecl::None;
 };
 
 /// Runs and stores the full pipeline over one Program.
@@ -89,6 +99,20 @@ public:
   /// Renders a human-readable report of the analysis results (cost
   /// functions, thresholds and classifications per predicate).
   std::string report() const;
+
+  /// Provenance report for one predicate: modes and measures, which
+  /// solver schema the size and cost equations matched (or why they fell
+  /// to Infinity), the derived cost function and threshold, and the final
+  /// classification with its justification.  Lets a user audit every
+  /// scheduling decision against the paper's Sections 3-5.
+  std::string explain(Functor F) const;
+  /// explain() for all predicates, in program order.
+  std::string explainAll() const;
+
+  /// Writes one JSON object carrying the stats registry (when attached),
+  /// and per-predicate analysis provenance.  Schema version:
+  /// StatsJsonVersion.
+  void writeJson(JsonWriter &W) const;
 
 private:
   const Program *P;

@@ -226,25 +226,40 @@ void CostAnalysis::analyzeSCC(const std::vector<Functor> &Members) {
   for (Functor F : Members) {
     PredicateCostInfo &CI = Info[F];
     bool Exact = true;
-    std::string Schema;
-    CI.CostFn = solvePredicate(F, ClauseCosts[F], &Exact, &Schema);
+    std::string Schema, Why;
+    CI.CostFn = solvePredicate(F, ClauseCosts[F], &Exact, &Schema, &Why);
     CI.Exact = Exact;
     CI.Schema = Schema;
+    CI.Why = Why;
+    if (CI.CostFn && CI.CostFn->isInfinity() && CI.Why.empty())
+      CI.Why = "a clause body contains an unbounded goal (undefined "
+               "predicate, findall, or an unbounded solution count)";
+    if (Stats) {
+      Stats->add("cost.predicates");
+      if (CI.CostFn && CI.CostFn->isInfinity())
+        Stats->add("cost.infinity");
+      if (!Exact)
+        Stats->add("cost.relaxed");
+    }
   }
 }
 
 ExprRef CostAnalysis::solvePredicate(Functor F,
                                      const std::vector<ExprRef> &ClauseCosts,
-                                     bool *Exact, std::string *Schema) {
+                                     bool *Exact, std::string *Schema,
+                                     std::string *Why) {
   *Exact = true;
   const Predicate *Pred = P->lookup(F);
-  if (!Pred || ClauseCosts.empty())
+  if (!Pred || ClauseCosts.empty()) {
+    *Why = "predicate has no clauses";
     return makeInfinity();
+  }
 
   // A ':- trust_cost' declaration overrides the inference entirely.
   if (const Term *Trust = Pred->trustCost()) {
     *Exact = false;
     *Schema = "trusted";
+    statsAdd(Stats, "cost.trusted");
     return trustTermToExpr(Trust, P->symbols());
   }
 
@@ -326,14 +341,23 @@ ExprRef CostAnalysis::solvePredicate(Functor F,
         StillForeign = true;
     if (StillForeign || RecIndex < 0) {
       *Exact = false;
+      *Why = StillForeign
+                 ? "mutual recursion could not be reduced to a single "
+                   "equation by substitution"
+                 : "no single decreasing recursion argument";
+      statsAdd(Stats, "cost.recurrence_failed");
       return makeInfinity();
     }
     std::optional<Recurrence> R = extractRecurrence(
         SelfName, Params, static_cast<unsigned>(RecIndex), Reduced);
     if (!R) {
       *Exact = false;
+      *Why = "recursive clause is not in difference-equation normal form "
+             "(self-call argument not n-k or n/b)";
+      statsAdd(Stats, "cost.recurrence_failed");
       return makeInfinity();
     }
+    statsAdd(Stats, "cost.recurrences");
     Recs.push_back(std::move(*R));
   }
 
@@ -343,8 +367,10 @@ ExprRef CostAnalysis::solvePredicate(Functor F,
     std::vector<ExprRef> All = Bases;
     for (const Boundary &B : Boundaries)
       All.push_back(B.Value);
-    if (All.empty())
+    if (All.empty()) {
+      *Why = "predicate has no clauses";
       return makeInfinity();
+    }
     *Exact = All.size() == 1;
     return Exclusive ? makeMax(std::move(All)) : makeAdd(std::move(All));
   }
@@ -373,6 +399,7 @@ ExprRef CostAnalysis::solvePredicate(Functor F,
   Merged.Boundaries = Boundaries;
   SolveResult S = Solver.solve(Merged);
   *Schema = S.SchemaName;
+  *Why = S.Why;
   *Exact = S.Exact && MergeExact && Bases.empty() && Exclusive;
   if (S.failed())
     return makeInfinity();

@@ -74,6 +74,9 @@ struct PredicateCostInfo {
   ExprRef CostFn;
   bool Exact = false;
   std::string Schema; ///< solver schema used ("" if none / nonrecursive)
+  /// Provenance: why the cost fell to Infinity (empty otherwise);
+  /// surfaced by GranularityAnalyzer::explain().
+  std::string Why;
 };
 
 /// The cost analysis driver.  Requires a completed SizeAnalysis.
@@ -109,6 +112,13 @@ public:
     Solver.disableSchema(Name);
   }
 
+  /// Records domain counters ("cost.*") and solver counters
+  /// ("cost.solver.*") into \p Stats; call before run().
+  void setStats(StatsRegistry *Stats) {
+    this->Stats = Stats;
+    Solver.setStats(Stats, "cost.solver");
+  }
+
 private:
   void analyzeSCC(const std::vector<Functor> &Members);
 
@@ -117,7 +127,7 @@ private:
   ExprRef clauseCost(Functor F, unsigned ClauseIndex, const Clause &C);
 
   ExprRef solvePredicate(Functor F, const std::vector<ExprRef> &ClauseCosts,
-                         bool *Exact, std::string *Schema);
+                         bool *Exact, std::string *Schema, std::string *Why);
 
   const Program *P;
   const CallGraph *CG;
@@ -128,6 +138,7 @@ private:
   const WamCompiler *Wam;
   DiffEqSolver Solver;
   SolutionsAnalysis Sols;
+  StatsRegistry *Stats = nullptr;
   std::unordered_map<Functor, PredicateCostInfo> Info;
 };
 

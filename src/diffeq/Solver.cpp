@@ -253,15 +253,43 @@ DiffEqSolver::DiffEqSolver() {
 DiffEqSolver::~DiffEqSolver() = default;
 
 SolveResult DiffEqSolver::solve(const Recurrence &R) const {
+  if (Stats)
+    Stats->add(StatsPrefix + ".solve");
   // Equations whose additive part still mentions unknown functions cannot
   // be solved; and equations with both shift and divide terms have no
   // schema in the library.
   if (!containsAnyCall(R.Additive)) {
     for (const auto &S : Schemas)
-      if (std::optional<SolveResult> Result = S->apply(R))
+      if (std::optional<SolveResult> Result = S->apply(R)) {
+        if (Stats) {
+          Stats->add(StatsPrefix + ".hit." + Result->SchemaName);
+          if (!Result->Exact)
+            Stats->add(StatsPrefix + ".relaxed");
+        }
         return *Result;
+      }
   }
-  return SolveResult{makeInfinity(), std::string(), /*Exact=*/false};
+  if (Stats)
+    Stats->add(StatsPrefix + ".infinity");
+  // Diagnose the failure for explain() in increasing order of specificity.
+  std::string Why;
+  if (containsAnyCall(R.Additive))
+    Why = "additive part still contains unknown function calls (system "
+          "of equations could not be reduced by substitution)";
+  else if (!R.ShiftTerms.empty() && !R.DivideTerms.empty())
+    Why = "equation mixes shift and divide self terms; no library schema "
+          "covers that shape";
+  else if (R.hasSelfTerms() && R.Boundaries.empty())
+    Why = "no boundary conditions (recursion has no constant-size base "
+          "case)";
+  else {
+    Why = "no schema in the approximation set matched (tried:";
+    for (const auto &S : Schemas)
+      Why += std::string(" ") + S->name();
+    Why += ")";
+  }
+  return SolveResult{makeInfinity(), std::string(), /*Exact=*/false,
+                     std::move(Why)};
 }
 
 void DiffEqSolver::disableSchema(const std::string &Name) {

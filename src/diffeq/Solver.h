@@ -24,6 +24,7 @@
 #define GRANLOG_DIFFEQ_SOLVER_H
 
 #include "diffeq/Recurrence.h"
+#include "support/Stats.h"
 
 #include <memory>
 #include <string>
@@ -36,6 +37,10 @@ struct SolveResult {
   ExprRef Closed;         ///< closed form in Recurrence::Var; Infinity on failure
   std::string SchemaName; ///< which library schema produced it ("" = none)
   bool Exact = false;     ///< true when no upper-bound relaxation was applied
+  /// Provenance: why the equation fell to Infinity (empty on success).
+  /// Surfaces through GranularityAnalyzer::explain() so every Infinity
+  /// classification can be audited.
+  std::string Why;
 
   bool failed() const { return Closed->isInfinity(); }
 };
@@ -73,8 +78,18 @@ public:
   /// Names of the installed schemas, in match order.
   std::vector<std::string> schemaNames() const;
 
+  /// Directs per-solve counters ("<prefix>.hit.<schema>",
+  /// "<prefix>.infinity", "<prefix>.relaxed") to \p Stats.  Null disables
+  /// recording (the default).
+  void setStats(StatsRegistry *Stats, std::string Prefix) {
+    this->Stats = Stats;
+    StatsPrefix = std::move(Prefix);
+  }
+
 private:
   std::vector<std::unique_ptr<Schema>> Schemas;
+  StatsRegistry *Stats = nullptr;
+  std::string StatsPrefix;
 };
 
 /// \name Helpers shared by schemas and the analyses.

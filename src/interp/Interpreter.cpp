@@ -53,6 +53,18 @@ bool Interpreter::solve(const Term *Goal) {
   Counters.Unifications = UStats.Unifications;
   if (Tree)
     FinishedTree = Tree->finish();
+  if (StatsRegistry *S = Options.Stats) {
+    S->add("interp.queries");
+    S->add("interp.resolutions", Counters.Resolutions);
+    S->add("interp.attempts", Counters.Attempts);
+    S->add("interp.builtins", Counters.Builtins);
+    S->add("interp.grain_tests", Counters.GrainTests);
+    S->add("interp.unifications", Counters.Unifications);
+    S->add("interp.instructions", Counters.Instructions);
+    S->addValue("interp.work_units", Counters.WorkUnits);
+    if (Aborted)
+      S->add("interp.aborted");
+  }
   return Result && !Aborted;
 }
 

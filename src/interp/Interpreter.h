@@ -26,6 +26,7 @@
 
 #include "program/Program.h"
 #include "runtime/CostTree.h"
+#include "support/Stats.h"
 #include "wam/WamCompiler.h"
 #include "term/Unify.h"
 
@@ -60,6 +61,9 @@ struct InterpOptions {
   /// a failed head match costs one instruction (indexing).  Builtins and
   /// resolutions then carry no extra flat weight.
   const WamCompiler *Wam = nullptr;
+  /// When non-null, each solve() flushes its event counters into this
+  /// registry under "interp.*" (aggregating across runs).
+  StatsRegistry *Stats = nullptr;
 };
 
 /// Event counters of one run.

@@ -2,12 +2,32 @@
 
 #include "runtime/Scheduler.h"
 
+#include "support/TraceEvent.h"
+
 #include <deque>
 #include <queue>
 
 using namespace granlog;
 
 namespace {
+
+/// What a Work segment's time is spent on; only distinguished for trace
+/// emission (spans and overhead markers), never for timing.
+enum class WorkTag { Compute, Spawn, Sched, Join };
+
+const char *tagName(WorkTag Tag) {
+  switch (Tag) {
+  case WorkTag::Compute:
+    return "compute";
+  case WorkTag::Spawn:
+    return "spawn";
+  case WorkTag::Sched:
+    return "sched";
+  case WorkTag::Join:
+    return "join";
+  }
+  return "?";
+}
 
 /// One step of a task's execution.
 struct Segment {
@@ -16,6 +36,7 @@ struct Segment {
   double Units = 0;               ///< Work: duration
   std::vector<unsigned> Children; ///< Fork: tasks to enqueue
   unsigned Group = 0;             ///< Fork/Join: join group id
+  WorkTag Tag = WorkTag::Compute; ///< Work: what the time pays for
 };
 
 /// A schedulable task: a flattened branch of the cost tree.
@@ -31,7 +52,11 @@ struct SimTask {
 /// Flattens a CostNode tree into SimTasks.
 class TaskBuilder {
 public:
-  TaskBuilder(const MachineConfig &Config) : Config(Config) {}
+  /// With \p SplitTags, overhead work is kept in separate segments so the
+  /// trace can attribute it; merged otherwise (identical timing, fewer
+  /// events).
+  TaskBuilder(const MachineConfig &Config, bool SplitTags = false)
+      : Config(Config), SplitTags(SplitTags) {}
 
   unsigned build(const CostNode &Branch) {
     unsigned Id = static_cast<unsigned>(Tasks.size());
@@ -45,17 +70,20 @@ public:
   double overheadUnits() const { return Overhead; }
 
 private:
-  void addWork(unsigned Task, double Units) {
+  void addWork(unsigned Task, double Units,
+               WorkTag Tag = WorkTag::Compute) {
     if (Units <= 0)
       return;
     std::vector<Segment> &Segs = Tasks[Task].Segments;
-    if (!Segs.empty() && Segs.back().SegKind == Segment::Kind::Work) {
+    if (!Segs.empty() && Segs.back().SegKind == Segment::Kind::Work &&
+        (!SplitTags || Segs.back().Tag == Tag)) {
       Segs.back().Units += Units;
       return;
     }
     Segment S;
     S.SegKind = Segment::Kind::Work;
     S.Units = Units;
+    S.Tag = SplitTags ? Tag : WorkTag::Compute;
     Segs.push_back(std::move(S));
   }
 
@@ -83,7 +111,7 @@ private:
     double SpawnCost = Config.SpawnOverhead * Extra;
     Overhead += SpawnCost + Config.JoinOverhead +
                 Config.SchedOverhead * Extra;
-    addWork(Task, SpawnCost);
+    addWork(Task, SpawnCost, WorkTag::Spawn);
 
     unsigned Group = static_cast<unsigned>(Tasks[Task].GroupRemaining.size());
     Tasks[Task].GroupRemaining.push_back(Extra);
@@ -97,7 +125,7 @@ private:
       Tasks[Child].Parent = static_cast<int>(Task);
       Tasks[Child].ParentGroup = Group;
       ++Spawned;
-      addWork(Child, Config.SchedOverhead);
+      addWork(Child, Config.SchedOverhead, WorkTag::Sched);
       append(Child, *Branches[I]);
       Fork.Children.push_back(Child);
     }
@@ -107,11 +135,12 @@ private:
     Join.SegKind = Segment::Kind::Join;
     Join.Group = Group;
     Tasks[Task].Segments.push_back(std::move(Join));
-    addWork(Task, Config.JoinOverhead);
+    addWork(Task, Config.JoinOverhead, WorkTag::Join);
   }
 
   const MachineConfig &Config;
   std::vector<SimTask> Tasks;
+  bool SplitTags;
   unsigned Spawned = 0;
   double Overhead = 0;
 };
@@ -119,10 +148,14 @@ private:
 /// The event-driven simulation.
 class Simulation {
 public:
-  Simulation(std::vector<SimTask> Tasks, unsigned Workers)
-      : Tasks(std::move(Tasks)) {
+  Simulation(std::vector<SimTask> Tasks, unsigned Workers,
+             TraceWriter *Trace = nullptr)
+      : Tasks(std::move(Tasks)), Busy(Workers, 0.0), Trace(Trace) {
     for (unsigned W = 0; W != Workers; ++W)
       IdleWorkers.push_back(Workers - 1 - W); // pop lowest id first
+    if (Trace)
+      for (unsigned W = 0; W != Workers; ++W)
+        Trace->threadName(W, "worker " + std::to_string(W));
   }
 
   double run() {
@@ -140,6 +173,9 @@ public:
     }
     return Makespan;
   }
+
+  /// Per-worker busy time; valid after run().
+  std::vector<double> takeBusy() { return std::move(Busy); }
 
 private:
   struct Event {
@@ -167,6 +203,18 @@ private:
       Segment &S = Task.Segments[Task.NextSeg];
       switch (S.SegKind) {
       case Segment::Kind::Work:
+        Busy[Worker] += S.Units;
+        if (Trace) {
+          if (S.Tag == WorkTag::Compute) {
+            Trace->complete("task" + std::to_string(TaskId), "task", Worker,
+                            T, S.Units);
+          } else {
+            // Overhead payment: a span attributing the time plus an
+            // instant marker at the payment moment.
+            Trace->complete(tagName(S.Tag), "overhead", Worker, T, S.Units);
+            Trace->instant(tagName(S.Tag), "overhead", Worker, T);
+          }
+        }
         Events.push({T + S.Units, NextSeq++, Worker, TaskId});
         return;
       case Segment::Kind::Fork:
@@ -223,22 +271,25 @@ private:
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> Events;
   uint64_t NextSeq = 0;
   double Makespan = 0;
+  std::vector<double> Busy;
+  TraceWriter *Trace;
 };
 
 } // namespace
 
-SimResult granlog::simulate(const CostNode &Root,
-                            const MachineConfig &Config) {
+SimResult granlog::simulate(const CostNode &Root, const MachineConfig &Config,
+                            TraceWriter *Trace) {
   SimResult Result;
   Result.SequentialTime = Root.totalWork();
   Result.CriticalPath = Root.criticalPath();
 
-  TaskBuilder Builder(Config);
+  TaskBuilder Builder(Config, /*SplitTags=*/Trace != nullptr);
   Builder.build(Root);
   Result.TasksSpawned = Builder.tasksSpawned();
   Result.OverheadUnits = Builder.overheadUnits();
 
-  Simulation Sim(Builder.take(), std::max(1u, Config.Processors));
+  Simulation Sim(Builder.take(), std::max(1u, Config.Processors), Trace);
   Result.ParallelTime = Sim.run();
+  Result.WorkerBusy = Sim.takeBusy();
   return Result;
 }

@@ -32,6 +32,8 @@
 
 namespace granlog {
 
+class TraceWriter;
+
 /// The simulated machine.
 struct MachineConfig {
   unsigned Processors = 4;
@@ -89,14 +91,39 @@ struct SimResult {
   double CriticalPath = 0;   ///< bound with infinite workers, no overheads
   unsigned TasksSpawned = 0; ///< branches that became separate tasks
   double OverheadUnits = 0;  ///< total spawn+sched+join cost paid
+  /// Per simulated worker: time spent executing segments (work or
+  /// overhead); idle time is ParallelTime - WorkerBusy[w].
+  std::vector<double> WorkerBusy;
 
+  /// An empty trace took no time on either machine: speedup 1, not 0.
   double speedup() const {
-    return ParallelTime > 0 ? SequentialTime / ParallelTime : 0;
+    return ParallelTime > 0 ? SequentialTime / ParallelTime : 1.0;
+  }
+
+  /// Busy fraction of worker \p W over the makespan, in [0, 1].
+  double utilization(unsigned W) const {
+    if (ParallelTime <= 0 || W >= WorkerBusy.size())
+      return 0;
+    return WorkerBusy[W] / ParallelTime;
+  }
+  /// Mean busy fraction across all workers.
+  double utilization() const {
+    if (ParallelTime <= 0 || WorkerBusy.empty())
+      return 0;
+    double Busy = 0;
+    for (double B : WorkerBusy)
+      Busy += B;
+    return Busy / (ParallelTime * static_cast<double>(WorkerBusy.size()));
   }
 };
 
-/// Simulates the execution trace \p Root on \p Config.
-SimResult simulate(const CostNode &Root, const MachineConfig &Config);
+/// Simulates the execution trace \p Root on \p Config.  When \p Trace is
+/// non-null, emits a Chrome trace: one track per worker, complete spans
+/// for executed task segments ("task<id>", category "task"; overhead
+/// segments under category "overhead") and instant events at each
+/// spawn/sched/join overhead payment.
+SimResult simulate(const CostNode &Root, const MachineConfig &Config,
+                   TraceWriter *Trace = nullptr);
 
 } // namespace granlog
 

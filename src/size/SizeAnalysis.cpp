@@ -538,26 +538,41 @@ void SizeAnalysis::analyzeSCC(const std::vector<Functor> &Members) {
   for (Functor F : Members) {
     PredicateSizeInfo &PI = Info[F];
     PI.OutputSize.assign(F.Arity, nullptr);
+    PI.OutputSchema.assign(F.Arity, std::string());
+    PI.OutputWhy.assign(F.Arity, std::string());
     PI.RecArgPos = recursionArg(F);
     for (unsigned O : Modes->outputPositions(F)) {
       bool Exact = true;
-      PI.OutputSize[O] = solveOutput(F, O, Facts[F], &Exact);
+      PI.OutputSize[O] = solveOutput(F, O, Facts[F], &Exact,
+                                     &PI.OutputSchema[O], &PI.OutputWhy[O]);
       PI.Exact &= Exact;
+      if (Stats) {
+        Stats->add("size.outputs");
+        if (PI.OutputSize[O] && PI.OutputSize[O]->isInfinity())
+          Stats->add("size.infinity");
+        if (!Exact)
+          Stats->add("size.relaxed");
+      }
     }
   }
 }
 
 ExprRef SizeAnalysis::solveOutput(Functor F, unsigned OutPos,
                                   const std::vector<ClauseFacts> &Facts,
-                                  bool *Exact) {
+                                  bool *Exact, std::string *Schema,
+                                  std::string *Why) {
   *Exact = true;
   const Predicate *Pred = P->lookup(F);
-  if (!Pred)
+  if (!Pred) {
+    *Why = "predicate has no clauses";
     return makeInfinity();
+  }
 
   // A ':- trust_size' declaration overrides the inference entirely.
   if (const Term *Trust = Pred->trustSize(OutPos)) {
     *Exact = false;
+    *Schema = "trusted";
+    statsAdd(Stats, "size.trusted");
     return trustTermToExpr(Trust, P->symbols());
   }
 
@@ -650,14 +665,23 @@ ExprRef SizeAnalysis::solveOutput(Functor F, unsigned OutPos,
         StillForeign = true;
     if (StillForeign || RecIndex < 0) {
       *Exact = false;
+      *Why = StillForeign
+                 ? "mutual recursion could not be reduced to a single "
+                   "equation by substitution"
+                 : "no single decreasing recursion argument";
+      statsAdd(Stats, "size.recurrence_failed");
       return makeInfinity();
     }
     std::optional<Recurrence> R = extractRecurrence(
         SelfName, Params, static_cast<unsigned>(RecIndex), Reduced);
     if (!R) {
       *Exact = false;
+      *Why = "recursive clause is not in difference-equation normal form "
+             "(self-call argument not n-k or n/b)";
+      statsAdd(Stats, "size.recurrence_failed");
       return makeInfinity();
     }
+    statsAdd(Stats, "size.recurrences");
     Recs.push_back(std::move(*R));
   }
 
@@ -666,8 +690,10 @@ ExprRef SizeAnalysis::solveOutput(Functor F, unsigned OutPos,
     std::vector<ExprRef> All = Floors;
     for (const Boundary &B : Boundaries)
       All.push_back(B.Value);
-    if (All.empty())
+    if (All.empty()) {
+      *Why = "no clause binds this output position";
       return makeInfinity();
+    }
     *Exact = All.size() == 1;
     return makeMax(std::move(All));
   }
@@ -677,6 +703,8 @@ ExprRef SizeAnalysis::solveOutput(Functor F, unsigned OutPos,
   Merged.Boundaries = Boundaries;
   SolveResult S = Solver.solve(Merged);
   *Exact = S.Exact && MergeExact && Floors.empty();
+  *Schema = S.SchemaName;
+  *Why = S.Why;
   if (S.failed())
     return makeInfinity();
   ExprRef Result = S.Closed;

@@ -56,6 +56,11 @@ struct PredicateSizeInfo {
   /// True when every output size was solved without upper-bound
   /// relaxations.
   bool Exact = true;
+  /// Provenance, per argument position (empty for input positions):
+  /// the diffeq schema that solved the output ("" when nonrecursive), and
+  /// for Infinity results the reason the solve failed.
+  std::vector<std::string> OutputSchema;
+  std::vector<std::string> OutputWhy;
 };
 
 /// Facts about one body literal gathered while walking a clause.
@@ -121,6 +126,13 @@ public:
     Solver.disableSchema(Name);
   }
 
+  /// Records domain counters ("size.*") and solver counters
+  /// ("size.solver.*") into \p Stats; call before run().
+  void setStats(StatsRegistry *Stats) {
+    this->Stats = Stats;
+    Solver.setStats(Stats, "size.solver");
+  }
+
 private:
   friend class ClauseSizeWalker;
 
@@ -128,13 +140,16 @@ private:
 
   /// Builds, for output \p OutPos of \p F, the per-clause equations and
   /// solves them; called with all clause facts of the SCC available.
+  /// \p Schema and \p Why receive the solve provenance.
   ExprRef solveOutput(Functor F, unsigned OutPos,
-                      const std::vector<ClauseFacts> &Facts, bool *Exact);
+                      const std::vector<ClauseFacts> &Facts, bool *Exact,
+                      std::string *Schema, std::string *Why);
 
   const Program *P;
   const CallGraph *CG;
   const ModeTable *Modes;
   DiffEqSolver Solver;
+  StatsRegistry *Stats = nullptr;
   std::unordered_map<Functor, PredicateSizeInfo> Info;
   mutable std::unordered_map<Functor, int> RecArgCache;
 };

@@ -1,0 +1,312 @@
+//===- support/Json.cpp ---------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cassert>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+using namespace granlog;
+
+std::string granlog::jsonEscape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+void JsonWriter::preValue() {
+  if (!Levels.empty()) {
+    Level &L = Levels.back();
+    if (L.Kind == Scope::Array) {
+      if (L.HasValue)
+        Out += ',';
+    } else {
+      assert(L.KeyPending && "object value requires a preceding key");
+      L.KeyPending = false;
+    }
+    L.HasValue = true;
+  }
+}
+
+void JsonWriter::beginObject() {
+  preValue();
+  Out += '{';
+  Levels.push_back({Scope::Object});
+}
+
+void JsonWriter::endObject() {
+  assert(!Levels.empty() && Levels.back().Kind == Scope::Object);
+  Levels.pop_back();
+  Out += '}';
+}
+
+void JsonWriter::beginArray() {
+  preValue();
+  Out += '[';
+  Levels.push_back({Scope::Array});
+}
+
+void JsonWriter::endArray() {
+  assert(!Levels.empty() && Levels.back().Kind == Scope::Array);
+  Levels.pop_back();
+  Out += ']';
+}
+
+void JsonWriter::key(std::string_view K) {
+  assert(!Levels.empty() && Levels.back().Kind == Scope::Object);
+  Level &L = Levels.back();
+  if (L.HasValue)
+    Out += ',';
+  Out += '"';
+  Out += jsonEscape(K);
+  Out += "\":";
+  L.KeyPending = true;
+}
+
+void JsonWriter::value(std::string_view S) {
+  preValue();
+  Out += '"';
+  Out += jsonEscape(S);
+  Out += '"';
+}
+
+void JsonWriter::value(double D) {
+  preValue();
+  if (!std::isfinite(D)) {
+    // JSON has no Infinity/NaN literal.
+    Out += "null";
+    return;
+  }
+  // Integral values print without a fraction so documents are stable
+  // golden-test inputs.
+  if (D == std::floor(D) && std::fabs(D) < 1e15) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.0f", D);
+    Out += Buf;
+    return;
+  }
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.12g", D);
+  Out += Buf;
+}
+
+void JsonWriter::value(int64_t I) {
+  preValue();
+  Out += std::to_string(I);
+}
+
+void JsonWriter::value(uint64_t U) {
+  preValue();
+  Out += std::to_string(U);
+}
+
+void JsonWriter::value(bool B) {
+  preValue();
+  Out += B ? "true" : "false";
+}
+
+void JsonWriter::null() {
+  preValue();
+  Out += "null";
+}
+
+//===----------------------------------------------------------------------===//
+// Validator: a recursive-descent scanner over the JSON grammar.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Scanner {
+public:
+  explicit Scanner(std::string_view Text) : Text(Text) {}
+
+  bool run() {
+    skipWs();
+    if (!value())
+      return false;
+    skipWs();
+    return Pos == Text.size();
+  }
+
+private:
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+  bool eat(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+  bool literal(std::string_view L) {
+    if (Text.substr(Pos, L.size()) == L) {
+      Pos += L.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool string() {
+    if (!eat('"'))
+      return false;
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (static_cast<unsigned char>(C) < 0x20)
+        return false;
+      if (C == '\\') {
+        if (Pos >= Text.size())
+          return false;
+        char E = Text[Pos++];
+        if (E == 'u') {
+          for (int I = 0; I != 4; ++I, ++Pos)
+            if (Pos >= Text.size() || !std::isxdigit(
+                    static_cast<unsigned char>(Text[Pos])))
+              return false;
+        } else if (std::string_view("\"\\/bfnrt").find(E) ==
+                   std::string_view::npos) {
+          return false;
+        }
+      }
+    }
+    return false;
+  }
+
+  bool number() {
+    size_t Start = Pos;
+    eat('-');
+    if (eat('0')) {
+      // no leading zeros
+    } else {
+      if (Pos >= Text.size() || !std::isdigit(
+              static_cast<unsigned char>(Text[Pos])))
+        return false;
+      while (Pos < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+    }
+    if (eat('.')) {
+      if (Pos >= Text.size() || !std::isdigit(
+              static_cast<unsigned char>(Text[Pos])))
+        return false;
+      while (Pos < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      if (Pos >= Text.size() || !std::isdigit(
+              static_cast<unsigned char>(Text[Pos])))
+        return false;
+      while (Pos < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+    }
+    return Pos > Start;
+  }
+
+  bool value() {
+    if (++Depth > 256)
+      return false; // defend against pathological nesting
+    bool Ok = valueImpl();
+    --Depth;
+    return Ok;
+  }
+
+  bool valueImpl() {
+    skipWs();
+    if (Pos >= Text.size())
+      return false;
+    char C = Text[Pos];
+    if (C == '{') {
+      ++Pos;
+      skipWs();
+      if (eat('}'))
+        return true;
+      for (;;) {
+        skipWs();
+        if (!string())
+          return false;
+        skipWs();
+        if (!eat(':'))
+          return false;
+        if (!value())
+          return false;
+        skipWs();
+        if (eat('}'))
+          return true;
+        if (!eat(','))
+          return false;
+      }
+    }
+    if (C == '[') {
+      ++Pos;
+      skipWs();
+      if (eat(']'))
+        return true;
+      for (;;) {
+        if (!value())
+          return false;
+        skipWs();
+        if (eat(']'))
+          return true;
+        if (!eat(','))
+          return false;
+      }
+    }
+    if (C == '"')
+      return string();
+    if (C == 't')
+      return literal("true");
+    if (C == 'f')
+      return literal("false");
+    if (C == 'n')
+      return literal("null");
+    return number();
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+  int Depth = 0;
+};
+
+} // namespace
+
+bool granlog::jsonValidate(std::string_view Text) {
+  return Scanner(Text).run();
+}

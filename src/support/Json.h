@@ -1,0 +1,83 @@
+//===- support/Json.h - A minimal JSON writer -----------------------------===//
+//
+// Part of GranLog; see DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small hand-rolled JSON emitter (no external dependencies): a
+/// streaming writer with automatic comma placement, plus a syntactic
+/// validator used by the tests that check emitted documents.  Number
+/// formatting is deterministic — integral doubles print without a
+/// fractional part — so golden-file comparisons of emitted JSON are
+/// stable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_SUPPORT_JSON_H
+#define GRANLOG_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace granlog {
+
+/// Escapes \p S for inclusion in a JSON string literal (no quotes added).
+std::string jsonEscape(std::string_view S);
+
+/// Streaming JSON writer.  Usage:
+/// \code
+///   JsonWriter W;
+///   W.beginObject();
+///   W.key("n"); W.value(3);
+///   W.key("xs"); W.beginArray(); W.value(1.5); W.endArray();
+///   W.endObject();
+///   std::string Doc = W.take();
+/// \endcode
+class JsonWriter {
+public:
+  void beginObject();
+  void endObject();
+  void beginArray();
+  void endArray();
+
+  /// Writes an object key (must be inside an object, before a value).
+  void key(std::string_view K);
+
+  void value(std::string_view S);
+  void value(const char *S) { value(std::string_view(S)); }
+  void value(double D);
+  void value(int64_t I);
+  void value(uint64_t U);
+  void value(int I) { value(static_cast<int64_t>(I)); }
+  void value(unsigned U) { value(static_cast<uint64_t>(U)); }
+  void value(bool B);
+  void null();
+
+  /// The finished document.  Valid once all scopes are closed.
+  const std::string &str() const { return Out; }
+  std::string take() { return std::move(Out); }
+
+private:
+  /// Emits the separating comma when needed and marks a value written.
+  void preValue();
+
+  enum class Scope { Object, Array };
+  struct Level {
+    Scope Kind;
+    bool HasValue = false; ///< a value was already written at this level
+    bool KeyPending = false; ///< object: key written, value expected
+  };
+  std::string Out;
+  std::vector<Level> Levels;
+};
+
+/// Checks that \p Text is one syntactically valid JSON value (with
+/// optional surrounding whitespace).  Used by tests of emitted documents.
+bool jsonValidate(std::string_view Text);
+
+} // namespace granlog
+
+#endif // GRANLOG_SUPPORT_JSON_H

@@ -1,0 +1,83 @@
+//===- support/Stats.cpp --------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include "support/Json.h"
+
+#include <cstdio>
+
+using namespace granlog;
+
+void StatsRegistry::add(std::string_view Name, uint64_t N) {
+  auto It = Counters.find(Name);
+  if (It == Counters.end())
+    Counters.emplace(std::string(Name), N);
+  else
+    It->second += N;
+}
+
+void StatsRegistry::addValue(std::string_view Name, double Value) {
+  auto It = Values.find(Name);
+  if (It == Values.end())
+    Values.emplace(std::string(Name), Value);
+  else
+    It->second += Value;
+}
+
+uint64_t StatsRegistry::counter(std::string_view Name) const {
+  auto It = Counters.find(Name);
+  return It == Counters.end() ? 0 : It->second;
+}
+
+double StatsRegistry::value(std::string_view Name) const {
+  auto It = Values.find(Name);
+  return It == Values.end() ? 0.0 : It->second;
+}
+
+void StatsRegistry::clear() {
+  Counters.clear();
+  Values.clear();
+}
+
+std::string StatsRegistry::str() const {
+  std::string Out;
+  size_t Width = 0;
+  for (const auto &[Name, _] : Counters)
+    Width = std::max(Width, Name.size());
+  for (const auto &[Name, _] : Values)
+    Width = std::max(Width, Name.size());
+  auto Pad = [&](const std::string &Name) {
+    std::string S = "  " + Name;
+    S.append(Width + 2 - Name.size(), ' ');
+    return S;
+  };
+  for (const auto &[Name, V] : Values) {
+    char Buf[64];
+    // Phase timers are seconds; print with enough digits for microsecond
+    // phases without scientific notation.
+    std::snprintf(Buf, sizeof(Buf), "%.6f", V);
+    Out += Pad(Name) + Buf + "\n";
+  }
+  for (const auto &[Name, C] : Counters)
+    Out += Pad(Name) + std::to_string(C) + "\n";
+  return Out;
+}
+
+void StatsRegistry::writeJson(JsonWriter &W) const {
+  W.beginObject();
+  W.key("counters");
+  W.beginObject();
+  for (const auto &[Name, C] : Counters) {
+    W.key(Name);
+    W.value(C);
+  }
+  W.endObject();
+  W.key("values");
+  W.beginObject();
+  for (const auto &[Name, V] : Values) {
+    W.key(Name);
+    W.value(V);
+  }
+  W.endObject();
+  W.endObject();
+}

@@ -1,0 +1,124 @@
+//===- support/Stats.h - Named counters and phase timers ------------------===//
+//
+// Part of GranLog; see DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-light statistics registry in the style of CaDiCaL's Stats:
+/// named monotone counters plus named double-valued metrics (accumulated
+/// wall-clock phase timers, work units).  Every instrumented component
+/// holds a nullable StatsRegistry*; a null pointer means "stats off" and
+/// costs exactly one predicted-not-taken branch per event, so the
+/// instrumentation is free in production runs (acceptance: < 2% on
+/// bench_analyzer with stats off).
+///
+/// Naming convention (the stats taxonomy, see DESIGN.md "Observability"):
+///   phase.<name>          seconds spent in one analyzer phase
+///   <layer>.solver.hit.<schema>   diffeq schema matches per schema name
+///   <layer>.solver.infinity       equations that fell to Infinity
+///   <layer>.solver.relaxed        solves that applied an upper-bound
+///                                 relaxation (result not exact)
+///   size.*, cost.*        domain counters of the two equation layers
+///   classify.<class>      predicates per granularity classification
+///   interp.*              dynamic execution counters
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_SUPPORT_STATS_H
+#define GRANLOG_SUPPORT_STATS_H
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace granlog {
+
+class JsonWriter;
+
+/// Version of the JSON document written by StatsRegistry::writeJson and
+/// the tools that embed it (analyze_file --stats-json, bench_analyzer
+/// --granlog-stats-out).  Bump when renaming keys or changing structure so
+/// benchmark-history consumers can parse old records.
+inline constexpr int StatsJsonVersion = 1;
+
+/// Named counters and metrics.  Not thread-safe: one registry per
+/// analysis/simulation run (the pipeline is sequential).
+class StatsRegistry {
+public:
+  /// Increments counter \p Name by \p N.
+  void add(std::string_view Name, uint64_t N = 1);
+  /// Accumulates \p Value into metric \p Name (e.g. seconds of a phase).
+  void addValue(std::string_view Name, double Value);
+
+  /// Current counter value (0 when never incremented).
+  uint64_t counter(std::string_view Name) const;
+  /// Current metric value (0.0 when never recorded).
+  double value(std::string_view Name) const;
+
+  const std::map<std::string, uint64_t, std::less<>> &counters() const {
+    return Counters;
+  }
+  const std::map<std::string, double, std::less<>> &values() const {
+    return Values;
+  }
+
+  void clear();
+
+  /// Human-readable two-column listing, sorted by name.
+  std::string str() const;
+
+  /// Writes {"counters": {...}, "values": {...}} (one object value).
+  void writeJson(JsonWriter &W) const;
+
+private:
+  std::map<std::string, uint64_t, std::less<>> Counters;
+  std::map<std::string, double, std::less<>> Values;
+};
+
+/// RAII wall-clock timer: accumulates the scope's duration in seconds into
+/// metric \p Name.  Null registry => no-op (and no clock read).  Nested
+/// timers are independent: each accumulates its own full scope time, so
+/// "phase.total" can enclose the per-phase timers.
+class ScopedTimer {
+public:
+  ScopedTimer(StatsRegistry *Stats, std::string_view Name)
+      : Stats(Stats), Name(Name) {
+    if (Stats)
+      Start = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (Stats)
+      Stats->addValue(
+          Name, std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count());
+  }
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+private:
+  StatsRegistry *Stats;
+  std::string Name;
+  std::chrono::steady_clock::time_point Start;
+};
+
+/// \name Null-safe recording helpers for instrumented call sites.
+/// @{
+inline void statsAdd(StatsRegistry *S, std::string_view Name,
+                     uint64_t N = 1) {
+  if (S)
+    S->add(Name, N);
+}
+inline void statsAddValue(StatsRegistry *S, std::string_view Name,
+                          double Value) {
+  if (S)
+    S->addValue(Name, Value);
+}
+/// @}
+
+} // namespace granlog
+
+#endif // GRANLOG_SUPPORT_STATS_H

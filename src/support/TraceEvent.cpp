@@ -1,0 +1,98 @@
+//===- support/TraceEvent.cpp ---------------------------------------------===//
+
+#include "support/TraceEvent.h"
+
+#include "support/Json.h"
+
+#include <fstream>
+
+using namespace granlog;
+
+void TraceWriter::complete(std::string Name, std::string Category,
+                           unsigned Tid, double Ts, double Dur) {
+  TraceEvent E;
+  E.Name = std::move(Name);
+  E.Category = std::move(Category);
+  E.Phase = 'X';
+  E.Ts = Ts;
+  E.Dur = Dur;
+  E.Tid = Tid;
+  Events.push_back(std::move(E));
+}
+
+void TraceWriter::instant(std::string Name, std::string Category,
+                          unsigned Tid, double Ts) {
+  TraceEvent E;
+  E.Name = std::move(Name);
+  E.Category = std::move(Category);
+  E.Phase = 'i';
+  E.Ts = Ts;
+  E.Tid = Tid;
+  Events.push_back(std::move(E));
+}
+
+void TraceWriter::threadName(unsigned Tid, std::string Name) {
+  TraceEvent E;
+  E.Name = "thread_name";
+  E.Phase = 'M';
+  E.Tid = Tid;
+  E.Arg = std::move(Name);
+  Events.push_back(std::move(E));
+}
+
+std::string TraceWriter::json() const {
+  JsonWriter W;
+  W.beginObject();
+  W.key("traceEvents");
+  W.beginArray();
+  for (const TraceEvent &E : Events) {
+    W.beginObject();
+    W.key("name");
+    W.value(E.Name);
+    if (!E.Category.empty()) {
+      W.key("cat");
+      W.value(E.Category);
+    }
+    W.key("ph");
+    W.value(std::string_view(&E.Phase, 1));
+    W.key("pid");
+    W.value(0);
+    W.key("tid");
+    W.value(E.Tid);
+    switch (E.Phase) {
+    case 'X':
+      W.key("ts");
+      W.value(E.Ts);
+      W.key("dur");
+      W.value(E.Dur);
+      break;
+    case 'i':
+      W.key("ts");
+      W.value(E.Ts);
+      W.key("s"); // thread-scoped instant
+      W.value("t");
+      break;
+    case 'M':
+      W.key("args");
+      W.beginObject();
+      W.key("name");
+      W.value(E.Arg);
+      W.endObject();
+      break;
+    }
+    W.endObject();
+  }
+  W.endArray();
+  W.key("displayTimeUnit");
+  W.value("ms");
+  W.endObject();
+  return W.take();
+}
+
+bool TraceWriter::writeFile(const std::string &Path) const {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << json() << '\n';
+  return Out.good();
+}

@@ -1,0 +1,69 @@
+//===- support/TraceEvent.h - Chrome trace-event emission -----------------===//
+//
+// Part of GranLog; see DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A writer for the Chrome Trace Event Format (the JSON-object form with a
+/// "traceEvents" array), viewable in Perfetto or chrome://tracing.  The
+/// simulated multiprocessor (runtime/Scheduler) emits one track (tid) per
+/// simulated worker: complete events ("ph":"X") for executed task
+/// segments, instant events ("ph":"i") at the moments spawn/sched/join
+/// overheads are paid, and metadata events naming the worker threads.
+///
+/// Timestamps are the simulator's abstract work units, written to the
+/// format's microsecond field — one unit displays as one microsecond,
+/// which only rescales the (already abstract) time axis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_SUPPORT_TRACEEVENT_H
+#define GRANLOG_SUPPORT_TRACEEVENT_H
+
+#include <string>
+#include <vector>
+
+namespace granlog {
+
+/// One trace event, pre-serialization (tests inspect these directly).
+struct TraceEvent {
+  std::string Name;
+  std::string Category;
+  char Phase = 'X'; ///< 'X' complete, 'i' instant, 'M' metadata
+  double Ts = 0;    ///< start timestamp, abstract units
+  double Dur = 0;   ///< 'X' only
+  unsigned Tid = 0; ///< worker id (or target tid for metadata)
+  /// Metadata payload ("name" arg of thread_name events) or instant
+  /// detail; empty when unused.
+  std::string Arg;
+};
+
+/// Collects events and serializes the trace.
+class TraceWriter {
+public:
+  /// A span of work on a worker track.
+  void complete(std::string Name, std::string Category, unsigned Tid,
+                double Ts, double Dur);
+  /// A zero-duration marker on a worker track (thread-scoped).
+  void instant(std::string Name, std::string Category, unsigned Tid,
+               double Ts);
+  /// Names a worker track ("thread_name" metadata).
+  void threadName(unsigned Tid, std::string Name);
+
+  const std::vector<TraceEvent> &events() const { return Events; }
+
+  /// The full trace document: {"traceEvents": [...], ...}.
+  std::string json() const;
+
+  /// Serializes to \p Path; false (with no partial file guarantee) on I/O
+  /// failure.
+  bool writeFile(const std::string &Path) const;
+
+private:
+  std::vector<TraceEvent> Events;
+};
+
+} // namespace granlog
+
+#endif // GRANLOG_SUPPORT_TRACEEVENT_H

@@ -1,0 +1,170 @@
+//===- tests/observability_test.cpp - Stats and provenance tests ----------===//
+//
+// End-to-end checks of the instrumentation subsystem: phase timers and
+// domain counters recorded by GranularityAnalyzer::run(), the explain()
+// provenance report (which schema matched, why a bound fell to Infinity,
+// how the threshold was derived), and the JSON export.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/GranularityAnalyzer.h"
+#include "corpus/Corpus.h"
+#include "support/Json.h"
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+using namespace granlog;
+
+namespace {
+
+struct Analyzed {
+  TermArena Arena;
+  Diagnostics Diags;
+  std::optional<Program> P;
+  StatsRegistry Stats;
+  std::unique_ptr<GranularityAnalyzer> GA;
+};
+
+std::unique_ptr<Analyzed> analyze(const std::string &Source,
+                                  double W = 65.0) {
+  auto A = std::make_unique<Analyzed>();
+  A->P = loadProgram(Source, A->Arena, A->Diags);
+  if (!A->P)
+    return nullptr;
+  AnalyzerOptions Options{CostMetric::resolutions(), W};
+  Options.Stats = &A->Stats;
+  A->GA = std::make_unique<GranularityAnalyzer>(*A->P, Options);
+  A->GA->run();
+  return A;
+}
+
+} // namespace
+
+TEST(ObservabilityTest, PhaseTimersRecorded) {
+  auto A = analyze(findBenchmark("fib")->Source);
+  ASSERT_TRUE(A);
+  const char *Phases[] = {"phase.total",       "phase.callgraph",
+                          "phase.modes",       "phase.determinacy",
+                          "phase.size",        "phase.cost",
+                          "phase.threshold"};
+  for (const char *Phase : Phases) {
+    EXPECT_EQ(A->Stats.values().count(Phase), 1u) << Phase;
+    EXPECT_GE(A->Stats.value(Phase), 0.0) << Phase;
+  }
+  // The enclosing total covers each phase.
+  EXPECT_GE(A->Stats.value("phase.total"), A->Stats.value("phase.size"));
+  // The WAM phase only runs under the Instructions metric.
+  EXPECT_EQ(A->Stats.values().count("phase.wam"), 0u);
+}
+
+TEST(ObservabilityTest, FibHitsGeometricSchema) {
+  auto A = analyze(findBenchmark("fib")->Source);
+  ASSERT_TRUE(A);
+  EXPECT_EQ(A->Stats.counter("cost.solver.hit.geometric"), 1u);
+  EXPECT_EQ(A->Stats.counter("cost.solver.infinity"), 0u);
+  EXPECT_EQ(A->Stats.counter("cost.recurrences"), 1u);
+  EXPECT_GE(A->Stats.counter("size.solver.solve"), 1u);
+}
+
+TEST(ObservabilityTest, ClassCountersSumToPredicates) {
+  auto A = analyze(findBenchmark("quick_sort")->Source);
+  ASSERT_TRUE(A);
+  uint64_t Total = A->Stats.counter("analyzer.predicates");
+  EXPECT_GT(Total, 0u);
+  EXPECT_EQ(A->Stats.counter("classify.always_sequential") +
+                A->Stats.counter("classify.always_parallel") +
+                A->Stats.counter("classify.runtime_test"),
+            Total);
+}
+
+TEST(ObservabilityTest, ExplainNamesSchemaAndThreshold) {
+  auto A = analyze(findBenchmark("fib")->Source);
+  ASSERT_TRUE(A);
+  const PredicateGranularity *G = A->GA->lookup("fib", 2);
+  ASSERT_NE(G, nullptr);
+  ASSERT_EQ(G->Threshold.Class, GrainClass::RuntimeTest);
+
+  std::string Text = A->GA->explainAll();
+  EXPECT_NE(Text.find("fib/2"), std::string::npos);
+  EXPECT_NE(Text.find("matched schema: geometric"), std::string::npos);
+  EXPECT_NE(Text.find("classification: runtime test"), std::string::npos);
+  EXPECT_NE(Text.find("threshold K = " +
+                      std::to_string(G->Threshold.Threshold)),
+            std::string::npos);
+  EXPECT_NE(Text.find("recursion on arg 1"), std::string::npos);
+}
+
+TEST(ObservabilityTest, ExplainReportsInfinityReason) {
+  // last/2 recurses on a list but calls an undefined predicate, so its
+  // cost cannot be bounded: the report must say why, and the analyzer
+  // must count the infinity fallback.
+  auto A = analyze("last([X], X).\n"
+                   "last([_|T], X) :- mystery(T, T1), last(T1, X).\n");
+  ASSERT_TRUE(A);
+  EXPECT_GE(A->Stats.counter("cost.infinity"), 1u);
+  std::string Text = A->GA->explainAll();
+  EXPECT_NE(Text.find("infinity because:"), std::string::npos);
+  EXPECT_NE(Text.find("always parallel"), std::string::npos);
+}
+
+TEST(ObservabilityTest, DirectiveOverrideCounted) {
+  auto A = analyze(":- sequential(fib/2).\n"
+                   "fib(0, 0).\nfib(1, 1).\n"
+                   "fib(M, N) :- M > 1, M1 is M - 1, M2 is M - 2,\n"
+                   "    fib(M1, N1) & fib(M2, N2), N is N1 + N2.\n");
+  ASSERT_TRUE(A);
+  EXPECT_EQ(A->Stats.counter("classify.directive_override"), 1u);
+  EXPECT_NE(A->GA->explainAll().find("directive override"),
+            std::string::npos);
+}
+
+TEST(ObservabilityTest, JsonExportIsValidAndVersioned) {
+  auto A = analyze(findBenchmark("fib")->Source);
+  ASSERT_TRUE(A);
+  JsonWriter W;
+  A->GA->writeJson(W);
+  const std::string &Doc = W.str();
+  EXPECT_TRUE(jsonValidate(Doc));
+  EXPECT_NE(Doc.find("\"version\":" + std::to_string(StatsJsonVersion)),
+            std::string::npos);
+  EXPECT_NE(Doc.find("\"schema\":\"geometric\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"class\":\"runtime test\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"stats\":"), std::string::npos);
+  EXPECT_NE(Doc.find("phase.total"), std::string::npos);
+}
+
+TEST(ObservabilityTest, StatsOffLeavesRegistryUntouched) {
+  // A null Stats pointer must keep the pipeline silent (the zero-cost
+  // contract): analysis runs identically and records nothing anywhere.
+  TermArena Arena;
+  Diagnostics Diags;
+  auto P = loadProgram(findBenchmark("fib")->Source, Arena, Diags);
+  ASSERT_TRUE(P);
+  GranularityAnalyzer GA(*P, {CostMetric::resolutions(), 65.0});
+  GA.run();
+  const PredicateGranularity *G = GA.lookup("fib", 2);
+  ASSERT_NE(G, nullptr);
+  EXPECT_EQ(G->Threshold.Class, GrainClass::RuntimeTest);
+  // explain() still works without stats attached.
+  EXPECT_NE(GA.explainAll().find("matched schema: geometric"),
+            std::string::npos);
+}
+
+TEST(ObservabilityTest, RegistryAggregatesAcrossRuns) {
+  // One registry attached to two analyses accumulates (CI aggregates a
+  // whole corpus into one document).
+  StatsRegistry Stats;
+  for (int I = 0; I != 2; ++I) {
+    TermArena Arena;
+    Diagnostics Diags;
+    auto P = loadProgram(findBenchmark("fib")->Source, Arena, Diags);
+    ASSERT_TRUE(P);
+    AnalyzerOptions Options{CostMetric::resolutions(), 65.0};
+    Options.Stats = &Stats;
+    GranularityAnalyzer GA(*P, Options);
+    GA.run();
+  }
+  EXPECT_EQ(Stats.counter("analyzer.predicates"), 2u);
+  EXPECT_EQ(Stats.counter("cost.solver.hit.geometric"), 2u);
+}

@@ -1,9 +1,17 @@
-//===- tests/support_test.cpp - Rational and Diagnostics tests ------------===//
+//===- tests/support_test.cpp - Support-library tests ---------------------===//
+//
+// Rational, Diagnostics, the stats registry and the JSON writer/validator.
+//
+//===----------------------------------------------------------------------===//
 
 #include "support/Diagnostics.h"
+#include "support/Json.h"
 #include "support/Rational.h"
+#include "support/Stats.h"
 
 #include <gtest/gtest.h>
+
+#include <limits>
 
 using namespace granlog;
 
@@ -86,4 +94,156 @@ TEST(DiagnosticsTest, UnknownLocation) {
   SourceLoc Loc;
   EXPECT_FALSE(Loc.isValid());
   EXPECT_EQ(Loc.str(), "<unknown>");
+}
+
+TEST(DiagnosticsTest, DiagnosticStrPerKind) {
+  Diagnostic W{DiagKind::Warning, {2, 7}, "odd mode"};
+  EXPECT_EQ(W.str(), "2:7: warning: odd mode");
+  Diagnostic N{DiagKind::Note, {}, "see clause 1"};
+  EXPECT_EQ(N.str(), "<unknown>: note: see clause 1");
+  Diagnostics Diags;
+  Diags.note({5, 1}, "n");
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_NE(Diags.str().find("5:1: note: n"), std::string::npos);
+}
+
+TEST(StatsTest, CountersAggregate) {
+  StatsRegistry S;
+  EXPECT_EQ(S.counter("x"), 0u);
+  S.add("x");
+  S.add("x", 4);
+  S.add("y", 2);
+  EXPECT_EQ(S.counter("x"), 5u);
+  EXPECT_EQ(S.counter("y"), 2u);
+  EXPECT_EQ(S.counters().size(), 2u);
+  S.clear();
+  EXPECT_EQ(S.counter("x"), 0u);
+  EXPECT_TRUE(S.counters().empty());
+}
+
+TEST(StatsTest, ValuesAccumulate) {
+  StatsRegistry S;
+  EXPECT_DOUBLE_EQ(S.value("w"), 0.0);
+  S.addValue("w", 1.5);
+  S.addValue("w", 2.25);
+  EXPECT_DOUBLE_EQ(S.value("w"), 3.75);
+}
+
+TEST(StatsTest, NullSafeHelpers) {
+  statsAdd(nullptr, "x");
+  statsAddValue(nullptr, "w", 1.0);
+  StatsRegistry S;
+  statsAdd(&S, "x", 3);
+  statsAddValue(&S, "w", 0.5);
+  EXPECT_EQ(S.counter("x"), 3u);
+  EXPECT_DOUBLE_EQ(S.value("w"), 0.5);
+}
+
+TEST(StatsTest, ScopedTimerAccumulates) {
+  StatsRegistry S;
+  {
+    ScopedTimer T(&S, "phase.a");
+  }
+  {
+    ScopedTimer T(&S, "phase.a");
+  }
+  // Two completed scopes: nonnegative accumulated time, one entry.
+  EXPECT_GE(S.value("phase.a"), 0.0);
+  ASSERT_EQ(S.values().count("phase.a"), 1u);
+}
+
+TEST(StatsTest, ScopedTimerNests) {
+  StatsRegistry S;
+  {
+    ScopedTimer Outer(&S, "phase.total");
+    {
+      ScopedTimer Inner(&S, "phase.inner");
+    }
+  }
+  // The enclosing timer covers at least the inner scope.
+  EXPECT_GE(S.value("phase.total"), S.value("phase.inner"));
+}
+
+TEST(StatsTest, ScopedTimerNullRegistryIsNoop) {
+  ScopedTimer T(nullptr, "phase.ignored"); // must not crash
+}
+
+TEST(StatsTest, StrListsBothKinds) {
+  StatsRegistry S;
+  S.add("cost.solver.hit.geometric", 2);
+  S.addValue("phase.size", 0.5);
+  std::string Text = S.str();
+  EXPECT_NE(Text.find("cost.solver.hit.geometric"), std::string::npos);
+  EXPECT_NE(Text.find("2"), std::string::npos);
+  EXPECT_NE(Text.find("phase.size"), std::string::npos);
+}
+
+TEST(JsonTest, EscapesSpecials) {
+  EXPECT_EQ(jsonEscape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+  EXPECT_EQ(jsonEscape(std::string_view("\x01", 1)), "\\u0001");
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+}
+
+TEST(JsonTest, WriterCommasAndNesting) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("n");
+  W.value(3);
+  W.key("xs");
+  W.beginArray();
+  W.value(1.5);
+  W.value("s");
+  W.value(true);
+  W.null();
+  W.endArray();
+  W.key("empty");
+  W.beginObject();
+  W.endObject();
+  W.endObject();
+  EXPECT_EQ(W.str(),
+            "{\"n\":3,\"xs\":[1.5,\"s\",true,null],\"empty\":{}}");
+  EXPECT_TRUE(jsonValidate(W.str()));
+}
+
+TEST(JsonTest, DeterministicNumberFormat) {
+  JsonWriter W;
+  W.beginArray();
+  W.value(42.0);   // integral double: no fraction
+  W.value(-3.0);
+  W.value(0.25);
+  W.endArray();
+  EXPECT_EQ(W.str(), "[42,-3,0.25]");
+}
+
+TEST(JsonTest, NonFiniteBecomesNull) {
+  JsonWriter W;
+  W.beginArray();
+  W.value(std::numeric_limits<double>::infinity());
+  W.value(std::numeric_limits<double>::quiet_NaN());
+  W.endArray();
+  EXPECT_EQ(W.str(), "[null,null]");
+}
+
+TEST(JsonTest, ValidatorAcceptsAndRejects) {
+  EXPECT_TRUE(jsonValidate("{\"a\": [1, 2.5, -3e2, \"x\\u0041\"]}"));
+  EXPECT_TRUE(jsonValidate("  null "));
+  EXPECT_TRUE(jsonValidate("[]"));
+  EXPECT_FALSE(jsonValidate(""));
+  EXPECT_FALSE(jsonValidate("{"));
+  EXPECT_FALSE(jsonValidate("{\"a\":1,}"));
+  EXPECT_FALSE(jsonValidate("[1 2]"));
+  EXPECT_FALSE(jsonValidate("{\"a\":1} extra"));
+  EXPECT_FALSE(jsonValidate("\"unterminated"));
+  EXPECT_FALSE(jsonValidate("01"));
+}
+
+TEST(JsonTest, StatsRegistryRoundTrip) {
+  StatsRegistry S;
+  S.add("a.count", 7);
+  S.addValue("b.time", 1.25);
+  JsonWriter W;
+  S.writeJson(W);
+  EXPECT_TRUE(jsonValidate(W.str()));
+  EXPECT_NE(W.str().find("\"a.count\":7"), std::string::npos);
+  EXPECT_NE(W.str().find("\"b.time\":1.25"), std::string::npos);
 }

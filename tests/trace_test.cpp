@@ -1,0 +1,216 @@
+//===- tests/trace_test.cpp - Chrome-trace emission tests -----------------===//
+//
+// Golden-file and invariant checks of the scheduler's trace output: the
+// emitted document is valid JSON in the Chrome Trace Event Format, spans
+// on one worker track are monotone and non-overlapping, busy accounting
+// matches the simulation result, and tracing never changes timing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Scheduler.h"
+#include "support/Json.h"
+#include "support/TraceEvent.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace granlog;
+
+namespace {
+
+MachineConfig machine(unsigned P, double Spawn, double Sched, double Join) {
+  MachineConfig M;
+  M.Processors = P;
+  M.SpawnOverhead = Spawn;
+  M.SchedOverhead = Sched;
+  M.JoinOverhead = Join;
+  return M;
+}
+
+/// par(Left, Right) with nothing before or after.
+std::unique_ptr<CostNode> twoBranchTree(double Left, double Right) {
+  CostTreeBuilder B;
+  B.beginPar();
+  B.beginBranch();
+  B.addWork(Left);
+  B.endBranch();
+  B.beginBranch();
+  B.addWork(Right);
+  B.endBranch();
+  B.endPar();
+  return B.finish();
+}
+
+/// A deeper deterministic tree: work, then a par whose first branch itself
+/// forks (nested parallelism), then trailing work.
+std::unique_ptr<CostNode> nestedTree() {
+  CostTreeBuilder B;
+  B.addWork(5);
+  B.beginPar();
+  B.beginBranch();
+  B.beginPar();
+  B.beginBranch();
+  B.addWork(8);
+  B.endBranch();
+  B.beginBranch();
+  B.addWork(12);
+  B.endBranch();
+  B.endPar();
+  B.endBranch();
+  B.beginBranch();
+  B.addWork(30);
+  B.endBranch();
+  B.beginBranch();
+  B.addWork(7);
+  B.endBranch();
+  B.endPar();
+  B.addWork(3);
+  return B.finish();
+}
+
+} // namespace
+
+TEST(TraceTest, GoldenTwoWorkerTrace) {
+  // Two branches (10 and 20 units) on two workers; spawn 4, sched 3,
+  // join 2.  Worker 0 pays the spawn, runs branch 1 inline (10 units) and
+  // blocks at the join; worker 1 picks up the forked branch (sched 3,
+  // then 20 units) and, being the free worker at join time, also runs the
+  // parent's join segment.  All constants are integers, so the document
+  // is byte-stable.
+  std::unique_ptr<CostNode> T = twoBranchTree(10, 20);
+  TraceWriter Trace;
+  SimResult R = simulate(*T, machine(2, 4, 3, 2), &Trace);
+  EXPECT_DOUBLE_EQ(R.ParallelTime, 29.0);
+  EXPECT_DOUBLE_EQ(R.SequentialTime, 30.0);
+  EXPECT_DOUBLE_EQ(R.OverheadUnits, 9.0);
+  EXPECT_EQ(R.TasksSpawned, 1u);
+
+  const char *Golden =
+      "{\"traceEvents\":["
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+      "\"args\":{\"name\":\"worker 0\"}},"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":1,"
+      "\"args\":{\"name\":\"worker 1\"}},"
+      "{\"name\":\"spawn\",\"cat\":\"overhead\",\"ph\":\"X\",\"pid\":0,"
+      "\"tid\":0,\"ts\":0,\"dur\":4},"
+      "{\"name\":\"spawn\",\"cat\":\"overhead\",\"ph\":\"i\",\"pid\":0,"
+      "\"tid\":0,\"ts\":0,\"s\":\"t\"},"
+      "{\"name\":\"task0\",\"cat\":\"task\",\"ph\":\"X\",\"pid\":0,"
+      "\"tid\":0,\"ts\":4,\"dur\":10},"
+      "{\"name\":\"sched\",\"cat\":\"overhead\",\"ph\":\"X\",\"pid\":0,"
+      "\"tid\":1,\"ts\":4,\"dur\":3},"
+      "{\"name\":\"sched\",\"cat\":\"overhead\",\"ph\":\"i\",\"pid\":0,"
+      "\"tid\":1,\"ts\":4,\"s\":\"t\"},"
+      "{\"name\":\"task1\",\"cat\":\"task\",\"ph\":\"X\",\"pid\":0,"
+      "\"tid\":1,\"ts\":7,\"dur\":20},"
+      "{\"name\":\"join\",\"cat\":\"overhead\",\"ph\":\"X\",\"pid\":0,"
+      "\"tid\":1,\"ts\":27,\"dur\":2},"
+      "{\"name\":\"join\",\"cat\":\"overhead\",\"ph\":\"i\",\"pid\":0,"
+      "\"tid\":1,\"ts\":27,\"s\":\"t\"}"
+      "],\"displayTimeUnit\":\"ms\"}";
+  EXPECT_EQ(Trace.json(), Golden);
+  EXPECT_TRUE(jsonValidate(Trace.json()));
+}
+
+TEST(TraceTest, PerWorkerSpansMonotoneAndNonOverlapping) {
+  std::unique_ptr<CostNode> T = nestedTree();
+  TraceWriter Trace;
+  SimResult R = simulate(*T, MachineConfig::rolog(3), &Trace);
+  EXPECT_TRUE(jsonValidate(Trace.json()));
+
+  // Group complete spans by worker track; within one track, spans must be
+  // time-ordered and must not overlap (one simulated worker does one
+  // thing at a time).
+  std::map<unsigned, double> LastEnd;
+  unsigned Spans = 0;
+  for (const TraceEvent &E : Trace.events()) {
+    if (E.Phase != 'X')
+      continue;
+    ++Spans;
+    EXPECT_GE(E.Dur, 0.0);
+    auto It = LastEnd.find(E.Tid);
+    if (It != LastEnd.end()) {
+      EXPECT_GE(E.Ts, It->second) << "overlap on worker " << E.Tid;
+    }
+    LastEnd[E.Tid] = E.Ts + E.Dur;
+    EXPECT_LE(E.Ts + E.Dur, R.ParallelTime);
+  }
+  EXPECT_GT(Spans, 0u);
+}
+
+TEST(TraceTest, InstantEventsPairWithOverheadSpans) {
+  std::unique_ptr<CostNode> T = nestedTree();
+  TraceWriter Trace;
+  simulate(*T, MachineConfig::andProlog(2), &Trace);
+  // Every instant marker is emitted at the start of the overhead span
+  // just before it, on the same track with the same name.
+  const std::vector<TraceEvent> &Events = Trace.events();
+  unsigned Instants = 0;
+  for (size_t I = 0; I != Events.size(); ++I) {
+    if (Events[I].Phase != 'i')
+      continue;
+    ++Instants;
+    ASSERT_GT(I, 0u);
+    const TraceEvent &Span = Events[I - 1];
+    EXPECT_EQ(Span.Phase, 'X');
+    EXPECT_EQ(Span.Category, "overhead");
+    EXPECT_EQ(Span.Name, Events[I].Name);
+    EXPECT_EQ(Span.Tid, Events[I].Tid);
+    EXPECT_DOUBLE_EQ(Span.Ts, Events[I].Ts);
+  }
+  EXPECT_GT(Instants, 0u);
+}
+
+TEST(TraceTest, WorkerBusyMatchesWorkPlusOverhead) {
+  std::unique_ptr<CostNode> T = nestedTree();
+  SimResult R = simulate(*T, MachineConfig::rolog(4));
+  ASSERT_EQ(R.WorkerBusy.size(), 4u);
+  double Busy = 0;
+  for (double B : R.WorkerBusy) {
+    EXPECT_GE(B, 0.0);
+    EXPECT_LE(B, R.ParallelTime + 1e-9);
+    Busy += B;
+  }
+  // Every executed segment is either tree work or overhead.
+  EXPECT_DOUBLE_EQ(Busy, R.SequentialTime + R.OverheadUnits);
+  EXPECT_GE(R.utilization(), 0.0);
+  EXPECT_LE(R.utilization(), 1.0);
+  for (unsigned W = 0; W != 4; ++W)
+    EXPECT_DOUBLE_EQ(R.utilization(W), R.WorkerBusy[W] / R.ParallelTime);
+}
+
+TEST(TraceTest, TracingDoesNotChangeTiming) {
+  std::unique_ptr<CostNode> T = nestedTree();
+  MachineConfig M = MachineConfig::rolog(3);
+  SimResult Plain = simulate(*T, M);
+  TraceWriter Trace;
+  SimResult Traced = simulate(*T, M, &Trace);
+  EXPECT_DOUBLE_EQ(Plain.ParallelTime, Traced.ParallelTime);
+  EXPECT_DOUBLE_EQ(Plain.OverheadUnits, Traced.OverheadUnits);
+  EXPECT_EQ(Plain.TasksSpawned, Traced.TasksSpawned);
+  ASSERT_EQ(Plain.WorkerBusy.size(), Traced.WorkerBusy.size());
+  for (size_t W = 0; W != Plain.WorkerBusy.size(); ++W)
+    EXPECT_DOUBLE_EQ(Plain.WorkerBusy[W], Traced.WorkerBusy[W]);
+}
+
+TEST(TraceTest, EmptyTreeHasUnitSpeedup) {
+  CostTreeBuilder B;
+  std::unique_ptr<CostNode> T = B.finish();
+  SimResult R = simulate(*T, MachineConfig::rolog(4));
+  EXPECT_DOUBLE_EQ(R.ParallelTime, 0.0);
+  EXPECT_DOUBLE_EQ(R.speedup(), 1.0);
+  EXPECT_DOUBLE_EQ(R.utilization(), 0.0);
+}
+
+TEST(TraceTest, TraceSpanWorkSumsToBusy) {
+  std::unique_ptr<CostNode> T = nestedTree();
+  TraceWriter Trace;
+  SimResult R = simulate(*T, MachineConfig::rolog(2), &Trace);
+  std::map<unsigned, double> SpanWork;
+  for (const TraceEvent &E : Trace.events())
+    if (E.Phase == 'X')
+      SpanWork[E.Tid] += E.Dur;
+  for (unsigned W = 0; W != R.WorkerBusy.size(); ++W)
+    EXPECT_DOUBLE_EQ(SpanWork[W], R.WorkerBusy[W]) << "worker " << W;
+}
