@@ -11,11 +11,14 @@
 #include "core/GranularityAnalyzer.h"
 #include "core/Transform.h"
 #include "corpus/Corpus.h"
+#include "corpus/Harness.h"
 #include "support/Json.h"
 #include "support/Stats.h"
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 
@@ -67,6 +70,21 @@ void BM_AnalyzeWholeCorpus(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_AnalyzeWholeCorpus);
+
+/// The batch driver: every corpus benchmark analyzed concurrently on N
+/// worker threads with a shared recurrence memo cache.  Compare Arg(1)
+/// vs Arg(8) for the multi-core scaling of the analysis pipeline.
+void BM_BatchAnalyzeCorpus(benchmark::State &State) {
+  BatchConfig Config;
+  Config.Jobs = static_cast<unsigned>(State.range(0));
+  Config.CollectStats = false; // measure the pipeline, not JSON rendering
+  for (auto _ : State) {
+    BatchResult Batch = analyzeCorpusBatch(Config);
+    benchmark::DoNotOptimize(Batch.Results.size());
+  }
+}
+BENCHMARK(BM_BatchAnalyzeCorpus)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_TransformOnly(benchmark::State &State) {
   TermArena Arena;
@@ -126,12 +144,16 @@ bool writeCorpusStats(const char *Path) {
 
 int main(int Argc, char **Argv) {
   const char *StatsOut = nullptr;
-  // Strip our flag before google-benchmark sees the argument list.
+  int BatchJobs = 0;
+  // Strip our flags before google-benchmark sees the argument list.
   int OutArgc = 0;
   for (int I = 0; I < Argc; ++I) {
-    constexpr const char Flag[] = "--granlog-stats-out=";
-    if (std::strncmp(Argv[I], Flag, sizeof(Flag) - 1) == 0)
-      StatsOut = Argv[I] + sizeof(Flag) - 1;
+    constexpr const char StatsFlag[] = "--granlog-stats-out=";
+    constexpr const char JobsFlag[] = "--jobs=";
+    if (std::strncmp(Argv[I], StatsFlag, sizeof(StatsFlag) - 1) == 0)
+      StatsOut = Argv[I] + sizeof(StatsFlag) - 1;
+    else if (std::strncmp(Argv[I], JobsFlag, sizeof(JobsFlag) - 1) == 0)
+      BatchJobs = std::atoi(Argv[I] + sizeof(JobsFlag) - 1);
     else
       Argv[OutArgc++] = Argv[I];
   }
@@ -140,6 +162,24 @@ int main(int Argc, char **Argv) {
   if (StatsOut && !writeCorpusStats(StatsOut)) {
     std::fprintf(stderr, "error: cannot write %s\n", StatsOut);
     return 1;
+  }
+
+  // --jobs=N: one timed whole-corpus batch analysis before the registered
+  // microbenchmarks, reporting shared-cache traffic.
+  if (BatchJobs > 0) {
+    BatchConfig Config;
+    Config.Jobs = static_cast<unsigned>(BatchJobs);
+    BatchResult Batch = analyzeCorpusBatch(Config);
+    size_t Ok = 0;
+    for (const BatchAnalysis &A : Batch.Results)
+      Ok += A.Ok;
+    std::printf("batch: %zu/%zu benchmarks analyzed with %d jobs in "
+                "%.3f s (solver cache: %llu hits, %llu misses, %zu "
+                "entries)\n",
+                Ok, Batch.Results.size(), BatchJobs, Batch.WallSeconds,
+                static_cast<unsigned long long>(Batch.CacheHits),
+                static_cast<unsigned long long>(Batch.CacheMisses),
+                Batch.CacheEntries);
   }
 
   benchmark::Initialize(&Argc, Argv);

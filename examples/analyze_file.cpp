@@ -21,6 +21,8 @@
 //                        paper's)
 //   --machine=M          rolog | andprolog simulated machine for
 //                        --trace-out (default: rolog)
+//   --jobs=N             analyze with N worker threads (SCC-parallel
+//                        pipeline; output is identical for any N)
 //
 //===----------------------------------------------------------------------===//
 
@@ -51,7 +53,8 @@ void usage(const char *Prog) {
               "[metric]\n",
               Prog);
   std::printf("options: --stats --stats-json=FILE --explain[=NAME] "
-              "--trace-out=FILE --input=N --machine=rolog|andprolog\n");
+              "--trace-out=FILE --input=N --machine=rolog|andprolog "
+              "--jobs=N\n");
   std::printf("built-in benchmarks:");
   for (const BenchmarkDef &B : benchmarkCorpus())
     std::printf(" %s", B.Name.c_str());
@@ -76,6 +79,7 @@ int main(int Argc, char **Argv) {
   std::string TraceOutPath;
   std::string MachineName = "rolog";
   int TraceInput = -1;
+  unsigned Jobs = 1;
   std::vector<const char *> Positional;
 
   for (int I = 1; I < Argc; ++I) {
@@ -95,6 +99,9 @@ int main(int Argc, char **Argv) {
       TraceInput = std::atoi(V);
     } else if (const char *V = optValue(Arg, "--machine")) {
       MachineName = V;
+    } else if (const char *V = optValue(Arg, "--jobs")) {
+      int N = std::atoi(V);
+      Jobs = N > 0 ? static_cast<unsigned>(N) : 1;
     } else if (Arg[0] == '-' && Arg[1] == '-') {
       std::printf("error: unknown option %s\n", Arg);
       usage(Argv[0]);
@@ -147,6 +154,7 @@ int main(int Argc, char **Argv) {
   bool WantStats =
       PrintStats || !StatsJsonPath.empty() || !TraceOutPath.empty();
   AnalyzerOptions Options{Metric, W};
+  Options.Jobs = Jobs;
   if (WantStats)
     Options.Stats = &Stats;
   GranularityAnalyzer GA(*P, Options);

@@ -39,6 +39,10 @@ const std::vector<ArgMode> &ModeTable::modes(Functor F) const {
   auto It = Modes.find(F);
   if (It != Modes.end())
     return It->second;
+  // Lazily built default entries; guarded because the analyzer queries
+  // modes from concurrent SCC jobs.  unordered_map references stay valid
+  // across rehashes, so handing the vector out by reference is fine.
+  std::lock_guard<std::mutex> Lock(DefaultMutex);
   auto &Default = DefaultCache[F];
   if (Default.empty() && F.Arity > 0)
     Default.assign(F.Arity, ArgMode::In);

@@ -26,6 +26,7 @@
 #include "program/CallGraph.h"
 #include "program/Program.h"
 
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -66,6 +67,7 @@ private:
 
   std::unordered_map<Functor, std::vector<ArgMode>> Modes;
   std::unordered_set<Functor> Declared;
+  mutable std::mutex DefaultMutex;
   mutable std::unordered_map<Functor, std::vector<ArgMode>> DefaultCache;
 };
 

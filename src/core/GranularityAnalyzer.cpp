@@ -2,7 +2,9 @@
 
 #include "core/GranularityAnalyzer.h"
 
+#include "diffeq/SolverCache.h"
 #include "support/Json.h"
+#include "support/ThreadPool.h"
 
 using namespace granlog;
 
@@ -30,83 +32,152 @@ void GranularityAnalyzer::run() {
     ScopedTimer T(Stats, "phase.determinacy");
     Det = std::make_unique<Determinacy>(*P, *Modes);
   }
+  if (!Options.Cache)
+    OwnedCache = std::make_unique<SolverCache>();
+
+  runAnalyses();
+
   {
-    ScopedTimer T(Stats, "phase.size");
+    ScopedTimer ThresholdTimer(Stats, "phase.threshold");
+    for (const auto &Pred : P->predicates())
+      classifyPredicate(*Pred);
+  }
+  // Only a run-owned cache reports its traffic here: a shared (batch)
+  // cache's hit/miss totals depend on which runs warmed it first, which
+  // would make per-run stats schedule-dependent.
+  if (Stats && OwnedCache) {
+    Stats->add("solver.cache.hit", OwnedCache->hits());
+    Stats->add("solver.cache.miss", OwnedCache->misses());
+    Stats->add("solver.cache.entries", OwnedCache->entries());
+  }
+}
+
+void GranularityAnalyzer::runAnalyses() {
+  StatsRegistry *Stats = Options.Stats;
+  SolverCache *Cache = Options.Cache ? Options.Cache : OwnedCache.get();
+
+  auto MakeSizes = [&] {
     Sizes = std::make_unique<SizeAnalysis>(*P, *CG, *Modes);
     Sizes->setStats(Stats);
     for (const std::string &Name : Options.DisabledSchemas)
       Sizes->disableSchema(Name);
-    Sizes->run();
-  }
-  if (Options.Metric.kind() == CostMetricKind::Instructions) {
-    ScopedTimer T(Stats, "phase.wam");
-    Wam = std::make_unique<WamCompiler>(*P);
-  }
-  {
-    ScopedTimer T(Stats, "phase.cost");
+    Sizes->setSolverCache(Cache);
+  };
+  auto MakeCosts = [&] {
     Costs = std::make_unique<CostAnalysis>(*P, *CG, *Modes, *Det, *Sizes,
                                            Options.Metric, Wam.get());
     Costs->setStats(Stats);
     for (const std::string &Name : Options.DisabledSchemas)
       Costs->disableSchema(Name);
-    Costs->run();
+    Costs->setSolverCache(Cache);
+  };
+
+  if (Options.Jobs <= 1) {
+    // Classic sequential pipeline, with its stable per-phase timers.
+    {
+      ScopedTimer T(Stats, "phase.size");
+      MakeSizes();
+      Sizes->run();
+    }
+    if (Options.Metric.kind() == CostMetricKind::Instructions) {
+      ScopedTimer T(Stats, "phase.wam");
+      Wam = std::make_unique<WamCompiler>(*P);
+    }
+    {
+      ScopedTimer T(Stats, "phase.cost");
+      MakeCosts();
+      Costs->run();
+    }
+    return;
   }
 
-  ScopedTimer ThresholdTimer(Stats, "phase.threshold");
-  for (const auto &Pred : P->predicates()) {
-    Functor F = Pred->functor();
-    PredicateGranularity G;
-    const PredicateCostInfo &CI = Costs->info(F);
-    const PredicateSizeInfo &SI = Sizes->info(F);
-    G.CostFn = CI.CostFn ? CI.CostFn : makeInfinity();
-    G.CostExact = CI.Exact;
-    G.RecArgPos = SI.RecArgPos;
-
-    // Which single size variable does the cost depend on?
-    std::vector<std::string> Vars = exprVariables(G.CostFn);
-    std::string Var = Vars.size() == 1 ? Vars[0] : std::string("n1");
-    G.Threshold = computeThreshold(G.CostFn, Var, Options.Overhead);
-    if (G.Threshold.Class == GrainClass::RuntimeTest) {
-      // Recover the argument position from the parameter name "n<pos+1>".
-      int Pos = std::atoi(Var.c_str() + 1) - 1;
-      G.Threshold.ArgPos = Pos;
-      if (Pos >= 0 && Pos < static_cast<int>(SI.Measures.size()))
-        G.TestMeasure = SI.Measures[Pos];
-    }
-
-    // User directives override the inferred classification.
-    switch (Pred->parallelDecl()) {
-    case ParallelDecl::Parallel:
-      if (G.Threshold.Class != GrainClass::AlwaysParallel)
-        G.Directive = ParallelDecl::Parallel;
-      G.Threshold.Class = GrainClass::AlwaysParallel;
-      break;
-    case ParallelDecl::Sequential:
-      if (G.Threshold.Class != GrainClass::AlwaysSequential)
-        G.Directive = ParallelDecl::Sequential;
-      G.Threshold.Class = GrainClass::AlwaysSequential;
-      break;
-    case ParallelDecl::None:
-      break;
-    }
-    if (Stats) {
-      Stats->add("analyzer.predicates");
-      switch (G.Threshold.Class) {
-      case GrainClass::AlwaysSequential:
-        Stats->add("classify.always_sequential");
-        break;
-      case GrainClass::AlwaysParallel:
-        Stats->add("classify.always_parallel");
-        break;
-      case GrainClass::RuntimeTest:
-        Stats->add("classify.runtime_test");
-        break;
-      }
-      if (G.Directive != ParallelDecl::None)
-        Stats->add("classify.directive_override");
-    }
-    Info.emplace(F, std::move(G));
+  // Parallel driver: one job per SCC, scheduled callee-first; each job
+  // runs the SCC's size analysis then its cost analysis, so a job only
+  // reads results of completed callee jobs (or its own size phase).
+  MakeSizes();
+  if (Options.Metric.kind() == CostMetricKind::Instructions) {
+    ScopedTimer T(Stats, "phase.wam");
+    Wam = std::make_unique<WamCompiler>(*P); // eager; read-only afterwards
   }
+  MakeCosts(); // eager SolutionsAnalysis; read-only afterwards
+
+  ScopedTimer T(Stats, "phase.analyze");
+  Sizes->prepareConcurrent();
+  Costs->prepareConcurrent();
+
+  const unsigned N = CG->numSCCs();
+  std::vector<std::vector<unsigned>> Deps(N);
+  for (unsigned Id = 0; Id != N; ++Id)
+    for (Functor F : CG->sccMembers(Id))
+      for (Functor Callee : CG->callees(F))
+        if (unsigned CalleeId = CG->sccId(Callee); CalleeId != Id)
+          Deps[Id].push_back(CalleeId);
+
+  ThreadPool Pool(Options.Jobs);
+  topoSchedule(
+      Deps,
+      [&](unsigned Id) {
+        ScopedTimer SccTimer(Stats, "scc." + std::to_string(Id) + ".seconds");
+        Sizes->analyzeSCCById(Id);
+        Costs->analyzeSCCById(Id);
+      },
+      &Pool);
+}
+
+void GranularityAnalyzer::classifyPredicate(const Predicate &Pred) {
+  StatsRegistry *Stats = Options.Stats;
+  Functor F = Pred.functor();
+  PredicateGranularity G;
+  const PredicateCostInfo &CI = Costs->info(F);
+  const PredicateSizeInfo &SI = Sizes->info(F);
+  G.CostFn = CI.CostFn ? CI.CostFn : makeInfinity();
+  G.CostExact = CI.Exact;
+  G.RecArgPos = SI.RecArgPos;
+
+  // Which single size variable does the cost depend on?
+  std::vector<std::string> Vars = exprVariables(G.CostFn);
+  std::string Var = Vars.size() == 1 ? Vars[0] : std::string("n1");
+  G.Threshold = computeThreshold(G.CostFn, Var, Options.Overhead);
+  if (G.Threshold.Class == GrainClass::RuntimeTest) {
+    // Recover the argument position from the parameter name "n<pos+1>".
+    int Pos = std::atoi(Var.c_str() + 1) - 1;
+    G.Threshold.ArgPos = Pos;
+    if (Pos >= 0 && Pos < static_cast<int>(SI.Measures.size()))
+      G.TestMeasure = SI.Measures[Pos];
+  }
+
+  // User directives override the inferred classification.
+  switch (Pred.parallelDecl()) {
+  case ParallelDecl::Parallel:
+    if (G.Threshold.Class != GrainClass::AlwaysParallel)
+      G.Directive = ParallelDecl::Parallel;
+    G.Threshold.Class = GrainClass::AlwaysParallel;
+    break;
+  case ParallelDecl::Sequential:
+    if (G.Threshold.Class != GrainClass::AlwaysSequential)
+      G.Directive = ParallelDecl::Sequential;
+    G.Threshold.Class = GrainClass::AlwaysSequential;
+    break;
+  case ParallelDecl::None:
+    break;
+  }
+  if (Stats) {
+    Stats->add("analyzer.predicates");
+    switch (G.Threshold.Class) {
+    case GrainClass::AlwaysSequential:
+      Stats->add("classify.always_sequential");
+      break;
+    case GrainClass::AlwaysParallel:
+      Stats->add("classify.always_parallel");
+      break;
+    case GrainClass::RuntimeTest:
+      Stats->add("classify.runtime_test");
+      break;
+    }
+    if (G.Directive != ParallelDecl::None)
+      Stats->add("classify.directive_override");
+  }
+  Info.emplace(F, std::move(G));
 }
 
 void GranularityAnalyzer::overrideThresholds(int64_t K) {

@@ -52,6 +52,19 @@ struct AnalyzerOptions {
   /// ("phase.<name>") and domain counters from every layer into this
   /// registry.  Null (the default) keeps the pipeline instrumentation-free.
   StatsRegistry *Stats = nullptr;
+  /// Worker threads for the SCC-parallel analysis driver.  1 (the
+  /// default) runs the classic sequential pipeline; N > 1 schedules the
+  /// per-SCC size/cost/solve jobs on a work-stealing pool in call-graph
+  /// dependency order.  Results, explain() output and stats counters are
+  /// identical for any N (only the timer values differ).
+  unsigned Jobs = 1;
+  /// Recurrence memo table to use.  Null (the default) makes the run own
+  /// a private cache; supply one to share solved equations across
+  /// analyzer runs (corpus batch mode).  Aggregate cache counters
+  /// ("solver.cache.*") are recorded only for run-owned caches, keeping
+  /// per-run stats independent of what other runs warmed a shared cache
+  /// with.
+  SolverCache *Cache = nullptr;
 };
 
 /// Everything the analysis learned about one predicate.
@@ -115,6 +128,13 @@ public:
   void writeJson(JsonWriter &W) const;
 
 private:
+  /// Runs the size/cost/solve phases: sequentially for Jobs <= 1, or as
+  /// one topologically scheduled job per SCC on a work-stealing pool.
+  void runAnalyses();
+  /// Derives the threshold/classification of one predicate from the
+  /// completed size and cost analyses.
+  void classifyPredicate(const Predicate &Pred);
+
   const Program *P;
   AnalyzerOptions Options;
   std::unique_ptr<CallGraph> CG;
@@ -123,6 +143,7 @@ private:
   std::unique_ptr<SizeAnalysis> Sizes;
   std::unique_ptr<WamCompiler> Wam;
   std::unique_ptr<CostAnalysis> Costs;
+  std::unique_ptr<SolverCache> OwnedCache; ///< when Options.Cache is null
   std::unordered_map<Functor, PredicateGranularity> Info;
   bool Ran = false;
 };

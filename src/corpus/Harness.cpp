@@ -2,6 +2,12 @@
 
 #include "corpus/Harness.h"
 
+#include "diffeq/SolverCache.h"
+#include "support/Json.h"
+#include "support/ThreadPool.h"
+
+#include <chrono>
+
 using namespace granlog;
 
 InterpOptions granlog::interpOptionsFor(const MachineConfig &M) {
@@ -53,4 +59,71 @@ BenchmarkRun granlog::runBenchmark(const BenchmarkDef &B, int Input,
       Run.Sim1 = simulate(*Tree, Config.Machine);
   }
   return Run;
+}
+
+namespace {
+
+/// Analyzes one corpus benchmark into \p Out.  Everything mutable is
+/// benchmark-local (arena, diagnostics, stats registry); only the solver
+/// cache may be shared, and it is internally synchronized.
+void analyzeOne(const BenchmarkDef &B, const BatchConfig &Config,
+                SolverCache *Shared, BatchAnalysis &Out) {
+  Out.Name = B.Name;
+  TermArena Arena;
+  Diagnostics Diags;
+  std::optional<Program> P = loadProgram(B.Source, Arena, Diags);
+  if (!P) {
+    Out.Report = "load failed: " + Diags.str();
+    return;
+  }
+  StatsRegistry Stats;
+  AnalyzerOptions Options{Config.Metric, Config.OverheadW};
+  Options.Cache = Shared;
+  if (Config.CollectStats)
+    Options.Stats = &Stats;
+  GranularityAnalyzer GA(*P, Options);
+  GA.run();
+  Out.Ok = true;
+  Out.Report = GA.report();
+  Out.ExplainAll = GA.explainAll();
+  if (Config.CollectStats) {
+    JsonWriter W;
+    GA.writeJson(W);
+    Out.StatsJson = W.take();
+  }
+}
+
+} // namespace
+
+BatchResult granlog::analyzeCorpusBatch(const BatchConfig &Config) {
+  auto Start = std::chrono::steady_clock::now();
+  const std::vector<BenchmarkDef> &Corpus = benchmarkCorpus();
+
+  BatchResult Batch;
+  Batch.Results.resize(Corpus.size());
+  std::unique_ptr<SolverCache> Shared;
+  if (Config.ShareCache)
+    Shared = std::make_unique<SolverCache>();
+
+  if (Config.Jobs <= 1) {
+    for (size_t I = 0; I != Corpus.size(); ++I)
+      analyzeOne(Corpus[I], Config, Shared.get(), Batch.Results[I]);
+  } else {
+    ThreadPool Pool(Config.Jobs);
+    for (size_t I = 0; I != Corpus.size(); ++I)
+      Pool.submit([I, &Corpus, &Config, &Shared, &Batch] {
+        analyzeOne(Corpus[I], Config, Shared.get(), Batch.Results[I]);
+      });
+    Pool.wait();
+  }
+
+  if (Shared) {
+    Batch.CacheHits = Shared->hits();
+    Batch.CacheMisses = Shared->misses();
+    Batch.CacheEntries = Shared->entries();
+  }
+  Batch.WallSeconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - Start)
+                          .count();
+  return Batch;
 }

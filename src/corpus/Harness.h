@@ -69,6 +69,46 @@ BenchmarkRun runBenchmark(const BenchmarkDef &B, int Input,
 /// Interpreter weights consistent with \p M (grain test costs etc.).
 InterpOptions interpOptionsFor(const MachineConfig &M);
 
+/// Configuration of a batch analysis over the whole corpus.
+struct BatchConfig {
+  CostMetric Metric = CostMetric::resolutions();
+  double OverheadW = 48.0;
+  /// Worker threads: benchmarks are analyzed concurrently on a
+  /// work-stealing pool (1 = sequential, in corpus order).
+  unsigned Jobs = 1;
+  /// Share one recurrence memo table across all benchmarks, so an
+  /// equation solved for one program is replayed for every other.
+  bool ShareCache = true;
+  /// Collect a per-benchmark StatsRegistry and stats-JSON document.
+  bool CollectStats = true;
+};
+
+/// Analysis-only results of one corpus benchmark in a batch.
+struct BatchAnalysis {
+  std::string Name;
+  bool Ok = false;         ///< program loaded and analysis ran
+  std::string Report;      ///< GranularityAnalyzer::report()
+  std::string ExplainAll;  ///< full provenance text
+  std::string StatsJson;   ///< writeJson document ("" when stats off)
+};
+
+/// Results of a whole-corpus batch analysis.
+struct BatchResult {
+  std::vector<BatchAnalysis> Results; ///< in corpus (Table 1) order
+  /// Shared-cache traffic over the whole batch (zero when the cache is
+  /// per-benchmark); reported here rather than in per-benchmark stats so
+  /// each benchmark's stats-JSON is independent of batch scheduling.
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  size_t CacheEntries = 0;
+  double WallSeconds = 0;
+};
+
+/// Analyzes every corpus benchmark (each with its own arena, diagnostics
+/// and stats registry) on \p Config.Jobs worker threads.  Per-benchmark
+/// outputs are byte-identical for any job count.
+BatchResult analyzeCorpusBatch(const BatchConfig &Config);
+
 } // namespace granlog
 
 #endif // GRANLOG_CORPUS_HARNESS_H

@@ -67,6 +67,12 @@ void CostAnalysis::run() {
     analyzeSCC(CG->sccMembers(Id));
 }
 
+void CostAnalysis::prepareConcurrent() {
+  for (unsigned Id = 0; Id != CG->numSCCs(); ++Id)
+    for (Functor F : CG->sccMembers(Id))
+      Info.try_emplace(F);
+}
+
 namespace {
 
 /// Walks a clause body structurally, consuming the flat literal facts in

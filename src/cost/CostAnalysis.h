@@ -92,6 +92,14 @@ public:
   /// Runs over all SCCs in topological order.
   void run();
 
+  /// Pre-inserts every Info slot the SCC jobs will write; call once
+  /// before scheduling analyzeSCCById jobs.
+  void prepareConcurrent();
+
+  /// Analyzes one SCC; every callee SCC (smaller id) and the same SCC's
+  /// size analysis must be complete.
+  void analyzeSCCById(unsigned Id) { analyzeSCC(CG->sccMembers(Id)); }
+
   const PredicateCostInfo &info(Functor F) const;
   CostMetric metric() const { return Metric; }
 
@@ -118,6 +126,10 @@ public:
     this->Stats = Stats;
     Solver.setStats(Stats, "cost.solver");
   }
+
+  /// Attaches a recurrence memo table (shared with the size layer and, in
+  /// batch mode, across runs); call before run().
+  void setSolverCache(SolverCache *Cache) { Solver.setCache(Cache); }
 
 private:
   void analyzeSCC(const std::vector<Functor> &Members);

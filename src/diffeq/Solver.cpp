@@ -2,6 +2,8 @@
 
 #include "diffeq/Solver.h"
 
+#include "diffeq/SolverCache.h"
+
 #include <cmath>
 
 using namespace granlog;
@@ -253,24 +255,37 @@ DiffEqSolver::DiffEqSolver() {
 DiffEqSolver::~DiffEqSolver() = default;
 
 SolveResult DiffEqSolver::solve(const Recurrence &R) const {
-  if (Stats)
+  SolveResult Result =
+      Cache ? Cache->solve(R, tableSignature(),
+                           [this](const Recurrence &C) {
+                             return solveDirect(C);
+                           })
+            : solveDirect(R);
+  // Record stats from the final result, not inside solveDirect: a cache
+  // hit must bump the same counters as the solve it replays, so the stats
+  // are identical cache-on and cache-off.
+  if (Stats) {
     Stats->add(StatsPrefix + ".solve");
+    if (!Result.SchemaName.empty()) {
+      Stats->add(StatsPrefix + ".hit." + Result.SchemaName);
+      if (!Result.Exact)
+        Stats->add(StatsPrefix + ".relaxed");
+    } else {
+      Stats->add(StatsPrefix + ".infinity");
+    }
+  }
+  return Result;
+}
+
+SolveResult DiffEqSolver::solveDirect(const Recurrence &R) const {
   // Equations whose additive part still mentions unknown functions cannot
   // be solved; and equations with both shift and divide terms have no
   // schema in the library.
   if (!containsAnyCall(R.Additive)) {
     for (const auto &S : Schemas)
-      if (std::optional<SolveResult> Result = S->apply(R)) {
-        if (Stats) {
-          Stats->add(StatsPrefix + ".hit." + Result->SchemaName);
-          if (!Result->Exact)
-            Stats->add(StatsPrefix + ".relaxed");
-        }
+      if (std::optional<SolveResult> Result = S->apply(R))
         return *Result;
-      }
   }
-  if (Stats)
-    Stats->add(StatsPrefix + ".infinity");
   // Diagnose the failure for explain() in increasing order of specificity.
   std::string Why;
   if (containsAnyCall(R.Additive))
@@ -306,4 +321,14 @@ std::vector<std::string> DiffEqSolver::schemaNames() const {
   for (const auto &S : Schemas)
     Names.push_back(S->name());
   return Names;
+}
+
+std::string DiffEqSolver::tableSignature() const {
+  std::string Sig;
+  for (const auto &S : Schemas) {
+    if (!Sig.empty())
+      Sig += ",";
+    Sig += S->name();
+  }
+  return Sig;
 }

@@ -32,6 +32,8 @@
 
 namespace granlog {
 
+class SolverCache;
+
 /// The result of solving one difference equation.
 struct SolveResult {
   ExprRef Closed;         ///< closed form in Recurrence::Var; Infinity on failure
@@ -69,7 +71,11 @@ public:
 
   /// Solves \p R, returning Infinity ("always parallel") when no schema
   /// matches.  Multi-term equations are first collapsed to a single term
-  /// using the monotonicity assumption of Section 6.
+  /// using the monotonicity assumption of Section 6.  When a SolverCache
+  /// is attached, structurally identical equations (up to variable names)
+  /// are solved once and replayed; per-solve stats are recorded from the
+  /// final result either way, so the counters are identical with and
+  /// without a cache.
   SolveResult solve(const Recurrence &R) const;
 
   /// Removes the schema with the given name (for the ablation benchmark).
@@ -86,10 +92,22 @@ public:
     StatsPrefix = std::move(Prefix);
   }
 
+  /// Attaches a memo table shared across solver instances (and, in batch
+  /// mode, across analyzer runs).  Null detaches (the default).
+  void setCache(SolverCache *Cache) { this->Cache = Cache; }
+
+  /// Comma-joined schema names in match order; namespaces cache keys so
+  /// ablation configurations never share entries.
+  std::string tableSignature() const;
+
 private:
+  /// The raw schema-table walk; no stats, no cache.
+  SolveResult solveDirect(const Recurrence &R) const;
+
   std::vector<std::unique_ptr<Schema>> Schemas;
   StatsRegistry *Stats = nullptr;
   std::string StatsPrefix;
+  SolverCache *Cache = nullptr;
 };
 
 /// \name Helpers shared by schemas and the analyses.

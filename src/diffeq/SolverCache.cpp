@@ -1,0 +1,149 @@
+//===- diffeq/SolverCache.cpp ---------------------------------------------===//
+
+#include "diffeq/SolverCache.h"
+
+#include <cassert>
+
+using namespace granlog;
+
+namespace {
+
+/// Collects distinct variable names in deterministic first-occurrence
+/// (pre-order) order.
+void collectVars(const ExprRef &E, std::vector<std::string> &Order) {
+  if (E->kind() == ExprKind::Var) {
+    for (const std::string &Seen : Order)
+      if (Seen == E->name())
+        return;
+    Order.push_back(E->name());
+    return;
+  }
+  for (const ExprRef &Op : E->operands())
+    collectVars(Op, Order);
+}
+
+bool anyReservedVar(const ExprRef &E) {
+  if (E->kind() == ExprKind::Var)
+    return E->name().rfind("_g", 0) == 0;
+  for (const ExprRef &Op : E->operands())
+    if (anyReservedVar(Op))
+      return true;
+  return false;
+}
+
+ExprRef renameVars(
+    ExprRef E,
+    const std::vector<std::pair<std::string, std::string>> &FromTo) {
+  for (const auto &[From, To] : FromTo)
+    E = substituteVar(E, From, makeVar(To));
+  return E;
+}
+
+} // namespace
+
+std::optional<SolverCache::Canonical>
+SolverCache::canonicalize(const Recurrence &R) {
+  // Equations whose additive part still mentions unknown calls get an
+  // equation-specific failure diagnosis from the solver; don't fold those
+  // into shared entries.
+  if (containsAnyCall(R.Additive))
+    return std::nullopt;
+  // The reserved canonical prefix in any input variable would make the
+  // sequential rename capture; such names never come from the reader, but
+  // be safe for synthetic (test) recurrences.
+  if (R.Var.rfind("_g", 0) == 0 || anyReservedVar(R.Additive))
+    return std::nullopt;
+  for (const Boundary &B : R.Boundaries)
+    if (anyReservedVar(B.Value))
+      return std::nullopt;
+
+  // Canonical numbering: recursion variable first, then every other free
+  // variable in first-occurrence order over Additive then the boundary
+  // values.
+  std::vector<std::string> Order{R.Var};
+  collectVars(R.Additive, Order);
+  for (const Boundary &B : R.Boundaries)
+    collectVars(B.Value, Order);
+
+  Canonical C;
+  std::vector<std::pair<std::string, std::string>> Rename; // orig -> canon
+  for (size_t I = 0; I != Order.size(); ++I) {
+    std::string CanonName = "_g" + std::to_string(I);
+    Rename.emplace_back(Order[I], CanonName);
+    C.RenameBack.emplace_back(CanonName, Order[I]);
+  }
+
+  C.R.Function = "f";
+  C.R.Var = "_g0";
+  C.R.ShiftTerms = R.ShiftTerms;
+  C.R.DivideTerms = R.DivideTerms;
+  C.R.Additive = renameVars(R.Additive, Rename);
+  for (const Boundary &B : R.Boundaries)
+    C.R.Boundaries.push_back({B.At, renameVars(B.Value, Rename)});
+
+  // Full serialization (Recurrence::str() omits divide offsets, so hand-
+  // roll the key).  Term order is part of the key by design — see header.
+  std::string &K = C.Key;
+  K = "shift:";
+  for (const ShiftTerm &T : C.R.ShiftTerms)
+    K += T.Coeff.str() + "@" + T.Shift.str() + ";";
+  K += "|div:";
+  for (const DivideTerm &T : C.R.DivideTerms)
+    K += T.Coeff.str() + "/" + T.Divisor.str() + "+" + T.Offset.str() + ";";
+  K += "|add:" + exprText(C.R.Additive);
+  K += "|bnd:";
+  for (const Boundary &B : C.R.Boundaries)
+    K += B.At.str() + "=" + exprText(B.Value) + ";";
+  return C;
+}
+
+SolveResult SolverCache::solve(
+    const Recurrence &R, const std::string &TableSignature,
+    const std::function<SolveResult(const Recurrence &)> &SolveFn,
+    Outcome *Out) {
+  std::optional<Canonical> C = canonicalize(R);
+  if (!C) {
+    if (Out)
+      *Out = Outcome::Bypass;
+    return SolveFn(R);
+  }
+  std::string Key = TableSignature + "#" + C->Key;
+
+  std::shared_ptr<Entry> E;
+  bool Inserted = false;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto [It, Ins] = Map.try_emplace(std::move(Key), nullptr);
+    if (Ins)
+      It->second = std::make_shared<Entry>();
+    E = It->second;
+    Inserted = Ins;
+  }
+  // The inserting thread is the unique "miss" for this key; call_once
+  // makes it the unique solver too, so the miss count equals the number
+  // of distinct canonical equations regardless of thread schedule.
+  if (Inserted)
+    Misses.fetch_add(1, std::memory_order_relaxed);
+  else
+    Hits.fetch_add(1, std::memory_order_relaxed);
+  std::call_once(E->Once, [&] { E->Result = SolveFn(C->R); });
+
+  SolveResult Result = E->Result;
+  for (const auto &[Canon, Orig] : C->RenameBack)
+    Result.Closed = substituteVar(Result.Closed, Canon, makeVar(Orig));
+  if (Out)
+    *Out = Inserted ? Outcome::Miss : Outcome::Hit;
+  return Result;
+}
+
+size_t SolverCache::entries() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Map.size();
+}
+
+void SolverCache::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Map.clear();
+  Hits.store(0, std::memory_order_relaxed);
+  Misses.store(0, std::memory_order_relaxed);
+}

@@ -1,0 +1,102 @@
+//===- diffeq/SolverCache.h - Memoized recurrence solving -----------------===//
+//
+// Part of GranLog; see DESIGN.md "Parallel analysis & solver cache".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thread-safe memo table for DiffEqSolver.  Difference equations that
+/// are structurally identical up to variable names recur constantly across
+/// predicates (every linear list traversal yields f(n) = f(n-1) + c) and
+/// across corpus benchmarks, so each distinct equation is solved exactly
+/// once and the closed form is rename-mapped back to the caller's
+/// variables.
+///
+/// Keying: the recurrence is canonicalized by renaming the recursion
+/// variable to "_g0", the remaining free variables to "_g1", "_g2", ... in
+/// first-occurrence order, and the unknown function to "f"; the key is a
+/// full serialization of the canonical equation (including divide-term
+/// offsets, which Recurrence::str() omits) prefixed by the solver's schema
+/// table signature so ablation runs (disabled schemas) never share entries
+/// with full-table runs.  Term order is preserved, not sorted: schemas
+/// consume terms order-sensitively when building max/sum expressions, so
+/// reordering could change the (still sound) shape of the closed form and
+/// break the cache-on == cache-off identity the property tests pin down.
+///
+/// Determinism: each entry is computed under a std::call_once, so the miss
+/// count equals the number of distinct keys — independent of thread
+/// schedule — and hit/miss totals are reproducible between --jobs 1 and
+/// --jobs N runs over the same workload.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_DIFFEQ_SOLVERCACHE_H
+#define GRANLOG_DIFFEQ_SOLVERCACHE_H
+
+#include "diffeq/Solver.h"
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace granlog {
+
+class SolverCache {
+public:
+  enum class Outcome { Hit, Miss, Bypass };
+
+  /// A canonicalized recurrence: the rewritten equation, its serialized
+  /// cache key, and the canonical-name -> original-name map needed to
+  /// translate the cached closed form back.
+  struct Canonical {
+    Recurrence R;
+    std::string Key;
+    std::vector<std::pair<std::string, std::string>> RenameBack;
+  };
+
+  /// Renames variables/function to canonical form and serializes the key.
+  /// Returns nullopt when the equation must bypass the cache: the additive
+  /// part still contains unknown function calls (the solver diagnoses
+  /// those with an equation-specific Why), or a variable already uses the
+  /// reserved "_g" prefix (renaming would capture).
+  static std::optional<Canonical> canonicalize(const Recurrence &R);
+
+  /// Solves \p R through the cache: canonicalize, look up (inserting a
+  /// not-yet-solved entry on miss), compute via \p SolveFn under a
+  /// call_once so every distinct equation is solved exactly once, and
+  /// rename the closed form back to \p R's variables.  \p TableSignature
+  /// distinguishes solver configurations (comma-joined schema names).
+  /// Thread-safe; concurrent lookups of the same key block until the
+  /// first computation finishes and then share its result.
+  SolveResult solve(const Recurrence &R, const std::string &TableSignature,
+                    const std::function<SolveResult(const Recurrence &)> &SolveFn,
+                    Outcome *Out = nullptr);
+
+  uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return Misses.load(std::memory_order_relaxed); }
+  size_t entries() const;
+
+  void clear();
+
+private:
+  struct Entry {
+    std::once_flag Once;
+    SolveResult Result;
+  };
+
+  mutable std::mutex Mutex;
+  std::unordered_map<std::string, std::shared_ptr<Entry>> Map;
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Misses{0};
+};
+
+} // namespace granlog
+
+#endif // GRANLOG_DIFFEQ_SOLVERCACHE_H

@@ -3,6 +3,8 @@
 #include "expr/Expr.h"
 
 #include <cmath>
+#include <deque>
+#include <mutex>
 
 using namespace granlog;
 
@@ -282,7 +284,13 @@ ExprRef granlog::polynomialExpr(const std::vector<ExprRef> &Coeffs,
 const std::vector<Rational> &granlog::powerSumPolynomial(unsigned P) {
   // S_p(n) = sum_{j=1}^n j^p satisfies
   //   (p+1) S_p(n) = (n+1)^{p+1} - 1 - sum_{k<p} C(p+1, k) S_k(n).
-  static std::vector<std::vector<Rational>> Cache;
+  //
+  // Grown under a lock (concurrent SCC jobs solve recurrences in
+  // parallel); a deque keeps row references stable while later rows are
+  // appended, and rows are immutable once pushed.
+  static std::mutex CacheMutex;
+  static std::deque<std::vector<Rational>> Cache;
+  std::lock_guard<std::mutex> Lock(CacheMutex);
   while (Cache.size() <= P) {
     unsigned Q = static_cast<unsigned>(Cache.size());
     // Binomial row for exponent Q+1.

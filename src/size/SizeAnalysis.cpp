@@ -395,6 +395,18 @@ void SizeAnalysis::run() {
     analyzeSCC(CG->sccMembers(Id));
 }
 
+void SizeAnalysis::prepareConcurrent() {
+  for (unsigned Id = 0; Id != CG->numSCCs(); ++Id)
+    for (Functor F : CG->sccMembers(Id)) {
+      Info.try_emplace(F);
+      RecArgCache.try_emplace(F, -2);
+    }
+  // recursionArg can also be queried for predicates outside the call
+  // graph (e.g. dead code reached through explain); cover them too.
+  for (const auto &Pred : P->predicates())
+    RecArgCache.try_emplace(Pred->functor(), -2);
+}
+
 namespace {
 
 /// Is \p E of the form param - k or param / b (+ small constant), i.e.
@@ -419,11 +431,13 @@ bool isDecreasingIn(const ExprRef &E, const std::string &Param) {
 
 int SizeAnalysis::recursionArg(Functor F) const {
   auto Cached = RecArgCache.find(F);
-  if (Cached != RecArgCache.end())
-    return Cached->second;
+  if (Cached == RecArgCache.end())
+    Cached = RecArgCache.try_emplace(F, -2).first; // sequential-only path
+  if (int V = Cached->second.load(std::memory_order_relaxed); V != -2)
+    return V;
   const Predicate *Pred = P->lookup(F);
   if (!Pred) {
-    RecArgCache[F] = -1;
+    Cached->second.store(-1, std::memory_order_relaxed);
     return -1;
   }
   std::vector<unsigned> Inputs = Modes->inputPositions(F);
@@ -468,7 +482,9 @@ int SizeAnalysis::recursionArg(Functor F) const {
       }
     }
   }
-  RecArgCache[F] = Result;
+  // Re-find: the computation above may have grown the map (sequential
+  // lazy inserts), invalidating Cached.
+  RecArgCache.find(F)->second.store(Result, std::memory_order_relaxed);
   return Result;
 }
 

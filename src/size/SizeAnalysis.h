@@ -38,6 +38,7 @@
 #include "program/CallGraph.h"
 #include "size/Measures.h"
 
+#include <atomic>
 #include <unordered_map>
 
 namespace granlog {
@@ -95,6 +96,15 @@ public:
   /// Runs the analysis over all SCCs in topological order.
   void run();
 
+  /// Pre-inserts every table slot the SCC jobs will write so the maps
+  /// never rehash during the parallel phase; call once before scheduling
+  /// analyzeSCCById jobs.  Concurrent jobs may then only write distinct
+  /// pre-existing slots (plus the atomic recursion-arg cells).
+  void prepareConcurrent();
+
+  /// Analyzes one SCC; every callee SCC (smaller id) must be complete.
+  void analyzeSCCById(unsigned Id) { analyzeSCC(CG->sccMembers(Id)); }
+
   const PredicateSizeInfo &info(Functor F) const;
 
   /// Walks one clause of \p Pred with the current solved knowledge,
@@ -133,6 +143,10 @@ public:
     Solver.setStats(Stats, "size.solver");
   }
 
+  /// Attaches a recurrence memo table (shared with the cost layer and, in
+  /// batch mode, across runs); call before run().
+  void setSolverCache(SolverCache *Cache) { Solver.setCache(Cache); }
+
 private:
   friend class ClauseSizeWalker;
 
@@ -151,7 +165,9 @@ private:
   DiffEqSolver Solver;
   StatsRegistry *Stats = nullptr;
   std::unordered_map<Functor, PredicateSizeInfo> Info;
-  mutable std::unordered_map<Functor, int> RecArgCache;
+  /// -2 = not yet computed.  Atomic cells: concurrent SCC jobs may race
+  /// to compute the same functor's entry, but both write the same value.
+  mutable std::unordered_map<Functor, std::atomic<int>> RecArgCache;
 };
 
 } // namespace granlog

@@ -5,18 +5,27 @@
 #include "support/Json.h"
 
 #include <cstdio>
+#include <mutex>
 
 using namespace granlog;
 
 void StatsRegistry::add(std::string_view Name, uint64_t N) {
-  auto It = Counters.find(Name);
-  if (It == Counters.end())
-    Counters.emplace(std::string(Name), N);
-  else
-    It->second += N;
+  {
+    std::shared_lock Lock(Mutex);
+    auto It = Counters.find(Name);
+    if (It != Counters.end()) {
+      It->second.fetch_add(N, std::memory_order_relaxed);
+      return;
+    }
+  }
+  std::unique_lock Lock(Mutex);
+  // try_emplace: another thread may have created the slot meanwhile.
+  auto [It, _] = Counters.try_emplace(std::string(Name), 0);
+  It->second.fetch_add(N, std::memory_order_relaxed);
 }
 
 void StatsRegistry::addValue(std::string_view Name, double Value) {
+  std::unique_lock Lock(Mutex);
   auto It = Values.find(Name);
   if (It == Values.end())
     Values.emplace(std::string(Name), Value);
@@ -25,56 +34,77 @@ void StatsRegistry::addValue(std::string_view Name, double Value) {
 }
 
 uint64_t StatsRegistry::counter(std::string_view Name) const {
+  std::shared_lock Lock(Mutex);
   auto It = Counters.find(Name);
-  return It == Counters.end() ? 0 : It->second;
+  return It == Counters.end() ? 0
+                              : It->second.load(std::memory_order_relaxed);
 }
 
 double StatsRegistry::value(std::string_view Name) const {
+  std::shared_lock Lock(Mutex);
   auto It = Values.find(Name);
   return It == Values.end() ? 0.0 : It->second;
 }
 
+std::map<std::string, uint64_t, std::less<>> StatsRegistry::counters() const {
+  std::shared_lock Lock(Mutex);
+  std::map<std::string, uint64_t, std::less<>> Out;
+  for (const auto &[Name, C] : Counters)
+    Out.emplace(Name, C.load(std::memory_order_relaxed));
+  return Out;
+}
+
+std::map<std::string, double, std::less<>> StatsRegistry::values() const {
+  std::shared_lock Lock(Mutex);
+  return Values;
+}
+
 void StatsRegistry::clear() {
+  std::unique_lock Lock(Mutex);
   Counters.clear();
   Values.clear();
 }
 
 std::string StatsRegistry::str() const {
+  auto CountersSnap = counters();
+  auto ValuesSnap = values();
   std::string Out;
   size_t Width = 0;
-  for (const auto &[Name, _] : Counters)
+  for (const auto &[Name, _] : CountersSnap)
     Width = std::max(Width, Name.size());
-  for (const auto &[Name, _] : Values)
+  for (const auto &[Name, _] : ValuesSnap)
     Width = std::max(Width, Name.size());
   auto Pad = [&](const std::string &Name) {
     std::string S = "  " + Name;
     S.append(Width + 2 - Name.size(), ' ');
     return S;
   };
-  for (const auto &[Name, V] : Values) {
+  for (const auto &[Name, V] : ValuesSnap) {
     char Buf[64];
     // Phase timers are seconds; print with enough digits for microsecond
     // phases without scientific notation.
     std::snprintf(Buf, sizeof(Buf), "%.6f", V);
     Out += Pad(Name) + Buf + "\n";
   }
-  for (const auto &[Name, C] : Counters)
+  for (const auto &[Name, C] : CountersSnap)
     Out += Pad(Name) + std::to_string(C) + "\n";
   return Out;
 }
 
 void StatsRegistry::writeJson(JsonWriter &W) const {
+  auto CountersSnap = counters();
+  auto ValuesSnap = values();
   W.beginObject();
   W.key("counters");
   W.beginObject();
-  for (const auto &[Name, C] : Counters) {
+  for (const auto &[Name, C] : CountersSnap) {
     W.key(Name);
     W.value(C);
   }
   W.endObject();
   W.key("values");
   W.beginObject();
-  for (const auto &[Name, V] : Values) {
+  for (const auto &[Name, V] : ValuesSnap) {
     W.key(Name);
     W.value(V);
   }

@@ -15,10 +15,12 @@
 ///
 /// Naming convention (the stats taxonomy, see DESIGN.md "Observability"):
 ///   phase.<name>          seconds spent in one analyzer phase
+///   scc.<id>.seconds      seconds spent analyzing one SCC (parallel driver)
 ///   <layer>.solver.hit.<schema>   diffeq schema matches per schema name
 ///   <layer>.solver.infinity       equations that fell to Infinity
 ///   <layer>.solver.relaxed        solves that applied an upper-bound
 ///                                 relaxation (result not exact)
+///   solver.cache.*        memoized recurrence-solver cache traffic
 ///   size.*, cost.*        domain counters of the two equation layers
 ///   classify.<class>      predicates per granularity classification
 ///   interp.*              dynamic execution counters
@@ -28,9 +30,11 @@
 #ifndef GRANLOG_SUPPORT_STATS_H
 #define GRANLOG_SUPPORT_STATS_H
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 
@@ -42,12 +46,23 @@ class JsonWriter;
 /// the tools that embed it (analyze_file --stats-json, bench_analyzer
 /// --granlog-stats-out).  Bump when renaming keys or changing structure so
 /// benchmark-history consumers can parse old records.
-inline constexpr int StatsJsonVersion = 1;
+///
+/// Version history:
+///   1  initial schema: {"counters": {...}, "values": {...}}
+///   2  parallel pipeline: adds solver.cache.{hit,miss,entries} counters
+///      and scc.<id>.seconds timers; same document structure
+inline constexpr int StatsJsonVersion = 2;
 
-/// Named counters and metrics.  Not thread-safe: one registry per
-/// analysis/simulation run (the pipeline is sequential).
+/// Named counters and metrics.  Thread-safe: counters are atomics behind a
+/// shared-locked name map (the common increment path takes only a shared
+/// lock plus one relaxed fetch_add), metrics take the exclusive lock (they
+/// are recorded rarely — once per phase/scope).  Readers snapshot.
 class StatsRegistry {
 public:
+  StatsRegistry() = default;
+  StatsRegistry(const StatsRegistry &) = delete;
+  StatsRegistry &operator=(const StatsRegistry &) = delete;
+
   /// Increments counter \p Name by \p N.
   void add(std::string_view Name, uint64_t N = 1);
   /// Accumulates \p Value into metric \p Name (e.g. seconds of a phase).
@@ -58,12 +73,10 @@ public:
   /// Current metric value (0.0 when never recorded).
   double value(std::string_view Name) const;
 
-  const std::map<std::string, uint64_t, std::less<>> &counters() const {
-    return Counters;
-  }
-  const std::map<std::string, double, std::less<>> &values() const {
-    return Values;
-  }
+  /// Snapshot of all counters, sorted by name.
+  std::map<std::string, uint64_t, std::less<>> counters() const;
+  /// Snapshot of all metrics, sorted by name.
+  std::map<std::string, double, std::less<>> values() const;
 
   void clear();
 
@@ -74,7 +87,9 @@ public:
   void writeJson(JsonWriter &W) const;
 
 private:
-  std::map<std::string, uint64_t, std::less<>> Counters;
+  // node-based map => atomic slots have stable addresses across inserts.
+  mutable std::shared_mutex Mutex;
+  std::map<std::string, std::atomic<uint64_t>, std::less<>> Counters;
   std::map<std::string, double, std::less<>> Values;
 };
 

@@ -1,0 +1,163 @@
+//===- support/ThreadPool.cpp ---------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <memory>
+#include <utility>
+
+using namespace granlog;
+
+namespace {
+// Identifies the pool (and worker slot) the current thread belongs to so
+// submit() can push to the worker's own deque instead of round-robin.
+thread_local ThreadPool *CurrentPool = nullptr;
+thread_local size_t CurrentIndex = 0;
+} // namespace
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  if (NumThreads == 0)
+    NumThreads = 1;
+  Queues.resize(NumThreads);
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Workers.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  WorkCv.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+  // Workers only exit once every queue is empty, so all tasks have run.
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    size_t Target;
+    if (CurrentPool == this) {
+      Target = CurrentIndex; // own deque: LIFO locality for task trees
+    } else {
+      Target = NextQueue;
+      NextQueue = (NextQueue + 1) % Queues.size();
+    }
+    Queues[Target].push_back(std::move(Task));
+    ++Pending;
+  }
+  WorkCv.notify_one();
+}
+
+std::function<void()> ThreadPool::takeLocked(size_t Index) {
+  if (!Queues[Index].empty()) {
+    std::function<void()> Task = std::move(Queues[Index].back());
+    Queues[Index].pop_back();
+    return Task;
+  }
+  for (size_t Off = 1; Off != Queues.size(); ++Off) {
+    size_t Victim = (Index + Off) % Queues.size();
+    if (!Queues[Victim].empty()) {
+      std::function<void()> Task = std::move(Queues[Victim].front());
+      Queues[Victim].pop_front();
+      return Task;
+    }
+  }
+  return {};
+}
+
+void ThreadPool::workerLoop(size_t Index) {
+  CurrentPool = this;
+  CurrentIndex = Index;
+  std::unique_lock<std::mutex> Lock(Mutex);
+  for (;;) {
+    std::function<void()> Task = takeLocked(Index);
+    if (!Task) {
+      if (Stopping)
+        return; // all queues drained
+      WorkCv.wait(Lock);
+      continue;
+    }
+    Lock.unlock();
+    try {
+      Task();
+    } catch (...) {
+      std::unique_lock<std::mutex> ErrLock(Mutex);
+      if (!FirstError)
+        FirstError = std::current_exception();
+    }
+    Task = nullptr; // release captures before touching Pending
+    Lock.lock();
+    if (--Pending == 0)
+      DoneCv.notify_all();
+  }
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  DoneCv.wait(Lock, [this] { return Pending == 0; });
+  if (FirstError) {
+    std::exception_ptr E = std::exchange(FirstError, nullptr);
+    Lock.unlock();
+    std::rethrow_exception(E);
+  }
+}
+
+void granlog::topoSchedule(const std::vector<std::vector<unsigned>> &Deps,
+                           const std::function<void(unsigned)> &Fn,
+                           ThreadPool *Pool) {
+  const unsigned N = static_cast<unsigned>(Deps.size());
+  if (!Pool) {
+    // Index order is a topological order by the Deps[I] < I precondition,
+    // so this is exactly the classic sequential callee-first loop.
+    for (unsigned I = 0; I != N; ++I) {
+      assert(std::all_of(Deps[I].begin(), Deps[I].end(),
+                         [I](unsigned D) { return D < I; }) &&
+             "nodes must be given in topological order");
+      Fn(I);
+    }
+    return;
+  }
+
+  // Remaining[I] counts distinct unfinished dependencies; Dependents[D]
+  // lists the nodes waiting on D.
+  std::vector<std::vector<unsigned>> Dependents(N);
+  std::vector<unsigned> InitialReady;
+  std::unique_ptr<std::atomic<unsigned>[]> Remaining(
+      new std::atomic<unsigned>[N]);
+  for (unsigned I = 0; I != N; ++I) {
+    std::vector<unsigned> Unique(Deps[I]);
+    std::sort(Unique.begin(), Unique.end());
+    Unique.erase(std::unique(Unique.begin(), Unique.end()), Unique.end());
+    assert((Unique.empty() || Unique.back() < I) &&
+           "nodes must be given in topological order");
+    Remaining[I].store(static_cast<unsigned>(Unique.size()),
+                       std::memory_order_relaxed);
+    if (Unique.empty())
+      InitialReady.push_back(I);
+    for (unsigned D : Unique)
+      Dependents[D].push_back(I);
+  }
+
+  // Each node job runs Fn then releases its dependents; the last released
+  // dependency submits the dependent.  fetch_sub(acq_rel) makes the
+  // completed node's writes visible to the dependent's thread.
+  std::function<void(unsigned)> RunNode = [&](unsigned I) {
+    Fn(I);
+    for (unsigned Next : Dependents[I])
+      if (Remaining[Next].fetch_sub(1, std::memory_order_acq_rel) == 1)
+        Pool->submit([&RunNode, Next] { RunNode(Next); });
+  };
+  // Submit only the nodes whose dependency count was zero at build time:
+  // re-reading Remaining here would race with already-running jobs that
+  // drive a dependent's count to zero (and submit it) before this loop
+  // reaches it, double-submitting that node.
+  for (unsigned I : InitialReady)
+    Pool->submit([&RunNode, I] { RunNode(I); });
+  Pool->wait(); // blocks until the whole DAG (or an error) completes, so
+                // the by-reference captures above stay alive long enough
+}

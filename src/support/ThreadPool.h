@@ -1,0 +1,87 @@
+//===- support/ThreadPool.h - Work-stealing pool + DAG scheduler ----------===//
+//
+// Part of GranLog; see DESIGN.md "Parallel analysis & solver cache".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small work-stealing thread pool and a topological DAG scheduler on top
+/// of it.  The pool keeps one deque per worker: a worker pops its own deque
+/// from the back (LIFO, cache-friendly for task trees) and steals from the
+/// front of other workers' deques (FIFO, takes the oldest — likely largest —
+/// subtree).  Tasks submitted from inside a worker go to that worker's own
+/// deque; external submissions are distributed round-robin.
+///
+/// Error contract: the first exception thrown by any task is captured and
+/// rethrown from wait() (or swallowed by the destructor after all tasks
+/// have been drained).  Every submitted task runs exactly once, including
+/// tasks still queued when the destructor runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_SUPPORT_THREADPOOL_H
+#define GRANLOG_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace granlog {
+
+class ThreadPool {
+public:
+  /// Spawns \p NumThreads workers.  NumThreads == 0 is clamped to 1.
+  explicit ThreadPool(unsigned NumThreads);
+
+  /// Drains every queued task (each runs exactly once), then joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues \p Task.  Callable from any thread, including from inside a
+  /// running task.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first task exception if any (clearing it, so the pool is reusable).
+  void wait();
+
+  unsigned numThreads() const { return static_cast<unsigned>(Workers.size()); }
+
+private:
+  void workerLoop(size_t Index);
+  /// Pops one task: own queue back first, then steals from others' fronts.
+  /// Must be called with Mutex held.  Returns an empty function when no
+  /// work is available.
+  std::function<void()> takeLocked(size_t Index);
+
+  std::mutex Mutex;
+  std::condition_variable WorkCv; // signalled on submit / stop
+  std::condition_variable DoneCv; // signalled when Pending hits 0
+  std::vector<std::deque<std::function<void()>>> Queues; // guarded by Mutex
+  std::vector<std::thread> Workers;
+  size_t Pending = 0;        // queued + running tasks, guarded by Mutex
+  size_t NextQueue = 0;      // round-robin for external submits
+  bool Stopping = false;     // guarded by Mutex
+  std::exception_ptr FirstError; // guarded by Mutex
+};
+
+/// Runs one job per node of a dependency DAG, callee-first.  Deps[I] lists
+/// the node indices that must finish before node I starts; every dependency
+/// must be < I (nodes are given in a topological order, as CallGraph SCC
+/// ids are).  With a null \p Pool the nodes run sequentially in index
+/// order — exactly the classic SCC loop — so the sequential and parallel
+/// drivers share one code path.  Exceptions propagate to the caller; on
+/// error some nodes may not have run.
+void topoSchedule(const std::vector<std::vector<unsigned>> &Deps,
+                  const std::function<void(unsigned)> &Fn, ThreadPool *Pool);
+
+} // namespace granlog
+
+#endif // GRANLOG_SUPPORT_THREADPOOL_H

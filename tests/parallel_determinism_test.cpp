@@ -1,0 +1,180 @@
+//===- tests/parallel_determinism_test.cpp - Jobs-invariance lockdown -----===//
+//
+// The parallel SCC-scheduled pipeline's hard requirement: for every corpus
+// benchmark, the analysis report, the full provenance (explain) text and
+// the stats JSON — modulo wall-clock timer values — are byte-identical
+// between --jobs 1 and --jobs 8, across repeated runs.  Any data race or
+// schedule-dependent code path in the parallel driver shows up here as a
+// flaky diff.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/GranularityAnalyzer.h"
+#include "corpus/Corpus.h"
+#include "corpus/Harness.h"
+#include "support/Json.h"
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+using namespace granlog;
+
+namespace {
+
+struct AnalysisSnapshot {
+  std::string Report;
+  std::string ExplainAll;
+  std::map<std::string, uint64_t, std::less<>> Counters; // no timers here
+  std::string Json;                         // stats JSON, timers stripped
+};
+
+/// Strips the "values" member (wall-clock timers, the only legitimately
+/// schedule-dependent data) from a stats JSON document.
+std::string stripTimers(std::string S) {
+  size_t Pos = S.find("\"values\":{");
+  if (Pos == std::string::npos)
+    return S;
+  // The timer map holds flat string->number pairs: the object ends at the
+  // first '}' after its start.  Swallow the separating comma on whichever
+  // side it appears so the remainder stays valid JSON.
+  size_t End = S.find('}', Pos);
+  if (End + 1 < S.size() && S[End + 1] == ',') {
+    ++End;
+  } else if (Pos > 0 && S[Pos - 1] == ',') {
+    --Pos;
+  }
+  S.erase(Pos, End - Pos + 1);
+  return S;
+}
+
+std::string strippedJson(const GranularityAnalyzer &GA) {
+  JsonWriter W;
+  GA.writeJson(W);
+  return stripTimers(W.take());
+}
+
+AnalysisSnapshot analyze(const BenchmarkDef &B, unsigned Jobs) {
+  TermArena Arena;
+  Diagnostics Diags;
+  std::optional<Program> P = loadProgram(B.Source, Arena, Diags);
+  EXPECT_TRUE(P) << B.Name << ": " << Diags.str();
+  AnalysisSnapshot Snap;
+  if (!P)
+    return Snap;
+  StatsRegistry Stats;
+  AnalyzerOptions Options{CostMetric::resolutions(), 48.0};
+  Options.Jobs = Jobs;
+  Options.Stats = &Stats;
+  GranularityAnalyzer GA(*P, Options);
+  GA.run();
+  Snap.Report = GA.report();
+  Snap.ExplainAll = GA.explainAll();
+  Snap.Counters = Stats.counters();
+  Snap.Json = strippedJson(GA);
+  EXPECT_TRUE(jsonValidate(Snap.Json)) << B.Name << ": " << Snap.Json;
+  return Snap;
+}
+
+class ParallelDeterminism
+    : public ::testing::TestWithParam<const BenchmarkDef *> {};
+
+TEST_P(ParallelDeterminism, Jobs8MatchesJobs1Repeatedly) {
+  const BenchmarkDef &B = *GetParam();
+  AnalysisSnapshot Want = analyze(B, /*Jobs=*/1);
+  for (int Repeat = 0; Repeat != 10; ++Repeat) {
+    AnalysisSnapshot Got = analyze(B, /*Jobs=*/8);
+    EXPECT_EQ(Got.Report, Want.Report) << B.Name << " repeat " << Repeat;
+    EXPECT_EQ(Got.ExplainAll, Want.ExplainAll)
+        << B.Name << " repeat " << Repeat;
+    EXPECT_EQ(Got.Counters, Want.Counters)
+        << B.Name << " repeat " << Repeat;
+    EXPECT_EQ(Got.Json, Want.Json) << B.Name << " repeat " << Repeat;
+  }
+}
+
+TEST_P(ParallelDeterminism, OddJobCountsMatchToo) {
+  // 2 and 3 workers hit different steal patterns than 8; one round each.
+  const BenchmarkDef &B = *GetParam();
+  AnalysisSnapshot Want = analyze(B, /*Jobs=*/1);
+  for (unsigned Jobs : {2u, 3u}) {
+    AnalysisSnapshot Got = analyze(B, Jobs);
+    EXPECT_EQ(Got.Report, Want.Report) << B.Name << " jobs " << Jobs;
+    EXPECT_EQ(Got.ExplainAll, Want.ExplainAll) << B.Name << " jobs " << Jobs;
+    EXPECT_EQ(Got.Counters, Want.Counters) << B.Name << " jobs " << Jobs;
+  }
+}
+
+std::vector<const BenchmarkDef *> allBenchmarks() {
+  std::vector<const BenchmarkDef *> Out;
+  for (const BenchmarkDef &B : benchmarkCorpus())
+    Out.push_back(&B);
+  return Out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, ParallelDeterminism, ::testing::ValuesIn(allBenchmarks()),
+    [](const ::testing::TestParamInfo<const BenchmarkDef *> &Info) {
+      return Info.param->Name;
+    });
+
+TEST(BatchDeterminism, BatchJobs8MatchesBatchJobs1) {
+  // The whole-corpus batch driver: per-benchmark outputs must not depend
+  // on the batch job count or on shared-cache warm-up order.
+  BatchConfig Config;
+  Config.Jobs = 1;
+  BatchResult Want = analyzeCorpusBatch(Config);
+  for (int Repeat = 0; Repeat != 3; ++Repeat) {
+    Config.Jobs = 8;
+    BatchResult Got = analyzeCorpusBatch(Config);
+    ASSERT_EQ(Got.Results.size(), Want.Results.size());
+    for (size_t I = 0; I != Want.Results.size(); ++I) {
+      EXPECT_EQ(Got.Results[I].Name, Want.Results[I].Name);
+      EXPECT_EQ(Got.Results[I].Ok, Want.Results[I].Ok);
+      EXPECT_EQ(Got.Results[I].Report, Want.Results[I].Report)
+          << Want.Results[I].Name;
+      EXPECT_EQ(Got.Results[I].ExplainAll, Want.Results[I].ExplainAll)
+          << Want.Results[I].Name;
+      EXPECT_EQ(stripTimers(Got.Results[I].StatsJson),
+                stripTimers(Want.Results[I].StatsJson))
+          << Want.Results[I].Name;
+    }
+    // The shared cache solves each distinct equation exactly once, so the
+    // entry and miss totals are schedule-independent as well.
+    EXPECT_EQ(Got.CacheEntries, Want.CacheEntries);
+    EXPECT_EQ(Got.CacheMisses, Want.CacheMisses);
+    EXPECT_EQ(Got.CacheHits, Want.CacheHits);
+  }
+}
+
+TEST(BatchDeterminism, SharedCacheNeverPollutesPerBenchmarkStats) {
+  // A run reports solver.cache.* traffic only for a cache it owns: with
+  // the shared batch cache those counters would depend on which other
+  // benchmarks warmed the cache first, so they must be absent — while the
+  // analysis results themselves are identical either way.
+  BatchConfig Shared;
+  Shared.Jobs = 8;
+  BatchConfig Private;
+  Private.Jobs = 1;
+  Private.ShareCache = false;
+  BatchResult A = analyzeCorpusBatch(Shared);
+  BatchResult B = analyzeCorpusBatch(Private);
+  ASSERT_EQ(A.Results.size(), B.Results.size());
+  for (size_t I = 0; I != A.Results.size(); ++I) {
+    EXPECT_EQ(A.Results[I].StatsJson.find("solver.cache."),
+              std::string::npos)
+        << A.Results[I].Name << ": shared-cache traffic leaked into stats";
+    EXPECT_NE(B.Results[I].StatsJson.find("solver.cache."),
+              std::string::npos)
+        << B.Results[I].Name << ": run-owned cache traffic missing";
+    EXPECT_EQ(A.Results[I].Report, B.Results[I].Report)
+        << A.Results[I].Name;
+    EXPECT_EQ(A.Results[I].ExplainAll, B.Results[I].ExplainAll)
+        << A.Results[I].Name;
+  }
+  EXPECT_EQ(B.CacheEntries, 0u) << "no shared cache, no shared traffic";
+}
+
+} // namespace

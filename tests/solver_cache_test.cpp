@@ -1,0 +1,306 @@
+//===- tests/solver_cache_test.cpp - Recurrence memo-table properties -----===//
+//
+// The cache invariants the parallel pipeline's determinism rests on:
+//
+//  1. cache-on == cache-off: for randomized recurrences, solving through a
+//     SolverCache yields exactly the SolveResult of the direct schema-table
+//     walk (closed form text, schema name, exactness, Why).
+//  2. canonical-key invariance: renaming the recursion variable and the
+//     free variables of an equation does not change its cache key, so
+//     structurally identical equations share one entry.
+//  3. exactly-once solving: the miss count equals the number of distinct
+//     keys, from any number of threads.
+//
+//===----------------------------------------------------------------------===//
+
+#include "diffeq/SolverCache.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+using namespace granlog;
+
+namespace {
+
+/// Deterministic 64-bit LCG (tests must not depend on global random state).
+struct Lcg {
+  uint64_t State;
+  explicit Lcg(uint64_t Seed) : State(Seed) {}
+  uint64_t next() {
+    State = State * 6364136223846793005ULL + 1442695040888963407ULL;
+    return State >> 33;
+  }
+  int64_t range(int64_t Lo, int64_t Hi) { // inclusive
+    return Lo + static_cast<int64_t>(next() % (Hi - Lo + 1));
+  }
+};
+
+/// A randomized but well-formed recurrence over variable \p Var:
+/// shift and/or divide self-terms, a small polynomial additive part
+/// (possibly mentioning a free variable), and 1-2 boundary conditions.
+Recurrence randomRecurrence(Lcg &Rng, const std::string &Var,
+                            const std::string &FreeVar) {
+  Recurrence R;
+  R.Function = "f" + std::to_string(Rng.range(0, 3));
+  R.Var = Var;
+  int Shape = static_cast<int>(Rng.range(0, 2));
+  if (Shape == 0 || Shape == 2) {
+    unsigned Terms = static_cast<unsigned>(Rng.range(1, 2));
+    for (unsigned I = 0; I != Terms; ++I)
+      R.ShiftTerms.push_back(
+          {Rational(Rng.range(1, 3)), Rational(Rng.range(1, 2))});
+  }
+  if (Shape == 1) {
+    R.DivideTerms.push_back({Rational(Rng.range(1, 2)),
+                             Rational(Rng.range(2, 4)),
+                             Rational(Rng.range(0, 1))});
+  }
+  switch (Rng.range(0, 3)) {
+  case 0:
+    R.Additive = makeNumber(Rng.range(0, 9));
+    break;
+  case 1:
+    R.Additive = makeAdd(makeVar(Var), makeNumber(Rng.range(0, 4)));
+    break;
+  case 2:
+    R.Additive = makeMul(makeNumber(Rng.range(1, 3)), makeVar(FreeVar));
+    break;
+  default:
+    R.Additive = makeAdd(makeMul(makeVar(Var), makeVar(FreeVar)),
+                         makeNumber(1));
+    break;
+  }
+  R.Boundaries.push_back({Rational(0), makeNumber(Rng.range(0, 3))});
+  if (Rng.range(0, 1))
+    R.Boundaries.push_back({Rational(1), makeVar(FreeVar)});
+  return R;
+}
+
+void expectSameResult(const SolveResult &A, const SolveResult &B,
+                      const Recurrence &R) {
+  EXPECT_EQ(exprText(A.Closed), exprText(B.Closed)) << R.str();
+  EXPECT_EQ(A.SchemaName, B.SchemaName) << R.str();
+  EXPECT_EQ(A.Exact, B.Exact) << R.str();
+  EXPECT_EQ(A.Why, B.Why) << R.str();
+}
+
+TEST(SolverCacheTest, CacheOnEqualsCacheOffRandomized) {
+  Lcg Rng(20260806);
+  DiffEqSolver Direct;
+  DiffEqSolver Cached;
+  SolverCache Cache;
+  Cached.setCache(&Cache);
+  for (int I = 0; I != 400; ++I) {
+    Recurrence R = randomRecurrence(Rng, "n1", "n2");
+    SolveResult Want = Direct.solve(R);
+    SolveResult Got = Cached.solve(R);
+    expectSameResult(Got, Want, R);
+    // Replay: a hit must reproduce the identical result.
+    SolveResult Again = Cached.solve(R);
+    expectSameResult(Again, Want, R);
+  }
+  EXPECT_GT(Cache.hits(), 0u);   // 400 draws from a small shape space
+  EXPECT_EQ(Cache.entries(), Cache.misses());
+}
+
+TEST(SolverCacheTest, KeyInvariantUnderVariableRenaming) {
+  Lcg Rng(42);
+  for (int I = 0; I != 200; ++I) {
+    Recurrence R = randomRecurrence(Rng, "n1", "n2");
+    Recurrence Renamed = R;
+    Renamed.Var = "m";
+    Renamed.Additive = substituteVar(
+        substituteVar(R.Additive, "n1", makeVar("m")), "n2", makeVar("k"));
+    for (Boundary &B : Renamed.Boundaries)
+      B.Value = substituteVar(substituteVar(B.Value, "n1", makeVar("m")),
+                              "n2", makeVar("k"));
+    Renamed.Function = "other";
+
+    auto C1 = SolverCache::canonicalize(R);
+    auto C2 = SolverCache::canonicalize(Renamed);
+    ASSERT_TRUE(C1.has_value()) << R.str();
+    ASSERT_TRUE(C2.has_value()) << Renamed.str();
+    EXPECT_EQ(C1->Key, C2->Key) << R.str() << " vs " << Renamed.str();
+  }
+}
+
+TEST(SolverCacheTest, RenamedEquationsShareOneEntry) {
+  DiffEqSolver Solver;
+  SolverCache Cache;
+  Solver.setCache(&Cache);
+
+  Recurrence R;
+  R.Function = "cost:nrev/2";
+  R.Var = "n1";
+  R.ShiftTerms.push_back({Rational(1), Rational(1)});
+  R.Additive = makeAdd(makeVar("n1"), makeNumber(2));
+  R.Boundaries.push_back({Rational(0), makeNumber(1)});
+
+  Recurrence S = R;
+  S.Function = "psi:append/3#2";
+  S.Var = "n7";
+  S.Additive = makeAdd(makeVar("n7"), makeNumber(2));
+
+  SolveResult A = Solver.solve(R);
+  SolveResult B = Solver.solve(S);
+  EXPECT_EQ(Cache.misses(), 1u);
+  EXPECT_EQ(Cache.hits(), 1u);
+  EXPECT_EQ(Cache.entries(), 1u);
+  // The replayed closed form is renamed back to the second equation's
+  // variable: evaluating both at the same point must agree.
+  EXPECT_EQ(exprText(B.Closed),
+            exprText(substituteVar(A.Closed, "n1", makeVar("n7"))));
+}
+
+TEST(SolverCacheTest, DistinctEquationsGetDistinctKeys) {
+  Recurrence R;
+  R.Function = "f";
+  R.Var = "n";
+  R.ShiftTerms.push_back({Rational(2), Rational(1)});
+  R.Additive = makeNumber(1);
+  R.Boundaries.push_back({Rational(0), makeNumber(0)});
+
+  Recurrence S = R; // different coefficient
+  S.ShiftTerms[0].Coeff = Rational(3);
+  Recurrence T = R; // different boundary point
+  T.Boundaries[0].At = Rational(1);
+  Recurrence U = R; // divide instead of shift
+  U.ShiftTerms.clear();
+  U.DivideTerms.push_back({Rational(2), Rational(2), Rational(0)});
+  Recurrence V = U; // same equation, different divide offset
+  V.DivideTerms[0].Offset = Rational(1);
+
+  auto Keys = {SolverCache::canonicalize(R)->Key,
+               SolverCache::canonicalize(S)->Key,
+               SolverCache::canonicalize(T)->Key,
+               SolverCache::canonicalize(U)->Key,
+               SolverCache::canonicalize(V)->Key};
+  std::vector<std::string> Sorted(Keys);
+  std::sort(Sorted.begin(), Sorted.end());
+  EXPECT_EQ(std::unique(Sorted.begin(), Sorted.end()), Sorted.end())
+      << "all five equations must have distinct cache keys";
+}
+
+TEST(SolverCacheTest, BypassesEquationsWithUnknownCalls) {
+  // An additive part still containing unknown function calls is diagnosed
+  // with an equation-specific Why by the solver; caching it under a
+  // canonical name would replay the wrong diagnostic.
+  Recurrence R;
+  R.Function = "f";
+  R.Var = "n";
+  R.ShiftTerms.push_back({Rational(1), Rational(1)});
+  R.Additive = makeCall("cost:mystery", {makeVar("n")});
+  R.Boundaries.push_back({Rational(0), makeNumber(0)});
+  EXPECT_FALSE(SolverCache::canonicalize(R).has_value());
+
+  DiffEqSolver Solver;
+  SolverCache Cache;
+  Solver.setCache(&Cache);
+  SolveResult Res = Solver.solve(R);
+  DiffEqSolver Direct;
+  expectSameResult(Res, Direct.solve(R), R);
+  EXPECT_EQ(Cache.entries(), 0u);
+  EXPECT_EQ(Cache.misses(), 0u);
+}
+
+TEST(SolverCacheTest, BypassesReservedVariableNames) {
+  Recurrence R;
+  R.Function = "f";
+  R.Var = "_g0"; // would collide with the canonical names
+  R.ShiftTerms.push_back({Rational(1), Rational(1)});
+  R.Additive = makeNumber(1);
+  R.Boundaries.push_back({Rational(0), makeNumber(0)});
+  EXPECT_FALSE(SolverCache::canonicalize(R).has_value());
+}
+
+TEST(SolverCacheTest, TableSignatureNamespacesAblations) {
+  // The same equation solved by a full table and by an ablated table must
+  // not share an entry (their closed forms differ).
+  Recurrence R;
+  R.Function = "f";
+  R.Var = "n";
+  R.DivideTerms.push_back({Rational(2), Rational(2), Rational(0)});
+  R.Additive = makeVar("n");
+  R.Boundaries.push_back({Rational(1), makeNumber(1)});
+
+  SolverCache Cache;
+  DiffEqSolver Full;
+  Full.setCache(&Cache);
+  DiffEqSolver Ablated;
+  Ablated.disableSchema("divide-and-conquer");
+  Ablated.setCache(&Cache);
+
+  SolveResult A = Full.solve(R);
+  SolveResult B = Ablated.solve(R);
+  EXPECT_EQ(A.SchemaName, "divide-and-conquer");
+  EXPECT_NE(exprText(A.Closed), exprText(B.Closed));
+  EXPECT_EQ(Cache.entries(), 2u);
+}
+
+TEST(SolverCacheTest, MissCountEqualsDistinctKeysUnderThreads) {
+  // 8 threads x 64 solves over 16 distinct equations: call_once makes the
+  // miss count exactly 16 regardless of interleaving, and every result
+  // matches the direct solve.
+  std::vector<Recurrence> Eqs;
+  for (int I = 0; I != 16; ++I) {
+    Recurrence R;
+    R.Function = "f";
+    R.Var = "n";
+    R.ShiftTerms.push_back({Rational(1 + I % 4), Rational(1)});
+    R.Additive = makeNumber(I / 4);
+    R.Boundaries.push_back({Rational(0), makeNumber(0)});
+    Eqs.push_back(R);
+  }
+  DiffEqSolver Direct;
+  std::vector<std::string> Want;
+  for (const Recurrence &R : Eqs)
+    Want.push_back(exprText(Direct.solve(R).Closed));
+
+  SolverCache Cache;
+  std::atomic<int> Mismatches{0};
+  {
+    ThreadPool Pool(8);
+    for (int T = 0; T != 8; ++T)
+      Pool.submit([&] {
+        DiffEqSolver Solver; // solver instances are per-thread
+        Solver.setCache(&Cache);
+        for (int I = 0; I != 64; ++I) {
+          const Recurrence &R = Eqs[I % Eqs.size()];
+          if (exprText(Solver.solve(R).Closed) != Want[I % Eqs.size()])
+            Mismatches.fetch_add(1);
+        }
+      });
+    Pool.wait();
+  }
+  EXPECT_EQ(Mismatches.load(), 0);
+  EXPECT_EQ(Cache.misses(), Eqs.size());
+  EXPECT_EQ(Cache.entries(), Eqs.size());
+  EXPECT_EQ(Cache.hits() + Cache.misses(), 8u * 64u);
+}
+
+TEST(SolverCacheTest, ClearEmptiesTheTable) {
+  Recurrence R;
+  R.Function = "f";
+  R.Var = "n";
+  R.ShiftTerms.push_back({Rational(1), Rational(1)});
+  R.Additive = makeNumber(1);
+  R.Boundaries.push_back({Rational(0), makeNumber(0)});
+  DiffEqSolver Solver;
+  SolverCache Cache;
+  Solver.setCache(&Cache);
+  Solver.solve(R);
+  EXPECT_EQ(Cache.entries(), 1u);
+  Cache.clear();
+  EXPECT_EQ(Cache.entries(), 0u);
+  EXPECT_EQ(Cache.hits(), 0u);
+  EXPECT_EQ(Cache.misses(), 0u);
+  Solver.solve(R);
+  EXPECT_EQ(Cache.misses(), 1u);
+}
+
+} // namespace

@@ -42,8 +42,14 @@ TEST_P(CostSoundness, StaticBoundDominatesDynamicCount) {
   std::optional<Program> P = loadProgram(B->Source, Arena, Diags);
   ASSERT_TRUE(P) << Diags.str();
 
-  GranularityAnalyzer GA(*P, {CostMetric::resolutions(), 48.0});
+  // Sequential reference pipeline and the SCC-parallel driver: both must
+  // produce a sound bound, and the same one.
+  AnalyzerOptions Options{CostMetric::resolutions(), 48.0};
+  GranularityAnalyzer GA(*P, Options);
   GA.run();
+  Options.Jobs = 8;
+  GranularityAnalyzer GA8(*P, Options);
+  GA8.run();
   const CostAnalysis &Costs = GA.costs();
   Symbol S = Arena.symbols().lookup(C.Pred);
   ASSERT_TRUE(S.isValid());
@@ -74,6 +80,11 @@ TEST_P(CostSoundness, StaticBoundDominatesDynamicCount) {
     ASSERT_TRUE(Bound.has_value());
     EXPECT_GE(*Bound, Actual)
         << B->label(N) << ": bound " << *Bound << " < actual " << Actual;
+
+    std::optional<double> Bound8 = GA8.costs().costAt(F, InputSizes);
+    ASSERT_TRUE(Bound8.has_value());
+    EXPECT_EQ(*Bound8, *Bound)
+        << B->label(N) << ": parallel driver derived a different bound";
   }
 }
 
@@ -89,7 +100,10 @@ INSTANTIATE_TEST_SUITE_P(
         SoundnessCase{"fft", "fft", 2, {1, 2, 8, 64, 256}},
         SoundnessCase{"flatten", "flatten", 2, {1, 2, 9, 60, 536}},
         SoundnessCase{"tree_traversal", "tsum", 2, {0, 1, 4, 8}},
-        SoundnessCase{"lr1_set", "lr1_set", 2, {0, 1, 3, 6}}),
+        SoundnessCase{"lr1_set", "lr1_set", 2, {0, 1, 3, 6}},
+        SoundnessCase{"matrix_multi", "mmul", 3, {0, 1, 2, 5, 8}},
+        SoundnessCase{"poly_inclusion", "poly_inclusion", 3,
+                      {1, 2, 8, 30}}),
     [](const ::testing::TestParamInfo<SoundnessCase> &Info) {
       return Info.param.Benchmark;
     });

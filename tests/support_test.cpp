@@ -11,7 +11,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <limits>
+#include <string>
+#include <thread>
+#include <vector>
 
 using namespace granlog;
 
@@ -137,6 +141,52 @@ TEST(StatsTest, NullSafeHelpers) {
   statsAddValue(&S, "w", 0.5);
   EXPECT_EQ(S.counter("x"), 3u);
   EXPECT_DOUBLE_EQ(S.value("w"), 0.5);
+}
+
+TEST(StatsTest, ConcurrentCountersSumExactly) {
+  // The parallel analysis driver increments shared counters from every
+  // worker; N threads x M increments over a mix of new and existing keys
+  // must lose no update.
+  constexpr unsigned Threads = 8;
+  constexpr uint64_t PerThread = 2000;
+  StatsRegistry S;
+  S.add("pre.existing"); // one key created before the threads start
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T != Threads; ++T)
+    Workers.emplace_back([&S, T] {
+      for (uint64_t I = 0; I != PerThread; ++I) {
+        S.add("shared.counter");
+        S.add("per.thread." + std::to_string(T)); // insert race path
+        S.add("pre.existing", 2);
+      }
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  EXPECT_EQ(S.counter("shared.counter"), Threads * PerThread);
+  EXPECT_EQ(S.counter("pre.existing"), 1 + 2 * Threads * PerThread);
+  for (unsigned T = 0; T != Threads; ++T)
+    EXPECT_EQ(S.counter("per.thread." + std::to_string(T)), PerThread);
+}
+
+TEST(StatsTest, ConcurrentReadersSeeConsistentSnapshots) {
+  // counters()/str()/writeJson take snapshots; they must be callable while
+  // writers are running (no iterator invalidation, no torn reads).
+  StatsRegistry S;
+  std::atomic<bool> Stop{false};
+  std::thread Writer([&] {
+    for (uint64_t I = 0; !Stop.load(); ++I)
+      S.add("k" + std::to_string(I % 17));
+  });
+  for (int I = 0; I != 200; ++I) {
+    auto Snapshot = S.counters();
+    for (const auto &[Name, Count] : Snapshot)
+      EXPECT_GT(Count, 0u) << Name;
+    JsonWriter W;
+    S.writeJson(W);
+    EXPECT_TRUE(jsonValidate(W.str()));
+  }
+  Stop.store(true);
+  Writer.join();
 }
 
 TEST(StatsTest, ScopedTimerAccumulates) {
