@@ -12,6 +12,7 @@
 #include "core/Transform.h"
 #include "corpus/Corpus.h"
 #include "corpus/Harness.h"
+#include "expr/Expr.h"
 #include "support/Json.h"
 #include "support/Stats.h"
 
@@ -86,6 +87,50 @@ void BM_BatchAnalyzeCorpus(benchmark::State &State) {
 BENCHMARK(BM_BatchAnalyzeCorpus)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+/// Canonical-form construction: the factory functions (flatten, fold,
+/// merge like terms, sort by compareExpr) are the inner loop of both
+/// equation layers.  Hash-consing turns the equality tests inside the
+/// merge/sort steps into pointer comparisons.
+void BM_ExprConstruct(benchmark::State &State) {
+  for (auto _ : State) {
+    ExprRef N = makeVar("n");
+    ExprRef M = makeVar("m");
+    std::vector<ExprRef> Terms;
+    for (int64_t I = 0; I != 24; ++I) {
+      Terms.push_back(
+          makeMul(makeNumber(I + 1), makePow(N, makeNumber(I % 7))));
+      Terms.push_back(makeMax(makeAdd(N, makeNumber(I)),
+                              makeMul(makeNumber(I + 2), M)));
+      Terms.push_back(makeMul(makeLog2(makeAdd(N, makeNumber(I))), M));
+    }
+    ExprRef E = makeAdd(std::move(Terms));
+    benchmark::DoNotOptimize(E);
+  }
+}
+BENCHMARK(BM_ExprConstruct);
+
+/// A deeply shared expression: each level references the previous one
+/// twice, so the *tree* has 2^Depth nodes while the DAG has O(Depth).
+/// Traversals that walk the tree (pre-interning substituteVar) are
+/// exponential here; identity-memoized DAG walks are linear.
+ExprRef deepSharedExpr(unsigned Depth) {
+  ExprRef E = makeVar("n");
+  for (unsigned I = 0; I != Depth; ++I)
+    E = makeMax(makeAdd(E, makeNumber(1)),
+                makeMul(makeNumber(2), E));
+  return E;
+}
+
+void BM_SubstituteDeep(benchmark::State &State) {
+  ExprRef E = deepSharedExpr(static_cast<unsigned>(State.range(0)));
+  ExprRef Replacement = makeAdd(makeVar("m"), makeNumber(1));
+  for (auto _ : State) {
+    ExprRef R = substituteVar(E, "n", Replacement);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_SubstituteDeep)->Arg(12)->Arg(16)->Arg(18);
+
 void BM_TransformOnly(benchmark::State &State) {
   TermArena Arena;
   Diagnostics Diags;
@@ -140,20 +185,69 @@ bool writeCorpusStats(const char *Path) {
   return true;
 }
 
+/// Machine-readable corpus-batch record for benchmark-history consumers
+/// (CI uploads this as an artifact).  One JSON object per run: job count,
+/// whole-batch wall time, shared solver-cache traffic, and per-benchmark
+/// analysis wall times.
+bool writeBatchJson(const char *Path, unsigned Jobs,
+                    const BatchResult &Batch) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("version");
+  W.value(StatsJsonVersion);
+  W.key("jobs");
+  W.value(Jobs);
+  W.key("wall_seconds");
+  W.value(Batch.WallSeconds);
+  W.key("cache");
+  W.beginObject();
+  W.key("hits");
+  W.value(Batch.CacheHits);
+  W.key("misses");
+  W.value(Batch.CacheMisses);
+  W.key("entries");
+  W.value(static_cast<uint64_t>(Batch.CacheEntries));
+  W.endObject();
+  W.key("benchmarks");
+  W.beginArray();
+  for (const BatchAnalysis &A : Batch.Results) {
+    W.beginObject();
+    W.key("name");
+    W.value(A.Name);
+    W.key("ok");
+    W.value(A.Ok);
+    W.key("seconds");
+    W.value(A.Seconds);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << W.str() << '\n';
+  return true;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   const char *StatsOut = nullptr;
+  const char *BatchJsonOut = nullptr;
   int BatchJobs = 0;
   // Strip our flags before google-benchmark sees the argument list.
   int OutArgc = 0;
   for (int I = 0; I < Argc; ++I) {
     constexpr const char StatsFlag[] = "--granlog-stats-out=";
     constexpr const char JobsFlag[] = "--jobs=";
+    constexpr const char BatchJsonFlag[] = "--bench-json-out=";
     if (std::strncmp(Argv[I], StatsFlag, sizeof(StatsFlag) - 1) == 0)
       StatsOut = Argv[I] + sizeof(StatsFlag) - 1;
     else if (std::strncmp(Argv[I], JobsFlag, sizeof(JobsFlag) - 1) == 0)
       BatchJobs = std::atoi(Argv[I] + sizeof(JobsFlag) - 1);
+    else if (std::strncmp(Argv[I], BatchJsonFlag,
+                          sizeof(BatchJsonFlag) - 1) == 0)
+      BatchJsonOut = Argv[I] + sizeof(BatchJsonFlag) - 1;
     else
       Argv[OutArgc++] = Argv[I];
   }
@@ -163,6 +257,11 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "error: cannot write %s\n", StatsOut);
     return 1;
   }
+
+  // --bench-json-out without an explicit job count records the scaling
+  // configuration CI tracks (8 workers).
+  if (BatchJsonOut && BatchJobs <= 0)
+    BatchJobs = 8;
 
   // --jobs=N: one timed whole-corpus batch analysis before the registered
   // microbenchmarks, reporting shared-cache traffic.
@@ -180,6 +279,12 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(Batch.CacheHits),
                 static_cast<unsigned long long>(Batch.CacheMisses),
                 Batch.CacheEntries);
+    if (BatchJsonOut &&
+        !writeBatchJson(BatchJsonOut, static_cast<unsigned>(BatchJobs),
+                        Batch)) {
+      std::fprintf(stderr, "error: cannot write %s\n", BatchJsonOut);
+      return 1;
+    }
   }
 
   benchmark::Initialize(&Argc, Argv);

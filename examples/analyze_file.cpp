@@ -30,6 +30,7 @@
 #include "core/Transform.h"
 #include "corpus/Corpus.h"
 #include "corpus/Harness.h"
+#include "expr/ExprInterner.h"
 #include "interp/Interpreter.h"
 #include "runtime/Scheduler.h"
 #include "support/Json.h"
@@ -232,8 +233,12 @@ int main(int Argc, char **Argv) {
                 TraceOutPath.c_str());
   }
 
-  if (PrintStats)
+  if (PrintStats) {
+    // Process-global interner/memo traffic (not per-run deterministic:
+    // the unique table is shared by everything this process analyzed).
+    snapshotExprCounters(Stats);
     std::printf("== stats ==\n%s", Stats.str().c_str());
+  }
 
   if (!StatsJsonPath.empty()) {
     JsonWriter Writer;

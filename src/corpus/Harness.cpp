@@ -68,6 +68,7 @@ namespace {
 /// cache may be shared, and it is internally synchronized.
 void analyzeOne(const BenchmarkDef &B, const BatchConfig &Config,
                 SolverCache *Shared, BatchAnalysis &Out) {
+  auto Start = std::chrono::steady_clock::now();
   Out.Name = B.Name;
   TermArena Arena;
   Diagnostics Diags;
@@ -91,6 +92,9 @@ void analyzeOne(const BenchmarkDef &B, const BatchConfig &Config,
     GA.writeJson(W);
     Out.StatsJson = W.take();
   }
+  Out.Seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
 }
 
 } // namespace

@@ -90,6 +90,7 @@ struct BatchAnalysis {
   std::string Report;      ///< GranularityAnalyzer::report()
   std::string ExplainAll;  ///< full provenance text
   std::string StatsJson;   ///< writeJson document ("" when stats off)
+  double Seconds = 0;      ///< wall-clock time of this benchmark's analysis
 };
 
 /// Results of a whole-corpus batch analysis.

@@ -21,7 +21,10 @@ std::string Recurrence::str() const {
     First = false;
     if (!T.Coeff.isOne())
       Out += T.Coeff.str() + "*";
-    Out += Function + "(" + Var + "/" + T.Divisor.str() + ")";
+    Out += Function + "(" + Var + "/" + T.Divisor.str();
+    if (!T.Offset.isZero())
+      Out += " + " + T.Offset.str();
+    Out += ")";
   }
   if (!Additive->isZero() || First) {
     if (!First)

@@ -38,6 +38,8 @@ namespace granlog {
 struct ShiftTerm {
   Rational Coeff;
   Rational Shift; ///< > 0
+
+  bool operator==(const ShiftTerm &) const = default;
 };
 
 /// C * f(n / Divisor + Offset).
@@ -45,12 +47,17 @@ struct DivideTerm {
   Rational Coeff;
   Rational Divisor;           ///< > 1
   Rational Offset = Rational(0); ///< small additive constant, in [0, 1]
+
+  bool operator==(const DivideTerm &) const = default;
 };
 
-/// f(At) = Value.
+/// f(At) = Value.  The defaulted equality compares Value by pointer,
+/// which is structural equality under hash-consing.
 struct Boundary {
   Rational At;
   ExprRef Value;
+
+  bool operator==(const Boundary &) const = default;
 };
 
 /// A difference equation in one variable, plus boundary conditions.

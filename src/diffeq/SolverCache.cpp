@@ -8,6 +8,51 @@ using namespace granlog;
 
 namespace {
 
+/// splitmix64-style combine, matching the quality of the interner's hash.
+inline size_t hashCombine(size_t Seed, uint64_t V) {
+  uint64_t H = Seed ^ (V + 0x9e3779b97f4a7c15ULL + (uint64_t(Seed) << 6) +
+                       (uint64_t(Seed) >> 2));
+  H ^= H >> 30;
+  H *= 0xbf58476d1ce4e5b9ULL;
+  H ^= H >> 27;
+  H *= 0x94d049bb133111ebULL;
+  H ^= H >> 31;
+  return static_cast<size_t>(H);
+}
+
+inline size_t hashRational(size_t Seed, const Rational &V) {
+  Seed = hashCombine(Seed, static_cast<uint64_t>(V.numerator()));
+  return hashCombine(Seed, static_cast<uint64_t>(V.denominator()));
+}
+
+} // namespace
+
+size_t
+SolverCache::CacheKeyHash::operator()(const CacheKey &K) const {
+  size_t H = std::hash<std::string>{}(K.TableSignature);
+  H = hashCombine(H, K.ShiftTerms.size());
+  for (const ShiftTerm &T : K.ShiftTerms) {
+    H = hashRational(H, T.Coeff);
+    H = hashRational(H, T.Shift);
+  }
+  H = hashCombine(H, K.DivideTerms.size());
+  for (const DivideTerm &T : K.DivideTerms) {
+    H = hashRational(H, T.Coeff);
+    H = hashRational(H, T.Divisor);
+    H = hashRational(H, T.Offset);
+  }
+  // Interned nodes: the precomputed structural hash identifies the node.
+  H = hashCombine(H, K.Additive->hash());
+  H = hashCombine(H, K.Boundaries.size());
+  for (const Boundary &B : K.Boundaries) {
+    H = hashRational(H, B.At);
+    H = hashCombine(H, B.Value->hash());
+  }
+  return H;
+}
+
+namespace {
+
 /// Collects distinct variable names in deterministic first-occurrence
 /// (pre-order) order.
 void collectVars(const ExprRef &E, std::vector<std::string> &Order) {
@@ -81,19 +126,12 @@ SolverCache::canonicalize(const Recurrence &R) {
   for (const Boundary &B : R.Boundaries)
     C.R.Boundaries.push_back({B.At, renameVars(B.Value, Rename)});
 
-  // Full serialization (Recurrence::str() omits divide offsets, so hand-
-  // roll the key).  Term order is part of the key by design — see header.
-  std::string &K = C.Key;
-  K = "shift:";
-  for (const ShiftTerm &T : C.R.ShiftTerms)
-    K += T.Coeff.str() + "@" + T.Shift.str() + ";";
-  K += "|div:";
-  for (const DivideTerm &T : C.R.DivideTerms)
-    K += T.Coeff.str() + "/" + T.Divisor.str() + "+" + T.Offset.str() + ";";
-  K += "|add:" + exprText(C.R.Additive);
-  K += "|bnd:";
-  for (const Boundary &B : C.R.Boundaries)
-    K += B.At.str() + "=" + exprText(B.Value) + ";";
+  // The key *is* the canonical equation (term order included by design —
+  // see header); interning makes the ExprRef members compare by pointer.
+  C.Key.ShiftTerms = C.R.ShiftTerms;
+  C.Key.DivideTerms = C.R.DivideTerms;
+  C.Key.Additive = C.R.Additive;
+  C.Key.Boundaries = C.R.Boundaries;
   return C;
 }
 
@@ -107,7 +145,8 @@ SolveResult SolverCache::solve(
       *Out = Outcome::Bypass;
     return SolveFn(R);
   }
-  std::string Key = TableSignature + "#" + C->Key;
+  CacheKey Key = std::move(C->Key);
+  Key.TableSignature = TableSignature;
 
   std::shared_ptr<Entry> E;
   bool Inserted = false;

@@ -14,12 +14,15 @@
 ///
 /// Keying: the recurrence is canonicalized by renaming the recursion
 /// variable to "_g0", the remaining free variables to "_g1", "_g2", ... in
-/// first-occurrence order, and the unknown function to "f"; the key is a
-/// full serialization of the canonical equation (including divide-term
-/// offsets, which Recurrence::str() omits) prefixed by the solver's schema
-/// table signature so ablation runs (disabled schemas) never share entries
-/// with full-table runs.  Term order is preserved, not sorted: schemas
-/// consume terms order-sensitively when building max/sum expressions, so
+/// first-occurrence order, and the unknown function to "f"; the key is the
+/// canonical equation itself (CacheKey below) — term lists compared
+/// value-wise and the additive part / boundary values compared by *node
+/// identity*, exact under hash-consed expressions, with the node's
+/// precomputed structural hash feeding the table hash.  No serialization
+/// to text is involved.  The solver's schema table signature is part of
+/// the key so ablation runs (disabled schemas) never share entries with
+/// full-table runs.  Term order is preserved, not sorted: schemas consume
+/// terms order-sensitively when building max/sum expressions, so
 /// reordering could change the (still sound) shape of the closed form and
 /// break the cache-on == cache-off identity the property tests pin down.
 ///
@@ -52,12 +55,34 @@ class SolverCache {
 public:
   enum class Outcome { Hit, Miss, Bypass };
 
-  /// A canonicalized recurrence: the rewritten equation, its serialized
-  /// cache key, and the canonical-name -> original-name map needed to
-  /// translate the cached closed form back.
+  /// The memo-table key: the canonical equation's self-term lists, its
+  /// interned additive part and boundary values (compared by pointer —
+  /// structural equality under hash-consing), and the solver's schema
+  /// table signature.  Function/Var names are canonical by construction
+  /// ("f" over "_g0") and so carry no information.
+  struct CacheKey {
+    std::string TableSignature;
+    std::vector<ShiftTerm> ShiftTerms;
+    std::vector<DivideTerm> DivideTerms;
+    ExprRef Additive;
+    std::vector<Boundary> Boundaries;
+
+    bool operator==(const CacheKey &) const = default;
+  };
+
+  /// Hashes a CacheKey from the interned nodes' precomputed structural
+  /// hashes and the terms' rational components.
+  struct CacheKeyHash {
+    size_t operator()(const CacheKey &K) const;
+  };
+
+  /// A canonicalized recurrence: the rewritten equation, its cache key
+  /// (TableSignature left empty — solve() fills it in), and the
+  /// canonical-name -> original-name map needed to translate the cached
+  /// closed form back.
   struct Canonical {
     Recurrence R;
-    std::string Key;
+    CacheKey Key;
     std::vector<std::pair<std::string, std::string>> RenameBack;
   };
 
@@ -92,7 +117,7 @@ private:
   };
 
   mutable std::mutex Mutex;
-  std::unordered_map<std::string, std::shared_ptr<Entry>> Map;
+  std::unordered_map<CacheKey, std::shared_ptr<Entry>, CacheKeyHash> Map;
   std::atomic<uint64_t> Hits{0};
   std::atomic<uint64_t> Misses{0};
 };

@@ -2,6 +2,8 @@
 
 #include "expr/Expr.h"
 
+#include "expr/ExprInterner.h"
+
 #include <algorithm>
 
 using namespace granlog;
@@ -9,7 +11,8 @@ using namespace granlog;
 namespace granlog {
 ExprRef makeRaw(ExprKind Kind, std::string Name, Rational Value,
                 std::vector<ExprRef> Ops) {
-  return ExprRef(new Expr(Kind, std::move(Name), Value, std::move(Ops)));
+  return ExprInterner::global().intern(Kind, std::move(Name), Value,
+                                       std::move(Ops));
 }
 } // namespace granlog
 
@@ -31,6 +34,8 @@ ExprRef granlog::makeCall(std::string Name, std::vector<ExprRef> Args) {
 }
 
 int granlog::compareExpr(const Expr &A, const Expr &B) {
+  if (&A == &B)
+    return 0; // interning: same node <=> structurally equal
   if (A.kind() != B.kind())
     return static_cast<int>(A.kind()) < static_cast<int>(B.kind()) ? -1 : 1;
   switch (A.kind()) {
@@ -56,9 +61,12 @@ int granlog::compareExpr(const Expr &A, const Expr &B) {
   const std::vector<ExprRef> &OB = B.operands();
   if (OA.size() != OB.size())
     return OA.size() < OB.size() ? -1 : 1;
-  for (size_t I = 0; I != OA.size(); ++I)
+  for (size_t I = 0; I != OA.size(); ++I) {
+    if (OA[I] == OB[I])
+      continue; // shared (interned) operand: equal without descending
     if (int C = compareExpr(*OA[I], *OB[I]))
       return C;
+  }
   return 0;
 }
 

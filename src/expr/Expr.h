@@ -17,9 +17,18 @@
 /// non-negative.  The simplifier relies on this (e.g. Infinity absorbs
 /// addition, max under-approximated by sum is sound as an upper bound).
 ///
-/// Expressions are immutable and shared (ExprRef).  Use the factory
-/// functions (makeNumber, makeAdd, ...) — they maintain a canonical form:
-/// flattened n-ary sums/products, folded constants, merged like terms.
+/// Expressions are immutable, shared (ExprRef), and *hash-consed*: every
+/// node is interned in a process-global unique table (ExprInterner), so a
+/// canonical expression shape exists exactly once and structural equality
+/// is pointer identity (exprEqual is one pointer compare; compareExpr
+/// short-circuits on identical subtrees).  Each node carries precomputed
+/// metadata — structural hash, depth, tree size, and Bloom filters over
+/// the variable/call names occurring below it — which the traversals in
+/// ExprOps use to prune and memoize.
+///
+/// Use the factory functions (makeNumber, makeAdd, ...) — they maintain a
+/// canonical form: flattened n-ary sums/products, folded constants, merged
+/// like terms.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -39,6 +48,12 @@ namespace granlog {
 
 class Expr;
 using ExprRef = std::shared_ptr<const Expr>;
+
+/// The Bloom-filter bit for a variable or call name (never zero, so a
+/// node's call filter is non-zero iff some Call occurs in it).
+inline uint64_t exprNameBloomBit(std::string_view Name) {
+  return uint64_t(1) << (std::hash<std::string_view>{}(Name) & 63);
+}
 
 /// Discriminator for Expr nodes.
 enum class ExprKind {
@@ -88,23 +103,43 @@ public:
     return Ops[1];
   }
 
+  /// \name Interning metadata (precomputed at construction).
+  /// @{
+
+  /// Structural hash; equal for structurally equal nodes (and, since
+  /// nodes are interned, distinct nodes rarely collide).
+  size_t hash() const { return HashVal; }
+  /// Height of the expression tree; a leaf has depth 1.
+  uint32_t depth() const { return DepthVal; }
+  /// Node count of the expression *tree* — shared subexpressions counted
+  /// once per reference, saturating at UINT64_MAX.  The gap between
+  /// treeSize() and the DAG size is the work memoized traversals save.
+  uint64_t treeSize() const { return TreeSizeVal; }
+  /// Bloom filter over the names of all Var nodes in this expression; a
+  /// clear exprNameBloomBit(Name) proves Name does not occur.
+  uint64_t varBloom() const { return VarBloomVal; }
+  /// Bloom filter over the names of all Call nodes in this expression.
+  uint64_t callBloom() const { return CallBloomVal; }
+  /// O(1): true iff any Call node occurs in this expression.
+  bool hasCall() const { return CallBloomVal != 0; }
+
+  /// @}
+
 private:
-  friend ExprRef makeNumber(Rational);
-  friend ExprRef makeVar(std::string);
-  friend ExprRef makeInfinity();
-  friend ExprRef makeCall(std::string, std::vector<ExprRef>);
-  friend ExprRef makeRaw(ExprKind, std::string, Rational,
-                         std::vector<ExprRef>);
+  friend class ExprInterner;
 
   Expr(ExprKind Kind, std::string Name, Rational Value,
-       std::vector<ExprRef> Ops)
-      : Kind(Kind), Name(std::move(Name)), Value(Value),
-        Ops(std::move(Ops)) {}
+       std::vector<ExprRef> Ops);
 
   ExprKind Kind;
   std::string Name;
   Rational Value;
   std::vector<ExprRef> Ops;
+  size_t HashVal;
+  uint64_t VarBloomVal;
+  uint64_t CallBloomVal;
+  uint64_t TreeSizeVal;
+  uint32_t DepthVal;
 };
 
 /// \name Factory functions (simplifying constructors)
@@ -133,10 +168,12 @@ ExprRef makeMin(std::vector<ExprRef> Ops);
 ExprRef makeCall(std::string Name, std::vector<ExprRef> Args);
 /// @}
 
-/// Total structural order; 0 iff structurally equal.
+/// Total structural order; 0 iff structurally equal.  Identical pointers
+/// (the common case under interning) short-circuit to 0.
 int compareExpr(const Expr &A, const Expr &B);
+/// Structural equality.  Interning makes this pointer identity.
 inline bool exprEqual(const ExprRef &A, const ExprRef &B) {
-  return compareExpr(*A, *B) == 0;
+  return A == B;
 }
 
 /// True if the variable \p Name occurs in \p E.
@@ -154,7 +191,9 @@ ExprRef substituteVar(const ExprRef &E, const std::string &Name,
 
 /// Replaces every Call named \p Name by \p Unfold(args).  The paper's
 /// normalization rule "replace each occurrence of an instance of phi by the
-/// appropriate instance of psi".
+/// appropriate instance of psi".  \p Unfold must be pure (a function of its
+/// arguments): repeated subexpressions are rewritten once and the result
+/// shared, so a stateful Unfold would observe fewer invocations.
 ExprRef substituteCall(
     const ExprRef &E, const std::string &Name,
     const std::function<ExprRef(const std::vector<ExprRef> &)> &Unfold);

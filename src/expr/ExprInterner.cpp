@@ -1,0 +1,201 @@
+//===- expr/ExprInterner.cpp - The unique table ---------------------------===//
+
+#include "expr/ExprInterner.h"
+
+#include "support/Stats.h"
+
+namespace granlog {
+
+namespace {
+
+/// splitmix64-style bit mixer: cheap, and good enough that bucket lists
+/// in the unique table stay singletons.
+inline uint64_t mix(uint64_t H) {
+  H ^= H >> 30;
+  H *= 0xbf58476d1ce4e5b9ULL;
+  H ^= H >> 27;
+  H *= 0x94d049bb133111ebULL;
+  H ^= H >> 31;
+  return H;
+}
+
+inline size_t combine(size_t Seed, uint64_t V) {
+  return static_cast<size_t>(mix(Seed ^ (V + 0x9e3779b97f4a7c15ULL +
+                                         (uint64_t(Seed) << 6) +
+                                         (uint64_t(Seed) >> 2))));
+}
+
+} // namespace
+
+size_t exprShapeHash(ExprKind Kind, const std::string &Name,
+                     const Rational &Value,
+                     const std::vector<ExprRef> &Ops) {
+  size_t H = combine(0x9e3779b9, static_cast<uint64_t>(Kind));
+  switch (Kind) {
+  case ExprKind::Number:
+    H = combine(H, static_cast<uint64_t>(Value.numerator()));
+    H = combine(H, static_cast<uint64_t>(Value.denominator()));
+    break;
+  case ExprKind::Var:
+  case ExprKind::Call:
+    H = combine(H, std::hash<std::string>{}(Name));
+    break;
+  default:
+    break;
+  }
+  H = combine(H, Ops.size());
+  for (const ExprRef &Op : Ops)
+    H = combine(H, Op->hash());
+  return H;
+}
+
+} // namespace granlog
+
+using namespace granlog;
+
+Expr::Expr(ExprKind Kind, std::string Name, Rational Value,
+           std::vector<ExprRef> Ops)
+    : Kind(Kind), Name(std::move(Name)), Value(Value),
+      Ops(std::move(Ops)) {
+  HashVal = exprShapeHash(Kind, this->Name, Value, this->Ops);
+  VarBloomVal = Kind == ExprKind::Var ? exprNameBloomBit(this->Name) : 0;
+  CallBloomVal = Kind == ExprKind::Call ? exprNameBloomBit(this->Name) : 0;
+  TreeSizeVal = 1;
+  uint32_t MaxChildDepth = 0;
+  for (const ExprRef &Op : this->Ops) {
+    VarBloomVal |= Op->VarBloomVal;
+    CallBloomVal |= Op->CallBloomVal;
+    MaxChildDepth = std::max(MaxChildDepth, Op->DepthVal);
+    // Saturating add: deeply shared expressions have astronomically large
+    // tree sizes while their DAG stays small.
+    uint64_t T = TreeSizeVal + Op->TreeSizeVal;
+    TreeSizeVal = T < TreeSizeVal ? UINT64_MAX : T;
+  }
+  DepthVal = MaxChildDepth + 1;
+}
+
+ExprRef ExprInterner::makeNode(ExprKind Kind, std::string Name,
+                               Rational Value, std::vector<ExprRef> Ops) {
+  return ExprRef(
+      new Expr(Kind, std::move(Name), Value, std::move(Ops)));
+}
+
+ExprInterner::ExprInterner() {
+  for (int64_t I = SmallIntMin; I <= SmallIntMax; ++I)
+    SmallInts[static_cast<size_t>(I - SmallIntMin)] =
+        makeNode(ExprKind::Number, std::string(), Rational(I), {});
+  InfinityNode =
+      makeNode(ExprKind::Infinity, std::string(), Rational(), {});
+}
+
+ExprInterner &ExprInterner::global() {
+  // Leaked intentionally: nodes must outlive every static ExprRef holder,
+  // and identity-keyed caches rely on addresses never being recycled.
+  static ExprInterner *I = new ExprInterner();
+  return *I;
+}
+
+ExprRef ExprInterner::internVar(std::string Name) {
+  {
+    std::shared_lock<std::shared_mutex> Lock(VarMutex);
+    auto It = Vars.find(Name);
+    if (It != Vars.end()) {
+      InternHits.fetch_add(1, std::memory_order_relaxed);
+      return It->second;
+    }
+  }
+  std::unique_lock<std::shared_mutex> Lock(VarMutex);
+  auto [It, Inserted] = Vars.try_emplace(Name, nullptr);
+  if (Inserted) {
+    It->second = makeNode(ExprKind::Var, std::move(Name), Rational(), {});
+    InternMisses.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    InternHits.fetch_add(1, std::memory_order_relaxed);
+  }
+  return It->second;
+}
+
+namespace {
+
+/// Shallow structural equality against an already-interned candidate:
+/// operands compare by pointer because they are interned themselves.
+bool shallowEqual(const Expr &E, ExprKind Kind, const std::string &Name,
+                  const Rational &Value, const std::vector<ExprRef> &Ops) {
+  if (E.kind() != Kind || E.operands().size() != Ops.size())
+    return false;
+  for (size_t I = 0; I != Ops.size(); ++I)
+    if (E.operands()[I] != Ops[I])
+      return false;
+  switch (Kind) {
+  case ExprKind::Number:
+    return E.number() == Value;
+  case ExprKind::Var:
+  case ExprKind::Call:
+    return E.name() == Name;
+  default:
+    return true;
+  }
+}
+
+} // namespace
+
+ExprRef ExprInterner::internInTable(size_t Hash, ExprKind Kind,
+                                    std::string Name, Rational Value,
+                                    std::vector<ExprRef> Ops) {
+  Shard &S = Shards[Hash & (ShardCount - 1)];
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  std::vector<ExprRef> &Bucket = S.Buckets[Hash];
+  for (const ExprRef &E : Bucket)
+    if (shallowEqual(*E, Kind, Name, Value, Ops)) {
+      InternHits.fetch_add(1, std::memory_order_relaxed);
+      return E;
+    }
+  Bucket.push_back(
+      makeNode(Kind, std::move(Name), Value, std::move(Ops)));
+  InternMisses.fetch_add(1, std::memory_order_relaxed);
+  return Bucket.back();
+}
+
+ExprRef ExprInterner::intern(ExprKind Kind, std::string Name,
+                             Rational Value, std::vector<ExprRef> Ops) {
+  switch (Kind) {
+  case ExprKind::Number:
+    if (Value.isInteger() && Value.numerator() >= SmallIntMin &&
+        Value.numerator() <= SmallIntMax) {
+      InternHits.fetch_add(1, std::memory_order_relaxed);
+      return SmallInts[static_cast<size_t>(Value.numerator() -
+                                           SmallIntMin)];
+    }
+    break;
+  case ExprKind::Var:
+    return internVar(std::move(Name));
+  case ExprKind::Infinity:
+    InternHits.fetch_add(1, std::memory_order_relaxed);
+    return InfinityNode;
+  default:
+    break;
+  }
+  size_t Hash = exprShapeHash(Kind, Name, Value, Ops);
+  return internInTable(Hash, Kind, std::move(Name), Value, std::move(Ops));
+}
+
+ExprInterner::Counters ExprInterner::counters() const {
+  Counters C;
+  C.InternHits = InternHits.load(std::memory_order_relaxed);
+  C.InternMisses = InternMisses.load(std::memory_order_relaxed);
+  // One node per miss, plus the eagerly seeded leaves.
+  C.Entries = C.InternMisses +
+              static_cast<uint64_t>(SmallInts.size()) + /*Infinity*/ 1;
+  C.MemoHits = MemoHits.load(std::memory_order_relaxed);
+  C.MemoMisses = MemoMisses.load(std::memory_order_relaxed);
+  return C;
+}
+
+void granlog::snapshotExprCounters(StatsRegistry &Stats) {
+  ExprInterner::Counters C = ExprInterner::global().counters();
+  Stats.add("expr.intern.hit", C.InternHits);
+  Stats.add("expr.intern.miss", C.InternMisses);
+  Stats.add("expr.intern.entries", C.Entries);
+  Stats.add("expr.memo.hit", C.MemoHits);
+  Stats.add("expr.memo.miss", C.MemoMisses);
+}

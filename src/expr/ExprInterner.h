@@ -1,0 +1,150 @@
+//===- expr/ExprInterner.h - Hash-consed expression interning -------------===//
+//
+// Part of GranLog; see DESIGN.md "Interned expressions & memoized
+// traversals".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thread-safe hash-cons table ("unique table") for Expr nodes: every
+/// canonical expression shape exists exactly once per process, so
+/// structural equality *is* pointer identity and the analyses' inner-loop
+/// equality tests (like-term merging, operand sorting, cache keying) are
+/// O(1) instead of O(tree).
+///
+/// Layout: the table is sharded by structural hash; each shard holds a
+/// bucket map from hash to the (almost always singleton) list of nodes
+/// with that hash, guarded by one mutex.  Factory functions build
+/// bottom-up, so a node's operands are always interned before the node
+/// itself and shallow equality (kind + name + value + operand *pointers*)
+/// suffices inside a bucket.  Two side caches skip the sharded table for
+/// the hottest leaves: an eager array of small integer constants and a
+/// name-keyed variable cache.
+///
+/// Lifetime: the table owns one strong reference per node and never
+/// evicts, so a `const Expr *` observed once stays valid (and uniquely
+/// identifies its structure) for the rest of the process.  This is what
+/// makes identity-keyed memoization (ExprOps) and identity-keyed solver
+/// cache keys (diffeq/SolverCache) safe — no freed-and-reinterned address
+/// can ever alias a different expression.
+///
+/// Counters: the interner and the memoized traversals keep process-global
+/// atomic counters (expr.intern.*, expr.memo.*).  They are snapshotted
+/// into a StatsRegistry by the CLI tools via snapshotExprCounters(); they
+/// are *not* recorded by GranularityAnalyzer itself because the table is
+/// shared across runs, which would make per-run counter values depend on
+/// what earlier runs interned (breaking the jobs-invariance guarantee of
+/// parallel_determinism_test).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_EXPR_EXPRINTERNER_H
+#define GRANLOG_EXPR_EXPRINTERNER_H
+
+#include "expr/Expr.h"
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace granlog {
+
+class StatsRegistry;
+
+/// Structural hash of a node shape; operands contribute their stored
+/// hashes, so hashing is O(arity), not O(tree).
+size_t exprShapeHash(ExprKind Kind, const std::string &Name,
+                     const Rational &Value, const std::vector<ExprRef> &Ops);
+
+/// The process-global unique table.  All Expr construction funnels through
+/// intern() (the factory functions' makeRaw calls it), so no Expr exists
+/// outside the table.
+class ExprInterner {
+public:
+  /// The one interner of this process.
+  static ExprInterner &global();
+
+  ExprInterner(const ExprInterner &) = delete;
+  ExprInterner &operator=(const ExprInterner &) = delete;
+
+  /// Returns the unique node with the given shape, creating it on first
+  /// use.  Operands must already be interned (guaranteed when they were
+  /// produced by the factory functions).
+  ExprRef intern(ExprKind Kind, std::string Name, Rational Value,
+                 std::vector<ExprRef> Ops);
+
+  /// Point-in-time totals of the process-global counters.
+  struct Counters {
+    uint64_t InternHits = 0;   ///< intern() returned an existing node
+    uint64_t InternMisses = 0; ///< intern() created a node (== live nodes)
+    uint64_t Entries = 0;      ///< nodes owned by the table (== misses)
+    uint64_t MemoHits = 0;     ///< memoized traversal reused a subresult
+    uint64_t MemoMisses = 0;   ///< memoized traversal computed a subresult
+  };
+  Counters counters() const;
+
+  /// Bulk-accumulates memoized-traversal traffic (called once per
+  /// top-level traversal by ExprOps, not once per node).
+  void recordMemo(uint64_t Hits, uint64_t Misses) {
+    if (Hits)
+      MemoHits.fetch_add(Hits, std::memory_order_relaxed);
+    if (Misses)
+      MemoMisses.fetch_add(Misses, std::memory_order_relaxed);
+  }
+
+private:
+  ExprInterner();
+
+  /// Creates a node (bypassing the table) — used to seed the small-integer
+  /// cache before any lookup can happen.
+  static ExprRef makeNode(ExprKind Kind, std::string Name, Rational Value,
+                          std::vector<ExprRef> Ops);
+
+  ExprRef internVar(std::string Name);
+  ExprRef internInTable(size_t Hash, ExprKind Kind, std::string Name,
+                        Rational Value, std::vector<ExprRef> Ops);
+
+  static constexpr size_t ShardCount = 16; // power of two
+  struct Shard {
+    std::mutex Mutex;
+    /// hash -> nodes with that hash (collisions are rare; the vector is
+    /// almost always a singleton).
+    std::unordered_map<size_t, std::vector<ExprRef>> Buckets;
+  };
+  std::array<Shard, ShardCount> Shards;
+
+  /// Small integer constants [-64, 64], seeded eagerly: makeNumber hits
+  /// them with a single array read, no lock, no hash.
+  static constexpr int64_t SmallIntMin = -64, SmallIntMax = 64;
+  std::array<ExprRef, SmallIntMax - SmallIntMin + 1> SmallInts;
+
+  /// Variable nodes keyed by name (read-mostly: shared lock on the hit
+  /// path).  Var nodes live here instead of the sharded table.
+  std::shared_mutex VarMutex;
+  std::unordered_map<std::string, ExprRef> Vars;
+
+  /// The unique Infinity node (one per process).
+  ExprRef InfinityNode;
+
+  std::atomic<uint64_t> InternHits{0};
+  std::atomic<uint64_t> InternMisses{0};
+  std::atomic<uint64_t> MemoHits{0};
+  std::atomic<uint64_t> MemoMisses{0};
+};
+
+/// Snapshots the process-global interner/memo counters into \p Stats as
+///   expr.intern.hit / expr.intern.miss / expr.intern.entries
+///   expr.memo.hit / expr.memo.miss
+/// Counters are cumulative over the process (the table is shared across
+/// analyzer runs), so tools call this once at exit; the values are *not*
+/// part of the per-run deterministic counter set.
+void snapshotExprCounters(StatsRegistry &Stats);
+
+} // namespace granlog
+
+#endif // GRANLOG_EXPR_EXPRINTERNER_H

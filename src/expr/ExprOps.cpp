@@ -1,46 +1,110 @@
 //===- expr/ExprOps.cpp - Traversals, evaluation, polynomials -------------===//
+//
+// Interned expressions are DAGs with heavy sharing (the same subexpression
+// is one node no matter how often it occurs), so the recursive traversals
+// here are *identity-memoized*: each carries a per-call map keyed by node
+// address, turning what used to be an O(tree) walk — exponential during
+// recurrence unfolding — into an O(distinct-nodes) walk.  The per-node
+// Bloom filters over variable/call names prune entire subDAGs that cannot
+// contain the searched name.  Small expressions (treeSize() below a
+// threshold) skip the memo table: a plain walk is cheaper than hashing.
+//
+//===----------------------------------------------------------------------===//
 
 #include "expr/Expr.h"
+
+#include "expr/ExprInterner.h"
 
 #include <cmath>
 #include <deque>
 #include <mutex>
+#include <unordered_map>
+#include <unordered_set>
 
 using namespace granlog;
 
-bool granlog::containsVar(const ExprRef &E, const std::string &Name) {
-  if (E->isVar())
-    return E->name() == Name;
-  for (const ExprRef &Op : E->operands())
-    if (containsVar(Op, Name))
+namespace {
+
+/// Traversals switch from plain recursion to an identity-keyed memo once
+/// the *tree* is larger than this; below it the hash table costs more
+/// than it saves.
+constexpr uint64_t MemoThreshold = 64;
+
+/// Per-traversal memo traffic, flushed to the process-global expr.memo.*
+/// counters on scope exit (one atomic add per traversal, not per node).
+struct MemoCounts {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  ~MemoCounts() { ExprInterner::global().recordMemo(Hits, Misses); }
+};
+
+/// Occurrence walk shared by containsVar/containsCall.  \p Bit is the
+/// Bloom bit of the searched name, \p Bloom selects which filter to test,
+/// \p Match decides at a node.  \p Visited (when non-null) marks nodes
+/// already proven clean so each DAG node is walked once.
+template <typename BloomFn, typename MatchFn>
+bool occursWalk(const Expr *E, uint64_t Bit, const BloomFn &Bloom,
+                const MatchFn &Match,
+                std::unordered_set<const Expr *> *Visited,
+                MemoCounts &MC) {
+  if (Match(E))
+    return true;
+  for (const ExprRef &Op : E->operands()) {
+    if (!(Bloom(Op.get()) & Bit))
+      continue; // proven absent below Op
+    if (Visited) {
+      if (!Visited->insert(Op.get()).second) {
+        ++MC.Hits;
+        continue; // already walked: it was clean
+      }
+      ++MC.Misses;
+    }
+    if (occursWalk(Op.get(), Bit, Bloom, Match, Visited, MC))
       return true;
+  }
   return false;
+}
+
+template <typename BloomFn, typename MatchFn>
+bool occurs(const ExprRef &E, const std::string &Name, const BloomFn &Bloom,
+            const MatchFn &Match) {
+  uint64_t Bit = exprNameBloomBit(Name);
+  if (!(Bloom(E.get()) & Bit))
+    return false;
+  MemoCounts MC;
+  if (E->treeSize() <= MemoThreshold)
+    return occursWalk(E.get(), Bit, Bloom, Match, nullptr, MC);
+  std::unordered_set<const Expr *> Visited;
+  return occursWalk(E.get(), Bit, Bloom, Match, &Visited, MC);
+}
+
+} // namespace
+
+bool granlog::containsVar(const ExprRef &E, const std::string &Name) {
+  return occurs(
+      E, Name, [](const Expr *X) { return X->varBloom(); },
+      [&](const Expr *X) { return X->isVar() && X->name() == Name; });
 }
 
 bool granlog::containsCall(const ExprRef &E, const std::string &Name) {
-  if (E->kind() == ExprKind::Call && E->name() == Name)
-    return true;
-  for (const ExprRef &Op : E->operands())
-    if (containsCall(Op, Name))
-      return true;
-  return false;
+  return occurs(
+      E, Name, [](const Expr *X) { return X->callBloom(); },
+      [&](const Expr *X) {
+        return X->kind() == ExprKind::Call && X->name() == Name;
+      });
 }
 
 bool granlog::containsAnyCall(const ExprRef &E) {
-  if (E->kind() == ExprKind::Call)
-    return true;
-  for (const ExprRef &Op : E->operands())
-    if (containsAnyCall(Op))
-      return true;
-  return false;
+  return E->hasCall(); // precomputed at intern time
 }
 
 namespace {
 
 /// Rebuilds \p E with every operand mapped through \p Map.  Re-runs the
-/// simplifying factories so the result is canonical again.
-ExprRef rebuild(const ExprRef &E,
-                const std::function<ExprRef(const ExprRef &)> &Map) {
+/// simplifying factories so the result is canonical again.  Unchanged
+/// operands are detected by pointer identity (exact under interning).
+template <typename MapFn>
+ExprRef rebuild(const ExprRef &E, const MapFn &Map) {
   std::vector<ExprRef> Ops;
   Ops.reserve(E->operands().size());
   bool Changed = false;
@@ -72,107 +136,225 @@ ExprRef rebuild(const ExprRef &E,
   }
 }
 
+using RewriteMemo = std::unordered_map<const Expr *, ExprRef>;
+
+struct SubstVarCtx {
+  const std::string &Name;
+  const ExprRef &Replacement;
+  uint64_t Bit;
+  RewriteMemo *Memo = nullptr;
+  MemoCounts MC;
+};
+
+ExprRef substVarWalk(const ExprRef &E, SubstVarCtx &Ctx) {
+  if (!(E->varBloom() & Ctx.Bit))
+    return E; // Name proven absent: nothing to do below here
+  if (E->isVar())
+    return E->name() == Ctx.Name ? Ctx.Replacement : E;
+  if (Ctx.Memo) {
+    auto It = Ctx.Memo->find(E.get());
+    if (It != Ctx.Memo->end()) {
+      ++Ctx.MC.Hits;
+      return It->second;
+    }
+    ++Ctx.MC.Misses;
+  }
+  ExprRef R = rebuild(
+      E, [&Ctx](const ExprRef &Op) { return substVarWalk(Op, Ctx); });
+  if (Ctx.Memo)
+    Ctx.Memo->emplace(E.get(), R);
+  return R;
+}
+
 } // namespace
 
 ExprRef granlog::substituteVar(const ExprRef &E, const std::string &Name,
                                const ExprRef &Replacement) {
-  if (E->isVar())
-    return E->name() == Name ? Replacement : E;
-  if (E->operands().empty())
+  SubstVarCtx Ctx{Name, Replacement, exprNameBloomBit(Name)};
+  if (!(E->varBloom() & Ctx.Bit))
     return E;
-  return rebuild(E, [&](const ExprRef &Op) {
-    return substituteVar(Op, Name, Replacement);
-  });
+  RewriteMemo Memo;
+  if (E->treeSize() > MemoThreshold)
+    Ctx.Memo = &Memo;
+  return substVarWalk(E, Ctx);
 }
+
+namespace {
+
+struct SubstCallCtx {
+  const std::string &Name;
+  const std::function<ExprRef(const std::vector<ExprRef> &)> &Unfold;
+  uint64_t Bit;
+  RewriteMemo *Memo = nullptr;
+  MemoCounts MC;
+};
+
+ExprRef substCallWalk(const ExprRef &E, SubstCallCtx &Ctx) {
+  if (!(E->callBloom() & Ctx.Bit))
+    return E;
+  if (Ctx.Memo) {
+    auto It = Ctx.Memo->find(E.get());
+    if (It != Ctx.Memo->end()) {
+      ++Ctx.MC.Hits;
+      return It->second;
+    }
+    ++Ctx.MC.Misses;
+  }
+  ExprRef R;
+  if (E->kind() == ExprKind::Call && E->name() == Ctx.Name) {
+    std::vector<ExprRef> Args;
+    Args.reserve(E->operands().size());
+    for (const ExprRef &A : E->operands())
+      Args.push_back(substCallWalk(A, Ctx));
+    R = Ctx.Unfold(Args);
+  } else {
+    R = rebuild(
+        E, [&Ctx](const ExprRef &Op) { return substCallWalk(Op, Ctx); });
+  }
+  if (Ctx.Memo)
+    Ctx.Memo->emplace(E.get(), R);
+  return R;
+}
+
+} // namespace
 
 ExprRef granlog::substituteCall(
     const ExprRef &E, const std::string &Name,
     const std::function<ExprRef(const std::vector<ExprRef> &)> &Unfold) {
-  if (E->kind() == ExprKind::Call && E->name() == Name) {
-    std::vector<ExprRef> Args;
-    Args.reserve(E->operands().size());
-    for (const ExprRef &A : E->operands())
-      Args.push_back(substituteCall(A, Name, Unfold));
-    return Unfold(Args);
-  }
-  if (E->operands().empty())
+  SubstCallCtx Ctx{Name, Unfold, exprNameBloomBit(Name)};
+  if (!(E->callBloom() & Ctx.Bit))
     return E;
-  return rebuild(E, [&](const ExprRef &Op) {
-    return substituteCall(Op, Name, Unfold);
-  });
+  RewriteMemo Memo;
+  if (E->treeSize() > MemoThreshold)
+    Ctx.Memo = &Memo;
+  return substCallWalk(E, Ctx);
 }
 
-std::optional<double>
-granlog::evaluate(const ExprRef &E, const std::map<std::string, double> &Env) {
+namespace {
+
+struct EvalCtx {
+  const std::map<std::string, double> &Env;
+  std::unordered_map<const Expr *, std::optional<double>> *Memo = nullptr;
+  MemoCounts MC;
+};
+
+std::optional<double> evalWalk(const ExprRef &E, EvalCtx &Ctx) {
   switch (E->kind()) {
   case ExprKind::Number:
     return E->number().asDouble();
   case ExprKind::Var: {
-    auto It = Env.find(E->name());
-    if (It == Env.end())
+    auto It = Ctx.Env.find(E->name());
+    if (It == Ctx.Env.end())
       return std::nullopt;
     return It->second;
   }
   case ExprKind::Infinity:
     return HUGE_VAL;
+  default:
+    break;
+  }
+  if (Ctx.Memo) {
+    auto It = Ctx.Memo->find(E.get());
+    if (It != Ctx.Memo->end()) {
+      ++Ctx.MC.Hits;
+      return It->second;
+    }
+    ++Ctx.MC.Misses;
+  }
+  std::optional<double> R;
+  switch (E->kind()) {
   case ExprKind::Call:
-    return std::nullopt;
+    R = std::nullopt;
+    break;
   case ExprKind::Add: {
     double Sum = 0;
+    R = 0.0;
     for (const ExprRef &Op : E->operands()) {
-      std::optional<double> V = evaluate(Op, Env);
-      if (!V)
-        return std::nullopt;
+      std::optional<double> V = evalWalk(Op, Ctx);
+      if (!V) {
+        R = std::nullopt;
+        break;
+      }
       Sum += *V;
+      R = Sum;
     }
-    return Sum;
+    break;
   }
   case ExprKind::Mul: {
     double Product = 1;
+    R = 1.0;
     for (const ExprRef &Op : E->operands()) {
-      std::optional<double> V = evaluate(Op, Env);
-      if (!V)
-        return std::nullopt;
+      std::optional<double> V = evalWalk(Op, Ctx);
+      if (!V) {
+        R = std::nullopt;
+        break;
+      }
       Product *= *V;
+      R = Product;
     }
-    return Product;
+    break;
   }
   case ExprKind::Pow: {
-    std::optional<double> B = evaluate(E->base(), Env);
-    std::optional<double> X = evaluate(E->exponent(), Env);
-    if (!B || !X)
-      return std::nullopt;
-    return std::pow(*B, *X);
+    std::optional<double> B = evalWalk(E->base(), Ctx);
+    std::optional<double> X = evalWalk(E->exponent(), Ctx);
+    R = B && X ? std::optional<double>(std::pow(*B, *X)) : std::nullopt;
+    break;
   }
   case ExprKind::Log2: {
-    std::optional<double> A = evaluate(E->base(), Env);
-    if (!A)
-      return std::nullopt;
-    return *A <= 1.0 ? 0.0 : std::log2(*A);
+    std::optional<double> A = evalWalk(E->base(), Ctx);
+    if (A)
+      R = *A <= 1.0 ? 0.0 : std::log2(*A);
+    else
+      R = std::nullopt;
+    break;
   }
   case ExprKind::Max: {
     double M = -HUGE_VAL;
+    R = M;
     for (const ExprRef &Op : E->operands()) {
-      std::optional<double> V = evaluate(Op, Env);
-      if (!V)
-        return std::nullopt;
+      std::optional<double> V = evalWalk(Op, Ctx);
+      if (!V) {
+        R = std::nullopt;
+        break;
+      }
       M = std::max(M, *V);
+      R = M;
     }
-    return M;
+    break;
   }
   case ExprKind::Min: {
     double M = HUGE_VAL;
+    R = M;
     for (const ExprRef &Op : E->operands()) {
-      std::optional<double> V = evaluate(Op, Env);
-      if (!V)
-        return std::nullopt;
+      std::optional<double> V = evalWalk(Op, Ctx);
+      if (!V) {
+        R = std::nullopt;
+        break;
+      }
       M = std::min(M, *V);
+      R = M;
     }
-    return M;
+    break;
   }
+  default:
+    assert(false && "unknown expr kind");
+    R = std::nullopt;
+    break;
   }
-  assert(false && "unknown expr kind");
-  return std::nullopt;
+  if (Ctx.Memo)
+    Ctx.Memo->emplace(E.get(), R);
+  return R;
+}
+
+} // namespace
+
+std::optional<double>
+granlog::evaluate(const ExprRef &E, const std::map<std::string, double> &Env) {
+  EvalCtx Ctx{Env};
+  std::unordered_map<const Expr *, std::optional<double>> Memo;
+  if (E->treeSize() > MemoThreshold)
+    Ctx.Memo = &Memo;
+  return evalWalk(E, Ctx);
 }
 
 namespace {
@@ -207,57 +389,104 @@ void polyTrim(std::vector<ExprRef> &P) {
     P.pop_back();
 }
 
+using PolyResult = std::optional<std::vector<ExprRef>>;
+
+struct PolyCtx {
+  const std::string &Var;
+  uint64_t Bit;
+  std::unordered_map<const Expr *, PolyResult> *Memo = nullptr;
+  MemoCounts MC;
+};
+
+PolyResult polyWalk(const ExprRef &E, PolyCtx &Ctx) {
+  if (!(E->varBloom() & Ctx.Bit) || !containsVar(E, Ctx.Var))
+    return std::vector<ExprRef>{E}; // constant in Var
+  if (Ctx.Memo) {
+    auto It = Ctx.Memo->find(E.get());
+    if (It != Ctx.Memo->end()) {
+      ++Ctx.MC.Hits;
+      return It->second;
+    }
+    ++Ctx.MC.Misses;
+  }
+  PolyResult R;
+  switch (E->kind()) {
+  case ExprKind::Var:
+    R = std::vector<ExprRef>{makeNumber(0), makeNumber(1)};
+    break;
+  case ExprKind::Add: {
+    std::vector<ExprRef> Acc{makeNumber(0)};
+    R = std::nullopt;
+    bool OK = true;
+    for (const ExprRef &Op : E->operands()) {
+      PolyResult P = polyWalk(Op, Ctx);
+      if (!P) {
+        OK = false;
+        break;
+      }
+      Acc = polyAdd(Acc, *P);
+    }
+    if (OK) {
+      polyTrim(Acc);
+      R = std::move(Acc);
+    }
+    break;
+  }
+  case ExprKind::Mul: {
+    std::vector<ExprRef> Acc{makeNumber(1)};
+    R = std::nullopt;
+    bool OK = true;
+    for (const ExprRef &Op : E->operands()) {
+      PolyResult P = polyWalk(Op, Ctx);
+      if (!P) {
+        OK = false;
+        break;
+      }
+      Acc = polyMul(Acc, *P);
+    }
+    if (OK) {
+      polyTrim(Acc);
+      R = std::move(Acc);
+    }
+    break;
+  }
+  case ExprKind::Pow: {
+    R = std::nullopt;
+    if (containsVar(E->exponent(), Ctx.Var))
+      break;
+    if (!E->exponent()->isNumber() || !E->exponent()->number().isInteger() ||
+        E->exponent()->number().isNegative())
+      break;
+    PolyResult Base = polyWalk(E->base(), Ctx);
+    if (!Base)
+      break;
+    int64_t N = E->exponent()->number().asInteger();
+    std::vector<ExprRef> Acc{makeNumber(1)};
+    for (int64_t I = 0; I != N; ++I)
+      Acc = polyMul(Acc, *Base);
+    polyTrim(Acc);
+    R = std::move(Acc);
+    break;
+  }
+  default:
+    // Var occurs under Log2 / Max / Min / Call: not polynomial.
+    R = std::nullopt;
+    break;
+  }
+  if (Ctx.Memo)
+    Ctx.Memo->emplace(E.get(), R);
+  return R;
+}
+
 } // namespace
 
 std::optional<std::vector<ExprRef>>
 granlog::polynomialIn(const ExprRef &E, const std::string &Var) {
-  if (!containsVar(E, Var))
-    return std::vector<ExprRef>{E};
-  switch (E->kind()) {
-  case ExprKind::Var:
-    return std::vector<ExprRef>{makeNumber(0), makeNumber(1)};
-  case ExprKind::Add: {
-    std::vector<ExprRef> R{makeNumber(0)};
-    for (const ExprRef &Op : E->operands()) {
-      std::optional<std::vector<ExprRef>> P = polynomialIn(Op, Var);
-      if (!P)
-        return std::nullopt;
-      R = polyAdd(R, *P);
-    }
-    polyTrim(R);
-    return R;
-  }
-  case ExprKind::Mul: {
-    std::vector<ExprRef> R{makeNumber(1)};
-    for (const ExprRef &Op : E->operands()) {
-      std::optional<std::vector<ExprRef>> P = polynomialIn(Op, Var);
-      if (!P)
-        return std::nullopt;
-      R = polyMul(R, *P);
-    }
-    polyTrim(R);
-    return R;
-  }
-  case ExprKind::Pow: {
-    if (containsVar(E->exponent(), Var))
-      return std::nullopt;
-    if (!E->exponent()->isNumber() || !E->exponent()->number().isInteger() ||
-        E->exponent()->number().isNegative())
-      return std::nullopt;
-    std::optional<std::vector<ExprRef>> Base = polynomialIn(E->base(), Var);
-    if (!Base)
-      return std::nullopt;
-    int64_t N = E->exponent()->number().asInteger();
-    std::vector<ExprRef> R{makeNumber(1)};
-    for (int64_t I = 0; I != N; ++I)
-      R = polyMul(R, *Base);
-    polyTrim(R);
-    return R;
-  }
-  default:
-    // Var occurs under Log2 / Max / Min / Call: not polynomial.
-    return std::nullopt;
-  }
+  PolyCtx Ctx{Var, exprNameBloomBit(Var)};
+  std::unordered_map<const Expr *, PolyResult> Memo;
+  if (E->treeSize() > MemoThreshold)
+    Ctx.Memo = &Memo;
+  return polyWalk(E, Ctx);
 }
 
 ExprRef granlog::polynomialExpr(const std::vector<ExprRef> &Coeffs,

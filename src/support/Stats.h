@@ -24,6 +24,10 @@
 ///   size.*, cost.*        domain counters of the two equation layers
 ///   classify.<class>      predicates per granularity classification
 ///   interp.*              dynamic execution counters
+///   expr.intern.*, expr.memo.*   hash-consing unique-table and memoized-
+///                                traversal traffic; process-global (see
+///                                snapshotExprCounters), never recorded
+///                                into per-run registries
 ///
 //===----------------------------------------------------------------------===//
 
@@ -51,6 +55,10 @@ class JsonWriter;
 ///   1  initial schema: {"counters": {...}, "values": {...}}
 ///   2  parallel pipeline: adds solver.cache.{hit,miss,entries} counters
 ///      and scc.<id>.seconds timers; same document structure
+///      (still 2) expression interning: tools that opt in via
+///      snapshotExprCounters() additionally emit
+///      expr.intern.{hit,miss,entries} and expr.memo.{hit,miss} —
+///      additive keys only, so no version bump
 inline constexpr int StatsJsonVersion = 2;
 
 /// Named counters and metrics.  Thread-safe: counters are atomics behind a

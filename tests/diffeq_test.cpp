@@ -378,6 +378,20 @@ TEST_F(DiffEqTest, RecurrenceStr) {
   EXPECT_EQ(R.str(), "f(n) = 2*f(n - 1) + 1; f(0) = 1");
 }
 
+TEST_F(DiffEqTest, RecurrenceStrPrintsDivideOffsets) {
+  // Divide terms with a nonzero offset (e.g. the ceil(n/2) half of a
+  // divide-and-conquer split, f(n/2 + 1/2)) must show the offset; it is
+  // part of the equation's identity.
+  Recurrence R;
+  R.Function = "f";
+  R.Var = "n";
+  R.DivideTerms.push_back({Rational(1), Rational(2), Rational(1, 2)});
+  R.DivideTerms.push_back({Rational(2), Rational(2), Rational(0)});
+  R.Additive = makeNumber(1);
+  R.Boundaries.push_back({Rational(1), makeNumber(0)});
+  EXPECT_EQ(R.str(), "f(n) = f(n/2 + 1/2) + 2*f(n/2) + 1; f(1) = 0");
+}
+
 // Property sweep: the first-order-sum schema is exact for k=1 polynomial
 // additive parts — compare against direct iteration.
 class SumSchemaProperty : public ::testing::TestWithParam<int> {};

@@ -1,0 +1,187 @@
+//===- tests/expr_intern_test.cpp - Hash-consing invariants ---------------===//
+//
+// The properties the interned expression representation rests on:
+//
+//  1. structural equality <=> pointer identity: compareExpr(A, B) == 0
+//     exactly when A and B are the same node, over randomized expressions.
+//  2. build-order independence: the same mathematical expression built
+//     through different factory-call orders (permuted operands, different
+//     nesting) interns to the identical node.
+//  3. thread safety: many threads constructing the same expressions
+//     concurrently all receive the same nodes (run under TSan in CI).
+//  4. metadata consistency: the precomputed Bloom filters and hasCall()
+//     agree with the actual traversals.
+//
+//===----------------------------------------------------------------------===//
+
+#include "expr/Expr.h"
+#include "expr/ExprInterner.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+using namespace granlog;
+
+namespace {
+
+/// Deterministic 64-bit LCG (tests must not depend on global random state).
+struct Lcg {
+  uint64_t State;
+  explicit Lcg(uint64_t Seed) : State(Seed) {}
+  uint64_t next() {
+    State = State * 6364136223846793005ULL + 1442695040888963407ULL;
+    return State >> 33;
+  }
+  int64_t range(int64_t Lo, int64_t Hi) { // inclusive
+    return Lo + static_cast<int64_t>(next() % (Hi - Lo + 1));
+  }
+};
+
+const char *const VarNames[] = {"n", "m", "k", "n1", "n2"};
+const char *const CallNames[] = {"psi:f/1", "cost:g/2"};
+
+/// A random canonical expression of bounded depth over a small vocabulary
+/// (so independently drawn expressions collide often — the interesting
+/// case for interning).  Constants are non-negative: expressions denote
+/// values in [0, oo] and the lattice simplifications (max(0, x) = x)
+/// assume it.
+ExprRef randomExpr(Lcg &Rng, int Depth) {
+  if (Depth <= 0 || Rng.range(0, 3) == 0) {
+    if (Rng.range(0, 1))
+      return makeNumber(Rng.range(0, 9));
+    return makeVar(VarNames[Rng.range(0, 4)]);
+  }
+  switch (Rng.range(0, 5)) {
+  case 0:
+    return makeAdd(randomExpr(Rng, Depth - 1), randomExpr(Rng, Depth - 1));
+  case 1:
+    return makeMul(randomExpr(Rng, Depth - 1), randomExpr(Rng, Depth - 1));
+  case 2:
+    return makePow(randomExpr(Rng, Depth - 1),
+                   makeNumber(Rng.range(0, 3)));
+  case 3:
+    return makeLog2(randomExpr(Rng, Depth - 1));
+  case 4:
+    return makeMax(randomExpr(Rng, Depth - 1), randomExpr(Rng, Depth - 1));
+  default:
+    return makeCall(CallNames[Rng.range(0, 1)],
+                    {randomExpr(Rng, Depth - 1)});
+  }
+}
+
+TEST(ExprInternTest, StructuralEqualityIsPointerIdentity) {
+  Lcg Rng(20260806);
+  std::vector<ExprRef> Pool;
+  for (int I = 0; I != 300; ++I)
+    Pool.push_back(randomExpr(Rng, 4));
+  for (size_t I = 0; I != Pool.size(); ++I)
+    for (size_t J = I; J != Pool.size(); ++J) {
+      bool StructurallyEqual = compareExpr(*Pool[I], *Pool[J]) == 0;
+      bool SameNode = Pool[I].get() == Pool[J].get();
+      EXPECT_EQ(StructurallyEqual, SameNode)
+          << exprText(Pool[I]) << " vs " << exprText(Pool[J]);
+      EXPECT_EQ(exprEqual(Pool[I], Pool[J]), SameNode);
+    }
+}
+
+TEST(ExprInternTest, EqualNodesHaveEqualHashes) {
+  // Trivial given identity, but pins down that hash() is usable as a
+  // cache-key component: same node => same hash, and distinct nodes
+  // rarely collide (not asserted — just equality here).
+  Lcg Rng(7);
+  for (int I = 0; I != 200; ++I) {
+    ExprRef A = randomExpr(Rng, 4);
+    ExprRef B = randomExpr(Rng, 4);
+    if (A == B)
+      EXPECT_EQ(A->hash(), B->hash());
+  }
+}
+
+TEST(ExprInternTest, BuildOrderIndependence) {
+  Lcg Rng(42);
+  for (int I = 0; I != 200; ++I) {
+    ExprRef A = randomExpr(Rng, 3);
+    ExprRef B = randomExpr(Rng, 3);
+    ExprRef C = randomExpr(Rng, 3);
+    // Commutativity/associativity of the canonicalizing factories must
+    // land on the identical node, not merely a structurally equal one.
+    EXPECT_EQ(makeAdd({A, B, C}).get(), makeAdd({C, B, A}).get());
+    EXPECT_EQ(makeAdd(makeAdd(A, B), C).get(),
+              makeAdd(A, makeAdd(B, C)).get());
+    EXPECT_EQ(makeMul({A, B, C}).get(), makeMul({C, A, B}).get());
+    EXPECT_EQ(makeMax(A, makeMax(B, C)).get(),
+              makeMax(makeMax(A, B), C).get());
+    // Rebuilding an already-canonical expression is a no-op node-wise.
+    if (A->kind() == ExprKind::Add)
+      EXPECT_EQ(makeAdd(A->operands()).get(), A.get());
+  }
+}
+
+TEST(ExprInternTest, SmallIntegersAndVarsAreCached) {
+  EXPECT_EQ(makeNumber(3).get(), makeNumber(3).get());
+  EXPECT_EQ(makeNumber(-64).get(), makeNumber(-64).get());
+  EXPECT_EQ(makeNumber(Rational(1, 2)).get(),
+            makeNumber(Rational(1, 2)).get());
+  EXPECT_EQ(makeVar("n").get(), makeVar("n").get());
+  EXPECT_EQ(makeInfinity().get(), makeInfinity().get());
+  EXPECT_NE(makeVar("n").get(), makeVar("m").get());
+}
+
+TEST(ExprInternTest, BloomFiltersAgreeWithTraversals) {
+  Lcg Rng(99);
+  for (int I = 0; I != 300; ++I) {
+    ExprRef E = randomExpr(Rng, 4);
+    EXPECT_EQ(E->hasCall(), containsAnyCall(E)) << exprText(E);
+    for (const char *V : VarNames) {
+      // A clear Bloom bit proves absence; containsVar must agree with a
+      // bloom-free structural check.
+      if (!(E->varBloom() & exprNameBloomBit(V)))
+        EXPECT_FALSE(containsVar(E, V)) << exprText(E) << " var " << V;
+    }
+    for (const char *Cn : CallNames)
+      if (!(E->callBloom() & exprNameBloomBit(Cn)))
+        EXPECT_FALSE(containsCall(E, Cn)) << exprText(E) << " call " << Cn;
+  }
+}
+
+TEST(ExprInternTest, ConcurrentInterningYieldsIdenticalNodes) {
+  // 8 threads build the same 200 random expressions from the same seed;
+  // every thread must end up holding the same node pointers.  This is the
+  // TSan workout for the sharded unique table.
+  constexpr int Threads = 8, Exprs = 200;
+  std::vector<std::vector<const Expr *>> Got(Threads);
+  {
+    ThreadPool Pool(Threads);
+    for (int T = 0; T != Threads; ++T)
+      Pool.submit([T, &Got] {
+        Lcg Rng(1234567);
+        Got[T].reserve(Exprs);
+        for (int I = 0; I != Exprs; ++I)
+          Got[T].push_back(randomExpr(Rng, 4).get());
+      });
+    Pool.wait();
+  }
+  for (int T = 1; T != Threads; ++T)
+    EXPECT_EQ(Got[T], Got[0]) << "thread " << T;
+}
+
+TEST(ExprInternTest, CountersAreMonotonicAndConsistent) {
+  ExprInterner::Counters Before = ExprInterner::global().counters();
+  Lcg Rng(5);
+  for (int I = 0; I != 50; ++I)
+    (void)randomExpr(Rng, 4);
+  ExprInterner::Counters After = ExprInterner::global().counters();
+  EXPECT_GE(After.InternHits, Before.InternHits);
+  EXPECT_GE(After.InternMisses, Before.InternMisses);
+  EXPECT_GE(After.Entries, Before.Entries);
+  // Every miss creates exactly one entry (plus the eagerly seeded leaves).
+  EXPECT_EQ(After.Entries - Before.Entries,
+            After.InternMisses - Before.InternMisses);
+}
+
+} // namespace

@@ -223,4 +223,89 @@ TEST(ExprTest, TextRendering) {
   EXPECT_EQ(exprText(E), "1 + 3/2*n + 1/2*n^2");
 }
 
+// compareExpr defines the canonical operand order, so it must be a total
+// order: the axioms are checked on randomized triples.
+
+/// Deterministic 64-bit LCG (tests must not depend on global random state).
+struct Lcg {
+  uint64_t State;
+  explicit Lcg(uint64_t Seed) : State(Seed) {}
+  uint64_t next() {
+    State = State * 6364136223846793005ULL + 1442695040888963407ULL;
+    return State >> 33;
+  }
+  int64_t range(int64_t Lo, int64_t Hi) { // inclusive
+    return Lo + static_cast<int64_t>(next() % (Hi - Lo + 1));
+  }
+};
+
+ExprRef randomOrderExpr(Lcg &Rng, int Depth) {
+  if (Depth <= 0 || Rng.range(0, 3) == 0) {
+    if (Rng.range(0, 1))
+      return makeNumber(Rational(Rng.range(-4, 8), Rng.range(1, 3)));
+    return makeVar(std::string(1, static_cast<char>('k' + Rng.range(0, 3))));
+  }
+  switch (Rng.range(0, 4)) {
+  case 0:
+    return makeAdd(randomOrderExpr(Rng, Depth - 1),
+                   randomOrderExpr(Rng, Depth - 1));
+  case 1:
+    return makeMul(randomOrderExpr(Rng, Depth - 1),
+                   randomOrderExpr(Rng, Depth - 1));
+  case 2:
+    return makePow(randomOrderExpr(Rng, Depth - 1),
+                   makeNumber(Rng.range(0, 3)));
+  case 3:
+    return makeMax(randomOrderExpr(Rng, Depth - 1),
+                   randomOrderExpr(Rng, Depth - 1));
+  default:
+    return makeCall("f", {randomOrderExpr(Rng, Depth - 1)});
+  }
+}
+
+int sign(int C) { return C < 0 ? -1 : C > 0 ? 1 : 0; }
+
+TEST(ExprTest, CompareExprIsAntisymmetric) {
+  Lcg Rng(20260806);
+  for (int I = 0; I != 500; ++I) {
+    ExprRef A = randomOrderExpr(Rng, 4);
+    ExprRef B = randomOrderExpr(Rng, 4);
+    EXPECT_EQ(sign(compareExpr(*A, *B)), -sign(compareExpr(*B, *A)))
+        << exprText(A) << " vs " << exprText(B);
+    EXPECT_EQ(compareExpr(*A, *A), 0) << exprText(A);
+  }
+}
+
+TEST(ExprTest, CompareExprIsTransitive) {
+  Lcg Rng(31337);
+  for (int I = 0; I != 500; ++I) {
+    ExprRef A = randomOrderExpr(Rng, 3);
+    ExprRef B = randomOrderExpr(Rng, 3);
+    ExprRef C = randomOrderExpr(Rng, 3);
+    // Check transitivity of <= on every ordering of the triple.
+    ExprRef T[3] = {A, B, C};
+    for (int X = 0; X != 3; ++X)
+      for (int Y = 0; Y != 3; ++Y)
+        for (int Z = 0; Z != 3; ++Z)
+          if (compareExpr(*T[X], *T[Y]) <= 0 &&
+              compareExpr(*T[Y], *T[Z]) <= 0)
+            EXPECT_LE(compareExpr(*T[X], *T[Z]), 0)
+                << exprText(T[X]) << " / " << exprText(T[Y]) << " / "
+                << exprText(T[Z]);
+  }
+}
+
+TEST(ExprTest, CompareExprZeroIffIdentical) {
+  // Under interning, compareExpr(A, B) == 0 must coincide with A and B
+  // being the same node.
+  Lcg Rng(271828);
+  std::vector<ExprRef> Pool;
+  for (int I = 0; I != 120; ++I)
+    Pool.push_back(randomOrderExpr(Rng, 3));
+  for (const ExprRef &A : Pool)
+    for (const ExprRef &B : Pool)
+      EXPECT_EQ(compareExpr(*A, *B) == 0, A.get() == B.get())
+          << exprText(A) << " vs " << exprText(B);
+}
+
 } // namespace

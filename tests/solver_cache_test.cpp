@@ -175,15 +175,15 @@ TEST(SolverCacheTest, DistinctEquationsGetDistinctKeys) {
   Recurrence V = U; // same equation, different divide offset
   V.DivideTerms[0].Offset = Rational(1);
 
-  auto Keys = {SolverCache::canonicalize(R)->Key,
-               SolverCache::canonicalize(S)->Key,
-               SolverCache::canonicalize(T)->Key,
-               SolverCache::canonicalize(U)->Key,
-               SolverCache::canonicalize(V)->Key};
-  std::vector<std::string> Sorted(Keys);
-  std::sort(Sorted.begin(), Sorted.end());
-  EXPECT_EQ(std::unique(Sorted.begin(), Sorted.end()), Sorted.end())
-      << "all five equations must have distinct cache keys";
+  std::vector<SolverCache::CacheKey> Keys = {
+      SolverCache::canonicalize(R)->Key, SolverCache::canonicalize(S)->Key,
+      SolverCache::canonicalize(T)->Key, SolverCache::canonicalize(U)->Key,
+      SolverCache::canonicalize(V)->Key};
+  for (size_t I = 0; I != Keys.size(); ++I)
+    for (size_t J = I + 1; J != Keys.size(); ++J)
+      EXPECT_FALSE(Keys[I] == Keys[J])
+          << "equations " << I << " and " << J
+          << " must have distinct cache keys";
 }
 
 TEST(SolverCacheTest, BypassesEquationsWithUnknownCalls) {
