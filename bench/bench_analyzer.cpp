@@ -235,19 +235,47 @@ int main(int Argc, char **Argv) {
   const char *StatsOut = nullptr;
   const char *BatchJsonOut = nullptr;
   int BatchJobs = 0;
+  BudgetLimits BatchLimits;
   // Strip our flags before google-benchmark sees the argument list.
   int OutArgc = 0;
   for (int I = 0; I < Argc; ++I) {
     constexpr const char StatsFlag[] = "--granlog-stats-out=";
     constexpr const char JobsFlag[] = "--jobs=";
     constexpr const char BatchJsonFlag[] = "--bench-json-out=";
-    if (std::strncmp(Argv[I], StatsFlag, sizeof(StatsFlag) - 1) == 0)
+    constexpr const char ExprFlag[] = "--budget-expr-nodes=";
+    constexpr const char SolverFlag[] = "--budget-solver-steps=";
+    constexpr const char NormFlag[] = "--budget-normalize-steps=";
+    constexpr const char TokensFlag[] = "--budget-parse-tokens=";
+    constexpr const char ClausesFlag[] = "--budget-clauses=";
+    constexpr const char TimeoutFlag[] = "--timeout-ms=";
+    auto Limit = [](const char *V) {
+      long long N = std::atoll(V);
+      return N > 0 ? static_cast<uint64_t>(N) : 0;
+    };
+    if (std::strcmp(Argv[I], "--budget") == 0)
+      BatchLimits = BudgetLimits::defaults();
+    else if (std::strncmp(Argv[I], StatsFlag, sizeof(StatsFlag) - 1) == 0)
       StatsOut = Argv[I] + sizeof(StatsFlag) - 1;
     else if (std::strncmp(Argv[I], JobsFlag, sizeof(JobsFlag) - 1) == 0)
       BatchJobs = std::atoi(Argv[I] + sizeof(JobsFlag) - 1);
     else if (std::strncmp(Argv[I], BatchJsonFlag,
                           sizeof(BatchJsonFlag) - 1) == 0)
       BatchJsonOut = Argv[I] + sizeof(BatchJsonFlag) - 1;
+    else if (std::strncmp(Argv[I], ExprFlag, sizeof(ExprFlag) - 1) == 0)
+      BatchLimits.ExprNodes = Limit(Argv[I] + sizeof(ExprFlag) - 1);
+    else if (std::strncmp(Argv[I], SolverFlag, sizeof(SolverFlag) - 1) == 0)
+      BatchLimits.SolverSteps = Limit(Argv[I] + sizeof(SolverFlag) - 1);
+    else if (std::strncmp(Argv[I], NormFlag, sizeof(NormFlag) - 1) == 0)
+      BatchLimits.NormalizeSteps = Limit(Argv[I] + sizeof(NormFlag) - 1);
+    else if (std::strncmp(Argv[I], TokensFlag, sizeof(TokensFlag) - 1) == 0)
+      BatchLimits.ParseTokens = Limit(Argv[I] + sizeof(TokensFlag) - 1);
+    else if (std::strncmp(Argv[I], ClausesFlag,
+                          sizeof(ClausesFlag) - 1) == 0)
+      BatchLimits.Clauses = Limit(Argv[I] + sizeof(ClausesFlag) - 1);
+    else if (std::strncmp(Argv[I], TimeoutFlag,
+                          sizeof(TimeoutFlag) - 1) == 0)
+      BatchLimits.TimeoutMs = static_cast<unsigned>(
+          std::atoi(Argv[I] + sizeof(TimeoutFlag) - 1));
     else
       Argv[OutArgc++] = Argv[I];
   }
@@ -268,6 +296,7 @@ int main(int Argc, char **Argv) {
   if (BatchJobs > 0) {
     BatchConfig Config;
     Config.Jobs = static_cast<unsigned>(BatchJobs);
+    Config.Budget = BatchLimits; // all-zero = unbudgeted (the default)
     BatchResult Batch = analyzeCorpusBatch(Config);
     size_t Ok = 0;
     for (const BatchAnalysis &A : Batch.Results)
@@ -279,6 +308,13 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(Batch.CacheHits),
                 static_cast<unsigned long long>(Batch.CacheMisses),
                 Batch.CacheEntries);
+    if (BatchLimits.any()) {
+      size_t Degraded = 0;
+      for (const BatchAnalysis &A : Batch.Results)
+        Degraded += A.Degradations;
+      std::printf("batch budget: %zu degradations across %zu benchmarks\n",
+                  Degraded, Batch.Results.size());
+    }
     if (BatchJsonOut &&
         !writeBatchJson(BatchJsonOut, static_cast<unsigned>(BatchJobs),
                         Batch)) {

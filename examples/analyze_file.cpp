@@ -23,6 +23,15 @@
 //                        --trace-out (default: rolog)
 //   --jobs=N             analyze with N worker threads (SCC-parallel
 //                        pipeline; output is identical for any N)
+//   --budget             analyze under the default resource budget
+//                        (generous per-SCC work limits; pathological
+//                        programs degrade to Infinity instead of hanging)
+//   --budget-expr-nodes=N --budget-solver-steps=N
+//   --budget-normalize-steps=N --budget-parse-tokens=N --budget-clauses=N
+//                        individual deterministic meter limits (0 = off)
+//   --timeout-ms=N       cooperative wall-clock deadline for load +
+//                        analysis (opt-in; not deterministic, unlike the
+//                        counter meters)
 //
 //===----------------------------------------------------------------------===//
 
@@ -56,6 +65,10 @@ void usage(const char *Prog) {
   std::printf("options: --stats --stats-json=FILE --explain[=NAME] "
               "--trace-out=FILE --input=N --machine=rolog|andprolog "
               "--jobs=N\n");
+  std::printf("         --budget --budget-expr-nodes=N "
+              "--budget-solver-steps=N --budget-normalize-steps=N\n"
+              "         --budget-parse-tokens=N --budget-clauses=N "
+              "--timeout-ms=N\n");
   std::printf("built-in benchmarks:");
   for (const BenchmarkDef &B : benchmarkCorpus())
     std::printf(" %s", B.Name.c_str());
@@ -81,7 +94,13 @@ int main(int Argc, char **Argv) {
   std::string MachineName = "rolog";
   int TraceInput = -1;
   unsigned Jobs = 1;
+  BudgetLimits Limits;
   std::vector<const char *> Positional;
+
+  auto ParseLimit = [](const char *V) {
+    long long N = std::atoll(V);
+    return N > 0 ? static_cast<uint64_t>(N) : 0;
+  };
 
   for (int I = 1; I < Argc; ++I) {
     const char *Arg = Argv[I];
@@ -103,6 +122,21 @@ int main(int Argc, char **Argv) {
     } else if (const char *V = optValue(Arg, "--jobs")) {
       int N = std::atoi(V);
       Jobs = N > 0 ? static_cast<unsigned>(N) : 1;
+    } else if (std::strcmp(Arg, "--budget") == 0) {
+      Limits = BudgetLimits::defaults();
+    } else if (const char *V = optValue(Arg, "--budget-expr-nodes")) {
+      Limits.ExprNodes = ParseLimit(V);
+    } else if (const char *V = optValue(Arg, "--budget-solver-steps")) {
+      Limits.SolverSteps = ParseLimit(V);
+    } else if (const char *V = optValue(Arg, "--budget-normalize-steps")) {
+      Limits.NormalizeSteps = ParseLimit(V);
+    } else if (const char *V = optValue(Arg, "--budget-parse-tokens")) {
+      Limits.ParseTokens = ParseLimit(V);
+    } else if (const char *V = optValue(Arg, "--budget-clauses")) {
+      Limits.Clauses = ParseLimit(V);
+    } else if (const char *V = optValue(Arg, "--timeout-ms")) {
+      int N = std::atoi(V);
+      Limits.TimeoutMs = N > 0 ? static_cast<unsigned>(N) : 0;
     } else if (Arg[0] == '-' && Arg[1] == '-') {
       std::printf("error: unknown option %s\n", Arg);
       usage(Argv[0]);
@@ -143,9 +177,18 @@ int main(int Argc, char **Argv) {
 
   TermArena Arena;
   Diagnostics Diags;
-  std::optional<Program> P = loadProgram(Source, Arena, Diags);
+  std::optional<Budget> RunBudget;
+  if (Limits.any())
+    RunBudget.emplace(Limits);
+  std::optional<Program> P =
+      loadProgram(Source, Arena, Diags, RunBudget ? &*RunBudget : nullptr);
   if (!P) {
     std::printf("errors:\n%s\n", Diags.str().c_str());
+    return 1;
+  }
+  if (P->predicates().empty()) {
+    std::printf("error: %s defines no predicates (empty program)\n",
+                Positional[0]);
     return 1;
   }
   for (const Diagnostic &D : Diags.all())
@@ -158,8 +201,15 @@ int main(int Argc, char **Argv) {
   Options.Jobs = Jobs;
   if (WantStats)
     Options.Stats = &Stats;
+  if (RunBudget)
+    Options.Budget = &*RunBudget;
   GranularityAnalyzer GA(*P, Options);
   GA.run();
+  if (RunBudget && RunBudget->degraded()) {
+    Diagnostics BudgetDiags;
+    RunBudget->reportTo(BudgetDiags);
+    std::printf("%s\n", BudgetDiags.str().c_str());
+  }
   std::printf("%s\n", GA.report().c_str());
 
   if (Explain) {

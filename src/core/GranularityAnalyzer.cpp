@@ -3,6 +3,7 @@
 #include "core/GranularityAnalyzer.h"
 
 #include "diffeq/SolverCache.h"
+#include "support/Budget.h"
 #include "support/Json.h"
 #include "support/ThreadPool.h"
 
@@ -50,6 +51,8 @@ void GranularityAnalyzer::run() {
     Stats->add("solver.cache.miss", OwnedCache->misses());
     Stats->add("solver.cache.entries", OwnedCache->entries());
   }
+  if (Options.Budget)
+    Options.Budget->recordStats(Stats);
 }
 
 void GranularityAnalyzer::runAnalyses() {
@@ -62,6 +65,7 @@ void GranularityAnalyzer::runAnalyses() {
     for (const std::string &Name : Options.DisabledSchemas)
       Sizes->disableSchema(Name);
     Sizes->setSolverCache(Cache);
+    Sizes->setBudget(Options.Budget);
   };
   auto MakeCosts = [&] {
     Costs = std::make_unique<CostAnalysis>(*P, *CG, *Modes, *Det, *Sizes,
@@ -70,6 +74,7 @@ void GranularityAnalyzer::runAnalyses() {
     for (const std::string &Name : Options.DisabledSchemas)
       Costs->disableSchema(Name);
     Costs->setSolverCache(Cache);
+    Costs->setBudget(Options.Budget);
   };
 
   if (Options.Jobs <= 1) {
@@ -226,6 +231,14 @@ std::string GranularityAnalyzer::report() const {
       break;
     }
     Out += '\n';
+  }
+  // Resource-governance outcome.  Emitted only when something actually
+  // degraded, so unbudgeted and within-budget runs render byte-identically
+  // to the historical report format.
+  if (Options.Budget && Options.Budget->degraded()) {
+    Out += "degradations (resource budget):\n";
+    for (const Degradation &D : Options.Budget->degradations())
+      Out += "  " + D.str() + '\n';
   }
   return Out;
 }
@@ -384,5 +397,22 @@ void GranularityAnalyzer::writeJson(JsonWriter &W) const {
     W.endObject();
   }
   W.endArray();
+  // Additive key (no schema version bump): present only when the run was
+  // budgeted and something degraded, so existing baselines are unchanged.
+  if (Options.Budget && Options.Budget->degraded()) {
+    W.key("degradations");
+    W.beginArray();
+    for (const Degradation &D : Options.Budget->degradations()) {
+      W.beginObject();
+      W.key("phase");
+      W.value(D.Phase);
+      W.key("meter");
+      W.value(meterName(D.Meter));
+      W.key("predicate");
+      W.value(D.Predicate);
+      W.endObject();
+    }
+    W.endArray();
+  }
   W.endObject();
 }

@@ -65,6 +65,14 @@ struct AnalyzerOptions {
   /// per-run stats independent of what other runs warmed a shared cache
   /// with.
   SolverCache *Cache = nullptr;
+  /// Resource budget governing the run.  Null (the default) runs
+  /// unbudgeted.  With counter limits set, each SCC's size/cost work is
+  /// metered deterministically and exhaustion degrades results to sound
+  /// Infinity/unknown values (recorded as Degradations on the budget);
+  /// with a deadline/terminator set, remaining SCCs degrade wholesale
+  /// once it fires.  Counter-limited runs are deterministic across Jobs
+  /// settings; deadline-limited runs are not (wall clock is not).
+  class Budget *Budget = nullptr;
 };
 
 /// Everything the analysis learned about one predicate.

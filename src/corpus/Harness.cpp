@@ -64,17 +64,21 @@ BenchmarkRun granlog::runBenchmark(const BenchmarkDef &B, int Input,
 namespace {
 
 /// Analyzes one corpus benchmark into \p Out.  Everything mutable is
-/// benchmark-local (arena, diagnostics, stats registry); only the solver
-/// cache may be shared, and it is internally synchronized.
-void analyzeOne(const BenchmarkDef &B, const BatchConfig &Config,
-                SolverCache *Shared, BatchAnalysis &Out) {
-  auto Start = std::chrono::steady_clock::now();
-  Out.Name = B.Name;
+/// benchmark-local (arena, diagnostics, stats registry, budget); only the
+/// solver cache may be shared, and it is internally synchronized.
+void analyzeOneImpl(const BenchmarkDef &B, const BatchConfig &Config,
+                    SolverCache *Shared, BatchAnalysis &Out) {
   TermArena Arena;
   Diagnostics Diags;
-  std::optional<Program> P = loadProgram(B.Source, Arena, Diags);
+  std::optional<Budget> RunBudget;
+  if (Config.Budget.any())
+    RunBudget.emplace(Config.Budget);
+  std::optional<Program> P =
+      loadProgram(B.Source, Arena, Diags,
+                  RunBudget ? &*RunBudget : nullptr);
   if (!P) {
     Out.Report = "load failed: " + Diags.str();
+    Out.Error = "load failed: " + Diags.str();
     return;
   }
   StatsRegistry Stats;
@@ -82,15 +86,36 @@ void analyzeOne(const BenchmarkDef &B, const BatchConfig &Config,
   Options.Cache = Shared;
   if (Config.CollectStats)
     Options.Stats = &Stats;
+  if (RunBudget)
+    Options.Budget = &*RunBudget;
   GranularityAnalyzer GA(*P, Options);
   GA.run();
   Out.Ok = true;
   Out.Report = GA.report();
   Out.ExplainAll = GA.explainAll();
+  if (RunBudget)
+    Out.Degradations = RunBudget->degradations().size();
   if (Config.CollectStats) {
     JsonWriter W;
     GA.writeJson(W);
     Out.StatsJson = W.take();
+  }
+}
+
+/// Fault-isolation wrapper: an exception escaping one benchmark's load or
+/// analysis becomes that benchmark's Error, never the batch's.
+void analyzeOne(const BenchmarkDef &B, const BatchConfig &Config,
+                SolverCache *Shared, BatchAnalysis &Out) {
+  auto Start = std::chrono::steady_clock::now();
+  Out.Name = B.Name;
+  try {
+    analyzeOneImpl(B, Config, Shared, Out);
+  } catch (const std::exception &E) {
+    Out.Ok = false;
+    Out.Error = std::string("exception: ") + E.what();
+  } catch (...) {
+    Out.Ok = false;
+    Out.Error = "exception: unknown";
   }
   Out.Seconds = std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - Start)
@@ -101,7 +126,8 @@ void analyzeOne(const BenchmarkDef &B, const BatchConfig &Config,
 
 BatchResult granlog::analyzeCorpusBatch(const BatchConfig &Config) {
   auto Start = std::chrono::steady_clock::now();
-  const std::vector<BenchmarkDef> &Corpus = benchmarkCorpus();
+  const std::vector<BenchmarkDef> &Corpus =
+      Config.Corpus ? *Config.Corpus : benchmarkCorpus();
 
   BatchResult Batch;
   Batch.Results.resize(Corpus.size());

@@ -81,6 +81,12 @@ struct BatchConfig {
   bool ShareCache = true;
   /// Collect a per-benchmark StatsRegistry and stats-JSON document.
   bool CollectStats = true;
+  /// Resource limits applied to every benchmark (each gets its own fresh
+  /// Budget, so one pathological file cannot eat another's budget).  The
+  /// default (all zero) runs unbudgeted.
+  BudgetLimits Budget{};
+  /// The benchmark set to analyze; null means the built-in Table 1 corpus.
+  const std::vector<BenchmarkDef> *Corpus = nullptr;
 };
 
 /// Analysis-only results of one corpus benchmark in a batch.
@@ -90,6 +96,13 @@ struct BatchAnalysis {
   std::string Report;      ///< GranularityAnalyzer::report()
   std::string ExplainAll;  ///< full provenance text
   std::string StatsJson;   ///< writeJson document ("" when stats off)
+  /// Why Ok is false ("" otherwise): load diagnostics, or the message of
+  /// an exception that escaped this benchmark's analysis.  Faults are
+  /// isolated per benchmark — the rest of the batch still completes.
+  std::string Error;
+  /// Number of budget degradations recorded while analyzing this
+  /// benchmark (0 for unbudgeted or within-budget runs).
+  size_t Degradations = 0;
   double Seconds = 0;      ///< wall-clock time of this benchmark's analysis
 };
 

@@ -218,22 +218,72 @@ ExprRef CostAnalysis::clauseCost(Functor F, unsigned ClauseIndex,
   return makeAdd(HeadCost, Walker.cost(C.body()));
 }
 
+void CostAnalysis::degradeSCC(const std::vector<Functor> &Members) {
+  for (Functor F : Members) {
+    PredicateCostInfo &CI = Info[F];
+    CI.CostFn = makeInfinity();
+    CI.Exact = false;
+    CI.Schema.clear();
+    CI.Why = budgetWhy(*ResourceBudget, MeterKind::Deadline);
+    ResourceBudget->record(
+        {"cost", MeterKind::Deadline, P->symbols().text(F)});
+  }
+}
+
 void CostAnalysis::analyzeSCC(const std::vector<Functor> &Members) {
+  // Resource governance mirrors SizeAnalysis::analyzeSCC: one meter per
+  // SCC, shared by clause-cost construction and solving, so exhaustion is
+  // a function of this SCC's work alone (driver-independent).
+  WorkMeter Meter(ResourceBudget);
+  MeterScope Scope(&Meter);
+  if (ResourceBudget && ResourceBudget->expired()) {
+    degradeSCC(Members);
+    return;
+  }
+
   // Clause costs with symbolic SCC calls.
   std::map<Functor, std::vector<ExprRef>> ClauseCosts;
   for (Functor F : Members) {
     const Predicate *Pred = P->lookup(F);
     if (!Pred)
       continue;
-    for (size_t I = 0; I != Pred->clauses().size(); ++I)
+    for (size_t I = 0; I != Pred->clauses().size(); ++I) {
+      // Once exhausted, remaining clause costs pin to Infinity (sound:
+      // Infinity absorbs everything the clause could cost) instead of
+      // building ever-larger expressions.
+      if (Meter.over()) {
+        ClauseCosts[F].push_back(makeInfinity());
+        continue;
+      }
       ClauseCosts[F].push_back(
           clauseCost(F, static_cast<unsigned>(I), Pred->clauses()[I]));
+      if (!ClauseCosts[F].back()->isInfinity())
+        Meter.noteTreeSize(ClauseCosts[F].back()->treeSize());
+    }
   }
   for (Functor F : Members) {
     PredicateCostInfo &CI = Info[F];
     bool Exact = true;
     std::string Schema, Why;
-    CI.CostFn = solvePredicate(F, ClauseCosts[F], &Exact, &Schema, &Why);
+    if (std::optional<MeterKind> K = Meter.over()) {
+      CI.CostFn = makeInfinity();
+      Exact = false;
+      Why = budgetWhy(*ResourceBudget, *K);
+      ResourceBudget->record({"cost", *K, P->symbols().text(F)});
+    } else {
+      CI.CostFn = solvePredicate(F, ClauseCosts[F], &Exact, &Schema, &Why);
+      if (CI.CostFn)
+        Meter.noteTreeSize(CI.CostFn->treeSize());
+      if (std::optional<MeterKind> After = Meter.over()) {
+        if (CI.CostFn && !CI.CostFn->isInfinity()) {
+          CI.CostFn = makeInfinity();
+          Schema.clear();
+          Why = budgetWhy(*ResourceBudget, *After);
+          Exact = false;
+        }
+        ResourceBudget->record({"cost", *After, P->symbols().text(F)});
+      }
+    }
     CI.Exact = Exact;
     CI.Schema = Schema;
     CI.Why = Why;
@@ -341,6 +391,15 @@ ExprRef CostAnalysis::solvePredicate(Functor F,
     }
     ExprRef Reduced = inlineCalls(
         Rhs, OtherDefs, static_cast<unsigned>(OtherDefs.size()) + 2);
+    // inlineCalls stops early on meter exhaustion; attribute the failure
+    // to the budget (not to "mutual recursion") so explain() is truthful.
+    if (WorkMeter *M = currentWorkMeter()) {
+      if (std::optional<MeterKind> K = M->over()) {
+        *Exact = false;
+        *Why = budgetWhy(*M->budget(), *K);
+        return makeInfinity();
+      }
+    }
     bool StillForeign = false;
     for (const std::string &Name : SCCNames)
       if (Name != SelfName && containsCall(Reduced, Name))

@@ -131,8 +131,17 @@ public:
   /// batch mode, across runs); call before run().
   void setSolverCache(SolverCache *Cache) { Solver.setCache(Cache); }
 
+  /// Attaches the run's resource budget; call before run().  Metering is
+  /// per SCC exactly as in SizeAnalysis::setBudget, so exhaustion is
+  /// deterministic and driver-independent.
+  void setBudget(Budget *B) { ResourceBudget = B; }
+
 private:
   void analyzeSCC(const std::vector<Functor> &Members);
+
+  /// Deadline/terminator fired: fill every member's info with the sound
+  /// degraded value (CostFn = Infinity) without analyzing.
+  void degradeSCC(const std::vector<Functor> &Members);
 
   /// Builds the cost expression of one clause; SCC-internal calls appear
   /// as symbolic Call nodes.
@@ -151,6 +160,7 @@ private:
   DiffEqSolver Solver;
   SolutionsAnalysis Sols;
   StatsRegistry *Stats = nullptr;
+  Budget *ResourceBudget = nullptr;
   std::unordered_map<Functor, PredicateCostInfo> Info;
 };
 

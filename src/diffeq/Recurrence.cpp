@@ -2,6 +2,8 @@
 
 #include "diffeq/Recurrence.h"
 
+#include "support/Budget.h"
+
 using namespace granlog;
 
 std::string Recurrence::str() const {
@@ -241,6 +243,17 @@ ExprRef granlog::inlineCalls(const ExprRef &E,
                              unsigned Rounds) {
   ExprRef Current = E;
   for (unsigned Round = 0; Round != Rounds; ++Round) {
+    // Budget checkpoint: substitution rounds are where mutually recursive
+    // systems blow up (each round can multiply tree sizes).  Charge one
+    // normalization step per definition, guard the intermediate's tree
+    // size, and stop early once any meter is exhausted — the caller
+    // checks the meter and degrades to Infinity with a budget Why.
+    if (WorkMeter *M = currentWorkMeter()) {
+      M->chargeNormalize(1 + Defs.size());
+      M->noteTreeSize(Current->treeSize());
+      if (M->over())
+        return Current;
+    }
     ExprRef Next = Current;
     for (const auto &[Name, Def] : Defs) {
       const EquationDef &D = Def;

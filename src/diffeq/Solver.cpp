@@ -3,6 +3,7 @@
 #include "diffeq/Solver.h"
 
 #include "diffeq/SolverCache.h"
+#include "support/Budget.h"
 
 #include <cmath>
 
@@ -255,12 +256,36 @@ DiffEqSolver::DiffEqSolver() {
 DiffEqSolver::~DiffEqSolver() = default;
 
 SolveResult DiffEqSolver::solve(const Recurrence &R) const {
-  SolveResult Result =
-      Cache ? Cache->solve(R, tableSignature(),
-                           [this](const Recurrence &C) {
-                             return solveDirect(C);
-                           })
-            : solveDirect(R);
+  SolveResult Result;
+  if (WorkMeter *M = currentWorkMeter()) {
+    // Deterministic budget gate, checked BEFORE the cache: once the
+    // scope's meters are exhausted every further solve degrades to
+    // Infinity (a sound upper bound, paper Section 5) without touching
+    // the cache, so no degraded result is ever memoized and the charge
+    // below is identical whether a cache entry exists or not.
+    if (std::optional<MeterKind> K = M->over()) {
+      Result = SolveResult{makeInfinity(), std::string(), /*Exact=*/false,
+                           budgetWhy(*M->budget(), *K)};
+      Result.Degraded = true;
+      statsAdd(Stats, StatsPrefix + ".budget_degraded");
+    } else {
+      // Charge by the equation's shape — uniform for hit and miss.
+      M->chargeSolver(1 + R.ShiftTerms.size() + R.DivideTerms.size() +
+                      R.Boundaries.size());
+    }
+  }
+  if (!Result.Closed) {
+    // Suspend metering while solving: with a shared cache, which caller
+    // replays a memoized entry (cheap) vs. computes it (expensive) is
+    // schedule-dependent, and that variance must not leak into the
+    // deterministic charges.
+    MeterScope Suspend(nullptr);
+    Result = Cache ? Cache->solve(R, tableSignature(),
+                                  [this](const Recurrence &C) {
+                                    return solveDirect(C);
+                                  })
+                   : solveDirect(R);
+  }
   // Record stats from the final result, not inside solveDirect: a cache
   // hit must bump the same counters as the solve it replays, so the stats
   // are identical cache-on and cache-off.

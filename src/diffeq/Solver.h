@@ -43,6 +43,9 @@ struct SolveResult {
   /// Surfaces through GranularityAnalyzer::explain() so every Infinity
   /// classification can be audited.
   std::string Why;
+  /// True when the solve was skipped because the scope's resource budget
+  /// was exhausted (Closed is then Infinity and Why carries the meter).
+  bool Degraded = false;
 
   bool failed() const { return Closed->isInfinity(); }
 };

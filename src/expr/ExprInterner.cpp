@@ -2,6 +2,7 @@
 
 #include "expr/ExprInterner.h"
 
+#include "support/Budget.h"
 #include "support/Stats.h"
 
 namespace granlog {
@@ -158,6 +159,12 @@ ExprRef ExprInterner::internInTable(size_t Hash, ExprKind Kind,
 
 ExprRef ExprInterner::intern(ExprKind Kind, std::string Name,
                              Rational Value, std::vector<ExprRef> Ops) {
+  // The ExprNodes budget odometer: every expression construction funnels
+  // through here, and the charge counts *calls* (hit or miss alike), so
+  // it depends only on the work the installed scope performed — never on
+  // what other threads interned first.
+  if (WorkMeter *M = currentWorkMeter())
+    M->chargeExpr();
   switch (Kind) {
   case ExprKind::Number:
     if (Value.isInteger() && Value.numerator() >= SmallIntMin &&

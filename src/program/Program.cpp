@@ -375,16 +375,28 @@ void ProgramLoader::addClauseTerm(const Term *T, SourceLoc Loc) {
 
 std::optional<Program> granlog::loadProgram(std::string_view Source,
                                             TermArena &Arena,
-                                            Diagnostics &Diags) {
+                                            Diagnostics &Diags, Budget *B) {
   Program P(Arena);
   ProgramLoader Loader(P, Arena, Diags);
   Parser Parse(Source, Arena, Diags);
+  Parse.setBudget(B);
+  uint64_t ClauseLimit = B ? B->limits().Clauses : 0;
+  uint64_t Clauses = 0;
   while (!Parse.atEnd()) {
     const Term *T = Parse.readClause();
     if (!T) {
       if (Parse.atEnd())
         break;
       continue; // error recovery: the parser skipped to the clause end
+    }
+    // Like token exhaustion, hitting the clause limit aborts the load: a
+    // program with clauses silently dropped would be unsound to analyze.
+    if (ClauseLimit && ++Clauses > ClauseLimit) {
+      Diags.error(SourceLoc(),
+                  budgetWhy(*B, MeterKind::Clauses) +
+                      ": program too large to load");
+      B->record({"reader", MeterKind::Clauses, std::string()});
+      return std::nullopt;
     }
     Loader.addClauseTerm(T, SourceLoc());
   }

@@ -195,9 +195,13 @@ void flattenBodyLiterals(const Term *Body, const SymbolTable &Symbols,
                          std::vector<const Term *> &Out);
 
 /// Parses \p Source and loads it into a Program, processing directives.
-/// Returns nullopt if the source has errors (see \p Diags).
+/// Returns nullopt if the source has errors (see \p Diags).  An optional
+/// \p B bounds the read (ParseTokens/Clauses meters and the deadline);
+/// exhaustion is a hard load error — analyzing a truncated program would
+/// be unsound, since missing clauses could lower every bound.
 std::optional<Program> loadProgram(std::string_view Source, TermArena &Arena,
-                                   Diagnostics &Diags);
+                                   Diagnostics &Diags,
+                                   class Budget *B = nullptr);
 
 /// Renders one clause back to surface syntax ("head." or
 /// "head :-\n    body.").

@@ -4,6 +4,25 @@
 
 using namespace granlog;
 
+void Parser::checkReaderBudget() {
+  if (BudgetErrorReported)
+    return;
+  MeterKind K;
+  uint64_t TokenLimit = B->limits().ParseTokens;
+  if (TokenLimit && TokensConsumed > TokenLimit)
+    K = MeterKind::ParseTokens;
+  else if (B->expired())
+    K = MeterKind::Deadline;
+  else
+    return;
+  BudgetErrorReported = true;
+  Diags.error(Tok.Loc, budgetWhy(*B, K) +
+                           ": program too large to read; aborting the load "
+                           "(a truncated program would be unsound to analyze)");
+  B->record({"reader", K, std::string()});
+  Tok.Kind = TokenKind::EndOfFile; // jam: every read path sees end of input
+}
+
 bool Parser::expect(TokenKind Kind, const char *What) {
   if (Tok.Kind == Kind) {
     consume();
@@ -67,6 +86,21 @@ const Term *Parser::readClause() {
 }
 
 const Term *Parser::parse(int MaxPrec) {
+  if (Depth >= MaxTermDepth) {
+    // One error per clause: the nullptr unwinds without further messages
+    // and readClause() skips to the clause end.
+    Diags.error(Tok.Loc, "term nested deeper than " +
+                             std::to_string(MaxTermDepth) +
+                             " levels; rejecting it");
+    return nullptr;
+  }
+  ++Depth;
+  const Term *T = parseNested(MaxPrec);
+  --Depth;
+  return T;
+}
+
+const Term *Parser::parseNested(int MaxPrec) {
   const Term *Left = nullptr;
   int LeftPrec = 0;
 

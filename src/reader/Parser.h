@@ -16,6 +16,7 @@
 
 #include "reader/Lexer.h"
 #include "reader/OpTable.h"
+#include "support/Budget.h"
 #include "support/Diagnostics.h"
 #include "term/Term.h"
 
@@ -44,12 +45,31 @@ public:
     return ClauseVarOrder;
   }
 
+  /// Attaches a resource budget: every token consumed charges the
+  /// ParseTokens meter; on exhaustion (or deadline expiry) the parser
+  /// emits one error and jams to end of input.  A truncated program would
+  /// be *unsound* to analyze (missing clauses could lower every bound),
+  /// so reader exhaustion is a hard load failure, never a degradation.
+  void setBudget(Budget *B) { this->B = B; }
+
 private:
-  void consume() { Tok = Lex.next(); }
+  void consume() {
+    if (BudgetErrorReported) {
+      Tok.Kind = TokenKind::EndOfFile; // stay jammed: the load is aborted
+      return;
+    }
+    Tok = Lex.next();
+    if (B) {
+      ++TokensConsumed;
+      checkReaderBudget();
+    }
+  }
+  void checkReaderBudget();
   bool expect(TokenKind Kind, const char *What);
   void skipToClauseEnd();
 
   const Term *parse(int MaxPrec);
+  const Term *parseNested(int MaxPrec);
   const Term *parsePrimary();
   const Term *parseList();
   const Term *parseArgs(Symbol Name);
@@ -63,6 +83,13 @@ private:
   Diagnostics &Diags;
   OpTable Ops;
   Token Tok;
+  Budget *B = nullptr;
+  uint64_t TokensConsumed = 0;
+  bool BudgetErrorReported = false;
+  /// Recursive-descent depth guard: terms nested deeper than this are
+  /// rejected with a diagnostic instead of overflowing the stack.
+  static constexpr unsigned MaxTermDepth = 5000;
+  unsigned Depth = 0;
   std::unordered_map<std::string, const VarTerm *> ClauseVars;
   std::vector<const VarTerm *> ClauseVarOrder;
 };

@@ -488,7 +488,38 @@ int SizeAnalysis::recursionArg(Functor F) const {
   return Result;
 }
 
+void SizeAnalysis::degradeSCC(const std::vector<Functor> &Members) {
+  for (Functor F : Members) {
+    PredicateSizeInfo &PI = Info[F];
+    PI.Modes = Modes->modes(F);
+    if (PI.Measures.empty())
+      PI.Measures.assign(F.Arity, MeasureKind::TermSize);
+    PI.OutputSize.assign(F.Arity, nullptr);
+    PI.OutputSchema.assign(F.Arity, std::string());
+    PI.OutputWhy.assign(F.Arity, std::string());
+    PI.RecArgPos = -1;
+    PI.Exact = false;
+    for (unsigned O : Modes->outputPositions(F)) {
+      PI.OutputSize[O] = makeInfinity();
+      PI.OutputWhy[O] = budgetWhy(*ResourceBudget, MeterKind::Deadline);
+    }
+    ResourceBudget->record(
+        {"size", MeterKind::Deadline, P->symbols().text(F)});
+  }
+}
+
 void SizeAnalysis::analyzeSCC(const std::vector<Functor> &Members) {
+  // Resource governance: one deterministic meter per SCC, installed for
+  // everything this SCC does (clause walking, substitution, solving).
+  // The deadline check doubles as the parallel driver's cancellation —
+  // once a terminator fires, every remaining SCC job degrades in O(|SCC|).
+  WorkMeter Meter(ResourceBudget);
+  MeterScope Scope(&Meter);
+  if (ResourceBudget && ResourceBudget->expired()) {
+    degradeSCC(Members);
+    return;
+  }
+
   // Phase 1: resolve modes and measures for all members so that calls
   // within the SCC see them.
   for (Functor F : Members) {
@@ -561,6 +592,20 @@ void SizeAnalysis::analyzeSCC(const std::vector<Functor> &Members) {
       bool Exact = true;
       PI.OutputSize[O] = solveOutput(F, O, Facts[F], &Exact,
                                      &PI.OutputSchema[O], &PI.OutputWhy[O]);
+      // Budget guard on the stored closed form: an oversized tree would
+      // make every consumer (including report rendering) enumerate an
+      // exponentially large expression, so it degrades to Infinity here.
+      if (PI.OutputSize[O])
+        Meter.noteTreeSize(PI.OutputSize[O]->treeSize());
+      if (std::optional<MeterKind> K = Meter.over()) {
+        if (PI.OutputSize[O] && !PI.OutputSize[O]->isInfinity()) {
+          PI.OutputSize[O] = makeInfinity();
+          PI.OutputSchema[O].clear();
+          PI.OutputWhy[O] = budgetWhy(*ResourceBudget, *K);
+          Exact = false;
+        }
+        ResourceBudget->record({"size", *K, P->symbols().text(F)});
+      }
       PI.Exact &= Exact;
       if (Stats) {
         Stats->add("size.outputs");
@@ -578,6 +623,16 @@ ExprRef SizeAnalysis::solveOutput(Functor F, unsigned OutPos,
                                   bool *Exact, std::string *Schema,
                                   std::string *Why) {
   *Exact = true;
+  // Budget checkpoint: once this SCC's meter is exhausted every further
+  // output degrades straight to Infinity (a sound upper bound) with the
+  // meter as provenance instead of doing more work.
+  if (WorkMeter *M = currentWorkMeter()) {
+    if (std::optional<MeterKind> K = M->over()) {
+      *Exact = false;
+      *Why = budgetWhy(*M->budget(), *K);
+      return makeInfinity();
+    }
+  }
   const Predicate *Pred = P->lookup(F);
   if (!Pred) {
     *Why = "predicate has no clauses";
@@ -675,6 +730,15 @@ ExprRef SizeAnalysis::solveOutput(Functor F, unsigned OutPos,
     // Recursive clause: eliminate other SCC unknowns, then extract.
     ExprRef Reduced = inlineCalls(
         Rhs, OtherDefs, static_cast<unsigned>(OtherDefs.size()) + 2);
+    // inlineCalls stops early on meter exhaustion; attribute the failure
+    // to the budget (not to "mutual recursion") so explain() is truthful.
+    if (WorkMeter *M = currentWorkMeter()) {
+      if (std::optional<MeterKind> K = M->over()) {
+        *Exact = false;
+        *Why = budgetWhy(*M->budget(), *K);
+        return makeInfinity();
+      }
+    }
     bool StillForeign = false;
     for (const std::string &Name : SCCNames)
       if (Name != SelfName && containsCall(Reduced, Name))

@@ -37,6 +37,7 @@
 #include "diffeq/Solver.h"
 #include "program/CallGraph.h"
 #include "size/Measures.h"
+#include "support/Budget.h"
 
 #include <atomic>
 #include <unordered_map>
@@ -147,10 +148,20 @@ public:
   /// batch mode, across runs); call before run().
   void setSolverCache(SolverCache *Cache) { Solver.setCache(Cache); }
 
+  /// Attaches the run's resource budget; call before run().  Each SCC is
+  /// metered independently (a fresh WorkMeter per analyzeSCC), so meter
+  /// exhaustion depends only on that SCC's own deterministic work and the
+  /// results are identical under the sequential and parallel drivers.
+  void setBudget(Budget *B) { ResourceBudget = B; }
+
 private:
   friend class ClauseSizeWalker;
 
   void analyzeSCC(const std::vector<Functor> &Members);
+
+  /// Deadline/terminator fired: fill every member's info with sound
+  /// degraded values (outputs unknown => Infinity) without analyzing.
+  void degradeSCC(const std::vector<Functor> &Members);
 
   /// Builds, for output \p OutPos of \p F, the per-clause equations and
   /// solves them; called with all clause facts of the SCC available.
@@ -164,6 +175,7 @@ private:
   const ModeTable *Modes;
   DiffEqSolver Solver;
   StatsRegistry *Stats = nullptr;
+  Budget *ResourceBudget = nullptr;
   std::unordered_map<Functor, PredicateSizeInfo> Info;
   /// -2 = not yet computed.  Atomic cells: concurrent SCC jobs may race
   /// to compute the same functor's entry, but both write the same value.

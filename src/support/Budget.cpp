@@ -1,0 +1,181 @@
+//===- support/Budget.cpp -------------------------------------------------===//
+
+#include "support/Budget.h"
+
+#include "support/Diagnostics.h"
+#include "support/Stats.h"
+
+#include <algorithm>
+
+using namespace granlog;
+
+namespace {
+thread_local WorkMeter *ActiveMeter = nullptr;
+} // namespace
+
+const char *granlog::meterName(MeterKind K) {
+  switch (K) {
+  case MeterKind::ExprNodes:
+    return "expr-nodes";
+  case MeterKind::SolverSteps:
+    return "solver-steps";
+  case MeterKind::NormalizeSteps:
+    return "normalize-steps";
+  case MeterKind::ParseTokens:
+    return "parse-tokens";
+  case MeterKind::Clauses:
+    return "clauses";
+  case MeterKind::Deadline:
+    return "deadline";
+  }
+  return "?";
+}
+
+BudgetLimits BudgetLimits::defaults() {
+  BudgetLimits L;
+  L.ExprNodes = 250'000;
+  L.SolverSteps = 50'000;
+  L.NormalizeSteps = 50'000;
+  L.ParseTokens = 10'000'000;
+  L.Clauses = 1'000'000;
+  return L;
+}
+
+uint64_t BudgetLimits::limit(MeterKind K) const {
+  switch (K) {
+  case MeterKind::ExprNodes:
+    return ExprNodes;
+  case MeterKind::SolverSteps:
+    return SolverSteps;
+  case MeterKind::NormalizeSteps:
+    return NormalizeSteps;
+  case MeterKind::ParseTokens:
+    return ParseTokens;
+  case MeterKind::Clauses:
+    return Clauses;
+  case MeterKind::Deadline:
+    return 0;
+  }
+  return 0;
+}
+
+std::string Degradation::str() const {
+  std::string Out = Phase + "/" + meterName(Meter);
+  if (!Predicate.empty())
+    Out += ": " + Predicate;
+  return Out;
+}
+
+Budget::Budget(BudgetLimits Limits) : Limits(std::move(Limits)) {
+  if (this->Limits.TimeoutMs) {
+    HasDeadline = true;
+    Deadline = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(this->Limits.TimeoutMs);
+  }
+}
+
+bool Budget::expired() const {
+  if (Expired.load(std::memory_order_relaxed))
+    return true;
+  if (!HasDeadline && !Limits.Terminator)
+    return false;
+  // Rate-limit the clock read / callback: checkpoints poll this on hot
+  // paths, and a late detection only delays the (cooperative) degradation
+  // by a few checkpoints.
+  if (ExpiryPolls.fetch_add(1, std::memory_order_relaxed) % 64 != 0)
+    return false;
+  if ((HasDeadline && std::chrono::steady_clock::now() >= Deadline) ||
+      (Limits.Terminator && Limits.Terminator())) {
+    Expired.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void Budget::record(Degradation D) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Log.push_back(std::move(D));
+}
+
+std::vector<Degradation> Budget::degradations() const {
+  std::vector<Degradation> Out;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Out = Log;
+  }
+  std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return Out;
+}
+
+bool Budget::degraded() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return !Log.empty();
+}
+
+void Budget::reportTo(Diagnostics &Diags) const {
+  for (const Degradation &D : degradations())
+    Diags.warning(SourceLoc(),
+                  "resource budget exhausted: " + D.str() +
+                      " (result degraded to a sound Infinity/unknown)");
+}
+
+void Budget::recordStats(StatsRegistry *Stats) const {
+  if (!Stats)
+    return;
+  std::vector<Degradation> Ds = degradations();
+  if (Ds.empty())
+    return;
+  Stats->add("budget.degradations", Ds.size());
+  for (const Degradation &D : Ds)
+    Stats->add(std::string("budget.exhausted.") + meterName(D.Meter));
+}
+
+std::string granlog::budgetWhy(const Budget &B, MeterKind K) {
+  std::string Why = std::string("resource budget exhausted (") +
+                    meterName(K);
+  if (uint64_t Limit = B.limits().limit(K))
+    Why += " limit " + std::to_string(Limit);
+  Why += ")";
+  return Why;
+}
+
+bool WorkMeter::exhausted(MeterKind K) const {
+  if (!B)
+    return false;
+  const BudgetLimits &L = B->limits();
+  switch (K) {
+  case MeterKind::ExprNodes:
+    return (L.ExprNodes && ExprNodes > L.ExprNodes) || TreeGuard;
+  case MeterKind::SolverSteps:
+    return L.SolverSteps && SolverSteps > L.SolverSteps;
+  case MeterKind::NormalizeSteps:
+    return L.NormalizeSteps && NormalizeSteps > L.NormalizeSteps;
+  case MeterKind::Deadline:
+    return B->expired();
+  case MeterKind::ParseTokens:
+  case MeterKind::Clauses:
+    return false; // reader meters are charged by the parser directly
+  }
+  return false;
+}
+
+std::optional<MeterKind> WorkMeter::over() const {
+  if (!B)
+    return std::nullopt;
+  for (MeterKind K : {MeterKind::ExprNodes, MeterKind::SolverSteps,
+                      MeterKind::NormalizeSteps, MeterKind::Deadline})
+    if (exhausted(K))
+      return K;
+  return std::nullopt;
+}
+
+WorkMeter *granlog::currentWorkMeter() { return ActiveMeter; }
+
+MeterScope::MeterScope(WorkMeter *M) : Prev(ActiveMeter) {
+  // An inert meter (no budget) is not installed at all, so the interner
+  // hook stays a single predicted-not-taken branch in unbudgeted runs.
+  ActiveMeter = M && M->budget() ? M : nullptr;
+}
+
+MeterScope::~MeterScope() { ActiveMeter = Prev; }

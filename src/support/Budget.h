@@ -1,0 +1,234 @@
+//===- support/Budget.h - Resource governance -----------------------------===//
+//
+// Part of GranLog; see DESIGN.md "Resource governance & graceful
+// degradation".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic work budgets with sound degradation.  The paper's escape
+/// hatch — unsolvable difference equations get the solution Infinity,
+/// which is still a sound upper bound (Section 5) — means no phase of the
+/// analyzer ever *needs* to crash, hang or OOM: when a resource meter
+/// runs out, the phase degrades its result to Infinity (costs, solutions)
+/// or unknown (sizes) and keeps going.  A Budget carries:
+///
+///   - counter meters (expression nodes interned, solver steps,
+///     normalization rounds, parse tokens, clause counts) that depend only
+///     on the work performed, never on wall-clock time or scheduling.
+///     The analysis layers meter each SCC independently (one WorkMeter
+///     per SCC per layer), so exhaustion is a function of that SCC's own
+///     deterministic work and --jobs=1 vs --jobs=8 stay byte-identical;
+///   - an optional cooperative wall-clock deadline and terminator
+///     callback (CaDiCaL-style), which are explicitly excluded from the
+///     determinism guarantee.
+///
+/// Every degradation is recorded as a structured Degradation{phase,
+/// meter, predicate} for Diagnostics, the stats registry ("budget.*"
+/// counters) and the JSON report.  A Budget covers one analysis run (one
+/// program): create a fresh one per run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_SUPPORT_BUDGET_H
+#define GRANLOG_SUPPORT_BUDGET_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace granlog {
+
+class Diagnostics;
+class StatsRegistry;
+
+/// The resource meters a Budget can bound.
+enum class MeterKind {
+  ExprNodes,      ///< expression factory calls + tree-size guard
+  SolverSteps,    ///< difference-equation solve attempts (by shape)
+  NormalizeSteps, ///< inlineCalls substitution rounds
+  ParseTokens,    ///< reader tokens consumed
+  Clauses,        ///< clauses loaded
+  Deadline,       ///< wall-clock deadline / terminator (non-deterministic)
+};
+
+/// Short stable identifier, e.g. "expr-nodes".
+const char *meterName(MeterKind K);
+
+/// Limits of one Budget.  0 = unlimited for every counter meter and for
+/// TimeoutMs.  Counter limits are per SCC per analysis layer (and whole-
+/// read for the reader meters); the deadline spans the whole run.
+struct BudgetLimits {
+  uint64_t ExprNodes = 0;
+  uint64_t SolverSteps = 0;
+  uint64_t NormalizeSteps = 0;
+  uint64_t ParseTokens = 0;
+  uint64_t Clauses = 0;
+  /// Cooperative wall-clock deadline in milliseconds from Budget
+  /// construction; opt-in, excluded from determinism guarantees.
+  unsigned TimeoutMs = 0;
+  /// Cooperative cancellation hook, polled at the same checkpoints as the
+  /// deadline; return true to degrade everything still pending.
+  std::function<bool()> Terminator;
+
+  bool anyCounterLimit() const {
+    return ExprNodes || SolverSteps || NormalizeSteps || ParseTokens ||
+           Clauses;
+  }
+  bool any() const { return anyCounterLimit() || TimeoutMs || Terminator; }
+
+  /// Generous-but-finite per-SCC limits that let every reasonable program
+  /// through untouched and bound pathological ones (used by the
+  /// analyze_file --budget flag and the adversarial tests).
+  static BudgetLimits defaults();
+
+  /// The counter limit for \p K (0 for Deadline).
+  uint64_t limit(MeterKind K) const;
+};
+
+/// One recorded degradation event: which phase gave up, on which meter,
+/// for which predicate ("" when the whole phase degraded, e.g. the
+/// reader).
+struct Degradation {
+  std::string Phase; ///< "reader" | "size" | "cost"
+  MeterKind Meter;
+  std::string Predicate;
+
+  /// "cost/expr-nodes: fib/2" style rendering.
+  std::string str() const;
+
+  friend bool operator==(const Degradation &, const Degradation &) = default;
+  friend bool operator<(const Degradation &A, const Degradation &B) {
+    return std::tie(A.Phase, A.Predicate, A.Meter) <
+           std::tie(B.Phase, B.Predicate, B.Meter);
+  }
+};
+
+/// The runtime state of one analysis run's budget: the limits, the
+/// deadline clock, and the (thread-safe) degradation log.  Thread-safe;
+/// shared by every layer of one run.
+class Budget {
+public:
+  explicit Budget(BudgetLimits Limits);
+
+  const BudgetLimits &limits() const { return Limits; }
+
+  /// True once the deadline has passed or the terminator returned true.
+  /// Sticky, and rate-limited: the clock/terminator is consulted every
+  /// 64th call, so checkpoints can poll this freely.
+  bool expired() const;
+
+  /// Appends one degradation record (thread-safe).
+  void record(Degradation D);
+
+  /// All recorded degradations, deduplicated and deterministically sorted
+  /// by (phase, predicate, meter).
+  std::vector<Degradation> degradations() const;
+
+  bool degraded() const;
+
+  /// Mirrors the degradation log into \p Diags as warnings.
+  void reportTo(Diagnostics &Diags) const;
+
+  /// Records "budget.degradations" and "budget.exhausted.<meter>"
+  /// counters (additive stats-JSON keys; no schema version bump).
+  /// Null-safe; no-op when nothing degraded.
+  void recordStats(StatsRegistry *Stats) const;
+
+private:
+  BudgetLimits Limits;
+  bool HasDeadline = false;
+  std::chrono::steady_clock::time_point Deadline;
+  mutable std::atomic<uint64_t> ExpiryPolls{0};
+  mutable std::atomic<bool> Expired{false};
+  mutable std::mutex Mutex;
+  std::vector<Degradation> Log;
+};
+
+/// "resource budget exhausted (<meter>[ limit N])" — the Why string every
+/// degraded result carries, so explain()/JSON surface the provenance.
+std::string budgetWhy(const Budget &B, MeterKind K);
+
+/// Per-scope deterministic work counters.  Each analysis layer creates
+/// one WorkMeter per SCC and installs it with a MeterScope; the
+/// expression interner and the diffeq machinery charge whatever meter is
+/// installed on their thread.  Inert (never exhausts, nothing to poll)
+/// when constructed with a null Budget or one without counter limits.
+class WorkMeter {
+public:
+  explicit WorkMeter(Budget *B) : B(B) {}
+
+  Budget *budget() const { return B; }
+
+  /// \name Charging (saturating).
+  /// @{
+  void chargeExpr(uint64_t N = 1) { charge(ExprNodes, N); }
+  void chargeSolver(uint64_t N = 1) { charge(SolverSteps, N); }
+  void chargeNormalize(uint64_t N = 1) { charge(NormalizeSteps, N); }
+  /// Tree-size guard: marks the ExprNodes meter exhausted when an
+  /// expression about to be stored or propagated has more tree nodes than
+  /// the ExprNodes limit.  Hash-consing keeps the DAG (and the interning
+  /// odometer) small while the *tree* grows exponentially; anything that
+  /// renders or enumerates the tree (exprText, reports) would then hang,
+  /// so oversized values degrade to Infinity instead.
+  void noteTreeSize(uint64_t TreeSize) {
+    if (B && B->limits().ExprNodes && TreeSize > B->limits().ExprNodes)
+      TreeGuard = true;
+  }
+  /// @}
+
+  bool exhausted(MeterKind K) const;
+
+  /// The first exhausted meter in the fixed order ExprNodes, SolverSteps,
+  /// NormalizeSteps, then Deadline when the budget's deadline/terminator
+  /// fired; nullopt while within budget.  The fixed order makes the
+  /// recorded Degradation::Meter deterministic.
+  std::optional<MeterKind> over() const;
+
+private:
+  void charge(uint64_t &Counter, uint64_t N) {
+    uint64_t T = Counter + N;
+    Counter = T < Counter ? UINT64_MAX : T;
+  }
+
+  Budget *B;
+  uint64_t ExprNodes = 0;
+  uint64_t SolverSteps = 0;
+  uint64_t NormalizeSteps = 0;
+  bool TreeGuard = false;
+};
+
+/// The meter installed on the current thread (null = metering off).
+WorkMeter *currentWorkMeter();
+
+/// RAII: installs \p M as the current thread's meter for the scope,
+/// restoring the previous one on exit.  Installing nullptr suspends
+/// metering — used around the memoized recurrence solver, whose internal
+/// work depends on cache hit/miss (schedule-dependent under a shared
+/// cache) and must not leak into the deterministic charges.
+class MeterScope {
+public:
+  explicit MeterScope(WorkMeter *M);
+  ~MeterScope();
+  MeterScope(const MeterScope &) = delete;
+  MeterScope &operator=(const MeterScope &) = delete;
+
+private:
+  WorkMeter *Prev;
+};
+
+/// Convenience: the current meter's over(), or nullopt with metering off.
+inline std::optional<MeterKind> currentMeterOver() {
+  WorkMeter *M = currentWorkMeter();
+  return M ? M->over() : std::nullopt;
+}
+
+} // namespace granlog
+
+#endif // GRANLOG_SUPPORT_BUDGET_H

@@ -28,6 +28,10 @@
 ///                                traversal traffic; process-global (see
 ///                                snapshotExprCounters), never recorded
 ///                                into per-run registries
+///   budget.degradations          results degraded by the resource budget
+///   budget.exhausted.<meter>     degradations per meter (expr-nodes,
+///                                solver-steps, ...); additive keys, only
+///                                present on budgeted runs that degraded
 ///
 //===----------------------------------------------------------------------===//
 
@@ -58,6 +62,9 @@ class JsonWriter;
 ///      (still 2) expression interning: tools that opt in via
 ///      snapshotExprCounters() additionally emit
 ///      expr.intern.{hit,miss,entries} and expr.memo.{hit,miss} —
+///      additive keys only, so no version bump
+///      (still 2) resource budgets: degraded budgeted runs additionally
+///      emit budget.degradations and budget.exhausted.<meter> —
 ///      additive keys only, so no version bump
 inline constexpr int StatsJsonVersion = 2;
 

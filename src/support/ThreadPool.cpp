@@ -86,6 +86,10 @@ void ThreadPool::workerLoop(size_t Index) {
     try {
       Task();
     } catch (...) {
+      // A throwing task must never take the process down (std::terminate
+      // would fire if this escaped the worker thread).  Count it, keep the
+      // first exception for wait(), and keep draining the queues.
+      FailedTasks.fetch_add(1, std::memory_order_relaxed);
       std::unique_lock<std::mutex> ErrLock(Mutex);
       if (!FirstError)
         FirstError = std::current_exception();
@@ -145,12 +149,24 @@ void granlog::topoSchedule(const std::vector<std::vector<unsigned>> &Deps,
 
   // Each node job runs Fn then releases its dependents; the last released
   // dependency submits the dependent.  fetch_sub(acq_rel) makes the
-  // completed node's writes visible to the dependent's thread.
+  // completed node's writes visible to the dependent's thread.  Dependents
+  // are released even when Fn throws — otherwise one failing node would
+  // strand its whole downstream subgraph unrun (with their jobs never
+  // submitted), and a batch driver could never report per-item failures.
   std::function<void(unsigned)> RunNode = [&](unsigned I) {
-    Fn(I);
-    for (unsigned Next : Dependents[I])
-      if (Remaining[Next].fetch_sub(1, std::memory_order_acq_rel) == 1)
-        Pool->submit([&RunNode, Next] { RunNode(Next); });
+    struct ReleaseDependents {
+      const std::function<void(unsigned)> &RunNode;
+      const std::vector<std::vector<unsigned>> &Dependents;
+      std::atomic<unsigned> *Remaining;
+      ThreadPool *Pool;
+      unsigned I;
+      ~ReleaseDependents() {
+        for (unsigned Next : Dependents[I])
+          if (Remaining[Next].fetch_sub(1, std::memory_order_acq_rel) == 1)
+            Pool->submit([&RN = RunNode, Next] { RN(Next); });
+      }
+    } Release{RunNode, Dependents, Remaining.get(), Pool, I};
+    Fn(I); // may throw; the pool records it and wait() rethrows
   };
   // Submit only the nodes whose dependency count was zero at build time:
   // re-reading Remaining here would race with already-running jobs that

@@ -22,8 +22,10 @@
 #ifndef GRANLOG_SUPPORT_THREADPOOL_H
 #define GRANLOG_SUPPORT_THREADPOOL_H
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -54,6 +56,12 @@ public:
 
   unsigned numThreads() const { return static_cast<unsigned>(Workers.size()); }
 
+  /// Number of tasks so far whose exception was caught by the pool (the
+  /// first one is rethrown from wait(); the rest are only counted).
+  uint64_t failedTasks() const {
+    return FailedTasks.load(std::memory_order_relaxed);
+  }
+
 private:
   void workerLoop(size_t Index);
   /// Pops one task: own queue back first, then steals from others' fronts.
@@ -70,6 +78,7 @@ private:
   size_t NextQueue = 0;      // round-robin for external submits
   bool Stopping = false;     // guarded by Mutex
   std::exception_ptr FirstError; // guarded by Mutex
+  std::atomic<uint64_t> FailedTasks{0};
 };
 
 /// Runs one job per node of a dependency DAG, callee-first.  Deps[I] lists
@@ -77,8 +86,10 @@ private:
 /// must be < I (nodes are given in a topological order, as CallGraph SCC
 /// ids are).  With a null \p Pool the nodes run sequentially in index
 /// order — exactly the classic SCC loop — so the sequential and parallel
-/// drivers share one code path.  Exceptions propagate to the caller; on
-/// error some nodes may not have run.
+/// drivers share one code path.  With a pool, a node whose Fn throws still
+/// releases its dependents (every node runs; the first exception is
+/// rethrown from the final wait()); in the sequential path the exception
+/// propagates immediately and later nodes do not run.
 void topoSchedule(const std::vector<std::vector<unsigned>> &Deps,
                   const std::function<void(unsigned)> &Fn, ThreadPool *Pool);
 

@@ -1,0 +1,388 @@
+//===- tests/budget_test.cpp - Resource governance lockdown ---------------===//
+//
+// Drives every budget meter to exhaustion and checks the degradation
+// contract: results fall to sound Infinity/unknown values (never a crash,
+// hang or partial program), every degradation is recorded with its phase
+// and meter, budget-disabled runs are byte-identical to generous-budget
+// runs, and the batch driver isolates per-benchmark faults.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/GranularityAnalyzer.h"
+#include "corpus/Corpus.h"
+#include "corpus/Harness.h"
+#include "support/Budget.h"
+#include "support/Json.h"
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+using namespace granlog;
+
+namespace {
+
+/// An exponential-size-expression program.  d0's two clauses give it the
+/// interclause output size max(2n+1, n+5), which mentions its parameter
+/// twice and cannot be folded; each d<k> then composes d<k-1> with
+/// itself, so instantiating the closed form doubles the *tree* of the
+/// solved size (and cost) expression per level while hash-consing keeps
+/// the DAG linear.  Rendering such a tree (exprText, reports) is
+/// exponential work; the tree-size guard must degrade the oversized
+/// levels to Infinity long before that.
+std::string doublingChain(unsigned Levels) {
+  std::string Out = ":- mode(append(i, i, o)).\n"
+                    ":- measure(append(length, length, length)).\n"
+                    "append([], L, L).\n"
+                    "append([H|T], L, [H|R]) :- append(T, L, R).\n"
+                    ":- mode(d0(i, o)).\n"
+                    ":- measure(d0(length, length)).\n"
+                    "d0(X, [a|Y]) :- append(X, X, Y).\n"
+                    "d0(X, [a,a,a,a,a|X]).\n";
+  for (unsigned K = 1; K <= Levels; ++K) {
+    std::string P = "d" + std::to_string(K);
+    std::string Q = "d" + std::to_string(K - 1);
+    Out += ":- mode(" + P + "(i, o)).\n";
+    Out += ":- measure(" + P + "(length, length)).\n";
+    Out += P + "(X, Y) :- " + Q + "(X, A), " + Q + "(A, Y).\n";
+  }
+  return Out;
+}
+
+/// Unsolvable mutual recursion (neither predicate reduces to a single
+/// difference equation the schema table knows) plus deep self-recursion
+/// with a divide-and-conquer shape: the classic "completes with Infinity"
+/// adversarial mix of the acceptance criteria.
+const char AdversarialSource[] = R"(
+:- mode(ping(i, o)).
+:- mode(pong(i, o)).
+ping(0, 0).
+ping(N, R) :- N > 0, M is N - 1, pong(M, S), pong(S, R).
+pong(0, 0).
+pong(N, R) :- N > 0, M is N - 2, ping(M, S), ping(S, R).
+
+:- mode(deep(i, o)).
+deep(0, 0).
+deep(N, R) :-
+    N > 0,
+    A is N - 1, B is N / 2,
+    ( deep(A, RA) & deep(B, RB) ),
+    R is RA + RB.
+)";
+
+struct RunResult {
+  bool Loaded = false;
+  std::string Report;
+  std::string ExplainAll;
+  std::string Json;
+  std::string LoadErrors;
+  std::vector<Degradation> Degradations;
+};
+
+RunResult analyzeWith(const std::string &Source, const BudgetLimits &Limits,
+                      unsigned Jobs = 1, StatsRegistry *Stats = nullptr) {
+  RunResult R;
+  TermArena Arena;
+  Diagnostics Diags;
+  std::optional<Budget> B;
+  if (Limits.any())
+    B.emplace(Limits);
+  std::optional<Program> P =
+      loadProgram(Source, Arena, Diags, B ? &*B : nullptr);
+  if (!P) {
+    R.LoadErrors = Diags.str();
+    if (B)
+      R.Degradations = B->degradations();
+    return R;
+  }
+  R.Loaded = true;
+  AnalyzerOptions Options{CostMetric::resolutions(), 48.0};
+  Options.Jobs = Jobs;
+  Options.Stats = Stats;
+  if (B)
+    Options.Budget = &*B;
+  GranularityAnalyzer GA(*P, Options);
+  GA.run();
+  R.Report = GA.report();
+  R.ExplainAll = GA.explainAll();
+  JsonWriter W;
+  GA.writeJson(W);
+  R.Json = W.take();
+  if (B)
+    R.Degradations = B->degradations();
+  return R;
+}
+
+bool hasMeter(const std::vector<Degradation> &Ds, MeterKind K) {
+  for (const Degradation &D : Ds)
+    if (D.Meter == K)
+      return true;
+  return false;
+}
+
+TEST(ReaderBudget, ParseTokenExhaustionAbortsLoad) {
+  BudgetLimits L;
+  L.ParseTokens = 8; // the fib source has hundreds of tokens
+  RunResult R = analyzeWith(findBenchmark("fib")->Source, L);
+  EXPECT_FALSE(R.Loaded);
+  EXPECT_NE(R.LoadErrors.find("parse-tokens"), std::string::npos)
+      << R.LoadErrors;
+  ASSERT_EQ(R.Degradations.size(), 1u);
+  EXPECT_EQ(R.Degradations[0].Phase, "reader");
+  EXPECT_EQ(R.Degradations[0].Meter, MeterKind::ParseTokens);
+}
+
+TEST(ReaderBudget, ClauseLimitAbortsLoad) {
+  BudgetLimits L;
+  L.Clauses = 2; // fib alone has 3 clauses
+  RunResult R = analyzeWith(findBenchmark("fib")->Source, L);
+  EXPECT_FALSE(R.Loaded);
+  EXPECT_NE(R.LoadErrors.find("clauses"), std::string::npos) << R.LoadErrors;
+  EXPECT_TRUE(hasMeter(R.Degradations, MeterKind::Clauses));
+}
+
+TEST(ReaderBudget, GenerousLimitsLoadEverything) {
+  for (const BenchmarkDef &B : benchmarkCorpus()) {
+    RunResult R = analyzeWith(B.Source, BudgetLimits::defaults());
+    EXPECT_TRUE(R.Loaded) << B.Name << ": " << R.LoadErrors;
+  }
+}
+
+TEST(Budget, GenerousBudgetByteIdenticalToNoBudget) {
+  // The budget machinery must be invisible while within budget: same
+  // report, same provenance, same JSON (no "degradations" key), for every
+  // corpus benchmark.
+  for (const BenchmarkDef &B : benchmarkCorpus()) {
+    RunResult Plain = analyzeWith(B.Source, BudgetLimits{});
+    RunResult Budgeted = analyzeWith(B.Source, BudgetLimits::defaults());
+    EXPECT_EQ(Budgeted.Report, Plain.Report) << B.Name;
+    EXPECT_EQ(Budgeted.ExplainAll, Plain.ExplainAll) << B.Name;
+    EXPECT_EQ(Budgeted.Json, Plain.Json) << B.Name;
+    EXPECT_TRUE(Budgeted.Degradations.empty()) << B.Name;
+  }
+}
+
+TEST(Budget, ExprNodeExhaustionDegradesSoundly) {
+  BudgetLimits L;
+  L.ExprNodes = 512;
+  RunResult R = analyzeWith(doublingChain(14), L);
+  ASSERT_TRUE(R.Loaded) << R.LoadErrors;
+  EXPECT_TRUE(hasMeter(R.Degradations, MeterKind::ExprNodes))
+      << R.Report;
+  EXPECT_NE(R.Report.find("degradations (resource budget):"),
+            std::string::npos)
+      << R.Report;
+  EXPECT_NE(R.ExplainAll.find("resource budget exhausted (expr-nodes"),
+            std::string::npos)
+      << R.ExplainAll;
+  EXPECT_NE(R.Json.find("\"degradations\""), std::string::npos);
+  EXPECT_TRUE(jsonValidate(R.Json)) << R.Json;
+}
+
+TEST(Budget, SolverStepExhaustionDegradesSoundly) {
+  BudgetLimits L;
+  L.SolverSteps = 1; // the first solve exhausts the meter
+  RunResult R = analyzeWith(findBenchmark("fib")->Source, L);
+  ASSERT_TRUE(R.Loaded) << R.LoadErrors;
+  EXPECT_TRUE(hasMeter(R.Degradations, MeterKind::SolverSteps)) << R.Report;
+  EXPECT_NE(R.ExplainAll.find("resource budget exhausted (solver-steps"),
+            std::string::npos)
+      << R.ExplainAll;
+}
+
+TEST(Budget, NormalizeStepExhaustionDegradesSoundly) {
+  BudgetLimits L;
+  L.NormalizeSteps = 1; // the first inlineCalls round exhausts the meter
+  RunResult R = analyzeWith(AdversarialSource, L);
+  ASSERT_TRUE(R.Loaded) << R.LoadErrors;
+  EXPECT_TRUE(hasMeter(R.Degradations, MeterKind::NormalizeSteps))
+      << R.Report;
+}
+
+TEST(Budget, TerminatorDegradesEverythingFast) {
+  BudgetLimits L;
+  L.Terminator = [] { return true; };
+  TermArena Arena;
+  Diagnostics Diags;
+  // The terminator is polled during the read too, so load under a
+  // separate, un-fired budget and only attach the firing one to the run.
+  std::optional<Program> P =
+      loadProgram(findBenchmark("quick_sort")->Source, Arena, Diags);
+  ASSERT_TRUE(P) << Diags.str();
+  Budget B(L);
+  AnalyzerOptions Options{CostMetric::resolutions(), 48.0};
+  Options.Budget = &B;
+  GranularityAnalyzer GA(*P, Options);
+  GA.run();
+  EXPECT_TRUE(B.degraded());
+  EXPECT_TRUE(hasMeter(B.degradations(), MeterKind::Deadline));
+  // Every predicate degraded to the sound "always parallel" answer.
+  for (const auto &Pred : P->predicates()) {
+    const PredicateGranularity &G = GA.info(Pred->functor());
+    EXPECT_TRUE(G.CostFn->isInfinity())
+        << P->symbols().text(Pred->functor());
+  }
+}
+
+TEST(Budget, TerminatorAbortsLoadToo) {
+  BudgetLimits L;
+  L.Terminator = [] { return true; };
+  RunResult R = analyzeWith(findBenchmark("fib")->Source, L);
+  EXPECT_FALSE(R.Loaded);
+  EXPECT_NE(R.LoadErrors.find("deadline"), std::string::npos)
+      << R.LoadErrors;
+}
+
+TEST(Budget, AdversarialProgramBoundedUnderDefaults) {
+  // Deep recursion, exponential-size expressions and unsolvable mutual
+  // recursion all complete under the default budget, with Infinity bounds
+  // and structured provenance instead of a hang.
+  std::string Source = std::string(AdversarialSource) + doublingChain(24);
+  RunResult R = analyzeWith(Source, BudgetLimits::defaults());
+  ASSERT_TRUE(R.Loaded) << R.LoadErrors;
+  EXPECT_TRUE(jsonValidate(R.Json)) << R.Json;
+  // The doubling chain must have tripped the tree guard...
+  EXPECT_TRUE(hasMeter(R.Degradations, MeterKind::ExprNodes)) << R.Report;
+  // ...and the mutual recursion reports Infinity with a reason (either
+  // the classic unsolvable-equation provenance or a budget meter).
+  EXPECT_NE(R.ExplainAll.find("infinity because:"), std::string::npos);
+}
+
+TEST(Budget, DegradedRunsAreDeterministicAcrossJobs) {
+  BudgetLimits L;
+  L.ExprNodes = 512;
+  std::string Source = std::string(AdversarialSource) + doublingChain(14);
+  RunResult Want = analyzeWith(Source, L, /*Jobs=*/1);
+  for (int Repeat = 0; Repeat != 5; ++Repeat) {
+    RunResult Got = analyzeWith(Source, L, /*Jobs=*/8);
+    EXPECT_EQ(Got.Report, Want.Report) << "repeat " << Repeat;
+    EXPECT_EQ(Got.ExplainAll, Want.ExplainAll) << "repeat " << Repeat;
+    ASSERT_EQ(Got.Degradations.size(), Want.Degradations.size());
+    for (size_t I = 0; I != Want.Degradations.size(); ++I)
+      EXPECT_EQ(Got.Degradations[I], Want.Degradations[I]);
+  }
+}
+
+TEST(Budget, StatsRecordDegradations) {
+  BudgetLimits L;
+  L.ExprNodes = 512;
+  StatsRegistry Stats;
+  RunResult R = analyzeWith(doublingChain(14), L, 1, &Stats);
+  ASSERT_TRUE(R.Loaded);
+  ASSERT_FALSE(R.Degradations.empty());
+  auto Counters = Stats.counters();
+  EXPECT_EQ(Counters["budget.degradations"], R.Degradations.size());
+  EXPECT_GT(Counters["budget.exhausted.expr-nodes"], 0u);
+}
+
+TEST(Budget, DiagnosticsMirrorDegradations) {
+  BudgetLimits L;
+  L.SolverSteps = 1;
+  TermArena Arena;
+  Diagnostics Diags;
+  std::optional<Program> P =
+      loadProgram(findBenchmark("fib")->Source, Arena, Diags);
+  ASSERT_TRUE(P);
+  Budget B(L);
+  AnalyzerOptions Options{CostMetric::resolutions(), 48.0};
+  Options.Budget = &B;
+  GranularityAnalyzer GA(*P, Options);
+  GA.run();
+  Diagnostics Out;
+  B.reportTo(Out);
+  EXPECT_FALSE(Out.all().empty());
+  EXPECT_NE(Out.str().find("resource budget exhausted"), std::string::npos)
+      << Out.str();
+}
+
+TEST(WorkMeterUnit, FixedExhaustionOrderAndScopes) {
+  Budget B([] {
+    BudgetLimits L;
+    L.ExprNodes = 2;
+    L.SolverSteps = 1;
+    return L;
+  }());
+  WorkMeter M(&B);
+  EXPECT_FALSE(M.over().has_value());
+  M.chargeSolver(5);
+  ASSERT_TRUE(M.over().has_value());
+  EXPECT_EQ(*M.over(), MeterKind::SolverSteps);
+  M.chargeExpr(5); // ExprNodes precedes SolverSteps in the fixed order
+  EXPECT_EQ(*M.over(), MeterKind::ExprNodes);
+
+  // MeterScope installs/suspends/restores the thread-local meter.
+  EXPECT_EQ(currentWorkMeter(), nullptr);
+  {
+    MeterScope Scope(&M);
+    EXPECT_EQ(currentWorkMeter(), &M);
+    {
+      MeterScope Suspend(nullptr);
+      EXPECT_EQ(currentWorkMeter(), nullptr);
+    }
+    EXPECT_EQ(currentWorkMeter(), &M);
+  }
+  EXPECT_EQ(currentWorkMeter(), nullptr);
+
+  // A meter with no budget is inert and never installed.
+  WorkMeter Inert(nullptr);
+  MeterScope Scope(&Inert);
+  EXPECT_EQ(currentWorkMeter(), nullptr);
+}
+
+TEST(WorkMeterUnit, TreeGuardTripsExprMeter) {
+  Budget B([] {
+    BudgetLimits L;
+    L.ExprNodes = 100;
+    return L;
+  }());
+  WorkMeter M(&B);
+  M.noteTreeSize(99);
+  EXPECT_FALSE(M.over().has_value());
+  M.noteTreeSize(101);
+  ASSERT_TRUE(M.over().has_value());
+  EXPECT_EQ(*M.over(), MeterKind::ExprNodes);
+}
+
+TEST(BatchFaultIsolation, MalformedFileDoesNotSinkTheBatch) {
+  std::vector<BenchmarkDef> Corpus;
+  Corpus.push_back(*findBenchmark("fib"));
+  BenchmarkDef Bad = *findBenchmark("fib");
+  Bad.Name = "malformed";
+  Bad.Source = "this is not prolog ::- ( [ .";
+  Corpus.push_back(Bad);
+  Corpus.push_back(*findBenchmark("quick_sort"));
+
+  BatchConfig Config;
+  Config.Corpus = &Corpus;
+  BatchResult Batch = analyzeCorpusBatch(Config);
+  ASSERT_EQ(Batch.Results.size(), 3u);
+  EXPECT_TRUE(Batch.Results[0].Ok) << Batch.Results[0].Error;
+  EXPECT_FALSE(Batch.Results[1].Ok);
+  EXPECT_NE(Batch.Results[1].Error.find("load failed"), std::string::npos)
+      << Batch.Results[1].Error;
+  EXPECT_TRUE(Batch.Results[2].Ok) << Batch.Results[2].Error;
+}
+
+TEST(BatchFaultIsolation, BudgetedBatchRecordsPerFileDegradations) {
+  std::vector<BenchmarkDef> Corpus;
+  Corpus.push_back(*findBenchmark("fib"));
+  std::string ChainSource = doublingChain(14);
+  BenchmarkDef Adversarial = *findBenchmark("fib");
+  Adversarial.Name = "doubling_chain";
+  Adversarial.Source = ChainSource.c_str();
+  Corpus.push_back(Adversarial);
+
+  BatchConfig Config;
+  Config.Corpus = &Corpus;
+  Config.Budget.ExprNodes = 512;
+  BatchResult Batch = analyzeCorpusBatch(Config);
+  ASSERT_EQ(Batch.Results.size(), 2u);
+  EXPECT_TRUE(Batch.Results[0].Ok);
+  EXPECT_TRUE(Batch.Results[1].Ok);
+  // Budgets are per benchmark: the chain degrades, fib is untouched.
+  EXPECT_GT(Batch.Results[1].Degradations, 0u);
+  EXPECT_NE(Batch.Results[1].Report.find("degradations (resource budget)"),
+            std::string::npos)
+      << Batch.Results[1].Report;
+}
+
+} // namespace

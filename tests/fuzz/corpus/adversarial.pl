@@ -1,0 +1,22 @@
+% Unsolvable mutual recursion + an exponential size-expression chain:
+% everything here must degrade to Infinity under a budget, not hang.
+:- mode(ping(i, o)).
+:- mode(pong(i, o)).
+ping(0, 0).
+ping(N, R) :- N > 0, M is N - 1, pong(M, S), pong(S, R).
+pong(0, 0).
+pong(N, R) :- N > 0, M is N - 2, ping(M, S), ping(S, R).
+:- mode(d0(i, o)).
+:- measure(d0(length, length)).
+d0(X, [a|Y]) :- append(X, X, Y).
+d0(X, [a,a,a,a,a|X]).
+:- mode(d1(i, o)).
+:- measure(d1(length, length)).
+d1(X, Y) :- d0(X, A), d0(A, Y).
+:- mode(d2(i, o)).
+:- measure(d2(length, length)).
+d2(X, Y) :- d1(X, A), d1(A, Y).
+:- mode(append(i, i, o)).
+:- measure(append(length, length, length)).
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).

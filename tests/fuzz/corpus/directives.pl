@@ -1,0 +1,6 @@
+% Directive edge cases: unknown directives, arity mismatches, operators.
+:- mode(f(i, o)).
+:- measure(f(size, size)).
+:- unknown_directive(foo, bar(1), [a|b]).
+f(X, Y) :- Y is X + 1 - 2 * 3 // 4 mod 5.
+f([], []).

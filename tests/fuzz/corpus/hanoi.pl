@@ -1,0 +1,11 @@
+:- mode(hanoi(i, i, i, i, o)).
+:- measure(hanoi(value, void, void, void, length)).
+hanoi(0, _, _, _, []).
+hanoi(N, A, B, C, M) :-
+    N > 0,
+    N1 is N - 1,
+    ( hanoi(N1, A, C, B, M1) & hanoi(N1, B, A, C, M2) ),
+    append(M1, [mv(A, C)|M2], M).
+:- mode(append(i, i, o)).
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).

@@ -1,0 +1,18 @@
+:- mode(msort(i, o)).
+msort([], []).
+msort([X], [X]).
+msort([A,B|T], S) :-
+    split([A,B|T], L, R),
+    ( msort(L, SL) & msort(R, SR) ),
+    merge(SL, SR, S).
+:- mode(merge(i, i, o)).
+:- measure(merge(length, length, length)).
+:- trust_cost(merge/3, n1 + n2 + 1).
+:- trust_size(merge/3, 3, n1 + n2).
+merge([], L, L).
+merge([H|T], [], [H|T]).
+merge([H1|T1], [H2|T2], [H1|R]) :- H1 =< H2, merge(T1, [H2|T2], R).
+merge([H1|T1], [H2|T2], [H2|R]) :- H1 > H2, merge([H1|T1], T2, R).
+:- mode(split(i, o, o)).
+split([], [], []).
+split([X|T], [X|A], B) :- split(T, B, A).

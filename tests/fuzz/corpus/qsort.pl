@@ -1,0 +1,13 @@
+:- mode(qsort(i, o)).
+qsort([], []).
+qsort([H|T], S) :-
+    part(T, H, L, G),
+    ( qsort(L, SL) & qsort(G, SG) ),
+    append(SL, [H|SG], S).
+:- mode(part(i, i, o, o)).
+part([], _, [], []).
+part([E|L], M, [E|U1], U2) :- E =< M, part(L, M, U1, U2).
+part([E|L], M, U1, [E|U2]) :- E > M, part(L, M, U1, U2).
+:- mode(append(i, i, o)).
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).

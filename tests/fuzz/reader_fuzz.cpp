@@ -1,0 +1,100 @@
+//===- tests/fuzz/reader_fuzz.cpp - Reader + pipeline fuzz harness --------===//
+//
+// libFuzzer entry point for the whole front half of the analyzer: lexer,
+// parser, directive processing, program loading, and — when the input
+// happens to parse — a tightly budgeted analysis run.  The contract under
+// test is the robustness tentpole's: NO input may crash, hang, or exhaust
+// memory.  Malformed programs must surface as diagnostics; pathological
+// well-formed programs must degrade to Infinity under the budget.
+//
+// Built two ways:
+//   - with -DGRANLOG_FUZZ=ON (Clang only): a real libFuzzer target,
+//     linked with -fsanitize=fuzzer,address; run it over
+//     tests/fuzz/corpus/ (the CI fuzz-smoke job does 60 s of this);
+//   - always: a standalone driver (granlog_add_test fuzz_seeds_smoke)
+//     that replays every seed file given on the command line, so the
+//     harness itself is compiled and exercised by every plain CI build.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/GranularityAnalyzer.h"
+#include "program/Program.h"
+#include "support/Budget.h"
+#include "support/Diagnostics.h"
+#include "support/Json.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+using namespace granlog;
+
+namespace {
+
+/// Tight-but-real limits: large enough that the seed corpus analyzes
+/// normally, small enough that fuzz-generated pathologies (token bombs,
+/// clause bombs, exponential size expressions) are cut off in
+/// microseconds rather than explored for the whole time budget.
+BudgetLimits fuzzLimits() {
+  BudgetLimits L;
+  L.ParseTokens = 64 * 1024;
+  L.Clauses = 4 * 1024;
+  L.ExprNodes = 4 * 1024;
+  L.SolverSteps = 1024;
+  L.NormalizeSteps = 1024;
+  return L;
+}
+
+void fuzzOne(const uint8_t *Data, size_t Size) {
+  std::string_view Source(reinterpret_cast<const char *>(Data), Size);
+  TermArena Arena;
+  Diagnostics Diags;
+  Budget B(fuzzLimits());
+  std::optional<Program> P = loadProgram(Source, Arena, Diags, &B);
+  if (!P)
+    return; // rejected with diagnostics: the success path for bad input
+  AnalyzerOptions Options{CostMetric::resolutions(), 48.0};
+  Options.Budget = &B;
+  GranularityAnalyzer GA(*P, Options);
+  GA.run();
+  // Render everything: the reporting paths walk whatever expression
+  // trees survived the budget, so oversized-tree bugs surface here.
+  (void)GA.report();
+  (void)GA.explainAll();
+  JsonWriter W;
+  GA.writeJson(W);
+  (void)W.take();
+}
+
+} // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
+  fuzzOne(Data, Size);
+  return 0;
+}
+
+#ifdef GRANLOG_FUZZ_STANDALONE
+// Seed replayer for toolchains without libFuzzer: run every file named on
+// the command line through the harness once.
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+int main(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I) {
+    std::FILE *F = std::fopen(argv[I], "rb");
+    if (!F) {
+      std::fprintf(stderr, "error: cannot open seed %s\n", argv[I]);
+      return 1;
+    }
+    std::vector<uint8_t> Bytes;
+    uint8_t Buf[4096];
+    for (size_t N; (N = std::fread(Buf, 1, sizeof Buf, F)) != 0;)
+      Bytes.insert(Bytes.end(), Buf, Buf + N);
+    std::fclose(F);
+    LLVMFuzzerTestOneInput(Bytes.data(), Bytes.size());
+    std::printf("ok: %s (%zu bytes)\n", argv[I], Bytes.size());
+  }
+  return 0;
+}
+#endif

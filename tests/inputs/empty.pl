@@ -1,0 +1,2 @@
+% A syntactically valid file that defines no predicates (comments only).
+% analyze_file must reject it with a clear diagnostic and nonzero exit.

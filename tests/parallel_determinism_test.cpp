@@ -56,7 +56,8 @@ std::string strippedJson(const GranularityAnalyzer &GA) {
   return stripTimers(W.take());
 }
 
-AnalysisSnapshot analyze(const BenchmarkDef &B, unsigned Jobs) {
+AnalysisSnapshot analyze(const BenchmarkDef &B, unsigned Jobs,
+                         const BudgetLimits &Limits = BudgetLimits{}) {
   TermArena Arena;
   Diagnostics Diags;
   std::optional<Program> P = loadProgram(B.Source, Arena, Diags);
@@ -65,9 +66,14 @@ AnalysisSnapshot analyze(const BenchmarkDef &B, unsigned Jobs) {
   if (!P)
     return Snap;
   StatsRegistry Stats;
+  std::optional<Budget> RunBudget;
+  if (Limits.any())
+    RunBudget.emplace(Limits);
   AnalyzerOptions Options{CostMetric::resolutions(), 48.0};
   Options.Jobs = Jobs;
   Options.Stats = &Stats;
+  if (RunBudget)
+    Options.Budget = &*RunBudget;
   GranularityAnalyzer GA(*P, Options);
   GA.run();
   Snap.Report = GA.report();
@@ -86,6 +92,28 @@ TEST_P(ParallelDeterminism, Jobs8MatchesJobs1Repeatedly) {
   AnalysisSnapshot Want = analyze(B, /*Jobs=*/1);
   for (int Repeat = 0; Repeat != 10; ++Repeat) {
     AnalysisSnapshot Got = analyze(B, /*Jobs=*/8);
+    EXPECT_EQ(Got.Report, Want.Report) << B.Name << " repeat " << Repeat;
+    EXPECT_EQ(Got.ExplainAll, Want.ExplainAll)
+        << B.Name << " repeat " << Repeat;
+    EXPECT_EQ(Got.Counters, Want.Counters)
+        << B.Name << " repeat " << Repeat;
+    EXPECT_EQ(Got.Json, Want.Json) << B.Name << " repeat " << Repeat;
+  }
+}
+
+TEST_P(ParallelDeterminism, TightCounterBudgetsStayDeterministic) {
+  // Counter budgets are metered per SCC (never against wall clock or the
+  // shared solver cache), so even budgets tight enough to degrade results
+  // must keep --jobs invariance byte-exact — including the recorded
+  // degradations, which land in the report/JSON.
+  const BenchmarkDef &B = *GetParam();
+  BudgetLimits Tight;
+  Tight.ExprNodes = 400;
+  Tight.SolverSteps = 6;
+  Tight.NormalizeSteps = 4;
+  AnalysisSnapshot Want = analyze(B, /*Jobs=*/1, Tight);
+  for (int Repeat = 0; Repeat != 5; ++Repeat) {
+    AnalysisSnapshot Got = analyze(B, /*Jobs=*/8, Tight);
     EXPECT_EQ(Got.Report, Want.Report) << B.Name << " repeat " << Repeat;
     EXPECT_EQ(Got.ExplainAll, Want.ExplainAll)
         << B.Name << " repeat " << Repeat;

@@ -268,4 +268,33 @@ TEST_F(ReaderTest, RoundTripKeepsOperators) {
   EXPECT_EQ(roundTrip("[1,2,3]"), "[1,2,3]");
 }
 
+TEST_F(ReaderTest, PathologicallyDeepNestingIsRejectedNotACrash) {
+  // Found by fuzzing: 50k-deep nesting overflowed the recursive-descent
+  // parser's stack.  Anything deeper than the depth guard must come back
+  // as a diagnostic, and the parser must still read the next clause.
+  for (const char *Brackets : {"[]", "()"}) {
+    std::string Deep = "a(";
+    Deep.append(50000, Brackets[0]);
+    if (Brackets[0] == '[')
+      Deep.append(50000, ']');
+    else
+      Deep += "0" + std::string(50000, ')');
+    Deep += "). next(1).";
+    TermArena Arena;
+    Diagnostics Diags;
+    Parser P(Deep, Arena, Diags);
+    EXPECT_EQ(P.readClause(), nullptr);
+    EXPECT_TRUE(Diags.hasErrors());
+    const Term *Next = P.readClause();
+    ASSERT_NE(Next, nullptr);
+    EXPECT_EQ(canonicalize(Next, Arena.symbols()), "next(1)");
+  }
+}
+
+TEST_F(ReaderTest, DepthGuardLeavesRealisticNestingAlone) {
+  // 200 levels is far beyond real programs and far below the guard.
+  std::string T = std::string(200, '[') + std::string(200, ']');
+  EXPECT_EQ(canonical("f(" + T + ")").empty(), false);
+}
+
 } // namespace

@@ -181,4 +181,36 @@ TEST(TopoScheduleTest, ExceptionInNodePropagates) {
                std::runtime_error);
 }
 
+TEST(TopoScheduleTest, ThrowingNodeDoesNotStrandItsDependents) {
+  // A node that throws must still release its dependents: the whole DAG
+  // drains (every other node runs), the first exception is rethrown from
+  // the final wait(), and the pool survives (no std::terminate).  This is
+  // what lets a batch driver report one failed item instead of deadlocking
+  // or silently skipping the failed node's entire downstream subgraph.
+  constexpr unsigned N = 40;
+  std::vector<std::vector<unsigned>> Deps(N);
+  for (unsigned I = 1; I != N; ++I)
+    Deps[I].push_back((I - 1) / 2); // binary tree: node 3 has a subtree
+  for (int Round = 0; Round != 5; ++Round) {
+    ThreadPool Pool(4);
+    std::atomic<unsigned> Ran{0};
+    EXPECT_THROW(topoSchedule(
+                     Deps,
+                     [&Ran](unsigned I) {
+                       if (I == 3)
+                         throw std::runtime_error("scheduled job failed");
+                       Ran.fetch_add(1);
+                     },
+                     &Pool),
+                 std::runtime_error);
+    EXPECT_EQ(Ran.load(), N - 1)
+        << "every node except the throwing one must still run";
+    EXPECT_EQ(Pool.failedTasks(), 1u);
+    // The pool is still usable after the failed DAG.
+    Pool.submit([&Ran] { Ran.fetch_add(1); });
+    EXPECT_NO_THROW(Pool.wait());
+    EXPECT_EQ(Ran.load(), N);
+  }
+}
+
 } // namespace
