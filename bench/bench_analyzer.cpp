@@ -8,6 +8,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "core/AnalysisSession.h"
 #include "core/GranularityAnalyzer.h"
 #include "core/Transform.h"
 #include "corpus/Corpus.h"
@@ -18,6 +19,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -131,6 +133,87 @@ void BM_SubstituteDeep(benchmark::State &State) {
 }
 BENCHMARK(BM_SubstituteDeep)->Arg(12)->Arg(16)->Arg(18);
 
+/// The incremental-reanalysis scenario: the largest corpus program, and
+/// the same program with one clause appended to its topmost predicate
+/// (max SCC id), so the edit dirties as few SCCs as possible — the case
+/// an editor-integrated analyzer sees on every keystroke.
+struct IncrementalScenario {
+  std::string Name;   ///< corpus benchmark name
+  std::string Base;   ///< unedited source
+  std::string Edited; ///< one appended clause
+  bool Ok = false;
+};
+
+const IncrementalScenario &incrementalScenario() {
+  static const IncrementalScenario S = [] {
+    IncrementalScenario Out;
+    const BenchmarkDef *Largest = nullptr;
+    for (const BenchmarkDef &B : benchmarkCorpus())
+      if (!Largest ||
+          std::strlen(B.Source) > std::strlen(Largest->Source))
+        Largest = &B;
+    if (!Largest)
+      return Out;
+    TermArena Arena;
+    Diagnostics Diags;
+    std::optional<Program> P = loadProgram(Largest->Source, Arena, Diags);
+    if (!P || P->predicates().empty())
+      return Out;
+    CallGraph CG(*P);
+    Functor Top = P->predicates().front()->functor();
+    for (const auto &Pred : P->predicates())
+      if (CG.sccId(Pred->functor()) > CG.sccId(Top))
+        Top = Pred->functor();
+    std::string Fact = P->symbols().text(Top.Name);
+    if (Top.Arity > 0) {
+      Fact += "(0";
+      for (unsigned I = 1; I != Top.Arity; ++I)
+        Fact += ",0";
+      Fact += ")";
+    }
+    Out.Name = Largest->Name;
+    Out.Base = Largest->Source;
+    Out.Edited = Out.Base + "\n" + Fact + ".\n";
+    Out.Ok = true;
+    return Out;
+  }();
+  return S;
+}
+
+/// Arg 0: cold — a fresh full analysis of the edited revision.
+/// Arg 1: warm — an AnalysisSession that has seen the base revision
+/// re-analyzes only the SCCs the appended clause dirtied.
+void BM_IncrementalReanalyze(benchmark::State &State) {
+  const IncrementalScenario &S = incrementalScenario();
+  TermArena BaseArena, EditedArena;
+  Diagnostics D1, D2;
+  std::optional<Program> Base = loadProgram(S.Base, BaseArena, D1);
+  std::optional<Program> Edited = loadProgram(S.Edited, EditedArena, D2);
+  if (!S.Ok || !Base || !Edited) {
+    State.SkipWithError("incremental scenario setup failed");
+    return;
+  }
+  const bool Warm = State.range(0) == 1;
+  SessionOptions SO;
+  SO.Overhead = 65.0;
+  for (auto _ : State) {
+    if (Warm) {
+      State.PauseTiming();
+      AnalysisSession Session(SO);
+      Session.update(*Base);
+      State.ResumeTiming();
+      const SessionUpdate &U = Session.update(*Edited);
+      benchmark::DoNotOptimize(U.Report.size());
+    } else {
+      GranularityAnalyzer GA(*Edited, {CostMetric::resolutions(), 65.0});
+      GA.run();
+      benchmark::DoNotOptimize(GA.report().size());
+    }
+  }
+}
+BENCHMARK(BM_IncrementalReanalyze)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_TransformOnly(benchmark::State &State) {
   TermArena Arena;
   Diagnostics Diags;
@@ -185,10 +268,70 @@ bool writeCorpusStats(const char *Path) {
   return true;
 }
 
+/// One measured incremental-reanalysis data point for the batch record:
+/// how much of the largest corpus program a one-clause edit re-analyzes,
+/// and warm-session vs cold wall time (best of \c Reps runs each).
+struct IncrementalMeasurement {
+  bool Ok = false;
+  std::string Program;
+  unsigned TotalSCCs = 0;
+  unsigned AnalyzedSCCs = 0; ///< re-analyzed by the warm edit
+  unsigned ReusedSCCs = 0;   ///< replayed from the session store
+  double WarmSeconds = 0;
+  double ColdSeconds = 0;
+};
+
+IncrementalMeasurement measureIncremental() {
+  IncrementalMeasurement M;
+  const IncrementalScenario &S = incrementalScenario();
+  if (!S.Ok)
+    return M;
+  TermArena BaseArena, EditedArena;
+  Diagnostics D1, D2;
+  std::optional<Program> Base = loadProgram(S.Base, BaseArena, D1);
+  std::optional<Program> Edited = loadProgram(S.Edited, EditedArena, D2);
+  if (!Base || !Edited)
+    return M;
+  constexpr int Reps = 10;
+  using Clock = std::chrono::steady_clock;
+  auto Seconds = [](Clock::time_point T0) {
+    return std::chrono::duration<double>(Clock::now() - T0).count();
+  };
+  SessionOptions SO;
+  SO.Overhead = 65.0;
+  double Warm = -1, Cold = -1;
+  for (int R = 0; R != Reps; ++R) {
+    AnalysisSession Session(SO);
+    Session.update(*Base);
+    auto T0 = Clock::now();
+    const SessionUpdate &U = Session.update(*Edited);
+    double T = Seconds(T0);
+    if (Warm < 0 || T < Warm)
+      Warm = T;
+    M.TotalSCCs = U.TotalSCCs;
+    M.AnalyzedSCCs = U.AnalyzedSCCs;
+    M.ReusedSCCs = U.ReusedSCCs;
+  }
+  for (int R = 0; R != Reps; ++R) {
+    auto T0 = Clock::now();
+    GranularityAnalyzer GA(*Edited, {CostMetric::resolutions(), 65.0});
+    GA.run();
+    benchmark::DoNotOptimize(GA.report().size());
+    double T = Seconds(T0);
+    if (Cold < 0 || T < Cold)
+      Cold = T;
+  }
+  M.Ok = true;
+  M.Program = S.Name;
+  M.WarmSeconds = Warm;
+  M.ColdSeconds = Cold;
+  return M;
+}
+
 /// Machine-readable corpus-batch record for benchmark-history consumers
 /// (CI uploads this as an artifact).  One JSON object per run: job count,
-/// whole-batch wall time, shared solver-cache traffic, and per-benchmark
-/// analysis wall times.
+/// whole-batch wall time, shared solver-cache traffic, the incremental
+/// re-analysis data point, and per-benchmark analysis wall times.
 bool writeBatchJson(const char *Path, unsigned Jobs,
                     const BatchResult &Batch) {
   JsonWriter W;
@@ -208,6 +351,26 @@ bool writeBatchJson(const char *Path, unsigned Jobs,
   W.key("entries");
   W.value(static_cast<uint64_t>(Batch.CacheEntries));
   W.endObject();
+  // A one-clause edit to the largest corpus program, re-analyzed by a
+  // warm AnalysisSession vs a cold full run (satellite of the
+  // incremental-engine work; see BM_IncrementalReanalyze).
+  if (IncrementalMeasurement Inc = measureIncremental(); Inc.Ok) {
+    W.key("incremental");
+    W.beginObject();
+    W.key("program");
+    W.value(Inc.Program);
+    W.key("total_sccs");
+    W.value(Inc.TotalSCCs);
+    W.key("analyzed_sccs");
+    W.value(Inc.AnalyzedSCCs);
+    W.key("reused_sccs");
+    W.value(Inc.ReusedSCCs);
+    W.key("warm_seconds");
+    W.value(Inc.WarmSeconds);
+    W.key("cold_seconds");
+    W.value(Inc.ColdSeconds);
+    W.endObject();
+  }
   W.key("benchmarks");
   W.beginArray();
   for (const BatchAnalysis &A : Batch.Results) {

@@ -32,9 +32,27 @@
 //   --timeout-ms=N       cooperative wall-clock deadline for load +
 //                        analysis (opt-in; not deterministic, unlike the
 //                        counter meters)
+//   --cache-dir=DIR      persist the recurrence solver cache to
+//                        DIR/solver-cache.json: loaded before the run,
+//                        saved after, so repeated invocations skip
+//                        already-solved equations ("incremental.disk.hits"
+//                        in --stats counts the reuse).  A corrupt file is
+//                        reported and replaced, never trusted.
+//   --only=NAME/ARITY    demand-driven entry point: analyze only the
+//                        named predicate and its transitive callees; the
+//                        rest of the program is skipped entirely (absent
+//                        from the report, not classified).  Exits
+//                        nonzero when no such predicate exists.  The
+//                        transformed-program section is skipped (the
+//                        transform needs whole-program classifications).
+//   --session-demo       treat the input as a sequence of program
+//                        revisions separated by '%% ---' lines and feed
+//                        them through one incremental AnalysisSession,
+//                        reporting how many SCCs each edit re-analyzed
 //
 //===----------------------------------------------------------------------===//
 
+#include "core/AnalysisSession.h"
 #include "core/GranularityAnalyzer.h"
 #include "core/Transform.h"
 #include "corpus/Corpus.h"
@@ -50,8 +68,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <system_error>
 #include <vector>
 
 using namespace granlog;
@@ -69,6 +89,7 @@ void usage(const char *Prog) {
               "--budget-solver-steps=N --budget-normalize-steps=N\n"
               "         --budget-parse-tokens=N --budget-clauses=N "
               "--timeout-ms=N\n");
+  std::printf("         --cache-dir=DIR --only=NAME/ARITY --session-demo\n");
   std::printf("built-in benchmarks:");
   for (const BenchmarkDef &B : benchmarkCorpus())
     std::printf(" %s", B.Name.c_str());
@@ -83,6 +104,21 @@ const char *optValue(const char *Arg, const char *Name) {
   return nullptr;
 }
 
+/// Splits a --session-demo input into revisions at lines beginning with
+/// "%% ---" (the marker line itself belongs to neither side).
+std::vector<std::string> splitRevisions(const std::string &Source) {
+  std::vector<std::string> Revisions(1);
+  std::istringstream In(Source);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.rfind("%% ---", 0) == 0)
+      Revisions.emplace_back();
+    else
+      Revisions.back() += Line + '\n';
+  }
+  return Revisions;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -95,6 +131,9 @@ int main(int Argc, char **Argv) {
   int TraceInput = -1;
   unsigned Jobs = 1;
   BudgetLimits Limits;
+  std::string CacheDir;
+  std::string OnlySpec;
+  bool SessionDemo = false;
   std::vector<const char *> Positional;
 
   auto ParseLimit = [](const char *V) {
@@ -137,6 +176,12 @@ int main(int Argc, char **Argv) {
     } else if (const char *V = optValue(Arg, "--timeout-ms")) {
       int N = std::atoi(V);
       Limits.TimeoutMs = N > 0 ? static_cast<unsigned>(N) : 0;
+    } else if (const char *V = optValue(Arg, "--cache-dir")) {
+      CacheDir = V;
+    } else if (const char *V = optValue(Arg, "--only")) {
+      OnlySpec = V;
+    } else if (std::strcmp(Arg, "--session-demo") == 0) {
+      SessionDemo = true;
     } else if (Arg[0] == '-' && Arg[1] == '-') {
       std::printf("error: unknown option %s\n", Arg);
       usage(Argv[0]);
@@ -175,6 +220,62 @@ int main(int Argc, char **Argv) {
       Metric = CostMetric::instructions();
   }
 
+  StatsRegistry Stats;
+  bool WantStats =
+      PrintStats || !StatsJsonPath.empty() || !TraceOutPath.empty();
+
+  if (SessionDemo) {
+    SessionOptions SO;
+    SO.Metric = Metric;
+    SO.Overhead = W;
+    SO.Jobs = Jobs;
+    SO.Limits = Limits;
+    SO.CacheDir = CacheDir;
+    AnalysisSession Session(SO);
+    if (!Session.cacheLoadWarning().empty())
+      std::printf("warning: %s\n", Session.cacheLoadWarning().c_str());
+
+    std::vector<std::string> Revisions = splitRevisions(Source);
+    for (size_t R = 0; R != Revisions.size(); ++R) {
+      TermArena RevArena;
+      Diagnostics RevDiags;
+      std::optional<Program> RevP =
+          loadProgram(Revisions[R], RevArena, RevDiags);
+      if (!RevP || RevP->predicates().empty()) {
+        std::printf("revision %zu: errors:\n%s\n", R + 1,
+                    RevDiags.str().c_str());
+        return 1;
+      }
+      const SessionUpdate &U =
+          Session.update(*RevP, WantStats ? &Stats : nullptr);
+      std::printf("== revision %zu: %u of %u SCCs analyzed, %u reused ==\n",
+                  R + 1, U.AnalyzedSCCs, U.TotalSCCs, U.ReusedSCCs);
+      for (const Degradation &D : U.Degradations)
+        std::printf("degraded: %s\n", D.str().c_str());
+      std::printf("%s\n", U.Report.c_str());
+    }
+    if (WantStats)
+      Session.recordIncrementalStats(&Stats);
+    if (PrintStats) {
+      snapshotExprCounters(Stats);
+      std::printf("== stats ==\n%s", Stats.str().c_str());
+    }
+    if (!StatsJsonPath.empty() && Session.analyzer()) {
+      JsonWriter Writer;
+      Session.analyzer()->writeJson(Writer);
+      std::ofstream Out(StatsJsonPath);
+      if (!Out) {
+        std::printf("error: cannot write %s\n", StatsJsonPath.c_str());
+        return 1;
+      }
+      Out << Writer.str() << '\n';
+    }
+    std::string SaveError;
+    if (!Session.save(&SaveError))
+      std::printf("warning: %s\n", SaveError.c_str());
+    return 0;
+  }
+
   TermArena Arena;
   Diagnostics Diags;
   std::optional<Budget> RunBudget;
@@ -194,17 +295,61 @@ int main(int Argc, char **Argv) {
   for (const Diagnostic &D : Diags.all())
     std::printf("%s\n", D.str().c_str());
 
-  StatsRegistry Stats;
-  bool WantStats =
-      PrintStats || !StatsJsonPath.empty() || !TraceOutPath.empty();
   AnalyzerOptions Options{Metric, W};
   Options.Jobs = Jobs;
   if (WantStats)
     Options.Stats = &Stats;
   if (RunBudget)
     Options.Budget = &*RunBudget;
+
+  // Persistent solver cache: load before the run, save after.
+  std::optional<SolverCache> DiskCache;
+  std::string CachePath;
+  if (!CacheDir.empty()) {
+    std::error_code EC;
+    std::filesystem::create_directories(CacheDir, EC);
+    CachePath =
+        (std::filesystem::path(CacheDir) / "solver-cache.json").string();
+    DiskCache.emplace();
+    std::string LoadError;
+    if (!DiskCache->loadFromFile(CachePath, &LoadError))
+      std::printf("warning: %s\n", LoadError.c_str());
+    Options.Cache = &*DiskCache;
+  }
+
   GranularityAnalyzer GA(*P, Options);
+
+  if (!OnlySpec.empty()) {
+    // Demand-driven entry: skip every SCC not reachable from the named
+    // predicate.  prepare() switches run() to the planned driver.
+    size_t Slash = OnlySpec.rfind('/');
+    Symbol S = Slash == std::string::npos
+                   ? Symbol()
+                   : P->symbols().lookup(OnlySpec.substr(0, Slash));
+    Functor Target{S, Slash == std::string::npos
+                          ? 0u
+                          : static_cast<unsigned>(std::atoi(
+                                OnlySpec.c_str() + Slash + 1))};
+    if (!S.isValid() || !P->lookup(Target)) {
+      std::printf("error: --only: no predicate %s\n", OnlySpec.c_str());
+      return 1;
+    }
+    GA.prepare();
+    const CallGraph &CG = GA.callGraph();
+    for (unsigned Id = 0; Id != CG.numSCCs(); ++Id)
+      GA.setSccAction(Id, GranularityAnalyzer::SccAction::Skip);
+    for (unsigned Id : CG.reachableSCCs(Target))
+      GA.setSccAction(Id, GranularityAnalyzer::SccAction::Analyze);
+  }
+
   GA.run();
+  if (DiskCache) {
+    if (WantStats)
+      Stats.add("incremental.disk.hits", DiskCache->diskHits());
+    std::string SaveError;
+    if (!DiskCache->saveToFile(CachePath, &SaveError))
+      std::printf("warning: %s\n", SaveError.c_str());
+  }
   if (RunBudget && RunBudget->degraded()) {
     Diagnostics BudgetDiags;
     RunBudget->reportTo(BudgetDiags);
@@ -231,6 +376,7 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  if (OnlySpec.empty()) {
   TransformStats TStats;
   Program T = applyGranularityControl(*P, GA, &TStats);
   std::printf("== transformed program ==\n%s", programText(T).c_str());
@@ -282,6 +428,7 @@ int main(int Argc, char **Argv) {
                 "chrome://tracing)\n",
                 TraceOutPath.c_str());
   }
+  } // OnlySpec.empty()
 
   if (PrintStats) {
     // Process-global interner/memo traffic (not per-run deterministic:

@@ -1,0 +1,187 @@
+//===- core/AnalysisSession.cpp -------------------------------------------===//
+
+#include "core/AnalysisSession.h"
+
+#include "program/Fingerprint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <system_error>
+
+using namespace granlog;
+
+AnalysisSession::AnalysisSession(SessionOptions Options)
+    : Options(std::move(Options)) {
+  if (!this->Options.CacheDir.empty()) {
+    std::error_code EC;
+    std::filesystem::create_directories(this->Options.CacheDir, EC);
+    CachePath = (std::filesystem::path(this->Options.CacheDir) /
+                 "solver-cache.json")
+                    .string();
+    std::string Error;
+    if (!Cache.loadFromFile(CachePath, &Error))
+      CacheWarning = Error; // fresh cache; the file is replaced on save
+  }
+}
+
+AnalysisSession::~AnalysisSession() { save(); }
+
+bool AnalysisSession::save(std::string *Error) {
+  if (CachePath.empty())
+    return true;
+  return Cache.saveToFile(CachePath, Error);
+}
+
+namespace {
+
+/// The SCC's member functors paired with their symbol texts, sorted by
+/// text — the arena-independent member identity the store uses.
+std::vector<std::pair<std::string, Functor>>
+sortedMembers(const CallGraph &CG, const SymbolTable &Symbols, unsigned Id) {
+  std::vector<std::pair<std::string, Functor>> Members;
+  for (Functor F : CG.sccMembers(Id))
+    Members.emplace_back(Symbols.text(F), F);
+  std::sort(Members.begin(), Members.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+  return Members;
+}
+
+} // namespace
+
+const SessionUpdate &AnalysisSession::update(const Program &P,
+                                             StatsRegistry *Stats) {
+  ++Updates;
+  UpdateBudget =
+      Options.Limits.any() ? std::make_unique<Budget>(Options.Limits) : nullptr;
+
+  AnalyzerOptions AO;
+  AO.Metric = Options.Metric;
+  AO.Overhead = Options.Overhead;
+  AO.DisabledSchemas = Options.DisabledSchemas;
+  AO.Stats = Stats;
+  AO.Jobs = Options.Jobs;
+  AO.Cache = &Cache;
+  AO.Budget = UpdateBudget.get();
+  GA = std::make_unique<GranularityAnalyzer>(P, AO);
+  GA->prepare();
+
+  // Results computed under a wall-clock budget are not deterministic and
+  // must never be stored (nor replayed as if they were facts).
+  const bool Storable = !Options.Limits.TimeoutMs && !Options.Limits.Terminator;
+  if (Storable)
+    GA->enableCapture();
+
+  const CallGraph &CG = GA->callGraph();
+  const ModeTable &Modes = GA->modes();
+  const Determinacy &Det = GA->determinacy();
+  const SolutionsAnalysis &Sols = GA->costs().solutionsAnalysis();
+  const SymbolTable &Symbols = P.symbols();
+
+  // Computed analysis inputs that are not a function of the SCC's own
+  // clauses: mode inference flows top-down from entry points, so an edit
+  // elsewhere can change an untouched SCC's modes — the salt makes that a
+  // fingerprint miss.  Determinacy/solutions are bottom-up (covered
+  // transitively by the combined fingerprint already); folding them in
+  // too is defense in depth.
+  auto Salt = [&](Functor F) {
+    uint64_t S = 0x73616c74ULL; // "salt"
+    const std::vector<ArgMode> &M = Modes.modes(F);
+    S = fingerprintCombine(S, M.size());
+    for (ArgMode A : M)
+      S = fingerprintCombine(S, static_cast<uint64_t>(A));
+    S = fingerprintCombine(S, Det.isDeterminate(F));
+    S = fingerprintCombine(S, Det.hasExclusiveClauses(F));
+    std::optional<int64_t> Bound = Sols.solutions(F);
+    S = fingerprintCombine(S, Bound.has_value());
+    return fingerprintCombine(
+        S, Bound ? static_cast<uint64_t>(*Bound) : uint64_t(0));
+  };
+  SCCFingerprints FP = fingerprintSCCs(P, CG, Salt);
+
+  const unsigned N = CG.numSCCs();
+  Last = SessionUpdate{};
+  Last.TotalSCCs = N;
+
+  // Plan: look every SCC's combined fingerprint up in the store.  A hit
+  // replays the stored results/counters/degradations and marks the SCC
+  // Reuse; a miss leaves the default Analyze action.
+  std::vector<bool> Reused(N, false);
+  for (unsigned Id = 0; Id != N; ++Id) {
+    auto It = Store.find(FP.Combined[Id]);
+    if (It == Store.end())
+      continue;
+    const StoredSCC &S = It->second;
+    std::vector<std::pair<std::string, Functor>> Members =
+        sortedMembers(CG, Symbols, Id);
+    // Integrity check against 64-bit collisions: the member names must
+    // line up exactly; on mismatch fall back to analyzing.
+    if (Members.size() != S.Members.size() ||
+        !std::equal(Members.begin(), Members.end(), S.Members.begin(),
+                    [](const auto &A, const std::string &B) {
+                      return A.first == B;
+                    }))
+      continue;
+    for (size_t I = 0; I != Members.size(); ++I) {
+      GA->injectSizeInfo(Members[I].second, S.SizeInfos[I]);
+      GA->injectCostInfo(Members[I].second, S.CostInfos[I]);
+    }
+    GA->setSccAction(Id, GranularityAnalyzer::SccAction::Reuse);
+    if (Stats)
+      for (const auto &[Name, V] : S.Counters)
+        Stats->add(Name, V);
+    if (UpdateBudget)
+      for (const Degradation &D : S.Degradations)
+        UpdateBudget->record(D);
+    Reused[Id] = true;
+  }
+
+  GA->run();
+
+  // Harvest what was analyzed this round.
+  if (Storable) {
+    std::vector<Degradation> AllDegradations =
+        UpdateBudget ? UpdateBudget->degradations()
+                     : std::vector<Degradation>();
+    for (unsigned Id = 0; Id != N; ++Id) {
+      if (Reused[Id])
+        continue;
+      StoredSCC S;
+      std::vector<std::pair<std::string, Functor>> Members =
+          sortedMembers(CG, Symbols, Id);
+      for (const auto &[Name, F] : Members) {
+        S.Members.push_back(Name);
+        S.SizeInfos.push_back(GA->sizes().info(F));
+        S.CostInfos.push_back(GA->costs().info(F));
+      }
+      if (const StatsCapture *C = GA->sccCapture(Id))
+        S.Counters = C->counters();
+      // Predicate names are unique program-wide, so membership filtering
+      // attributes each degradation to exactly one SCC.
+      for (const Degradation &D : AllDegradations)
+        if (std::find(S.Members.begin(), S.Members.end(), D.Predicate) !=
+            S.Members.end())
+          S.Degradations.push_back(D);
+      Store.insert_or_assign(FP.Combined[Id], std::move(S));
+    }
+  }
+
+  for (unsigned Id = 0; Id != N; ++Id)
+    (Reused[Id] ? Last.ReusedSCCs : Last.AnalyzedSCCs) += 1;
+  TotalAnalyzed += Last.AnalyzedSCCs;
+  TotalReused += Last.ReusedSCCs;
+  Last.Report = GA->report();
+  Last.ExplainAll = GA->explainAll();
+  if (UpdateBudget)
+    Last.Degradations = UpdateBudget->degradations();
+  return Last;
+}
+
+void AnalysisSession::recordIncrementalStats(StatsRegistry *Stats) const {
+  if (!Stats)
+    return;
+  Stats->add("incremental.updates", Updates);
+  Stats->add("incremental.sccs.analyzed", TotalAnalyzed);
+  Stats->add("incremental.sccs.reused", TotalReused);
+  Stats->add("incremental.store.entries", Store.size());
+  Stats->add("incremental.disk.hits", Cache.diskHits());
+}

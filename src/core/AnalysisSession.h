@@ -1,0 +1,148 @@
+//===- core/AnalysisSession.h - Incremental analysis sessions -------------===//
+//
+// Part of GranLog; see DESIGN.md "Incremental analysis & persistent
+// caching".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An editing session over a logic program: repeated calls to update()
+/// re-analyze only what an edit actually changed.  Each call fingerprints
+/// every call-graph SCC of the new Program revision (program/Fingerprint:
+/// clause content + declarations + computed modes/determinacy/solutions,
+/// combined with every callee SCC's fingerprint) and looks the values up
+/// in the session's result store.  SCCs whose combined fingerprint is
+/// unchanged are *reused* — their per-predicate size/cost results, their
+/// captured stats counters and their budget degradations are replayed —
+/// and only the dirty SCCs plus their transitive callers are re-run on
+/// the analyzer's planned driver (GranularityAnalyzer::prepare), at any
+/// --jobs setting.
+///
+/// Contract: report(), explainAll() and the stats counters of a warm
+/// update are byte-identical to a cold full analysis of the same revision
+/// (timer values aside) — reuse is an optimization, never a visible
+/// state.  Counter-limited budgets keep this exact: limits are metered
+/// per SCC, so a replayed SCC degrades exactly as it did when analyzed.
+/// Deadline/terminator budgets are excluded: results produced under one
+/// are never stored.
+///
+/// When SessionOptions::CacheDir is set, the session's solver cache is
+/// additionally persisted to <CacheDir>/solver-cache.json: loaded on
+/// construction, written back by save() / the destructor.  A corrupt or
+/// version-mismatched file yields a diagnostic (cacheLoadWarning()) and a
+/// fresh cache.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_CORE_ANALYSISSESSION_H
+#define GRANLOG_CORE_ANALYSISSESSION_H
+
+#include "core/GranularityAnalyzer.h"
+#include "diffeq/SolverCache.h"
+#include "support/Budget.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace granlog {
+
+/// Configuration of one AnalysisSession (fixed for its lifetime: results
+/// stored under one configuration are never valid under another).
+struct SessionOptions {
+  CostMetric Metric = CostMetric::resolutions();
+  double Overhead = 48.0;
+  std::vector<std::string> DisabledSchemas;
+  unsigned Jobs = 1;
+  /// Per-update resource budget (a fresh Budget per update() call).
+  /// Counter limits compose with incrementality; deadline/terminator
+  /// limits disable result storing (see file comment).
+  BudgetLimits Limits;
+  /// Directory for the persistent solver cache ("" = in-memory only).
+  std::string CacheDir;
+};
+
+/// What one update() call did and produced.
+struct SessionUpdate {
+  std::string Report;     ///< GranularityAnalyzer::report()
+  std::string ExplainAll; ///< GranularityAnalyzer::explainAll()
+  unsigned TotalSCCs = 0;
+  unsigned AnalyzedSCCs = 0; ///< fingerprint miss: re-analyzed this call
+  unsigned ReusedSCCs = 0;   ///< fingerprint hit: results replayed
+  /// This revision's budget outcome (replayed + fresh, deduplicated).
+  std::vector<Degradation> Degradations;
+};
+
+class AnalysisSession {
+public:
+  explicit AnalysisSession(SessionOptions Options);
+  ~AnalysisSession(); ///< saves the persistent cache (best-effort)
+
+  /// Analyzes \p P, reusing stored results for fingerprint-clean SCCs.
+  /// \p Stats (optional) receives the same counters a cold run of this
+  /// revision would record, plus nothing else — the session's own
+  /// "incremental.*" counters are exposed via recordIncrementalStats().
+  /// The Program only needs to stay alive for the duration of the call:
+  /// everything stored is arena-independent.
+  const SessionUpdate &update(const Program &P,
+                              StatsRegistry *Stats = nullptr);
+
+  /// The result of the most recent update().
+  const SessionUpdate &last() const { return Last; }
+
+  /// The analyzer of the most recent update() (classification queries,
+  /// JSON export).  Null before the first update.
+  const GranularityAnalyzer *analyzer() const { return GA.get(); }
+
+  const SessionOptions &options() const { return Options; }
+
+  /// The session-lifetime solver cache (shared across updates; persisted
+  /// when CacheDir is set).
+  SolverCache &solverCache() { return Cache; }
+
+  /// Diagnostic from loading a corrupt/mismatched persistent cache file
+  /// ("" when the load was clean or there was no file).
+  const std::string &cacheLoadWarning() const { return CacheWarning; }
+
+  /// Records the session's lifetime counters — "incremental.updates",
+  /// "incremental.sccs.analyzed", "incremental.sccs.reused",
+  /// "incremental.store.entries", "incremental.disk.hits" — into
+  /// \p Stats.  Separate from update()'s registry on purpose: these
+  /// describe the session, not the revision, and would break warm == cold
+  /// stats identity if mixed in.
+  void recordIncrementalStats(StatsRegistry *Stats) const;
+
+  /// Writes the persistent solver cache now (no-op without CacheDir).
+  /// Returns false and sets \p Error on I/O failure.
+  bool save(std::string *Error = nullptr);
+
+private:
+  /// Everything stored for one analyzed SCC, keyed by its combined
+  /// fingerprint.  Member names are symbol texts ("name/arity"): symbol
+  /// ids are arena-scoped and must not cross Program revisions.
+  struct StoredSCC {
+    std::vector<std::string> Members; ///< sorted member texts
+    std::vector<PredicateSizeInfo> SizeInfos; ///< parallel to Members
+    std::vector<PredicateCostInfo> CostInfos; ///< parallel to Members
+    std::map<std::string, uint64_t, std::less<>> Counters; ///< stats tee
+    std::vector<Degradation> Degradations;    ///< this SCC's budget log
+  };
+
+  SessionOptions Options;
+  SolverCache Cache;
+  std::string CachePath; ///< "" when CacheDir is unset
+  std::string CacheWarning;
+  std::unordered_map<uint64_t, StoredSCC> Store;
+  std::unique_ptr<GranularityAnalyzer> GA;
+  std::unique_ptr<Budget> UpdateBudget;
+  SessionUpdate Last;
+  uint64_t Updates = 0;
+  uint64_t TotalAnalyzed = 0;
+  uint64_t TotalReused = 0;
+};
+
+} // namespace granlog
+
+#endif // GRANLOG_CORE_ANALYSISSESSION_H

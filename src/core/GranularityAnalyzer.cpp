@@ -15,12 +15,11 @@ GranularityAnalyzer::GranularityAnalyzer(const Program &P,
 
 GranularityAnalyzer::~GranularityAnalyzer() = default;
 
-void GranularityAnalyzer::run() {
-  if (Ran)
+void GranularityAnalyzer::prepare() {
+  if (Prepared)
     return;
-  Ran = true;
+  Prepared = true;
   StatsRegistry *Stats = Options.Stats;
-  ScopedTimer Total(Stats, "phase.total");
   {
     ScopedTimer T(Stats, "phase.callgraph");
     CG = std::make_unique<CallGraph>(*P);
@@ -35,13 +34,75 @@ void GranularityAnalyzer::run() {
   }
   if (!Options.Cache)
     OwnedCache = std::make_unique<SolverCache>();
+  SolverCache *Cache = Options.Cache ? Options.Cache : OwnedCache.get();
 
-  runAnalyses();
+  Sizes = std::make_unique<SizeAnalysis>(*P, *CG, *Modes);
+  Sizes->setStats(Stats);
+  for (const std::string &Name : Options.DisabledSchemas)
+    Sizes->disableSchema(Name);
+  Sizes->setSolverCache(Cache);
+  Sizes->setBudget(Options.Budget);
+
+  if (Options.Metric.kind() == CostMetricKind::Instructions) {
+    ScopedTimer T(Stats, "phase.wam");
+    Wam = std::make_unique<WamCompiler>(*P);
+  }
+  Costs = std::make_unique<CostAnalysis>(*P, *CG, *Modes, *Det, *Sizes,
+                                         Options.Metric, Wam.get());
+  Costs->setStats(Stats);
+  for (const std::string &Name : Options.DisabledSchemas)
+    Costs->disableSchema(Name);
+  Costs->setSolverCache(Cache);
+  Costs->setBudget(Options.Budget);
+
+  Actions.assign(CG->numSCCs(), SccAction::Analyze);
+}
+
+void GranularityAnalyzer::setSccAction(unsigned Id, SccAction A) {
+  Actions[Id] = A;
+}
+
+void GranularityAnalyzer::enableCapture() {
+  Captures = std::vector<StatsCapture>(CG->numSCCs());
+}
+
+void GranularityAnalyzer::run() {
+  if (Ran)
+    return;
+  Ran = true;
+  StatsRegistry *Stats = Options.Stats;
+  ScopedTimer Total(Stats, "phase.total");
+  if (Prepared) {
+    // An external caller planned this run (session / --only): the cheap
+    // phases already ran under prepare(); execute the per-SCC plan.
+    runPlanned();
+  } else {
+    {
+      ScopedTimer T(Stats, "phase.callgraph");
+      CG = std::make_unique<CallGraph>(*P);
+    }
+    {
+      ScopedTimer T(Stats, "phase.modes");
+      Modes = std::make_unique<ModeTable>(*P, *CG);
+    }
+    {
+      ScopedTimer T(Stats, "phase.determinacy");
+      Det = std::make_unique<Determinacy>(*P, *Modes);
+    }
+    if (!Options.Cache)
+      OwnedCache = std::make_unique<SolverCache>();
+
+    runAnalyses();
+  }
 
   {
     ScopedTimer ThresholdTimer(Stats, "phase.threshold");
-    for (const auto &Pred : P->predicates())
+    for (const auto &Pred : P->predicates()) {
+      if (!Actions.empty() &&
+          Actions[CG->sccId(Pred->functor())] == SccAction::Skip)
+        continue;
       classifyPredicate(*Pred);
+    }
   }
   // Only a run-owned cache reports its traffic here: a shared (batch)
   // cache's hit/miss totals depend on which runs warmed it first, which
@@ -123,6 +184,37 @@ void GranularityAnalyzer::runAnalyses() {
       Deps,
       [&](unsigned Id) {
         ScopedTimer SccTimer(Stats, "scc." + std::to_string(Id) + ".seconds");
+        Sizes->analyzeSCCById(Id);
+        Costs->analyzeSCCById(Id);
+      },
+      &Pool);
+}
+
+void GranularityAnalyzer::runPlanned() {
+  StatsRegistry *Stats = Options.Stats;
+  ScopedTimer T(Stats, "phase.analyze");
+  Sizes->prepareConcurrent(); // try_emplace: injected results survive
+  Costs->prepareConcurrent();
+
+  const unsigned N = CG->numSCCs();
+  std::vector<std::vector<unsigned>> Deps(N);
+  for (unsigned Id = 0; Id != N; ++Id)
+    for (Functor F : CG->sccMembers(Id))
+      for (Functor Callee : CG->callees(F))
+        if (unsigned CalleeId = CG->sccId(Callee); CalleeId != Id)
+          Deps[Id].push_back(CalleeId);
+
+  // The full dependency graph is scheduled even when most SCCs are
+  // Reuse/Skip: their jobs return immediately, and keeping the graph
+  // intact preserves the callee-first guarantee for the Analyze ones.
+  ThreadPool Pool(std::max(1u, Options.Jobs));
+  topoSchedule(
+      Deps,
+      [&](unsigned Id) {
+        if (Actions[Id] != SccAction::Analyze)
+          return;
+        ScopedTimer SccTimer(Stats, "scc." + std::to_string(Id) + ".seconds");
+        StatsCaptureScope Capture(Captures.empty() ? nullptr : &Captures[Id]);
         Sizes->analyzeSCCById(Id);
         Costs->analyzeSCCById(Id);
       },

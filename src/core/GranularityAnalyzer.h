@@ -94,6 +94,51 @@ public:
   ~GranularityAnalyzer();
   GranularityAnalyzer(GranularityAnalyzer &&) = delete;
 
+  /// What run() does with one SCC under an external plan (see prepare()).
+  enum class SccAction {
+    Analyze, ///< run size/cost/solve for the SCC (the default)
+    Reuse,   ///< results were injected (injectSizeInfo/injectCostInfo):
+             ///< skip the analysis jobs but still classify the members
+    Skip,    ///< leave the SCC out entirely: no analysis, no
+             ///< classification, absent from report()/explain()/JSON
+  };
+
+  /// Builds the cheap whole-program phases (call graph, modes,
+  /// determinacy, the analysis tables) without running any per-SCC work,
+  /// and switches run() to the *planned* driver.  Callers — the
+  /// incremental AnalysisSession and the demand-driven --only entry —
+  /// then inspect callGraph()/modes()/determinacy(), assign per-SCC
+  /// actions, optionally inject stored results, and finally run().
+  /// When prepare() is never called, run() is byte-for-byte the classic
+  /// one-shot pipeline.  Idempotent.
+  void prepare();
+
+  /// Sets the planned action of SCC \p Id (default Analyze).  Only
+  /// meaningful after prepare() and before run().
+  void setSccAction(unsigned Id, SccAction A);
+  SccAction sccAction(unsigned Id) const { return Actions[Id]; }
+
+  /// Allocates one StatsCapture per SCC; each Analyze job then tees its
+  /// counter increments into its SCC's capture (in addition to
+  /// Options.Stats).  The session stores these with the SCC's results and
+  /// replays them on reuse, keeping warm-run stats byte-identical to a
+  /// cold run.  Only meaningful after prepare().
+  void enableCapture();
+  /// The capture of SCC \p Id (null unless enableCapture() was called).
+  const StatsCapture *sccCapture(unsigned Id) const {
+    return Captures.empty() ? nullptr : &Captures[Id];
+  }
+
+  /// Installs stored results for a Reuse SCC's member (forwarded to the
+  /// analyses; see SizeAnalysis::injectInfo).  Only valid after
+  /// prepare() and before run().
+  void injectSizeInfo(Functor F, PredicateSizeInfo PI) {
+    Sizes->injectInfo(F, std::move(PI));
+  }
+  void injectCostInfo(Functor F, PredicateCostInfo CI) {
+    Costs->injectInfo(F, std::move(CI));
+  }
+
   /// Runs all phases.  Idempotent.
   void run();
 
@@ -139,6 +184,10 @@ private:
   /// Runs the size/cost/solve phases: sequentially for Jobs <= 1, or as
   /// one topologically scheduled job per SCC on a work-stealing pool.
   void runAnalyses();
+  /// The planned driver behind an external prepare(): one topologically
+  /// scheduled job per Analyze-action SCC at any Jobs setting, with
+  /// optional per-SCC stats capture.
+  void runPlanned();
   /// Derives the threshold/classification of one predicate from the
   /// completed size and cost analyses.
   void classifyPredicate(const Predicate &Pred);
@@ -153,6 +202,9 @@ private:
   std::unique_ptr<CostAnalysis> Costs;
   std::unique_ptr<SolverCache> OwnedCache; ///< when Options.Cache is null
   std::unordered_map<Functor, PredicateGranularity> Info;
+  std::vector<SccAction> Actions;    ///< per-SCC plan (planned mode only)
+  std::vector<StatsCapture> Captures; ///< per-SCC tees (enableCapture)
+  bool Prepared = false;
   bool Ran = false;
 };
 

@@ -7,6 +7,8 @@
 #include "support/ThreadPool.h"
 
 #include <chrono>
+#include <filesystem>
+#include <system_error>
 
 using namespace granlog;
 
@@ -132,8 +134,20 @@ BatchResult granlog::analyzeCorpusBatch(const BatchConfig &Config) {
   BatchResult Batch;
   Batch.Results.resize(Corpus.size());
   std::unique_ptr<SolverCache> Shared;
-  if (Config.ShareCache)
+  std::string CachePath;
+  if (Config.ShareCache) {
     Shared = std::make_unique<SolverCache>();
+    if (!Config.CacheDir.empty()) {
+      std::error_code EC;
+      std::filesystem::create_directories(Config.CacheDir, EC);
+      CachePath = (std::filesystem::path(Config.CacheDir) /
+                   "solver-cache.json")
+                      .string();
+      std::string Error;
+      if (!Shared->loadFromFile(CachePath, &Error))
+        Batch.CacheWarning = Error; // cold cache; replaced on save below
+    }
+  }
 
   if (Config.Jobs <= 1) {
     for (size_t I = 0; I != Corpus.size(); ++I)
@@ -151,6 +165,13 @@ BatchResult granlog::analyzeCorpusBatch(const BatchConfig &Config) {
     Batch.CacheHits = Shared->hits();
     Batch.CacheMisses = Shared->misses();
     Batch.CacheEntries = Shared->entries();
+    Batch.DiskHits = Shared->diskHits();
+    if (!CachePath.empty()) {
+      std::string Error;
+      if (!Shared->saveToFile(CachePath, &Error) &&
+          Batch.CacheWarning.empty())
+        Batch.CacheWarning = Error;
+    }
   }
   Batch.WallSeconds = std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - Start)

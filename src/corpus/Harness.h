@@ -87,6 +87,11 @@ struct BatchConfig {
   BudgetLimits Budget{};
   /// The benchmark set to analyze; null means the built-in Table 1 corpus.
   const std::vector<BenchmarkDef> *Corpus = nullptr;
+  /// Persist the shared solver cache to <CacheDir>/solver-cache.json:
+  /// loaded before the batch, saved after, so a second batch run skips
+  /// every already-solved recurrence (warm-cache CI path).  Requires
+  /// ShareCache; "" (the default) keeps the cache in-memory only.
+  std::string CacheDir;
 };
 
 /// Analysis-only results of one corpus benchmark in a batch.
@@ -115,6 +120,12 @@ struct BatchResult {
   uint64_t CacheHits = 0;
   uint64_t CacheMisses = 0;
   size_t CacheEntries = 0;
+  /// Hits served by entries loaded from BatchConfig::CacheDir (0 for
+  /// in-memory batches or a cold cache file).
+  uint64_t DiskHits = 0;
+  /// Diagnostic from loading/saving a corrupt or unwritable persistent
+  /// cache ("" when clean).  A corrupt file degrades to a cold cache.
+  std::string CacheWarning;
   double WallSeconds = 0;
 };
 

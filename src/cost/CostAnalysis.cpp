@@ -290,12 +290,12 @@ void CostAnalysis::analyzeSCC(const std::vector<Functor> &Members) {
     if (CI.CostFn && CI.CostFn->isInfinity() && CI.Why.empty())
       CI.Why = "a clause body contains an unbounded goal (undefined "
                "predicate, findall, or an unbounded solution count)";
-    if (Stats) {
-      Stats->add("cost.predicates");
+    if (statsActive(Stats)) {
+      statsAdd(Stats, "cost.predicates");
       if (CI.CostFn && CI.CostFn->isInfinity())
-        Stats->add("cost.infinity");
+        statsAdd(Stats, "cost.infinity");
       if (!Exact)
-        Stats->add("cost.relaxed");
+        statsAdd(Stats, "cost.relaxed");
     }
   }
 }

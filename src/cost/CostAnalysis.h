@@ -100,6 +100,15 @@ public:
   /// size analysis must be complete.
   void analyzeSCCById(unsigned Id) { analyzeSCC(CG->sccMembers(Id)); }
 
+  /// Installs a previously computed result for \p F, as if its SCC had
+  /// been analyzed (see SizeAnalysis::injectInfo).  Must precede the
+  /// dirty SCCs' jobs: clauseCost treats a null callee CostFn as a
+  /// same-SCC symbolic call, so a missing injection would silently change
+  /// a caller's equation rather than fail.
+  void injectInfo(Functor F, PredicateCostInfo CI) {
+    Info[F] = std::move(CI);
+  }
+
   const PredicateCostInfo &info(Functor F) const;
   CostMetric metric() const { return Metric; }
 

@@ -289,14 +289,14 @@ SolveResult DiffEqSolver::solve(const Recurrence &R) const {
   // Record stats from the final result, not inside solveDirect: a cache
   // hit must bump the same counters as the solve it replays, so the stats
   // are identical cache-on and cache-off.
-  if (Stats) {
-    Stats->add(StatsPrefix + ".solve");
+  if (statsActive(Stats)) {
+    statsAdd(Stats, StatsPrefix + ".solve");
     if (!Result.SchemaName.empty()) {
-      Stats->add(StatsPrefix + ".hit." + Result.SchemaName);
+      statsAdd(Stats, StatsPrefix + ".hit." + Result.SchemaName);
       if (!Result.Exact)
-        Stats->add(StatsPrefix + ".relaxed");
+        statsAdd(Stats, StatsPrefix + ".relaxed");
     } else {
-      Stats->add(StatsPrefix + ".infinity");
+      statsAdd(Stats, StatsPrefix + ".infinity");
     }
   }
   return Result;

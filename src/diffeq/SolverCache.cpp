@@ -2,7 +2,13 @@
 
 #include "diffeq/SolverCache.h"
 
+#include "support/Json.h"
+
+#include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
 
 using namespace granlog;
 
@@ -161,10 +167,15 @@ SolveResult SolverCache::solve(
   // The inserting thread is the unique "miss" for this key; call_once
   // makes it the unique solver too, so the miss count equals the number
   // of distinct canonical equations regardless of thread schedule.
-  if (Inserted)
+  if (Inserted) {
     Misses.fetch_add(1, std::memory_order_relaxed);
-  else
+  } else {
     Hits.fetch_add(1, std::memory_order_relaxed);
+    // FromDisk is written once under the map mutex before the entry is
+    // published; hits on such entries were solved in a previous process.
+    if (E->FromDisk)
+      DiskHits.fetch_add(1, std::memory_order_relaxed);
+  }
   std::call_once(E->Once, [&] { E->Result = SolveFn(C->R); });
 
   SolveResult Result = E->Result;
@@ -185,4 +196,371 @@ void SolverCache::clear() {
   Map.clear();
   Hits.store(0, std::memory_order_relaxed);
   Misses.store(0, std::memory_order_relaxed);
+  DiskHits.store(0, std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// Persistent on-disk cache
+//
+// The file serializes exactly what canonicalize() produces (the single
+// canonicalizer — see the header), so a warm process rebuilds keys that
+// intern to the same nodes a fresh canonicalization would: the normalizing
+// expression factories are idempotent on their own output.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void writeRational(JsonWriter &W, const char *NKey, const char *DKey,
+                   const Rational &V) {
+  W.key(NKey);
+  W.value(V.numerator());
+  W.key(DKey);
+  W.value(V.denominator());
+}
+
+/// Reads the rational stored under \p NKey / \p DKey; false when absent or
+/// the denominator is zero (Rational asserts on 0 — never trust the file).
+bool readRational(const JsonValue &O, const char *NKey, const char *DKey,
+                  Rational &Out) {
+  std::optional<int64_t> N = O.intMember(NKey);
+  std::optional<int64_t> D = O.intMember(DKey);
+  if (!N || !D || *D == 0)
+    return false;
+  Out = Rational(*N, *D);
+  return true;
+}
+
+/// Expressions as tagged structural trees: {"k":"num","n":..,"d":..},
+/// {"k":"var","v":..}, {"k":"inf"}, {"k":"call","v":..,"ops":[..]}, and
+/// {"k":<add|mul|pow|log2|max|min>,"ops":[..]}.
+void writeExpr(JsonWriter &W, const ExprRef &E) {
+  W.beginObject();
+  W.key("k");
+  switch (E->kind()) {
+  case ExprKind::Number:
+    W.value("num");
+    writeRational(W, "n", "d", E->number());
+    break;
+  case ExprKind::Var:
+    W.value("var");
+    W.key("v");
+    W.value(E->name());
+    break;
+  case ExprKind::Infinity:
+    W.value("inf");
+    break;
+  case ExprKind::Call:
+    W.value("call");
+    W.key("v");
+    W.value(E->name());
+    W.key("ops");
+    W.beginArray();
+    for (const ExprRef &Op : E->operands())
+      writeExpr(W, Op);
+    W.endArray();
+    break;
+  case ExprKind::Add:
+  case ExprKind::Mul:
+  case ExprKind::Pow:
+  case ExprKind::Log2:
+  case ExprKind::Max:
+  case ExprKind::Min: {
+    const char *Tag = E->kind() == ExprKind::Add   ? "add"
+                      : E->kind() == ExprKind::Mul ? "mul"
+                      : E->kind() == ExprKind::Pow ? "pow"
+                      : E->kind() == ExprKind::Log2
+                          ? "log2"
+                          : E->kind() == ExprKind::Max ? "max" : "min";
+    W.value(Tag);
+    W.key("ops");
+    W.beginArray();
+    for (const ExprRef &Op : E->operands())
+      writeExpr(W, Op);
+    W.endArray();
+    break;
+  }
+  }
+  W.endObject();
+}
+
+/// Rebuilds an expression bottom-up through the normalizing factories;
+/// null on any structural mismatch.  Recursion depth is bounded by
+/// jsonParse's 256-level nesting limit.
+ExprRef readExpr(const JsonValue &V) {
+  if (!V.isObject())
+    return nullptr;
+  std::optional<std::string> K = V.stringMember("k");
+  if (!K)
+    return nullptr;
+  if (*K == "num") {
+    Rational R;
+    if (!readRational(V, "n", "d", R))
+      return nullptr;
+    return makeNumber(R);
+  }
+  if (*K == "var") {
+    std::optional<std::string> Name = V.stringMember("v");
+    return Name ? makeVar(*Name) : nullptr;
+  }
+  if (*K == "inf")
+    return makeInfinity();
+
+  const JsonValue *OpsV = V.find("ops");
+  if (!OpsV || !OpsV->isArray())
+    return nullptr;
+  std::vector<ExprRef> Ops;
+  Ops.reserve(OpsV->array().size());
+  for (const JsonValue &OpV : OpsV->array()) {
+    ExprRef Op = readExpr(OpV);
+    if (!Op)
+      return nullptr;
+    Ops.push_back(std::move(Op));
+  }
+  if (*K == "call") {
+    std::optional<std::string> Name = V.stringMember("v");
+    return Name ? makeCall(*Name, std::move(Ops)) : nullptr;
+  }
+  if (*K == "add")
+    return makeAdd(std::move(Ops));
+  if (*K == "mul")
+    return makeMul(std::move(Ops));
+  if (*K == "max")
+    return makeMax(std::move(Ops));
+  if (*K == "min")
+    return makeMin(std::move(Ops));
+  if (*K == "pow")
+    return Ops.size() == 2 ? makePow(Ops[0], Ops[1]) : nullptr;
+  if (*K == "log2")
+    return Ops.size() == 1 ? makeLog2(Ops[0]) : nullptr;
+  return nullptr;
+}
+
+/// One cache entry (key + solved result) as a standalone JSON object.
+std::string
+serializeEntry(const SolverCache::CacheKey &Key, const SolveResult &R) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("sig");
+  W.value(Key.TableSignature);
+  W.key("shift");
+  W.beginArray();
+  for (const ShiftTerm &T : Key.ShiftTerms) {
+    W.beginObject();
+    writeRational(W, "cn", "cd", T.Coeff);
+    writeRational(W, "sn", "sd", T.Shift);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("divide");
+  W.beginArray();
+  for (const DivideTerm &T : Key.DivideTerms) {
+    W.beginObject();
+    writeRational(W, "cn", "cd", T.Coeff);
+    writeRational(W, "dn", "dd", T.Divisor);
+    writeRational(W, "on", "od", T.Offset);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("additive");
+  writeExpr(W, Key.Additive);
+  W.key("boundaries");
+  W.beginArray();
+  for (const Boundary &B : Key.Boundaries) {
+    W.beginObject();
+    writeRational(W, "an", "ad", B.At);
+    W.key("value");
+    writeExpr(W, B.Value);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("result");
+  W.beginObject();
+  W.key("closed");
+  writeExpr(W, R.Closed);
+  W.key("schema");
+  W.value(R.SchemaName);
+  W.key("exact");
+  W.value(R.Exact);
+  W.key("why");
+  W.value(R.Why);
+  W.endObject();
+  W.endObject();
+  return W.take();
+}
+
+/// Parses one entry object; false on any structural problem.
+bool parseEntry(const JsonValue &V, SolverCache::CacheKey &Key,
+                SolveResult &R) {
+  if (!V.isObject())
+    return false;
+  std::optional<std::string> Sig = V.stringMember("sig");
+  if (!Sig)
+    return false;
+  Key.TableSignature = std::move(*Sig);
+
+  const JsonValue *Shift = V.find("shift");
+  if (!Shift || !Shift->isArray())
+    return false;
+  for (const JsonValue &TV : Shift->array()) {
+    ShiftTerm T;
+    if (!TV.isObject() || !readRational(TV, "cn", "cd", T.Coeff) ||
+        !readRational(TV, "sn", "sd", T.Shift))
+      return false;
+    Key.ShiftTerms.push_back(T);
+  }
+  const JsonValue *Divide = V.find("divide");
+  if (!Divide || !Divide->isArray())
+    return false;
+  for (const JsonValue &TV : Divide->array()) {
+    DivideTerm T;
+    if (!TV.isObject() || !readRational(TV, "cn", "cd", T.Coeff) ||
+        !readRational(TV, "dn", "dd", T.Divisor) ||
+        !readRational(TV, "on", "od", T.Offset))
+      return false;
+    Key.DivideTerms.push_back(T);
+  }
+
+  const JsonValue *Additive = V.find("additive");
+  if (!Additive || !(Key.Additive = readExpr(*Additive)))
+    return false;
+
+  const JsonValue *Bounds = V.find("boundaries");
+  if (!Bounds || !Bounds->isArray())
+    return false;
+  for (const JsonValue &BV : Bounds->array()) {
+    Boundary B;
+    if (!BV.isObject() || !readRational(BV, "an", "ad", B.At))
+      return false;
+    const JsonValue *Val = BV.find("value");
+    if (!Val || !(B.Value = readExpr(*Val)))
+      return false;
+    Key.Boundaries.push_back(std::move(B));
+  }
+
+  const JsonValue *Res = V.find("result");
+  if (!Res || !Res->isObject())
+    return false;
+  const JsonValue *Closed = Res->find("closed");
+  if (!Closed || !(R.Closed = readExpr(*Closed)))
+    return false;
+  std::optional<std::string> Schema = Res->stringMember("schema");
+  std::optional<bool> Exact = Res->boolMember("exact");
+  std::optional<std::string> Why = Res->stringMember("why");
+  if (!Schema || !Exact || !Why)
+    return false;
+  R.SchemaName = std::move(*Schema);
+  R.Exact = *Exact;
+  R.Why = std::move(*Why);
+  R.Degraded = false; // degraded results are never written
+  return true;
+}
+
+} // namespace
+
+bool SolverCache::loadFromFile(const std::string &Path, std::string *Error) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In.is_open())
+    return true; // no file yet: first run, empty cache
+
+  std::string Text{std::istreambuf_iterator<char>(In),
+                   std::istreambuf_iterator<char>()};
+  auto Fail = [&](const std::string &Why) {
+    if (Error)
+      *Error = Path + ": " + Why + "; starting with a fresh cache";
+    return false;
+  };
+
+  std::optional<JsonValue> Doc = jsonParse(Text);
+  if (!Doc || !Doc->isObject())
+    return Fail("not a valid JSON object (corrupt cache file)");
+  std::optional<int64_t> Version = Doc->intMember("version");
+  if (!Version)
+    return Fail("missing format version (corrupt cache file)");
+  if (*Version != DiskFormatVersion)
+    return Fail("format version " + std::to_string(*Version) +
+                " (this build reads version " +
+                std::to_string(DiskFormatVersion) + ")");
+  const JsonValue *Entries = Doc->find("entries");
+  if (!Entries || !Entries->isArray())
+    return Fail("missing entries array (corrupt cache file)");
+
+  // Parse everything before committing anything: a corrupt tail must not
+  // leave a half-loaded cache behind the diagnostic.
+  std::vector<std::pair<CacheKey, SolveResult>> Loaded;
+  Loaded.reserve(Entries->array().size());
+  for (const JsonValue &EV : Entries->array()) {
+    CacheKey Key;
+    SolveResult R;
+    if (!parseEntry(EV, Key, R))
+      return Fail("malformed entry " + std::to_string(Loaded.size()) +
+                  " (corrupt cache file)");
+    Loaded.emplace_back(std::move(Key), std::move(R));
+  }
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (auto &[Key, R] : Loaded) {
+    auto [It, Inserted] = Map.try_emplace(std::move(Key), nullptr);
+    if (!Inserted)
+      continue; // live entry wins over the disk copy
+    auto E = std::make_shared<Entry>();
+    E->Result = std::move(R);
+    E->FromDisk = true;
+    // Mark the entry solved so solve() never re-runs SolveFn for it.
+    std::call_once(E->Once, [] {});
+    It->second = std::move(E);
+  }
+  return true;
+}
+
+bool SolverCache::saveToFile(const std::string &Path,
+                             std::string *Error) const {
+  // Serialize each entry standalone, then sort the fragments: unordered_map
+  // iteration order must not leak into the file bytes.
+  std::vector<std::string> Fragments;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Fragments.reserve(Map.size());
+    for (const auto &[Key, E] : Map) {
+      if (!E || !E->Result.Closed)
+        continue; // never solved (entry raced with shutdown)
+      if (E->Result.Degraded)
+        continue; // reflects a budget, not the equation
+      Fragments.push_back(serializeEntry(Key, E->Result));
+    }
+  }
+  std::sort(Fragments.begin(), Fragments.end());
+
+  std::string Doc = "{\"version\":" + std::to_string(DiskFormatVersion) +
+                    ",\"entries\":[";
+  for (size_t I = 0; I != Fragments.size(); ++I) {
+    if (I)
+      Doc += ',';
+    Doc += Fragments[I];
+  }
+  Doc += "]}";
+
+  std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out.is_open()) {
+      if (Error)
+        *Error = Tmp + ": cannot open for writing";
+      return false;
+    }
+    Out << Doc;
+    Out.flush();
+    if (!Out) {
+      if (Error)
+        *Error = Tmp + ": write failed";
+      std::remove(Tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    if (Error)
+      *Error = Path + ": rename from temp file failed";
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  return true;
 }

@@ -86,11 +86,14 @@ public:
     std::vector<std::pair<std::string, std::string>> RenameBack;
   };
 
-  /// Renames variables/function to canonical form and serializes the key.
-  /// Returns nullopt when the equation must bypass the cache: the additive
-  /// part still contains unknown function calls (the solver diagnoses
-  /// those with an equation-specific Why), or a variable already uses the
-  /// reserved "_g" prefix (renaming would capture).
+  /// Renames variables/function to canonical form ("_g0", "_g1", ..., "f").
+  /// This is the *single* canonicalizer: the in-memory CacheKey and the
+  /// on-disk JSON format (saveToFile) both serialize exactly what it
+  /// produces, so the two representations cannot drift.  Returns nullopt
+  /// when the equation must bypass the cache: the additive part still
+  /// contains unknown function calls (the solver diagnoses those with an
+  /// equation-specific Why), or a variable already uses the reserved "_g"
+  /// prefix (renaming would capture).
   static std::optional<Canonical> canonicalize(const Recurrence &R);
 
   /// Solves \p R through the cache: canonicalize, look up (inserting a
@@ -106,20 +109,57 @@ public:
 
   uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
   uint64_t misses() const { return Misses.load(std::memory_order_relaxed); }
+  /// Hits served by entries that were loaded from a disk cache file.
+  uint64_t diskHits() const {
+    return DiskHits.load(std::memory_order_relaxed);
+  }
   size_t entries() const;
 
   void clear();
+
+  /// \name Persistent on-disk cache (JSON via support/Json).
+  ///
+  /// The file stores the canonical keys exactly as canonicalize()
+  /// produces them plus their solved closed forms, versioned by
+  /// DiskFormatVersion; each entry additionally carries its schema-table
+  /// signature, so one file serves every solver configuration and
+  /// ablation runs never see full-table entries.  Degraded results are
+  /// never written (they reflect a budget, not the equation).  A corrupt,
+  /// unparsable or wrong-version file is rejected with a diagnostic
+  /// message and an empty cache — never undefined behavior.
+  /// @{
+
+  /// Bump when the JSON layout changes; old files are then rejected
+  /// (and overwritten on the next save).
+  static constexpr int DiskFormatVersion = 1;
+
+  /// Merges the entries of \p Path into this cache (loaded entries count
+  /// hits as disk hits).  Returns false and sets \p Error when the file
+  /// exists but is corrupt or has the wrong version; a missing file is
+  /// success with zero entries (first run).
+  bool loadFromFile(const std::string &Path, std::string *Error = nullptr);
+
+  /// Writes every solved, non-degraded entry to \p Path (atomically via a
+  /// temp file + rename).  Returns false and sets \p Error on I/O errors.
+  bool saveToFile(const std::string &Path,
+                  std::string *Error = nullptr) const;
+
+  /// @}
 
 private:
   struct Entry {
     std::once_flag Once;
     SolveResult Result;
+    /// Preloaded from a cache file (Once already fired); hits on such
+    /// entries bump DiskHits.
+    bool FromDisk = false;
   };
 
   mutable std::mutex Mutex;
   std::unordered_map<CacheKey, std::shared_ptr<Entry>, CacheKeyHash> Map;
   std::atomic<uint64_t> Hits{0};
   std::atomic<uint64_t> Misses{0};
+  std::atomic<uint64_t> DiskHits{0};
 };
 
 } // namespace granlog

@@ -151,3 +151,26 @@ void CallGraph::strongConnect(Functor V) {
     }
   }
 }
+
+std::vector<unsigned> CallGraph::reachableSCCs(Functor Pred) const {
+  std::vector<bool> Seen(SCCs.size(), false);
+  std::vector<unsigned> Work{sccId(Pred)};
+  Seen[Work.front()] = true;
+  while (!Work.empty()) {
+    unsigned Id = Work.back();
+    Work.pop_back();
+    for (Functor F : sccMembers(Id))
+      for (Functor Callee : callees(F)) {
+        unsigned CalleeId = sccId(Callee);
+        if (!Seen[CalleeId]) {
+          Seen[CalleeId] = true;
+          Work.push_back(CalleeId);
+        }
+      }
+  }
+  std::vector<unsigned> Out;
+  for (unsigned Id = 0; Id != Seen.size(); ++Id)
+    if (Seen[Id])
+      Out.push_back(Id);
+  return Out;
+}

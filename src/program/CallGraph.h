@@ -63,6 +63,11 @@ public:
   /// adjacent).
   const std::vector<Functor> &topologicalOrder() const { return TopoOrder; }
 
+  /// Ids of every SCC reachable from \p Pred's SCC via callee edges
+  /// (including its own), sorted ascending.  The demand-driven entry
+  /// point (analyze_file --only) analyzes exactly this set.
+  std::vector<unsigned> reachableSCCs(Functor Pred) const;
+
 private:
   void runTarjan();
   void strongConnect(Functor V);

@@ -1,0 +1,204 @@
+//===- program/Fingerprint.cpp --------------------------------------------===//
+
+#include "program/Fingerprint.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+using namespace granlog;
+
+uint64_t granlog::fingerprintCombine(uint64_t Seed, uint64_t V) {
+  uint64_t H = Seed ^ (V + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2));
+  H ^= H >> 30;
+  H *= 0xbf58476d1ce4e5b9ULL;
+  H ^= H >> 27;
+  H *= 0x94d049bb133111ebULL;
+  H ^= H >> 31;
+  return H;
+}
+
+uint64_t granlog::fingerprintString(uint64_t Seed, std::string_view S) {
+  // FNV-1a over the bytes, then one combine so runs of strings don't
+  // concatenate ambiguously ("ab"+"c" vs "a"+"bc").
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 0x100000001b3ULL;
+  }
+  Seed = fingerprintCombine(Seed, H);
+  return fingerprintCombine(Seed, S.size());
+}
+
+namespace {
+
+/// Kind tags mixed in ahead of each node so that e.g. the atom 'foo' and
+/// a variable never collide structurally.
+enum : uint64_t {
+  TagVar = 1,
+  TagAtom = 2,
+  TagInt = 3,
+  TagFloat = 4,
+  TagStruct = 5,
+  TagNoTerm = 6, // absent optional term (e.g. no trust_cost)
+};
+
+/// Walks terms, numbering variables by first occurrence so the
+/// fingerprint is invariant under renaming.  One walker per clause (or
+/// per standalone declaration term): variable numbering is scoped to it.
+class TermHasher {
+public:
+  explicit TermHasher(const SymbolTable &Symbols) : Symbols(Symbols) {}
+
+  uint64_t hash(uint64_t Seed, const Term *T) {
+    if (!T)
+      return fingerprintCombine(Seed, TagNoTerm);
+    switch (T->kind()) {
+    case TermKind::Variable: {
+      const VarTerm *V = cast<VarTerm>(T);
+      auto [It, Inserted] = VarIds.try_emplace(V, VarIds.size());
+      (void)Inserted;
+      Seed = fingerprintCombine(Seed, TagVar);
+      return fingerprintCombine(Seed, It->second);
+    }
+    case TermKind::Atom:
+      Seed = fingerprintCombine(Seed, TagAtom);
+      return fingerprintString(Seed, Symbols.text(cast<AtomTerm>(T)->name()));
+    case TermKind::Int:
+      Seed = fingerprintCombine(Seed, TagInt);
+      return fingerprintCombine(
+          Seed, static_cast<uint64_t>(cast<IntTerm>(T)->value()));
+    case TermKind::Float: {
+      Seed = fingerprintCombine(Seed, TagFloat);
+      double D = cast<FloatTerm>(T)->value();
+      uint64_t Bits;
+      static_assert(sizeof(Bits) == sizeof(D));
+      __builtin_memcpy(&Bits, &D, sizeof(Bits));
+      return fingerprintCombine(Seed, Bits);
+    }
+    case TermKind::Struct: {
+      const StructTerm *S = cast<StructTerm>(T);
+      Seed = fingerprintCombine(Seed, TagStruct);
+      Seed = fingerprintString(Seed, Symbols.text(S->name()));
+      Seed = fingerprintCombine(Seed, S->arity());
+      for (const Term *Arg : S->args())
+        Seed = hash(Seed, Arg);
+      return Seed;
+    }
+    }
+    return Seed;
+  }
+
+private:
+  const SymbolTable &Symbols;
+  // Keyed by VarTerm identity: the loader creates one VarTerm per
+  // distinct source name per clause, so identity == clause-local name.
+  std::unordered_map<const VarTerm *, uint64_t> VarIds;
+};
+
+} // namespace
+
+uint64_t granlog::clauseFingerprint(const Clause &C,
+                                    const SymbolTable &Symbols) {
+  // Hash head then the full body term (not just the flattened literals:
+  // the control structure — ','/2 vs '&'/2 vs ';'/2 — is semantic).
+  TermHasher Hasher(Symbols);
+  uint64_t Seed = fingerprintCombine(0x67726c6f67ULL /* "grlog" */, 1);
+  Seed = Hasher.hash(Seed, C.head());
+  return Hasher.hash(Seed, C.body());
+}
+
+uint64_t granlog::predicateFingerprint(const Predicate &Pred,
+                                       const SymbolTable &Symbols) {
+  uint64_t Seed = fingerprintString(0x70726564ULL /* "pred" */,
+                                    Symbols.text(Pred.functor().Name));
+  Seed = fingerprintCombine(Seed, Pred.functor().Arity);
+
+  // Clause multiset: sorted so reordering clauses does not change the
+  // fingerprint (the analyses treat clauses as a set: max/sum over clause
+  // costs, pairwise exclusion).
+  std::vector<uint64_t> ClauseFps;
+  ClauseFps.reserve(Pred.clauses().size());
+  for (const Clause &C : Pred.clauses())
+    ClauseFps.push_back(clauseFingerprint(C, Symbols));
+  std::sort(ClauseFps.begin(), ClauseFps.end());
+  Seed = fingerprintCombine(Seed, ClauseFps.size());
+  for (uint64_t F : ClauseFps)
+    Seed = fingerprintCombine(Seed, F);
+
+  // Declarations that feed the analyses.
+  Seed = fingerprintCombine(Seed, Pred.declaredModes().size());
+  for (ArgMode M : Pred.declaredModes())
+    Seed = fingerprintCombine(Seed, static_cast<uint64_t>(M));
+  Seed = fingerprintCombine(Seed, Pred.declaredMeasures().size());
+  for (MeasureKind M : Pred.declaredMeasures())
+    Seed = fingerprintCombine(Seed, static_cast<uint64_t>(M));
+  Seed =
+      fingerprintCombine(Seed, static_cast<uint64_t>(Pred.parallelDecl()));
+
+  {
+    TermHasher Hasher(Symbols);
+    Seed = Hasher.hash(Seed, Pred.trustCost());
+  }
+  // trustSizes is an unordered map: fold in position order.
+  std::vector<std::pair<unsigned, const Term *>> Trusts(
+      Pred.trustSizes().begin(), Pred.trustSizes().end());
+  std::sort(Trusts.begin(), Trusts.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+  Seed = fingerprintCombine(Seed, Trusts.size());
+  for (const auto &[Pos, T] : Trusts) {
+    Seed = fingerprintCombine(Seed, Pos);
+    TermHasher Hasher(Symbols);
+    Seed = Hasher.hash(Seed, T);
+  }
+  return Seed;
+}
+
+SCCFingerprints
+granlog::fingerprintSCCs(const Program &P, const CallGraph &CG,
+                         const std::function<uint64_t(Functor)> &MemberSalt) {
+  const SymbolTable &Symbols = P.symbols();
+  const unsigned N = CG.numSCCs();
+  SCCFingerprints FP;
+  FP.Content.resize(N);
+  FP.Combined.resize(N);
+
+  for (unsigned Id = 0; Id != N; ++Id) {
+    // Members sorted by name text: SCC membership is a set, and Tarjan's
+    // emission order depends on definition order, which must not matter.
+    std::vector<std::pair<std::string, Functor>> Members;
+    for (Functor F : CG.sccMembers(Id))
+      Members.emplace_back(Symbols.text(F), F);
+    std::sort(Members.begin(), Members.end(),
+              [](const auto &A, const auto &B) { return A.first < B.first; });
+
+    uint64_t Seed = fingerprintCombine(0x736363ULL /* "scc" */, Members.size());
+    for (const auto &[Name, F] : Members) {
+      Seed = fingerprintString(Seed, Name);
+      if (const Predicate *Pred = P.lookup(F))
+        Seed = fingerprintCombine(Seed, predicateFingerprint(*Pred, Symbols));
+      if (MemberSalt)
+        Seed = fingerprintCombine(Seed, MemberSalt(F));
+    }
+    FP.Content[Id] = Seed;
+
+    // Callee SCCs' combined fingerprints, deduplicated and sorted by
+    // *value* (not by SCC id: ids depend on Tarjan's visit order, which
+    // follows definition order and must not matter).  Ids are
+    // callee-first so Combined[CalleeId] is already final here.
+    std::vector<uint64_t> CalleeFps;
+    for (const auto &[Name, F] : Members)
+      for (Functor Callee : CG.callees(F))
+        if (unsigned CalleeId = CG.sccId(Callee); CalleeId != Id)
+          CalleeFps.push_back(FP.Combined[CalleeId]);
+    std::sort(CalleeFps.begin(), CalleeFps.end());
+    CalleeFps.erase(std::unique(CalleeFps.begin(), CalleeFps.end()),
+                    CalleeFps.end());
+
+    uint64_t Combined = fingerprintCombine(Seed, CalleeFps.size());
+    for (uint64_t F : CalleeFps)
+      Combined = fingerprintCombine(Combined, F);
+    FP.Combined[Id] = Combined;
+  }
+  return FP;
+}

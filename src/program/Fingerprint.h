@@ -1,0 +1,86 @@
+//===- program/Fingerprint.h - Content fingerprints -----------------------===//
+//
+// Part of GranLog; see DESIGN.md "Incremental analysis & persistent
+// caching".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Canonical 64-bit content fingerprints of clauses, predicates and
+/// call-graph SCCs — the change-detection layer of the incremental
+/// analysis engine (AnalysisSession).
+///
+/// Invariance properties, by construction:
+///   - whitespace/comments: fingerprints hash the parsed term structure,
+///     never source text or SourceLocs;
+///   - variable renaming: variables are numbered by first occurrence in a
+///     pre-order walk of head-then-body, so the names never enter the
+///     hash;
+///   - clause reordering within a predicate: the predicate fingerprint
+///     combines the *sorted* multiset of its clause fingerprints.
+///
+/// The SCC fingerprints implement the invalidation rule: an SCC's
+/// *content* fingerprint covers its members' clauses, declarations and a
+/// caller-supplied per-member salt (the session feeds in computed modes,
+/// determinacy and solution bounds, since mode inference flows top-down
+/// from entry points and so is not derivable from the SCC's own text);
+/// its *combined* fingerprint additionally folds in every callee SCC's
+/// combined fingerprint.  A change anywhere below an SCC therefore
+/// changes its combined fingerprint — "invalidate dirty SCCs and their
+/// transitive callers" reduces to a lookup miss on the combined value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_PROGRAM_FINGERPRINT_H
+#define GRANLOG_PROGRAM_FINGERPRINT_H
+
+#include "program/CallGraph.h"
+#include "program/Program.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace granlog {
+
+/// splitmix64-style combine: mixes \p V into \p Seed.  The same mixer the
+/// solver-cache and interner hashes use, kept 64-bit and
+/// platform-independent so fingerprints are stable across builds.
+uint64_t fingerprintCombine(uint64_t Seed, uint64_t V);
+
+/// Mixes a string's bytes (FNV-1a folded through the combiner).
+uint64_t fingerprintString(uint64_t Seed, std::string_view S);
+
+/// Canonical fingerprint of one clause: head and body literals hashed
+/// structurally with variables numbered by first occurrence.
+uint64_t clauseFingerprint(const Clause &C, const SymbolTable &Symbols);
+
+/// Canonical fingerprint of a predicate: name/arity, the sorted multiset
+/// of clause fingerprints, and every analysis-relevant declaration
+/// (modes, measures, parallel/sequential, trust_cost/trust_size).
+uint64_t predicateFingerprint(const Predicate &Pred,
+                              const SymbolTable &Symbols);
+
+/// Per-SCC fingerprints, indexed by CallGraph SCC id.
+struct SCCFingerprints {
+  /// The SCC's own content: member predicate fingerprints (sorted by
+  /// member name) plus the per-member salt.
+  std::vector<uint64_t> Content;
+  /// Content plus every callee SCC's Combined value (deduplicated,
+  /// sorted) — the store key of the incremental session.
+  std::vector<uint64_t> Combined;
+};
+
+/// Computes both fingerprint vectors for every SCC of \p CG.
+/// \p MemberSalt (optional) supplies extra per-member content to fold
+/// into the SCC fingerprint — computed analysis inputs that are not a
+/// function of the SCC's own clauses (inferred modes, determinacy,
+/// solution bounds).
+SCCFingerprints
+fingerprintSCCs(const Program &P, const CallGraph &CG,
+                const std::function<uint64_t(Functor)> &MemberSalt = {});
+
+} // namespace granlog
+
+#endif // GRANLOG_PROGRAM_FINGERPRINT_H

@@ -607,12 +607,12 @@ void SizeAnalysis::analyzeSCC(const std::vector<Functor> &Members) {
         ResourceBudget->record({"size", *K, P->symbols().text(F)});
       }
       PI.Exact &= Exact;
-      if (Stats) {
-        Stats->add("size.outputs");
+      if (statsActive(Stats)) {
+        statsAdd(Stats, "size.outputs");
         if (PI.OutputSize[O] && PI.OutputSize[O]->isInfinity())
-          Stats->add("size.infinity");
+          statsAdd(Stats, "size.infinity");
         if (!Exact)
-          Stats->add("size.relaxed");
+          statsAdd(Stats, "size.relaxed");
       }
     }
   }

@@ -106,6 +106,16 @@ public:
   /// Analyzes one SCC; every callee SCC (smaller id) must be complete.
   void analyzeSCCById(unsigned Id) { analyzeSCC(CG->sccMembers(Id)); }
 
+  /// Installs a previously computed result for \p F, as if its SCC had
+  /// been analyzed.  The incremental session uses this to replay stored
+  /// results for fingerprint-clean SCCs; call before the dirty SCCs run
+  /// (their clause walks read callee sizes from this table).
+  /// PredicateSizeInfo is arena-independent, so results stored from one
+  /// Program revision are valid for any other with equal fingerprints.
+  void injectInfo(Functor F, PredicateSizeInfo PI) {
+    Info[F] = std::move(PI);
+  }
+
   const PredicateSizeInfo &info(Functor F) const;
 
   /// Walks one clause of \p Pred with the current solved knowledge,

@@ -6,6 +6,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 using namespace granlog;
 
@@ -309,4 +310,308 @@ private:
 
 bool granlog::jsonValidate(std::string_view Text) {
   return Scanner(Text).run();
+}
+
+//===----------------------------------------------------------------------===//
+// Parser: the same recursive descent as the validator, building values.
+//===----------------------------------------------------------------------===//
+
+const JsonValue *JsonValue::find(std::string_view Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &[Name, V] : Obj)
+    if (Name == Key)
+      return &V;
+  return nullptr;
+}
+
+std::optional<std::string>
+JsonValue::stringMember(std::string_view Key) const {
+  const JsonValue *V = find(Key);
+  if (!V || !V->isString())
+    return std::nullopt;
+  return V->string();
+}
+
+std::optional<int64_t> JsonValue::intMember(std::string_view Key) const {
+  const JsonValue *V = find(Key);
+  if (!V || !V->isNumber())
+    return std::nullopt;
+  return V->asInt();
+}
+
+std::optional<bool> JsonValue::boolMember(std::string_view Key) const {
+  const JsonValue *V = find(Key);
+  if (!V || !V->isBool())
+    return std::nullopt;
+  return V->boolean();
+}
+
+namespace granlog {
+
+/// The recursive-descent parser behind jsonParse (named so JsonValue can
+/// befriend it).
+class JsonParser {
+public:
+  explicit JsonParser(std::string_view Text) : Text(Text) {}
+
+  std::optional<JsonValue> run() {
+    JsonValue V;
+    skipWs();
+    if (!value(V))
+      return std::nullopt;
+    skipWs();
+    if (Pos != Text.size())
+      return std::nullopt;
+    return V;
+  }
+
+private:
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+  bool eat(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+  bool literal(std::string_view L) {
+    if (Text.substr(Pos, L.size()) == L) {
+      Pos += L.size();
+      return true;
+    }
+    return false;
+  }
+
+  static void appendUtf8(std::string &Out, uint32_t Cp) {
+    if (Cp < 0x80) {
+      Out += static_cast<char>(Cp);
+    } else if (Cp < 0x800) {
+      Out += static_cast<char>(0xC0 | (Cp >> 6));
+      Out += static_cast<char>(0x80 | (Cp & 0x3F));
+    } else if (Cp < 0x10000) {
+      Out += static_cast<char>(0xE0 | (Cp >> 12));
+      Out += static_cast<char>(0x80 | ((Cp >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (Cp & 0x3F));
+    } else {
+      Out += static_cast<char>(0xF0 | (Cp >> 18));
+      Out += static_cast<char>(0x80 | ((Cp >> 12) & 0x3F));
+      Out += static_cast<char>(0x80 | ((Cp >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (Cp & 0x3F));
+    }
+  }
+
+  bool hex4(uint32_t &Out) {
+    Out = 0;
+    for (int I = 0; I != 4; ++I) {
+      if (Pos >= Text.size())
+        return false;
+      char C = Text[Pos++];
+      uint32_t D;
+      if (C >= '0' && C <= '9')
+        D = C - '0';
+      else if (C >= 'a' && C <= 'f')
+        D = C - 'a' + 10;
+      else if (C >= 'A' && C <= 'F')
+        D = C - 'A' + 10;
+      else
+        return false;
+      Out = Out * 16 + D;
+    }
+    return true;
+  }
+
+  bool string(std::string &Out) {
+    if (!eat('"'))
+      return false;
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (static_cast<unsigned char>(C) < 0x20)
+        return false;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        return false;
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out += E;
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        uint32_t Cp;
+        if (!hex4(Cp))
+          return false;
+        // Surrogate pair => one supplementary code point.
+        if (Cp >= 0xD800 && Cp <= 0xDBFF && Pos + 1 < Text.size() &&
+            Text[Pos] == '\\' && Text[Pos + 1] == 'u') {
+          size_t Save = Pos;
+          Pos += 2;
+          uint32_t Low;
+          if (hex4(Low) && Low >= 0xDC00 && Low <= 0xDFFF)
+            Cp = 0x10000 + ((Cp - 0xD800) << 10) + (Low - 0xDC00);
+          else
+            Pos = Save; // lone high surrogate: keep as-is
+        }
+        appendUtf8(Out, Cp);
+        break;
+      }
+      default:
+        return false;
+      }
+    }
+    return false;
+  }
+
+  bool number(double &Out) {
+    size_t Start = Pos;
+    eat('-');
+    if (eat('0')) {
+      // no leading zeros
+    } else {
+      if (Pos >= Text.size() ||
+          !std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        return false;
+      while (Pos < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+    }
+    if (eat('.')) {
+      if (Pos >= Text.size() ||
+          !std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        return false;
+      while (Pos < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      if (Pos >= Text.size() ||
+          !std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        return false;
+      while (Pos < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+    }
+    if (Pos == Start)
+      return false;
+    Out = std::strtod(std::string(Text.substr(Start, Pos - Start)).c_str(),
+                      nullptr);
+    return true;
+  }
+
+  bool value(JsonValue &V) {
+    if (++Depth > 256)
+      return false;
+    bool Ok = valueImpl(V);
+    --Depth;
+    return Ok;
+  }
+
+  bool valueImpl(JsonValue &V) {
+    skipWs();
+    if (Pos >= Text.size())
+      return false;
+    char C = Text[Pos];
+    if (C == '{') {
+      ++Pos;
+      V.K = JsonValue::Kind::Object;
+      skipWs();
+      if (eat('}'))
+        return true;
+      for (;;) {
+        skipWs();
+        std::string Key;
+        if (!string(Key))
+          return false;
+        skipWs();
+        if (!eat(':'))
+          return false;
+        JsonValue Member;
+        if (!value(Member))
+          return false;
+        V.Obj.emplace_back(std::move(Key), std::move(Member));
+        skipWs();
+        if (eat('}'))
+          return true;
+        if (!eat(','))
+          return false;
+      }
+    }
+    if (C == '[') {
+      ++Pos;
+      V.K = JsonValue::Kind::Array;
+      skipWs();
+      if (eat(']'))
+        return true;
+      for (;;) {
+        JsonValue Element;
+        if (!value(Element))
+          return false;
+        V.Arr.push_back(std::move(Element));
+        skipWs();
+        if (eat(']'))
+          return true;
+        if (!eat(','))
+          return false;
+      }
+    }
+    if (C == '"') {
+      V.K = JsonValue::Kind::String;
+      return string(V.Str);
+    }
+    if (C == 't') {
+      V.K = JsonValue::Kind::Bool;
+      V.Bool = true;
+      return literal("true");
+    }
+    if (C == 'f') {
+      V.K = JsonValue::Kind::Bool;
+      V.Bool = false;
+      return literal("false");
+    }
+    if (C == 'n') {
+      V.K = JsonValue::Kind::Null;
+      return literal("null");
+    }
+    V.K = JsonValue::Kind::Number;
+    return number(V.Num);
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+  int Depth = 0;
+};
+
+} // namespace granlog
+
+std::optional<JsonValue> granlog::jsonParse(std::string_view Text) {
+  return JsonParser(Text).run();
 }

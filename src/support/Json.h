@@ -18,8 +18,10 @@
 #define GRANLOG_SUPPORT_JSON_H
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace granlog {
@@ -77,6 +79,62 @@ private:
 /// Checks that \p Text is one syntactically valid JSON value (with
 /// optional surrounding whitespace).  Used by tests of emitted documents.
 bool jsonValidate(std::string_view Text);
+
+/// A parsed JSON value (the reader counterpart of JsonWriter), used by the
+/// persistent solver cache.  Objects keep their members in document order;
+/// find() does a linear scan — documents here are small and written by us.
+/// Numbers are stored as double (exact for the int64 magnitudes the cache
+/// serializes, which stay far below 2^53).
+class JsonValue {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() : K(Kind::Null) {}
+  explicit JsonValue(bool B) : K(Kind::Bool), Bool(B) {}
+  explicit JsonValue(double D) : K(Kind::Number), Num(D) {}
+  explicit JsonValue(std::string S) : K(Kind::String), Str(std::move(S)) {}
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool boolean() const { return Bool; }
+  double number() const { return Num; }
+  int64_t asInt() const { return static_cast<int64_t>(Num); }
+  const std::string &string() const { return Str; }
+  const std::vector<JsonValue> &array() const { return Arr; }
+  const std::vector<std::pair<std::string, JsonValue>> &members() const {
+    return Obj;
+  }
+
+  /// Object member by key, or nullptr (also when this is not an object).
+  const JsonValue *find(std::string_view Key) const;
+
+  /// \name Typed member lookups: the value on match, nullopt otherwise.
+  /// @{
+  std::optional<std::string> stringMember(std::string_view Key) const;
+  std::optional<int64_t> intMember(std::string_view Key) const;
+  std::optional<bool> boolMember(std::string_view Key) const;
+  /// @}
+
+private:
+  friend class JsonParser;
+  Kind K;
+  bool Bool = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<JsonValue> Arr;
+  std::vector<std::pair<std::string, JsonValue>> Obj;
+};
+
+/// Parses one JSON value (with optional surrounding whitespace); nullopt on
+/// any syntax error or trailing garbage.  Accepts exactly the grammar
+/// jsonValidate accepts, up to the same 256-level nesting bound.
+std::optional<JsonValue> jsonParse(std::string_view Text);
 
 } // namespace granlog
 

@@ -111,3 +111,19 @@ void StatsRegistry::writeJson(JsonWriter &W) const {
   W.endObject();
   W.endObject();
 }
+
+//===----------------------------------------------------------------------===//
+// StatsCapture thread-local installation (mirrors MeterScope/Budget.cpp).
+//===----------------------------------------------------------------------===//
+
+namespace {
+thread_local StatsCapture *ActiveCapture = nullptr;
+} // namespace
+
+StatsCapture *granlog::currentStatsCapture() { return ActiveCapture; }
+
+StatsCaptureScope::StatsCaptureScope(StatsCapture *C) : Prev(ActiveCapture) {
+  ActiveCapture = C;
+}
+
+StatsCaptureScope::~StatsCaptureScope() { ActiveCapture = Prev; }

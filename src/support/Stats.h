@@ -135,10 +135,72 @@ private:
   std::chrono::steady_clock::time_point Start;
 };
 
+/// A per-scope counter sink for the incremental session: while a
+/// StatsCaptureScope is installed on a thread, every statsAdd() on that
+/// thread is additionally accumulated here (even with a null registry, so
+/// results recorded during a stats-off update can still be replayed into
+/// a later stats-on one).  The analyzer installs one capture per SCC job;
+/// replaying the captured map into a fresh registry reproduces the SCC's
+/// counter activity exactly — the foundation of the warm-run == cold-run
+/// stats-JSON byte identity.  Not thread-safe by itself: one capture is
+/// only ever installed on one thread at a time.
+class StatsCapture {
+public:
+  void add(std::string_view Name, uint64_t N) {
+    auto It = Counters.find(Name);
+    if (It == Counters.end())
+      Counters.emplace(std::string(Name), N);
+    else
+      It->second += N;
+  }
+
+  const std::map<std::string, uint64_t, std::less<>> &counters() const {
+    return Counters;
+  }
+  bool empty() const { return Counters.empty(); }
+
+  /// Replays every captured counter into \p S (null-safe).
+  void replay(StatsRegistry *S) const {
+    if (!S)
+      return;
+    for (const auto &[Name, N] : Counters)
+      S->add(Name, N);
+  }
+
+private:
+  std::map<std::string, uint64_t, std::less<>> Counters;
+};
+
+/// The capture installed on the current thread (null = capture off).
+StatsCapture *currentStatsCapture();
+
+/// RAII: installs \p C as the current thread's capture for the scope,
+/// restoring the previous one on exit (mirrors MeterScope in Budget.h).
+class StatsCaptureScope {
+public:
+  explicit StatsCaptureScope(StatsCapture *C);
+  ~StatsCaptureScope();
+  StatsCaptureScope(const StatsCaptureScope &) = delete;
+  StatsCaptureScope &operator=(const StatsCaptureScope &) = delete;
+
+private:
+  StatsCapture *Prev;
+};
+
 /// \name Null-safe recording helpers for instrumented call sites.
+/// Counter increments are teed into the current thread's StatsCapture
+/// (when one is installed) so the incremental session can replay them.
 /// @{
+
+/// True when statsAdd would record somewhere; guards call sites that
+/// build counter names eagerly (string concatenation).
+inline bool statsActive(StatsRegistry *S) {
+  return S || currentStatsCapture();
+}
 inline void statsAdd(StatsRegistry *S, std::string_view Name,
                      uint64_t N = 1) {
+  if (StatsCapture *C = currentStatsCapture())
+    C->add(Name, N);
   if (S)
     S->add(Name, N);
 }

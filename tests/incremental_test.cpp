@@ -1,0 +1,367 @@
+//===- tests/incremental_test.cpp - Incremental analysis engine lockdown --===//
+//
+// The incremental engine's two contracts:
+//
+//  1. Fingerprint stability: clause reordering, variable renaming and
+//     whitespace/comment edits change no fingerprint and invalidate no
+//     SCC; a one-literal body edit invalidates exactly the edited SCC and
+//     its transitive callers.
+//  2. Warm == cold: after any edit sequence, an AnalysisSession's report,
+//     provenance text and stats counters are byte-identical to a cold
+//     full analysis of the same revision — including counter-budget
+//     degradations, which replay from the store.
+//
+// Plus the persistent solver cache's session-level behavior: roundtrip
+// through CacheDir, and corrupt files degrading to a fresh cache with a
+// diagnostic rather than UB.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AnalysisSession.h"
+#include "core/GranularityAnalyzer.h"
+#include "corpus/Corpus.h"
+#include "program/Fingerprint.h"
+#include "support/Json.h"
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+
+using namespace granlog;
+
+namespace {
+
+// app/len/main: three single-predicate SCCs, main calls both others.
+constexpr const char BaseSource[] = R"(
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+len([], 0).
+len([_|T], N) :- len(T, M), N is M + 1.
+main(X, Y, N) :- app(X, Y, Z), len(Z, N).
+)";
+
+// The same program: clauses reordered within app, every variable renamed,
+// comments and whitespace shuffled.  Must fingerprint identically.
+constexpr const char ShuffledSource[] = R"(
+% a comment that must never enter a fingerprint
+app([A|B], C,     [A|D]) :- app(B, C, D).
+app([], Q, Q).
+
+len([], 0).
+len([_|Ys], Count) :- len(Ys, Sub),   Count is Sub + 1.
+main(Left, Right, Size) :- app(Left, Right, Both), len(Both, Size).
+)";
+
+// One literal of len's recursive body edited (+ 1 -> + 2): len and its
+// caller main are dirty, app is not.
+constexpr const char EditedSource[] = R"(
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+len([], 0).
+len([_|T], N) :- len(T, M), N is M + 2.
+main(X, Y, N) :- app(X, Y, Z), len(Z, N).
+)";
+
+std::optional<Program> load(const char *Source, TermArena &Arena) {
+  Diagnostics Diags;
+  std::optional<Program> P = loadProgram(Source, Arena, Diags);
+  EXPECT_TRUE(P) << Diags.str();
+  return P;
+}
+
+/// Per-predicate fingerprints keyed by predicate text, so two revisions
+/// can be compared without assuming identical symbol ids.
+std::map<std::string, uint64_t> predicateFps(const Program &P) {
+  std::map<std::string, uint64_t> Out;
+  for (const auto &Pred : P.predicates())
+    Out[P.symbols().text(Pred->functor())] =
+        predicateFingerprint(*Pred, P.symbols());
+  return Out;
+}
+
+/// Combined SCC fingerprints keyed by the sorted member list's first
+/// element (every SCC here is a singleton).
+std::map<std::string, uint64_t> combinedFps(const Program &P) {
+  CallGraph CG(P);
+  SCCFingerprints FP = fingerprintSCCs(P, CG);
+  std::map<std::string, uint64_t> Out;
+  for (const auto &Pred : P.predicates())
+    Out[P.symbols().text(Pred->functor())] =
+        FP.Combined[CG.sccId(Pred->functor())];
+  return Out;
+}
+
+TEST(FingerprintStability, ReorderRenameAndCommentsChangeNothing) {
+  TermArena A1, A2;
+  std::optional<Program> Base = load(BaseSource, A1);
+  std::optional<Program> Shuffled = load(ShuffledSource, A2);
+  ASSERT_TRUE(Base && Shuffled);
+  EXPECT_EQ(predicateFps(*Base), predicateFps(*Shuffled));
+  EXPECT_EQ(combinedFps(*Base), combinedFps(*Shuffled));
+}
+
+TEST(FingerprintStability, BodyEditDirtiesExactlyTransitiveCallers) {
+  TermArena A1, A2;
+  std::optional<Program> Base = load(BaseSource, A1);
+  std::optional<Program> Edited = load(EditedSource, A2);
+  ASSERT_TRUE(Base && Edited);
+
+  std::map<std::string, uint64_t> P1 = predicateFps(*Base);
+  std::map<std::string, uint64_t> P2 = predicateFps(*Edited);
+  EXPECT_EQ(P1["app/3"], P2["app/3"]);
+  EXPECT_NE(P1["len/2"], P2["len/2"]);
+  EXPECT_EQ(P1["main/3"], P2["main/3"]) << "main's own text is unchanged";
+
+  // Combined fingerprints implement the invalidation rule: the edited SCC
+  // *and* its transitive caller change; the independent callee does not.
+  std::map<std::string, uint64_t> C1 = combinedFps(*Base);
+  std::map<std::string, uint64_t> C2 = combinedFps(*Edited);
+  EXPECT_EQ(C1["app/3"], C2["app/3"]);
+  EXPECT_NE(C1["len/2"], C2["len/2"]);
+  EXPECT_NE(C1["main/3"], C2["main/3"]);
+}
+
+TEST(SessionTest, ReorderRenameReusesEverySCC) {
+  TermArena A1, A2;
+  std::optional<Program> Base = load(BaseSource, A1);
+  std::optional<Program> Shuffled = load(ShuffledSource, A2);
+  ASSERT_TRUE(Base && Shuffled);
+
+  AnalysisSession Session({});
+  SessionUpdate First = Session.update(*Base);
+  EXPECT_EQ(First.TotalSCCs, 3u);
+  EXPECT_EQ(First.AnalyzedSCCs, 3u);
+  EXPECT_EQ(First.ReusedSCCs, 0u);
+
+  const SessionUpdate &Second = Session.update(*Shuffled);
+  EXPECT_EQ(Second.AnalyzedSCCs, 0u);
+  EXPECT_EQ(Second.ReusedSCCs, 3u);
+  // Same analysis results, replayed (clause order inside app differs, but
+  // size/cost/threshold facts are order-invariant for this program).
+  EXPECT_EQ(Second.Report, First.Report);
+}
+
+TEST(SessionTest, EditReanalyzesOnlyDirtySCCs) {
+  TermArena A1, A2;
+  std::optional<Program> Base = load(BaseSource, A1);
+  std::optional<Program> Edited = load(EditedSource, A2);
+  ASSERT_TRUE(Base && Edited);
+
+  AnalysisSession Session({});
+  Session.update(*Base);
+  const SessionUpdate &U = Session.update(*Edited);
+  EXPECT_EQ(U.TotalSCCs, 3u);
+  EXPECT_EQ(U.AnalyzedSCCs, 2u) << "len/2 and its caller main/3";
+  EXPECT_EQ(U.ReusedSCCs, 1u) << "app/3 is not affected by the edit";
+}
+
+/// Strips the "values" member (wall-clock timers, the only legitimately
+/// schedule-dependent data) from a stats JSON document.
+std::string stripTimers(std::string S) {
+  size_t Pos = S.find("\"values\":{");
+  if (Pos == std::string::npos)
+    return S;
+  size_t End = S.find('}', Pos);
+  if (End + 1 < S.size() && S[End + 1] == ',') {
+    ++End;
+  } else if (Pos > 0 && S[Pos - 1] == ',') {
+    --Pos;
+  }
+  S.erase(Pos, End - Pos + 1);
+  return S;
+}
+
+struct ColdSnapshot {
+  std::string Report;
+  std::string ExplainAll;
+  std::map<std::string, uint64_t, std::less<>> Counters;
+  std::string Json; // timers stripped
+};
+
+/// A cold full analysis with an *external* fresh solver cache, matching
+/// the session's cache ownership (a run never reports solver.cache.*
+/// traffic for a cache it does not own).
+ColdSnapshot analyzeCold(const Program &P, const SessionOptions &SO) {
+  ColdSnapshot Snap;
+  StatsRegistry Stats;
+  SolverCache FreshCache;
+  std::optional<Budget> RunBudget;
+  if (SO.Limits.any())
+    RunBudget.emplace(SO.Limits);
+  AnalyzerOptions Options{SO.Metric, SO.Overhead};
+  Options.DisabledSchemas = SO.DisabledSchemas;
+  Options.Stats = &Stats;
+  Options.Cache = &FreshCache;
+  if (RunBudget)
+    Options.Budget = &*RunBudget;
+  GranularityAnalyzer GA(P, Options);
+  GA.run();
+  Snap.Report = GA.report();
+  Snap.ExplainAll = GA.explainAll();
+  Snap.Counters = Stats.counters();
+  JsonWriter W;
+  GA.writeJson(W);
+  Snap.Json = stripTimers(W.take());
+  return Snap;
+}
+
+std::string sessionJson(const AnalysisSession &Session) {
+  JsonWriter W;
+  Session.analyzer()->writeJson(W);
+  return stripTimers(W.take());
+}
+
+void expectWarmEqualsCold(const AnalysisSession &Session,
+                          const SessionUpdate &Warm,
+                          const StatsRegistry &WarmStats,
+                          const ColdSnapshot &Cold, const std::string &Tag) {
+  EXPECT_EQ(Warm.Report, Cold.Report) << Tag;
+  EXPECT_EQ(Warm.ExplainAll, Cold.ExplainAll) << Tag;
+  EXPECT_EQ(WarmStats.counters(), Cold.Counters) << Tag;
+  EXPECT_EQ(sessionJson(Session), Cold.Json) << Tag;
+}
+
+TEST(SessionTest, WarmMatchesColdByteForByteAcrossCorpus) {
+  // For every corpus benchmark: analyze the base revision, then an edited
+  // revision (one appended fact for a fresh predicate — dirties nothing,
+  // so the warm path replays every stored SCC).  The warm outputs must be
+  // byte-identical to a cold full analysis of the edited revision.
+  for (const BenchmarkDef &B : benchmarkCorpus()) {
+    TermArena A1, A2;
+    Diagnostics D1, D2;
+    std::optional<Program> Base = loadProgram(B.Source, A1, D1);
+    ASSERT_TRUE(Base) << B.Name << ": " << D1.str();
+    std::string Edited = std::string(B.Source) + "\nzzz_probe(0).\n";
+    std::optional<Program> Rev2 = loadProgram(Edited, A2, D2);
+    ASSERT_TRUE(Rev2) << B.Name << ": " << D2.str();
+
+    SessionOptions SO;
+    AnalysisSession Session(SO);
+    Session.update(*Base);
+    StatsRegistry WarmStats;
+    const SessionUpdate &Warm = Session.update(*Rev2, &WarmStats);
+    EXPECT_GT(Warm.ReusedSCCs, 0u) << B.Name;
+    expectWarmEqualsCold(Session, Warm, WarmStats, analyzeCold(*Rev2, SO),
+                         B.Name);
+  }
+}
+
+TEST(SessionTest, TightBudgetDegradationsReplayExactly) {
+  // Counter budgets are metered per SCC, so a replayed SCC must reproduce
+  // its degradations — and with them the budget.* counters and any
+  // degradation lines in the report — exactly as a cold budgeted run.
+  SessionOptions SO;
+  SO.Limits.ExprNodes = 400;
+  SO.Limits.SolverSteps = 6;
+  SO.Limits.NormalizeSteps = 4;
+  for (const BenchmarkDef &B : benchmarkCorpus()) {
+    TermArena Arena;
+    Diagnostics Diags;
+    std::optional<Program> P = loadProgram(B.Source, Arena, Diags);
+    ASSERT_TRUE(P) << B.Name << ": " << Diags.str();
+
+    AnalysisSession Session(SO);
+    Session.update(*P);
+    StatsRegistry WarmStats;
+    const SessionUpdate &Warm = Session.update(*P, &WarmStats);
+    EXPECT_EQ(Warm.AnalyzedSCCs, 0u) << B.Name;
+    expectWarmEqualsCold(Session, Warm, WarmStats, analyzeCold(*P, SO),
+                         B.Name);
+  }
+}
+
+TEST(SessionTest, DeadlineBudgetsAreNeverStored) {
+  // Wall-clock budgets make results time-dependent; storing them would
+  // let one lucky run leak into every later revision.  The session must
+  // re-analyze everything on every update instead.
+  TermArena Arena;
+  std::optional<Program> P = load(BaseSource, Arena);
+  ASSERT_TRUE(P);
+  SessionOptions SO;
+  SO.Limits.TimeoutMs = 1000 * 60 * 60; // far away; storability is what
+                                        // matters, not expiry
+  AnalysisSession Session(SO);
+  Session.update(*P);
+  const SessionUpdate &Second = Session.update(*P);
+  EXPECT_EQ(Second.ReusedSCCs, 0u);
+  EXPECT_EQ(Second.AnalyzedSCCs, Second.TotalSCCs);
+}
+
+TEST(SessionTest, PersistentCacheRoundtrip) {
+  std::filesystem::path Dir =
+      std::filesystem::path(::testing::TempDir()) / "granlog_session_cache";
+  std::filesystem::remove_all(Dir);
+
+  SessionOptions SO;
+  SO.CacheDir = Dir.string();
+  TermArena Arena;
+  std::optional<Program> P = load(BaseSource, Arena);
+  ASSERT_TRUE(P);
+
+  std::string ColdReport;
+  {
+    AnalysisSession Session(SO);
+    EXPECT_EQ(Session.cacheLoadWarning(), "");
+    ColdReport = Session.update(*P).Report;
+  } // destructor saves
+  EXPECT_TRUE(std::filesystem::exists(Dir / "solver-cache.json"));
+
+  // A second session starts with an empty result store but a warm disk
+  // cache: it re-analyzes every SCC, yet its solver lookups are served
+  // from disk-loaded entries.
+  AnalysisSession Session(SO);
+  EXPECT_EQ(Session.cacheLoadWarning(), "");
+  const SessionUpdate &U = Session.update(*P);
+  EXPECT_EQ(U.AnalyzedSCCs, U.TotalSCCs);
+  EXPECT_EQ(U.Report, ColdReport);
+  EXPECT_GT(Session.solverCache().diskHits(), 0u);
+
+  StatsRegistry Stats;
+  Session.recordIncrementalStats(&Stats);
+  auto Counters = Stats.counters();
+  EXPECT_GT(Counters["incremental.disk.hits"], 0u);
+  EXPECT_EQ(Counters["incremental.updates"], 1u);
+
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(SessionTest, CorruptCacheFileDegradesToFreshCache) {
+  std::filesystem::path Dir =
+      std::filesystem::path(::testing::TempDir()) / "granlog_corrupt_cache";
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+  {
+    std::ofstream Out(Dir / "solver-cache.json");
+    Out << "{ this is not JSON at all";
+  }
+
+  SessionOptions SO;
+  SO.CacheDir = Dir.string();
+  AnalysisSession Session(SO);
+  EXPECT_NE(Session.cacheLoadWarning().find("fresh cache"), std::string::npos)
+      << Session.cacheLoadWarning();
+
+  // The session still analyzes correctly on the fresh cache...
+  TermArena Arena;
+  std::optional<Program> P = load(BaseSource, Arena);
+  ASSERT_TRUE(P);
+  const SessionUpdate &U = Session.update(*P);
+  EXPECT_EQ(U.Report, analyzeCold(*P, SO).Report);
+
+  // ...and the save path replaces the corrupt file with a valid one.
+  std::string Error;
+  EXPECT_TRUE(Session.save(&Error)) << Error;
+  std::ifstream In(Dir / "solver-cache.json");
+  std::string Saved((std::istreambuf_iterator<char>(In)),
+                    std::istreambuf_iterator<char>());
+  EXPECT_TRUE(jsonValidate(Saved));
+
+  std::filesystem::remove_all(Dir);
+}
+
+} // namespace

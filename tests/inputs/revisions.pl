@@ -1,0 +1,20 @@
+% Three revisions of one editing session (analyze_file --session-demo):
+% revision 2 is a pure reorder/rename (everything reused), revision 3
+% edits len's recursive clause (len and its caller re-analyzed).
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+len([], 0).
+len([_|T], N) :- len(T, M), N is M + 1.
+main(X, Y, N) :- app(X, Y, Z), len(Z, N).
+%% --- revision 2: clauses reordered, variables renamed
+app([A|B], C, [A|D]) :- app(B, C, D).
+app([], Q, Q).
+len([], 0).
+len([_|T], N) :- len(T, M), N is M + 1.
+main(X, Y, N) :- app(X, Y, Z), len(Z, N).
+%% --- revision 3: len's recursive body edited
+app([A|B], C, [A|D]) :- app(B, C, D).
+app([], Q, Q).
+len([], 0).
+len([_|T], N) :- len(T, M), N is M + 2.
+main(X, Y, N) :- app(X, Y, Z), len(Z, N).

@@ -9,6 +9,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "core/AnalysisSession.h"
 #include "core/GranularityAnalyzer.h"
 #include "corpus/Corpus.h"
 #include "corpus/Harness.h"
@@ -132,6 +133,67 @@ TEST_P(ParallelDeterminism, OddJobCountsMatchToo) {
     EXPECT_EQ(Got.Report, Want.Report) << B.Name << " jobs " << Jobs;
     EXPECT_EQ(Got.ExplainAll, Want.ExplainAll) << B.Name << " jobs " << Jobs;
     EXPECT_EQ(Got.Counters, Want.Counters) << B.Name << " jobs " << Jobs;
+  }
+}
+
+/// A cold full analysis with an *external* fresh solver cache — the
+/// comparator for incremental sessions, which never own their cache (and
+/// so never report solver.cache.* traffic).
+AnalysisSnapshot analyzeExternalCache(const Program &P) {
+  AnalysisSnapshot Snap;
+  StatsRegistry Stats;
+  SolverCache FreshCache;
+  AnalyzerOptions Options{CostMetric::resolutions(), 48.0};
+  Options.Stats = &Stats;
+  Options.Cache = &FreshCache;
+  GranularityAnalyzer GA(P, Options);
+  GA.run();
+  Snap.Report = GA.report();
+  Snap.ExplainAll = GA.explainAll();
+  Snap.Counters = Stats.counters();
+  Snap.Json = strippedJson(GA);
+  return Snap;
+}
+
+TEST_P(ParallelDeterminism, SessionMatchesColdAtAnyJobCount) {
+  // The incremental engine's warm == cold contract, pinned at both ends
+  // of the job-count range: after a scripted edit sequence (base, append
+  // a fresh fact, append a clause to an existing predicate), every
+  // revision's session output is byte-identical to a cold full analysis
+  // of that revision — report, provenance, stats counters and stats JSON
+  // (timers aside) — at --jobs=1 and --jobs=8.
+  const BenchmarkDef &B = *GetParam();
+  const std::string Base = B.Source;
+  const std::vector<std::string> Revisions = {
+      Base,
+      Base + "\nzzz_probe(0).\n",
+      Base + "\nzzz_probe(0).\nzzz_probe(1).\n",
+  };
+  for (unsigned Jobs : {1u, 8u}) {
+    SessionOptions SO;
+    SO.Overhead = 48.0;
+    SO.Jobs = Jobs;
+    AnalysisSession Session(SO);
+    for (size_t Rev = 0; Rev != Revisions.size(); ++Rev) {
+      TermArena Arena;
+      Diagnostics Diags;
+      std::optional<Program> P = loadProgram(Revisions[Rev], Arena, Diags);
+      ASSERT_TRUE(P) << B.Name << ": " << Diags.str();
+      StatsRegistry Stats;
+      const SessionUpdate &U = Session.update(*P, &Stats);
+      if (Rev > 0)
+        EXPECT_GT(U.ReusedSCCs, 0u) << B.Name << " revision " << Rev;
+      AnalysisSnapshot Want = analyzeExternalCache(*P);
+      std::string Tag =
+          B.Name + std::string(" revision ") + std::to_string(Rev) +
+          " jobs " + std::to_string(Jobs);
+      EXPECT_EQ(U.Report, Want.Report) << Tag;
+      EXPECT_EQ(U.ExplainAll, Want.ExplainAll) << Tag;
+      EXPECT_EQ(Stats.counters(), Want.Counters) << Tag;
+      JsonWriter W;
+      Session.analyzer()->writeJson(W);
+      EXPECT_EQ(stripTimers(W.take()), Want.Json) << Tag;
+    }
   }
 }
 

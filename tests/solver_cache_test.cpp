@@ -21,6 +21,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
 #include <vector>
 
 using namespace granlog;
@@ -281,6 +285,136 @@ TEST(SolverCacheTest, MissCountEqualsDistinctKeysUnderThreads) {
   EXPECT_EQ(Cache.misses(), Eqs.size());
   EXPECT_EQ(Cache.entries(), Eqs.size());
   EXPECT_EQ(Cache.hits() + Cache.misses(), 8u * 64u);
+}
+
+std::string tempCachePath(const char *Name) {
+  return (std::filesystem::path(::testing::TempDir()) / Name).string();
+}
+
+TEST(SolverCacheDiskTest, RoundtripReplaysIdenticalResults) {
+  // Randomized recurrences solved into a cache, saved, loaded into a
+  // fresh cache in another "process": every solve through the loaded
+  // cache is a disk hit and reproduces the direct solver's result.
+  std::string Path = tempCachePath("granlog_roundtrip.json");
+  std::remove(Path.c_str());
+
+  Lcg Rng(20260806);
+  std::vector<Recurrence> Eqs;
+  for (int I = 0; I != 50; ++I)
+    Eqs.push_back(randomRecurrence(Rng, "n1", "n2"));
+
+  SolverCache Cache;
+  {
+    DiffEqSolver Solver;
+    Solver.setCache(&Cache);
+    for (const Recurrence &R : Eqs)
+      Solver.solve(R);
+    std::string Error;
+    ASSERT_TRUE(Cache.saveToFile(Path, &Error)) << Error;
+  }
+
+  SolverCache Loaded;
+  std::string Error;
+  ASSERT_TRUE(Loaded.loadFromFile(Path, &Error)) << Error;
+  EXPECT_EQ(Loaded.entries(), Cache.entries());
+
+  DiffEqSolver Direct;
+  DiffEqSolver Warm;
+  Warm.setCache(&Loaded);
+  for (const Recurrence &R : Eqs)
+    expectSameResult(Warm.solve(R), Direct.solve(R), R);
+  EXPECT_EQ(Loaded.misses(), 0u) << "every equation was on disk";
+  EXPECT_GT(Loaded.diskHits(), 0u);
+  EXPECT_EQ(Loaded.diskHits(), Loaded.hits());
+
+  std::remove(Path.c_str());
+}
+
+TEST(SolverCacheDiskTest, MissingFileIsAFreshCache) {
+  SolverCache Cache;
+  std::string Error;
+  EXPECT_TRUE(
+      Cache.loadFromFile(tempCachePath("granlog_no_such_cache.json"), &Error))
+      << Error;
+  EXPECT_EQ(Cache.entries(), 0u);
+  EXPECT_EQ(Error, "");
+}
+
+TEST(SolverCacheDiskTest, CorruptFileRejectedWithDiagnostic) {
+  std::string Path = tempCachePath("granlog_corrupt.json");
+  {
+    std::ofstream Out(Path);
+    Out << "{ definitely not JSON";
+  }
+  SolverCache Cache;
+  std::string Error;
+  EXPECT_FALSE(Cache.loadFromFile(Path, &Error));
+  EXPECT_NE(Error.find(Path), std::string::npos) << Error;
+  EXPECT_NE(Error.find("fresh cache"), std::string::npos) << Error;
+  EXPECT_EQ(Cache.entries(), 0u);
+
+  // The rejected load leaves a fully usable cache behind.
+  Recurrence R;
+  R.Function = "f";
+  R.Var = "n";
+  R.ShiftTerms.push_back({Rational(1), Rational(1)});
+  R.Additive = makeNumber(1);
+  R.Boundaries.push_back({Rational(0), makeNumber(0)});
+  DiffEqSolver Solver;
+  Solver.setCache(&Cache);
+  expectSameResult(Solver.solve(R), DiffEqSolver().solve(R), R);
+  EXPECT_EQ(Cache.entries(), 1u);
+
+  std::remove(Path.c_str());
+}
+
+TEST(SolverCacheDiskTest, FormatVersionMismatchRejected) {
+  std::string Path = tempCachePath("granlog_version.json");
+  {
+    std::ofstream Out(Path);
+    Out << "{\"version\":999,\"entries\":[]}";
+  }
+  SolverCache Cache;
+  std::string Error;
+  EXPECT_FALSE(Cache.loadFromFile(Path, &Error));
+  EXPECT_NE(Error.find("version"), std::string::npos) << Error;
+  EXPECT_EQ(Cache.entries(), 0u);
+  std::remove(Path.c_str());
+}
+
+TEST(SolverCacheDiskTest, LiveEntriesWinOverLoadedOnes) {
+  // Loading into a non-empty cache must not clobber entries that are
+  // already resolved (and possibly referenced by concurrent readers).
+  std::string Path = tempCachePath("granlog_merge.json");
+  std::remove(Path.c_str());
+  Recurrence R;
+  R.Function = "f";
+  R.Var = "n";
+  R.ShiftTerms.push_back({Rational(1), Rational(1)});
+  R.Additive = makeVar("n");
+  R.Boundaries.push_back({Rational(0), makeNumber(0)});
+
+  SolverCache A;
+  {
+    DiffEqSolver Solver;
+    Solver.setCache(&A);
+    Solver.solve(R);
+    std::string Error;
+    ASSERT_TRUE(A.saveToFile(Path, &Error)) << Error;
+  }
+
+  SolverCache B;
+  DiffEqSolver Solver;
+  Solver.setCache(&B);
+  SolveResult Live = Solver.solve(R);
+  std::string Error;
+  ASSERT_TRUE(B.loadFromFile(Path, &Error)) << Error;
+  EXPECT_EQ(B.entries(), 1u);
+  SolveResult Again = Solver.solve(R);
+  expectSameResult(Again, Live, R);
+  EXPECT_EQ(B.diskHits(), 0u) << "the live entry served the hit";
+
+  std::remove(Path.c_str());
 }
 
 TEST(SolverCacheTest, ClearEmptiesTheTable) {
