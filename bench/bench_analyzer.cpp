@@ -14,8 +14,12 @@
 #include "corpus/Corpus.h"
 #include "corpus/Harness.h"
 #include "expr/Expr.h"
+#include "support/Histogram.h"
+#include "support/Io.h"
 #include "support/Json.h"
 #include "support/Stats.h"
+#include "support/TraceEvent.h"
+#include "support/Tracer.h"
 
 #include <benchmark/benchmark.h>
 
@@ -261,11 +265,7 @@ bool writeCorpusStats(const char *Path) {
   }
   W.endArray();
   W.endObject();
-  std::ofstream Out(Path);
-  if (!Out)
-    return false;
-  Out << W.str() << '\n';
-  return true;
+  return writeFileAtomic(Path, W.str() + '\n');
 }
 
 /// One measured incremental-reanalysis data point for the batch record:
@@ -342,6 +342,17 @@ bool writeBatchJson(const char *Path, unsigned Jobs,
   W.value(Jobs);
   W.key("wall_seconds");
   W.value(Batch.WallSeconds);
+  // Per-program analysis latency over the batch (one sample per
+  // benchmark, from its wall-clock Seconds); percentile values are
+  // histogram-bucket upper bounds.
+  LatencyHistogram ProgramLatency;
+  for (const BatchAnalysis &A : Batch.Results)
+    ProgramLatency.addNs(static_cast<uint64_t>(A.Seconds * 1e9));
+  W.key("latency");
+  W.beginObject();
+  W.key("program");
+  ProgramLatency.writeJson(W);
+  W.endObject();
   W.key("cache");
   W.beginObject();
   W.key("hits");
@@ -381,15 +392,26 @@ bool writeBatchJson(const char *Path, unsigned Jobs,
     W.value(A.Ok);
     W.key("seconds");
     W.value(A.Seconds);
+    // Present only for traced batches (--trace-out / --profile): per-SCC
+    // size+cost latency percentiles measured by the tracing layer.
+    if (A.SccSpans) {
+      W.key("scc_latency");
+      W.beginObject();
+      W.key("count");
+      W.value(A.SccSpans);
+      W.key("p50_ns");
+      W.value(A.SccP50Ns);
+      W.key("p90_ns");
+      W.value(A.SccP90Ns);
+      W.key("p99_ns");
+      W.value(A.SccP99Ns);
+      W.endObject();
+    }
     W.endObject();
   }
   W.endArray();
   W.endObject();
-  std::ofstream Out(Path);
-  if (!Out)
-    return false;
-  Out << W.str() << '\n';
-  return true;
+  return writeFileAtomic(Path, W.str() + '\n');
 }
 
 } // namespace
@@ -397,6 +419,8 @@ bool writeBatchJson(const char *Path, unsigned Jobs,
 int main(int Argc, char **Argv) {
   const char *StatsOut = nullptr;
   const char *BatchJsonOut = nullptr;
+  const char *TraceOut = nullptr;
+  bool Profile = false;
   int BatchJobs = 0;
   BudgetLimits BatchLimits;
   // Strip our flags before google-benchmark sees the argument list.
@@ -405,6 +429,7 @@ int main(int Argc, char **Argv) {
     constexpr const char StatsFlag[] = "--granlog-stats-out=";
     constexpr const char JobsFlag[] = "--jobs=";
     constexpr const char BatchJsonFlag[] = "--bench-json-out=";
+    constexpr const char TraceOutFlag[] = "--trace-out=";
     constexpr const char ExprFlag[] = "--budget-expr-nodes=";
     constexpr const char SolverFlag[] = "--budget-solver-steps=";
     constexpr const char NormFlag[] = "--budget-normalize-steps=";
@@ -417,6 +442,11 @@ int main(int Argc, char **Argv) {
     };
     if (std::strcmp(Argv[I], "--budget") == 0)
       BatchLimits = BudgetLimits::defaults();
+    else if (std::strcmp(Argv[I], "--profile") == 0)
+      Profile = true;
+    else if (std::strncmp(Argv[I], TraceOutFlag,
+                          sizeof(TraceOutFlag) - 1) == 0)
+      TraceOut = Argv[I] + sizeof(TraceOutFlag) - 1;
     else if (std::strncmp(Argv[I], StatsFlag, sizeof(StatsFlag) - 1) == 0)
       StatsOut = Argv[I] + sizeof(StatsFlag) - 1;
     else if (std::strncmp(Argv[I], JobsFlag, sizeof(JobsFlag) - 1) == 0)
@@ -460,6 +490,12 @@ int main(int Argc, char **Argv) {
     BatchConfig Config;
     Config.Jobs = static_cast<unsigned>(BatchJobs);
     Config.Budget = BatchLimits; // all-zero = unbudgeted (the default)
+    // --trace-out / --profile: record analyzer spans for the timed batch.
+    std::optional<Tracer> BatchTracer;
+    if (TraceOut || Profile) {
+      BatchTracer.emplace();
+      Config.Trace = &*BatchTracer;
+    }
     BatchResult Batch = analyzeCorpusBatch(Config);
     size_t Ok = 0;
     for (const BatchAnalysis &A : Batch.Results)
@@ -477,6 +513,22 @@ int main(int Argc, char **Argv) {
         Degraded += A.Degradations;
       std::printf("batch budget: %zu degradations across %zu benchmarks\n",
                   Degraded, Batch.Results.size());
+    }
+    if (Profile)
+      for (const BatchAnalysis &A : Batch.Results)
+        std::printf("== profile: %s ==\n%s", A.Name.c_str(),
+                    A.Profile.c_str());
+    if (TraceOut) {
+      TraceWriter TW;
+      BatchTracer->exportTo(TW);
+      if (!TW.writeFile(TraceOut)) {
+        std::fprintf(stderr, "error: cannot write %s\n", TraceOut);
+        return 1;
+      }
+      std::printf("trace written to %s (%llu spans%s)\n", TraceOut,
+                  static_cast<unsigned long long>(
+                      BatchTracer->snapshot().size()),
+                  BatchTracer->dropped() ? ", ring overflowed" : "");
     }
     if (BatchJsonOut &&
         !writeBatchJson(BatchJsonOut, static_cast<unsigned>(BatchJobs),

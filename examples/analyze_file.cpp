@@ -14,11 +14,18 @@
 //                        (schema version: StatsJsonVersion)
 //   --explain            print the provenance report for every predicate
 //   --explain=NAME       ... for predicates named NAME only
-//   --trace-out=FILE     run the benchmark goal on the simulated machine
-//                        and write a Chrome trace (Perfetto /
-//                        chrome://tracing); built-in benchmarks only
-//   --input=N            input parameter for --trace-out (default: the
-//                        paper's)
+//   --trace-out=FILE     write a Chrome trace (Perfetto / chrome://tracing)
+//                        of the analyzer's own spans (SCC > phase > solve
+//                        > cache probe, wall time, pid 1); for built-in
+//                        benchmarks the file also carries the simulated
+//                        execution on its own track (abstract units,
+//                        pid 0)
+//   --profile            print the analyzer profile: self time by phase,
+//                        solver-cache hit attribution, per-SCC latency
+//                        percentiles, and the critical path through the
+//                        SCC dependency DAG
+//   --input=N            input parameter for the simulated run under
+//                        --trace-out (default: the paper's)
 //   --machine=M          rolog | andprolog simulated machine for
 //                        --trace-out (default: rolog)
 //   --jobs=N             analyze with N worker threads (SCC-parallel
@@ -60,9 +67,12 @@
 #include "expr/ExprInterner.h"
 #include "interp/Interpreter.h"
 #include "runtime/Scheduler.h"
+#include "support/Io.h"
 #include "support/Json.h"
+#include "support/Profile.h"
 #include "support/Stats.h"
 #include "support/TraceEvent.h"
+#include "support/Tracer.h"
 #include "term/TermWriter.h"
 
 #include <cstdio>
@@ -83,8 +93,8 @@ void usage(const char *Prog) {
               "[metric]\n",
               Prog);
   std::printf("options: --stats --stats-json=FILE --explain[=NAME] "
-              "--trace-out=FILE --input=N --machine=rolog|andprolog "
-              "--jobs=N\n");
+              "--trace-out=FILE --profile --input=N "
+              "--machine=rolog|andprolog --jobs=N\n");
   std::printf("         --budget --budget-expr-nodes=N "
               "--budget-solver-steps=N --budget-normalize-steps=N\n"
               "         --budget-parse-tokens=N --budget-clauses=N "
@@ -127,6 +137,7 @@ int main(int Argc, char **Argv) {
   std::string ExplainName;
   std::string StatsJsonPath;
   std::string TraceOutPath;
+  bool Profile = false;
   std::string MachineName = "rolog";
   int TraceInput = -1;
   unsigned Jobs = 1;
@@ -154,6 +165,8 @@ int main(int Argc, char **Argv) {
       StatsJsonPath = V;
     } else if (const char *V = optValue(Arg, "--trace-out")) {
       TraceOutPath = V;
+    } else if (std::strcmp(Arg, "--profile") == 0) {
+      Profile = true;
     } else if (const char *V = optValue(Arg, "--input")) {
       TraceInput = std::atoi(V);
     } else if (const char *V = optValue(Arg, "--machine")) {
@@ -224,6 +237,26 @@ int main(int Argc, char **Argv) {
   bool WantStats =
       PrintStats || !StatsJsonPath.empty() || !TraceOutPath.empty();
 
+  // Analyzer span tracing backs both --trace-out (export) and --profile
+  // (aggregation); absent both, every span site costs one branch.
+  std::optional<Tracer> AnalyzerTrace;
+  uint32_t TraceProg = Tracer::None;
+  if (!TraceOutPath.empty() || Profile) {
+    AnalyzerTrace.emplace();
+    TraceProg = AnalyzerTrace->registerProgram(Positional[0]);
+  }
+  auto WriteAnalyzerTrace = [&](TraceWriter &Out) {
+    AnalyzerTrace->exportTo(Out);
+    if (!Out.writeFile(TraceOutPath)) {
+      std::printf("error: cannot write %s\n", TraceOutPath.c_str());
+      return false;
+    }
+    std::printf("trace written to %s (open in Perfetto or "
+                "chrome://tracing)\n",
+                TraceOutPath.c_str());
+    return true;
+  };
+
   if (SessionDemo) {
     SessionOptions SO;
     SO.Metric = Metric;
@@ -231,6 +264,10 @@ int main(int Argc, char **Argv) {
     SO.Jobs = Jobs;
     SO.Limits = Limits;
     SO.CacheDir = CacheDir;
+    if (AnalyzerTrace) {
+      SO.Trace = &*AnalyzerTrace;
+      SO.TraceProgram = TraceProg;
+    }
     AnalysisSession Session(SO);
     if (!Session.cacheLoadWarning().empty())
       std::printf("warning: %s\n", Session.cacheLoadWarning().c_str());
@@ -260,15 +297,31 @@ int main(int Argc, char **Argv) {
       snapshotExprCounters(Stats);
       std::printf("== stats ==\n%s", Stats.str().c_str());
     }
+    std::optional<TraceProfile> Prof;
+    if (AnalyzerTrace) {
+      Prof = buildProfile(AnalyzerTrace->snapshot(), TraceProg);
+      if (Profile && Session.analyzer())
+        std::printf("== profile ==\n%s",
+                    profileReport(*Prof,
+                                  Session.analyzer()->sccDependencies(),
+                                  Session.analyzer()->sccLabels())
+                        .c_str());
+      if (!TraceOutPath.empty()) {
+        TraceWriter TraceOut;
+        if (!WriteAnalyzerTrace(TraceOut))
+          return 1;
+      }
+    }
     if (!StatsJsonPath.empty() && Session.analyzer()) {
       JsonWriter Writer;
-      Session.analyzer()->writeJson(Writer);
-      std::ofstream Out(StatsJsonPath);
-      if (!Out) {
-        std::printf("error: cannot write %s\n", StatsJsonPath.c_str());
+      Session.analyzer()->writeJson(Writer,
+                                    Prof ? &Prof->SccLatency : nullptr);
+      std::string WriteError;
+      if (!writeFileAtomic(StatsJsonPath, Writer.str() + '\n',
+                           &WriteError)) {
+        std::printf("error: %s\n", WriteError.c_str());
         return 1;
       }
-      Out << Writer.str() << '\n';
     }
     std::string SaveError;
     if (!Session.save(&SaveError))
@@ -297,6 +350,10 @@ int main(int Argc, char **Argv) {
 
   AnalyzerOptions Options{Metric, W};
   Options.Jobs = Jobs;
+  if (AnalyzerTrace) {
+    Options.Trace = &*AnalyzerTrace;
+    Options.TraceProgram = TraceProg;
+  }
   if (WantStats)
     Options.Stats = &Stats;
   if (RunBudget)
@@ -342,7 +399,10 @@ int main(int Argc, char **Argv) {
       GA.setSccAction(Id, GranularityAnalyzer::SccAction::Analyze);
   }
 
-  GA.run();
+  {
+    TraceSpan ProgSpan(Options.Trace, SpanKind::Program, TraceProg);
+    GA.run();
+  }
   if (DiskCache) {
     if (WantStats)
       Stats.add("incremental.disk.hits", DiskCache->diskHits());
@@ -385,12 +445,9 @@ int main(int Argc, char **Argv) {
               TStats.ParallelSites, TStats.Sequentialized, TStats.Guarded,
               TStats.KeptParallel);
 
-  if (!TraceOutPath.empty()) {
-    if (!Bench) {
-      std::printf("error: --trace-out requires a built-in benchmark "
-                  "(a goal to run)\n");
-      return 1;
-    }
+  // The simulated-execution track (pid 0, abstract units).  File inputs
+  // have no goal to run, so their trace carries analyzer spans only.
+  if (!TraceOutPath.empty() && Bench) {
     MachineConfig Machine = MachineName == "andprolog"
                                 ? MachineConfig::andProlog()
                                 : MachineConfig::rolog();
@@ -409,10 +466,9 @@ int main(int Argc, char **Argv) {
     }
     TraceWriter Trace;
     SimResult Sim = simulate(*Tree, Machine, &Trace);
-    if (!Trace.writeFile(TraceOutPath)) {
-      std::printf("error: cannot write %s\n", TraceOutPath.c_str());
+    if (!WriteAnalyzerTrace(Trace))
       return 1;
-    }
+    TraceOutPath.clear(); // the analyzer track is in this file already
     std::printf("== simulation (%s, %s, P=%u) ==\n",
                 Bench->label(Input).c_str(), Machine.Name.c_str(),
                 Machine.Processors);
@@ -424,11 +480,25 @@ int main(int Argc, char **Argv) {
       std::printf("  worker %zu: busy %.1f (%.0f%%)\n", I,
                   Sim.WorkerBusy[I],
                   Sim.utilization(static_cast<unsigned>(I)) * 100.0);
-    std::printf("  trace written to %s (open in Perfetto or "
-                "chrome://tracing)\n",
-                TraceOutPath.c_str());
   }
   } // OnlySpec.empty()
+
+  std::optional<TraceProfile> Prof;
+  if (AnalyzerTrace) {
+    Prof = buildProfile(AnalyzerTrace->snapshot(), TraceProg);
+    if (Profile)
+      std::printf("== profile ==\n%s",
+                  profileReport(*Prof, GA.sccDependencies(),
+                                GA.sccLabels())
+                      .c_str());
+    if (!TraceOutPath.empty()) {
+      // Analyzer-only trace (file input, or a --only run that skipped the
+      // simulated execution).
+      TraceWriter TraceOut;
+      if (!WriteAnalyzerTrace(TraceOut))
+        return 1;
+    }
+  }
 
   if (PrintStats) {
     // Process-global interner/memo traffic (not per-run deterministic:
@@ -439,13 +509,12 @@ int main(int Argc, char **Argv) {
 
   if (!StatsJsonPath.empty()) {
     JsonWriter Writer;
-    GA.writeJson(Writer);
-    std::ofstream Out(StatsJsonPath);
-    if (!Out) {
-      std::printf("error: cannot write %s\n", StatsJsonPath.c_str());
+    GA.writeJson(Writer, Prof ? &Prof->SccLatency : nullptr);
+    std::string WriteError;
+    if (!writeFileAtomic(StatsJsonPath, Writer.str() + '\n', &WriteError)) {
+      std::printf("error: %s\n", WriteError.c_str());
       return 1;
     }
-    Out << Writer.str() << '\n';
   }
   return 0;
 }

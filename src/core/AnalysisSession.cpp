@@ -3,6 +3,7 @@
 #include "core/AnalysisSession.h"
 
 #include "program/Fingerprint.h"
+#include "support/Tracer.h"
 
 #include <algorithm>
 #include <filesystem>
@@ -51,6 +52,8 @@ sortedMembers(const CallGraph &CG, const SymbolTable &Symbols, unsigned Id) {
 const SessionUpdate &AnalysisSession::update(const Program &P,
                                              StatsRegistry *Stats) {
   ++Updates;
+  TraceSpan Update(Options.Trace, SpanKind::SessionUpdate,
+                   Options.TraceProgram);
   UpdateBudget =
       Options.Limits.any() ? std::make_unique<Budget>(Options.Limits) : nullptr;
 
@@ -62,6 +65,8 @@ const SessionUpdate &AnalysisSession::update(const Program &P,
   AO.Jobs = Options.Jobs;
   AO.Cache = &Cache;
   AO.Budget = UpdateBudget.get();
+  AO.Trace = Options.Trace;
+  AO.TraceProgram = Options.TraceProgram;
   GA = std::make_unique<GranularityAnalyzer>(P, AO);
   GA->prepare();
 

@@ -62,6 +62,11 @@ struct SessionOptions {
   BudgetLimits Limits;
   /// Directory for the persistent solver cache ("" = in-memory only).
   std::string CacheDir;
+  /// Analyzer span tracing (support/Tracer); null disables.  Each
+  /// update() emits one session.update span enclosing its SCC spans.
+  class Tracer *Trace = nullptr;
+  /// Program tag for this session's spans (Tracer::registerProgram id).
+  uint32_t TraceProgram = 0xffffffffu;
 };
 
 /// What one update() call did and produced.

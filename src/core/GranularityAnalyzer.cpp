@@ -4,8 +4,10 @@
 
 #include "diffeq/SolverCache.h"
 #include "support/Budget.h"
+#include "support/Histogram.h"
 #include "support/Json.h"
 #include "support/ThreadPool.h"
+#include "support/Tracer.h"
 
 using namespace granlog;
 
@@ -42,6 +44,7 @@ void GranularityAnalyzer::prepare() {
     Sizes->disableSchema(Name);
   Sizes->setSolverCache(Cache);
   Sizes->setBudget(Options.Budget);
+  Sizes->setTracer(Options.Trace, Options.TraceProgram);
 
   if (Options.Metric.kind() == CostMetricKind::Instructions) {
     ScopedTimer T(Stats, "phase.wam");
@@ -54,6 +57,7 @@ void GranularityAnalyzer::prepare() {
     Costs->disableSchema(Name);
   Costs->setSolverCache(Cache);
   Costs->setBudget(Options.Budget);
+  Costs->setTracer(Options.Trace, Options.TraceProgram);
 
   Actions.assign(CG->numSCCs(), SccAction::Analyze);
 }
@@ -127,6 +131,7 @@ void GranularityAnalyzer::runAnalyses() {
       Sizes->disableSchema(Name);
     Sizes->setSolverCache(Cache);
     Sizes->setBudget(Options.Budget);
+    Sizes->setTracer(Options.Trace, Options.TraceProgram);
   };
   auto MakeCosts = [&] {
     Costs = std::make_unique<CostAnalysis>(*P, *CG, *Modes, *Det, *Sizes,
@@ -136,6 +141,7 @@ void GranularityAnalyzer::runAnalyses() {
       Costs->disableSchema(Name);
     Costs->setSolverCache(Cache);
     Costs->setBudget(Options.Budget);
+    Costs->setTracer(Options.Trace, Options.TraceProgram);
   };
 
   if (Options.Jobs <= 1) {
@@ -171,19 +177,17 @@ void GranularityAnalyzer::runAnalyses() {
   Sizes->prepareConcurrent();
   Costs->prepareConcurrent();
 
-  const unsigned N = CG->numSCCs();
-  std::vector<std::vector<unsigned>> Deps(N);
-  for (unsigned Id = 0; Id != N; ++Id)
-    for (Functor F : CG->sccMembers(Id))
-      for (Functor Callee : CG->callees(F))
-        if (unsigned CalleeId = CG->sccId(Callee); CalleeId != Id)
-          Deps[Id].push_back(CalleeId);
+  std::vector<std::vector<unsigned>> Deps = sccDependencies();
 
   ThreadPool Pool(Options.Jobs);
   topoSchedule(
       Deps,
       [&](unsigned Id) {
         ScopedTimer SccTimer(Stats, "scc." + std::to_string(Id) + ".seconds");
+        // The scc span makes pool threads inherit the program tag (the
+        // Program span lives on the submitting thread, not this one).
+        TraceSpan Scc(Options.Trace, SpanKind::Scc, Options.TraceProgram,
+                      Id);
         Sizes->analyzeSCCById(Id);
         Costs->analyzeSCCById(Id);
       },
@@ -196,13 +200,7 @@ void GranularityAnalyzer::runPlanned() {
   Sizes->prepareConcurrent(); // try_emplace: injected results survive
   Costs->prepareConcurrent();
 
-  const unsigned N = CG->numSCCs();
-  std::vector<std::vector<unsigned>> Deps(N);
-  for (unsigned Id = 0; Id != N; ++Id)
-    for (Functor F : CG->sccMembers(Id))
-      for (Functor Callee : CG->callees(F))
-        if (unsigned CalleeId = CG->sccId(Callee); CalleeId != Id)
-          Deps[Id].push_back(CalleeId);
+  std::vector<std::vector<unsigned>> Deps = sccDependencies();
 
   // The full dependency graph is scheduled even when most SCCs are
   // Reuse/Skip: their jobs return immediately, and keeping the graph
@@ -214,11 +212,39 @@ void GranularityAnalyzer::runPlanned() {
         if (Actions[Id] != SccAction::Analyze)
           return;
         ScopedTimer SccTimer(Stats, "scc." + std::to_string(Id) + ".seconds");
+        TraceSpan Scc(Options.Trace, SpanKind::Scc, Options.TraceProgram,
+                      Id);
         StatsCaptureScope Capture(Captures.empty() ? nullptr : &Captures[Id]);
         Sizes->analyzeSCCById(Id);
         Costs->analyzeSCCById(Id);
       },
       &Pool);
+}
+
+std::vector<std::vector<unsigned>>
+GranularityAnalyzer::sccDependencies() const {
+  const unsigned N = CG->numSCCs();
+  std::vector<std::vector<unsigned>> Deps(N);
+  for (unsigned Id = 0; Id != N; ++Id)
+    for (Functor F : CG->sccMembers(Id))
+      for (Functor Callee : CG->callees(F))
+        if (unsigned CalleeId = CG->sccId(Callee); CalleeId != Id)
+          Deps[Id].push_back(CalleeId);
+  return Deps;
+}
+
+std::vector<std::string> GranularityAnalyzer::sccLabels() const {
+  const unsigned N = CG->numSCCs();
+  std::vector<std::string> Labels(N);
+  for (unsigned Id = 0; Id != N; ++Id) {
+    std::string &L = Labels[Id];
+    for (Functor F : CG->sccMembers(Id)) {
+      if (!L.empty())
+        L += ",";
+      L += P->symbols().text(F);
+    }
+  }
+  return Labels;
 }
 
 void GranularityAnalyzer::classifyPredicate(const Predicate &Pred) {
@@ -440,7 +466,8 @@ std::string GranularityAnalyzer::explainAll() const {
   return Out;
 }
 
-void GranularityAnalyzer::writeJson(JsonWriter &W) const {
+void GranularityAnalyzer::writeJson(JsonWriter &W,
+                                    const LatencyHistogram *SccLatency) const {
   W.beginObject();
   W.key("version");
   W.value(StatsJsonVersion);
@@ -505,6 +532,15 @@ void GranularityAnalyzer::writeJson(JsonWriter &W) const {
       W.endObject();
     }
     W.endArray();
+  }
+  // Additive key: per-SCC latency percentiles from the tracing layer,
+  // present only when the caller ran traced and passed the histogram in.
+  if (SccLatency && SccLatency->count()) {
+    W.key("latency");
+    W.beginObject();
+    W.key("scc");
+    SccLatency->writeJson(W);
+    W.endObject();
   }
   W.endObject();
 }

@@ -38,6 +38,8 @@
 namespace granlog {
 
 class JsonWriter;
+class LatencyHistogram;
+class Tracer;
 
 /// Configuration of one analysis run.
 struct AnalyzerOptions {
@@ -73,6 +75,15 @@ struct AnalyzerOptions {
   /// once it fires.  Counter-limited runs are deterministic across Jobs
   /// settings; deadline-limited runs are not (wall clock is not).
   class Budget *Budget = nullptr;
+  /// Analyzer span tracing (support/Tracer).  Null (the default) keeps
+  /// every span site to a single branch; non-null records hierarchical
+  /// wall-time spans (SCC > phase > solve > cache probe) without
+  /// affecting any analysis result or output.
+  Tracer *Trace = nullptr;
+  /// Program tag for this run's spans (Tracer::registerProgram id);
+  /// 0xffffffff (Tracer::None) leaves spans untagged — fine for
+  /// single-program runs.
+  uint32_t TraceProgram = 0xffffffffu;
 };
 
 /// Everything the analysis learned about one predicate.
@@ -175,10 +186,21 @@ public:
   /// explain() for all predicates, in program order.
   std::string explainAll() const;
 
+  /// The condensation DAG run() schedules: element Id lists the SCC ids
+  /// of Id's callees (duplicates possible, self-edges omitted).  Valid
+  /// once the call graph exists (after prepare() or run()); also the
+  /// \c SccDeps input of support/Profile's critical path.
+  std::vector<std::vector<unsigned>> sccDependencies() const;
+  /// One label per SCC id: the member predicate names, comma-joined.
+  std::vector<std::string> sccLabels() const;
+
   /// Writes one JSON object carrying the stats registry (when attached),
   /// and per-predicate analysis provenance.  Schema version:
-  /// StatsJsonVersion.
-  void writeJson(JsonWriter &W) const;
+  /// StatsJsonVersion (the optional "latency" section is additive).
+  /// \p SccLatency, when non-null and non-empty, adds per-SCC latency
+  /// percentiles measured by the tracing layer.
+  void writeJson(JsonWriter &W,
+                 const LatencyHistogram *SccLatency = nullptr) const;
 
 private:
   /// Runs the size/cost/solve phases: sequentially for Jobs <= 1, or as

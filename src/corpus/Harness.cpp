@@ -4,7 +4,9 @@
 
 #include "diffeq/SolverCache.h"
 #include "support/Json.h"
+#include "support/Profile.h"
 #include "support/ThreadPool.h"
+#include "support/Tracer.h"
 
 #include <chrono>
 #include <filesystem>
@@ -69,7 +71,8 @@ namespace {
 /// benchmark-local (arena, diagnostics, stats registry, budget); only the
 /// solver cache may be shared, and it is internally synchronized.
 void analyzeOneImpl(const BenchmarkDef &B, const BatchConfig &Config,
-                    SolverCache *Shared, BatchAnalysis &Out) {
+                    SolverCache *Shared, uint32_t TraceProg,
+                    BatchAnalysis &Out) {
   TermArena Arena;
   Diagnostics Diags;
   std::optional<Budget> RunBudget;
@@ -90,8 +93,16 @@ void analyzeOneImpl(const BenchmarkDef &B, const BatchConfig &Config,
     Options.Stats = &Stats;
   if (RunBudget)
     Options.Budget = &*RunBudget;
+  Options.Trace = Config.Trace;
+  Options.TraceProgram = TraceProg;
   GranularityAnalyzer GA(*P, Options);
   GA.run();
+  if (Config.Trace) {
+    // Captured here (cheap, benchmark-local); the profile itself is
+    // built from the trace snapshot only after the pool joins.
+    Out.SccDeps = GA.sccDependencies();
+    Out.SccNames = GA.sccLabels();
+  }
   Out.Ok = true;
   Out.Report = GA.report();
   Out.ExplainAll = GA.explainAll();
@@ -107,11 +118,13 @@ void analyzeOneImpl(const BenchmarkDef &B, const BatchConfig &Config,
 /// Fault-isolation wrapper: an exception escaping one benchmark's load or
 /// analysis becomes that benchmark's Error, never the batch's.
 void analyzeOne(const BenchmarkDef &B, const BatchConfig &Config,
-                SolverCache *Shared, BatchAnalysis &Out) {
+                SolverCache *Shared, uint32_t TraceProg,
+                BatchAnalysis &Out) {
   auto Start = std::chrono::steady_clock::now();
   Out.Name = B.Name;
+  TraceSpan Prog(Config.Trace, SpanKind::Program, TraceProg);
   try {
-    analyzeOneImpl(B, Config, Shared, Out);
+    analyzeOneImpl(B, Config, Shared, TraceProg, Out);
   } catch (const std::exception &E) {
     Out.Ok = false;
     Out.Error = std::string("exception: ") + E.what();
@@ -131,8 +144,13 @@ BatchResult granlog::analyzeCorpusBatch(const BatchConfig &Config) {
   const std::vector<BenchmarkDef> &Corpus =
       Config.Corpus ? *Config.Corpus : benchmarkCorpus();
 
+  TraceSpan BatchSpan(Config.Trace, SpanKind::Batch);
   BatchResult Batch;
   Batch.Results.resize(Corpus.size());
+  std::vector<uint32_t> ProgIds(Corpus.size(), Tracer::None);
+  if (Config.Trace)
+    for (size_t I = 0; I != Corpus.size(); ++I)
+      ProgIds[I] = Config.Trace->registerProgram(Corpus[I].Name);
   std::unique_ptr<SolverCache> Shared;
   std::string CachePath;
   if (Config.ShareCache) {
@@ -151,14 +169,33 @@ BatchResult granlog::analyzeCorpusBatch(const BatchConfig &Config) {
 
   if (Config.Jobs <= 1) {
     for (size_t I = 0; I != Corpus.size(); ++I)
-      analyzeOne(Corpus[I], Config, Shared.get(), Batch.Results[I]);
+      analyzeOne(Corpus[I], Config, Shared.get(), ProgIds[I],
+                 Batch.Results[I]);
   } else {
     ThreadPool Pool(Config.Jobs);
     for (size_t I = 0; I != Corpus.size(); ++I)
-      Pool.submit([I, &Corpus, &Config, &Shared, &Batch] {
-        analyzeOne(Corpus[I], Config, Shared.get(), Batch.Results[I]);
+      Pool.submit([I, &Corpus, &Config, &Shared, &Batch, &ProgIds] {
+        analyzeOne(Corpus[I], Config, Shared.get(), ProgIds[I],
+                   Batch.Results[I]);
       });
     Pool.wait();
+  }
+
+  if (Config.Trace) {
+    // Profiles are built from one snapshot taken strictly after the pool
+    // joined, so no worker is still appending to its ring.
+    std::vector<SpanRecord> Spans = Config.Trace->snapshot();
+    for (size_t I = 0; I != Corpus.size(); ++I) {
+      BatchAnalysis &A = Batch.Results[I];
+      TraceProfile P = buildProfile(Spans, ProgIds[I]);
+      A.SccSpans = P.SccLatency.count();
+      if (A.SccSpans) {
+        A.SccP50Ns = P.SccLatency.percentileNs(0.50);
+        A.SccP90Ns = P.SccLatency.percentileNs(0.90);
+        A.SccP99Ns = P.SccLatency.percentileNs(0.99);
+      }
+      A.Profile = profileReport(P, A.SccDeps, A.SccNames);
+    }
   }
 
   if (Shared) {

@@ -92,6 +92,11 @@ struct BatchConfig {
   /// every already-solved recurrence (warm-cache CI path).  Requires
   /// ShareCache; "" (the default) keeps the cache in-memory only.
   std::string CacheDir;
+  /// Analyzer span tracing (support/Tracer); null (the default) keeps the
+  /// batch untraced and byte-identical to pre-tracing behavior.  When
+  /// set, each benchmark gets a Program span (tagged with its registered
+  /// program id) and a per-benchmark profile in BatchAnalysis.
+  class Tracer *Trace = nullptr;
 };
 
 /// Analysis-only results of one corpus benchmark in a batch.
@@ -109,6 +114,19 @@ struct BatchAnalysis {
   /// benchmark (0 for unbudgeted or within-budget runs).
   size_t Degradations = 0;
   double Seconds = 0;      ///< wall-clock time of this benchmark's analysis
+
+  // Tracing-only fields, filled (after the pool joins) when
+  // BatchConfig::Trace was set; empty/zero otherwise.  Kept out of
+  // StatsJson so traced and untraced batches emit identical reports.
+  std::string Profile;     ///< support/Profile::profileReport text
+  uint64_t SccSpans = 0;   ///< SCCs with measured size+cost spans
+  uint64_t SccP50Ns = 0;   ///< per-SCC latency percentiles (upper bounds)
+  uint64_t SccP90Ns = 0;
+  uint64_t SccP99Ns = 0;
+  /// SCC condensation DAG + labels (GranularityAnalyzer::
+  /// sccDependencies/sccLabels), captured for critical-path reporting.
+  std::vector<std::vector<unsigned>> SccDeps;
+  std::vector<std::string> SccNames;
 };
 
 /// Results of a whole-corpus batch analysis.

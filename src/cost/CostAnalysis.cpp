@@ -2,6 +2,8 @@
 
 #include "cost/CostAnalysis.h"
 
+#include "support/Tracer.h"
+
 using namespace granlog;
 
 const char *CostMetric::name() const {
@@ -231,6 +233,9 @@ void CostAnalysis::degradeSCC(const std::vector<Functor> &Members) {
 }
 
 void CostAnalysis::analyzeSCC(const std::vector<Functor> &Members) {
+  // One "cost" span per SCC, mirroring SizeAnalysis::analyzeSCC.
+  TraceSpan Phase(Trace, SpanKind::Cost, TraceProg,
+                  Members.empty() ? Tracer::None : CG->sccId(Members[0]));
   // Resource governance mirrors SizeAnalysis::analyzeSCC: one meter per
   // SCC, shared by clause-cost construction and solving, so exhaustion is
   // a function of this SCC's work alone (driver-independent).
@@ -389,8 +394,12 @@ ExprRef CostAnalysis::solvePredicate(Functor F,
       Bases.push_back(Rhs);
       continue;
     }
-    ExprRef Reduced = inlineCalls(
-        Rhs, OtherDefs, static_cast<unsigned>(OtherDefs.size()) + 2);
+    ExprRef Reduced;
+    {
+      TraceSpan Norm(Trace, SpanKind::Normalize);
+      Reduced = inlineCalls(
+          Rhs, OtherDefs, static_cast<unsigned>(OtherDefs.size()) + 2);
+    }
     // inlineCalls stops early on meter exhaustion; attribute the failure
     // to the budget (not to "mutual recursion") so explain() is truthful.
     if (WorkMeter *M = currentWorkMeter()) {

@@ -145,6 +145,16 @@ public:
   /// deterministic and driver-independent.
   void setBudget(Budget *B) { ResourceBudget = B; }
 
+  /// Emits one "cost" span per analyzeSCC (tagged with program \p Prog
+  /// and the SCC id) plus nested normalize/solve/cache-probe spans into
+  /// \p T; call before run().  Null disables tracing (the default);
+  /// results are identical either way.
+  void setTracer(Tracer *T, uint32_t Prog) {
+    Trace = T;
+    TraceProg = Prog;
+    Solver.setTracer(T);
+  }
+
 private:
   void analyzeSCC(const std::vector<Functor> &Members);
 
@@ -170,6 +180,8 @@ private:
   SolutionsAnalysis Sols;
   StatsRegistry *Stats = nullptr;
   Budget *ResourceBudget = nullptr;
+  Tracer *Trace = nullptr;
+  uint32_t TraceProg = 0xffffffffu; ///< Tracer::None
   std::unordered_map<Functor, PredicateCostInfo> Info;
 };
 

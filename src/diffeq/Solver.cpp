@@ -4,6 +4,7 @@
 
 #include "diffeq/SolverCache.h"
 #include "support/Budget.h"
+#include "support/Tracer.h"
 
 #include <cmath>
 
@@ -256,6 +257,7 @@ DiffEqSolver::DiffEqSolver() {
 DiffEqSolver::~DiffEqSolver() = default;
 
 SolveResult DiffEqSolver::solve(const Recurrence &R) const {
+  TraceSpan Solve(Trace, SpanKind::Solve);
   SolveResult Result;
   if (WorkMeter *M = currentWorkMeter()) {
     // Deterministic budget gate, checked BEFORE the cache: once the
@@ -267,6 +269,7 @@ SolveResult DiffEqSolver::solve(const Recurrence &R) const {
       Result = SolveResult{makeInfinity(), std::string(), /*Exact=*/false,
                            budgetWhy(*M->budget(), *K)};
       Result.Degraded = true;
+      Solve.setDetail(TraceSolveDegraded);
       statsAdd(Stats, StatsPrefix + ".budget_degraded");
     } else {
       // Charge by the equation's shape — uniform for hit and miss.
@@ -280,11 +283,31 @@ SolveResult DiffEqSolver::solve(const Recurrence &R) const {
     // schedule-dependent, and that variance must not leak into the
     // deterministic charges.
     MeterScope Suspend(nullptr);
-    Result = Cache ? Cache->solve(R, tableSignature(),
-                                  [this](const Recurrence &C) {
-                                    return solveDirect(C);
-                                  })
-                   : solveDirect(R);
+    if (Cache) {
+      TraceSpan Probe(Trace, SpanKind::CacheProbe);
+      SolverCache::Outcome Out;
+      Result = Cache->solve(R, tableSignature(),
+                            [this](const Recurrence &C) {
+                              return solveDirect(C);
+                            },
+                            &Out);
+      switch (Out) {
+      case SolverCache::Outcome::Hit:
+        Probe.setDetail(TraceCacheHit);
+        break;
+      case SolverCache::Outcome::Miss:
+        Probe.setDetail(TraceCacheMiss);
+        break;
+      case SolverCache::Outcome::DiskHit:
+        Probe.setDetail(TraceCacheDiskHit);
+        break;
+      case SolverCache::Outcome::Bypass:
+        Probe.setDetail(TraceCacheBypass);
+        break;
+      }
+    } else {
+      Result = solveDirect(R);
+    }
   }
   // Record stats from the final result, not inside solveDirect: a cache
   // hit must bump the same counters as the solve it replays, so the stats

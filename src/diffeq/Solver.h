@@ -33,6 +33,7 @@
 namespace granlog {
 
 class SolverCache;
+class Tracer;
 
 /// The result of solving one difference equation.
 struct SolveResult {
@@ -99,6 +100,12 @@ public:
   /// mode, across analyzer runs).  Null detaches (the default).
   void setCache(SolverCache *Cache) { this->Cache = Cache; }
 
+  /// Emits one "solve" span per solve() (tagging budget degradation) and
+  /// one "cache.probe" span per cache lookup (tagging hit/miss/disk-hit/
+  /// bypass) into \p T.  Null disables tracing (the default); results
+  /// are identical either way.
+  void setTracer(Tracer *T) { this->Trace = T; }
+
   /// Comma-joined schema names in match order; namespaces cache keys so
   /// ablation configurations never share entries.
   std::string tableSignature() const;
@@ -111,6 +118,7 @@ private:
   StatsRegistry *Stats = nullptr;
   std::string StatsPrefix;
   SolverCache *Cache = nullptr;
+  Tracer *Trace = nullptr;
 };
 
 /// \name Helpers shared by schemas and the analyses.

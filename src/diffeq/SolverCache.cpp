@@ -2,6 +2,7 @@
 
 #include "diffeq/SolverCache.h"
 
+#include "support/Io.h"
 #include "support/Json.h"
 
 #include <algorithm>
@@ -182,7 +183,8 @@ SolveResult SolverCache::solve(
   for (const auto &[Canon, Orig] : C->RenameBack)
     Result.Closed = substituteVar(Result.Closed, Canon, makeVar(Orig));
   if (Out)
-    *Out = Inserted ? Outcome::Miss : Outcome::Hit;
+    *Out = Inserted ? Outcome::Miss
+                    : (E->FromDisk ? Outcome::DiskHit : Outcome::Hit);
   return Result;
 }
 
@@ -539,28 +541,5 @@ bool SolverCache::saveToFile(const std::string &Path,
   }
   Doc += "]}";
 
-  std::string Tmp = Path + ".tmp";
-  {
-    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
-    if (!Out.is_open()) {
-      if (Error)
-        *Error = Tmp + ": cannot open for writing";
-      return false;
-    }
-    Out << Doc;
-    Out.flush();
-    if (!Out) {
-      if (Error)
-        *Error = Tmp + ": write failed";
-      std::remove(Tmp.c_str());
-      return false;
-    }
-  }
-  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
-    if (Error)
-      *Error = Path + ": rename from temp file failed";
-    std::remove(Tmp.c_str());
-    return false;
-  }
-  return true;
+  return writeFileAtomic(Path, Doc, Error);
 }

@@ -53,7 +53,10 @@ namespace granlog {
 
 class SolverCache {
 public:
-  enum class Outcome { Hit, Miss, Bypass };
+  /// How one solve() interacted with the table.  DiskHit is a Hit whose
+  /// entry was loaded from a persistent cache file (solved by a previous
+  /// process); hits()/diskHits() count it under both totals.
+  enum class Outcome { Hit, Miss, Bypass, DiskHit };
 
   /// The memo-table key: the canonical equation's self-term lists, its
   /// interned additive part and boundary values (compared by pointer —

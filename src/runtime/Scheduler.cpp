@@ -153,9 +153,13 @@ public:
       : Tasks(std::move(Tasks)), Busy(Workers, 0.0), Trace(Trace) {
     for (unsigned W = 0; W != Workers; ++W)
       IdleWorkers.push_back(Workers - 1 - W); // pop lowest id first
-    if (Trace)
+    if (Trace) {
+      // Claim pid 0 and label its clock domain: these timestamps are
+      // abstract work units, not wall time (see support/TraceEvent.h).
+      Trace->processName(0, "simulated multiprocessor (abstract units)");
       for (unsigned W = 0; W != Workers; ++W)
         Trace->threadName(W, "worker " + std::to_string(W));
+    }
   }
 
   double run() {

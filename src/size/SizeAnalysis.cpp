@@ -2,6 +2,8 @@
 
 #include "size/SizeAnalysis.h"
 
+#include "support/Tracer.h"
+
 #include <algorithm>
 
 using namespace granlog;
@@ -509,6 +511,11 @@ void SizeAnalysis::degradeSCC(const std::vector<Functor> &Members) {
 }
 
 void SizeAnalysis::analyzeSCC(const std::vector<Functor> &Members) {
+  // One "size" span per SCC, degraded or not — every driver (sequential,
+  // parallel, planned) funnels through here, so a trace covers every
+  // analyzed SCC.
+  TraceSpan Phase(Trace, SpanKind::Size, TraceProg,
+                  Members.empty() ? Tracer::None : CG->sccId(Members[0]));
   // Resource governance: one deterministic meter per SCC, installed for
   // everything this SCC does (clause walking, substitution, solving).
   // The deadline check doubles as the parallel driver's cancellation —
@@ -728,8 +735,12 @@ ExprRef SizeAnalysis::solveOutput(Functor F, unsigned OutPos,
       continue;
     }
     // Recursive clause: eliminate other SCC unknowns, then extract.
-    ExprRef Reduced = inlineCalls(
-        Rhs, OtherDefs, static_cast<unsigned>(OtherDefs.size()) + 2);
+    ExprRef Reduced;
+    {
+      TraceSpan Norm(Trace, SpanKind::Normalize);
+      Reduced = inlineCalls(
+          Rhs, OtherDefs, static_cast<unsigned>(OtherDefs.size()) + 2);
+    }
     // inlineCalls stops early on meter exhaustion; attribute the failure
     // to the budget (not to "mutual recursion") so explain() is truthful.
     if (WorkMeter *M = currentWorkMeter()) {

@@ -164,6 +164,16 @@ public:
   /// results are identical under the sequential and parallel drivers.
   void setBudget(Budget *B) { ResourceBudget = B; }
 
+  /// Emits one "size" span per analyzeSCC (tagged with program \p Prog
+  /// and the SCC id) plus nested normalize/solve/cache-probe spans into
+  /// \p T; call before run().  Null disables tracing (the default);
+  /// results are identical either way.
+  void setTracer(Tracer *T, uint32_t Prog) {
+    Trace = T;
+    TraceProg = Prog;
+    Solver.setTracer(T);
+  }
+
 private:
   friend class ClauseSizeWalker;
 
@@ -186,6 +196,8 @@ private:
   DiffEqSolver Solver;
   StatsRegistry *Stats = nullptr;
   Budget *ResourceBudget = nullptr;
+  Tracer *Trace = nullptr;
+  uint32_t TraceProg = 0xffffffffu; ///< Tracer::None
   std::unordered_map<Functor, PredicateSizeInfo> Info;
   /// -2 = not yet computed.  Atomic cells: concurrent SCC jobs may race
   /// to compute the same functor's entry, but both write the same value.

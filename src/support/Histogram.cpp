@@ -1,0 +1,68 @@
+//===- support/Histogram.cpp ----------------------------------------------===//
+
+#include "support/Histogram.h"
+
+#include "support/Json.h"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+using namespace granlog;
+
+uint64_t LatencyHistogram::bucketUpperNs(unsigned Bucket) {
+  if (Bucket >= NumBuckets - 1)
+    return std::numeric_limits<uint64_t>::max();
+  return uint64_t(1) << Bucket;
+}
+
+void LatencyHistogram::addNs(uint64_t Ns) {
+  // Smallest B with Ns <= 2^B: bit_width of Ns-1 (0 and 1 land in B=0).
+  unsigned B = Ns <= 1 ? 0 : std::bit_width(Ns - 1);
+  if (B >= NumBuckets)
+    B = NumBuckets - 1;
+  ++Counts[B];
+}
+
+void LatencyHistogram::merge(const LatencyHistogram &O) {
+  for (unsigned B = 0; B != NumBuckets; ++B)
+    Counts[B] += O.Counts[B];
+}
+
+uint64_t LatencyHistogram::count() const {
+  uint64_t N = 0;
+  for (uint64_t C : Counts)
+    N += C;
+  return N;
+}
+
+uint64_t LatencyHistogram::percentileNs(double P) const {
+  uint64_t N = count();
+  if (N == 0)
+    return 0;
+  uint64_t Rank = static_cast<uint64_t>(std::ceil(P * static_cast<double>(N)));
+  if (Rank < 1)
+    Rank = 1;
+  if (Rank > N)
+    Rank = N;
+  uint64_t Seen = 0;
+  for (unsigned B = 0; B != NumBuckets; ++B) {
+    Seen += Counts[B];
+    if (Seen >= Rank)
+      return bucketUpperNs(B);
+  }
+  return bucketUpperNs(NumBuckets - 1);
+}
+
+void LatencyHistogram::writeJson(JsonWriter &W) const {
+  W.beginObject();
+  W.key("count");
+  W.value(count());
+  W.key("p50_ns");
+  W.value(percentileNs(0.50));
+  W.key("p90_ns");
+  W.value(percentileNs(0.90));
+  W.key("p99_ns");
+  W.value(percentileNs(0.99));
+  W.endObject();
+}

@@ -1,0 +1,54 @@
+//===- support/Histogram.h - Fixed-boundary latency histograms ------------===//
+//
+// Part of GranLog; see DESIGN.md "Analyzer tracing & profiling".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A latency histogram with *fixed* (power-of-two) bucket boundaries.
+/// Adding a sample bumps one counter and merging adds counters, so the
+/// histogram — and every percentile derived from it — is a function of
+/// the sample multiset alone: insertion order, thread count and merge
+/// order cannot change the result.  Percentiles return the upper boundary
+/// of the bucket holding the requested rank (a deterministic upper bound
+/// on the true percentile, in the spirit of the analyzer's other sound
+/// overestimates).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_SUPPORT_HISTOGRAM_H
+#define GRANLOG_SUPPORT_HISTOGRAM_H
+
+#include <array>
+#include <cstdint>
+
+namespace granlog {
+
+class JsonWriter;
+
+class LatencyHistogram {
+public:
+  /// Bucket B covers (bucketUpperNs(B-1), bucketUpperNs(B)] nanoseconds;
+  /// bucket 0 covers [0, 1].  64 power-of-two buckets span every uint64.
+  static constexpr unsigned NumBuckets = 64;
+  static uint64_t bucketUpperNs(unsigned Bucket);
+
+  void addNs(uint64_t Ns);
+  void merge(const LatencyHistogram &O);
+
+  uint64_t count() const;
+  /// The upper boundary of the bucket containing the ceil(P * count)-th
+  /// smallest sample (P in (0, 1]); 0 when empty.
+  uint64_t percentileNs(double P) const;
+
+  /// {"count":N,"p50_ns":...,"p90_ns":...,"p99_ns":...} — one value per
+  /// stats key documented in README.
+  void writeJson(JsonWriter &W) const;
+
+private:
+  std::array<uint64_t, NumBuckets> Counts{};
+};
+
+} // namespace granlog
+
+#endif // GRANLOG_SUPPORT_HISTOGRAM_H

@@ -1,0 +1,38 @@
+//===- support/Io.cpp -----------------------------------------------------===//
+
+#include "support/Io.h"
+
+#include <cstdio>
+#include <fstream>
+
+using namespace granlog;
+
+bool granlog::writeFileAtomic(const std::string &Path,
+                              std::string_view Contents,
+                              std::string *Error) {
+  std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out.is_open()) {
+      if (Error)
+        *Error = Tmp + ": cannot open for writing";
+      return false;
+    }
+    Out.write(Contents.data(),
+              static_cast<std::streamsize>(Contents.size()));
+    Out.flush();
+    if (!Out) {
+      if (Error)
+        *Error = Tmp + ": write failed";
+      std::remove(Tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    if (Error)
+      *Error = Path + ": rename from temp file failed";
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  return true;
+}

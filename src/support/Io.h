@@ -1,0 +1,35 @@
+//===- support/Io.h - Atomic artifact writing -----------------------------===//
+//
+// Part of GranLog; see DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// writeFileAtomic: the write-to-temp-then-rename pattern that
+/// SolverCache::saveToFile established, factored out so every artifact
+/// writer (Chrome traces, stats JSON, bench JSON, the persistent solver
+/// cache) shares one implementation.  A failed or interrupted write never
+/// leaves a truncated document at the target path; at worst a stale
+/// "<path>.tmp" sibling remains, which the next successful write replaces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_SUPPORT_IO_H
+#define GRANLOG_SUPPORT_IO_H
+
+#include <string>
+#include <string_view>
+
+namespace granlog {
+
+/// Writes \p Contents to \p Path atomically: the bytes go to "<Path>.tmp"
+/// (same directory, so the final std::rename cannot cross filesystems) and
+/// the temp file replaces \p Path only after a successful flush.  Returns
+/// false (filling \p Error when non-null) on any I/O failure; \p Path is
+/// then untouched.
+bool writeFileAtomic(const std::string &Path, std::string_view Contents,
+                     std::string *Error = nullptr);
+
+} // namespace granlog
+
+#endif // GRANLOG_SUPPORT_IO_H

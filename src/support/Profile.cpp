@@ -1,0 +1,240 @@
+//===- support/Profile.cpp ------------------------------------------------===//
+
+#include "support/Profile.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace granlog;
+
+namespace {
+
+/// "1.234 ms" / "56.7 us" / "890 ns" — fixed precision so reports are
+/// stable to read (the values themselves are wall time, not stable).
+std::string fmtNs(uint64_t Ns) {
+  char Buf[32];
+  if (Ns >= 1000000)
+    std::snprintf(Buf, sizeof(Buf), "%.3f ms",
+                  static_cast<double>(Ns) / 1e6);
+  else if (Ns >= 1000)
+    std::snprintf(Buf, sizeof(Buf), "%.1f us",
+                  static_cast<double>(Ns) / 1e3);
+  else
+    std::snprintf(Buf, sizeof(Buf), "%llu ns",
+                  static_cast<unsigned long long>(Ns));
+  return Buf;
+}
+
+} // namespace
+
+TraceProfile granlog::buildProfile(const std::vector<SpanRecord> &Spans,
+                                   uint32_t Prog) {
+  TraceProfile P;
+  std::vector<SpanRecord> Kept;
+  for (const SpanRecord &R : Spans)
+    if (Prog == Tracer::None || R.Prog == Prog)
+      Kept.push_back(R);
+  P.Spans = Kept.size();
+
+  // Self time: per thread, a containment scan over (start, depth)-sorted
+  // records.  Records nest properly within one thread (spans are strictly
+  // scoped), so an interval stack recovers the tree without parent ids.
+  std::sort(Kept.begin(), Kept.end(),
+            [](const SpanRecord &A, const SpanRecord &B) {
+              if (A.Tid != B.Tid)
+                return A.Tid < B.Tid;
+              if (A.StartNs != B.StartNs)
+                return A.StartNs < B.StartNs;
+              return A.Depth < B.Depth;
+            });
+  std::vector<uint64_t> Self(Kept.size());
+  for (size_t I = 0; I != Kept.size(); ++I)
+    Self[I] = Kept[I].DurNs;
+  std::vector<size_t> Stack; // indices of open enclosing spans
+  for (size_t I = 0; I != Kept.size(); ++I) {
+    const SpanRecord &R = Kept[I];
+    while (!Stack.empty() &&
+           (Kept[Stack.back()].Tid != R.Tid ||
+            Kept[Stack.back()].StartNs + Kept[Stack.back()].DurNs <=
+                R.StartNs))
+      Stack.pop_back();
+    if (!Stack.empty()) {
+      uint64_t &ParentSelf = Self[Stack.back()];
+      ParentSelf -= std::min(ParentSelf, R.DurNs);
+    }
+    Stack.push_back(I);
+  }
+
+  for (size_t I = 0; I != Kept.size(); ++I) {
+    const SpanRecord &R = Kept[I];
+    unsigned K = static_cast<unsigned>(R.Kind);
+    if (K < NumSpanKinds) {
+      ++P.ByKind[K].Count;
+      P.ByKind[K].TotalNs += R.DurNs;
+      P.ByKind[K].SelfNs += Self[I];
+    }
+    switch (R.Kind) {
+    case SpanKind::Size:
+    case SpanKind::Cost:
+      if (R.Scc != Tracer::None)
+        P.SccNs[R.Scc] += R.DurNs;
+      break;
+    case SpanKind::CacheProbe: {
+      unsigned O = R.Detail < P.CacheOutcomes.size() ? R.Detail : 0;
+      ++P.CacheOutcomes[O].Count;
+      P.CacheOutcomes[O].TotalNs += R.DurNs;
+      break;
+    }
+    case SpanKind::Program:
+      P.ProgramLatency.addNs(R.DurNs);
+      break;
+    default:
+      break;
+    }
+  }
+  for (const auto &[Scc, Ns] : P.SccNs)
+    P.SccLatency.addNs(Ns);
+  return P;
+}
+
+std::vector<unsigned>
+granlog::criticalPath(const TraceProfile &P,
+                      const std::vector<std::vector<unsigned>> &SccDeps,
+                      uint64_t *PathNs) {
+  const unsigned N = static_cast<unsigned>(SccDeps.size());
+  auto Weight = [&](unsigned Id) {
+    auto It = P.SccNs.find(Id);
+    return It == P.SccNs.end() ? uint64_t(0) : It->second;
+  };
+  if (N == 0) {
+    // No DAG supplied: degenerate path of the single heaviest SCC.
+    std::vector<unsigned> Path;
+    uint64_t Best = 0;
+    for (const auto &[Scc, Ns] : P.SccNs)
+      if (Ns > Best) {
+        Best = Ns;
+        Path.assign(1, Scc);
+      }
+    if (PathNs)
+      *PathNs = Best;
+    return Path;
+  }
+
+  // Longest path by memoized DFS over the condensation DAG; callee-first
+  // post-order so Best[Callee] is final before Best[Id] reads it.
+  std::vector<uint64_t> Best(N, 0);
+  std::vector<int> Next(N, -1);
+  std::vector<char> State(N, 0); // 0 new, 1 open, 2 done
+  for (unsigned Root = 0; Root != N; ++Root) {
+    if (State[Root])
+      continue;
+    std::vector<std::pair<unsigned, size_t>> Stack{{Root, 0}};
+    State[Root] = 1;
+    while (!Stack.empty()) {
+      auto &[Id, Edge] = Stack.back();
+      if (Edge < SccDeps[Id].size()) {
+        unsigned Callee = SccDeps[Id][Edge++];
+        if (Callee < N && State[Callee] == 0) {
+          State[Callee] = 1;
+          Stack.push_back({Callee, 0});
+        }
+      } else {
+        uint64_t BestChild = 0;
+        int BestId = -1;
+        for (unsigned Callee : SccDeps[Id])
+          if (Callee < N && State[Callee] == 2 &&
+              (Best[Callee] > BestChild ||
+               (Best[Callee] == BestChild && BestId != -1 &&
+                static_cast<int>(Callee) < BestId))) {
+            BestChild = Best[Callee];
+            BestId = static_cast<int>(Callee);
+          }
+        Best[Id] = Weight(Id) + BestChild;
+        Next[Id] = BestId;
+        State[Id] = 2;
+        Stack.pop_back();
+      }
+    }
+  }
+  unsigned Start = 0;
+  for (unsigned Id = 1; Id != N; ++Id)
+    if (Best[Id] > Best[Start])
+      Start = Id;
+  std::vector<unsigned> Path;
+  if (N != 0 && Best[Start] > 0)
+    for (int Id = static_cast<int>(Start); Id != -1; Id = Next[Id])
+      Path.push_back(static_cast<unsigned>(Id));
+  if (PathNs)
+    *PathNs = N ? Best[Start] : 0;
+  return Path;
+}
+
+std::string
+granlog::profileReport(const TraceProfile &P,
+                       const std::vector<std::vector<unsigned>> &SccDeps,
+                       const std::vector<std::string> &SccNames) {
+  std::string Out;
+  Out += "spans: " + std::to_string(P.Spans) + "\n";
+  Out += "self time by phase:\n";
+  for (unsigned K = 0; K != NumSpanKinds; ++K) {
+    const TraceProfile::KindAgg &A = P.ByKind[K];
+    if (!A.Count)
+      continue;
+    char Line[128];
+    std::snprintf(Line, sizeof(Line), "  %-14s %10s self, %10s total (%llu spans)\n",
+                  spanKindName(static_cast<SpanKind>(K)),
+                  fmtNs(A.SelfNs).c_str(), fmtNs(A.TotalNs).c_str(),
+                  static_cast<unsigned long long>(A.Count));
+    Out += Line;
+  }
+  uint64_t Probes = 0;
+  for (const TraceProfile::CacheAgg &C : P.CacheOutcomes)
+    Probes += C.Count;
+  if (Probes) {
+    auto Part = [&](uint16_t O, const char *Label) {
+      const TraceProfile::CacheAgg &C = P.CacheOutcomes[O];
+      return std::to_string(C.Count) + " " + Label + " (" +
+             fmtNs(C.TotalNs) + ")";
+    };
+    Out += "solver cache probes: " + std::to_string(Probes) + " — " +
+           Part(TraceCacheHit, "hit") + ", " + Part(TraceCacheMiss, "miss") +
+           ", " + Part(TraceCacheDiskHit, "disk-hit") + ", " +
+           Part(TraceCacheBypass, "bypass") + "\n";
+  }
+  if (uint64_t N = P.SccLatency.count()) {
+    Out += "scc latency (size+cost per SCC, n=" + std::to_string(N) +
+           "): p50 <= " + fmtNs(P.SccLatency.percentileNs(0.50)) +
+           ", p90 <= " + fmtNs(P.SccLatency.percentileNs(0.90)) +
+           ", p99 <= " + fmtNs(P.SccLatency.percentileNs(0.99)) + "\n";
+  }
+
+  uint64_t PathNs = 0;
+  std::vector<unsigned> Path = criticalPath(P, SccDeps, &PathNs);
+  uint64_t TotalSccNs = 0;
+  for (const auto &[Scc, Ns] : P.SccNs)
+    TotalSccNs += Ns;
+  if (Path.empty()) {
+    Out += "critical path: (no SCC spans)\n";
+  } else {
+    double Pct = TotalSccNs
+                     ? 100.0 * static_cast<double>(PathNs) /
+                           static_cast<double>(TotalSccNs)
+                     : 0.0;
+    char Head[128];
+    std::snprintf(Head, sizeof(Head),
+                  "critical path: %zu SCCs, %s (%.0f%% of %s total SCC "
+                  "time)\n",
+                  Path.size(), fmtNs(PathNs).c_str(), Pct,
+                  fmtNs(TotalSccNs).c_str());
+    Out += Head;
+    for (unsigned Id : Path) {
+      auto It = P.SccNs.find(Id);
+      uint64_t Ns = It == P.SccNs.end() ? 0 : It->second;
+      Out += "  scc " + std::to_string(Id);
+      if (Id < SccNames.size() && !SccNames[Id].empty())
+        Out += " [" + SccNames[Id] + "]";
+      Out += ": " + fmtNs(Ns) + "\n";
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,79 @@
+//===- support/Profile.h - Span-tree profiling ----------------------------===//
+//
+// Part of GranLog; see DESIGN.md "Analyzer tracing & profiling".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns a Tracer snapshot into answers to "why was this run slow":
+/// flamegraph-style self-time per span kind, per-SCC latency histograms,
+/// solver-cache hit attribution, and the critical path through the SCC
+/// dependency DAG (the chain of SCCs whose callee-first data dependencies
+/// bound the parallel analysis wall time, weighted by measured size+cost
+/// span durations).  Pure functions over SpanRecord vectors — no coupling
+/// to the analyzer layers, so the corpus harness and the CLIs share one
+/// implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_SUPPORT_PROFILE_H
+#define GRANLOG_SUPPORT_PROFILE_H
+
+#include "support/Histogram.h"
+#include "support/Tracer.h"
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace granlog {
+
+/// Aggregations over one program's (or a whole trace's) spans.
+struct TraceProfile {
+  struct KindAgg {
+    uint64_t Count = 0;
+    uint64_t TotalNs = 0; ///< sum of span durations (nested spans re-count)
+    uint64_t SelfNs = 0;  ///< duration minus same-thread child spans
+  };
+  struct CacheAgg {
+    uint64_t Count = 0;
+    uint64_t TotalNs = 0;
+  };
+
+  uint64_t Spans = 0;
+  std::array<KindAgg, NumSpanKinds> ByKind{};
+  /// Cache-probe spans by outcome, indexed by the TraceCache* detail
+  /// values (0 = unknown).
+  std::array<CacheAgg, 5> CacheOutcomes{};
+  /// Measured size+cost nanoseconds per SCC id — the node weights of the
+  /// critical path.
+  std::map<unsigned, uint64_t> SccNs;
+  LatencyHistogram SccLatency;     ///< one sample per analyzed SCC
+  LatencyHistogram ProgramLatency; ///< one sample per Program span
+};
+
+/// Aggregates \p Spans, keeping only records tagged with program \p Prog
+/// (Tracer::None keeps everything).
+TraceProfile buildProfile(const std::vector<SpanRecord> &Spans,
+                          uint32_t Prog = Tracer::None);
+
+/// The maximum-weight root-to-leaf chain through the SCC dependency DAG
+/// (\p SccDeps[Id] = callee SCC ids, as GranularityAnalyzer::
+/// sccDependencies() builds it), weighted by \p P.SccNs; caller-first
+/// order.  \p PathNs (optional) receives the chain's total weight.  Ties
+/// break toward smaller SCC ids, so the path is deterministic.
+std::vector<unsigned> criticalPath(const TraceProfile &P,
+                                   const std::vector<std::vector<unsigned>> &SccDeps,
+                                   uint64_t *PathNs = nullptr);
+
+/// Renders the human-readable profile: self-time by phase, cache-hit
+/// attribution, SCC latency percentiles and the critical path (annotated
+/// with \p SccNames when provided, one label per SCC id).
+std::string profileReport(const TraceProfile &P,
+                          const std::vector<std::vector<unsigned>> &SccDeps,
+                          const std::vector<std::string> &SccNames);
+
+} // namespace granlog
+
+#endif // GRANLOG_SUPPORT_PROFILE_H

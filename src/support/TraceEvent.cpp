@@ -2,14 +2,19 @@
 
 #include "support/TraceEvent.h"
 
+#include "support/Io.h"
 #include "support/Json.h"
-
-#include <fstream>
 
 using namespace granlog;
 
 void TraceWriter::complete(std::string Name, std::string Category,
                            unsigned Tid, double Ts, double Dur) {
+  completeOn(0, std::move(Name), std::move(Category), Tid, Ts, Dur);
+}
+
+void TraceWriter::completeOn(unsigned Pid, std::string Name,
+                             std::string Category, unsigned Tid, double Ts,
+                             double Dur) {
   TraceEvent E;
   E.Name = std::move(Name);
   E.Category = std::move(Category);
@@ -17,6 +22,7 @@ void TraceWriter::complete(std::string Name, std::string Category,
   E.Ts = Ts;
   E.Dur = Dur;
   E.Tid = Tid;
+  E.Pid = Pid;
   Events.push_back(std::move(E));
 }
 
@@ -32,10 +38,25 @@ void TraceWriter::instant(std::string Name, std::string Category,
 }
 
 void TraceWriter::threadName(unsigned Tid, std::string Name) {
+  threadNameOn(0, Tid, std::move(Name));
+}
+
+void TraceWriter::threadNameOn(unsigned Pid, unsigned Tid,
+                               std::string Name) {
   TraceEvent E;
   E.Name = "thread_name";
   E.Phase = 'M';
   E.Tid = Tid;
+  E.Pid = Pid;
+  E.Arg = std::move(Name);
+  Events.push_back(std::move(E));
+}
+
+void TraceWriter::processName(unsigned Pid, std::string Name) {
+  TraceEvent E;
+  E.Name = "process_name";
+  E.Phase = 'M';
+  E.Pid = Pid;
   E.Arg = std::move(Name);
   Events.push_back(std::move(E));
 }
@@ -56,7 +77,7 @@ std::string TraceWriter::json() const {
     W.key("ph");
     W.value(std::string_view(&E.Phase, 1));
     W.key("pid");
-    W.value(0);
+    W.value(E.Pid);
     W.key("tid");
     W.value(E.Tid);
     switch (E.Phase) {
@@ -90,9 +111,5 @@ std::string TraceWriter::json() const {
 }
 
 bool TraceWriter::writeFile(const std::string &Path) const {
-  std::ofstream Out(Path);
-  if (!Out)
-    return false;
-  Out << json() << '\n';
-  return Out.good();
+  return writeFileAtomic(Path, json() + '\n');
 }

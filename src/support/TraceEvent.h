@@ -16,6 +16,13 @@
 /// format's microsecond field — one unit displays as one microsecond,
 /// which only rescales the (already abstract) time axis.
 ///
+/// Clock domains: because the simulator writes abstract units while the
+/// analyzer tracer (support/Tracer) writes wall-clock nanoseconds, the
+/// two must never share a process track.  Each producer claims a pid and
+/// names it with a process_name metadata event (processName below), so a
+/// merged trace renders as two clearly labelled process groups instead of
+/// one misleading timeline.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GRANLOG_SUPPORT_TRACEEVENT_H
@@ -34,6 +41,9 @@ struct TraceEvent {
   double Ts = 0;    ///< start timestamp, abstract units
   double Dur = 0;   ///< 'X' only
   unsigned Tid = 0; ///< worker id (or target tid for metadata)
+  /// Process track: 0 is the simulator's abstract-time track, the
+  /// analyzer tracer exports on 1 (see the clock-domain note above).
+  unsigned Pid = 0;
   /// Metadata payload ("name" arg of thread_name events) or instant
   /// detail; empty when unused.
   std::string Arg;
@@ -51,13 +61,26 @@ public:
   /// Names a worker track ("thread_name" metadata).
   void threadName(unsigned Tid, std::string Name);
 
+  /// \name Pid-explicit variants (multi-process traces).
+  /// The two-clock-domain rule above: every producer writing a distinct
+  /// time base must use its own pid.
+  /// @{
+  void completeOn(unsigned Pid, std::string Name, std::string Category,
+                  unsigned Tid, double Ts, double Dur);
+  void threadNameOn(unsigned Pid, unsigned Tid, std::string Name);
+  /// Names a process track ("process_name" metadata), labelling its
+  /// clock domain for human readers of a merged trace.
+  void processName(unsigned Pid, std::string Name);
+  /// @}
+
   const std::vector<TraceEvent> &events() const { return Events; }
 
   /// The full trace document: {"traceEvents": [...], ...}.
   std::string json() const;
 
-  /// Serializes to \p Path; false (with no partial file guarantee) on I/O
-  /// failure.
+  /// Serializes to \p Path atomically (temp file + rename, like
+  /// SolverCache::saveToFile): on failure returns false and \p Path is
+  /// left untouched — a crashed run never leaves a truncated trace.
   bool writeFile(const std::string &Path) const;
 
 private:

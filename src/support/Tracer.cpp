@@ -1,0 +1,218 @@
+//===- support/Tracer.cpp -------------------------------------------------===//
+
+#include "support/Tracer.h"
+
+#include "support/TraceEvent.h"
+
+#include <algorithm>
+#include <atomic>
+
+using namespace granlog;
+
+const char *granlog::spanKindName(SpanKind K) {
+  switch (K) {
+  case SpanKind::Batch:
+    return "batch";
+  case SpanKind::Program:
+    return "program";
+  case SpanKind::SessionUpdate:
+    return "session.update";
+  case SpanKind::Scc:
+    return "scc";
+  case SpanKind::Size:
+    return "size";
+  case SpanKind::Cost:
+    return "cost";
+  case SpanKind::Solve:
+    return "solve";
+  case SpanKind::Normalize:
+    return "normalize";
+  case SpanKind::CacheProbe:
+    return "cache.probe";
+  }
+  return "?";
+}
+
+namespace {
+
+std::atomic<uint64_t> NextTracerId{1};
+
+// The per-thread log cache: valid for one Tracer at a time.  Keyed by the
+// process-unique Tracer id, never by address, so a Tracer constructed at a
+// freed Tracer's address cannot inherit a stale log.
+thread_local uint64_t CachedTracerId = 0;
+thread_local void *CachedLog = nullptr;
+
+} // namespace
+
+Tracer::Tracer(size_t CapacityPerThread)
+    : Id(NextTracerId.fetch_add(1, std::memory_order_relaxed)),
+      Capacity(std::max<size_t>(1, CapacityPerThread)),
+      Epoch(std::chrono::steady_clock::now()) {}
+
+Tracer::~Tracer() = default;
+
+uint64_t Tracer::nowNs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - Epoch)
+          .count());
+}
+
+Tracer::ThreadLog *Tracer::acquireLog() {
+  if (CachedTracerId == Id)
+    return static_cast<ThreadLog *>(CachedLog);
+  auto Log = std::make_unique<ThreadLog>();
+  Log->Buf.resize(Capacity); // the one allocation, before any span lands
+  ThreadLog *Raw = Log.get();
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Logs.push_back(std::move(Log));
+  }
+  CachedTracerId = Id;
+  CachedLog = Raw;
+  return Raw;
+}
+
+uint32_t Tracer::registerProgram(std::string Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Programs.push_back(std::move(Name));
+  return static_cast<uint32_t>(Programs.size() - 1);
+}
+
+std::string Tracer::programName(uint32_t Prog) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Prog < Programs.size() ? Programs[Prog] : std::string();
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  std::vector<SpanRecord> Out;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (size_t T = 0; T != Logs.size(); ++T) {
+    const ThreadLog &L = *Logs[T];
+    size_t N = std::min(L.Count, L.Buf.size());
+    size_t First = L.Count - N; // sequence number of the oldest retained
+    for (size_t I = 0; I != N; ++I) {
+      SpanRecord R = L.Buf[(First + I) % L.Buf.size()];
+      R.Tid = static_cast<uint32_t>(T);
+      Out.push_back(R);
+    }
+  }
+  // Parents close after their children but start no later; sorting by
+  // (start, tid, depth) puts each parent before its children.
+  std::sort(Out.begin(), Out.end(),
+            [](const SpanRecord &A, const SpanRecord &B) {
+              if (A.StartNs != B.StartNs)
+                return A.StartNs < B.StartNs;
+              if (A.Tid != B.Tid)
+                return A.Tid < B.Tid;
+              return A.Depth < B.Depth;
+            });
+  return Out;
+}
+
+uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  uint64_t Dropped = 0;
+  for (const auto &L : Logs)
+    if (L->Count > L->Buf.size())
+      Dropped += L->Count - L->Buf.size();
+  return Dropped;
+}
+
+void Tracer::exportTo(TraceWriter &W, unsigned Pid,
+                      const std::string &ProcessName) const {
+  std::vector<SpanRecord> Spans = snapshot();
+  W.processName(Pid, ProcessName);
+  uint32_t MaxTid = 0;
+  for (const SpanRecord &R : Spans)
+    MaxTid = std::max(MaxTid, R.Tid);
+  if (!Spans.empty())
+    for (uint32_t T = 0; T <= MaxTid; ++T)
+      W.threadNameOn(Pid, T, "analyzer thread " + std::to_string(T));
+  for (const SpanRecord &R : Spans) {
+    std::string Name;
+    switch (R.Kind) {
+    case SpanKind::Program:
+      Name = programName(R.Prog);
+      if (Name.empty())
+        Name = "program";
+      break;
+    case SpanKind::Scc:
+      Name = "scc " + std::to_string(R.Scc);
+      break;
+    case SpanKind::Size:
+    case SpanKind::Cost:
+      // The phase spans carry the SCC identity in every driver (the
+      // sequential one has no enclosing scc span), so name them with it.
+      Name = spanKindName(R.Kind);
+      if (R.Scc != Tracer::None)
+        Name += " (scc " + std::to_string(R.Scc) + ")";
+      break;
+    case SpanKind::Solve:
+      Name = R.Detail == TraceSolveDegraded ? "solve (degraded)" : "solve";
+      break;
+    case SpanKind::CacheProbe:
+      switch (R.Detail) {
+      case TraceCacheHit:
+        Name = "probe:hit";
+        break;
+      case TraceCacheMiss:
+        Name = "probe:miss";
+        break;
+      case TraceCacheDiskHit:
+        Name = "probe:disk-hit";
+        break;
+      case TraceCacheBypass:
+        Name = "probe:bypass";
+        break;
+      default:
+        Name = "probe";
+        break;
+      }
+      break;
+    default:
+      Name = spanKindName(R.Kind);
+      break;
+    }
+    // Nanoseconds into the format's microsecond field, at ns resolution.
+    W.completeOn(Pid, std::move(Name), spanKindName(R.Kind), R.Tid,
+                 static_cast<double>(R.StartNs) / 1000.0,
+                 static_cast<double>(R.DurNs) / 1000.0);
+  }
+}
+
+void TraceSpan::begin(SpanKind K, uint32_t P, uint32_t S) {
+  Log = T->acquireLog();
+  Kind = K;
+  PrevProg = Log->CurProg;
+  PrevScc = Log->CurScc;
+  Prog = P != Tracer::None ? P : PrevProg;
+  Scc = S != Tracer::None ? S : PrevScc;
+  Log->CurProg = Prog;
+  Log->CurScc = Scc;
+  Depth = static_cast<uint8_t>(std::min<uint32_t>(Log->Depth, 255));
+  ++Log->Depth;
+  // Compiler fences pin the timestamps against the measured work; a
+  // hardware fence is unnecessary (the clock reads are on one thread).
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+  StartNs = T->nowNs();
+}
+
+void TraceSpan::end() {
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+  uint64_t EndNs = T->nowNs();
+  --Log->Depth;
+  Log->CurProg = PrevProg;
+  Log->CurScc = PrevScc;
+  SpanRecord &R = Log->Buf[Log->Count % Log->Buf.size()];
+  R.StartNs = StartNs;
+  R.DurNs = EndNs - StartNs;
+  R.Prog = Prog;
+  R.Scc = Scc;
+  R.Tid = 0; // assigned by snapshot()
+  R.Kind = Kind;
+  R.Depth = Depth;
+  R.Detail = Detail;
+  ++Log->Count;
+}

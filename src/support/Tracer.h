@@ -1,0 +1,211 @@
+//===- support/Tracer.h - Hierarchical analyzer span tracing --------------===//
+//
+// Part of GranLog; see DESIGN.md "Analyzer tracing & profiling".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A low-overhead structured tracing subsystem for the *analyzer itself*
+/// (wall time), complementing the simulated-machine traces of
+/// runtime/Scheduler (abstract time units).  The span taxonomy mirrors the
+/// pipeline's nesting:
+///
+///   batch > program > session.update > scc > {size, cost} > solve >
+///   {normalize, cache.probe}
+///
+/// Design constraints, in order:
+///
+///  - Tracing off (null Tracer*) costs one branch per would-be span, the
+///    same nullable-pointer idiom as StatsRegistry.  Analysis results are
+///    never affected either way.
+///  - Tracing on, the span hot path is two fenced steady_clock reads and
+///    one POD store into a per-thread ring buffer — no locks, no
+///    allocation (the buffer is preallocated when a thread records its
+///    first span).  When a ring wraps, the *oldest* records are
+///    overwritten (spans close innermost-first, so early leaf spans go
+///    before the enclosing phase spans) and dropped() reports how many.
+///  - Spans carry typed attributes as fixed-width fields (SCC id, program
+///    id, cache outcome / degradation detail), not strings.  Program
+///    names are interned up front via registerProgram(), off the hot
+///    path.
+///
+/// Context propagation: each thread's log remembers the current program
+/// and SCC; Program/Scc spans set them (and restore on close), so deeply
+/// nested spans (solver, cache probe) inherit their tags without any
+/// signature changes through the layers.  This works because one
+/// (program, SCC) analysis job runs entirely on one thread.
+///
+/// snapshot()/exportTo() must only be called when no thread is actively
+/// recording (after the analysis pool joined) — the join provides the
+/// happens-before edge that makes the logs safe to read.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_SUPPORT_TRACER_H
+#define GRANLOG_SUPPORT_TRACER_H
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace granlog {
+
+class TraceWriter;
+
+/// The span taxonomy, outermost first.  Values index per-kind aggregation
+/// arrays (see support/Profile.h); append only.
+enum class SpanKind : uint8_t {
+  Batch = 0,     ///< one analyzeCorpusBatch call
+  Program,       ///< one benchmark / one analyzer run
+  SessionUpdate, ///< one AnalysisSession::update revision
+  Scc,           ///< one SCC job of the parallel/planned driver
+  Size,          ///< SizeAnalysis::analyzeSCC (argument-size phase)
+  Cost,          ///< CostAnalysis::analyzeSCC (cost phase)
+  Solve,         ///< one DiffEqSolver::solve call
+  Normalize,     ///< one inlineCalls substitution round
+  CacheProbe,    ///< one SolverCache lookup
+};
+inline constexpr unsigned NumSpanKinds = 9;
+
+/// Stable lower-case name of \p K ("scc", "cache.probe", ...), used as the
+/// Chrome-trace category and in profile reports.
+const char *spanKindName(SpanKind K);
+
+/// \name Span Detail values.
+/// CacheProbe spans carry the SolverCache outcome; Solve spans carry 1
+/// when the result degraded under a resource budget (Degradation).
+/// @{
+inline constexpr uint16_t TraceDetailNone = 0;
+inline constexpr uint16_t TraceCacheHit = 1;
+inline constexpr uint16_t TraceCacheMiss = 2;
+inline constexpr uint16_t TraceCacheDiskHit = 3;
+inline constexpr uint16_t TraceCacheBypass = 4;
+inline constexpr uint16_t TraceSolveDegraded = 1;
+/// @}
+
+/// One completed span: a fixed-size POD record, written once at span exit.
+/// Tid is filled in by Tracer::snapshot() (the index of the recording
+/// thread's log, in first-span order).
+struct SpanRecord {
+  uint64_t StartNs = 0; ///< steady_clock ns since the Tracer's epoch
+  uint64_t DurNs = 0;
+  uint32_t Prog = 0;    ///< registerProgram id, or Tracer::None
+  uint32_t Scc = 0;     ///< SCC id, or Tracer::None
+  uint32_t Tid = 0;
+  SpanKind Kind = SpanKind::Batch;
+  uint8_t Depth = 0;    ///< per-thread nesting depth (saturates at 255)
+  uint16_t Detail = 0;  ///< see the Trace* detail constants
+};
+
+/// Collects spans from any number of threads; see the file comment for the
+/// threading contract.  One Tracer instance per traced operation (a batch,
+/// a CLI run); do not interleave two live tracers on one thread.
+class Tracer {
+public:
+  /// "No value" for Prog/Scc tags ("inherit from the enclosing span").
+  static constexpr uint32_t None = 0xffffffffu;
+  /// Default per-thread ring capacity (spans), ~2 MiB per thread.
+  static constexpr size_t DefaultCapacity = size_t(1) << 16;
+
+  explicit Tracer(size_t CapacityPerThread = DefaultCapacity);
+  ~Tracer();
+  Tracer(const Tracer &) = delete;
+  Tracer &operator=(const Tracer &) = delete;
+
+  /// Interns \p Name and returns the id Program spans are tagged with.
+  /// Not for the hot path: call once per program before analysis starts.
+  uint32_t registerProgram(std::string Name);
+  /// The name registered for \p Prog ("" for None/out-of-range ids).
+  std::string programName(uint32_t Prog) const;
+
+  /// All retained spans, Tid assigned, ordered by (StartNs, Tid, Depth).
+  /// Only valid once every recording thread has quiesced (joined).
+  std::vector<SpanRecord> snapshot() const;
+
+  /// Spans lost to ring-buffer wrap-around, across all threads.
+  uint64_t dropped() const;
+
+  /// Per-thread ring capacity, in spans.
+  size_t capacity() const { return Capacity; }
+
+  /// Emits every retained span into \p W as Chrome complete events on
+  /// process \p Pid — a *separate* process track from the simulator's
+  /// abstract-time events (distinct clock domains must not share a
+  /// timeline), named via a process_name metadata event.  Span start/dur
+  /// are nanoseconds scaled to the format's microsecond field.
+  void exportTo(TraceWriter &W, unsigned Pid = 1,
+                const std::string &ProcessName =
+                    "granlog analyzer (wall time)") const;
+
+private:
+  friend class TraceSpan;
+
+  /// One thread's ring buffer plus its span-context state.  Owned by the
+  /// Tracer, used without locks by exactly one thread.
+  struct ThreadLog {
+    std::vector<SpanRecord> Buf; ///< fixed Capacity, preallocated
+    size_t Count = 0;            ///< records ever written (ring wraps)
+    uint32_t Depth = 0;
+    uint32_t CurProg = None;
+    uint32_t CurScc = None;
+  };
+
+  /// The calling thread's log, creating (and caching thread-locally) it
+  /// on first use.  The only span-path step that can allocate, once per
+  /// (thread, Tracer) pair.
+  ThreadLog *acquireLog();
+  uint64_t nowNs() const;
+
+  const uint64_t Id; ///< process-unique, keys the thread-local log cache
+  const size_t Capacity;
+  const std::chrono::steady_clock::time_point Epoch;
+  mutable std::mutex Mutex; ///< guards Logs/Programs registration
+  std::vector<std::unique_ptr<ThreadLog>> Logs;
+  std::vector<std::string> Programs;
+};
+
+/// RAII span.  With a null tracer the whole object is inert (a single
+/// branch in both constructor and destructor).  \p Prog / \p Scc tag the
+/// span explicitly and become the thread's current context until close;
+/// Tracer::None inherits the enclosing span's value.
+class TraceSpan {
+public:
+  TraceSpan(Tracer *T, SpanKind Kind, uint32_t Prog = Tracer::None,
+            uint32_t Scc = Tracer::None)
+      : T(T) {
+    if (T)
+      begin(Kind, Prog, Scc);
+  }
+  ~TraceSpan() {
+    if (T)
+      end();
+  }
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+
+  /// Attaches a typed detail (cache outcome, degradation) to the record
+  /// written at close.
+  void setDetail(uint16_t D) { Detail = D; }
+
+private:
+  void begin(SpanKind Kind, uint32_t Prog, uint32_t Scc);
+  void end();
+
+  Tracer *T;
+  Tracer::ThreadLog *Log = nullptr;
+  uint64_t StartNs = 0;
+  uint32_t Prog = Tracer::None;
+  uint32_t Scc = Tracer::None;
+  uint32_t PrevProg = Tracer::None;
+  uint32_t PrevScc = Tracer::None;
+  SpanKind Kind = SpanKind::Batch;
+  uint8_t Depth = 0;
+  uint16_t Detail = 0;
+};
+
+} // namespace granlog
+
+#endif // GRANLOG_SUPPORT_TRACER_H

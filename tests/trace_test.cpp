@@ -88,6 +88,9 @@ TEST(TraceTest, GoldenTwoWorkerTrace) {
 
   const char *Golden =
       "{\"traceEvents\":["
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+      "\"args\":{\"name\":\"simulated multiprocessor (abstract "
+      "units)\"}},"
       "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
       "\"args\":{\"name\":\"worker 0\"}},"
       "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":1,"

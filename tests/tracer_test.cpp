@@ -1,0 +1,364 @@
+//===- tests/tracer_test.cpp - Analyzer tracing subsystem tests -----------===//
+//
+// The tracing contract, end to end: a null tracer changes nothing (batch
+// outputs byte-identical at any job count), a live tracer's exported
+// Chrome trace is valid JSON on its own process track and covers every
+// analyzed SCC, the span hot path never allocates, the ring buffer drops
+// oldest-first with an honest dropped() count, the latency histogram's
+// percentiles are deterministic under splitting/merging, the critical
+// path follows the SCC dependency DAG, and the atomic file writer leaves
+// no temp residue.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AnalysisSession.h"
+#include "corpus/Corpus.h"
+#include "corpus/Harness.h"
+#include "support/Histogram.h"
+#include "support/Io.h"
+#include "support/Json.h"
+#include "support/Profile.h"
+#include "support/TraceEvent.h"
+#include "support/Tracer.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <new>
+#include <thread>
+
+using namespace granlog;
+
+// Counting global allocator: proves the span hot path stays allocation-
+// free once a thread's ring exists.  Delegates to malloc; the nothrow
+// variants fall through to these replaced throwing forms.
+static std::atomic<uint64_t> GAllocCount{0};
+
+void *operator new(std::size_t Size) {
+  GAllocCount.fetch_add(1, std::memory_order_relaxed);
+  if (void *P = std::malloc(Size ? Size : 1))
+    return P;
+  throw std::bad_alloc();
+}
+void *operator new[](std::size_t Size) { return ::operator new(Size); }
+void operator delete(void *P) noexcept { std::free(P); }
+void operator delete[](void *P) noexcept { std::free(P); }
+void operator delete(void *P, std::size_t) noexcept { std::free(P); }
+void operator delete[](void *P, std::size_t) noexcept { std::free(P); }
+
+namespace {
+
+BatchResult runBatch(unsigned Jobs, Tracer *Trace) {
+  BatchConfig Config;
+  Config.Jobs = Jobs;
+  Config.Trace = Trace;
+  return analyzeCorpusBatch(Config);
+}
+
+/// Drops the stats-JSON "values" member (wall-clock phase timings, never
+/// reproducible run-to-run); everything else must be byte-identical.
+std::string stripTimings(std::string Json) {
+  size_t Pos = Json.find("\"values\":{");
+  if (Pos == std::string::npos)
+    return Json;
+  size_t End = Json.find('}', Pos);
+  return Json.erase(Pos, End - Pos + 1);
+}
+
+} // namespace
+
+// A traced batch must produce byte-identical analysis output to an
+// untraced one, sequential or parallel: tracing is observation only.
+TEST(TracerTest, TracingOffBatchOutputsByteIdentical) {
+  BatchResult Base = runBatch(1, nullptr);
+  Tracer T1, T8;
+  BatchResult Configs[] = {runBatch(8, nullptr), runBatch(1, &T1),
+                           runBatch(8, &T8)};
+  ASSERT_FALSE(Base.Results.empty());
+  for (const BatchResult &Other : Configs) {
+    ASSERT_EQ(Base.Results.size(), Other.Results.size());
+    for (size_t I = 0; I != Base.Results.size(); ++I) {
+      EXPECT_EQ(Base.Results[I].Report, Other.Results[I].Report);
+      EXPECT_EQ(Base.Results[I].ExplainAll, Other.Results[I].ExplainAll);
+      EXPECT_EQ(stripTimings(Base.Results[I].StatsJson),
+                stripTimings(Other.Results[I].StatsJson));
+    }
+    EXPECT_EQ(Base.CacheHits, Other.CacheHits);
+    EXPECT_EQ(Base.CacheMisses, Other.CacheMisses);
+    EXPECT_EQ(Base.CacheEntries, Other.CacheEntries);
+  }
+}
+
+// The exported trace round-trips through the JSON parser, lands on its
+// own process track (pid 1, named clock domain), and carries a size and
+// a cost span for every SCC of every benchmark.
+TEST(TracerTest, ExportedTraceIsValidAndCoversEverySCC) {
+  Tracer T;
+  BatchResult Batch = runBatch(4, &T);
+
+  for (const BatchAnalysis &A : Batch.Results) {
+    ASSERT_TRUE(A.Ok) << A.Name << ": " << A.Error;
+    EXPECT_EQ(A.SccSpans, A.SccDeps.size()) << A.Name;
+    EXPECT_GT(A.SccSpans, 0u) << A.Name;
+    EXPECT_NE(A.Profile.find("critical path:"), std::string::npos);
+  }
+
+  TraceWriter W;
+  T.exportTo(W);
+  std::optional<JsonValue> Doc = jsonParse(W.json());
+  ASSERT_TRUE(Doc);
+  const JsonValue *Events = Doc->find("traceEvents");
+  ASSERT_TRUE(Events && Events->isArray());
+
+  bool NamedProcess = false;
+  size_t AnalyzerSpans = 0;
+  for (const JsonValue &E : Events->array()) {
+    std::optional<int64_t> Pid = E.intMember("pid");
+    ASSERT_TRUE(Pid);
+    EXPECT_EQ(*Pid, 1); // analyzer spans never share the simulator track
+    std::optional<std::string> Ph = E.stringMember("ph");
+    ASSERT_TRUE(Ph);
+    if (*Ph == "M" && E.stringMember("name") == "process_name")
+      NamedProcess = true;
+    if (*Ph == "X")
+      ++AnalyzerSpans;
+  }
+  EXPECT_TRUE(NamedProcess);
+  EXPECT_EQ(AnalyzerSpans, T.snapshot().size());
+  EXPECT_EQ(T.dropped(), 0u);
+}
+
+// Once a thread has recorded its first span (which may allocate its
+// ring), further spans must not allocate at all.
+TEST(TracerTest, SpanHotPathDoesNotAllocate) {
+  Tracer T;
+  { TraceSpan Warmup(&T, SpanKind::Program, 0); } // ring exists now
+  uint64_t Before = GAllocCount.load(std::memory_order_relaxed);
+  for (int I = 0; I != 1000; ++I) {
+    TraceSpan Scc(&T, SpanKind::Scc, Tracer::None,
+                  static_cast<uint32_t>(I));
+    TraceSpan Solve(&T, SpanKind::Solve);
+    Solve.setDetail(TraceCacheHit);
+  }
+  uint64_t After = GAllocCount.load(std::memory_order_relaxed);
+  EXPECT_EQ(Before, After);
+  EXPECT_EQ(T.snapshot().size(), 2001u);
+}
+
+// A full ring overwrites the oldest records and owns up to it.
+TEST(TracerTest, RingOverflowDropsOldestAndCounts) {
+  Tracer T(/*CapacityPerThread=*/4);
+  EXPECT_EQ(T.capacity(), 4u);
+  for (uint32_t I = 0; I != 10; ++I)
+    TraceSpan(&T, SpanKind::Scc, Tracer::None, I);
+  std::vector<SpanRecord> Spans = T.snapshot();
+  ASSERT_EQ(Spans.size(), 4u);
+  EXPECT_EQ(T.dropped(), 6u);
+  // The retained spans are the newest four, still in recording order.
+  for (size_t I = 0; I != Spans.size(); ++I)
+    EXPECT_EQ(Spans[I].Scc, 6u + I);
+}
+
+// Null-tracer spans are inert: no logs, no snapshot, no surprises.
+TEST(TracerTest, NullTracerSpansAreInert) {
+  TraceSpan Outer(nullptr, SpanKind::Program, 7);
+  TraceSpan Inner(nullptr, SpanKind::Solve);
+  Inner.setDetail(TraceCacheMiss);
+  Tracer T;
+  EXPECT_TRUE(T.snapshot().empty());
+  EXPECT_EQ(T.dropped(), 0u);
+}
+
+// Nested spans inherit the enclosing program/SCC context within a thread,
+// and sibling threads keep independent contexts.
+TEST(TracerTest, SpansInheritContextPerThread) {
+  Tracer T;
+  uint32_t P0 = T.registerProgram("alpha");
+  uint32_t P1 = T.registerProgram("beta");
+  auto Work = [&](uint32_t Prog, uint32_t Scc) {
+    TraceSpan Program(&T, SpanKind::Program, Prog);
+    TraceSpan SccSpan(&T, SpanKind::Scc, Tracer::None, Scc);
+    TraceSpan Solve(&T, SpanKind::Solve); // inherits Prog and Scc
+  };
+  std::thread A(Work, P0, 11u), B(Work, P1, 22u);
+  A.join();
+  B.join();
+  std::vector<SpanRecord> Spans = T.snapshot();
+  ASSERT_EQ(Spans.size(), 6u);
+  for (const SpanRecord &R : Spans) {
+    if (R.Prog == P0)
+      EXPECT_TRUE(R.Kind == SpanKind::Program || R.Scc == 11u);
+    else if (R.Prog == P1)
+      EXPECT_TRUE(R.Kind == SpanKind::Program || R.Scc == 22u);
+    else
+      ADD_FAILURE() << "span with unregistered program " << R.Prog;
+  }
+  EXPECT_EQ(T.programName(P0), "alpha");
+  EXPECT_EQ(T.programName(P1), "beta");
+}
+
+// Percentiles are a pure function of the inserted multiset: any split of
+// the samples across histograms, in any order, merges to the same result.
+TEST(TracerTest, HistogramPercentilesDeterministicUnderMerge) {
+  std::vector<uint64_t> Samples;
+  for (int I = 0; I != 50; ++I)
+    Samples.push_back(1000);
+  for (int I = 0; I != 40; ++I)
+    Samples.push_back(100000);
+  for (int I = 0; I != 10; ++I)
+    Samples.push_back(10000000);
+
+  LatencyHistogram Whole;
+  for (uint64_t S : Samples)
+    Whole.addNs(S);
+
+  LatencyHistogram Parts[4];
+  for (size_t I = 0; I != Samples.size(); ++I)
+    Parts[(Samples.size() - 1 - I) % 4].addNs(Samples[I]);
+  LatencyHistogram Merged;
+  for (LatencyHistogram &Part : Parts)
+    Merged.merge(Part);
+
+  EXPECT_EQ(Whole.count(), 100u);
+  EXPECT_EQ(Merged.count(), 100u);
+  for (double P : {0.50, 0.90, 0.99, 1.0})
+    EXPECT_EQ(Whole.percentileNs(P), Merged.percentileNs(P)) << P;
+  // Bucket upper bounds: 1000 -> 1024, 100000 -> 2^17, 10000000 -> 2^24.
+  EXPECT_EQ(Whole.percentileNs(0.50), 1024u);
+  EXPECT_EQ(Whole.percentileNs(0.90), uint64_t(1) << 17);
+  EXPECT_EQ(Whole.percentileNs(0.99), uint64_t(1) << 24);
+}
+
+// The critical path is the heaviest dependency chain, not the heaviest
+// node set, and ties break deterministically toward smaller ids.
+TEST(TracerTest, CriticalPathFollowsDependencyChain) {
+  // Synthesize measured spans: SCC 0 depends on 1 and 2; 1 depends on 3.
+  auto SizeSpan = [](uint32_t Scc, uint64_t Start, uint64_t Dur) {
+    SpanRecord R;
+    R.Kind = SpanKind::Size;
+    R.Scc = Scc;
+    R.Prog = 0;
+    R.StartNs = Start;
+    R.DurNs = Dur;
+    return R;
+  };
+  std::vector<SpanRecord> Spans = {
+      SizeSpan(3, 0, 100), SizeSpan(1, 200, 50), SizeSpan(2, 300, 120),
+      SizeSpan(0, 500, 10)};
+  TraceProfile P = buildProfile(Spans);
+  EXPECT_EQ(P.SccNs.size(), 4u);
+  std::vector<std::vector<unsigned>> Deps = {{1, 2}, {3}, {}, {}};
+  uint64_t PathNs = 0;
+  std::vector<unsigned> Path = criticalPath(P, Deps, &PathNs);
+  // 0->1->3 weighs 160; 0->2 weighs 130.
+  EXPECT_EQ(Path, (std::vector<unsigned>{0, 1, 3}));
+  EXPECT_EQ(PathNs, 160u);
+  std::string Report = profileReport(P, Deps, {"top", "mid", "", "leaf"});
+  EXPECT_NE(Report.find("critical path: 3 SCCs"), std::string::npos);
+  EXPECT_NE(Report.find("[leaf]"), std::string::npos);
+}
+
+// Self time subtracts same-thread children only; cache outcomes aggregate
+// by detail code.
+TEST(TracerTest, ProfileSelfTimeAndCacheAttribution) {
+  Tracer T;
+  {
+    TraceSpan Size(&T, SpanKind::Size, 0, 5);
+    {
+      TraceSpan Solve(&T, SpanKind::Solve);
+      TraceSpan Probe(&T, SpanKind::CacheProbe);
+      Probe.setDetail(TraceCacheMiss);
+    }
+    {
+      TraceSpan Solve(&T, SpanKind::Solve);
+      TraceSpan Probe(&T, SpanKind::CacheProbe);
+      Probe.setDetail(TraceCacheDiskHit);
+    }
+  }
+  TraceProfile P = buildProfile(T.snapshot());
+  EXPECT_EQ(P.Spans, 5u);
+  const auto &Size = P.ByKind[static_cast<unsigned>(SpanKind::Size)];
+  const auto &Solve = P.ByKind[static_cast<unsigned>(SpanKind::Solve)];
+  EXPECT_EQ(Size.Count, 1u);
+  EXPECT_EQ(Solve.Count, 2u);
+  EXPECT_LE(Size.SelfNs + Solve.TotalNs, Size.TotalNs + Solve.TotalNs);
+  EXPECT_GE(Size.TotalNs, Solve.TotalNs); // children nest inside
+  EXPECT_EQ(P.CacheOutcomes[TraceCacheMiss].Count, 1u);
+  EXPECT_EQ(P.CacheOutcomes[TraceCacheDiskHit].Count, 1u);
+  EXPECT_EQ(P.CacheOutcomes[TraceCacheHit].Count, 0u);
+  EXPECT_EQ(P.SccNs.count(5), 1u);
+}
+
+// An incremental session tags every revision with a session.update span;
+// reused SCCs don't re-record size/cost spans.
+TEST(TracerTest, SessionUpdatesEmitSpans) {
+  Tracer T;
+  SessionOptions SO;
+  SO.Trace = &T;
+  SO.TraceProgram = T.registerProgram("session");
+  AnalysisSession Session(SO);
+
+  TermArena Arena;
+  Diagnostics Diags;
+  std::optional<Program> P =
+      loadProgram(findBenchmark("fib")->Source, Arena, Diags);
+  ASSERT_TRUE(P);
+  Session.update(*P);
+  const SessionUpdate &U2 = Session.update(*P); // all SCCs reused
+  EXPECT_EQ(U2.AnalyzedSCCs, 0u);
+
+  size_t Updates = 0, SizeSpans = 0;
+  for (const SpanRecord &R : T.snapshot()) {
+    EXPECT_EQ(R.Prog, SO.TraceProgram);
+    Updates += R.Kind == SpanKind::SessionUpdate;
+    SizeSpans += R.Kind == SpanKind::Size;
+  }
+  EXPECT_EQ(Updates, 2u);
+  EXPECT_EQ(SizeSpans, 1u); // only the first revision analyzed anything
+}
+
+// writeFileAtomic: publishes the full contents, cleans up its temp file,
+// and fails without leaving residue when the rename cannot happen.
+TEST(TracerTest, WriteFileAtomicLeavesNoResidue) {
+  namespace fs = std::filesystem;
+  fs::path Dir = fs::temp_directory_path() / "granlog-io-test";
+  fs::create_directories(Dir);
+  fs::path Target = Dir / "out.json";
+
+  ASSERT_TRUE(writeFileAtomic(Target.string(), "{\"ok\":true}\n"));
+  std::ifstream In(Target);
+  std::string Contents((std::istreambuf_iterator<char>(In)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(Contents, "{\"ok\":true}\n");
+  EXPECT_FALSE(fs::exists(Target.string() + ".tmp"));
+
+  std::string Error;
+  fs::path Bad = Dir / "no" / "such" / "dir" / "out.json";
+  EXPECT_FALSE(writeFileAtomic(Bad.string(), "x", &Error));
+  EXPECT_FALSE(Error.empty());
+  EXPECT_FALSE(fs::exists(Bad.string() + ".tmp"));
+  fs::remove_all(Dir);
+}
+
+// TraceWriter keeps distinct process tracks distinct: pid-0 (simulator)
+// and pid-1 (analyzer) events coexist with their own metadata.
+TEST(TracerTest, TraceWriterSeparatesProcessTracks) {
+  TraceWriter W;
+  W.processName(0, "sim");
+  W.complete("task0", "task", 0, 1.0, 2.0); // legacy pid-0 path
+  W.processName(1, "analyzer");
+  W.completeOn(1, "solve", "solve", 3, 10.0, 5.0);
+  W.threadNameOn(1, 3, "analyzer thread 3");
+
+  std::optional<JsonValue> Doc = jsonParse(W.json());
+  ASSERT_TRUE(Doc);
+  const JsonValue *Events = Doc->find("traceEvents");
+  ASSERT_TRUE(Events && Events->isArray());
+  ASSERT_EQ(Events->array().size(), 5u);
+  EXPECT_EQ(Events->array()[1].intMember("pid"), 0);
+  EXPECT_EQ(Events->array()[3].intMember("pid"), 1);
+  EXPECT_EQ(Events->array()[3].intMember("tid"), 3);
+}
