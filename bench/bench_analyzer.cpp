@@ -13,7 +13,9 @@
 #include "core/Transform.h"
 #include "corpus/Corpus.h"
 #include "corpus/Harness.h"
+#include "corpus/ShardRunner.h"
 #include "expr/Expr.h"
+#include "program/Generator.h"
 #include "support/Histogram.h"
 #include "support/Io.h"
 #include "support/Json.h"
@@ -328,14 +330,34 @@ IncrementalMeasurement measureIncremental() {
   return M;
 }
 
+/// Schema version of the BENCH_analyzer.json document.  Bump whenever a
+/// field is added, removed or changes meaning; the CI bench job compares
+/// the checked-in file's "schema_version" against this constant (via
+/// --print-bench-schema-version) and fails when the file is stale.
+constexpr int64_t BenchJsonSchemaVersion = 2;
+
+/// One generated-corpus sharded run, for the "generated" bench section.
+struct GeneratedRun {
+  bool Ran = false;
+  size_t Count = 0;
+  uint64_t Seed = 1;
+  unsigned Shards = 1;
+  unsigned Jobs = 1;
+  ShardBatchResult Result;
+  std::string CorpusFingerprint; ///< hex64 of the corpus report text
+};
+
 /// Machine-readable corpus-batch record for benchmark-history consumers
 /// (CI uploads this as an artifact).  One JSON object per run: job count,
 /// whole-batch wall time, shared solver-cache traffic, the incremental
-/// re-analysis data point, and per-benchmark analysis wall times.
+/// re-analysis data point, per-benchmark analysis wall times, and (when
+/// --generate ran) generated-corpus throughput.
 bool writeBatchJson(const char *Path, unsigned Jobs,
-                    const BatchResult &Batch) {
+                    const BatchResult &Batch, const GeneratedRun *Gen) {
   JsonWriter W;
   W.beginObject();
+  W.key("schema_version");
+  W.value(BenchJsonSchemaVersion);
   W.key("version");
   W.value(StatsJsonVersion);
   W.key("jobs");
@@ -382,6 +404,53 @@ bool writeBatchJson(const char *Path, unsigned Jobs,
     W.value(Inc.ColdSeconds);
     W.endObject();
   }
+  // Generated-corpus throughput: the scale-out side of the Section 8
+  // efficiency claim (programs/sec and per-program latency percentiles
+  // over a seeded corpus, sharded across worker processes).
+  if (Gen && Gen->Ran) {
+    const ShardBatchResult &R = Gen->Result;
+    W.key("generated");
+    W.beginObject();
+    W.key("count");
+    W.value(static_cast<uint64_t>(Gen->Count));
+    W.key("seed");
+    W.value(Gen->Seed);
+    W.key("shards");
+    W.value(Gen->Shards);
+    W.key("jobs");
+    W.value(Gen->Jobs);
+    W.key("forked");
+    W.value(R.Forked);
+    W.key("wall_seconds");
+    W.value(R.WallSeconds);
+    W.key("programs_per_sec");
+    W.value(R.WallSeconds > 0 ? Gen->Count / R.WallSeconds : 0.0);
+    W.key("failures");
+    W.value(static_cast<uint64_t>(R.Failures));
+    W.key("corpus_fingerprint");
+    W.value(Gen->CorpusFingerprint);
+    W.key("latency");
+    W.beginObject();
+    W.key("program");
+    R.Latency.writeJson(W);
+    W.endObject();
+    W.key("cache");
+    W.beginObject();
+    W.key("hits");
+    W.value(R.CacheHits);
+    W.key("misses");
+    W.value(R.CacheMisses);
+    W.key("disk_hits");
+    W.value(R.DiskHits);
+    W.key("entries");
+    W.value(static_cast<uint64_t>(R.CacheEntries));
+    W.endObject();
+    if (!R.Warning.empty()) {
+      W.key("warning");
+      W.value(R.Warning);
+    }
+    W.endObject();
+  }
   W.key("benchmarks");
   W.beginArray();
   for (const BatchAnalysis &A : Batch.Results) {
@@ -420,8 +489,13 @@ int main(int Argc, char **Argv) {
   const char *StatsOut = nullptr;
   const char *BatchJsonOut = nullptr;
   const char *TraceOut = nullptr;
+  const char *CorpusReportOut = nullptr;
+  const char *CacheDir = nullptr;
   bool Profile = false;
   int BatchJobs = 0;
+  long long GenerateCount = 0;
+  unsigned long long GenerateSeed = 1;
+  int Shards = 1;
   BudgetLimits BatchLimits;
   // Strip our flags before google-benchmark sees the argument list.
   int OutArgc = 0;
@@ -430,6 +504,11 @@ int main(int Argc, char **Argv) {
     constexpr const char JobsFlag[] = "--jobs=";
     constexpr const char BatchJsonFlag[] = "--bench-json-out=";
     constexpr const char TraceOutFlag[] = "--trace-out=";
+    constexpr const char GenerateFlag[] = "--generate=";
+    constexpr const char SeedFlag[] = "--seed=";
+    constexpr const char ShardsFlag[] = "--shards=";
+    constexpr const char CacheDirFlag[] = "--cache-dir=";
+    constexpr const char ReportOutFlag[] = "--corpus-report-out=";
     constexpr const char ExprFlag[] = "--budget-expr-nodes=";
     constexpr const char SolverFlag[] = "--budget-solver-steps=";
     constexpr const char NormFlag[] = "--budget-normalize-steps=";
@@ -444,6 +523,25 @@ int main(int Argc, char **Argv) {
       BatchLimits = BudgetLimits::defaults();
     else if (std::strcmp(Argv[I], "--profile") == 0)
       Profile = true;
+    else if (std::strcmp(Argv[I], "--print-bench-schema-version") == 0) {
+      std::printf("%lld\n",
+                  static_cast<long long>(BenchJsonSchemaVersion));
+      return 0;
+    } else if (std::strncmp(Argv[I], GenerateFlag,
+                            sizeof(GenerateFlag) - 1) == 0)
+      GenerateCount = std::atoll(Argv[I] + sizeof(GenerateFlag) - 1);
+    else if (std::strncmp(Argv[I], SeedFlag, sizeof(SeedFlag) - 1) == 0)
+      GenerateSeed = std::strtoull(Argv[I] + sizeof(SeedFlag) - 1,
+                                   nullptr, 10);
+    else if (std::strncmp(Argv[I], ShardsFlag,
+                          sizeof(ShardsFlag) - 1) == 0)
+      Shards = std::atoi(Argv[I] + sizeof(ShardsFlag) - 1);
+    else if (std::strncmp(Argv[I], CacheDirFlag,
+                          sizeof(CacheDirFlag) - 1) == 0)
+      CacheDir = Argv[I] + sizeof(CacheDirFlag) - 1;
+    else if (std::strncmp(Argv[I], ReportOutFlag,
+                          sizeof(ReportOutFlag) - 1) == 0)
+      CorpusReportOut = Argv[I] + sizeof(ReportOutFlag) - 1;
     else if (std::strncmp(Argv[I], TraceOutFlag,
                           sizeof(TraceOutFlag) - 1) == 0)
       TraceOut = Argv[I] + sizeof(TraceOutFlag) - 1;
@@ -483,6 +581,58 @@ int main(int Argc, char **Argv) {
   // configuration CI tracks (8 workers).
   if (BatchJsonOut && BatchJobs <= 0)
     BatchJobs = 8;
+
+  // --generate=COUNT: a seeded corpus analyzed by a sharded multi-process
+  // batch (one persistent cache directory shared by all shards).
+  GeneratedRun Gen;
+  if (GenerateCount > 0) {
+    Gen.Count = static_cast<size_t>(GenerateCount);
+    Gen.Seed = GenerateSeed;
+    Gen.Shards = Shards > 0 ? static_cast<unsigned>(Shards) : 1;
+    Gen.Jobs = BatchJobs > 0 ? static_cast<unsigned>(BatchJobs) : 1;
+    std::vector<GeneratedProgram> Programs =
+        generateCorpus({Gen.Seed, Gen.Count});
+    std::vector<BenchmarkDef> Defs = generatedBenchmarks(Programs);
+    ShardConfig SC;
+    SC.Shards = Gen.Shards;
+    SC.Jobs = Gen.Jobs;
+    SC.Budget = BatchLimits;
+    if (CacheDir)
+      SC.CacheDir = CacheDir;
+    Gen.Result = runShardedBatch(Defs, SC);
+    Gen.Ran = true;
+    std::string Report = corpusReportText(Gen.Result.Programs);
+    Gen.CorpusFingerprint = hex64(fnv1a64(Report));
+    std::printf("generated: %zu programs (seed %llu), %u shard%s x %u "
+                "job%s%s in %.3f s (%.1f programs/s, %zu failures, "
+                "p50 %.3f ms, p99 %.3f ms)\n",
+                Gen.Count, static_cast<unsigned long long>(Gen.Seed),
+                Gen.Shards, Gen.Shards == 1 ? "" : "s", Gen.Jobs,
+                Gen.Jobs == 1 ? "" : "s",
+                Gen.Result.Forked ? " (forked)" : "",
+                Gen.Result.WallSeconds,
+                Gen.Result.WallSeconds > 0
+                    ? Gen.Count / Gen.Result.WallSeconds
+                    : 0.0,
+                Gen.Result.Failures,
+                Gen.Result.Latency.percentileNs(0.50) / 1e6,
+                Gen.Result.Latency.percentileNs(0.99) / 1e6);
+    std::printf("generated cache: %llu hits, %llu misses, %llu disk "
+                "hits, %zu entries; corpus fingerprint %s\n",
+                static_cast<unsigned long long>(Gen.Result.CacheHits),
+                static_cast<unsigned long long>(Gen.Result.CacheMisses),
+                static_cast<unsigned long long>(Gen.Result.DiskHits),
+                Gen.Result.CacheEntries, Gen.CorpusFingerprint.c_str());
+    if (!Gen.Result.Warning.empty())
+      std::printf("generated warning: %s\n", Gen.Result.Warning.c_str());
+    if (CorpusReportOut && !writeFileAtomic(CorpusReportOut, Report)) {
+      std::fprintf(stderr, "error: cannot write %s\n", CorpusReportOut);
+      return 1;
+    }
+    // The acceptance contract: two identical invocations must produce
+    // byte-identical corpus reports, so nothing time- or schedule-
+    // dependent may reach Report.
+  }
 
   // --jobs=N: one timed whole-corpus batch analysis before the registered
   // microbenchmarks, reporting shared-cache traffic.
@@ -532,7 +682,7 @@ int main(int Argc, char **Argv) {
     }
     if (BatchJsonOut &&
         !writeBatchJson(BatchJsonOut, static_cast<unsigned>(BatchJobs),
-                        Batch)) {
+                        Batch, &Gen)) {
       std::fprintf(stderr, "error: cannot write %s\n", BatchJsonOut);
       return 1;
     }

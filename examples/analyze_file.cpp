@@ -56,6 +56,14 @@
 //                        revisions separated by '%% ---' lines and feed
 //                        them through one incremental AnalysisSession,
 //                        reporting how many SCCs each edit re-analyzed
+//   --generate=INDEX     analyze program INDEX of the generated corpus
+//                        instead of a file (see program/Generator.h); no
+//                        positional input is needed, and any positionals
+//                        given are read as [overhead-W] [metric]
+//   --seed=S             corpus seed for --generate (default 1)
+//   --dump-generated     with --generate: print the program's source and
+//                        metadata and exit without analyzing — the way to
+//                        inspect a corpus program a test names
 //
 //===----------------------------------------------------------------------===//
 
@@ -66,6 +74,7 @@
 #include "corpus/Harness.h"
 #include "expr/ExprInterner.h"
 #include "interp/Interpreter.h"
+#include "program/Generator.h"
 #include "runtime/Scheduler.h"
 #include "support/Io.h"
 #include "support/Json.h"
@@ -100,6 +109,7 @@ void usage(const char *Prog) {
               "         --budget-parse-tokens=N --budget-clauses=N "
               "--timeout-ms=N\n");
   std::printf("         --cache-dir=DIR --only=NAME/ARITY --session-demo\n");
+  std::printf("         --generate=INDEX --seed=S --dump-generated\n");
   std::printf("built-in benchmarks:");
   for (const BenchmarkDef &B : benchmarkCorpus())
     std::printf(" %s", B.Name.c_str());
@@ -145,6 +155,9 @@ int main(int Argc, char **Argv) {
   std::string CacheDir;
   std::string OnlySpec;
   bool SessionDemo = false;
+  long GenerateIndex = -1;
+  uint64_t GenerateSeed = 1;
+  bool DumpGenerated = false;
   std::vector<const char *> Positional;
 
   auto ParseLimit = [](const char *V) {
@@ -195,6 +208,12 @@ int main(int Argc, char **Argv) {
       OnlySpec = V;
     } else if (std::strcmp(Arg, "--session-demo") == 0) {
       SessionDemo = true;
+    } else if (const char *V = optValue(Arg, "--generate")) {
+      GenerateIndex = std::atol(V);
+    } else if (const char *V = optValue(Arg, "--seed")) {
+      GenerateSeed = std::strtoull(V, nullptr, 10);
+    } else if (std::strcmp(Arg, "--dump-generated") == 0) {
+      DumpGenerated = true;
     } else if (Arg[0] == '-' && Arg[1] == '-') {
       std::printf("error: unknown option %s\n", Arg);
       usage(Argv[0]);
@@ -203,14 +222,39 @@ int main(int Argc, char **Argv) {
       Positional.push_back(Arg);
     }
   }
-  if (Positional.empty()) {
+  if (DumpGenerated && GenerateIndex < 0) {
+    std::printf("error: --dump-generated needs --generate=INDEX\n");
+    return 1;
+  }
+  if (GenerateIndex < 0 && Positional.empty()) {
     usage(Argv[0]);
     return 1;
   }
 
-  const BenchmarkDef *Bench = findBenchmark(Positional[0]);
+  // Generated-corpus input: the program comes from the deterministic
+  // generator, not a file, and the positionals shift to [W] [metric].
+  std::optional<GeneratedProgram> Gen;
+  if (GenerateIndex >= 0)
+    Gen = generateProgram(GenerateSeed,
+                          static_cast<unsigned>(GenerateIndex));
+  std::string InputName = Gen ? Gen->Name : Positional[0];
+  if (DumpGenerated) {
+    std::printf("%% %s: seed=%llu index=%u family=%s depth=%u "
+                "entry=%s/%u rec=%s/%u recarg=%d input=%d\n%s",
+                Gen->Name.c_str(),
+                static_cast<unsigned long long>(Gen->Seed), Gen->Index,
+                schemaFamilyName(Gen->Family), Gen->Depth,
+                Gen->EntryPred.c_str(), Gen->EntryArity,
+                Gen->RecPred.c_str(), Gen->RecArity, Gen->RecArgPos,
+                Gen->DefaultInput, Gen->Source.c_str());
+    return 0;
+  }
+
+  const BenchmarkDef *Bench = Gen ? nullptr : findBenchmark(Positional[0]);
   std::string Source;
-  if (Bench) {
+  if (Gen) {
+    Source = Gen->Source;
+  } else if (Bench) {
     Source = Bench->Source;
   } else {
     std::ifstream In(Positional[0]);
@@ -223,10 +267,12 @@ int main(int Argc, char **Argv) {
     Source = Buffer.str();
   }
 
-  double W = Positional.size() > 1 ? std::atof(Positional[1]) : 65.0;
+  size_t ArgBase = Gen ? 0 : 1;
+  double W = Positional.size() > ArgBase ? std::atof(Positional[ArgBase])
+                                         : 65.0;
   CostMetric Metric = CostMetric::resolutions();
-  if (Positional.size() > 2) {
-    std::string M = Positional[2];
+  if (Positional.size() > ArgBase + 1) {
+    std::string M = Positional[ArgBase + 1];
     if (M == "unifications")
       Metric = CostMetric::unifications();
     else if (M == "instructions")
@@ -243,7 +289,7 @@ int main(int Argc, char **Argv) {
   uint32_t TraceProg = Tracer::None;
   if (!TraceOutPath.empty() || Profile) {
     AnalyzerTrace.emplace();
-    TraceProg = AnalyzerTrace->registerProgram(Positional[0]);
+    TraceProg = AnalyzerTrace->registerProgram(InputName);
   }
   auto WriteAnalyzerTrace = [&](TraceWriter &Out) {
     AnalyzerTrace->exportTo(Out);
@@ -342,7 +388,7 @@ int main(int Argc, char **Argv) {
   }
   if (P->predicates().empty()) {
     std::printf("error: %s defines no predicates (empty program)\n",
-                Positional[0]);
+                InputName.c_str());
     return 1;
   }
   for (const Diagnostic &D : Diags.all())

@@ -1,0 +1,335 @@
+//===- corpus/ShardRunner.cpp ---------------------------------------------===//
+
+#include "corpus/ShardRunner.h"
+
+#include "support/Io.h"
+#include "support/Json.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+
+#if !defined(_WIN32)
+#include <sys/wait.h>
+#include <unistd.h>
+#define GRANLOG_HAVE_FORK 1
+#endif
+
+using namespace granlog;
+
+std::vector<BenchmarkDef>
+granlog::generatedBenchmarks(const std::vector<GeneratedProgram> &Programs) {
+  std::vector<BenchmarkDef> Defs;
+  Defs.reserve(Programs.size());
+  for (const GeneratedProgram &G : Programs) {
+    BenchmarkDef D;
+    D.Name = G.Name;
+    D.Source = G.Source.c_str();
+    D.DefaultInput = G.DefaultInput;
+    D.Description = schemaFamilyName(G.Family);
+    const GeneratedProgram *GP = &G;
+    D.BuildGoal = [GP](TermArena &A, int N) {
+      return buildGeneratedGoal(*GP, A, N);
+    };
+    Defs.push_back(std::move(D));
+  }
+  return Defs;
+}
+
+uint64_t granlog::reportFingerprint(const BatchAnalysis &A) {
+  std::string Blob;
+  Blob.reserve(A.Report.size() + 1 + A.ExplainAll.size());
+  Blob += A.Report;
+  Blob += '\0';
+  Blob += A.ExplainAll;
+  return fnv1a64(Blob);
+}
+
+std::string granlog::corpusReportText(
+    const std::vector<ShardProgramResult> &Programs) {
+  std::string Text;
+  for (const ShardProgramResult &P : Programs) {
+    Text += P.Name;
+    Text += ' ';
+    Text += P.Ok ? P.FingerprintHex : std::string("failed");
+    Text += " degradations=";
+    Text += std::to_string(P.Degradations);
+    Text += '\n';
+  }
+  Text += "corpus ";
+  Text += hex64(fnv1a64(Text));
+  Text += '\n';
+  return Text;
+}
+
+namespace {
+
+/// Indices of the programs shard \p S analyzes.
+std::vector<size_t> shardSlice(size_t CorpusSize, unsigned Shards,
+                               unsigned S, bool Overlap) {
+  std::vector<size_t> Indices;
+  for (size_t I = 0; I != CorpusSize; ++I)
+    if (Overlap || I % Shards == S)
+      Indices.push_back(I);
+  return Indices;
+}
+
+struct ShardOutcome {
+  std::vector<std::pair<size_t, ShardProgramResult>> Programs;
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  uint64_t DiskHits = 0;
+  size_t CacheEntries = 0;
+  std::string Warning;
+};
+
+/// Runs one shard's slice in the current process.
+ShardOutcome runShardSlice(const std::vector<BenchmarkDef> &Corpus,
+                           const std::vector<size_t> &Indices,
+                           const ShardConfig &Config) {
+  std::vector<BenchmarkDef> Slice;
+  Slice.reserve(Indices.size());
+  for (size_t I : Indices)
+    Slice.push_back(Corpus[I]);
+
+  BatchConfig BC;
+  BC.Metric = Config.Metric;
+  BC.OverheadW = Config.OverheadW;
+  BC.Jobs = Config.Jobs;
+  BC.Budget = Config.Budget;
+  BC.CollectStats = false; // fingerprints cover report + provenance
+  BC.Corpus = &Slice;
+  BC.CacheDir = Config.CacheDir;
+  BatchResult Batch = analyzeCorpusBatch(BC);
+
+  ShardOutcome Out;
+  Out.CacheHits = Batch.CacheHits;
+  Out.CacheMisses = Batch.CacheMisses;
+  Out.DiskHits = Batch.DiskHits;
+  Out.CacheEntries = Batch.CacheEntries;
+  Out.Warning = Batch.CacheWarning;
+  for (size_t I = 0; I != Batch.Results.size(); ++I) {
+    const BatchAnalysis &A = Batch.Results[I];
+    ShardProgramResult R;
+    R.Name = A.Name;
+    R.Ok = A.Ok;
+    if (A.Ok)
+      R.FingerprintHex = hex64(reportFingerprint(A));
+    R.Seconds = A.Seconds;
+    R.Degradations = A.Degradations;
+    R.Error = A.Error;
+    Out.Programs.emplace_back(Indices[I], std::move(R));
+  }
+  return Out;
+}
+
+std::string shardResultJson(const ShardOutcome &Out) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("cache_hits");
+  W.value(Out.CacheHits);
+  W.key("cache_misses");
+  W.value(Out.CacheMisses);
+  W.key("disk_hits");
+  W.value(Out.DiskHits);
+  W.key("cache_entries");
+  W.value(static_cast<uint64_t>(Out.CacheEntries));
+  W.key("warning");
+  W.value(Out.Warning);
+  W.key("programs");
+  W.beginArray();
+  for (const auto &[Index, R] : Out.Programs) {
+    W.beginObject();
+    W.key("index");
+    W.value(static_cast<uint64_t>(Index));
+    W.key("name");
+    W.value(R.Name);
+    W.key("ok");
+    W.value(R.Ok);
+    W.key("fp");
+    W.value(R.FingerprintHex);
+    W.key("seconds");
+    W.value(R.Seconds);
+    W.key("degradations");
+    W.value(R.Degradations);
+    W.key("error");
+    W.value(R.Error);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  return W.take();
+}
+
+bool parseShardResult(const std::string &Text, ShardOutcome &Out) {
+  std::optional<JsonValue> Doc = jsonParse(Text);
+  if (!Doc || !Doc->isObject())
+    return false;
+  std::optional<int64_t> Hits = Doc->intMember("cache_hits");
+  std::optional<int64_t> Misses = Doc->intMember("cache_misses");
+  std::optional<int64_t> Disk = Doc->intMember("disk_hits");
+  std::optional<int64_t> Entries = Doc->intMember("cache_entries");
+  std::optional<std::string> Warning = Doc->stringMember("warning");
+  const JsonValue *Programs = Doc->find("programs");
+  if (!Hits || !Misses || !Disk || !Entries || !Warning || !Programs ||
+      !Programs->isArray())
+    return false;
+  Out.CacheHits = static_cast<uint64_t>(*Hits);
+  Out.CacheMisses = static_cast<uint64_t>(*Misses);
+  Out.DiskHits = static_cast<uint64_t>(*Disk);
+  Out.CacheEntries = static_cast<size_t>(*Entries);
+  Out.Warning = std::move(*Warning);
+  for (const JsonValue &PV : Programs->array()) {
+    if (!PV.isObject())
+      return false;
+    std::optional<int64_t> Index = PV.intMember("index");
+    std::optional<std::string> Name = PV.stringMember("name");
+    std::optional<bool> Ok = PV.boolMember("ok");
+    std::optional<std::string> Fp = PV.stringMember("fp");
+    std::optional<int64_t> Degr = PV.intMember("degradations");
+    std::optional<std::string> Error = PV.stringMember("error");
+    const JsonValue *Seconds = PV.find("seconds");
+    if (!Index || !Name || !Ok || !Fp || !Degr || !Error || !Seconds ||
+        !Seconds->isNumber())
+      return false;
+    ShardProgramResult R;
+    R.Name = std::move(*Name);
+    R.Ok = *Ok;
+    R.FingerprintHex = std::move(*Fp);
+    R.Seconds = Seconds->number();
+    R.Degradations = static_cast<uint64_t>(*Degr);
+    R.Error = std::move(*Error);
+    Out.Programs.emplace_back(static_cast<size_t>(*Index), std::move(R));
+  }
+  return true;
+}
+
+/// Folds one shard's outcome into the merged result.  In overlap mode
+/// every shard sees the full corpus; shard 0's per-program results win
+/// (all shards' fingerprints are recorded for convergence checks).
+void mergeOutcome(ShardBatchResult &Merged, const ShardOutcome &Out,
+                  unsigned Shard, bool Overlap) {
+  Merged.CacheHits += Out.CacheHits;
+  Merged.CacheMisses += Out.CacheMisses;
+  Merged.DiskHits += Out.DiskHits;
+  Merged.CacheEntries = std::max(Merged.CacheEntries, Out.CacheEntries);
+  if (Merged.Warning.empty() && !Out.Warning.empty())
+    Merged.Warning = Out.Warning;
+  if (Overlap) {
+    std::string Blob;
+    for (const auto &[Index, R] : Out.Programs) {
+      Blob += R.FingerprintHex;
+      Blob += '\n';
+    }
+    Merged.ShardFingerprints.push_back(hex64(fnv1a64(Blob)));
+    if (Shard != 0)
+      return;
+  }
+  for (const auto &[Index, R] : Out.Programs) {
+    if (Index < Merged.Programs.size())
+      Merged.Programs[Index] = R;
+    Merged.Latency.addNs(static_cast<uint64_t>(R.Seconds * 1e9));
+  }
+}
+
+} // namespace
+
+ShardBatchResult
+granlog::runShardedBatch(const std::vector<BenchmarkDef> &Corpus,
+                         const ShardConfig &Config) {
+  using Clock = std::chrono::steady_clock;
+  auto T0 = Clock::now();
+
+  unsigned Shards = std::max(1u, Config.Shards);
+  ShardBatchResult Merged;
+  Merged.Shards = Shards;
+  Merged.Programs.resize(Corpus.size());
+
+#if GRANLOG_HAVE_FORK
+  bool Fork = Shards > 1;
+#else
+  bool Fork = false;
+#endif
+
+  if (!Fork) {
+    // In-process: run the slices sequentially (identical results, no
+    // process isolation).  Shards == 1 is the common path.
+    for (unsigned S = 0; S != Shards; ++S) {
+      ShardOutcome Out = runShardSlice(
+          Corpus, shardSlice(Corpus.size(), Shards, S, Config.Overlap),
+          Config);
+      mergeOutcome(Merged, Out, S, Config.Overlap);
+    }
+  } else {
+#if GRANLOG_HAVE_FORK
+    Merged.Forked = true;
+    namespace fs = std::filesystem;
+    std::error_code EC;
+    fs::path WorkDir = Config.WorkDir.empty()
+                           ? fs::temp_directory_path(EC) /
+                                 ("granlog-shards-" +
+                                  std::to_string(getpid()))
+                           : fs::path(Config.WorkDir);
+    bool OwnWorkDir = Config.WorkDir.empty();
+    fs::create_directories(WorkDir, EC);
+
+    std::vector<pid_t> Pids(Shards, -1);
+    for (unsigned S = 0; S != Shards; ++S) {
+      std::string ResultPath =
+          (WorkDir / ("shard-" + std::to_string(S) + ".json")).string();
+      pid_t Pid = fork();
+      if (Pid == 0) {
+        // Worker: analyze the slice, persist the result JSON, and leave
+        // without running parent-process atexit handlers.
+        ShardOutcome Out = runShardSlice(
+            Corpus, shardSlice(Corpus.size(), Shards, S, Config.Overlap),
+            Config);
+        bool Written = writeFileAtomic(ResultPath, shardResultJson(Out));
+        _exit(Written ? 0 : 1);
+      }
+      if (Pid < 0) {
+        // fork failed (e.g. process limits): run this slice inline.
+        Merged.Warning = "fork failed; shard " + std::to_string(S) +
+                         " ran in-process";
+        ShardOutcome Out = runShardSlice(
+            Corpus, shardSlice(Corpus.size(), Shards, S, Config.Overlap),
+            Config);
+        bool Written = writeFileAtomic(ResultPath, shardResultJson(Out));
+        (void)Written;
+      }
+      Pids[S] = Pid;
+    }
+    for (unsigned S = 0; S != Shards; ++S) {
+      if (Pids[S] > 0) {
+        int Status = 0;
+        waitpid(Pids[S], &Status, 0);
+        if (!WIFEXITED(Status) || WEXITSTATUS(Status) != 0)
+          Merged.Warning = "shard " + std::to_string(S) +
+                           " worker exited abnormally";
+      }
+      std::string ResultPath =
+          (WorkDir / ("shard-" + std::to_string(S) + ".json")).string();
+      std::ifstream In(ResultPath, std::ios::binary);
+      std::string Text{std::istreambuf_iterator<char>(In),
+                       std::istreambuf_iterator<char>()};
+      ShardOutcome Out;
+      if (!In.is_open() || !parseShardResult(Text, Out)) {
+        Merged.Warning = "shard " + std::to_string(S) +
+                         " produced no readable result";
+        continue;
+      }
+      mergeOutcome(Merged, Out, S, Config.Overlap);
+    }
+    if (OwnWorkDir)
+      fs::remove_all(WorkDir, EC);
+#endif
+  }
+
+  for (const ShardProgramResult &R : Merged.Programs)
+    Merged.Failures += !R.Ok;
+  Merged.WallSeconds =
+      std::chrono::duration<double>(Clock::now() - T0).count();
+  return Merged;
+}

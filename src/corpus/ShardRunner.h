@@ -1,0 +1,120 @@
+//===- corpus/ShardRunner.h - Multi-process sharded batch analysis --------===//
+//
+// Part of GranLog; see DESIGN.md "Generated corpus & sharded batch".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shards a corpus batch across worker *processes*: shard S analyzes every
+/// program whose corpus index is congruent to S, all shards share one
+/// persistent solver-cache directory (atomic save + live-wins read-merge-
+/// write, so concurrent flushes converge on the union), and each shard
+/// reports its per-program results as JSON over a temp file that the
+/// parent merges back into corpus order.
+///
+/// Everything the merged result exposes is deterministic for a fixed
+/// corpus: per-program report fingerprints are content hashes (FNV-1a of
+/// the analysis report + provenance text), so two sharded runs — at any
+/// shard/job count, warm or cold cache — produce byte-identical
+/// corpusReportText.  Timings are reported separately and never feed the
+/// deterministic side.
+///
+/// On platforms without fork() (or with Shards <= 1) the batch runs
+/// in-process; results are identical, only the isolation differs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_CORPUS_SHARDRUNNER_H
+#define GRANLOG_CORPUS_SHARDRUNNER_H
+
+#include "corpus/Harness.h"
+#include "program/Generator.h"
+#include "support/Histogram.h"
+
+#include <string>
+#include <vector>
+
+namespace granlog {
+
+/// Configuration of one sharded batch run.
+struct ShardConfig {
+  unsigned Shards = 1; ///< worker processes (<=1: in-process)
+  unsigned Jobs = 1;   ///< analysis threads per shard
+  CostMetric Metric = CostMetric::resolutions();
+  double OverheadW = 48.0;
+  /// Per-benchmark resource limits (all-zero = unbudgeted).
+  BudgetLimits Budget{};
+  /// Shared persistent solver-cache directory ("" = in-memory caches).
+  /// All shards load and save <CacheDir>/solver-cache.json concurrently;
+  /// this is safe by construction (unique temp names + read-merge-write).
+  std::string CacheDir;
+  /// Where shard result files go; "" uses a fresh directory under the
+  /// system temp path, removed after the merge.
+  std::string WorkDir;
+  /// Stress mode: every shard analyzes the *full* corpus instead of its
+  /// slice, maximizing cache-file contention; the merged result keeps
+  /// shard 0's program results plus every shard's corpus fingerprint so
+  /// tests can assert cross-shard agreement.
+  bool Overlap = false;
+};
+
+/// One program's merged result (the deterministic projection of
+/// BatchAnalysis: content fingerprint instead of report text, so merged
+/// results stay cheap at 10k+ programs).
+struct ShardProgramResult {
+  std::string Name;
+  bool Ok = false;
+  /// fnv1a64 of Report + '\0' + ExplainAll as 16 hex digits ("" when the
+  /// program failed to analyze).
+  std::string FingerprintHex;
+  double Seconds = 0;
+  uint64_t Degradations = 0;
+  std::string Error; ///< load/analysis diagnostic when !Ok
+};
+
+/// Merged results of a sharded batch.
+struct ShardBatchResult {
+  std::vector<ShardProgramResult> Programs; ///< corpus order
+  unsigned Shards = 1;
+  bool Forked = false; ///< ran as separate worker processes
+  size_t Failures = 0; ///< programs with !Ok
+  /// Summed solver-cache traffic across shards (entries: max per shard —
+  /// each process has its own in-memory map).
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  uint64_t DiskHits = 0;
+  size_t CacheEntries = 0;
+  double WallSeconds = 0; ///< whole sharded run, load-to-merge
+  /// Per-program analysis latency (one sample per program).
+  LatencyHistogram Latency;
+  /// First shard/cache warning ("" when clean).
+  std::string Warning;
+  /// Overlap mode only: each shard's corpus fingerprint, for convergence
+  /// assertions; all entries must agree.
+  std::vector<std::string> ShardFingerprints;
+};
+
+/// BenchmarkDef views over generated programs.  The defs alias the
+/// programs' source strings and goal metadata: \p Programs must outlive
+/// them and not reallocate.
+std::vector<BenchmarkDef>
+generatedBenchmarks(const std::vector<GeneratedProgram> &Programs);
+
+/// Content fingerprint of one analysis: fnv1a64(Report + '\0' +
+/// ExplainAll).  Byte-identical reports at any job count make this stable
+/// across schedules, platforms and processes.
+uint64_t reportFingerprint(const BatchAnalysis &A);
+
+/// Deterministic corpus report: one "name fingerprint status" line per
+/// program plus a combined corpus fingerprint.  Contains no timings; two
+/// runs over the same corpus must produce byte-identical text.
+std::string corpusReportText(const std::vector<ShardProgramResult> &Programs);
+
+/// Runs \p Corpus through analyzeCorpusBatch sharded per \p Config and
+/// merges the per-shard results into corpus order.
+ShardBatchResult runShardedBatch(const std::vector<BenchmarkDef> &Corpus,
+                                 const ShardConfig &Config);
+
+} // namespace granlog
+
+#endif // GRANLOG_CORPUS_SHARDRUNNER_H

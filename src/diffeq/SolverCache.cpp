@@ -516,12 +516,41 @@ bool SolverCache::loadFromFile(const std::string &Path, std::string *Error) {
 
 bool SolverCache::saveToFile(const std::string &Path,
                              std::string *Error) const {
+  // Read-merge-write: another process may have flushed its own entries to
+  // Path since this cache was loaded (shard workers share one cache
+  // directory).  Re-parse the file and keep every disk entry whose key is
+  // not live here — live wins on collision, matching loadFromFile — so
+  // concurrent writers converge on the union of their work instead of the
+  // last writer's view.  A corrupt or version-mismatched file contributes
+  // nothing and is simply replaced.
+  std::vector<std::pair<CacheKey, SolveResult>> DiskEntries;
+  {
+    std::ifstream In(Path, std::ios::binary);
+    if (In.is_open()) {
+      std::string Text{std::istreambuf_iterator<char>(In),
+                       std::istreambuf_iterator<char>()};
+      std::optional<JsonValue> Doc = jsonParse(Text);
+      if (Doc && Doc->isObject() &&
+          Doc->intMember("version") == int64_t{DiskFormatVersion}) {
+        const JsonValue *Entries = Doc->find("entries");
+        if (Entries && Entries->isArray()) {
+          for (const JsonValue &EV : Entries->array()) {
+            CacheKey Key;
+            SolveResult R;
+            if (parseEntry(EV, Key, R))
+              DiskEntries.emplace_back(std::move(Key), std::move(R));
+          }
+        }
+      }
+    }
+  }
+
   // Serialize each entry standalone, then sort the fragments: unordered_map
   // iteration order must not leak into the file bytes.
   std::vector<std::string> Fragments;
   {
     std::lock_guard<std::mutex> Lock(Mutex);
-    Fragments.reserve(Map.size());
+    Fragments.reserve(Map.size() + DiskEntries.size());
     for (const auto &[Key, E] : Map) {
       if (!E || !E->Result.Closed)
         continue; // never solved (entry raced with shutdown)
@@ -529,8 +558,13 @@ bool SolverCache::saveToFile(const std::string &Path,
         continue; // reflects a budget, not the equation
       Fragments.push_back(serializeEntry(Key, E->Result));
     }
+    for (const auto &[Key, R] : DiskEntries)
+      if (!Map.count(Key))
+        Fragments.push_back(serializeEntry(Key, R));
   }
   std::sort(Fragments.begin(), Fragments.end());
+  Fragments.erase(std::unique(Fragments.begin(), Fragments.end()),
+                  Fragments.end());
 
   std::string Doc = "{\"version\":" + std::to_string(DiskFormatVersion) +
                     ",\"entries\":[";

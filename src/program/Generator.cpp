@@ -1,0 +1,484 @@
+//===- program/Generator.cpp ----------------------------------------------===//
+
+#include "program/Generator.h"
+
+#include <cassert>
+
+using namespace granlog;
+
+namespace {
+
+/// The generator's own PRNG (splitmix64): identical sequences on every
+/// platform, unlike <random>'s distribution templates whose algorithms
+/// the standard leaves unspecified.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Draw in [0, N).  The modulo bias is ~N/2^64 — irrelevant for the
+  /// single-digit ranges used here — and, crucially, deterministic.
+  uint64_t range(uint64_t N) { return N ? next() % N : 0; }
+
+  /// Draw in [Lo, Hi] inclusive.
+  int64_t rangeIn(int64_t Lo, int64_t Hi) {
+    return Lo + static_cast<int64_t>(
+                    range(static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  bool coin() { return range(2) == 0; }
+
+private:
+  uint64_t State;
+};
+
+/// Mixes corpus seed and program index into one program seed, so each
+/// program's shape depends only on (Seed, Index) — never on how many
+/// programs were generated before it or which shard asked for it.
+uint64_t mixSeed(uint64_t Seed, unsigned Index) {
+  SplitMix64 M(Seed ^ (0xa0761d6478bd642fULL * (Index + 1)));
+  M.next();
+  return M.next();
+}
+
+/// Argument domain of a schema family; chained callees stay inside the
+/// caller's domain so the size analysis can relate their argument sizes.
+enum class Domain { List, Value, Tree };
+
+Domain domainOf(SchemaFamily F) {
+  switch (F) {
+  case SchemaFamily::ListRecursion:
+  case SchemaFamily::ListMap:
+  case SchemaFamily::Accumulator:
+  case SchemaFamily::MutualRecursion:
+    return Domain::List;
+  case SchemaFamily::ArithRecursion:
+  case SchemaFamily::DivideAndConquer:
+    return Domain::Value;
+  case SchemaFamily::TreeRecursion:
+    return Domain::Tree;
+  }
+  return Domain::List;
+}
+
+/// Whether the family's output argument is a tracked numeric value, i.e.
+/// a caller may feed it into an `is` combine step.
+bool outputsValue(SchemaFamily F) {
+  return F != SchemaFamily::ListMap && F != SchemaFamily::Accumulator;
+}
+
+struct WeightedFamily {
+  SchemaFamily Family;
+  unsigned Weight;
+};
+
+constexpr WeightedFamily EntryWeights[] = {
+    {SchemaFamily::ListRecursion, 4},  {SchemaFamily::ListMap, 3},
+    {SchemaFamily::Accumulator, 2},    {SchemaFamily::MutualRecursion, 2},
+    {SchemaFamily::ArithRecursion, 4}, {SchemaFamily::DivideAndConquer, 3},
+    {SchemaFamily::TreeRecursion, 3},
+};
+
+SchemaFamily pickWeighted(const WeightedFamily *Table, size_t N,
+                          SplitMix64 &Rng) {
+  unsigned Total = 0;
+  for (size_t I = 0; I != N; ++I)
+    Total += Table[I].Weight;
+  uint64_t R = Rng.range(Total);
+  for (size_t I = 0; I != N; ++I) {
+    if (R < Table[I].Weight)
+      return Table[I].Family;
+    R -= Table[I].Weight;
+  }
+  return Table[N - 1].Family;
+}
+
+SchemaFamily pickEntryFamily(SplitMix64 &Rng) {
+  return pickWeighted(EntryWeights, std::size(EntryWeights), Rng);
+}
+
+SchemaFamily pickFamilyIn(Domain D, SplitMix64 &Rng) {
+  static constexpr WeightedFamily ListWeights[] = {
+      {SchemaFamily::ListRecursion, 4},
+      {SchemaFamily::ListMap, 3},
+      {SchemaFamily::Accumulator, 2},
+      {SchemaFamily::MutualRecursion, 2},
+  };
+  static constexpr WeightedFamily ValueWeights[] = {
+      {SchemaFamily::ArithRecursion, 4},
+      {SchemaFamily::DivideAndConquer, 3},
+  };
+  switch (D) {
+  case Domain::List:
+    return pickWeighted(ListWeights, std::size(ListWeights), Rng);
+  case Domain::Value:
+    return pickWeighted(ValueWeights, std::size(ValueWeights), Rng);
+  case Domain::Tree:
+    return SchemaFamily::TreeRecursion;
+  }
+  return SchemaFamily::ListRecursion;
+}
+
+/// Everything one predicate slot contributed.
+struct EmitResult {
+  std::string Text;
+  std::string Entry;       ///< name callers/goals use
+  unsigned EntryArity = 2;
+  std::string RecPred;     ///< predicate carrying the recursion
+  unsigned RecArity = 2;
+  int RecArgPos = 0;
+  int DefaultInputHint = 8;
+};
+
+std::string primaryName(const std::string &Prefix, unsigned Slot) {
+  return Prefix + "p" + std::to_string(Slot);
+}
+
+std::string num(int64_t V) { return std::to_string(V); }
+
+/// Renders the optional chained call `Callee(Piece, OutVar)` plus the
+/// recursive call as either a sequential conjunction or a parallel pair.
+/// The two goals share only the (bound) input piece, so they are
+/// independent in the paper's sense and may be '&'-annotated.
+std::string callPair(const std::string &CalleeGoal,
+                     const std::string &RecGoal, bool Parallel) {
+  if (CalleeGoal.empty())
+    return RecGoal;
+  if (Parallel)
+    return "( " + CalleeGoal + " & " + RecGoal + " )";
+  return CalleeGoal + ", " + RecGoal;
+}
+
+EmitResult emitListSum(const std::string &P, unsigned Slot,
+                       const std::string &Callee, bool CalleeValue,
+                       SplitMix64 &Rng) {
+  EmitResult R;
+  int64_t Base = Rng.rangeIn(0, 3);
+  int64_t K = Rng.rangeIn(1, 5);
+  bool Passive = Slot == 0 && Rng.range(4) == 0;
+  bool Par = Rng.coin();
+  bool UseW = !Callee.empty() && CalleeValue && Rng.coin();
+  std::string OutW = Callee.empty() ? "" : (UseW ? "W" : "_W");
+  std::string CalleeGoal =
+      Callee.empty() ? "" : Callee + "(T, " + OutW + ")";
+  std::string Combine = "S is S1 + " + num(K) + (UseW ? " + W" : "");
+  if (Passive) {
+    R.Text += ":- mode(" + P + "(i, i, o)).\n";
+    R.Text += ":- measure(" + P + "(void, length, value)).\n";
+    R.Text += P + "(_, [], " + num(Base) + ").\n";
+    R.Text += P + "(C0, [_|T], S) :- " +
+              callPair(CalleeGoal, P + "(C0, T, S1)", Par) + ", " +
+              Combine + ".\n";
+    R.EntryArity = R.RecArity = 3;
+    R.RecArgPos = 1;
+  } else {
+    R.Text += ":- mode(" + P + "(i, o)).\n";
+    R.Text += ":- measure(" + P + "(length, value)).\n";
+    R.Text += P + "([], " + num(Base) + ").\n";
+    R.Text += P + "([_|T], S) :- " +
+              callPair(CalleeGoal, P + "(T, S1)", Par) + ", " + Combine +
+              ".\n";
+    R.EntryArity = R.RecArity = 2;
+    R.RecArgPos = 0;
+  }
+  R.Entry = R.RecPred = P;
+  R.DefaultInputHint = static_cast<int>(Rng.rangeIn(8, 14));
+  return R;
+}
+
+EmitResult emitListMap(const std::string &P, const std::string &Callee,
+                       SplitMix64 &Rng) {
+  EmitResult R;
+  int64_t K1 = Rng.rangeIn(1, 4);
+  int64_t K2 = Rng.rangeIn(0, 6);
+  bool Par = Rng.coin();
+  std::string CalleeGoal = Callee.empty() ? "" : Callee + "(T, _W)";
+  R.Text += ":- mode(" + P + "(i, o)).\n";
+  R.Text += ":- measure(" + P + "(length, length)).\n";
+  R.Text += P + "([], []).\n";
+  R.Text += P + "([H|T], [Y|Rs]) :- Y is H * " + num(K1) + " + " +
+            num(K2) + ", " + callPair(CalleeGoal, P + "(T, Rs)", Par) +
+            ".\n";
+  R.Entry = R.RecPred = P;
+  R.EntryArity = R.RecArity = 2;
+  R.RecArgPos = 0;
+  R.DefaultInputHint = static_cast<int>(Rng.rangeIn(8, 14));
+  return R;
+}
+
+EmitResult emitAccumulator(const std::string &Prefix, unsigned Slot,
+                           const std::string &Callee, SplitMix64 &Rng) {
+  EmitResult R;
+  std::string P = primaryName(Prefix, Slot);
+  std::string A = Prefix + "a" + std::to_string(Slot);
+  bool Par = Rng.coin();
+  std::string CalleeGoal = Callee.empty() ? "" : Callee + "(T, _W)";
+  R.Text += ":- mode(" + P + "(i, o)).\n";
+  R.Text += ":- measure(" + P + "(length, length)).\n";
+  R.Text += P + "(L, Rs) :- " + A + "(L, [], Rs).\n";
+  R.Text += ":- mode(" + A + "(i, i, o)).\n";
+  R.Text += ":- measure(" + A + "(length, length, length)).\n";
+  R.Text += A + "([], Acc, Acc).\n";
+  R.Text += A + "([H|T], Acc, Rs) :- " +
+            callPair(CalleeGoal, A + "(T, [H|Acc], Rs)", Par) + ".\n";
+  R.Entry = P;
+  R.EntryArity = 2;
+  R.RecPred = A;
+  R.RecArity = 3;
+  R.RecArgPos = 0;
+  R.DefaultInputHint = static_cast<int>(Rng.rangeIn(8, 14));
+  return R;
+}
+
+EmitResult emitMutual(const std::string &Prefix, unsigned Slot,
+                      const std::string &Callee, SplitMix64 &Rng) {
+  EmitResult R;
+  std::string P = primaryName(Prefix, Slot);
+  std::string Q = Prefix + "q" + std::to_string(Slot);
+  int64_t B1 = Rng.rangeIn(0, 2);
+  int64_t B2 = Rng.rangeIn(0, 2);
+  int64_t K1 = Rng.rangeIn(1, 4);
+  int64_t K2 = Rng.rangeIn(1, 4);
+  bool Par = Rng.coin();
+  std::string CalleeGoal = Callee.empty() ? "" : Callee + "(T, _W)";
+  R.Text += ":- mode(" + P + "(i, o)).\n";
+  R.Text += ":- measure(" + P + "(length, value)).\n";
+  R.Text += ":- mode(" + Q + "(i, o)).\n";
+  R.Text += ":- measure(" + Q + "(length, value)).\n";
+  R.Text += P + "([], " + num(B1) + ").\n";
+  R.Text += P + "([_|T], S) :- " +
+            callPair(CalleeGoal, Q + "(T, S1)", Par) + ", S is S1 + " +
+            num(K1) + ".\n";
+  R.Text += Q + "([], " + num(B2) + ").\n";
+  R.Text += Q + "([_|T], S) :- " + P + "(T, S1), S is S1 + " + num(K2) +
+            ".\n";
+  R.Entry = R.RecPred = P;
+  R.EntryArity = R.RecArity = 2;
+  R.RecArgPos = 0;
+  R.DefaultInputHint = static_cast<int>(Rng.rangeIn(8, 14));
+  return R;
+}
+
+EmitResult emitArith(const std::string &P, const std::string &Callee,
+                     bool CalleeValue, SplitMix64 &Rng) {
+  EmitResult R;
+  bool Binary = Rng.range(3) == 0;
+  int64_t Base = Rng.rangeIn(0, 3);
+  int64_t K = Rng.rangeIn(1, 5);
+  R.Text += ":- mode(" + P + "(i, o)).\n";
+  R.Text += ":- measure(" + P + "(value, value)).\n";
+  if (Binary) {
+    std::string CalleeGoal = Callee.empty() ? "" : Callee + "(N1, _W), ";
+    R.Text += P + "(0, " + num(Base) + ").\n";
+    R.Text += P + "(1, " + num(K) + ").\n";
+    R.Text += P + "(N, S) :- N > 1, N1 is N - 1, N2 is N - 2, " +
+              CalleeGoal + "( " + P + "(N1, S1) & " + P +
+              "(N2, S2) ), S is S1 + S2.\n";
+    R.DefaultInputHint = static_cast<int>(Rng.rangeIn(6, 9));
+  } else {
+    bool Par = Rng.coin();
+    bool UseW = !Callee.empty() && CalleeValue && Rng.coin();
+    std::string OutW = Callee.empty() ? "" : (UseW ? "W" : "_W");
+    std::string CalleeGoal =
+        Callee.empty() ? "" : Callee + "(N1, " + OutW + ")";
+    R.Text += P + "(0, " + num(Base) + ").\n";
+    R.Text += P + "(N, S) :- N > 0, N1 is N - 1, " +
+              callPair(CalleeGoal, P + "(N1, S1)", Par) + ", S is S1 + " +
+              num(K) + (UseW ? " + W" : "") + ".\n";
+    R.DefaultInputHint = static_cast<int>(Rng.rangeIn(10, 16));
+  }
+  R.Entry = R.RecPred = P;
+  R.EntryArity = R.RecArity = 2;
+  R.RecArgPos = 0;
+  return R;
+}
+
+EmitResult emitDivideAndConquer(const std::string &P,
+                                const std::string &Callee,
+                                SplitMix64 &Rng) {
+  EmitResult R;
+  int64_t B0 = Rng.rangeIn(0, 2);
+  int64_t B1 = Rng.rangeIn(1, 3);
+  int64_t K = Rng.rangeIn(1, 5);
+  bool Par = Rng.coin();
+  std::string CalleeGoal = Callee.empty() ? "" : Callee + "(H, _W), ";
+  std::string Pair = Par ? "( " + P + "(H, S1) & " + P + "(H, S2) )"
+                         : P + "(H, S1), " + P + "(H, S2)";
+  R.Text += ":- mode(" + P + "(i, o)).\n";
+  R.Text += ":- measure(" + P + "(value, value)).\n";
+  R.Text += P + "(0, " + num(B0) + ").\n";
+  R.Text += P + "(1, " + num(B1) + ").\n";
+  R.Text += P + "(N, S) :- N > 1, H is N // 2, " + CalleeGoal + Pair +
+            ", S is S1 + S2 + " + num(K) + ".\n";
+  R.Entry = R.RecPred = P;
+  R.EntryArity = R.RecArity = 2;
+  R.RecArgPos = 0;
+  R.DefaultInputHint = static_cast<int>(Rng.rangeIn(8, 16));
+  return R;
+}
+
+EmitResult emitTree(const std::string &P, const std::string &Callee,
+                    SplitMix64 &Rng) {
+  EmitResult R;
+  int64_t K = Rng.rangeIn(0, 4);
+  bool LeafValue = Rng.coin();
+  bool Par = Rng.coin();
+  std::string CalleeGoal = Callee.empty() ? "" : Callee + "(L, _W), ";
+  std::string Pair = Par ? "( " + P + "(L, S1) & " + P + "(R, S2) )"
+                         : P + "(L, S1), " + P + "(R, S2)";
+  R.Text += ":- mode(" + P + "(i, o)).\n";
+  R.Text += ":- measure(" + P + "(size, value)).\n";
+  if (LeafValue)
+    R.Text += P + "(leaf(V), V).\n";
+  else
+    R.Text += P + "(leaf(_), 1).\n";
+  R.Text += P + "(node(L, R), S) :- " + CalleeGoal + Pair +
+            ", S is S1 + S2 + " + num(K) + ".\n";
+  R.Entry = R.RecPred = P;
+  R.EntryArity = R.RecArity = 2;
+  R.RecArgPos = 0;
+  R.DefaultInputHint = static_cast<int>(Rng.rangeIn(3, 5));
+  return R;
+}
+
+EmitResult emitPredicate(SchemaFamily F, const std::string &Prefix,
+                         unsigned Slot, const std::string &Callee,
+                         bool CalleeValue, SplitMix64 &Rng) {
+  std::string P = primaryName(Prefix, Slot);
+  switch (F) {
+  case SchemaFamily::ListRecursion:
+    return emitListSum(P, Slot, Callee, CalleeValue, Rng);
+  case SchemaFamily::ListMap:
+    return emitListMap(P, Callee, Rng);
+  case SchemaFamily::Accumulator:
+    return emitAccumulator(Prefix, Slot, Callee, Rng);
+  case SchemaFamily::MutualRecursion:
+    return emitMutual(Prefix, Slot, Callee, Rng);
+  case SchemaFamily::ArithRecursion:
+    return emitArith(P, Callee, CalleeValue, Rng);
+  case SchemaFamily::DivideAndConquer:
+    return emitDivideAndConquer(P, Callee, Rng);
+  case SchemaFamily::TreeRecursion:
+    return emitTree(P, Callee, Rng);
+  }
+  return emitListSum(P, Slot, Callee, CalleeValue, Rng);
+}
+
+} // namespace
+
+const char *granlog::schemaFamilyName(SchemaFamily F) {
+  switch (F) {
+  case SchemaFamily::ListRecursion:
+    return "list_recursion";
+  case SchemaFamily::ListMap:
+    return "list_map";
+  case SchemaFamily::Accumulator:
+    return "accumulator";
+  case SchemaFamily::MutualRecursion:
+    return "mutual_recursion";
+  case SchemaFamily::ArithRecursion:
+    return "arith_recursion";
+  case SchemaFamily::DivideAndConquer:
+    return "divide_and_conquer";
+  case SchemaFamily::TreeRecursion:
+    return "tree_recursion";
+  }
+  return "unknown";
+}
+
+GeneratedProgram granlog::generateProgram(uint64_t Seed, unsigned Index) {
+  SplitMix64 Rng(mixSeed(Seed, Index));
+  GeneratedProgram G;
+  G.Seed = Seed;
+  G.Index = Index;
+  G.Name = "gen" + std::to_string(Index);
+  std::string Prefix = "g" + std::to_string(Index);
+
+  SchemaFamily Entry = pickEntryFamily(Rng);
+  Domain D = domainOf(Entry);
+  unsigned Depth = 1 + static_cast<unsigned>(Rng.range(3));
+  std::vector<SchemaFamily> Slots{Entry};
+  for (unsigned J = 1; J != Depth; ++J)
+    Slots.push_back(pickFamilyIn(D, Rng));
+  G.GoalSeed = Rng.next() | 1;
+  G.Family = Entry;
+  G.Depth = Depth;
+
+  std::string Src = "% " + G.Name + ": seed=" + std::to_string(Seed) +
+                    " family=" + schemaFamilyName(Entry) +
+                    " depth=" + std::to_string(Depth) + "\n";
+  for (unsigned J = 0; J != Depth; ++J) {
+    bool HasCallee = J + 1 != Depth;
+    std::string Callee = HasCallee ? primaryName(Prefix, J + 1) : "";
+    bool CalleeValue = HasCallee && outputsValue(Slots[J + 1]);
+    EmitResult E =
+        emitPredicate(Slots[J], Prefix, J, Callee, CalleeValue, Rng);
+    Src += E.Text;
+    if (J == 0) {
+      G.EntryPred = E.Entry;
+      G.EntryArity = E.EntryArity;
+      G.RecPred = E.RecPred;
+      G.RecArity = E.RecArity;
+      G.RecArgPos = E.RecArgPos;
+      G.DefaultInput = E.DefaultInputHint;
+    }
+  }
+  G.Source = std::move(Src);
+  return G;
+}
+
+const Term *granlog::buildGeneratedGoal(const GeneratedProgram &G,
+                                        TermArena &A, int N) {
+  SplitMix64 Rng(G.GoalSeed);
+  const Term *Input = nullptr;
+  switch (domainOf(G.Family)) {
+  case Domain::List: {
+    std::vector<int64_t> Values;
+    Values.reserve(static_cast<size_t>(N > 0 ? N : 0));
+    for (int I = 0; I < N; ++I)
+      Values.push_back(Rng.rangeIn(0, 19));
+    Input = A.makeIntList(Values);
+    break;
+  }
+  case Domain::Value:
+    Input = A.makeInt(N);
+    break;
+  case Domain::Tree: {
+    // A full binary tree of depth N with small integer leaves.
+    struct Builder {
+      TermArena &A;
+      SplitMix64 &Rng;
+      const Term *build(int Depth) {
+        if (Depth <= 0)
+          return A.makeStruct("leaf", {A.makeInt(Rng.rangeIn(1, 9))});
+        const Term *L = build(Depth - 1);
+        const Term *R = build(Depth - 1);
+        return A.makeStruct("node", {L, R});
+      }
+    } B{A, Rng};
+    Input = B.build(N);
+    break;
+  }
+  }
+  std::vector<const Term *> Args;
+  if (G.EntryArity == 3)
+    Args.push_back(A.makeInt(3)); // the passive pass-through argument
+  Args.push_back(Input);
+  Args.push_back(A.makeVariable("R"));
+  return A.makeStruct(G.EntryPred, std::move(Args));
+}
+
+std::vector<GeneratedProgram>
+granlog::generateCorpus(const GeneratorConfig &Config) {
+  std::vector<GeneratedProgram> Out;
+  Out.reserve(Config.Count);
+  for (size_t I = 0; I != Config.Count; ++I)
+    Out.push_back(generateProgram(Config.Seed, static_cast<unsigned>(I)));
+  return Out;
+}

@@ -1,0 +1,107 @@
+//===- program/Generator.h - Deterministic program generator --------------===//
+//
+// Part of GranLog; see DESIGN.md "Generated corpus & sharded batch".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seed-driven generator of structurally diverse Prolog programs drawn
+/// from the recursion schemas the size/cost analyses actually exercise
+/// (list, tree and arithmetic recursion; accumulators; divide-and-conquer;
+/// mutual recursion).  Each program carries known-by-construction metadata
+/// — schema family, expected recursion argument, chaining depth — so
+/// property tests can check the analyzer against ground truth, and a goal
+/// builder producing small terminating queries so differential tests can
+/// execute the program on the interpreter and compare measured cost
+/// against the static bounds.
+///
+/// Determinism contract: for a fixed (Seed, Index) the generated text and
+/// metadata are byte-identical across runs, platforms and build modes.
+/// The generator derives every choice from its own SplitMix64 stream
+/// (never std::rand, never distribution templates with unspecified
+/// algorithms, never hash-table iteration order), and program Index is
+/// mixed into the seed so one program's shape is independent of how many
+/// others were generated — shard assignments cannot perturb the corpus.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_PROGRAM_GENERATOR_H
+#define GRANLOG_PROGRAM_GENERATOR_H
+
+#include "term/Term.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace granlog {
+
+/// The recursion schema of a generated predicate (the families of the
+/// paper's schema tables, plus the compositions the corpus benchmarks
+/// use).  Families group by argument domain: list (ListRecursion, ListMap,
+/// Accumulator, MutualRecursion), numeric (ArithRecursion,
+/// DivideAndConquer) and tree (TreeRecursion); chained callees stay inside
+/// the entry predicate's domain so argument sizes remain derivable.
+enum class SchemaFamily : uint8_t {
+  ListRecursion,    ///< linear fold over a list, value output
+  ListMap,          ///< element-wise rewrite, list output
+  Accumulator,      ///< reverse-style wrapper + accumulating worker
+  MutualRecursion,  ///< even/odd pair alternating over a list
+  ArithRecursion,   ///< countdown on a number (single or double recursion)
+  DivideAndConquer, ///< halving recursion with parallel subcalls
+  TreeRecursion,    ///< structural recursion over node/leaf trees
+};
+
+constexpr unsigned NumSchemaFamilies = 7;
+
+/// Stable lowercase name ("list_recursion", ...), used in reports, bench
+/// JSON and test diagnostics.
+const char *schemaFamilyName(SchemaFamily F);
+
+/// One generated program plus its known-by-construction metadata.
+struct GeneratedProgram {
+  std::string Name;   ///< corpus name, "gen<Index>"
+  std::string Source; ///< complete Prolog text (modes/measures included)
+  uint64_t Seed = 0;  ///< corpus seed this program was drawn from
+  unsigned Index = 0; ///< position in the generated corpus
+
+  SchemaFamily Family = SchemaFamily::ListRecursion; ///< entry schema
+  /// Number of chained generated predicates (nesting depth >= 1): the
+  /// entry predicate's recursive clause calls the next predicate on its
+  /// structurally smaller piece, and so on down the chain.
+  unsigned Depth = 1;
+  std::string EntryPred; ///< entry predicate name, e.g. "g12p0"
+  unsigned EntryArity = 2;
+  /// The predicate that carries the recursion the metadata describes (the
+  /// accumulator worker for Accumulator, the entry predicate otherwise).
+  std::string RecPred;
+  unsigned RecArity = 2;
+  int RecArgPos = 0; ///< expected recursion argument position of RecPred
+
+  int DefaultInput = 8;  ///< goal input parameter (small and terminating)
+  uint64_t GoalSeed = 0; ///< value stream for goal data (lists, leaves)
+};
+
+/// Generates program \p Index of the corpus with the given \p Seed.
+GeneratedProgram generateProgram(uint64_t Seed, unsigned Index);
+
+/// Builds the query term for \p G with input parameter \p N (a list of N
+/// small integers, the number N, or a full binary tree of depth N,
+/// depending on the entry family's domain; the last argument is a fresh
+/// output variable).  Deterministic: the element values come from
+/// G.GoalSeed.
+const Term *buildGeneratedGoal(const GeneratedProgram &G, TermArena &A,
+                               int N);
+
+/// Configuration of one generated corpus.
+struct GeneratorConfig {
+  uint64_t Seed = 1;
+  size_t Count = 100;
+};
+
+/// Generates programs 0..Count-1 for the seed.
+std::vector<GeneratedProgram> generateCorpus(const GeneratorConfig &Config);
+
+} // namespace granlog
+
+#endif // GRANLOG_PROGRAM_GENERATOR_H

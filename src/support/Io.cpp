@@ -2,15 +2,35 @@
 
 #include "support/Io.h"
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 
+#if defined(_WIN32)
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
 using namespace granlog;
+
+static long currentPid() {
+#if defined(_WIN32)
+  return static_cast<long>(_getpid());
+#else
+  return static_cast<long>(getpid());
+#endif
+}
 
 bool granlog::writeFileAtomic(const std::string &Path,
                               std::string_view Contents,
                               std::string *Error) {
-  std::string Tmp = Path + ".tmp";
+  // Unique per process and per call: two shard workers (or two threads)
+  // flushing the same cache file must not interleave bytes in a shared
+  // temp file — each writes its own and the renames serialize.
+  static std::atomic<unsigned> Counter{0};
+  std::string Tmp = Path + ".tmp." + std::to_string(currentPid()) + "." +
+                    std::to_string(Counter.fetch_add(1));
   {
     std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
     if (!Out.is_open()) {
@@ -35,4 +55,23 @@ bool granlog::writeFileAtomic(const std::string &Path,
     return false;
   }
   return true;
+}
+
+uint64_t granlog::fnv1a64(std::string_view Data) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (unsigned char C : Data) {
+    H ^= C;
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+std::string granlog::hex64(uint64_t Value) {
+  static const char Digits[] = "0123456789abcdef";
+  std::string S(16, '0');
+  for (int I = 15; I >= 0; --I) {
+    S[static_cast<size_t>(I)] = Digits[Value & 0xf];
+    Value >>= 4;
+  }
+  return S;
 }

@@ -10,25 +10,37 @@
 /// writer (Chrome traces, stats JSON, bench JSON, the persistent solver
 /// cache) shares one implementation.  A failed or interrupted write never
 /// leaves a truncated document at the target path; at worst a stale
-/// "<path>.tmp" sibling remains, which the next successful write replaces.
+/// "<path>.tmp.*" sibling remains, which is harmless.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef GRANLOG_SUPPORT_IO_H
 #define GRANLOG_SUPPORT_IO_H
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
 namespace granlog {
 
-/// Writes \p Contents to \p Path atomically: the bytes go to "<Path>.tmp"
-/// (same directory, so the final std::rename cannot cross filesystems) and
-/// the temp file replaces \p Path only after a successful flush.  Returns
-/// false (filling \p Error when non-null) on any I/O failure; \p Path is
-/// then untouched.
+/// Writes \p Contents to \p Path atomically: the bytes go to a uniquely
+/// named "<Path>.tmp.<pid>.<n>" sibling (same directory, so the final
+/// std::rename cannot cross filesystems) and the temp file replaces
+/// \p Path only after a successful flush.  The temp name is unique per
+/// process and per call, so concurrent writers — threads or processes —
+/// never clobber each other's in-flight bytes; the last rename wins and
+/// every reader sees some complete document.  Returns false (filling
+/// \p Error when non-null) on any I/O failure; \p Path is then untouched.
 bool writeFileAtomic(const std::string &Path, std::string_view Contents,
                      std::string *Error = nullptr);
+
+/// FNV-1a 64-bit hash; used for deterministic content fingerprints in
+/// corpus reports and tests (stable across platforms, unlike std::hash).
+uint64_t fnv1a64(std::string_view Data);
+
+/// Renders \p Value as 16 lowercase hex digits (JSON doubles cannot carry
+/// a full 64-bit integer, so fingerprints travel as strings).
+std::string hex64(uint64_t Value);
 
 } // namespace granlog
 

@@ -1,0 +1,140 @@
+//===- tests/generator_test.cpp - Generator determinism properties --------===//
+//
+// The generated corpus is only usable as a test oracle if it is perfectly
+// reproducible: for a fixed (seed, index) the program text and metadata
+// must be byte-identical across calls, runs, shard assignments and
+// platforms.  These property tests pin that contract down, lock the
+// seed-1 corpus to a golden fingerprint (so an accidental generator
+// change cannot silently invalidate recorded baselines), and check that
+// analysis results over the generated corpus are invariant to the job
+// count and to a warm solver cache.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/ShardRunner.h"
+#include "program/Generator.h"
+#include "program/Program.h"
+#include "support/Io.h"
+
+#include <filesystem>
+#include <set>
+#include <gtest/gtest.h>
+
+using namespace granlog;
+
+namespace {
+
+/// Everything a GeneratedProgram carries, flattened for comparison.
+std::string describe(const GeneratedProgram &G) {
+  return G.Name + '\0' + G.Source + '\0' + std::to_string(G.Seed) + ' ' +
+         std::to_string(G.Index) + ' ' + schemaFamilyName(G.Family) + ' ' +
+         std::to_string(G.Depth) + ' ' + G.EntryPred + '/' +
+         std::to_string(G.EntryArity) + ' ' + G.RecPred + '/' +
+         std::to_string(G.RecArity) + '@' + std::to_string(G.RecArgPos) +
+         ' ' + std::to_string(G.DefaultInput) + ' ' +
+         std::to_string(G.GoalSeed);
+}
+
+TEST(Generator, ByteStableAcrossCalls) {
+  for (unsigned I = 0; I != 500; ++I) {
+    GeneratedProgram A = generateProgram(1, I);
+    GeneratedProgram B = generateProgram(1, I);
+    ASSERT_EQ(describe(A), describe(B)) << "index " << I;
+  }
+}
+
+TEST(Generator, IndexIndependentOfCorpusSize) {
+  // Program I must not depend on how many other programs were generated:
+  // shard slicing and --generate=N choices cannot perturb the corpus.
+  std::vector<GeneratedProgram> Small = generateCorpus({1, 50});
+  std::vector<GeneratedProgram> Large = generateCorpus({1, 500});
+  ASSERT_EQ(Small.size(), 50u);
+  ASSERT_EQ(Large.size(), 500u);
+  for (unsigned I = 0; I != 50; ++I)
+    EXPECT_EQ(describe(Small[I]), describe(Large[I])) << "index " << I;
+}
+
+TEST(Generator, DistinctSeedsProduceDistinctCorpora) {
+  std::vector<GeneratedProgram> A = generateCorpus({1, 100});
+  std::vector<GeneratedProgram> B = generateCorpus({2, 100});
+  size_t Differ = 0;
+  for (unsigned I = 0; I != 100; ++I)
+    Differ += A[I].Source != B[I].Source;
+  EXPECT_GE(Differ, 90u);
+}
+
+TEST(Generator, GoldenCorpusFingerprint) {
+  // Locks the seed-1 corpus byte-for-byte.  fnv1a64 is pure integer
+  // arithmetic, so a changed value means the generator's *output*
+  // changed — on any platform.  If you changed the generator on purpose,
+  // regenerate: the failure message prints the new fingerprint.
+  std::string Blob;
+  for (const GeneratedProgram &G : generateCorpus({1, 100}))
+    Blob += describe(G) + '\n';
+  EXPECT_EQ(hex64(fnv1a64(Blob)), "edd55bd68bd834f7")
+      << "generator output changed; update the golden fingerprint";
+}
+
+TEST(Generator, AllFamiliesAndDepthsCovered) {
+  std::set<SchemaFamily> Families;
+  std::set<unsigned> Depths;
+  for (const GeneratedProgram &G : generateCorpus({1, 500})) {
+    Families.insert(G.Family);
+    Depths.insert(G.Depth);
+  }
+  EXPECT_EQ(Families.size(), NumSchemaFamilies);
+  EXPECT_GE(Depths.size(), 2u);
+}
+
+TEST(Generator, ProgramsLoadAndGoalsBuild) {
+  for (const GeneratedProgram &G : generateCorpus({1, 100})) {
+    TermArena Arena;
+    Diagnostics Diags;
+    std::optional<Program> P = loadProgram(G.Source, Arena, Diags);
+    ASSERT_TRUE(P) << G.Name << ":\n" << G.Source << Diags.str();
+    EXPECT_FALSE(P->predicates().empty()) << G.Name;
+    const Term *Goal = buildGeneratedGoal(G, Arena, G.DefaultInput);
+    ASSERT_NE(Goal, nullptr) << G.Name;
+    const StructTerm *S = dynCast<StructTerm>(deref(Goal));
+    ASSERT_NE(S, nullptr) << G.Name;
+    EXPECT_EQ(S->functor().Arity, G.EntryArity) << G.Name;
+  }
+}
+
+TEST(Generator, AnalysisInvariantUnderJobCount) {
+  // The deterministic corpus report must be byte-identical between the
+  // sequential and the 8-thread batch.
+  std::vector<GeneratedProgram> Corpus = generateCorpus({1, 40});
+  std::vector<BenchmarkDef> Defs = generatedBenchmarks(Corpus);
+  ShardConfig C1;
+  C1.Jobs = 1;
+  ShardBatchResult R1 = runShardedBatch(Defs, C1);
+  ShardConfig C8;
+  C8.Jobs = 8;
+  ShardBatchResult R8 = runShardedBatch(Defs, C8);
+  EXPECT_EQ(R1.Failures, 0u);
+  EXPECT_EQ(corpusReportText(R1.Programs), corpusReportText(R8.Programs));
+}
+
+TEST(Generator, AnalysisInvariantUnderWarmCache) {
+  // A warm persistent solver cache changes timings, never results.
+  std::filesystem::path Dir =
+      std::filesystem::temp_directory_path() / "granlog-generator-warm";
+  std::filesystem::remove_all(Dir);
+  std::vector<GeneratedProgram> Corpus = generateCorpus({3, 40});
+  std::vector<BenchmarkDef> Defs = generatedBenchmarks(Corpus);
+  ShardConfig C;
+  C.Jobs = 4;
+  C.CacheDir = Dir.string();
+  ShardBatchResult Cold = runShardedBatch(Defs, C);
+  ShardBatchResult Warm = runShardedBatch(Defs, C);
+  EXPECT_EQ(Cold.Failures, 0u);
+  EXPECT_EQ(Cold.Warning, "");
+  EXPECT_EQ(Warm.Warning, "");
+  EXPECT_GT(Warm.DiskHits, 0u);
+  EXPECT_EQ(corpusReportText(Cold.Programs),
+            corpusReportText(Warm.Programs));
+  std::filesystem::remove_all(Dir);
+}
+
+} // namespace
