@@ -15,6 +15,7 @@
 #include "corpus/Harness.h"
 #include "corpus/ShardRunner.h"
 #include "expr/Expr.h"
+#include "expr/ExprInterner.h"
 #include "program/Generator.h"
 #include "support/Histogram.h"
 #include "support/Io.h"
@@ -334,7 +335,10 @@ IncrementalMeasurement measureIncremental() {
 /// field is added, removed or changes meaning; the CI bench job compares
 /// the checked-in file's "schema_version" against this constant (via
 /// --print-bench-schema-version) and fails when the file is stale.
-constexpr int64_t BenchJsonSchemaVersion = 2;
+/// v3: dropped the legacy duplicate "version" key (it mirrored the
+/// *stats* document's StatsJsonVersion, not this document's schema) and
+/// added the "expr_arena" footprint section.
+constexpr int64_t BenchJsonSchemaVersion = 3;
 
 /// One generated-corpus sharded run, for the "generated" bench section.
 struct GeneratedRun {
@@ -358,8 +362,6 @@ bool writeBatchJson(const char *Path, unsigned Jobs,
   W.beginObject();
   W.key("schema_version");
   W.value(BenchJsonSchemaVersion);
-  W.key("version");
-  W.value(StatsJsonVersion);
   W.key("jobs");
   W.value(Jobs);
   W.key("wall_seconds");
@@ -384,6 +386,27 @@ bool writeBatchJson(const char *Path, unsigned Jobs,
   W.key("entries");
   W.value(static_cast<uint64_t>(Batch.CacheEntries));
   W.endObject();
+  // Expression-arena footprint after the batch: the data-layout half of
+  // the perf story (wall time alone would hide a layout regression).
+  // bytes_per_node includes the per-node operand arrays and rounding to
+  // whole 8-byte arena words — the all-in marginal cost of a node.
+  {
+    granlog::ExprInterner::Counters C =
+        granlog::ExprInterner::global().counters();
+    W.key("expr_arena");
+    W.beginObject();
+    W.key("nodes");
+    W.value(C.ArenaNodes);
+    W.key("bytes");
+    W.value(C.ArenaBytes);
+    W.key("bytes_per_node");
+    W.value(C.ArenaNodes ? static_cast<double>(C.ArenaBytes) /
+                               static_cast<double>(C.ArenaNodes)
+                         : 0.0);
+    W.key("symbols");
+    W.value(C.SymbolCount);
+    W.endObject();
+  }
   // A one-clause edit to the largest corpus program, re-analyzed by a
   // warm AnalysisSession vs a cold full run (satellite of the
   // incremental-engine work; see BM_IncrementalReanalyze).

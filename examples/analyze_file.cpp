@@ -339,10 +339,12 @@ int main(int Argc, char **Argv) {
     }
     if (WantStats)
       Session.recordIncrementalStats(&Stats);
-    if (PrintStats) {
+    // Process-global interner/memo/arena traffic (not per-run
+    // deterministic) — snapshotted once, for --stats and stats-JSON alike.
+    if (PrintStats || !StatsJsonPath.empty())
       snapshotExprCounters(Stats);
+    if (PrintStats)
       std::printf("== stats ==\n%s", Stats.str().c_str());
-    }
     std::optional<TraceProfile> Prof;
     if (AnalyzerTrace) {
       Prof = buildProfile(AnalyzerTrace->snapshot(), TraceProg);
@@ -546,12 +548,13 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  if (PrintStats) {
-    // Process-global interner/memo traffic (not per-run deterministic:
-    // the unique table is shared by everything this process analyzed).
+  // Process-global interner/memo/arena traffic (not per-run deterministic:
+  // the unique table is shared by everything this process analyzed) —
+  // snapshotted once, for --stats and stats-JSON alike.
+  if (PrintStats || !StatsJsonPath.empty())
     snapshotExprCounters(Stats);
+  if (PrintStats)
     std::printf("== stats ==\n%s", Stats.str().c_str());
-  }
 
   if (!StatsJsonPath.empty()) {
     JsonWriter Writer;

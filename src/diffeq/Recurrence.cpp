@@ -143,7 +143,7 @@ granlog::extractRecurrence(const std::string &Function,
     Rational K(1);
     ExprRef Base = Addend;
     if (Addend->kind() == ExprKind::Mul) {
-      const std::vector<ExprRef> &Ops = Addend->operands();
+      ExprSpan Ops = Addend->operands();
       if (Ops.size() != 2 || !Ops[0]->isNumber() ||
           Ops[1]->kind() != ExprKind::Call)
         return std::nullopt;
@@ -154,7 +154,7 @@ granlog::extractRecurrence(const std::string &Function,
       return std::nullopt;
     if (K <= Rational(0))
       return std::nullopt;
-    const std::vector<ExprRef> &Args = Base->operands();
+    ExprSpan Args = Base->operands();
     if (Args.size() != Params.size())
       return std::nullopt;
     // Check the non-recursion parameters pass through unchanged (or are

@@ -59,9 +59,9 @@ public:
   enum class Outcome { Hit, Miss, Bypass, DiskHit };
 
   /// The memo-table key: the canonical equation's self-term lists, its
-  /// interned additive part and boundary values (compared by pointer —
-  /// structural equality under hash-consing), and the solver's schema
-  /// table signature.  Function/Var names are canonical by construction
+  /// interned additive part and boundary values (compared by arena
+  /// index — structural equality under hash-consing), and the solver's
+  /// schema table signature.  Function/Var names are canonical by construction
   /// ("f" over "_g0") and so carry no information.
   struct CacheKey {
     std::string TableSignature;

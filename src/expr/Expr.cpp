@@ -57,8 +57,8 @@ int granlog::compareExpr(const Expr &A, const Expr &B) {
   default:
     break;
   }
-  const std::vector<ExprRef> &OA = A.operands();
-  const std::vector<ExprRef> &OB = B.operands();
+  ExprSpan OA = A.operands();
+  ExprSpan OB = B.operands();
   if (OA.size() != OB.size())
     return OA.size() < OB.size() ? -1 : 1;
   for (size_t I = 0; I != OA.size(); ++I) {
@@ -78,7 +78,7 @@ std::pair<Rational, ExprRef> splitCoefficient(const ExprRef &E) {
   if (E->isNumber())
     return {E->number(), nullptr};
   if (E->kind() == ExprKind::Mul) {
-    const std::vector<ExprRef> &Ops = E->operands();
+    ExprSpan Ops = E->operands();
     if (!Ops.empty() && Ops[0]->isNumber()) {
       Rational K = Ops[0]->number();
       if (Ops.size() == 2)

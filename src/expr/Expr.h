@@ -17,14 +17,21 @@
 /// non-negative.  The simplifier relies on this (e.g. Infinity absorbs
 /// addition, max under-approximated by sum is sound as an upper bound).
 ///
-/// Expressions are immutable, shared (ExprRef), and *hash-consed*: every
-/// node is interned in a process-global unique table (ExprInterner), so a
-/// canonical expression shape exists exactly once and structural equality
-/// is pointer identity (exprEqual is one pointer compare; compareExpr
-/// short-circuits on identical subtrees).  Each node carries precomputed
-/// metadata — structural hash, depth, tree size, and Bloom filters over
-/// the variable/call names occurring below it — which the traversals in
-/// ExprOps use to prune and memoize.
+/// Expressions are immutable, *hash-consed*, and *arena-allocated*: every
+/// canonical node shape exists exactly once per process, laid out as a
+/// single variadic-length record in a process-global append-only bump
+/// arena owned by ExprInterner (CaDiCaL clause.hpp-style).  An ExprRef is
+/// a 32-bit index into that arena — one third the footprint of the former
+/// shared_ptr representation and trivially copyable — and structural
+/// equality is index equality (exprEqual is one integer compare;
+/// compareExpr short-circuits on identical subtrees).  A node's operand
+/// references are embedded inline after a fixed bit-packed header (hash,
+/// depth, saturating tree size, var/call name Blooms, kind, arity), its
+/// Var/Call name is an interned 32-bit symbol id, and its Rational payload
+/// lives out-of-line in a side table (Number nodes only).  All node and
+/// name hashing is seeded FNV-1a, so hashes — and everything keyed on
+/// them, like Bloom bits and interner buckets — are identical across
+/// standard libraries and platforms.
 ///
 /// Use the factory functions (makeNumber, makeAdd, ...) — they maintain a
 /// canonical form: flattened n-ary sums/products, folded constants, merged
@@ -35,24 +42,136 @@
 #ifndef GRANLOG_EXPR_EXPR_H
 #define GRANLOG_EXPR_EXPR_H
 
+#include "support/Io.h"
 #include "support/Rational.h"
 
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <map>
-#include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace granlog {
 
 class Expr;
-using ExprRef = std::shared_ptr<const Expr>;
+class ExprInterner;
+
+namespace detail {
+/// The arena's chunk directory: ExprRef::get() resolves an index with two
+/// dependent loads (chunk pointer, then node) and no lock.  Chunks are
+/// 2^ExprChunkWordBits 8-byte words; a 32-bit word index therefore
+/// addresses up to 32 GiB of nodes.  Defined in ExprInterner.cpp; slots
+/// are written once (release) when a chunk is allocated and never change.
+inline constexpr unsigned ExprChunkWordBits = 18; // 2 MiB per chunk
+inline constexpr uint32_t ExprChunkWordMask =
+    (uint32_t(1) << ExprChunkWordBits) - 1;
+inline constexpr size_t ExprMaxChunks =
+    size_t(1) << (32 - ExprChunkWordBits);
+extern std::atomic<uint64_t *> ExprChunks[ExprMaxChunks];
+} // namespace detail
+
+/// A reference to an interned expression node: a 32-bit index (in 8-byte
+/// words) into the process-global expression arena.  Value semantics —
+/// copying is one register move, fits four-per-cache-line in operand
+/// arrays, and never touches a reference count.  Index 0 is the null
+/// reference.  The arena is append-only and never deallocates, so a ref
+/// observed once stays valid (and uniquely identifies its structure) for
+/// the rest of the process.
+class ExprRef {
+public:
+  constexpr ExprRef() = default;
+  constexpr ExprRef(std::nullptr_t) {}
+
+  /// The underlying node, or nullptr for the null reference.  Node
+  /// addresses are stable (chunks are never moved or freed), so pointer
+  /// identity equals index equality and identity-keyed memo tables may
+  /// hold `const Expr *` safely.
+  const Expr *get() const {
+    if (!Idx)
+      return nullptr;
+    const uint64_t *Chunk =
+        detail::ExprChunks[Idx >> detail::ExprChunkWordBits].load(
+            std::memory_order_acquire);
+    return reinterpret_cast<const Expr *>(Chunk +
+                                          (Idx & detail::ExprChunkWordMask));
+  }
+  const Expr &operator*() const { return *get(); }
+  const Expr *operator->() const { return get(); }
+
+  explicit operator bool() const { return Idx != 0; }
+
+  /// The raw arena index; stable for the life of the process.
+  uint32_t index() const { return Idx; }
+
+  friend constexpr bool operator==(ExprRef A, ExprRef B) {
+    return A.Idx == B.Idx;
+  }
+  friend constexpr bool operator!=(ExprRef A, ExprRef B) {
+    return A.Idx != B.Idx;
+  }
+
+private:
+  friend class ExprInterner;
+  explicit constexpr ExprRef(uint32_t Idx) : Idx(Idx) {}
+
+  uint32_t Idx = 0;
+};
+
+static_assert(sizeof(ExprRef) == 4, "ExprRef must stay a 32-bit index");
+
+/// A non-owning view of a node's inline operand array (the node embeds
+/// its operands, so there is no std::vector to return).  Converts to a
+/// std::vector<ExprRef> implicitly where a caller needs an owned copy.
+class ExprSpan {
+public:
+  using value_type = ExprRef;
+  using iterator = const ExprRef *;
+  using const_iterator = const ExprRef *;
+
+  ExprSpan() = default;
+  ExprSpan(const ExprRef *Begin, size_t Size) : B(Begin), N(Size) {}
+
+  const ExprRef *begin() const { return B; }
+  const ExprRef *end() const { return B + N; }
+  size_t size() const { return N; }
+  bool empty() const { return N == 0; }
+  const ExprRef &operator[](size_t I) const { return B[I]; }
+  const ExprRef &front() const { return B[0]; }
+  const ExprRef &back() const { return B[N - 1]; }
+
+  operator std::vector<ExprRef>() const {
+    return std::vector<ExprRef>(B, B + N);
+  }
+
+private:
+  const ExprRef *B = nullptr;
+  size_t N = 0;
+};
+
+/// Seed for all expression-core hashing (node hashes and name Bloom
+/// bits).  Folding it into FNV-1a decorrelates expression hashes from the
+/// plain content fingerprints elsewhere in the system while staying fully
+/// platform-stable.
+inline constexpr uint64_t ExprHashSeed =
+    fnv1a64Word(Fnv1a64Basis, 0x6772616e6c6f67ULL); // "granlog"
+
+/// Platform-stable FNV-1a hash of a variable/call name (seeded — see
+/// ExprHashSeed).  Feeds both the Bloom bit below and Var/Call node
+/// hashes, so a name's identity enters a node hash by value, not by
+/// symbol id (ids depend on interning order).
+inline constexpr uint64_t exprNameHash(std::string_view Name) {
+  return fnv1a64(Name, ExprHashSeed);
+}
 
 /// The Bloom-filter bit for a variable or call name (never zero, so a
 /// node's call filter is non-zero iff some Call occurs in it).
-inline uint64_t exprNameBloomBit(std::string_view Name) {
-  return uint64_t(1) << (std::hash<std::string_view>{}(Name) & 63);
+inline constexpr uint64_t exprNameBloomBit(std::string_view Name) {
+  return uint64_t(1) << (exprNameHash(Name) & 63);
 }
 
 /// Discriminator for Expr nodes.
@@ -69,48 +188,67 @@ enum class ExprKind {
   Infinity, ///< top: unbounded work / undefined size
 };
 
-/// One immutable expression node.
+/// One immutable expression node, living in the interner's arena.  The
+/// layout is a fixed 44-byte header — FNV-1a structural hash, two 64-bit
+/// name Bloom filters, saturating tree size, then kind (4 bits) and
+/// saturating depth (28 bits) packed into one word, the operand count,
+/// and a 32-bit payload (interned symbol id for Var/Call, rational-table
+/// id for Number) — followed immediately by the operand ExprRefs inline.
+/// A binary node is 52 bytes in one allocation, where the previous
+/// shared_ptr + std::vector + std::string layout took >160 bytes across
+/// four.
 class Expr {
 public:
-  ExprKind kind() const { return Kind; }
+  ExprKind kind() const { return static_cast<ExprKind>(Meta & 0xF); }
 
-  bool isNumber() const { return Kind == ExprKind::Number; }
-  bool isVar() const { return Kind == ExprKind::Var; }
-  bool isInfinity() const { return Kind == ExprKind::Infinity; }
-  bool isZero() const { return isNumber() && Value.isZero(); }
-  bool isOne() const { return isNumber() && Value.isOne(); }
+  bool isNumber() const { return kind() == ExprKind::Number; }
+  bool isVar() const { return kind() == ExprKind::Var; }
+  bool isInfinity() const { return kind() == ExprKind::Infinity; }
+  bool isZero() const { return isNumber() && number().isZero(); }
+  bool isOne() const { return isNumber() && number().isOne(); }
 
-  /// Number: the constant value.
-  const Rational &number() const {
-    assert(isNumber() && "not a number");
-    return Value;
+  /// Number: the constant value (stored out-of-line; Payload indexes the
+  /// interner's rational table).
+  const Rational &number() const;
+  /// Var / Call: the name (stored once in the interner's symbol table;
+  /// Payload is the 32-bit symbol id).
+  const std::string &name() const;
+  /// Var / Call: the interned symbol id of the name.  Equal names have
+  /// equal ids process-wide.
+  uint32_t symbolId() const {
+    assert((isVar() || kind() == ExprKind::Call) && "no name");
+    return Payload;
   }
-  /// Var / Call: the name.
-  const std::string &name() const {
-    assert((isVar() || Kind == ExprKind::Call) && "no name");
-    return Name;
-  }
-  /// Add/Mul/Max/Min operands, Call arguments.
-  const std::vector<ExprRef> &operands() const { return Ops; }
+
+  /// Number of operands (Add/Mul/Max/Min/Call members, Pow's pair,
+  /// Log2's argument; 0 for leaves).
+  size_t arity() const { return Arity; }
+  /// Add/Mul/Max/Min operands, Call arguments — a view of the inline
+  /// array embedded after this header.
+  ExprSpan operands() const { return ExprSpan(ops(), Arity); }
   /// Pow base / Log2 argument.
-  const ExprRef &base() const {
-    assert((Kind == ExprKind::Pow || Kind == ExprKind::Log2) && "no base");
-    return Ops[0];
+  ExprRef base() const {
+    assert((kind() == ExprKind::Pow || kind() == ExprKind::Log2) &&
+           "no base");
+    return ops()[0];
   }
   /// Pow exponent.
-  const ExprRef &exponent() const {
-    assert(Kind == ExprKind::Pow && "no exponent");
-    return Ops[1];
+  ExprRef exponent() const {
+    assert(kind() == ExprKind::Pow && "no exponent");
+    return ops()[1];
   }
 
   /// \name Interning metadata (precomputed at construction).
   /// @{
 
-  /// Structural hash; equal for structurally equal nodes (and, since
-  /// nodes are interned, distinct nodes rarely collide).
-  size_t hash() const { return HashVal; }
-  /// Height of the expression tree; a leaf has depth 1.
-  uint32_t depth() const { return DepthVal; }
+  /// Structural hash (seeded FNV-1a over kind, payload and operand
+  /// hashes); equal for structurally equal nodes, identical across
+  /// platforms and standard libraries, and — since nodes are interned —
+  /// distinct nodes rarely collide.
+  uint64_t hash() const { return HashVal; }
+  /// Height of the expression tree; a leaf has depth 1.  Saturates at
+  /// 2^28 - 1 (the packed field width).
+  uint32_t depth() const { return Meta >> 4; }
   /// Node count of the expression *tree* — shared subexpressions counted
   /// once per reference, saturating at UINT64_MAX.  The gap between
   /// treeSize() and the DAG size is the work memoized traversals save.
@@ -125,22 +263,45 @@ public:
 
   /// @}
 
+  /// Header bytes before the inline operand array (not sizeof(Expr):
+  /// operands start inside what would otherwise be tail padding).
+  static constexpr size_t HeaderBytes = 4 * sizeof(uint64_t) + 3 * 4;
+  /// Total node footprint in the arena, rounded up to whole 8-byte words.
+  static constexpr size_t allocationWords(size_t Arity) {
+    return (HeaderBytes + Arity * sizeof(ExprRef) + 7) / 8;
+  }
+
 private:
   friend class ExprInterner;
 
-  Expr(ExprKind Kind, std::string Name, Rational Value,
-       std::vector<ExprRef> Ops);
+  Expr(uint64_t Hash, uint64_t VarBloom, uint64_t CallBloom,
+       uint64_t TreeSize, ExprKind Kind, uint32_t Depth, uint32_t Arity,
+       uint32_t Payload)
+      : HashVal(Hash), VarBloomVal(VarBloom), CallBloomVal(CallBloom),
+        TreeSizeVal(TreeSize),
+        Meta(static_cast<uint32_t>(Kind) | (Depth << 4)), Arity(Arity),
+        Payload(Payload) {}
 
-  ExprKind Kind;
-  std::string Name;
-  Rational Value;
-  std::vector<ExprRef> Ops;
-  size_t HashVal;
-  uint64_t VarBloomVal;
-  uint64_t CallBloomVal;
-  uint64_t TreeSizeVal;
-  uint32_t DepthVal;
+  const ExprRef *ops() const {
+    return reinterpret_cast<const ExprRef *>(
+        reinterpret_cast<const char *>(this) + HeaderBytes);
+  }
+  ExprRef *ops() {
+    return reinterpret_cast<ExprRef *>(reinterpret_cast<char *>(this) +
+                                       HeaderBytes);
+  }
+
+  uint64_t HashVal;      ///< seeded FNV-1a structural hash
+  uint64_t VarBloomVal;  ///< Bloom over Var names below this node
+  uint64_t CallBloomVal; ///< Bloom over Call names below this node
+  uint64_t TreeSizeVal;  ///< saturating tree node count
+  uint32_t Meta;         ///< kind:4 | depth:28 (saturating)
+  uint32_t Arity;        ///< operand count
+  uint32_t Payload;      ///< symbol id (Var/Call) / rational id (Number)
+  // Arity ExprRefs follow inline at HeaderBytes.
 };
+
+static_assert(Expr::HeaderBytes == 44, "packed header layout changed");
 
 /// \name Factory functions (simplifying constructors)
 /// @{
@@ -150,28 +311,28 @@ ExprRef makeVar(std::string Name);
 ExprRef makeInfinity();
 ExprRef makeAdd(std::vector<ExprRef> Ops);
 inline ExprRef makeAdd(ExprRef A, ExprRef B) {
-  return makeAdd(std::vector<ExprRef>{std::move(A), std::move(B)});
+  return makeAdd(std::vector<ExprRef>{A, B});
 }
 ExprRef makeSub(ExprRef A, ExprRef B);
 ExprRef makeMul(std::vector<ExprRef> Ops);
 inline ExprRef makeMul(ExprRef A, ExprRef B) {
-  return makeMul(std::vector<ExprRef>{std::move(A), std::move(B)});
+  return makeMul(std::vector<ExprRef>{A, B});
 }
 ExprRef makeScale(Rational K, ExprRef E);
 ExprRef makePow(ExprRef Base, ExprRef Exponent);
 ExprRef makeLog2(ExprRef Arg);
 ExprRef makeMax(std::vector<ExprRef> Ops);
 inline ExprRef makeMax(ExprRef A, ExprRef B) {
-  return makeMax(std::vector<ExprRef>{std::move(A), std::move(B)});
+  return makeMax(std::vector<ExprRef>{A, B});
 }
 ExprRef makeMin(std::vector<ExprRef> Ops);
 ExprRef makeCall(std::string Name, std::vector<ExprRef> Args);
 /// @}
 
-/// Total structural order; 0 iff structurally equal.  Identical pointers
+/// Total structural order; 0 iff structurally equal.  Identical nodes
 /// (the common case under interning) short-circuit to 0.
 int compareExpr(const Expr &A, const Expr &B);
-/// Structural equality.  Interning makes this pointer identity.
+/// Structural equality.  Interning makes this index identity.
 inline bool exprEqual(const ExprRef &A, const ExprRef &B) {
   return A == B;
 }

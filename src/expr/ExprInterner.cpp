@@ -1,97 +1,230 @@
-//===- expr/ExprInterner.cpp - The unique table ---------------------------===//
+//===- expr/ExprInterner.cpp - The unique table and node arena ------------===//
 
 #include "expr/ExprInterner.h"
 
 #include "support/Budget.h"
 #include "support/Stats.h"
 
+#include <algorithm>
+
 namespace granlog {
 
-namespace {
+namespace detail {
+// The arena chunk directory ExprRef::get() reads.  Zero-initialized at
+// load; slots are written exactly once (release) when the interner maps a
+// new chunk and never change afterwards.
+std::atomic<uint64_t *> ExprChunks[ExprMaxChunks];
+} // namespace detail
 
-/// splitmix64-style bit mixer: cheap, and good enough that bucket lists
-/// in the unique table stay singletons.
-inline uint64_t mix(uint64_t H) {
-  H ^= H >> 30;
-  H *= 0xbf58476d1ce4e5b9ULL;
-  H ^= H >> 27;
-  H *= 0x94d049bb133111ebULL;
-  H ^= H >> 31;
-  return H;
-}
-
-inline size_t combine(size_t Seed, uint64_t V) {
-  return static_cast<size_t>(mix(Seed ^ (V + 0x9e3779b97f4a7c15ULL +
-                                         (uint64_t(Seed) << 6) +
-                                         (uint64_t(Seed) >> 2))));
-}
-
-} // namespace
-
-size_t exprShapeHash(ExprKind Kind, const std::string &Name,
-                     const Rational &Value,
-                     const std::vector<ExprRef> &Ops) {
-  size_t H = combine(0x9e3779b9, static_cast<uint64_t>(Kind));
+uint64_t exprShapeHash(ExprKind Kind, const std::string &Name,
+                       const Rational &Value,
+                       const std::vector<ExprRef> &Ops) {
+  // Seeded FNV-1a over (kind, payload, arity, operand hashes).  Names
+  // contribute their text hash — not their symbol id — so the value is
+  // independent of interning order, and every step folds fixed
+  // little-endian bytes, so it is identical on every platform.  This is
+  // the exact value the node stores as Expr::hash().
+  uint64_t H = fnv1a64Word(ExprHashSeed, static_cast<uint64_t>(Kind));
   switch (Kind) {
   case ExprKind::Number:
-    H = combine(H, static_cast<uint64_t>(Value.numerator()));
-    H = combine(H, static_cast<uint64_t>(Value.denominator()));
+    H = fnv1a64Word(H, static_cast<uint64_t>(Value.numerator()));
+    H = fnv1a64Word(H, static_cast<uint64_t>(Value.denominator()));
     break;
   case ExprKind::Var:
   case ExprKind::Call:
-    H = combine(H, std::hash<std::string>{}(Name));
+    H = fnv1a64Word(H, exprNameHash(Name));
     break;
   default:
     break;
   }
-  H = combine(H, Ops.size());
+  H = fnv1a64Word(H, Ops.size());
   for (const ExprRef &Op : Ops)
-    H = combine(H, Op->hash());
+    H = fnv1a64Word(H, Op->hash());
   return H;
+}
+
+// Out-of-line payload accessors: the tables live in the interner.
+const Rational &Expr::number() const {
+  assert(isNumber() && "not a number");
+  return ExprInterner::global().rationalAt(Payload);
+}
+
+const std::string &Expr::name() const {
+  assert((isVar() || kind() == ExprKind::Call) && "no name");
+  return ExprInterner::global().symbolText(Payload);
 }
 
 } // namespace granlog
 
 using namespace granlog;
 
-Expr::Expr(ExprKind Kind, std::string Name, Rational Value,
-           std::vector<ExprRef> Ops)
-    : Kind(Kind), Name(std::move(Name)), Value(Value),
-      Ops(std::move(Ops)) {
-  HashVal = exprShapeHash(Kind, this->Name, Value, this->Ops);
-  VarBloomVal = Kind == ExprKind::Var ? exprNameBloomBit(this->Name) : 0;
-  CallBloomVal = Kind == ExprKind::Call ? exprNameBloomBit(this->Name) : 0;
-  TreeSizeVal = 1;
+//===----------------------------------------------------------------------===//
+// Arena allocation
+//===----------------------------------------------------------------------===//
+
+uint32_t ExprInterner::allocateWords(size_t Words) {
+  // A node is contiguous, so it must fit in one chunk.  The largest node
+  // (HeaderBytes + arity refs) would need a 2^21-ary operator to overflow
+  // a 2 MiB chunk; factories never build one.
+  assert(Words <= (size_t(1) << detail::ExprChunkWordBits) &&
+         "node larger than an arena chunk");
+  uint64_t Start = ArenaCursor;
+  // Never split a node across a chunk boundary: skip the remainder (the
+  // waste is < one node per 2 MiB).
+  if ((Start >> detail::ExprChunkWordBits) !=
+      ((Start + Words - 1) >> detail::ExprChunkWordBits))
+    Start = ((Start >> detail::ExprChunkWordBits) + 1)
+            << detail::ExprChunkWordBits;
+  uint64_t End = Start + Words;
+  if (End > ArenaCapacityWords || End > 0xFFFFFFFFull)
+    throw ExprArenaExhausted("node arena",
+                             std::min<uint64_t>(ArenaCapacityWords,
+                                                0xFFFFFFFFull));
+  size_t Chunk = Start >> detail::ExprChunkWordBits;
+  if (!detail::ExprChunks[Chunk].load(std::memory_order_relaxed))
+    detail::ExprChunks[Chunk].store(
+        new uint64_t[size_t(1) << detail::ExprChunkWordBits],
+        std::memory_order_release);
+  ArenaCursor = static_cast<uint32_t>(End);
+  return static_cast<uint32_t>(Start);
+}
+
+ExprRef ExprInterner::allocateNode(uint64_t Hash, ExprKind Kind,
+                                   uint32_t Payload,
+                                   const std::vector<ExprRef> &Ops) {
+  uint64_t VarBloom =
+      Kind == ExprKind::Var ? exprNameBloomBit(symbolText(Payload)) : 0;
+  uint64_t CallBloom =
+      Kind == ExprKind::Call ? exprNameBloomBit(symbolText(Payload)) : 0;
+  uint64_t TreeSize = 1;
   uint32_t MaxChildDepth = 0;
-  for (const ExprRef &Op : this->Ops) {
-    VarBloomVal |= Op->VarBloomVal;
-    CallBloomVal |= Op->CallBloomVal;
-    MaxChildDepth = std::max(MaxChildDepth, Op->DepthVal);
+  for (const ExprRef &Op : Ops) {
+    const Expr &O = *Op;
+    VarBloom |= O.varBloom();
+    CallBloom |= O.callBloom();
+    MaxChildDepth = std::max(MaxChildDepth, O.depth());
     // Saturating add: deeply shared expressions have astronomically large
     // tree sizes while their DAG stays small.
-    uint64_t T = TreeSizeVal + Op->TreeSizeVal;
-    TreeSizeVal = T < TreeSizeVal ? UINT64_MAX : T;
+    uint64_t T = TreeSize + O.treeSize();
+    TreeSize = T < TreeSize ? UINT64_MAX : T;
   }
-  DepthVal = MaxChildDepth + 1;
+  // Depth saturates at its 28-bit packed width (unreachable in practice:
+  // such a tree would exhaust the arena first).
+  uint32_t Depth = std::min(MaxChildDepth + 1, (uint32_t(1) << 28) - 1);
+
+  size_t Words = Expr::allocationWords(Ops.size());
+  std::lock_guard<std::mutex> Lock(ArenaMutex);
+  uint32_t Idx = allocateWords(Words);
+  uint64_t *Chunk = detail::ExprChunks[Idx >> detail::ExprChunkWordBits].load(
+      std::memory_order_relaxed);
+  Expr *N = new (Chunk + (Idx & detail::ExprChunkWordMask))
+      Expr(Hash, VarBloom, CallBloom, TreeSize, Kind, Depth,
+           static_cast<uint32_t>(Ops.size()), Payload);
+  std::copy(Ops.begin(), Ops.end(), N->ops());
+  ArenaNodes.fetch_add(1, std::memory_order_relaxed);
+  ArenaBytes.fetch_add(Words * 8, std::memory_order_relaxed);
+  return ExprRef(Idx);
 }
 
-ExprRef ExprInterner::makeNode(ExprKind Kind, std::string Name,
-                               Rational Value, std::vector<ExprRef> Ops) {
-  return ExprRef(
-      new Expr(Kind, std::move(Name), Value, std::move(Ops)));
+void ExprInterner::setArenaCapacityForTesting(uint64_t Words) {
+  std::lock_guard<std::mutex> Lock(ArenaMutex);
+  if (Words == 0)
+    ArenaCapacityWords = uint64_t(1) << 32;
+  else
+    // Never below what is already allocated: outstanding refs stay valid.
+    ArenaCapacityWords = std::max<uint64_t>(Words, ArenaCursor);
 }
+
+//===----------------------------------------------------------------------===//
+// Symbol and rational tables
+//===----------------------------------------------------------------------===//
+
+const std::string &ExprInterner::symbolText(uint32_t Id) const {
+  const std::string *Chunk =
+      SymbolChunks[Id >> SymbolChunkBits].load(std::memory_order_acquire);
+  return Chunk[Id & ((uint32_t(1) << SymbolChunkBits) - 1)];
+}
+
+uint32_t ExprInterner::internSymbol(const std::string &Name) {
+  {
+    std::shared_lock<std::shared_mutex> Lock(SymbolMutex);
+    auto It = SymbolIds.find(std::string_view(Name));
+    if (It != SymbolIds.end())
+      return It->second;
+  }
+  std::unique_lock<std::shared_mutex> Lock(SymbolMutex);
+  auto It = SymbolIds.find(std::string_view(Name));
+  if (It != SymbolIds.end())
+    return It->second;
+  uint32_t Id = SymbolNext.load(std::memory_order_relaxed);
+  size_t ChunkIdx = Id >> SymbolChunkBits;
+  if (ChunkIdx >= SymbolMaxChunks)
+    throw ExprArenaExhausted("symbol table",
+                             uint64_t(SymbolMaxChunks) << SymbolChunkBits);
+  std::string *Chunk =
+      SymbolChunks[ChunkIdx].load(std::memory_order_relaxed);
+  if (!Chunk) {
+    Chunk = new std::string[size_t(1) << SymbolChunkBits];
+    SymbolChunks[ChunkIdx].store(Chunk, std::memory_order_release);
+  }
+  // The slot (a std::string at a stable address — chunks never move) is
+  // filled before the id escapes, so symbolText readers, who learn ids
+  // only through synchronized channels, always see complete text.  The
+  // dedupe map keys a view of the stored copy, not the caller's string.
+  std::string &Slot = Chunk[Id & ((uint32_t(1) << SymbolChunkBits) - 1)];
+  Slot = Name;
+  SymbolIds.emplace(std::string_view(Slot), Id);
+  SymbolNext.store(Id + 1, std::memory_order_release);
+  return Id;
+}
+
+const Rational &ExprInterner::rationalAt(uint32_t Id) const {
+  const Rational *Chunk =
+      RationalChunks[Id >> RationalChunkBits].load(std::memory_order_acquire);
+  return Chunk[Id & ((uint32_t(1) << RationalChunkBits) - 1)];
+}
+
+uint32_t ExprInterner::appendRational(const Rational &Value) {
+  std::lock_guard<std::mutex> Lock(RationalMutex);
+  uint32_t Id = RationalNext;
+  size_t ChunkIdx = Id >> RationalChunkBits;
+  if (ChunkIdx >= RationalMaxChunks)
+    throw ExprArenaExhausted("rational table",
+                             uint64_t(RationalMaxChunks)
+                                 << RationalChunkBits);
+  Rational *Chunk =
+      RationalChunks[ChunkIdx].load(std::memory_order_relaxed);
+  if (!Chunk) {
+    Chunk = new Rational[size_t(1) << RationalChunkBits];
+    RationalChunks[ChunkIdx].store(Chunk, std::memory_order_release);
+  }
+  Chunk[Id & ((uint32_t(1) << RationalChunkBits) - 1)] = Value;
+  RationalNext = Id + 1;
+  return Id;
+}
+
+//===----------------------------------------------------------------------===//
+// Interning
+//===----------------------------------------------------------------------===//
 
 ExprInterner::ExprInterner() {
-  for (int64_t I = SmallIntMin; I <= SmallIntMax; ++I)
+  // Seed the leaf caches.  These allocations define the first arena
+  // nodes; they are not counted as intern misses (they happen before any
+  // intern() call), but they are arena nodes like any other.
+  for (int64_t I = SmallIntMin; I <= SmallIntMax; ++I) {
+    Rational V(I);
     SmallInts[static_cast<size_t>(I - SmallIntMin)] =
-        makeNode(ExprKind::Number, std::string(), Rational(I), {});
-  InfinityNode =
-      makeNode(ExprKind::Infinity, std::string(), Rational(), {});
+        allocateNode(exprShapeHash(ExprKind::Number, std::string(), V, {}),
+                     ExprKind::Number, appendRational(V), {});
+  }
+  InfinityNode = allocateNode(
+      exprShapeHash(ExprKind::Infinity, std::string(), Rational(), {}),
+      ExprKind::Infinity, 0, {});
 }
 
 ExprInterner &ExprInterner::global() {
   // Leaked intentionally: nodes must outlive every static ExprRef holder,
-  // and identity-keyed caches rely on addresses never being recycled.
+  // and identity-keyed caches rely on indices never being recycled.
   static ExprInterner *I = new ExprInterner();
   return *I;
 }
@@ -106,33 +239,40 @@ ExprRef ExprInterner::internVar(std::string Name) {
     }
   }
   std::unique_lock<std::shared_mutex> Lock(VarMutex);
-  auto [It, Inserted] = Vars.try_emplace(Name, nullptr);
-  if (Inserted) {
-    It->second = makeNode(ExprKind::Var, std::move(Name), Rational(), {});
-    InternMisses.fetch_add(1, std::memory_order_relaxed);
-  } else {
+  auto It = Vars.find(Name);
+  if (It != Vars.end()) {
     InternHits.fetch_add(1, std::memory_order_relaxed);
+    return It->second;
   }
-  return It->second;
+  // Allocate before inserting: if the arena throws (ExprArenaExhausted),
+  // the cache must not be left holding a null ref for this name.
+  ExprRef N =
+      allocateNode(exprShapeHash(ExprKind::Var, Name, Rational(), {}),
+                   ExprKind::Var, internSymbol(Name), {});
+  Vars.emplace(std::move(Name), N);
+  InternMisses.fetch_add(1, std::memory_order_relaxed);
+  return N;
 }
 
 namespace {
 
 /// Shallow structural equality against an already-interned candidate:
-/// operands compare by pointer because they are interned themselves.
-bool shallowEqual(const Expr &E, ExprKind Kind, const std::string &Name,
+/// operands compare by index, names by symbol id, because both are
+/// interned themselves.
+bool shallowEqual(const Expr &E, ExprKind Kind, uint32_t Payload,
                   const Rational &Value, const std::vector<ExprRef> &Ops) {
-  if (E.kind() != Kind || E.operands().size() != Ops.size())
+  if (E.kind() != Kind || E.arity() != Ops.size())
     return false;
+  ExprSpan EOps = E.operands();
   for (size_t I = 0; I != Ops.size(); ++I)
-    if (E.operands()[I] != Ops[I])
+    if (EOps[I] != Ops[I])
       return false;
   switch (Kind) {
   case ExprKind::Number:
     return E.number() == Value;
   case ExprKind::Var:
   case ExprKind::Call:
-    return E.name() == Name;
+    return E.symbolId() == Payload;
   default:
     return true;
   }
@@ -140,21 +280,23 @@ bool shallowEqual(const Expr &E, ExprKind Kind, const std::string &Name,
 
 } // namespace
 
-ExprRef ExprInterner::internInTable(size_t Hash, ExprKind Kind,
-                                    std::string Name, Rational Value,
-                                    std::vector<ExprRef> Ops) {
+ExprRef ExprInterner::internInTable(uint64_t Hash, ExprKind Kind,
+                                    uint32_t Payload, const Rational &Value,
+                                    const std::vector<ExprRef> &Ops) {
   Shard &S = Shards[Hash & (ShardCount - 1)];
   std::lock_guard<std::mutex> Lock(S.Mutex);
   std::vector<ExprRef> &Bucket = S.Buckets[Hash];
   for (const ExprRef &E : Bucket)
-    if (shallowEqual(*E, Kind, Name, Value, Ops)) {
+    if (shallowEqual(*E, Kind, Payload, Value, Ops)) {
       InternHits.fetch_add(1, std::memory_order_relaxed);
       return E;
     }
-  Bucket.push_back(
-      makeNode(Kind, std::move(Name), Value, std::move(Ops)));
+  if (Kind == ExprKind::Number)
+    Payload = appendRational(Value);
+  ExprRef N = allocateNode(Hash, Kind, Payload, Ops);
+  Bucket.push_back(N);
   InternMisses.fetch_add(1, std::memory_order_relaxed);
-  return Bucket.back();
+  return N;
 }
 
 ExprRef ExprInterner::intern(ExprKind Kind, std::string Name,
@@ -165,6 +307,7 @@ ExprRef ExprInterner::intern(ExprKind Kind, std::string Name,
   // what other threads interned first.
   if (WorkMeter *M = currentWorkMeter())
     M->chargeExpr();
+  uint32_t Payload = 0;
   switch (Kind) {
   case ExprKind::Number:
     if (Value.isInteger() && Value.numerator() >= SmallIntMin &&
@@ -179,22 +322,28 @@ ExprRef ExprInterner::intern(ExprKind Kind, std::string Name,
   case ExprKind::Infinity:
     InternHits.fetch_add(1, std::memory_order_relaxed);
     return InfinityNode;
+  case ExprKind::Call:
+    Payload = internSymbol(Name);
+    break;
   default:
     break;
   }
-  size_t Hash = exprShapeHash(Kind, Name, Value, Ops);
-  return internInTable(Hash, Kind, std::move(Name), Value, std::move(Ops));
+  uint64_t Hash = exprShapeHash(Kind, Name, Value, Ops);
+  return internInTable(Hash, Kind, Payload, Value, Ops);
 }
 
 ExprInterner::Counters ExprInterner::counters() const {
   Counters C;
   C.InternHits = InternHits.load(std::memory_order_relaxed);
   C.InternMisses = InternMisses.load(std::memory_order_relaxed);
-  // One node per miss, plus the eagerly seeded leaves.
-  C.Entries = C.InternMisses +
-              static_cast<uint64_t>(SmallInts.size()) + /*Infinity*/ 1;
+  // One node per miss, plus the eagerly seeded leaves — i.e. exactly the
+  // arena population.
+  C.Entries = ArenaNodes.load(std::memory_order_relaxed);
   C.MemoHits = MemoHits.load(std::memory_order_relaxed);
   C.MemoMisses = MemoMisses.load(std::memory_order_relaxed);
+  C.ArenaNodes = C.Entries;
+  C.ArenaBytes = ArenaBytes.load(std::memory_order_relaxed);
+  C.SymbolCount = SymbolNext.load(std::memory_order_relaxed);
   return C;
 }
 
@@ -205,4 +354,7 @@ void granlog::snapshotExprCounters(StatsRegistry &Stats) {
   Stats.add("expr.intern.entries", C.Entries);
   Stats.add("expr.memo.hit", C.MemoHits);
   Stats.add("expr.memo.miss", C.MemoMisses);
+  Stats.add("expr.arena.nodes", C.ArenaNodes);
+  Stats.add("expr.arena.bytes", C.ArenaBytes);
+  Stats.add("expr.symbols.count", C.SymbolCount);
 }

@@ -1,39 +1,55 @@
 //===- expr/ExprInterner.h - Hash-consed expression interning -------------===//
 //
 // Part of GranLog; see DESIGN.md "Interned expressions & memoized
-// traversals".
+// traversals" and "Arena expression core".
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A thread-safe hash-cons table ("unique table") for Expr nodes: every
-/// canonical expression shape exists exactly once per process, so
-/// structural equality *is* pointer identity and the analyses' inner-loop
-/// equality tests (like-term merging, operand sorting, cache keying) are
-/// O(1) instead of O(tree).
+/// A thread-safe hash-cons table ("unique table") for Expr nodes plus the
+/// bump arena that stores them: every canonical expression shape exists
+/// exactly once per process, so structural equality *is* index identity
+/// and the analyses' inner-loop equality tests (like-term merging,
+/// operand sorting, cache keying) are O(1) instead of O(tree).
 ///
-/// Layout: the table is sharded by structural hash; each shard holds a
-/// bucket map from hash to the (almost always singleton) list of nodes
-/// with that hash, guarded by one mutex.  Factory functions build
+/// Storage: nodes live in a process-global append-only arena of 2 MiB
+/// chunks, one variadic-length allocation per node (packed 44-byte header
+/// + inline operand ExprRefs — see Expr.h).  An ExprRef is the node's
+/// 32-bit word index; dereferencing is two dependent loads with no lock.
+/// Chunks are never moved, freed, or reallocated, so arena growth can
+/// never invalidate an outstanding ExprRef or `const Expr *`.  Var/Call
+/// names are interned once into a side symbol table (32-bit ids,
+/// append-only chunked text storage with lock-free reads), and non-small
+/// Number payloads into an analogous rational table.
+///
+/// Lookup: the unique table is sharded by structural hash; each shard
+/// holds a bucket map from hash to the (almost always singleton) list of
+/// nodes with that hash, guarded by one mutex.  Factory functions build
 /// bottom-up, so a node's operands are always interned before the node
-/// itself and shallow equality (kind + name + value + operand *pointers*)
+/// itself and shallow equality (kind + payload id + operand *indices*)
 /// suffices inside a bucket.  Two side caches skip the sharded table for
 /// the hottest leaves: an eager array of small integer constants and a
 /// name-keyed variable cache.
 ///
-/// Lifetime: the table owns one strong reference per node and never
-/// evicts, so a `const Expr *` observed once stays valid (and uniquely
-/// identifies its structure) for the rest of the process.  This is what
-/// makes identity-keyed memoization (ExprOps) and identity-keyed solver
-/// cache keys (diffeq/SolverCache) safe — no freed-and-reinterned address
+/// Lifetime: the arena never evicts, so a `const Expr *` or ExprRef
+/// observed once stays valid (and uniquely identifies its structure) for
+/// the rest of the process.  This is what makes identity-keyed
+/// memoization (ExprOps) and identity-keyed solver cache keys
+/// (diffeq/SolverCache) safe — no freed-and-reinterned address or index
 /// can ever alias a different expression.
 ///
+/// Capacity: the 32-bit index addresses 32 GiB of nodes.  Exhausting it
+/// (or the test hook's reduced limit) raises ExprArenaExhausted — a
+/// structured, catchable diagnostic — never UB; the batch driver's
+/// per-item fault isolation turns it into a per-program analysis error.
+///
 /// Counters: the interner and the memoized traversals keep process-global
-/// atomic counters (expr.intern.*, expr.memo.*).  They are snapshotted
-/// into a StatsRegistry by the CLI tools via snapshotExprCounters(); they
-/// are *not* recorded by GranularityAnalyzer itself because the table is
-/// shared across runs, which would make per-run counter values depend on
-/// what earlier runs interned (breaking the jobs-invariance guarantee of
+/// atomic counters (expr.intern.*, expr.memo.*, expr.arena.*).  They are
+/// snapshotted into a StatsRegistry by the CLI tools via
+/// snapshotExprCounters(); they are *not* recorded by
+/// GranularityAnalyzer itself because the table is shared across runs,
+/// which would make per-run counter values depend on what earlier runs
+/// interned (breaking the jobs-invariance guarantee of
 /// parallel_determinism_test).
 ///
 //===----------------------------------------------------------------------===//
@@ -48,6 +64,7 @@
 #include <cstdint>
 #include <mutex>
 #include <shared_mutex>
+#include <stdexcept>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
@@ -56,14 +73,37 @@ namespace granlog {
 
 class StatsRegistry;
 
-/// Structural hash of a node shape; operands contribute their stored
-/// hashes, so hashing is O(arity), not O(tree).
-size_t exprShapeHash(ExprKind Kind, const std::string &Name,
-                     const Rational &Value, const std::vector<ExprRef> &Ops);
+/// Raised when the expression arena (or a table it depends on) runs out
+/// of 32-bit index space — a structured diagnostic instead of UB.  In
+/// batch runs the per-item fault isolation catches it and reports the
+/// offending program; the arena itself stays valid, as does every
+/// previously returned ExprRef.
+class ExprArenaExhausted : public std::runtime_error {
+public:
+  ExprArenaExhausted(std::string_view What, uint64_t Limit)
+      : std::runtime_error("expression arena exhausted: " +
+                           std::string(What) + " capacity of " +
+                           std::to_string(Limit) + " reached"),
+        Limit(Limit) {}
 
-/// The process-global unique table.  All Expr construction funnels through
-/// intern() (the factory functions' makeRaw calls it), so no Expr exists
-/// outside the table.
+  /// The capacity (in the exhausted resource's own units) that was hit.
+  uint64_t limit() const { return Limit; }
+
+private:
+  uint64_t Limit;
+};
+
+/// Structural hash of a node shape (seeded FNV-1a — identical across
+/// platforms and standard libraries); operands contribute their stored
+/// hashes, so hashing is O(arity), not O(tree).  This is exactly the
+/// value a node of this shape stores as Expr::hash().
+uint64_t exprShapeHash(ExprKind Kind, const std::string &Name,
+                       const Rational &Value,
+                       const std::vector<ExprRef> &Ops);
+
+/// The process-global unique table and arena.  All Expr construction
+/// funnels through intern() (the factory functions' makeRaw calls it), so
+/// no Expr exists outside the arena.
 class ExprInterner {
 public:
   /// The one interner of this process.
@@ -78,13 +118,24 @@ public:
   ExprRef intern(ExprKind Kind, std::string Name, Rational Value,
                  std::vector<ExprRef> Ops);
 
+  /// The symbol-table text for an interned name id (Var/Call Payload).
+  /// Lock-free; the returned reference is stable for the process.
+  const std::string &symbolText(uint32_t Id) const;
+
+  /// The rational-table value for an interned Number payload id.
+  /// Lock-free; the returned reference is stable for the process.
+  const Rational &rationalAt(uint32_t Id) const;
+
   /// Point-in-time totals of the process-global counters.
   struct Counters {
     uint64_t InternHits = 0;   ///< intern() returned an existing node
-    uint64_t InternMisses = 0; ///< intern() created a node (== live nodes)
-    uint64_t Entries = 0;      ///< nodes owned by the table (== misses)
+    uint64_t InternMisses = 0; ///< intern() created a node
+    uint64_t Entries = 0;      ///< nodes owned by the table (== arena nodes)
     uint64_t MemoHits = 0;     ///< memoized traversal reused a subresult
     uint64_t MemoMisses = 0;   ///< memoized traversal computed a subresult
+    uint64_t ArenaNodes = 0;   ///< nodes allocated in the arena
+    uint64_t ArenaBytes = 0;   ///< bytes allocated for nodes (incl. padding)
+    uint64_t SymbolCount = 0;  ///< distinct interned Var/Call names
   };
   Counters counters() const;
 
@@ -97,26 +148,71 @@ public:
       MemoMisses.fetch_add(Misses, std::memory_order_relaxed);
   }
 
+  /// Test hook: caps the arena at \p Words 8-byte words (0 restores the
+  /// full 2^32 index space).  Lets tests exercise the ExprArenaExhausted
+  /// path without allocating 32 GiB.  Never lowers below what is already
+  /// allocated — outstanding nodes stay valid.
+  void setArenaCapacityForTesting(uint64_t Words);
+
 private:
   ExprInterner();
 
-  /// Creates a node (bypassing the table) — used to seed the small-integer
-  /// cache before any lookup can happen.
-  static ExprRef makeNode(ExprKind Kind, std::string Name, Rational Value,
-                          std::vector<ExprRef> Ops);
+  /// Allocates and publishes one node in the arena.  Computes the packed
+  /// metadata from \p Ops, which must already be interned.
+  ExprRef allocateNode(uint64_t Hash, ExprKind Kind, uint32_t Payload,
+                       const std::vector<ExprRef> &Ops);
+
+  /// Bump-allocates \p Words 8-byte words; returns the word index.
+  /// Throws ExprArenaExhausted at capacity.  Caller holds ArenaMutex.
+  uint32_t allocateWords(size_t Words);
+
+  /// Interns \p Name into the symbol table, returning its stable id.
+  uint32_t internSymbol(const std::string &Name);
+
+  /// Appends \p Value to the rational table, returning its id.  No
+  /// dedupe: callers only store payloads of *unique* Number nodes.
+  uint32_t appendRational(const Rational &Value);
 
   ExprRef internVar(std::string Name);
-  ExprRef internInTable(size_t Hash, ExprKind Kind, std::string Name,
-                        Rational Value, std::vector<ExprRef> Ops);
+  ExprRef internInTable(uint64_t Hash, ExprKind Kind, uint32_t Payload,
+                        const Rational &Value,
+                        const std::vector<ExprRef> &Ops);
 
   static constexpr size_t ShardCount = 16; // power of two
   struct Shard {
     std::mutex Mutex;
     /// hash -> nodes with that hash (collisions are rare; the vector is
     /// almost always a singleton).
-    std::unordered_map<size_t, std::vector<ExprRef>> Buckets;
+    std::unordered_map<uint64_t, std::vector<ExprRef>> Buckets;
   };
   std::array<Shard, ShardCount> Shards;
+
+  /// Bump cursor of the node arena, in 8-byte words.  Word 0 is reserved
+  /// as the null ExprRef.  Guarded by ArenaMutex for allocation; chunk
+  /// pointers (detail::ExprChunks) are published with release stores so
+  /// ExprRef::get() needs no lock.
+  std::mutex ArenaMutex;
+  uint32_t ArenaCursor = 1;
+  uint64_t ArenaCapacityWords = uint64_t(1) << 32;
+  std::atomic<uint64_t> ArenaNodes{0};
+  std::atomic<uint64_t> ArenaBytes{0};
+
+  /// Symbol table: id -> text in append-only chunked storage (lock-free
+  /// reads), text -> id under a read-mostly map.
+  static constexpr unsigned SymbolChunkBits = 12; // 4096 strings per chunk
+  static constexpr size_t SymbolMaxChunks = 1024; // 2^22 ids max
+  std::array<std::atomic<std::string *>, SymbolMaxChunks> SymbolChunks{};
+  mutable std::shared_mutex SymbolMutex;
+  std::unordered_map<std::string_view, uint32_t> SymbolIds;
+  std::atomic<uint32_t> SymbolNext{0};
+
+  /// Rational table: same chunked shape as the symbol table, but
+  /// append-only with no dedupe map (Number nodes are already unique).
+  static constexpr unsigned RationalChunkBits = 12;
+  static constexpr size_t RationalMaxChunks = 1024;
+  std::array<std::atomic<Rational *>, RationalMaxChunks> RationalChunks{};
+  std::mutex RationalMutex;
+  uint32_t RationalNext = 0;
 
   /// Small integer constants [-64, 64], seeded eagerly: makeNumber hits
   /// them with a single array read, no lock, no hash.
@@ -137,9 +233,11 @@ private:
   std::atomic<uint64_t> MemoMisses{0};
 };
 
-/// Snapshots the process-global interner/memo counters into \p Stats as
+/// Snapshots the process-global interner/memo/arena counters into
+/// \p Stats as
 ///   expr.intern.hit / expr.intern.miss / expr.intern.entries
 ///   expr.memo.hit / expr.memo.miss
+///   expr.arena.nodes / expr.arena.bytes / expr.symbols.count
 /// Counters are cumulative over the process (the table is shared across
 /// analyzer runs), so tools call this once at exit; the values are *not*
 /// part of the per-run deterministic counter set.

@@ -102,7 +102,7 @@ namespace {
 
 /// Rebuilds \p E with every operand mapped through \p Map.  Re-runs the
 /// simplifying factories so the result is canonical again.  Unchanged
-/// operands are detected by pointer identity (exact under interning).
+/// operands are detected by index identity (exact under interning).
 template <typename MapFn>
 ExprRef rebuild(const ExprRef &E, const MapFn &Map) {
   std::vector<ExprRef> Ops;

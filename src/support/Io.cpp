@@ -58,12 +58,7 @@ bool granlog::writeFileAtomic(const std::string &Path,
 }
 
 uint64_t granlog::fnv1a64(std::string_view Data) {
-  uint64_t H = 0xcbf29ce484222325ULL;
-  for (unsigned char C : Data) {
-    H ^= C;
-    H *= 0x100000001b3ULL;
-  }
-  return H;
+  return fnv1a64(Data, Fnv1a64Basis);
 }
 
 std::string granlog::hex64(uint64_t Value) {

@@ -34,9 +34,37 @@ namespace granlog {
 bool writeFileAtomic(const std::string &Path, std::string_view Contents,
                      std::string *Error = nullptr);
 
-/// FNV-1a 64-bit hash; used for deterministic content fingerprints in
-/// corpus reports and tests (stable across platforms, unlike std::hash).
+/// The FNV-1a 64-bit offset basis (the hash of the empty string).
+inline constexpr uint64_t Fnv1a64Basis = 0xcbf29ce484222325ULL;
+
+/// Seeded FNV-1a 64-bit hash: folds \p Data into the running hash
+/// \p Seed.  Fully specified byte-wise, so values are identical across
+/// compilers and standard libraries (unlike std::hash) — the expression
+/// core keys node hashes and Bloom bits on this.  Inline: it sits on the
+/// interner's hot path.
+inline constexpr uint64_t fnv1a64(std::string_view Data, uint64_t Seed) {
+  uint64_t H = Seed;
+  for (unsigned char C : Data) {
+    H ^= C;
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+/// FNV-1a 64-bit hash from the standard basis; used for deterministic
+/// content fingerprints in corpus reports and tests.
 uint64_t fnv1a64(std::string_view Data);
+
+/// Folds one 64-bit value into a running FNV-1a hash as 8 little-endian
+/// bytes (a fixed byte order keeps the result platform-stable).
+inline constexpr uint64_t fnv1a64Word(uint64_t Seed, uint64_t V) {
+  uint64_t H = Seed;
+  for (int I = 0; I != 8; ++I) {
+    H ^= (V >> (I * 8)) & 0xff;
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
 
 /// Renders \p Value as 16 lowercase hex digits (JSON doubles cannot carry
 /// a full 64-bit integer, so fingerprints travel as strings).

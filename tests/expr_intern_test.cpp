@@ -2,7 +2,7 @@
 //
 // The properties the interned expression representation rests on:
 //
-//  1. structural equality <=> pointer identity: compareExpr(A, B) == 0
+//  1. structural equality <=> index identity: compareExpr(A, B) == 0
 //     exactly when A and B are the same node, over randomized expressions.
 //  2. build-order independence: the same mathematical expression built
 //     through different factory-call orders (permuted operands, different
@@ -168,6 +168,114 @@ TEST(ExprInternTest, ConcurrentInterningYieldsIdenticalNodes) {
   }
   for (int T = 1; T != Threads; ++T)
     EXPECT_EQ(Got[T], Got[0]) << "thread " << T;
+}
+
+TEST(ExprInternTest, GoldenHashesArePlatformStable) {
+  // Node hashes and name Bloom bits are seeded FNV-1a — fully specified
+  // byte-wise, so the exact values below must reproduce on every
+  // platform, compiler, and standard library (the CI matrix runs this
+  // under gcc/libstdc++ and clang/libc++).  Goldens were computed with an
+  // independent FNV-1a implementation; everything keyed on these values
+  // (Bloom pruning, interner bucketing, shard choice) is stable iff they
+  // hold.
+  EXPECT_EQ(exprNameHash("n"), 0x52e89f43e3bbc405ULL);
+  EXPECT_EQ(exprNameBloomBit("n"), uint64_t(1) << 5);
+  EXPECT_EQ(exprNameBloomBit("psi:f/1"), uint64_t(1) << 11);
+
+  ExprRef N = makeVar("n");
+  EXPECT_EQ(N->hash(), 0xce6a3c385c1f825bULL);
+  EXPECT_EQ(makeNumber(1)->hash(), 0xb269d744ba3b0969ULL);
+  EXPECT_EQ(makeAdd(N, makeNumber(1))->hash(), 0x8326579df19ea4f2ULL);
+  EXPECT_EQ(makeCall("psi:f/1", {N})->hash(), 0xfda1f806a3ab95faULL);
+  EXPECT_EQ(makeNumber(Rational(355, 113))->hash(), 0x004fce06f50e7714ULL);
+  EXPECT_EQ(makeLog2(N)->hash(), 0xc79c54bfc1ddc93bULL);
+  EXPECT_EQ(makePow(N, makeNumber(2))->hash(), 0x28af79714bbc2273ULL);
+}
+
+TEST(ExprInternTest, ArenaGrowthKeepsOutstandingRefsStable) {
+  // The arena grows by whole chunks and never moves or frees one, so an
+  // ExprRef (and the `const Expr *` behind it) observed before heavy
+  // interning must stay valid — same address, same metadata, same text —
+  // while 8 threads force multiple new chunks into existence.  The
+  // readers deref the old refs *during* growth: the TSan workout for the
+  // lock-free chunk-directory loads in ExprRef::get().
+  struct Recorded {
+    ExprRef Ref;
+    const Expr *Ptr;
+    uint64_t Hash;
+    std::string Text;
+  };
+  Lcg Rng(20260809);
+  std::vector<Recorded> Old;
+  for (int I = 0; I != 100; ++I) {
+    ExprRef E = randomExpr(Rng, 4);
+    Old.push_back({E, E.get(), E->hash(), exprText(E)});
+  }
+
+  constexpr int Threads = 8, PerThread = 10000;
+  std::atomic<uint64_t> Mismatches{0};
+  {
+    ThreadPool Pool(Threads);
+    for (int T = 0; T != Threads; ++T)
+      Pool.submit([T, &Old, &Mismatches] {
+        ExprRef V = makeVar("growth");
+        for (int I = 0; I != PerThread; ++I) {
+          // Disjoint constant ranges per thread, all above the small-int
+          // cache: every iteration interns a fresh Number and a fresh Add
+          // node, pushing the arena across chunk boundaries.
+          int64_t K = 1000000 + int64_t(T) * PerThread + I;
+          ExprRef E = makeAdd(V, makeNumber(K));
+          if (!E)
+            Mismatches.fetch_add(1, std::memory_order_relaxed);
+          // Re-validate an earlier node mid-growth.
+          const Recorded &R = Old[static_cast<size_t>(I) % Old.size()];
+          if (R.Ref.get() != R.Ptr || R.Ptr->hash() != R.Hash)
+            Mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    Pool.wait();
+  }
+  EXPECT_EQ(Mismatches.load(), 0u);
+
+  ExprInterner::Counters C = ExprInterner::global().counters();
+  EXPECT_GT(C.ArenaNodes, uint64_t(Threads) * PerThread);
+  // More node bytes than one chunk (2 MiB) proves growth actually crossed
+  // chunk boundaries in this process.
+  EXPECT_GT(C.ArenaBytes, uint64_t(2) << 20);
+  for (const Recorded &R : Old) {
+    EXPECT_EQ(R.Ref.get(), R.Ptr);
+    EXPECT_EQ(R.Ptr->hash(), R.Hash);
+    EXPECT_EQ(exprText(R.Ref), R.Text);
+  }
+}
+
+TEST(ExprInternTest, ArenaExhaustionRaisesStructuredDiagnostic) {
+  ExprInterner &In = ExprInterner::global();
+  // Intern the probe node first so it is present regardless of whether
+  // this case runs alone or after other cases in the same process.
+  ExprRef N = makeVar("n");
+  // Clamp the arena to its current fill: the next novel node cannot fit.
+  In.setArenaCapacityForTesting(1);
+  // Existing nodes are served from the table without allocating.
+  EXPECT_EQ(makeVar("n").get(), N.get());
+  bool Threw = false;
+  try {
+    (void)makeNumber(Rational(982451653, 7919)); // novel: must allocate
+  } catch (const ExprArenaExhausted &E) {
+    Threw = true;
+    EXPECT_NE(std::string(E.what()).find("expression arena exhausted"),
+              std::string::npos)
+        << E.what();
+    EXPECT_GT(E.limit(), 0u);
+  }
+  EXPECT_TRUE(Threw);
+  // Restore the full index space; interning must work again and the
+  // failed intern must not have corrupted any table.
+  In.setArenaCapacityForTesting(0);
+  ExprRef E = makeNumber(Rational(982451653, 7919));
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_EQ(E->number(), Rational(982451653, 7919));
+  EXPECT_EQ(E.get(), makeNumber(Rational(982451653, 7919)).get());
 }
 
 TEST(ExprInternTest, CountersAreMonotonicAndConsistent) {
