@@ -50,12 +50,27 @@ sortedMembers(const CallGraph &CG, const SymbolTable &Symbols, unsigned Id) {
 } // namespace
 
 const SessionUpdate &AnalysisSession::update(const Program &P,
-                                             StatsRegistry *Stats) {
+                                             StatsRegistry *Stats,
+                                             const UpdateDeadline *Deadline) {
   ++Updates;
   TraceSpan Update(Options.Trace, SpanKind::SessionUpdate,
                    Options.TraceProgram);
+  BudgetLimits Effective = Options.Limits;
+  if (Deadline && Deadline->any()) {
+    if (Deadline->TimeoutMs &&
+        (!Effective.TimeoutMs || Deadline->TimeoutMs < Effective.TimeoutMs))
+      Effective.TimeoutMs = Deadline->TimeoutMs;
+    if (Deadline->Terminator) {
+      if (std::function<bool()> Prev = Effective.Terminator)
+        Effective.Terminator = [Prev, Next = Deadline->Terminator]() {
+          return Prev() || Next();
+        };
+      else
+        Effective.Terminator = Deadline->Terminator;
+    }
+  }
   UpdateBudget =
-      Options.Limits.any() ? std::make_unique<Budget>(Options.Limits) : nullptr;
+      Effective.any() ? std::make_unique<Budget>(Effective) : nullptr;
 
   AnalyzerOptions AO;
   AO.Metric = Options.Metric;
@@ -71,7 +86,11 @@ const SessionUpdate &AnalysisSession::update(const Program &P,
   GA->prepare();
 
   // Results computed under a wall-clock budget are not deterministic and
-  // must never be stored (nor replayed as if they were facts).
+  // must never be stored (nor replayed as if they were facts).  A
+  // session-level deadline poisons every update up front; a per-update
+  // UpdateDeadline only poisons this update if it actually fires (checked
+  // again at harvest below) — within-deadline results are exactly the
+  // un-deadlined ones.
   const bool Storable = !Options.Limits.TimeoutMs && !Options.Limits.Terminator;
   if (Storable)
     GA->enableCapture();
@@ -142,8 +161,12 @@ const SessionUpdate &AnalysisSession::update(const Program &P,
 
   GA->run();
 
-  // Harvest what was analyzed this round.
-  if (Storable) {
+  // Harvest what was analyzed this round.  expired() is sticky: once the
+  // per-update deadline or terminator has fired, every fresh result of
+  // this round is suspect and none of them are stored.
+  const bool StorableNow =
+      Storable && !(UpdateBudget && UpdateBudget->expired());
+  if (StorableNow) {
     std::vector<Degradation> AllDegradations =
         UpdateBudget ? UpdateBudget->degradations()
                      : std::vector<Degradation>();

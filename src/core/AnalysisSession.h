@@ -69,6 +69,24 @@ struct SessionOptions {
   uint32_t TraceProgram = 0xffffffffu;
 };
 
+/// Per-update wall-clock control, for callers that own request
+/// lifecycles (granlogd's per-request deadlines and drain cancellation).
+/// Unlike SessionOptions::Limits.TimeoutMs — which marks *every* update
+/// non-storable up front — an update run under an UpdateDeadline stays
+/// storable as long as the deadline/terminator never actually fired:
+/// results that completed within the deadline are exactly the results an
+/// un-deadlined run would have produced.  Only an update whose budget
+/// expired discards its store writes (those results are
+/// schedule-dependent and must never be replayed as facts).
+struct UpdateDeadline {
+  unsigned TimeoutMs = 0; ///< 0 = no wall-clock deadline
+  /// Cooperative cancellation (polled at budget checkpoints); return
+  /// true to degrade everything still pending in this update.
+  std::function<bool()> Terminator;
+
+  bool any() const { return TimeoutMs || Terminator; }
+};
+
 /// What one update() call did and produced.
 struct SessionUpdate {
   std::string Report;     ///< GranularityAnalyzer::report()
@@ -90,9 +108,12 @@ public:
   /// revision would record, plus nothing else — the session's own
   /// "incremental.*" counters are exposed via recordIncrementalStats().
   /// The Program only needs to stay alive for the duration of the call:
-  /// everything stored is arena-independent.
+  /// everything stored is arena-independent.  \p Deadline (optional)
+  /// bounds this one update's wall-clock time; see UpdateDeadline for
+  /// the storing contract.
   const SessionUpdate &update(const Program &P,
-                              StatsRegistry *Stats = nullptr);
+                              StatsRegistry *Stats = nullptr,
+                              const UpdateDeadline *Deadline = nullptr);
 
   /// The result of the most recent update().
   const SessionUpdate &last() const { return Last; }
@@ -110,6 +131,11 @@ public:
   /// Diagnostic from loading a corrupt/mismatched persistent cache file
   /// ("" when the load was clean or there was no file).
   const std::string &cacheLoadWarning() const { return CacheWarning; }
+
+  /// Number of fingerprint-store entries (one per distinct analyzed SCC
+  /// content).  The session's dominant retained footprint; granlogd's
+  /// LRU eviction caps the sum of this across sessions.
+  size_t storeSize() const { return Store.size(); }
 
   /// Records the session's lifetime counters — "incremental.updates",
   /// "incremental.sccs.analyzed", "incremental.sccs.reused",

@@ -2,11 +2,13 @@
 
 #include "corpus/ShardRunner.h"
 
+#include "support/FaultInject.h"
 #include "support/Io.h"
 #include "support/Json.h"
 
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
@@ -282,45 +284,64 @@ granlog::runShardedBatch(const std::vector<BenchmarkDef> &Corpus,
       pid_t Pid = fork();
       if (Pid == 0) {
         // Worker: analyze the slice, persist the result JSON, and leave
-        // without running parent-process atexit handlers.
+        // without running parent-process atexit handlers.  The keyed
+        // crash site decides per shard index (occurrence counters are
+        // inherited from the parent and would make every child agree).
+        if (faultPointKeyed("shard.crash", S))
+          _exit(3);
         ShardOutcome Out = runShardSlice(
             Corpus, shardSlice(Corpus.size(), Shards, S, Config.Overlap),
             Config);
         bool Written = writeFileAtomic(ResultPath, shardResultJson(Out));
         _exit(Written ? 0 : 1);
       }
-      if (Pid < 0) {
-        // fork failed (e.g. process limits): run this slice inline.
-        Merged.Warning = "fork failed; shard " + std::to_string(S) +
-                         " ran in-process";
-        ShardOutcome Out = runShardSlice(
-            Corpus, shardSlice(Corpus.size(), Shards, S, Config.Overlap),
-            Config);
-        bool Written = writeFileAtomic(ResultPath, shardResultJson(Out));
-        (void)Written;
-      }
+      if (Pid < 0)
+        Merged.ShardFailures.push_back(
+            {S, std::string("fork failed: ") + std::strerror(errno),
+             /*Retried=*/false});
       Pids[S] = Pid;
     }
     for (unsigned S = 0; S != Shards; ++S) {
+      std::string Reason;
       if (Pids[S] > 0) {
         int Status = 0;
         waitpid(Pids[S], &Status, 0);
-        if (!WIFEXITED(Status) || WEXITSTATUS(Status) != 0)
-          Merged.Warning = "shard " + std::to_string(S) +
-                           " worker exited abnormally";
+        if (!WIFEXITED(Status))
+          Reason = "worker killed by signal " +
+                   std::to_string(WIFSIGNALED(Status) ? WTERMSIG(Status)
+                                                      : 0);
+        else if (WEXITSTATUS(Status) != 0)
+          Reason = "worker exited with status " +
+                   std::to_string(WEXITSTATUS(Status));
       }
-      std::string ResultPath =
-          (WorkDir / ("shard-" + std::to_string(S) + ".json")).string();
-      std::ifstream In(ResultPath, std::ios::binary);
-      std::string Text{std::istreambuf_iterator<char>(In),
-                       std::istreambuf_iterator<char>()};
-      ShardOutcome Out;
-      if (!In.is_open() || !parseShardResult(Text, Out)) {
-        Merged.Warning = "shard " + std::to_string(S) +
-                         " produced no readable result";
-        continue;
+      if (Reason.empty()) {
+        std::string ResultPath =
+            (WorkDir / ("shard-" + std::to_string(S) + ".json")).string();
+        std::ifstream In(ResultPath, std::ios::binary);
+        std::string Text{std::istreambuf_iterator<char>(In),
+                         std::istreambuf_iterator<char>()};
+        ShardOutcome Out;
+        if (In.is_open() && parseShardResult(Text, Out)) {
+          mergeOutcome(Merged, Out, S, Config.Overlap);
+          continue;
+        }
+        Reason = "produced no readable result";
       }
+      // A shard that crashed, exited nonzero or lost its result file is
+      // re-run in-process once: the batch result stays complete (and,
+      // fingerprints being content hashes, identical), the incident is
+      // recorded instead of silently healed.
+      ShardOutcome Out = runShardSlice(
+          Corpus, shardSlice(Corpus.size(), Shards, S, Config.Overlap),
+          Config);
       mergeOutcome(Merged, Out, S, Config.Overlap);
+      if (Pids[S] < 0) {
+        for (ShardFailure &F : Merged.ShardFailures)
+          if (F.Shard == S)
+            F.Retried = true;
+      } else {
+        Merged.ShardFailures.push_back({S, Reason, /*Retried=*/true});
+      }
     }
     if (OwnWorkDir)
       fs::remove_all(WorkDir, EC);

@@ -72,6 +72,16 @@ struct ShardProgramResult {
   std::string Error; ///< load/analysis diagnostic when !Ok
 };
 
+/// One shard worker that did not deliver its result the normal way: it
+/// crashed, exited nonzero, or left no readable result file.  The parent
+/// re-runs the shard's slice in-process exactly once (Retried), so a
+/// crashed worker costs latency, never coverage.
+struct ShardFailure {
+  unsigned Shard = 0;
+  std::string Reason;
+  bool Retried = false;
+};
+
 /// Merged results of a sharded batch.
 struct ShardBatchResult {
   std::vector<ShardProgramResult> Programs; ///< corpus order
@@ -87,8 +97,11 @@ struct ShardBatchResult {
   double WallSeconds = 0; ///< whole sharded run, load-to-merge
   /// Per-program analysis latency (one sample per program).
   LatencyHistogram Latency;
-  /// First shard/cache warning ("" when clean).
+  /// First cache warning ("" when clean).
   std::string Warning;
+  /// Every shard worker that failed to deliver (one entry per incident,
+  /// not last-wins): who, why, and whether the in-process retry ran.
+  std::vector<ShardFailure> ShardFailures;
   /// Overlap mode only: each shard's corpus fingerprint, for convergence
   /// assertions; all entries must agree.
   std::vector<std::string> ShardFingerprints;

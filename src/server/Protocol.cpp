@@ -1,0 +1,211 @@
+//===- server/Protocol.cpp ------------------------------------------------===//
+
+#include "server/Protocol.h"
+
+#include <cstring>
+
+using namespace granlog;
+
+const char *granlog::statusName(Status S) {
+  switch (S) {
+  case Status::Ok:
+    return "ok";
+  case Status::Malformed:
+    return "malformed";
+  case Status::TooLarge:
+    return "too_large";
+  case Status::NoSession:
+    return "no_session";
+  case Status::LoadError:
+    return "load_error";
+  case Status::UnknownPred:
+    return "unknown_pred";
+  case Status::Stale:
+    return "stale";
+  case Status::Fault:
+    return "fault";
+  case Status::ShuttingDown:
+    return "shutting_down";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void putU32(std::string &Out, uint32_t V) {
+  Out.push_back(static_cast<char>(V & 0xff));
+  Out.push_back(static_cast<char>((V >> 8) & 0xff));
+  Out.push_back(static_cast<char>((V >> 16) & 0xff));
+  Out.push_back(static_cast<char>((V >> 24) & 0xff));
+}
+
+void putString(std::string &Out, std::string_view S) {
+  putU32(Out, static_cast<uint32_t>(S.size()));
+  Out.append(S.data(), S.size());
+}
+
+/// Strict little-endian cursor over a payload; any overrun poisons it.
+class Cursor {
+public:
+  explicit Cursor(std::string_view Data) : Data(Data) {}
+
+  bool u8(uint8_t &V) {
+    if (Pos + 1 > Data.size())
+      return Ok = false;
+    V = static_cast<uint8_t>(Data[Pos]);
+    Pos += 1;
+    return true;
+  }
+
+  bool u32(uint32_t &V) {
+    if (Pos + 4 > Data.size())
+      return Ok = false;
+    V = static_cast<uint32_t>(static_cast<uint8_t>(Data[Pos])) |
+        static_cast<uint32_t>(static_cast<uint8_t>(Data[Pos + 1])) << 8 |
+        static_cast<uint32_t>(static_cast<uint8_t>(Data[Pos + 2])) << 16 |
+        static_cast<uint32_t>(static_cast<uint8_t>(Data[Pos + 3])) << 24;
+    Pos += 4;
+    return true;
+  }
+
+  bool str(std::string &V) {
+    uint32_t Len = 0;
+    if (!u32(Len))
+      return false;
+    if (Len > Data.size() - Pos)
+      return Ok = false;
+    V.assign(Data.data() + Pos, Len);
+    Pos += Len;
+    return true;
+  }
+
+  /// Whole payload consumed with no error — trailing garbage is a
+  /// malformed frame, not an extension point.
+  bool done() const { return Ok && Pos == Data.size(); }
+
+private:
+  std::string_view Data;
+  size_t Pos = 0;
+  bool Ok = true;
+};
+
+std::string frame(std::string Payload) {
+  std::string Out;
+  putU32(Out, static_cast<uint32_t>(Payload.size()));
+  Out += Payload;
+  return Out;
+}
+
+} // namespace
+
+std::string granlog::encodeRequest(const Request &R) {
+  std::string P;
+  P.push_back(static_cast<char>(R.Kind));
+  putU32(P, R.Id);
+  switch (R.Kind) {
+  case Op::Hello:
+    putString(P, R.Name);
+    break;
+  case Op::Update:
+    putString(P, R.Source);
+    break;
+  case Op::Explain:
+    putString(P, R.Pred);
+    break;
+  case Op::Only:
+    putString(P, R.Pred);
+    putString(P, R.Source);
+    break;
+  case Op::Stats:
+  case Op::Close:
+    break;
+  }
+  return frame(std::move(P));
+}
+
+std::string granlog::encodeResponse(const Response &R) {
+  std::string P;
+  P.push_back(static_cast<char>(R.St));
+  putU32(P, R.Id);
+  putU32(P, R.Degradations);
+  putString(P, R.Body);
+  return frame(std::move(P));
+}
+
+std::optional<Request> granlog::decodeRequest(std::string_view Payload) {
+  Cursor C(Payload);
+  uint8_t OpByte = 0;
+  Request R;
+  if (!C.u8(OpByte) || !C.u32(R.Id))
+    return std::nullopt;
+  switch (OpByte) {
+  case static_cast<uint8_t>(Op::Hello):
+    R.Kind = Op::Hello;
+    if (!C.str(R.Name))
+      return std::nullopt;
+    break;
+  case static_cast<uint8_t>(Op::Update):
+    R.Kind = Op::Update;
+    if (!C.str(R.Source))
+      return std::nullopt;
+    break;
+  case static_cast<uint8_t>(Op::Explain):
+    R.Kind = Op::Explain;
+    if (!C.str(R.Pred))
+      return std::nullopt;
+    break;
+  case static_cast<uint8_t>(Op::Only):
+    R.Kind = Op::Only;
+    if (!C.str(R.Pred) || !C.str(R.Source))
+      return std::nullopt;
+    break;
+  case static_cast<uint8_t>(Op::Stats):
+    R.Kind = Op::Stats;
+    break;
+  case static_cast<uint8_t>(Op::Close):
+    R.Kind = Op::Close;
+    break;
+  default:
+    return std::nullopt;
+  }
+  if (!C.done())
+    return std::nullopt;
+  return R;
+}
+
+std::optional<Response> granlog::decodeResponse(std::string_view Payload) {
+  Cursor C(Payload);
+  uint8_t StByte = 0;
+  Response R;
+  if (!C.u8(StByte) || !C.u32(R.Id) || !C.u32(R.Degradations) ||
+      !C.str(R.Body) || !C.done())
+    return std::nullopt;
+  if (StByte > static_cast<uint8_t>(Status::ShuttingDown))
+    return std::nullopt;
+  R.St = static_cast<Status>(StByte);
+  return R;
+}
+
+void FrameReader::append(const void *Data, size_t N) {
+  if (Overflow)
+    return;
+  Buffer.append(static_cast<const char *>(Data), N);
+}
+
+std::optional<std::string> FrameReader::next() {
+  if (Overflow || Buffer.size() < 4)
+    return std::nullopt;
+  uint32_t Len = static_cast<uint32_t>(static_cast<uint8_t>(Buffer[0])) |
+                 static_cast<uint32_t>(static_cast<uint8_t>(Buffer[1])) << 8 |
+                 static_cast<uint32_t>(static_cast<uint8_t>(Buffer[2])) << 16 |
+                 static_cast<uint32_t>(static_cast<uint8_t>(Buffer[3])) << 24;
+  if (Len == 0 || Len > Max) {
+    Overflow = true;
+    return std::nullopt;
+  }
+  if (Buffer.size() < 4 + static_cast<size_t>(Len))
+    return std::nullopt;
+  std::string Payload = Buffer.substr(4, Len);
+  Buffer.erase(0, 4 + static_cast<size_t>(Len));
+  return Payload;
+}

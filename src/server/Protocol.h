@@ -1,0 +1,141 @@
+//===- server/Protocol.h - granlogd wire protocol -------------------------===//
+//
+// Part of GranLog; see DESIGN.md "Analysis server & fault injection".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The length-prefixed binary protocol granlogd speaks on its local
+/// socket.  Every message is one *frame*:
+///
+///   u32-LE payload length  (1 .. MaxFrameBytes)
+///   payload bytes
+///
+/// A request payload is
+///
+///   u8  opcode      (Op)
+///   u32-LE request id (echoed verbatim in the response)
+///   op-specific fields, each string encoded as u32-LE length + bytes:
+///     Hello:   client name (the session key; must be first on a
+///              connection, and unique across live connections)
+///     Update:  program source (one revision; runs AnalysisSession::
+///              update and returns the report)
+///     Explain: predicate name ("" = full provenance of the last update)
+///     Only:    "name/arity" spec, then program source (demand-driven
+///              one-shot analysis of the predicate's callee cone,
+///              sharing the session's solver cache)
+///     Stats / Close: no fields
+///
+/// and a response payload is
+///
+///   u8  status      (Status)
+///   u32-LE request id
+///   u32-LE degradation count (budget degradations of this request)
+///   body string     (report / provenance / stats JSON, or the error
+///                    message for non-Ok statuses)
+///
+/// Decoding is strict: trailing bytes, truncated fields, unknown opcodes
+/// and lengths that overrun the payload are all Malformed.  The decoder
+/// is a pure function over a byte span — the protocol fuzz harness
+/// (tests/fuzz/protocol_fuzz.cpp) drives it directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_SERVER_PROTOCOL_H
+#define GRANLOG_SERVER_PROTOCOL_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace granlog {
+
+/// Protocol revision; Hello responses carry "granlogd/<version>".
+inline constexpr uint32_t ProtocolVersion = 1;
+
+/// Frames larger than this are a protocol error (TooLarge + close): a
+/// hostile client must not make the server buffer unbounded input.
+inline constexpr size_t MaxFrameBytes = 8u << 20;
+
+enum class Op : uint8_t {
+  Hello = 1,
+  Update = 2,
+  Explain = 3,
+  Only = 4,
+  Stats = 5,
+  Close = 6,
+};
+
+enum class Status : uint8_t {
+  Ok = 0,
+  Malformed = 1,    ///< frame did not decode; connection is closed
+  TooLarge = 2,     ///< frame exceeded MaxFrameBytes; connection closed
+  NoSession = 3,    ///< request before Hello, or name already in use
+  LoadError = 4,    ///< program source failed to load (diagnostics in body)
+  UnknownPred = 5,  ///< Explain/Only named a predicate that does not exist
+  Stale = 6,        ///< Explain before any Update in this admission (the
+                    ///< session was freshly created or evicted; re-send
+                    ///< the program)
+  Fault = 7,        ///< request died on a server-side exception
+  ShuttingDown = 8, ///< server is draining; request was not run
+};
+
+/// Stable lowercase taxonomy name ("ok", "malformed", ...), used by
+/// granload's error-taxonomy report and the tests.
+const char *statusName(Status S);
+
+/// One decoded request.  Unused fields stay empty.
+struct Request {
+  Op Kind = Op::Hello;
+  uint32_t Id = 0;
+  std::string Name;   ///< Hello: client name
+  std::string Pred;   ///< Explain: name; Only: "name/arity" spec
+  std::string Source; ///< Update/Only: program text
+};
+
+/// One decoded response.
+struct Response {
+  Status St = Status::Ok;
+  uint32_t Id = 0;
+  uint32_t Degradations = 0;
+  std::string Body;
+};
+
+/// Serializes a complete frame (length prefix included).
+std::string encodeRequest(const Request &R);
+std::string encodeResponse(const Response &R);
+
+/// Decodes one frame *payload* (no length prefix).  nullopt = malformed.
+std::optional<Request> decodeRequest(std::string_view Payload);
+std::optional<Response> decodeResponse(std::string_view Payload);
+
+/// Incremental frame reassembly over a byte stream: append whatever the
+/// socket produced (short reads welcome), pop complete payloads.  Once a
+/// frame length exceeds the cap the reader is poisoned (overflowed());
+/// the connection must be dropped — there is no way to resynchronize a
+/// length-prefixed stream after a bad length.
+class FrameReader {
+public:
+  explicit FrameReader(size_t MaxFrame = MaxFrameBytes) : Max(MaxFrame) {}
+
+  void append(const void *Data, size_t N);
+
+  /// The next complete frame payload, or nullopt when more bytes are
+  /// needed (or the reader overflowed).
+  std::optional<std::string> next();
+
+  bool overflowed() const { return Overflow; }
+
+  /// Bytes buffered but not yet consumed by next().
+  size_t buffered() const { return Buffer.size(); }
+
+private:
+  std::string Buffer;
+  size_t Max;
+  bool Overflow = false;
+};
+
+} // namespace granlog
+
+#endif // GRANLOG_SERVER_PROTOCOL_H

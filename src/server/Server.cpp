@@ -1,0 +1,691 @@
+//===- server/Server.cpp --------------------------------------------------===//
+
+#include "server/Server.h"
+
+#include "program/Program.h"
+#include "support/Diagnostics.h"
+#include "support/FaultInject.h"
+#include "support/Io.h"
+#include "support/Json.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdarg>
+#include <cstring>
+#include <filesystem>
+#include <new>
+#include <stdexcept>
+#include <vector>
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#define GRANLOG_HAVE_SOCKETS 1
+#endif
+
+using namespace granlog;
+
+AnalysisServer::AnalysisServer(ServerConfig Config)
+    : Config(std::move(Config)),
+      Sessions([&] {
+        SessionManagerConfig SC;
+        SC.Template = this->Config.Session;
+        SC.MaxSessions = this->Config.MaxSessions;
+        SC.MaxStoreEntries = this->Config.MaxStoreEntries;
+        SC.CacheRoot = this->Config.CacheRoot;
+        return SC;
+      }()),
+      Pool(std::max(1u, this->Config.Workers)) {}
+
+AnalysisServer::~AnalysisServer() {
+  if (Started.load()) {
+    requestStop();
+    waitForDrain();
+  }
+}
+
+void AnalysisServer::logf(const char *Fmt, ...) {
+  if (!Config.Log)
+    return;
+  va_list Args;
+  va_start(Args, Fmt);
+  std::fprintf(Config.Log, "granlogd: ");
+  std::vfprintf(Config.Log, Fmt, Args);
+  std::fprintf(Config.Log, "\n");
+  std::fflush(Config.Log);
+  va_end(Args);
+}
+
+#if GRANLOG_HAVE_SOCKETS
+
+static bool setNonBlocking(int Fd) {
+  int Flags = fcntl(Fd, F_GETFL, 0);
+  return Flags >= 0 && fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) == 0;
+}
+
+bool AnalysisServer::start(std::string *Error) {
+  // Crash recovery: a predecessor that died mid-write leaves stale
+  // atomic-write temps next to every per-client cache file; sweep them
+  // before serving (live writers' temps are untouched by construction).
+  if (!Config.CacheRoot.empty()) {
+    namespace fs = std::filesystem;
+    std::error_code EC;
+    size_t Swept = 0;
+    for (fs::directory_iterator It(Config.CacheRoot, EC), End;
+         !EC && It != End; It.increment(EC))
+      if (It->is_directory())
+        Swept += sweepStaleTemps(
+            (It->path() / "solver-cache.json").string());
+    Counters.SweptTemps.store(Swept);
+    if (Swept)
+      logf("recovery: swept %zu stale cache temp file(s)", Swept);
+  }
+
+  sockaddr_un Addr{};
+  if (Config.SocketPath.size() >= sizeof(Addr.sun_path)) {
+    if (Error)
+      *Error = "socket path too long: " + Config.SocketPath;
+    return false;
+  }
+  // A stale socket file from a crashed predecessor would fail bind();
+  // remove it (a *live* predecessor loses its socket — granlogd is a
+  // single-instance-per-path daemon by design).
+  ::unlink(Config.SocketPath.c_str());
+
+  ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0) {
+    if (Error)
+      *Error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  Addr.sun_family = AF_UNIX;
+  std::strncpy(Addr.sun_path, Config.SocketPath.c_str(),
+               sizeof(Addr.sun_path) - 1);
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+             sizeof(Addr)) != 0 ||
+      ::listen(ListenFd, 128) != 0 || !setNonBlocking(ListenFd)) {
+    if (Error)
+      *Error = Config.SocketPath + ": " + std::strerror(errno);
+    ::close(ListenFd);
+    ListenFd = -1;
+    return false;
+  }
+
+  int Pipe[2];
+  if (::pipe(Pipe) != 0 || !setNonBlocking(Pipe[0]) ||
+      !setNonBlocking(Pipe[1])) {
+    if (Error)
+      *Error = std::string("pipe: ") + std::strerror(errno);
+    ::close(ListenFd);
+    ListenFd = -1;
+    return false;
+  }
+  WakeRead = Pipe[0];
+  WakeWrite = Pipe[1];
+
+  Started.store(true);
+  IoThread = std::thread([this] { ioLoop(); });
+  logf("listening on %s (workers=%u, max-sessions=%zu)",
+       Config.SocketPath.c_str(), Pool.numThreads(), Config.MaxSessions);
+  return true;
+}
+
+void AnalysisServer::wake() {
+  char B = 1;
+  [[maybe_unused]] ssize_t N = ::write(WakeWrite, &B, 1);
+}
+
+void AnalysisServer::requestStop() {
+  StopRequested.store(true);
+  if (Started.load())
+    wake();
+}
+
+int AnalysisServer::waitForDrain() {
+  if (!Started.load())
+    return 0;
+  if (IoThread.joinable())
+    IoThread.join();
+  // Every in-flight request either finished or degraded under the drain
+  // terminator; wait() returns once the pool is empty.  Workers never
+  // leak exceptions (runRequest catches), so wait() cannot throw here.
+  Pool.wait();
+  std::string FlushError;
+  bool Flushed = Sessions.flushAll(&FlushError);
+  if (!Flushed)
+    logf("drain: session flush failed: %s", FlushError.c_str());
+  logf("drained: requests=%llu faults=%llu evictions=%llu flush=%s",
+       static_cast<unsigned long long>(Counters.Requests.load()),
+       static_cast<unsigned long long>(Counters.Faults.load()),
+       static_cast<unsigned long long>(Sessions.evictions()),
+       Flushed ? "clean" : "failed");
+  Started.store(false);
+  DrainResult = Flushed ? 0 : 1;
+  return DrainResult;
+}
+
+void AnalysisServer::closeConnLocked(uint64_t ConnId) {
+  auto It = Conns.find(ConnId);
+  if (It == Conns.end())
+    return;
+  ::close(It->second.Fd);
+  // Release the client name unless a worker still runs under it: the
+  // completion handler releases it then (keeping the name owned blocks
+  // a concurrent claimant from racing the running request's session).
+  if (!It->second.Busy && !It->second.Client.empty())
+    NameOwners.erase(It->second.Client);
+  Conns.erase(It);
+}
+
+void AnalysisServer::dispatchLocked(uint64_t ConnId, Connection &C) {
+  if (C.Busy || C.Pending.empty() || Draining.load())
+    return;
+  std::string Payload = std::move(C.Pending.front());
+  C.Pending.pop_front();
+  C.Busy = true;
+  std::string Client = C.Client;
+  Counters.Requests.fetch_add(1);
+  Pool.submit([this, ConnId, Payload = std::move(Payload),
+               Client = std::move(Client)]() mutable {
+    runRequest(ConnId, std::move(Payload), std::move(Client));
+  });
+}
+
+void AnalysisServer::runRequest(uint64_t ConnId, std::string Payload,
+                                std::string Client) {
+  Response Resp;
+  std::string NewClient = Client;
+  std::optional<Request> R = decodeRequest(Payload);
+  if (!R) {
+    Resp.St = Status::Malformed;
+    Resp.Body = "request payload did not decode";
+  } else {
+    Resp.Id = R->Id;
+    try {
+      if (faultPoint("server.alloc"))
+        throw std::bad_alloc();
+      if (faultPoint("server.worker.throw"))
+        throw std::runtime_error("fault-injected worker exception");
+      Resp = execute(*R, ConnId, NewClient);
+      Resp.Id = R->Id;
+    } catch (const std::exception &E) {
+      Counters.Faults.fetch_add(1);
+      Resp = Response{Status::Fault, R->Id, 0, E.what()};
+    } catch (...) {
+      Counters.Faults.fetch_add(1);
+      Resp = Response{Status::Fault, R->Id, 0, "unknown exception"};
+    }
+  }
+  Counters.ResponsesByStatus[static_cast<size_t>(Resp.St)].fetch_add(1);
+  if (Resp.Degradations)
+    Counters.DegradedRequests.fetch_add(1);
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Conns.find(ConnId);
+  if (It == Conns.end()) {
+    // Connection died mid-request: discard the response and release the
+    // name ownership deferred by closeConnLocked.
+    for (auto NIt = NameOwners.begin(); NIt != NameOwners.end();)
+      NIt = NIt->second == ConnId ? NameOwners.erase(NIt) : std::next(NIt);
+    return;
+  }
+  Connection &C = It->second;
+  C.Busy = false;
+  if (!NewClient.empty() && NewClient != C.Client)
+    C.Client = NewClient;
+  C.WriteBuf += encodeResponse(Resp);
+  if (Resp.St == Status::Malformed || Resp.St == Status::TooLarge ||
+      (R && R->Kind == Op::Close))
+    C.CloseAfterFlush = true;
+  else
+    dispatchLocked(ConnId, C);
+  wake();
+}
+
+#else // !GRANLOG_HAVE_SOCKETS
+
+bool AnalysisServer::start(std::string *Error) {
+  if (Error)
+    *Error = "granlogd requires POSIX sockets";
+  return false;
+}
+void AnalysisServer::wake() {}
+void AnalysisServer::requestStop() { StopRequested.store(true); }
+int AnalysisServer::waitForDrain() { return 0; }
+void AnalysisServer::closeConnLocked(uint64_t) {}
+void AnalysisServer::dispatchLocked(uint64_t, Connection &) {}
+void AnalysisServer::runRequest(uint64_t, std::string, std::string) {}
+void AnalysisServer::ioLoop() {}
+
+#endif // GRANLOG_HAVE_SOCKETS
+
+Response AnalysisServer::execute(const Request &R, uint64_t ConnId,
+                                 std::string &Client) {
+  switch (R.Kind) {
+  case Op::Hello: {
+    if (R.Name.empty())
+      return {Status::NoSession, R.Id, 0, "empty client name"};
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = NameOwners.find(R.Name);
+    if (It != NameOwners.end() && It->second != ConnId)
+      return {Status::NoSession, R.Id, 0,
+              "client name already in use: " + R.Name};
+    NameOwners[R.Name] = ConnId;
+    Client = R.Name;
+    return {Status::Ok, R.Id, 0,
+            "granlogd/" + std::to_string(ProtocolVersion)};
+  }
+  case Op::Update:
+    if (Client.empty())
+      return {Status::NoSession, R.Id, 0, "send hello first"};
+    return doUpdate(R, Client);
+  case Op::Explain:
+    if (Client.empty())
+      return {Status::NoSession, R.Id, 0, "send hello first"};
+    return doExplain(R, Client);
+  case Op::Only:
+    if (Client.empty())
+      return {Status::NoSession, R.Id, 0, "send hello first"};
+    return doOnly(R, Client);
+  case Op::Stats:
+    return {Status::Ok, R.Id, 0, statsJson()};
+  case Op::Close:
+    return {Status::Ok, R.Id, 0, "bye"};
+  }
+  return {Status::Malformed, R.Id, 0, "unknown opcode"};
+}
+
+namespace {
+
+/// The per-request wall-clock control: the configured deadline plus the
+/// drain terminator (once the drain deadline passes, every in-flight
+/// request degrades and completes).
+UpdateDeadline requestDeadline(unsigned TimeoutMs,
+                               const std::atomic<bool> &HardStop) {
+  UpdateDeadline D;
+  D.TimeoutMs = TimeoutMs;
+  D.Terminator = [&HardStop] { return HardStop.load(); };
+  return D;
+}
+
+} // namespace
+
+Response AnalysisServer::doUpdate(const Request &R,
+                                  const std::string &Client) {
+  SessionLease Lease = Sessions.lease(Client);
+  if (!Lease.cacheWarning().empty())
+    logf("cache: %s: %s", Client.c_str(), Lease.cacheWarning().c_str());
+
+  TermArena Arena;
+  Diagnostics Diags;
+  std::optional<Budget> LoadBudget;
+  if (Config.Session.Limits.any())
+    LoadBudget.emplace(Config.Session.Limits);
+  std::optional<Program> P =
+      loadProgram(R.Source, Arena, Diags,
+                  LoadBudget ? &*LoadBudget : nullptr);
+  if (!P || P->predicates().empty())
+    return {Status::LoadError, R.Id, 0,
+            P ? "program defines no predicates" : Diags.str()};
+
+  UpdateDeadline Deadline =
+      requestDeadline(Config.RequestTimeoutMs, HardStop);
+  const SessionUpdate &U =
+      Lease.session().update(*P, nullptr, Deadline.any() ? &Deadline
+                                                         : nullptr);
+  return {Status::Ok, R.Id, static_cast<uint32_t>(U.Degradations.size()),
+          U.Report};
+}
+
+Response AnalysisServer::doExplain(const Request &R,
+                                   const std::string &Client) {
+  SessionLease Lease = Sessions.lease(Client);
+  const SessionUpdate &Last = Lease.session().last();
+  if (Last.TotalSCCs == 0 && Last.Report.empty())
+    return {Status::Stale, R.Id, 0,
+            "no analysis in this session yet (send update)"};
+  if (R.Pred.empty())
+    return {Status::Ok, R.Id, 0, Last.ExplainAll};
+  // explainAll() is one block per predicate, headed by an unindented
+  // "name/arity:" line; filter the blocks for the requested name.
+  std::string Needle =
+      R.Pred.find('/') == std::string::npos ? R.Pred + "/" : R.Pred + ":";
+  std::string Out;
+  bool InMatch = false;
+  size_t Pos = 0;
+  const std::string &Text = Last.ExplainAll;
+  while (Pos < Text.size()) {
+    size_t Eol = Text.find('\n', Pos);
+    if (Eol == std::string::npos)
+      Eol = Text.size();
+    std::string_view Line(Text.data() + Pos, Eol - Pos);
+    if (!Line.empty() && Line[0] != ' ')
+      InMatch = Line.rfind(Needle, 0) == 0;
+    if (InMatch) {
+      Out.append(Line);
+      Out.push_back('\n');
+    }
+    Pos = Eol + 1;
+  }
+  if (Out.empty())
+    return {Status::UnknownPred, R.Id, 0,
+            "no predicate named " + R.Pred + " in the last update"};
+  return {Status::Ok, R.Id, 0, Out};
+}
+
+Response AnalysisServer::doOnly(const Request &R, const std::string &Client) {
+  size_t Slash = R.Pred.rfind('/');
+  if (Slash == std::string::npos || Slash == 0 ||
+      Slash + 1 >= R.Pred.size())
+    return {Status::UnknownPred, R.Id, 0,
+            "only spec must be name/arity: " + R.Pred};
+
+  SessionLease Lease = Sessions.lease(Client);
+  TermArena Arena;
+  Diagnostics Diags;
+  BudgetLimits Limits = Config.Session.Limits;
+  UpdateDeadline Deadline =
+      requestDeadline(Config.RequestTimeoutMs, HardStop);
+  if (Deadline.TimeoutMs &&
+      (!Limits.TimeoutMs || Deadline.TimeoutMs < Limits.TimeoutMs))
+    Limits.TimeoutMs = Deadline.TimeoutMs;
+  Limits.Terminator = Deadline.Terminator;
+  std::optional<Budget> RunBudget;
+  if (Limits.any())
+    RunBudget.emplace(Limits);
+  std::optional<Program> P =
+      loadProgram(R.Source, Arena, Diags, RunBudget ? &*RunBudget : nullptr);
+  if (!P || P->predicates().empty())
+    return {Status::LoadError, R.Id, 0,
+            P ? "program defines no predicates" : Diags.str()};
+
+  Symbol S = P->symbols().lookup(R.Pred.substr(0, Slash));
+  Functor Target{
+      S, static_cast<unsigned>(std::atoi(R.Pred.c_str() + Slash + 1))};
+  if (!S.isValid() || !P->lookup(Target))
+    return {Status::UnknownPred, R.Id, 0,
+            "no predicate " + R.Pred + " in program"};
+
+  AnalyzerOptions AO;
+  AO.Metric = Config.Session.Metric;
+  AO.Overhead = Config.Session.Overhead;
+  AO.DisabledSchemas = Config.Session.DisabledSchemas;
+  AO.Jobs = Config.Session.Jobs;
+  AO.Cache = &Lease.session().solverCache();
+  if (RunBudget)
+    AO.Budget = &*RunBudget;
+  GranularityAnalyzer GA(*P, AO);
+  GA.prepare();
+  const CallGraph &CG = GA.callGraph();
+  for (unsigned Id = 0; Id != CG.numSCCs(); ++Id)
+    GA.setSccAction(Id, GranularityAnalyzer::SccAction::Skip);
+  for (unsigned Id : CG.reachableSCCs(Target))
+    GA.setSccAction(Id, GranularityAnalyzer::SccAction::Analyze);
+  GA.run();
+  uint32_t Degr =
+      RunBudget ? static_cast<uint32_t>(RunBudget->degradations().size())
+                : 0;
+  return {Status::Ok, R.Id, Degr, GA.report()};
+}
+
+std::string AnalysisServer::statsJson() const {
+  JsonWriter W;
+  W.beginObject();
+  W.key("server");
+  W.beginObject();
+  W.key("accepted");
+  W.value(Counters.Accepted.load());
+  W.key("dropped");
+  W.value(Counters.Dropped.load());
+  W.key("requests");
+  W.value(Counters.Requests.load());
+  W.key("faults");
+  W.value(Counters.Faults.load());
+  W.key("degraded_requests");
+  W.value(Counters.DegradedRequests.load());
+  W.key("swept_temps");
+  W.value(Counters.SweptTemps.load());
+  W.key("draining");
+  W.value(Draining.load());
+  W.key("responses");
+  W.beginObject();
+  for (size_t I = 0; I != 9; ++I) {
+    uint64_t N = Counters.ResponsesByStatus[I].load();
+    if (!N)
+      continue;
+    W.key(statusName(static_cast<Status>(I)));
+    W.value(N);
+  }
+  W.endObject();
+  W.endObject();
+  W.key("sessions");
+  W.beginObject();
+  W.key("live");
+  W.value(static_cast<uint64_t>(Sessions.liveSessions()));
+  W.key("store_entries");
+  W.value(static_cast<uint64_t>(Sessions.totalStoreEntries()));
+  W.key("admissions");
+  W.value(Sessions.admissions());
+  W.key("evictions");
+  W.value(Sessions.evictions());
+  W.key("evictions_blocked");
+  W.value(Sessions.evictionsBlocked());
+  W.key("corrupt_cache_loads");
+  W.value(Sessions.corruptCacheLoads());
+  W.key("flush_failures");
+  W.value(Sessions.flushFailures());
+  W.endObject();
+  if (FaultInjector *F = faultInjector()) {
+    W.key("faults_injected");
+    W.beginObject();
+    W.key("spec");
+    W.value(F->spec());
+    W.key("total");
+    W.value(F->totalInjected());
+    for (const auto &[Site, N] : F->counts()) {
+      W.key(Site);
+      W.value(N);
+    }
+    W.endObject();
+  }
+  W.endObject();
+  return W.take();
+}
+
+#if GRANLOG_HAVE_SOCKETS
+
+void AnalysisServer::ioLoop() {
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point DrainStart;
+  bool Accepting = true;
+
+  while (true) {
+    // Snapshot the poll set under the lock.
+    std::vector<pollfd> Fds;
+    std::vector<uint64_t> Ids;
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Fds.push_back({WakeRead, POLLIN, 0});
+      Ids.push_back(0);
+      if (Accepting) {
+        Fds.push_back({ListenFd, POLLIN, 0});
+        Ids.push_back(0);
+      }
+      for (auto &[Id, C] : Conns) {
+        short Events = 0;
+        // Backpressure: stop reading from a client whose requests are
+        // already queued 16 deep; it cannot monopolize memory or pool.
+        if (C.Pending.size() < 16 && !C.CloseAfterFlush)
+          Events |= POLLIN;
+        if (!C.WriteBuf.empty())
+          Events |= POLLOUT;
+        Fds.push_back({C.Fd, Events, 0});
+        Ids.push_back(Id);
+      }
+    }
+
+    ::poll(Fds.data(), Fds.size(), 50);
+
+    if (StopRequested.load() && !Draining.load()) {
+      Draining.store(true);
+      DrainStart = Clock::now();
+      Accepting = false;
+      ::close(ListenFd);
+      ListenFd = -1;
+      logf("drain: started");
+      // Unstarted requests are answered ShuttingDown, not silently
+      // dropped; in-flight ones keep running toward their deadline.
+      std::lock_guard<std::mutex> Lock(Mutex);
+      for (auto &[Id, C] : Conns) {
+        for (std::string &Payload : C.Pending) {
+          std::optional<Request> R = decodeRequest(Payload);
+          Response Resp{Status::ShuttingDown, R ? R->Id : 0, 0,
+                        "server draining"};
+          Counters.ResponsesByStatus[static_cast<size_t>(Resp.St)]
+              .fetch_add(1);
+          C.WriteBuf += encodeResponse(Resp);
+        }
+        C.Pending.clear();
+        C.CloseAfterFlush = true;
+      }
+    }
+    if (Draining.load() && !HardStop.load() &&
+        Clock::now() - DrainStart >
+            std::chrono::milliseconds(Config.DrainTimeoutMs)) {
+      HardStop.store(true);
+      logf("drain: deadline passed; degrading in-flight requests");
+    }
+
+    // Drain the wake pipe.
+    if (Fds[0].revents & POLLIN) {
+      char Buf[64];
+      while (::read(WakeRead, Buf, sizeof(Buf)) > 0)
+        ;
+    }
+
+    // Accept new connections.
+    if (Accepting) {
+      while (true) {
+        int Fd = ::accept(ListenFd, nullptr, nullptr);
+        if (Fd < 0)
+          break;
+        if (!setNonBlocking(Fd)) {
+          ::close(Fd);
+          continue;
+        }
+        Counters.Accepted.fetch_add(1);
+        std::lock_guard<std::mutex> Lock(Mutex);
+        Connection C;
+        C.Fd = Fd;
+        C.Reader = FrameReader(MaxFrameBytes);
+        Conns.emplace(NextConnId++, std::move(C));
+      }
+    }
+
+    // Service ready connections.
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (size_t I = 0; I != Fds.size(); ++I) {
+      if (Ids[I] == 0)
+        continue;
+      auto It = Conns.find(Ids[I]);
+      if (It == Conns.end())
+        continue;
+      uint64_t Id = Ids[I];
+      Connection &C = It->second;
+
+      if (Fds[I].revents & (POLLERR | POLLHUP | POLLNVAL)) {
+        if (C.WriteBuf.empty() || (Fds[I].revents & (POLLERR | POLLNVAL))) {
+          closeConnLocked(Id);
+          continue;
+        }
+      }
+
+      if (Fds[I].revents & POLLIN) {
+        char Buf[65536];
+        size_t Cap = sizeof(Buf);
+        if (faultPoint("net.read.short"))
+          Cap = 1; // dribbling reads must reassemble fine
+        ssize_t N = ::recv(C.Fd, Buf, Cap, 0);
+        if (N == 0) {
+          closeConnLocked(Id);
+          continue;
+        }
+        if (N > 0) {
+          C.Reader.append(Buf, static_cast<size_t>(N));
+          while (std::optional<std::string> Payload = C.Reader.next())
+            C.Pending.push_back(std::move(*Payload));
+          if (C.Reader.overflowed()) {
+            // Unrecoverable framing: answer, flush, close.
+            Response Resp{Status::TooLarge, 0, 0,
+                          "frame exceeds limit or has zero length"};
+            Counters.ResponsesByStatus[static_cast<size_t>(Resp.St)]
+                .fetch_add(1);
+            Counters.Dropped.fetch_add(1);
+            C.WriteBuf += encodeResponse(Resp);
+            C.CloseAfterFlush = true;
+          }
+          if (!Draining.load())
+            dispatchLocked(Id, C);
+        }
+      }
+
+      if ((Fds[I].revents & POLLOUT) && !C.WriteBuf.empty()) {
+        size_t Cap = C.WriteBuf.size();
+        if (faultPoint("net.write.short"))
+          Cap = 1;
+#if defined(MSG_NOSIGNAL)
+        ssize_t N = ::send(C.Fd, C.WriteBuf.data(), Cap, MSG_NOSIGNAL);
+#else
+        ssize_t N = ::send(C.Fd, C.WriteBuf.data(), Cap, 0);
+#endif
+        if (N > 0)
+          C.WriteBuf.erase(0, static_cast<size_t>(N));
+        else if (N < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+          closeConnLocked(Id);
+          continue;
+        }
+      }
+
+      if (C.WriteBuf.size() > Config.MaxWriteBuffer) {
+        // A client that never reads cannot hold server memory hostage.
+        Counters.Dropped.fetch_add(1);
+        closeConnLocked(Id);
+        continue;
+      }
+      if (C.CloseAfterFlush && C.WriteBuf.empty() && !C.Busy &&
+          C.Pending.empty())
+        closeConnLocked(Id);
+    }
+
+    if (Draining.load()) {
+      bool Quiet = true;
+      for (auto &[Id, C] : Conns)
+        if (C.Busy || !C.WriteBuf.empty())
+          Quiet = false;
+      // Once nothing is running and every response flushed — or a client
+      // refuses to read past twice the drain deadline — close up shop.
+      bool Overtime = Clock::now() - DrainStart >
+                      std::chrono::milliseconds(2 * Config.DrainTimeoutMs +
+                                                1000);
+      if (Quiet || Overtime) {
+        while (!Conns.empty())
+          closeConnLocked(Conns.begin()->first);
+        break;
+      }
+    }
+  }
+
+  ::close(WakeRead);
+  ::close(WakeWrite);
+  WakeRead = WakeWrite = -1;
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+  }
+  ::unlink(Config.SocketPath.c_str());
+}
+
+#endif // GRANLOG_HAVE_SOCKETS

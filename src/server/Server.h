@@ -1,0 +1,179 @@
+//===- server/Server.h - granlogd: the analysis server --------------------===//
+//
+// Part of GranLog; see DESIGN.md "Analysis server & fault injection".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A long-lived daemon multiplexing many AnalysisSessions — one per
+/// client — over the length-prefixed protocol (server/Protocol.h) on a
+/// local (AF_UNIX) socket.  One IO thread owns every socket: it accepts
+/// connections, reassembles frames (short reads and dribbling clients
+/// are normal, not errors), and flushes response buffers; request
+/// execution is scheduled onto the existing work-stealing ThreadPool,
+/// at most one in-flight request per connection (a client's requests are
+/// processed in order; different clients' requests run concurrently).
+///
+/// Robustness model:
+///   - per-client isolation: each client name owns one AnalysisSession
+///     (server/SessionManager.h) with its own budgets, solver cache and
+///     cache directory; a hostile program degrades soundly to Infinity
+///     under the per-client counter budget and cannot starve the pool
+///     (its request occupies one worker, bounded by budget/deadline);
+///   - per-request deadlines: UpdateDeadline caps wall-clock per
+///     request; drain cancellation rides the same terminator;
+///   - slow clients: responses buffer per connection (bounded; a client
+///     that never reads is dropped at the cap), requests reassemble
+///     across arbitrarily small reads;
+///   - protocol errors: malformed/oversized frames get a structured
+///     error response and the connection is closed — nothing a client
+///     sends can wedge the server;
+///   - worker faults: an exception escaping request execution becomes a
+///     Fault response, never a dead server;
+///   - graceful drain: requestStop() (SIGTERM in granlogd) stops
+///     accepting, answers queued-but-unstarted requests ShuttingDown,
+///     lets in-flight requests finish — or degrade once the drain
+///     deadline trips their terminator — flushes every session's solver
+///     cache, and reports the outcome via waitForDrain();
+///   - crash recovery: start() unlinks a stale socket file and sweeps
+///     stale atomic-write temps under the cache root; corrupt cache
+///     files are rejected per session with a structured diagnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_SERVER_SERVER_H
+#define GRANLOG_SERVER_SERVER_H
+
+#include "server/Protocol.h"
+#include "server/SessionManager.h"
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace granlog {
+
+struct ServerConfig {
+  /// AF_UNIX socket path (kept short: the kernel caps it around 100
+  /// bytes).  A stale file from a crashed predecessor is replaced.
+  std::string SocketPath;
+  /// Request-execution workers (the ThreadPool size).
+  unsigned Workers = 4;
+  /// SessionOptions template per client (Jobs, Metric, Overhead, and the
+  /// per-client deterministic counter budget in Limits).
+  SessionOptions Session;
+  /// Per-request wall-clock deadline in ms (0 = none); an expired
+  /// request degrades soundly and its results are not stored.
+  unsigned RequestTimeoutMs = 0;
+  /// Session LRU cap (0 = unlimited).
+  size_t MaxSessions = 64;
+  /// Total fingerprint-store entry cap across sessions (0 = unlimited).
+  size_t MaxStoreEntries = 0;
+  /// Per-client persistent cache root ("" = in-memory sessions only).
+  std::string CacheRoot;
+  /// Drain deadline: how long in-flight requests may keep running after
+  /// requestStop() before their terminators trip and they degrade.
+  unsigned DrainTimeoutMs = 5000;
+  /// Per-connection response buffer cap; a client that stops reading is
+  /// dropped once its buffered responses exceed this.
+  size_t MaxWriteBuffer = 64u << 20;
+  /// Structured log sink (null = silent).
+  std::FILE *Log = nullptr;
+};
+
+/// Monotonic counters the Stats op exports (see statsJson()).
+struct ServerCounters {
+  std::atomic<uint64_t> Accepted{0};
+  std::atomic<uint64_t> Dropped{0};        ///< protocol errors + buffer caps
+  std::atomic<uint64_t> Requests{0};
+  std::atomic<uint64_t> ResponsesByStatus[9] = {};
+  std::atomic<uint64_t> Faults{0};         ///< worker exceptions survived
+  std::atomic<uint64_t> DegradedRequests{0};
+  std::atomic<uint64_t> SweptTemps{0};     ///< startup crash recovery
+};
+
+class AnalysisServer {
+public:
+  explicit AnalysisServer(ServerConfig Config);
+  ~AnalysisServer();
+
+  AnalysisServer(const AnalysisServer &) = delete;
+  AnalysisServer &operator=(const AnalysisServer &) = delete;
+
+  /// Binds, listens and spawns the IO thread.  False + \p Error on
+  /// failure (bad socket path, unsupported platform).
+  bool start(std::string *Error);
+
+  /// Begins the graceful drain (async-signal-unsafe parts deferred to
+  /// the IO thread; callable from a signal-watcher thread).
+  void requestStop();
+
+  /// Blocks until the drain completes.  0 = clean (every in-flight
+  /// request finished or degraded, every session flushed); 1 = one or
+  /// more session cache flushes failed.
+  int waitForDrain();
+
+  /// True once requestStop() has been observed.
+  bool draining() const { return Draining.load(); }
+
+  const ServerCounters &counters() const { return Counters; }
+  SessionManager &sessions() { return Sessions; }
+
+  /// The Stats-op JSON document: counters, session lifecycle, fault-
+  /// injection tallies.
+  std::string statsJson() const;
+
+private:
+  struct Connection {
+    int Fd = -1;
+    FrameReader Reader;
+    std::string WriteBuf;
+    std::deque<std::string> Pending; ///< decoded-not-yet-run payloads
+    std::string Client;              ///< registered name ("" before Hello)
+    bool Busy = false;               ///< one request on the pool
+    bool CloseAfterFlush = false;
+  };
+
+  void ioLoop();
+  /// Mutex held: starts the next pending request if idle.
+  void dispatchLocked(uint64_t ConnId, Connection &C);
+  /// Runs one request (worker thread); never throws.
+  void runRequest(uint64_t ConnId, std::string Payload, std::string Client);
+  Response execute(const Request &R, uint64_t ConnId, std::string &Client);
+  Response doUpdate(const Request &R, const std::string &Client);
+  Response doExplain(const Request &R, const std::string &Client);
+  Response doOnly(const Request &R, const std::string &Client);
+  /// Mutex held: drops the connection, releasing its name when safe.
+  void closeConnLocked(uint64_t ConnId);
+  void wake();
+  void logf(const char *Fmt, ...);
+
+  ServerConfig Config;
+  SessionManager Sessions;
+  ThreadPool Pool;
+  ServerCounters Counters;
+
+  std::mutex Mutex;
+  std::map<uint64_t, Connection> Conns;
+  std::map<std::string, uint64_t> NameOwners; ///< client name -> conn id
+  uint64_t NextConnId = 1;
+
+  int ListenFd = -1;
+  int WakeRead = -1, WakeWrite = -1;
+  std::thread IoThread;
+  std::atomic<bool> StopRequested{false};
+  std::atomic<bool> Draining{false};
+  std::atomic<bool> HardStop{false}; ///< drain deadline passed
+  std::atomic<bool> Started{false};
+  int DrainResult = 0;
+};
+
+} // namespace granlog
+
+#endif // GRANLOG_SERVER_SERVER_H

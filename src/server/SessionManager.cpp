@@ -1,0 +1,143 @@
+//===- server/SessionManager.cpp ------------------------------------------===//
+
+#include "server/SessionManager.h"
+
+#include "support/Io.h"
+
+#include <cctype>
+#include <filesystem>
+
+using namespace granlog;
+
+SessionLease::~SessionLease() {
+  if (Mgr)
+    Mgr->release(Client);
+}
+
+const std::string &SessionLease::cacheWarning() const {
+  return Session->cacheLoadWarning();
+}
+
+SessionManager::SessionManager(SessionManagerConfig Config)
+    : Config(std::move(Config)) {}
+
+std::string SessionManager::cacheDirFor(const std::string &Client) const {
+  if (Config.CacheRoot.empty())
+    return "";
+  // Sanitized name + content hash: readable for humans, collision-free
+  // for adversarial names ("../x" and ".._x" must not share a cache).
+  std::string Safe;
+  for (char C : Client.substr(0, 48))
+    Safe += (std::isalnum(static_cast<unsigned char>(C)) || C == '-' ||
+             C == '_')
+                ? C
+                : '_';
+  return (std::filesystem::path(Config.CacheRoot) /
+          (Safe + "-" + hex64(fnv1a64(Client))))
+      .string();
+}
+
+SessionLease SessionManager::lease(const std::string &Client) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Sessions.find(Client);
+  if (It == Sessions.end()) {
+    // Admission: make room first so the caps bound the steady state.
+    enforceCapsLocked(/*Admitting=*/true);
+    SessionOptions SO = Config.Template;
+    SO.CacheDir = cacheDirFor(Client);
+    Entry E;
+    E.Session = std::make_unique<AnalysisSession>(std::move(SO));
+    if (!E.Session->cacheLoadWarning().empty())
+      ++CorruptCacheLoads;
+    ++Admissions;
+    It = Sessions.emplace(Client, std::move(E)).first;
+    It->second.LruPos = Lru.insert(Lru.begin(), Client);
+  } else {
+    Lru.splice(Lru.begin(), Lru, It->second.LruPos);
+  }
+  ++It->second.Pins;
+  return SessionLease(this, It->second.Session.get(), Client);
+}
+
+void SessionManager::release(const std::string &Client) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Sessions.find(Client);
+  if (It == Sessions.end() || It->second.Pins == 0)
+    return;
+  --It->second.Pins;
+  // The request that just finished may have grown the session's store
+  // past the cap; shed LRU sessions (possibly this one) back under it.
+  if (It->second.Pins == 0)
+    enforceCapsLocked(/*Admitting=*/false);
+}
+
+bool SessionManager::evictOneLocked() {
+  // Walk cold-to-hot; the first unpinned session is the victim.
+  for (auto It = Lru.rbegin(); It != Lru.rend(); ++It) {
+    auto SIt = Sessions.find(*It);
+    if (SIt == Sessions.end() || SIt->second.Pins != 0)
+      continue;
+    std::string Error;
+    if (!SIt->second.Session->save(&Error))
+      ++FlushFailures;
+    Lru.erase(SIt->second.LruPos);
+    Sessions.erase(SIt);
+    ++Evictions;
+    return true;
+  }
+  ++EvictionsBlocked;
+  return false;
+}
+
+void SessionManager::enforceCapsLocked(bool Admitting) {
+  auto Over = [&] {
+    // When a new session is about to join, >= leaves it a free slot.
+    if (Config.MaxSessions &&
+        (Admitting ? Sessions.size() >= Config.MaxSessions
+                   : Sessions.size() > Config.MaxSessions))
+      return true;
+    if (Config.MaxStoreEntries) {
+      size_t Total = 0;
+      for (const auto &[Name, E] : Sessions)
+        Total += E.Session->storeSize();
+      if (Total > Config.MaxStoreEntries)
+        return true;
+    }
+    return false;
+  };
+  while (Over() && evictOneLocked())
+    ;
+}
+
+bool SessionManager::evictOne() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return evictOneLocked();
+}
+
+bool SessionManager::flushAll(std::string *Error) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  bool Ok = true;
+  for (auto &[Name, E] : Sessions) {
+    std::string SaveError;
+    if (!E.Session->save(&SaveError)) {
+      ++FlushFailures;
+      if (Ok && Error)
+        *Error = Name + ": " + SaveError;
+      Ok = false;
+    }
+  }
+  return Ok;
+}
+
+size_t SessionManager::liveSessions() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Sessions.size();
+}
+
+size_t SessionManager::totalStoreEntries() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  size_t Total = 0;
+  for (const auto &[Name, E] : Sessions)
+    Total += E.Session->storeSize();
+  return Total;
+}

@@ -1,0 +1,149 @@
+//===- server/SessionManager.h - Per-client session lifecycle -------------===//
+//
+// Part of GranLog; see DESIGN.md "Analysis server & fault injection".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// granlogd's session table: one AnalysisSession per client name, LRU-
+/// evicted under two configurable caps (live sessions, and total
+/// fingerprint-store entries — the sessions' dominant retained memory).
+/// Eviction is transparent to clients: a session's persistent solver
+/// cache is flushed to its per-client cache directory on the way out, so
+/// a re-admitted client re-warms from disk and its next update produces
+/// byte-identical output (warm == cold is the session contract) at the
+/// cost of re-running the analysis driver once.
+///
+/// Access is by RAII lease: a leased session is pinned and cannot be
+/// evicted mid-request; eviction only considers unpinned sessions, in
+/// least-recently-used order.  When every session is pinned the caps go
+/// soft (the admission succeeds and an "evict blocked" tick is counted)
+/// — degrading memory headroom is recoverable, deadlocking the request
+/// pool is not.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_SERVER_SESSIONMANAGER_H
+#define GRANLOG_SERVER_SESSIONMANAGER_H
+
+#include "core/AnalysisSession.h"
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace granlog {
+
+struct SessionManagerConfig {
+  /// Session options every client gets (Metric/Overhead/Jobs/Limits).
+  /// CacheDir is ignored: the manager derives one per client under
+  /// CacheRoot.
+  SessionOptions Template;
+  /// LRU cap on live sessions (0 = unlimited).
+  size_t MaxSessions = 64;
+  /// Cap on the sum of fingerprint-store entries across live sessions
+  /// (0 = unlimited); evicts LRU-first until under.
+  size_t MaxStoreEntries = 0;
+  /// Root directory for per-client persistent solver caches ("" = no
+  /// persistence: evicted sessions lose their solver cache too).
+  std::string CacheRoot;
+};
+
+class SessionManager;
+
+/// RAII pin on one client's session.  The referenced session stays
+/// valid (and unevictable) for the lease's lifetime.
+class SessionLease {
+public:
+  SessionLease(SessionLease &&O) noexcept
+      : Mgr(O.Mgr), Session(O.Session), Client(std::move(O.Client)) {
+    O.Mgr = nullptr;
+    O.Session = nullptr;
+  }
+  SessionLease(const SessionLease &) = delete;
+  SessionLease &operator=(const SessionLease &) = delete;
+  SessionLease &operator=(SessionLease &&) = delete;
+  ~SessionLease();
+
+  AnalysisSession &session() { return *Session; }
+  /// Non-empty when this admission found a corrupt/mismatched persistent
+  /// cache file (the session started fresh; structured diagnostic).
+  const std::string &cacheWarning() const;
+
+private:
+  friend class SessionManager;
+  SessionLease(SessionManager *Mgr, AnalysisSession *Session,
+               std::string Client)
+      : Mgr(Mgr), Session(Session), Client(std::move(Client)) {}
+
+  SessionManager *Mgr;
+  AnalysisSession *Session;
+  std::string Client;
+};
+
+class SessionManager {
+public:
+  explicit SessionManager(SessionManagerConfig Config);
+
+  /// The session for \p Client: created (re-warming from its cache
+  /// directory) on first touch or after eviction, pinned for the lease's
+  /// lifetime, LRU-touched.  Admission of a new session enforces the
+  /// caps by evicting unpinned LRU victims first.
+  SessionLease lease(const std::string &Client);
+
+  /// Evicts the least-recently-used unpinned session: best-effort cache
+  /// flush, then destruction.  Returns false when nothing is evictable.
+  bool evictOne();
+
+  /// Flushes every live session's solver cache to disk (drain path).
+  /// Returns false and fills \p Error with the first failure.
+  bool flushAll(std::string *Error = nullptr);
+
+  /// The per-client cache directory ("" without a CacheRoot).  Client
+  /// names are arbitrary bytes; directory names are sanitized and made
+  /// collision-free with a content-hash suffix.
+  std::string cacheDirFor(const std::string &Client) const;
+
+  size_t liveSessions() const;
+  /// Sum of storeSize() over live sessions.
+  size_t totalStoreEntries() const;
+  uint64_t evictions() const { return Evictions; }
+  uint64_t evictionsBlocked() const { return EvictionsBlocked; }
+  uint64_t admissions() const { return Admissions; }
+  /// Sessions whose admission found a corrupt persistent cache file.
+  uint64_t corruptCacheLoads() const { return CorruptCacheLoads; }
+  /// Cache-flush failures during eviction/flushAll (the session still
+  /// evicts; the next admission just starts colder).
+  uint64_t flushFailures() const { return FlushFailures; }
+
+private:
+  friend class SessionLease;
+
+  struct Entry {
+    std::unique_ptr<AnalysisSession> Session;
+    unsigned Pins = 0;
+    std::list<std::string>::iterator LruPos; ///< into Lru (front = hottest)
+  };
+
+  void release(const std::string &Client);
+  /// Mutex held.  Evicts unpinned LRU sessions until under both caps;
+  /// stops early when only pinned sessions remain.
+  void enforceCapsLocked(bool Admitting);
+  bool evictOneLocked();
+
+  SessionManagerConfig Config;
+  mutable std::mutex Mutex;
+  std::map<std::string, Entry> Sessions;
+  std::list<std::string> Lru; ///< most recently used first
+  uint64_t Evictions = 0;
+  uint64_t EvictionsBlocked = 0;
+  uint64_t Admissions = 0;
+  uint64_t CorruptCacheLoads = 0;
+  uint64_t FlushFailures = 0;
+};
+
+} // namespace granlog
+
+#endif // GRANLOG_SERVER_SESSIONMANAGER_H

@@ -1,0 +1,167 @@
+//===- support/FaultInject.cpp --------------------------------------------===//
+
+#include "support/FaultInject.h"
+
+#include "support/Io.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+using namespace granlog;
+
+static std::atomic<FaultInjector *> GlobalInjector{nullptr};
+
+FaultInjector *granlog::faultInjector() {
+  return GlobalInjector.load(std::memory_order_acquire);
+}
+
+void granlog::setFaultInjector(FaultInjector *F) {
+  GlobalInjector.store(F, std::memory_order_release);
+}
+
+FaultInjector::FaultInjector(uint64_t Seed, uint64_t Rate)
+    : Seed(Seed), Rate(Rate) {}
+
+std::unique_ptr<FaultInjector> FaultInjector::fromSpec(std::string_view Spec,
+                                                       std::string *Error) {
+  if (Spec.empty() || Spec == "off")
+    return nullptr;
+  uint64_t Seed = 1;
+  uint64_t Rate = 1;
+  std::vector<std::string> Sites;
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    std::string_view Part = Spec.substr(
+        Pos, Comma == std::string_view::npos ? Comma : Comma - Pos);
+    Pos = Comma == std::string_view::npos ? Spec.size() : Comma + 1;
+    size_t Eq = Part.find('=');
+    if (Eq == std::string_view::npos) {
+      if (Error)
+        *Error = "fault spec part '" + std::string(Part) +
+                 "' is not key=value";
+      return nullptr;
+    }
+    std::string_view Key = Part.substr(0, Eq);
+    std::string Value(Part.substr(Eq + 1));
+    if (Key == "seed" || Key == "rate") {
+      char *End = nullptr;
+      uint64_t Parsed = std::strtoull(Value.c_str(), &End, 10);
+      if (Value.empty() || !End || *End != '\0') {
+        if (Error)
+          *Error = "fault spec " + std::string(Key) + " '" + Value +
+                   "' is not a number";
+        return nullptr;
+      }
+      (Key == "seed" ? Seed : Rate) = Parsed;
+    } else if (Key == "sites") {
+      size_t P = 0;
+      while (P <= Value.size()) {
+        size_t Bar = Value.find('|', P);
+        std::string Site = Value.substr(
+            P, Bar == std::string::npos ? Bar : Bar - P);
+        if (!Site.empty())
+          Sites.push_back(std::move(Site));
+        if (Bar == std::string::npos)
+          break;
+        P = Bar + 1;
+      }
+    } else {
+      if (Error)
+        *Error = "fault spec key '" + std::string(Key) +
+                 "' is not seed/rate/sites";
+      return nullptr;
+    }
+  }
+  auto F = std::make_unique<FaultInjector>(Seed, Rate);
+  for (std::string &S : Sites)
+    F->armSite(std::move(S));
+  return F;
+}
+
+std::string FaultInjector::spec() const {
+  std::string S = "seed=" + std::to_string(Seed) +
+                  ",rate=" + std::to_string(Rate);
+  if (!Sites.empty()) {
+    S += ",sites=";
+    for (size_t I = 0; I != Sites.size(); ++I) {
+      if (I)
+        S += '|';
+      S += Sites[I];
+    }
+  }
+  return S;
+}
+
+void FaultInjector::armSite(std::string Site) {
+  Sites.push_back(std::move(Site));
+}
+
+bool FaultInjector::armed(std::string_view Site) const {
+  if (Sites.empty())
+    return true;
+  return std::find(Sites.begin(), Sites.end(), Site) != Sites.end();
+}
+
+bool FaultInjector::decide(std::string_view Site, uint64_t N) const {
+  if (Rate == 0)
+    return false;
+  uint64_t H = fnv1a64Word(fnv1a64(Site, Seed ^ Fnv1a64Basis), N);
+  return H % Rate == 0;
+}
+
+void FaultInjector::count(std::string_view Site) {
+  auto It = Injected.find(Site);
+  if (It == Injected.end())
+    Injected.emplace(std::string(Site), 1);
+  else
+    ++It->second;
+}
+
+bool FaultInjector::shouldFail(std::string_view Site) {
+  if (!armed(Site))
+    return false;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Occurrences.find(Site);
+  uint64_t N = 0;
+  if (It == Occurrences.end())
+    Occurrences.emplace(std::string(Site), 1);
+  else
+    N = It->second++;
+  if (!decide(Site, N))
+    return false;
+  count(Site);
+  return true;
+}
+
+bool FaultInjector::shouldFail(std::string_view Site, uint64_t Key) {
+  if (!armed(Site))
+    return false;
+  // Keyed decisions skip the occurrence counter on purpose: the result
+  // must be the same no matter how many other decisions ran first.
+  if (!decide(Site, Key ^ 0x6b6579ULL)) // "key"
+    return false;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  count(Site);
+  return true;
+}
+
+uint64_t FaultInjector::injected(std::string_view Site) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Injected.find(Site);
+  return It == Injected.end() ? 0 : It->second;
+}
+
+uint64_t FaultInjector::totalInjected() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  uint64_t Total = 0;
+  for (const auto &[Site, N] : Injected)
+    Total += N;
+  return Total;
+}
+
+std::vector<std::pair<std::string, uint64_t>> FaultInjector::counts() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return {Injected.begin(), Injected.end()};
+}

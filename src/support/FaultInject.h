@@ -1,0 +1,125 @@
+//===- support/FaultInject.h - Deterministic fault injection --------------===//
+//
+// Part of GranLog; see DESIGN.md "Analysis server & fault injection".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded, site-keyed fault injection for robustness testing.  Every
+/// place that can fail in production — file writes, socket reads, worker
+/// tasks, shard child processes — carries a named *injection site*; when
+/// an injector is installed, each site consults it and fails
+/// deterministically as a pure function of (seed, site, occurrence) or
+/// (seed, site, key).  The same spec therefore injects the same faults
+/// on every run, platform and build mode, which makes "survives faults"
+/// a regression-testable claim instead of an assertion.
+///
+/// When no injector is installed (the default, and the only production
+/// configuration) every site costs exactly one null-pointer check,
+/// mirroring the StatsRegistry / Tracer idiom: hot paths stay hot.
+///
+/// Sites wired in this repo (see DESIGN.md for the full table):
+///   io.write.open    writeFileAtomic: temp file refuses to open
+///   io.write.short   writeFileAtomic: write fails halfway (temp removed)
+///   io.write.rename  writeFileAtomic: rename into place fails
+///   io.write.torn    writeFileAtomic: simulates a crashed pre-atomic
+///                    writer — half the bytes land at the *target* path
+///   shard.crash      ShardRunner: worker process exits before reporting
+///   server.worker.throw   granlogd: request task throws mid-execution
+///   server.alloc     granlogd: request handling hits bad_alloc
+///   net.read.short   granlogd: socket reads capped at one byte
+///   net.write.short  granlogd: socket writes capped at one byte
+///   client.slow      granload: client dribbles request bytes slowly
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRANLOG_SUPPORT_FAULTINJECT_H
+#define GRANLOG_SUPPORT_FAULTINJECT_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace granlog {
+
+class FaultInjector {
+public:
+  /// \p Rate N injects on (deterministically) every Nth-ish decision:
+  /// a decision fires when hash(seed, site, n) % N == 0.  Rate 1 fires
+  /// always, rate 0 never.
+  FaultInjector(uint64_t Seed, uint64_t Rate);
+
+  /// Parses "seed=S,rate=R,sites=a|b|c" (any order, every part optional;
+  /// no sites= part arms every site).  Returns null and fills \p Error
+  /// on a malformed spec.  "off" / "" yield a null injector (no error).
+  static std::unique_ptr<FaultInjector> fromSpec(std::string_view Spec,
+                                                 std::string *Error);
+
+  /// Renders this injector back as a canonical spec string, so a parent
+  /// process (granload) can forward its configuration to a child
+  /// (granlogd) over argv.
+  std::string spec() const;
+
+  /// Restricts injection to \p Site (callable repeatedly; no calls =
+  /// every site armed).
+  void armSite(std::string Site);
+
+  /// Whether this call should fail: a pure function of (seed, site, n)
+  /// where n is the per-site occurrence counter.  Thread-safe; counts
+  /// every injected fault per site.
+  bool shouldFail(std::string_view Site);
+
+  /// Keyed variant: a pure function of (seed, site, key), independent of
+  /// call order — used where the decision must be stable per entity
+  /// (e.g. per shard index, per client index) rather than per occurrence.
+  bool shouldFail(std::string_view Site, uint64_t Key);
+
+  /// Faults injected at \p Site so far.
+  uint64_t injected(std::string_view Site) const;
+
+  /// Total faults injected across all sites.
+  uint64_t totalInjected() const;
+
+  /// Per-site injection counts (sorted), for error-taxonomy reports.
+  std::vector<std::pair<std::string, uint64_t>> counts() const;
+
+  uint64_t seed() const { return Seed; }
+  uint64_t rate() const { return Rate; }
+
+private:
+  bool armed(std::string_view Site) const;
+  bool decide(std::string_view Site, uint64_t N) const;
+  void count(std::string_view Site);
+
+  uint64_t Seed;
+  uint64_t Rate;
+  std::vector<std::string> Sites; ///< empty = all sites armed
+  mutable std::mutex Mutex;
+  std::map<std::string, uint64_t, std::less<>> Occurrences;
+  std::map<std::string, uint64_t, std::less<>> Injected;
+};
+
+/// The process-global injector (null = injection off).  Not owned: the
+/// installer keeps the object alive for the duration.
+FaultInjector *faultInjector();
+void setFaultInjector(FaultInjector *F);
+
+/// One-null-check fault decision; false whenever injection is off.
+inline bool faultPoint(std::string_view Site) {
+  FaultInjector *F = faultInjector();
+  return F && F->shouldFail(Site);
+}
+
+/// Keyed one-null-check fault decision (stable per \p Key).
+inline bool faultPointKeyed(std::string_view Site, uint64_t Key) {
+  FaultInjector *F = faultInjector();
+  return F && F->shouldFail(Site, Key);
+}
+
+} // namespace granlog
+
+#endif // GRANLOG_SUPPORT_FAULTINJECT_H

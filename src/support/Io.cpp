@@ -2,13 +2,20 @@
 
 #include "support/Io.h"
 
+#include "support/FaultInject.h"
+
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
+#include <system_error>
 
 #if defined(_WIN32)
 #include <process.h>
 #else
+#include <signal.h>
 #include <unistd.h>
 #endif
 
@@ -22,9 +29,71 @@ static long currentPid() {
 #endif
 }
 
+/// Whether the process with id \p Pid is still alive.  On POSIX,
+/// kill(pid, 0) probes existence without sending a signal; EPERM means
+/// "exists but not ours", which still counts as alive.  Unknowable
+/// platforms report alive, so sweeping stays conservative.
+static bool processAlive(long Pid) {
+#if defined(_WIN32)
+  return true;
+#else
+  if (Pid <= 0)
+    return false;
+  if (kill(static_cast<pid_t>(Pid), 0) == 0)
+    return true;
+  return errno != ESRCH;
+#endif
+}
+
+size_t granlog::sweepStaleTemps(const std::string &Path) {
+  namespace fs = std::filesystem;
+  fs::path Target(Path);
+  fs::path Dir = Target.parent_path();
+  if (Dir.empty())
+    Dir = ".";
+  std::string Prefix = Target.filename().string() + ".tmp.";
+  size_t Removed = 0;
+  std::error_code EC;
+  for (fs::directory_iterator It(Dir, EC), End; !EC && It != End;
+       It.increment(EC)) {
+    std::string Name = It->path().filename().string();
+    if (Name.rfind(Prefix, 0) != 0)
+      continue;
+    // Name is "<file>.tmp.<pid>.<n>"; a temp is stale when <pid> is not
+    // a live process (a crashed writer) or the name does not parse.
+    std::string Rest = Name.substr(Prefix.size());
+    size_t Dot = Rest.find('.');
+    char *EndPtr = nullptr;
+    std::string PidText = Rest.substr(0, Dot);
+    long Pid = std::strtol(PidText.c_str(), &EndPtr, 10);
+    bool Parsed = EndPtr && *EndPtr == '\0' && !PidText.empty();
+    if (Parsed && processAlive(Pid))
+      continue;
+    std::error_code RemoveEC;
+    if (fs::remove(It->path(), RemoveEC))
+      ++Removed;
+  }
+  return Removed;
+}
+
 bool granlog::writeFileAtomic(const std::string &Path,
                               std::string_view Contents,
                               std::string *Error) {
+  // Crashed writers from previous processes must not accumulate residue
+  // next to the target; live writers' temps are untouched.
+  sweepStaleTemps(Path);
+
+  if (faultPoint("io.write.torn")) {
+    // A crashed pre-atomic writer: half a document lands at the target
+    // itself.  Readers must reject it (torn-cache recovery path).
+    std::ofstream Torn(Path, std::ios::binary | std::ios::trunc);
+    Torn.write(Contents.data(),
+               static_cast<std::streamsize>(Contents.size() / 2));
+    if (Error)
+      *Error = Path + ": fault-injected torn write";
+    return false;
+  }
+
   // Unique per process and per call: two shard workers (or two threads)
   // flushing the same cache file must not interleave bytes in a shared
   // temp file — each writes its own and the renames serialize.
@@ -33,9 +102,20 @@ bool granlog::writeFileAtomic(const std::string &Path,
                     std::to_string(Counter.fetch_add(1));
   {
     std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
-    if (!Out.is_open()) {
+    if (!Out.is_open() || faultPoint("io.write.open")) {
       if (Error)
         *Error = Tmp + ": cannot open for writing";
+      std::remove(Tmp.c_str());
+      return false;
+    }
+    if (faultPoint("io.write.short")) {
+      Out.write(Contents.data(),
+                static_cast<std::streamsize>(Contents.size() / 2));
+      Out.flush();
+      if (Error)
+        *Error = Tmp + ": write failed (fault-injected short write)";
+      Out.close();
+      std::remove(Tmp.c_str());
       return false;
     }
     Out.write(Contents.data(),
@@ -44,11 +124,13 @@ bool granlog::writeFileAtomic(const std::string &Path,
     if (!Out) {
       if (Error)
         *Error = Tmp + ": write failed";
+      Out.close();
       std::remove(Tmp.c_str());
       return false;
     }
   }
-  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+  if (faultPoint("io.write.rename") ||
+      std::rename(Tmp.c_str(), Path.c_str()) != 0) {
     if (Error)
       *Error = Path + ": rename from temp file failed";
     std::remove(Tmp.c_str());

@@ -30,9 +30,25 @@ namespace granlog {
 /// process and per call, so concurrent writers — threads or processes —
 /// never clobber each other's in-flight bytes; the last rename wins and
 /// every reader sees some complete document.  Returns false (filling
-/// \p Error when non-null) on any I/O failure; \p Path is then untouched.
+/// \p Error when non-null) on any I/O failure; \p Path is then untouched
+/// and the temp file is unlinked.  Stale temps for \p Path left behind
+/// by *crashed* writers (their pid is no longer alive) are swept before
+/// writing, so residue never accumulates.
+///
+/// Fault-injection sites (support/FaultInject): "io.write.open",
+/// "io.write.short", "io.write.rename" fail the respective step (the
+/// temp is still cleaned up); "io.write.torn" simulates a crashed
+/// pre-atomic writer by leaving half the bytes at \p Path itself.
 bool writeFileAtomic(const std::string &Path, std::string_view Contents,
                      std::string *Error = nullptr);
+
+/// Removes "<Path>.tmp.<pid>.<n>" siblings whose writing process is no
+/// longer alive (or whose name is malformed).  Temps of live processes —
+/// including this one — are in-flight writes and are left alone.
+/// Returns the number of files removed.  Also callable on its own:
+/// granlogd sweeps its cache directory on startup to recover from
+/// crashed predecessors.
+size_t sweepStaleTemps(const std::string &Path);
 
 /// The FNV-1a 64-bit offset basis (the hash of the empty string).
 inline constexpr uint64_t Fnv1a64Basis = 0xcbf29ce484222325ULL;

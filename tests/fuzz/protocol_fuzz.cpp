@@ -1,0 +1,124 @@
+//===- tests/fuzz/protocol_fuzz.cpp - Wire-protocol fuzz harness ----------===//
+//
+// libFuzzer entry point for granlogd's request decoder and frame
+// reassembler.  The contract under test: NO byte sequence a client sends
+// may crash the decoder, make it read out of bounds, or produce a
+// Request that re-encodes to something the decoder rejects.  Malformed
+// payloads must come back as nullopt — the server turns that into a
+// Malformed response and closes the connection.
+//
+// The harness drives two layers:
+//   - decodeRequest over the raw input as one payload (the pure decode
+//     function the server calls per frame), round-tripping any accepted
+//     request through encodeRequest/decodeRequest;
+//   - FrameReader over the input as a byte *stream*, appended in chunks
+//     whose sizes are derived from the input itself, so short reads,
+//     torn length prefixes and poisoned-reader paths all get explored.
+//
+// Built two ways, like reader_fuzz.cpp:
+//   - with -DGRANLOG_FUZZ=ON (Clang only): a real libFuzzer target;
+//   - always: a standalone seed replayer registered as a plain test, so
+//     the harness never rots and every checked-in seed stays crash-free.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Protocol.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+using namespace granlog;
+
+namespace {
+
+void fuzzDecode(std::string_view Payload) {
+  std::optional<Request> R = decodeRequest(Payload);
+  if (!R)
+    return;
+  // Accepted requests round-trip: strict decode means encode(decode(x))
+  // re-decodes to the same request.
+  std::string Frame = encodeRequest(*R);
+  std::optional<Request> Again =
+      decodeRequest(std::string_view(Frame).substr(4));
+  if (!Again || Again->Kind != R->Kind || Again->Id != R->Id ||
+      Again->Name != R->Name || Again->Pred != R->Pred ||
+      Again->Source != R->Source)
+    __builtin_trap();
+
+  // Responses share the string codec; round-trip one built from the
+  // request's fields to cover the response path too.
+  Response Resp;
+  Resp.St = Status::LoadError;
+  Resp.Id = R->Id;
+  Resp.Degradations = static_cast<uint32_t>(R->Source.size());
+  Resp.Body = R->Name + R->Pred;
+  std::string RFrame = encodeResponse(Resp);
+  std::optional<Response> RAgain =
+      decodeResponse(std::string_view(RFrame).substr(4));
+  if (!RAgain || RAgain->Body != Resp.Body)
+    __builtin_trap();
+}
+
+void fuzzStream(std::string_view Stream) {
+  // Feed the input as a socket would: in chunks of varying size, the
+  // sizes themselves taken from the input bytes (1..64).  A tiny frame
+  // cap makes the overflow/poisoning path reachable from small inputs.
+  FrameReader Reader(/*MaxFrame=*/512);
+  size_t Pos = 0;
+  size_t Frames = 0;
+  while (Pos < Stream.size()) {
+    size_t Chunk = 1 + static_cast<uint8_t>(Stream[Pos]) % 64;
+    Chunk = std::min(Chunk, Stream.size() - Pos);
+    Reader.append(Stream.data() + Pos, Chunk);
+    Pos += Chunk;
+    while (std::optional<std::string> Payload = Reader.next()) {
+      (void)decodeRequest(*Payload);
+      if (++Frames > 4096)
+        __builtin_trap(); // more frames than bytes: reassembly bug
+    }
+    if (Reader.overflowed())
+      break; // poisoned: the server drops the connection here
+  }
+}
+
+void fuzzOne(const uint8_t *Data, size_t Size) {
+  std::string_view Input(reinterpret_cast<const char *>(Data), Size);
+  fuzzDecode(Input);
+  fuzzStream(Input);
+}
+
+} // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
+  fuzzOne(Data, Size);
+  return 0;
+}
+
+#ifdef GRANLOG_FUZZ_STANDALONE
+// Seed replayer for toolchains without libFuzzer: run every file named on
+// the command line through the harness once.
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+int main(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I) {
+    std::FILE *F = std::fopen(argv[I], "rb");
+    if (!F) {
+      std::fprintf(stderr, "error: cannot open seed %s\n", argv[I]);
+      return 1;
+    }
+    std::vector<uint8_t> Bytes;
+    uint8_t Buf[4096];
+    for (size_t N; (N = std::fread(Buf, 1, sizeof Buf, F)) != 0;)
+      Bytes.insert(Bytes.end(), Buf, Buf + N);
+    std::fclose(F);
+    LLVMFuzzerTestOneInput(Bytes.data(), Bytes.size());
+    std::printf("ok: %s (%zu bytes)\n", argv[I], Bytes.size());
+  }
+  return 0;
+}
+#endif

@@ -1,0 +1,686 @@
+//===- tests/server_test.cpp - granlogd protocol, lifecycle, faults -------===//
+//
+// The analysis server's robustness contract, tested at three layers:
+//
+//  - wire protocol: strict encode/decode round-trips, every malformed
+//    shape rejected, frame reassembly across arbitrary read boundaries;
+//  - session lifecycle: pinned LRU eviction under caps, and the
+//    evict-then-readmit byte-identity guarantee (a client whose session
+//    was evicted and re-warmed from its persistent cache sees exactly
+//    the reports a never-evicted session would have produced, at any
+//    --jobs setting);
+//  - the server itself, over a real AF_UNIX socket: per-client
+//    isolation, protocol-error handling, fault-injected worker
+//    exceptions surfacing as Fault responses (never a dead server),
+//    graceful drain, and startup crash recovery.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Server.h"
+
+#include "program/Generator.h"
+#include "program/Program.h"
+#include "support/Diagnostics.h"
+#include "support/FaultInject.h"
+#include "support/Json.h"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <gtest/gtest.h>
+
+#if !defined(_WIN32)
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#define GRANLOG_TEST_SOCKETS 1
+#endif
+
+using namespace granlog;
+
+namespace {
+
+/// Installs a fault injector for one test scope and always uninstalls.
+struct ScopedInjector {
+  explicit ScopedInjector(std::unique_ptr<FaultInjector> F)
+      : Injector(std::move(F)) {
+    setFaultInjector(Injector.get());
+  }
+  ~ScopedInjector() { setFaultInjector(nullptr); }
+  std::unique_ptr<FaultInjector> Injector;
+};
+
+std::filesystem::path freshDir(const char *Name) {
+  std::filesystem::path Dir =
+      std::filesystem::temp_directory_path() /
+      (std::string(Name) + "-" + std::to_string(::getpid()));
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+  return Dir;
+}
+
+/// Strips the length prefix off a full frame, returning the payload.
+std::string payloadOf(const std::string &Frame) {
+  EXPECT_GE(Frame.size(), 4u);
+  return Frame.substr(4);
+}
+
+//===----------------------------------------------------------------------===//
+// Wire protocol
+//===----------------------------------------------------------------------===//
+
+TEST(Protocol, RequestRoundTripsEveryOp) {
+  Request Hello;
+  Hello.Kind = Op::Hello;
+  Hello.Id = 7;
+  Hello.Name = "client-a";
+  Request Update;
+  Update.Kind = Op::Update;
+  Update.Id = 8;
+  Update.Source = "p(0).\np(s(X)) :- p(X).\n";
+  Request Explain;
+  Explain.Kind = Op::Explain;
+  Explain.Id = 9;
+  Explain.Pred = "p";
+  Request Only;
+  Only.Kind = Op::Only;
+  Only.Id = 10;
+  Only.Pred = "p/1";
+  Only.Source = "p(0).\n";
+  Request Stats;
+  Stats.Kind = Op::Stats;
+  Stats.Id = 11;
+  Request Close;
+  Close.Kind = Op::Close;
+  Close.Id = 12;
+
+  for (const Request *R : {&Hello, &Update, &Explain, &Only, &Stats,
+                           &Close}) {
+    std::optional<Request> Decoded = decodeRequest(payloadOf(encodeRequest(*R)));
+    ASSERT_TRUE(Decoded.has_value());
+    EXPECT_EQ(static_cast<int>(Decoded->Kind), static_cast<int>(R->Kind));
+    EXPECT_EQ(Decoded->Id, R->Id);
+    EXPECT_EQ(Decoded->Name, R->Name);
+    EXPECT_EQ(Decoded->Pred, R->Pred);
+    EXPECT_EQ(Decoded->Source, R->Source);
+  }
+}
+
+TEST(Protocol, ResponseRoundTrips) {
+  Response R;
+  R.St = Status::LoadError;
+  R.Id = 0xdeadbeef;
+  R.Degradations = 3;
+  R.Body = std::string("diag\0with nul", 13);
+  std::optional<Response> D = decodeResponse(payloadOf(encodeResponse(R)));
+  ASSERT_TRUE(D.has_value());
+  EXPECT_EQ(static_cast<int>(D->St), static_cast<int>(R.St));
+  EXPECT_EQ(D->Id, R.Id);
+  EXPECT_EQ(D->Degradations, R.Degradations);
+  EXPECT_EQ(D->Body, R.Body);
+}
+
+TEST(Protocol, MalformedPayloadsRejected) {
+  EXPECT_FALSE(decodeRequest("").has_value());
+  EXPECT_FALSE(decodeRequest("\x01").has_value()); // truncated id
+  EXPECT_FALSE(decodeRequest(std::string("\x63\0\0\0\0", 5))
+                   .has_value()); // unknown opcode
+  // Stats with trailing garbage: strict decode, not an extension point.
+  Request Stats;
+  Stats.Kind = Op::Stats;
+  std::string P = payloadOf(encodeRequest(Stats)) + "x";
+  EXPECT_FALSE(decodeRequest(P).has_value());
+  // String length overrunning the payload.
+  std::string Hello("\x01\0\0\0\0\xff\xff\xff\x7f", 9);
+  EXPECT_FALSE(decodeRequest(Hello).has_value());
+  // Response with an out-of-range status byte.
+  Response R;
+  std::string RP = payloadOf(encodeResponse(R));
+  RP[0] = 0x7f;
+  EXPECT_FALSE(decodeResponse(RP).has_value());
+}
+
+TEST(Protocol, FrameReaderReassemblesByteAtATime) {
+  Request A;
+  A.Kind = Op::Hello;
+  A.Id = 1;
+  A.Name = "x";
+  Request B;
+  B.Kind = Op::Update;
+  B.Id = 2;
+  B.Source = "p(0).";
+  std::string Stream = encodeRequest(A) + encodeRequest(B);
+
+  FrameReader Reader;
+  std::vector<std::string> Payloads;
+  for (char C : Stream) {
+    Reader.append(&C, 1);
+    while (std::optional<std::string> P = Reader.next())
+      Payloads.push_back(std::move(*P));
+  }
+  ASSERT_EQ(Payloads.size(), 2u);
+  EXPECT_EQ(decodeRequest(Payloads[0])->Name, "x");
+  EXPECT_EQ(decodeRequest(Payloads[1])->Source, "p(0).");
+  EXPECT_FALSE(Reader.overflowed());
+  EXPECT_EQ(Reader.buffered(), 0u);
+}
+
+TEST(Protocol, FrameReaderPoisonsOnBadLength) {
+  FrameReader Zero;
+  Zero.append("\0\0\0\0", 4); // zero-length frame
+  EXPECT_FALSE(Zero.next().has_value());
+  EXPECT_TRUE(Zero.overflowed());
+
+  FrameReader Huge(/*MaxFrame=*/64);
+  uint32_t Len = 65;
+  Huge.append(&Len, 4);
+  EXPECT_FALSE(Huge.next().has_value());
+  EXPECT_TRUE(Huge.overflowed());
+  // A poisoned reader stays poisoned: appends are ignored.
+  Huge.append("abcd", 4);
+  EXPECT_FALSE(Huge.next().has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Fault injector
+//===----------------------------------------------------------------------===//
+
+TEST(FaultInjector, DeterministicPerSeedSiteOccurrence) {
+  FaultInjector A(42, 3), B(42, 3);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.shouldFail("io.write.short"), B.shouldFail("io.write.short"));
+  EXPECT_GT(A.totalInjected(), 0u);
+  EXPECT_EQ(A.totalInjected(), B.totalInjected());
+  // A different seed gives a different decision sequence (with rate 3
+  // over 100 draws, identical sequences would be astonishing).
+  FaultInjector C(43, 3);
+  bool Differs = false;
+  FaultInjector A2(42, 3);
+  for (int I = 0; I != 100; ++I)
+    Differs |= (A2.shouldFail("io.write.short") !=
+                C.shouldFail("io.write.short"));
+  EXPECT_TRUE(Differs);
+}
+
+TEST(FaultInjector, KeyedDecisionsIgnoreCallOrder) {
+  FaultInjector A(7, 2), B(7, 2);
+  bool Forward[32], Backward[32];
+  for (uint64_t K = 0; K != 32; ++K)
+    Forward[K] = A.shouldFail("shard.crash", K);
+  for (uint64_t K = 32; K-- != 0;)
+    Backward[K] = B.shouldFail("shard.crash", K);
+  for (uint64_t K = 0; K != 32; ++K)
+    EXPECT_EQ(Forward[K], Backward[K]) << "key " << K;
+}
+
+TEST(FaultInjector, SpecParsesArmsAndRendersBack) {
+  std::string Error;
+  std::unique_ptr<FaultInjector> F = FaultInjector::fromSpec(
+      "seed=9,rate=4,sites=io.write.short|net.read.short", &Error);
+  ASSERT_TRUE(F) << Error;
+  EXPECT_EQ(Error, "");
+  EXPECT_EQ(F->seed(), 9u);
+  EXPECT_EQ(F->rate(), 4u);
+  // Unarmed sites never fire; armed ones follow the hash.
+  for (int I = 0; I != 50; ++I)
+    EXPECT_FALSE(F->shouldFail("server.worker.throw"));
+  // The rendered spec re-parses to the same configuration.
+  std::unique_ptr<FaultInjector> G =
+      FaultInjector::fromSpec(F->spec(), &Error);
+  ASSERT_TRUE(G) << Error;
+  EXPECT_EQ(G->seed(), F->seed());
+  EXPECT_EQ(G->rate(), F->rate());
+  EXPECT_EQ(G->spec(), F->spec());
+
+  EXPECT_FALSE(FaultInjector::fromSpec("off", &Error));
+  EXPECT_EQ(Error, "");
+  EXPECT_FALSE(FaultInjector::fromSpec("rate=banana", &Error));
+  EXPECT_NE(Error, "");
+}
+
+TEST(FaultInjector, NoInjectorMeansNoFaults) {
+  setFaultInjector(nullptr);
+  EXPECT_FALSE(faultPoint("io.write.short"));
+  EXPECT_FALSE(faultPointKeyed("shard.crash", 1));
+}
+
+//===----------------------------------------------------------------------===//
+// Session lifecycle
+//===----------------------------------------------------------------------===//
+
+SessionManagerConfig managerConfig(size_t MaxSessions,
+                                   const std::string &CacheRoot,
+                                   unsigned Jobs = 1) {
+  SessionManagerConfig C;
+  C.Template.Jobs = Jobs;
+  C.MaxSessions = MaxSessions;
+  C.CacheRoot = CacheRoot;
+  return C;
+}
+
+const SessionUpdate &updateWith(AnalysisSession &S, const std::string &Src) {
+  TermArena Arena;
+  Diagnostics Diags;
+  std::optional<Program> P = loadProgram(Src, Arena, Diags);
+  EXPECT_TRUE(P.has_value()) << Diags.str();
+  return S.update(*P);
+}
+
+TEST(SessionManager, LruEvictsColdestUnpinned) {
+  SessionManager Mgr(managerConfig(2, ""));
+  { SessionLease A = Mgr.lease("a"); }
+  { SessionLease B = Mgr.lease("b"); }
+  EXPECT_EQ(Mgr.liveSessions(), 2u);
+  { SessionLease C = Mgr.lease("c"); } // evicts "a", the coldest
+  EXPECT_EQ(Mgr.liveSessions(), 2u);
+  EXPECT_EQ(Mgr.evictions(), 1u);
+  EXPECT_EQ(Mgr.admissions(), 3u);
+  // Touching "b" then admitting "d" evicts "c", not "b".
+  { SessionLease B = Mgr.lease("b"); }
+  { SessionLease D = Mgr.lease("d"); }
+  EXPECT_EQ(Mgr.evictions(), 2u);
+  { SessionLease B = Mgr.lease("b"); }
+  EXPECT_EQ(Mgr.admissions(), 4u); // "b" survived: no re-admission
+}
+
+TEST(SessionManager, PinnedSessionsAreNotEvicted) {
+  SessionManager Mgr(managerConfig(1, ""));
+  SessionLease A = Mgr.lease("a"); // held: pinned
+  {
+    SessionLease B = Mgr.lease("b"); // cap says evict, but "a" is pinned
+    EXPECT_EQ(Mgr.liveSessions(), 2u);
+    EXPECT_GE(Mgr.evictionsBlocked(), 1u);
+  }
+  // "b" released and unpinned: the cap re-applies on release.
+  EXPECT_EQ(Mgr.liveSessions(), 1u);
+}
+
+TEST(SessionManager, AdversarialClientNamesGetDistinctCacheDirs) {
+  auto Root = freshDir("granlog-cachedirs");
+  SessionManager Mgr(managerConfig(4, Root.string()));
+  std::string A = Mgr.cacheDirFor("../x");
+  std::string B = Mgr.cacheDirFor(".._x");
+  EXPECT_NE(A, B);
+  // Sanitization keeps the directory inside the root.
+  EXPECT_EQ(A.rfind(Root.string(), 0), 0u);
+  std::filesystem::remove_all(Root);
+}
+
+/// Satellite 3: a session evicted under memory pressure and re-admitted
+/// (re-warming from its persistent cache) must produce byte-identical
+/// reports to a session that was never evicted — at any jobs setting.
+void evictReadmitByteIdentity(unsigned Jobs) {
+  auto Root = freshDir(Jobs == 1 ? "granlog-evict-j1" : "granlog-evict-j8");
+  GeneratedProgram G0 = generateProgram(11, 0);
+  GeneratedProgram G1 = generateProgram(11, 1);
+  std::string Rev0 = G0.Source;
+  std::string Rev1 = G0.Source + "\n" + G1.Source;
+
+  // Reference: one session, never evicted, no persistence.
+  SessionOptions SO;
+  SO.Jobs = Jobs;
+  AnalysisSession Reference(SO);
+  std::string Ref0 = updateWith(Reference, Rev0).Report;
+  std::string Ref1 = updateWith(Reference, Rev1).Report;
+  std::string Ref0Again = updateWith(Reference, Rev0).Report;
+  std::string RefExplain = Reference.last().ExplainAll;
+
+  // Managed: cap 1 session, so leasing "other" evicts "client" in
+  // between every step, flushing its solver cache to disk.
+  SessionManager Mgr(managerConfig(1, Root.string(), Jobs));
+  uint64_t DiskHits = 0;
+  {
+    SessionLease L = Mgr.lease("client");
+    EXPECT_EQ(L.cacheWarning(), "");
+    EXPECT_EQ(updateWith(L.session(), Rev0).Report, Ref0);
+  }
+  { SessionLease Other = Mgr.lease("other"); } // evicts "client"
+  EXPECT_GE(Mgr.evictions(), 1u);
+  {
+    SessionLease L = Mgr.lease("client"); // re-admitted from disk
+    EXPECT_EQ(L.cacheWarning(), "");
+    EXPECT_EQ(updateWith(L.session(), Rev1).Report, Ref1);
+    DiskHits = L.session().solverCache().diskHits();
+  }
+  { SessionLease Other = Mgr.lease("other"); } // evicts "client" again
+  {
+    SessionLease L = Mgr.lease("client");
+    const SessionUpdate &U = updateWith(L.session(), Rev0);
+    EXPECT_EQ(U.Report, Ref0Again);
+    EXPECT_EQ(L.session().last().ExplainAll, RefExplain);
+  }
+  // The re-warm actually came from the persistent cache, not a re-solve.
+  EXPECT_GT(DiskHits, 0u);
+  std::filesystem::remove_all(Root);
+}
+
+TEST(SessionManager, EvictReadmitByteIdenticalJobs1) {
+  evictReadmitByteIdentity(1);
+}
+
+TEST(SessionManager, EvictReadmitByteIdenticalJobs8) {
+  evictReadmitByteIdentity(8);
+}
+
+#if GRANLOG_TEST_SOCKETS
+
+//===----------------------------------------------------------------------===//
+// The server over a real socket
+//===----------------------------------------------------------------------===//
+
+/// A minimal blocking test client.
+struct TestClient {
+  int Fd = -1;
+  FrameReader Reader;
+
+  bool connect(const std::string &Path) {
+    sockaddr_un Addr{};
+    if (Path.size() >= sizeof(Addr.sun_path))
+      return false;
+    Addr.sun_family = AF_UNIX;
+    std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+    Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    return Fd >= 0 && ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                                sizeof(Addr)) == 0;
+  }
+
+  bool sendRaw(std::string_view Bytes) {
+    size_t Off = 0;
+    while (Off < Bytes.size()) {
+#if defined(MSG_NOSIGNAL)
+      ssize_t N = ::send(Fd, Bytes.data() + Off, Bytes.size() - Off,
+                         MSG_NOSIGNAL);
+#else
+      ssize_t N = ::send(Fd, Bytes.data() + Off, Bytes.size() - Off, 0);
+#endif
+      if (N <= 0)
+        return false;
+      Off += static_cast<size_t>(N);
+    }
+    return true;
+  }
+
+  std::optional<Response> exchange(const Request &R) {
+    if (!sendRaw(encodeRequest(R)))
+      return std::nullopt;
+    return recv();
+  }
+
+  std::optional<Response> recv() {
+    while (true) {
+      if (std::optional<std::string> P = Reader.next())
+        return decodeResponse(*P);
+      if (Reader.overflowed())
+        return std::nullopt;
+      char Buf[65536];
+      ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+      if (N <= 0)
+        return std::nullopt;
+      Reader.append(Buf, static_cast<size_t>(N));
+    }
+  }
+
+  /// True when the server closed the connection (EOF).
+  bool eofReached() {
+    char Buf[16];
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    return N == 0;
+  }
+
+  ~TestClient() {
+    if (Fd >= 0)
+      ::close(Fd);
+  }
+};
+
+std::string shortSocketPath(const char *Tag) {
+  return "/tmp/gl-" + std::to_string(::getpid()) + "-" + Tag + ".sock";
+}
+
+Request makeHello(const std::string &Name, uint32_t Id = 1) {
+  Request R;
+  R.Kind = Op::Hello;
+  R.Id = Id;
+  R.Name = Name;
+  return R;
+}
+
+Request makeUpdate(const std::string &Source, uint32_t Id) {
+  Request R;
+  R.Kind = Op::Update;
+  R.Id = Id;
+  R.Source = Source;
+  return R;
+}
+
+TEST(AnalysisServer, EndToEndSessionOverSocket) {
+  GeneratedProgram G = generateProgram(21, 0);
+  ServerConfig Config;
+  Config.SocketPath = shortSocketPath("e2e");
+  Config.Workers = 2;
+  AnalysisServer Server(Config);
+  std::string Error;
+  ASSERT_TRUE(Server.start(&Error)) << Error;
+
+  // The expected bodies, from a direct library session.
+  SessionOptions SO;
+  AnalysisSession Direct(SO);
+  std::string WantReport = updateWith(Direct, G.Source).Report;
+  std::string WantExplain = Direct.last().ExplainAll;
+
+  TestClient C;
+  ASSERT_TRUE(C.connect(Config.SocketPath));
+  std::optional<Response> R = C.exchange(makeHello("e2e-client"));
+  ASSERT_TRUE(R);
+  EXPECT_EQ(R->St, Status::Ok);
+  EXPECT_EQ(R->Body, "granlogd/1");
+
+  R = C.exchange(makeUpdate(G.Source, 2));
+  ASSERT_TRUE(R);
+  EXPECT_EQ(R->St, Status::Ok);
+  EXPECT_EQ(R->Id, 2u);
+  EXPECT_EQ(R->Body, WantReport);
+
+  Request Explain;
+  Explain.Kind = Op::Explain;
+  Explain.Id = 3;
+  R = C.exchange(Explain);
+  ASSERT_TRUE(R);
+  EXPECT_EQ(R->St, Status::Ok);
+  EXPECT_EQ(R->Body, WantExplain);
+
+  // A named explain returns exactly that predicate's block.
+  Explain.Id = 4;
+  Explain.Pred = G.EntryPred;
+  R = C.exchange(Explain);
+  ASSERT_TRUE(R);
+  EXPECT_EQ(R->St, Status::Ok);
+  EXPECT_NE(R->Body, "");
+  EXPECT_EQ(R->Body.rfind(G.EntryPred + "/", 0), 0u);
+  EXPECT_NE(WantExplain.find(R->Body.substr(0, R->Body.find('\n'))),
+            std::string::npos);
+
+  Request Only;
+  Only.Kind = Op::Only;
+  Only.Id = 5;
+  Only.Pred = G.EntryPred + "/" + std::to_string(G.EntryArity);
+  Only.Source = G.Source;
+  R = C.exchange(Only);
+  ASSERT_TRUE(R);
+  EXPECT_EQ(R->St, Status::Ok);
+  EXPECT_NE(R->Body.find(G.EntryPred), std::string::npos);
+
+  Request Stats;
+  Stats.Kind = Op::Stats;
+  Stats.Id = 6;
+  R = C.exchange(Stats);
+  ASSERT_TRUE(R);
+  EXPECT_EQ(R->St, Status::Ok);
+  EXPECT_TRUE(jsonValidate(R->Body)) << R->Body;
+
+  Request Close;
+  Close.Kind = Op::Close;
+  Close.Id = 7;
+  R = C.exchange(Close);
+  ASSERT_TRUE(R);
+  EXPECT_EQ(R->St, Status::Ok);
+  EXPECT_TRUE(C.eofReached());
+
+  Server.requestStop();
+  EXPECT_EQ(Server.waitForDrain(), 0);
+  EXPECT_FALSE(std::filesystem::exists(Config.SocketPath));
+}
+
+TEST(AnalysisServer, IsolationAndProtocolErrors) {
+  ServerConfig Config;
+  Config.SocketPath = shortSocketPath("iso");
+  AnalysisServer Server(Config);
+  std::string Error;
+  ASSERT_TRUE(Server.start(&Error)) << Error;
+
+  // Request before Hello: NoSession.
+  {
+    TestClient C;
+    ASSERT_TRUE(C.connect(Config.SocketPath));
+    std::optional<Response> R = C.exchange(makeUpdate("p(0).", 1));
+    ASSERT_TRUE(R);
+    EXPECT_EQ(R->St, Status::NoSession);
+  }
+  // Duplicate client name: second connection rejected, first unaffected.
+  {
+    TestClient A, B;
+    ASSERT_TRUE(A.connect(Config.SocketPath));
+    ASSERT_TRUE(B.connect(Config.SocketPath));
+    EXPECT_EQ(A.exchange(makeHello("dup"))->St, Status::Ok);
+    EXPECT_EQ(B.exchange(makeHello("dup"))->St, Status::NoSession);
+    EXPECT_EQ(A.exchange(makeUpdate("p(0).", 2))->St, Status::Ok);
+  }
+  // Explain before any update: Stale, with guidance.
+  {
+    TestClient C;
+    ASSERT_TRUE(C.connect(Config.SocketPath));
+    EXPECT_EQ(C.exchange(makeHello("fresh"))->St, Status::Ok);
+    Request Explain;
+    Explain.Kind = Op::Explain;
+    Explain.Id = 2;
+    std::optional<Response> R = C.exchange(Explain);
+    ASSERT_TRUE(R);
+    EXPECT_EQ(R->St, Status::Stale);
+  }
+  // Unparseable program: LoadError with the reader's diagnostics.
+  {
+    TestClient C;
+    ASSERT_TRUE(C.connect(Config.SocketPath));
+    EXPECT_EQ(C.exchange(makeHello("loader"))->St, Status::Ok);
+    std::optional<Response> R = C.exchange(makeUpdate(":-(((", 2));
+    ASSERT_TRUE(R);
+    EXPECT_EQ(R->St, Status::LoadError);
+    EXPECT_NE(R->Body, "");
+  }
+  // Malformed frame: structured error response, then the connection is
+  // closed (no resynchronization after a framing error).
+  {
+    TestClient C;
+    ASSERT_TRUE(C.connect(Config.SocketPath));
+    std::string Garbage("\x09\0\0\0\x63garbage!", 13);
+    ASSERT_TRUE(C.sendRaw(Garbage));
+    std::optional<Response> R = C.recv();
+    ASSERT_TRUE(R);
+    EXPECT_EQ(R->St, Status::Malformed);
+    EXPECT_TRUE(C.eofReached());
+  }
+  // Oversized frame length: TooLarge, then closed.
+  {
+    TestClient C;
+    ASSERT_TRUE(C.connect(Config.SocketPath));
+    uint32_t Huge = 0x7fffffff;
+    ASSERT_TRUE(C.sendRaw(std::string_view(
+        reinterpret_cast<const char *>(&Huge), 4)));
+    std::optional<Response> R = C.recv();
+    ASSERT_TRUE(R);
+    EXPECT_EQ(R->St, Status::TooLarge);
+    EXPECT_TRUE(C.eofReached());
+  }
+
+  Server.requestStop();
+  EXPECT_EQ(Server.waitForDrain(), 0);
+}
+
+TEST(AnalysisServer, WorkerFaultBecomesResponseNotCrash) {
+  ScopedInjector Inject(FaultInjector::fromSpec(
+      "seed=5,rate=1,sites=server.worker.throw", nullptr));
+  ServerConfig Config;
+  Config.SocketPath = shortSocketPath("fault");
+  AnalysisServer Server(Config);
+  std::string Error;
+  ASSERT_TRUE(Server.start(&Error)) << Error;
+
+  TestClient C;
+  ASSERT_TRUE(C.connect(Config.SocketPath));
+  std::optional<Response> R = C.exchange(makeHello("faulty"));
+  ASSERT_TRUE(R);
+  EXPECT_EQ(R->St, Status::Fault);
+  EXPECT_GE(Server.counters().Faults.load(), 1u);
+
+  // Injection off: the same server keeps serving the same connection.
+  setFaultInjector(nullptr);
+  R = C.exchange(makeHello("faulty"));
+  ASSERT_TRUE(R);
+  EXPECT_EQ(R->St, Status::Ok);
+  R = C.exchange(makeUpdate("p(0).", 2));
+  ASSERT_TRUE(R);
+  EXPECT_EQ(R->St, Status::Ok);
+
+  Server.requestStop();
+  EXPECT_EQ(Server.waitForDrain(), 0);
+}
+
+TEST(AnalysisServer, StartupSweepsStaleCacheTemps) {
+  auto Root = freshDir("granlog-recovery");
+  // A crashed predecessor's residue: per-client cache dirs holding temp
+  // files whose writer pid is long dead (1 is pid 1's, never ours; use a
+  // absurdly high dead pid) plus one unparseable name.
+  auto ClientDir = Root / "client-abc123";
+  std::filesystem::create_directories(ClientDir);
+  std::ofstream(ClientDir / "solver-cache.json.tmp.999999999.0") << "junk";
+  std::ofstream(ClientDir / "solver-cache.json.tmp.notapid") << "junk";
+
+  ServerConfig Config;
+  Config.SocketPath = shortSocketPath("rec");
+  Config.CacheRoot = Root.string();
+  AnalysisServer Server(Config);
+  std::string Error;
+  ASSERT_TRUE(Server.start(&Error)) << Error;
+  EXPECT_EQ(Server.counters().SweptTemps.load(), 2u);
+  EXPECT_FALSE(std::filesystem::exists(
+      ClientDir / "solver-cache.json.tmp.999999999.0"));
+  Server.requestStop();
+  EXPECT_EQ(Server.waitForDrain(), 0);
+  std::filesystem::remove_all(Root);
+}
+
+TEST(AnalysisServer, DrainRespondsShuttingDownToLateRequests) {
+  ServerConfig Config;
+  Config.SocketPath = shortSocketPath("drain");
+  AnalysisServer Server(Config);
+  std::string Error;
+  ASSERT_TRUE(Server.start(&Error)) << Error;
+
+  TestClient C;
+  ASSERT_TRUE(C.connect(Config.SocketPath));
+  ASSERT_EQ(C.exchange(makeHello("late"))->St, Status::Ok);
+
+  // Queue a request and immediately stop: the server either ran it (Ok)
+  // or answered ShuttingDown — never silence, never a hang.
+  ASSERT_TRUE(C.sendRaw(encodeRequest(makeUpdate("p(0).", 2))));
+  Server.requestStop();
+  std::optional<Response> R = C.recv();
+  ASSERT_TRUE(R);
+  EXPECT_TRUE(R->St == Status::Ok || R->St == Status::ShuttingDown)
+      << statusName(R->St);
+  EXPECT_EQ(Server.waitForDrain(), 0);
+}
+
+#endif // GRANLOG_TEST_SOCKETS
+
+} // namespace

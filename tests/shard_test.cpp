@@ -12,6 +12,7 @@
 
 #include "corpus/ShardRunner.h"
 #include "diffeq/SolverCache.h"
+#include "support/FaultInject.h"
 #include "support/Io.h"
 
 #include <algorithm>
@@ -150,6 +151,49 @@ TEST(ShardRunner, AtomicWritesNeverTearUnderContention) {
   EXPECT_EQ(Torn.load(), 0);
   std::filesystem::remove_all(Dir);
 }
+
+#ifndef _WIN32
+TEST(ShardRunner, CrashedWorkersAreRetriedInProcess) {
+  // Fault-injected worker crashes: every shard child exits before
+  // reporting (rate=1, keyed per shard so inherited occurrence counters
+  // cannot skew the decision).  The parent must retry each slice
+  // in-process exactly once — a crashed worker costs latency, never
+  // coverage or determinism.
+  std::vector<GeneratedProgram> Corpus = generateCorpus({5, 24});
+  std::vector<BenchmarkDef> Defs = generatedBenchmarks(Corpus);
+
+  ShardConfig Config;
+  Config.Shards = 3;
+  Config.Jobs = 2;
+  ShardBatchResult Clean = runShardedBatch(Defs, Config);
+  ASSERT_EQ(Clean.Failures, 0u);
+  ASSERT_TRUE(Clean.ShardFailures.empty());
+
+  std::string SpecError;
+  std::unique_ptr<FaultInjector> Inject = FaultInjector::fromSpec(
+      "seed=1,rate=1,sites=shard.crash", &SpecError);
+  ASSERT_TRUE(Inject) << SpecError;
+  setFaultInjector(Inject.get());
+  ShardBatchResult Crashed = runShardedBatch(Defs, Config);
+  setFaultInjector(nullptr);
+
+  // One failure record per shard, each retried; no coverage lost.
+  ASSERT_EQ(Crashed.ShardFailures.size(), Config.Shards);
+  std::vector<bool> SeenShard(Config.Shards, false);
+  for (const ShardFailure &F : Crashed.ShardFailures) {
+    ASSERT_LT(F.Shard, Config.Shards);
+    EXPECT_FALSE(SeenShard[F.Shard]) << "duplicate record for shard "
+                                     << F.Shard;
+    SeenShard[F.Shard] = true;
+    EXPECT_TRUE(F.Retried);
+    EXPECT_NE(F.Reason, "");
+  }
+  EXPECT_EQ(Crashed.Failures, 0u);
+  EXPECT_EQ(corpusReportText(Crashed.Programs),
+            corpusReportText(Clean.Programs));
+  EXPECT_EQ(Crashed.Latency.count(), Defs.size());
+}
+#endif // !_WIN32
 
 TEST(ShardRunner, CorpusReportTextIsTimingFree) {
   // The deterministic report must not leak timings: two runs of the same

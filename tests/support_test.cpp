@@ -297,3 +297,117 @@ TEST(JsonTest, StatsRegistryRoundTrip) {
   EXPECT_NE(W.str().find("\"a.count\":7"), std::string::npos);
   EXPECT_NE(W.str().find("\"b.time\":1.25"), std::string::npos);
 }
+
+//===----------------------------------------------------------------------===//
+// Atomic file writes under fault injection
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInject.h"
+#include "support/Io.h"
+
+#include <filesystem>
+#include <fstream>
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+namespace {
+
+/// Installs a fault injector for one test scope and always uninstalls.
+struct ScopedInjector {
+  explicit ScopedInjector(const std::string &Spec) {
+    std::string Error;
+    Injector = FaultInjector::fromSpec(Spec, &Error);
+    EXPECT_TRUE(Injector) << Error;
+    setFaultInjector(Injector.get());
+  }
+  ~ScopedInjector() { setFaultInjector(nullptr); }
+  std::unique_ptr<FaultInjector> Injector;
+};
+
+std::filesystem::path freshIoDir(const char *Name) {
+  std::filesystem::path Dir =
+      std::filesystem::temp_directory_path() /
+      (std::string(Name) + "-" + std::to_string(::getpid()));
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+  return Dir;
+}
+
+/// Temp-file names next to \p Target ("<file>.tmp.*" residue).
+std::vector<std::string> tempResidue(const std::filesystem::path &Target) {
+  std::vector<std::string> Residue;
+  std::string Prefix = Target.filename().string() + ".tmp.";
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(Target.parent_path()))
+    if (Entry.path().filename().string().rfind(Prefix, 0) == 0)
+      Residue.push_back(Entry.path().filename().string());
+  return Residue;
+}
+
+TEST(IoTest, WriteFileAtomicRoundTrips) {
+  auto Dir = freshIoDir("granlog-io-ok");
+  auto Target = Dir / "out.json";
+  std::string Error;
+  EXPECT_TRUE(writeFileAtomic(Target.string(), "{\"k\":1}", &Error)) << Error;
+  std::ifstream In(Target);
+  std::string Got((std::istreambuf_iterator<char>(In)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_EQ(Got, "{\"k\":1}");
+  EXPECT_TRUE(tempResidue(Target).empty());
+  std::filesystem::remove_all(Dir);
+}
+
+/// Regression: every failure path of writeFileAtomic must clean up its
+/// temp file — a daemon that flushes caches for years must not leak one
+/// temp per failed write.
+TEST(IoTest, FailedWritesLeaveNoTempResidue) {
+  for (const char *Site :
+       {"io.write.open", "io.write.short", "io.write.rename"}) {
+    ScopedInjector Inject(std::string("seed=1,rate=1,sites=") + Site);
+    auto Dir = freshIoDir("granlog-io-fail");
+    auto Target = Dir / "out.json";
+    std::string Error;
+    EXPECT_FALSE(writeFileAtomic(Target.string(), "payload", &Error)) << Site;
+    EXPECT_NE(Error, "") << Site;
+    EXPECT_FALSE(std::filesystem::exists(Target)) << Site;
+    EXPECT_TRUE(tempResidue(Target).empty())
+        << Site << " left: " << tempResidue(Target).front();
+    std::filesystem::remove_all(Dir);
+  }
+}
+
+TEST(IoTest, TornWriteLeavesHalfTheTarget) {
+  ScopedInjector Inject("seed=1,rate=1,sites=io.write.torn");
+  auto Dir = freshIoDir("granlog-io-torn");
+  auto Target = Dir / "out.json";
+  std::string Error;
+  EXPECT_FALSE(writeFileAtomic(Target.string(), "0123456789", &Error));
+  // The simulated crash-mid-write leaves a torn target (readers must
+  // reject it) but still no temp residue.
+  EXPECT_TRUE(std::filesystem::exists(Target));
+  EXPECT_EQ(std::filesystem::file_size(Target), 5u);
+  EXPECT_TRUE(tempResidue(Target).empty());
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(IoTest, SweepRemovesOnlyDeadWritersTemps) {
+  auto Dir = freshIoDir("granlog-io-sweep");
+  auto Target = Dir / "cache.json";
+  // A live writer's temp (our own pid) must survive the sweep; a dead
+  // writer's temp and an unparseable name must go.
+  auto Live = Dir / ("cache.json.tmp." + std::to_string(::getpid()) + ".0");
+  auto Dead = Dir / "cache.json.tmp.999999999.4";
+  auto Junk = Dir / "cache.json.tmp.garbage";
+  auto Unrelated = Dir / "other.json.tmp.999999999.0";
+  for (const auto &P : {Live, Dead, Junk, Unrelated})
+    std::ofstream(P) << "x";
+  EXPECT_EQ(sweepStaleTemps(Target.string()), 2u);
+  EXPECT_TRUE(std::filesystem::exists(Live));
+  EXPECT_FALSE(std::filesystem::exists(Dead));
+  EXPECT_FALSE(std::filesystem::exists(Junk));
+  EXPECT_TRUE(std::filesystem::exists(Unrelated)); // different target
+  std::filesystem::remove_all(Dir);
+}
+
+} // namespace

@@ -1,0 +1,554 @@
+//===- tools/granload.cpp - granlogd load-test client ---------------------===//
+//
+// Replays deterministic edit scripts against a granlogd instance from N
+// concurrent synthetic clients and reports request latency percentiles
+// plus an error taxonomy.  Each client i runs, over one connection:
+//
+//   hello load<i>
+//   update rev0         rev0 = generated program i of --seed
+//   update rev1         rev1 = rev0 + generated program i+1000 appended
+//   update rev2         rev2 = rev0 again (exercises fingerprint reuse)
+//   explain ""          full provenance of rev2
+//   only entry/arity    demand-driven analysis of rev0's entry predicate
+//   close
+//
+// With --verify-direct every Ok response body is compared byte-for-byte
+// against a local AnalysisSession replaying the same script under the
+// same options — the server must be a transparent remoting of the
+// library (the session warm == cold contract makes this exact even when
+// the server session was LRU-evicted and re-warmed in between).
+//
+// Usage:
+//   granload --socket=PATH --clients=N [options]
+// Options:
+//   --clients=N          concurrent synthetic clients (default 8)
+//   --seed=S             edit-script corpus seed (default 1)
+//   --jobs=N --budget    per-session analysis options; must match the
+//                        daemon's for --verify-direct
+//   --verify-direct      compare Ok responses against local sessions
+//   --expect=a,b         comma-separated acceptable response statuses
+//                        (default "ok"); anything else fails the run
+//   --fault=SPEC         client-side fault injection (site client.slow:
+//                        the chosen clients dribble requests one byte at
+//                        a time — the server must reassemble)
+//   --out=FILE           write the JSON report to FILE (default stdout)
+//   --daemon=BIN         spawn BIN as the daemon on --socket, SIGTERM +
+//                        reap it at the end, and include its exit code
+//                        in the report; daemon stdout goes to
+//                        --daemon-stats=FILE when given
+//   --daemon-fault=SPEC  forward a fault spec to the spawned daemon
+//   --cache-root=DIR --workers=N --timeout-ms=N --drain-timeout-ms=N
+//                        forwarded to the spawned daemon
+//   --sigterm-mid-load   SIGTERM the spawned daemon while clients are
+//                        still sending; shutting_down / closed become
+//                        acceptable outcomes and the daemon must still
+//                        drain cleanly (exit 0)
+//   --sigterm-after-ms=N delay before the mid-load SIGTERM (default 300)
+//   --expect-daemon-exit=a,b  acceptable daemon exit codes (default "0";
+//                        an io-fault run that tears a cache flush is
+//                        *expected* to exit 1 — the exit code must report
+//                        the flush failure honestly)
+//
+// Exit code: 0 when every response status was acceptable, no --verify-
+// direct mismatch, and the spawned daemon (if any) exited 0; 1 otherwise.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AnalysisSession.h"
+#include "program/Generator.h"
+#include "program/Program.h"
+#include "server/Protocol.h"
+#include "support/Diagnostics.h"
+#include "support/FaultInject.h"
+#include "support/Histogram.h"
+#include "support/Io.h"
+#include "support/Json.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#if !defined(_WIN32)
+#include <csignal>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+using namespace granlog;
+
+namespace {
+
+const char *optValue(const char *Arg, const char *Name) {
+  size_t Len = std::strlen(Name);
+  if (std::strncmp(Arg, Name, Len) == 0 && Arg[Len] == '=')
+    return Arg + Len + 1;
+  return nullptr;
+}
+
+struct Options {
+  std::string Socket;
+  unsigned Clients = 8;
+  uint64_t Seed = 1;
+  unsigned Jobs = 1;
+  bool Budget = false;
+  bool VerifyDirect = false;
+  std::set<std::string> Expect = {"ok"};
+  std::string FaultSpec;
+  std::string OutPath;
+  std::string DaemonBin;
+  std::string DaemonFault;
+  std::string DaemonStats;
+  std::string CacheRoot;
+  unsigned Workers = 4;
+  unsigned TimeoutMs = 0;
+  unsigned DrainTimeoutMs = 5000;
+  bool SigtermMidLoad = false;
+  unsigned SigtermAfterMs = 300;
+  std::set<int> ExpectDaemonExit = {0};
+};
+
+/// Everything one client thread observed, merged into the report.
+struct ClientResult {
+  LatencyHistogram Latency;
+  std::map<std::string, uint64_t> Taxonomy; ///< statusName -> count
+  uint64_t Requests = 0;
+  uint64_t Compared = 0;
+  uint64_t Mismatches = 0;
+  bool Unacceptable = false; ///< saw a status outside --expect
+};
+
+#if !defined(_WIN32)
+
+bool sendAll(int Fd, std::string_view Data, bool Dribble) {
+  size_t Off = 0;
+  while (Off < Data.size()) {
+    size_t N = Dribble ? 1 : Data.size() - Off;
+#if defined(MSG_NOSIGNAL)
+    ssize_t W = ::send(Fd, Data.data() + Off, N, MSG_NOSIGNAL);
+#else
+    ssize_t W = ::send(Fd, Data.data() + Off, N, 0);
+#endif
+    if (W <= 0) {
+      if (W < 0 && errno == EINTR)
+        continue;
+      return false;
+    }
+    Off += static_cast<size_t>(W);
+  }
+  return true;
+}
+
+/// Blocks until one complete response frame arrives; nullopt on EOF or a
+/// framing error.
+std::optional<Response> recvResponse(int Fd, FrameReader &Reader) {
+  while (true) {
+    if (std::optional<std::string> Payload = Reader.next())
+      return decodeResponse(*Payload);
+    if (Reader.overflowed())
+      return std::nullopt;
+    char Buf[65536];
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (N == 0)
+      return std::nullopt;
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return std::nullopt;
+    }
+    Reader.append(Buf, static_cast<size_t>(N));
+  }
+}
+
+int connectTo(const std::string &Path, unsigned RetryMs) {
+  sockaddr_un Addr{};
+  if (Path.size() >= sizeof(Addr.sun_path))
+    return -1;
+  Addr.sun_family = AF_UNIX;
+  std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+  for (unsigned Waited = 0;; Waited += 50) {
+    int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Fd < 0)
+      return -1;
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) ==
+        0)
+      return Fd;
+    ::close(Fd);
+    if (Waited >= RetryMs)
+      return -1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+void runClient(const Options &Opt, unsigned Index, ClientResult &Out) {
+  GeneratedProgram G0 = generateProgram(Opt.Seed, Index);
+  GeneratedProgram G1 = generateProgram(Opt.Seed, Index + 1000);
+  const std::string Rev0 = G0.Source;
+  const std::string Rev1 = G0.Source + "\n" + G1.Source;
+  const std::string OnlySpec =
+      G0.EntryPred + "/" + std::to_string(G0.EntryArity);
+
+  // The local replica for --verify-direct: same options, no cache dir
+  // (the warm == cold contract makes persistence invisible in outputs).
+  std::unique_ptr<AnalysisSession> Direct;
+  SessionOptions SO;
+  SO.Jobs = Opt.Jobs;
+  if (Opt.Budget)
+    SO.Limits = BudgetLimits::defaults();
+  if (Opt.VerifyDirect)
+    Direct = std::make_unique<AnalysisSession>(SO);
+
+  int Fd = connectTo(Opt.Socket, 5000);
+  if (Fd < 0) {
+    ++Out.Taxonomy["connect_failed"];
+    Out.Unacceptable = true;
+    return;
+  }
+  FrameReader Reader;
+  bool Dribble = faultPointKeyed("client.slow", Index);
+
+  auto Exchange = [&](const Request &R,
+                      const std::string *ExpectBody) -> bool {
+    ++Out.Requests;
+    auto T0 = std::chrono::steady_clock::now();
+    if (!sendAll(Fd, encodeRequest(R), Dribble)) {
+      ++Out.Taxonomy["closed"];
+      if (!Opt.Expect.count("closed"))
+        Out.Unacceptable = true;
+      return false;
+    }
+    std::optional<Response> Resp = recvResponse(Fd, Reader);
+    auto T1 = std::chrono::steady_clock::now();
+    if (!Resp) {
+      ++Out.Taxonomy["closed"];
+      if (!Opt.Expect.count("closed"))
+        Out.Unacceptable = true;
+      return false;
+    }
+    Out.Latency.addNs(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(T1 - T0)
+            .count()));
+    const char *Name = statusName(Resp->St);
+    ++Out.Taxonomy[Name];
+    if (!Opt.Expect.count(Name))
+      Out.Unacceptable = true;
+    if (Resp->St == Status::Ok && ExpectBody) {
+      ++Out.Compared;
+      if (Resp->Body != *ExpectBody)
+        ++Out.Mismatches;
+    }
+    return Resp->St == Status::Ok;
+  };
+
+  // The direct replica's expected body for one update of \p Source.
+  auto DirectUpdate = [&](const std::string &Source) -> const std::string * {
+    if (!Direct)
+      return nullptr;
+    TermArena Arena;
+    Diagnostics Diags;
+    std::optional<Budget> B;
+    if (SO.Limits.any())
+      B.emplace(SO.Limits);
+    std::optional<Program> P =
+        loadProgram(Source, Arena, Diags, B ? &*B : nullptr);
+    if (!P)
+      return nullptr;
+    return &Direct->update(*P).Report;
+  };
+
+  Request Hello;
+  Hello.Kind = Op::Hello;
+  Hello.Id = 1;
+  Hello.Name = "load" + std::to_string(Index);
+  if (!Exchange(Hello, nullptr))
+    goto done;
+
+  {
+    uint32_t Id = 2;
+    for (const std::string *Rev : {&Rev0, &Rev1, &Rev0}) {
+      Request R;
+      R.Kind = Op::Update;
+      R.Id = Id++;
+      R.Source = *Rev;
+      if (!Exchange(R, DirectUpdate(*Rev)))
+        goto done;
+    }
+    Request Explain;
+    Explain.Kind = Op::Explain;
+    Explain.Id = Id++;
+    if (!Exchange(Explain,
+                  Direct ? &Direct->last().ExplainAll : nullptr))
+      goto done;
+
+    Request Only;
+    Only.Kind = Op::Only;
+    Only.Id = Id++;
+    Only.Pred = OnlySpec;
+    Only.Source = Rev0;
+    if (!Exchange(Only, nullptr))
+      goto done;
+
+    Request Close;
+    Close.Kind = Op::Close;
+    Close.Id = Id++;
+    Exchange(Close, nullptr);
+  }
+
+done:
+  ::close(Fd);
+}
+
+pid_t spawnDaemon(const Options &Opt) {
+  std::vector<std::string> Args;
+  Args.push_back(Opt.DaemonBin);
+  Args.push_back("--socket=" + Opt.Socket);
+  Args.push_back("--workers=" + std::to_string(Opt.Workers));
+  Args.push_back("--jobs=" + std::to_string(Opt.Jobs));
+  if (Opt.Budget)
+    Args.push_back("--budget");
+  if (Opt.TimeoutMs)
+    Args.push_back("--timeout-ms=" + std::to_string(Opt.TimeoutMs));
+  Args.push_back("--drain-timeout-ms=" +
+                 std::to_string(Opt.DrainTimeoutMs));
+  if (!Opt.CacheRoot.empty())
+    Args.push_back("--cache-root=" + Opt.CacheRoot);
+  if (!Opt.DaemonFault.empty())
+    Args.push_back("--fault=" + Opt.DaemonFault);
+  if (!Opt.DaemonStats.empty())
+    Args.push_back("--stats-on-exit");
+
+  pid_t Pid = ::fork();
+  if (Pid != 0)
+    return Pid;
+  if (!Opt.DaemonStats.empty()) {
+    std::FILE *F = std::fopen(Opt.DaemonStats.c_str(), "w");
+    if (F) {
+      ::dup2(fileno(F), STDOUT_FILENO);
+      std::fclose(F);
+    }
+  }
+  std::vector<char *> Argv;
+  for (std::string &A : Args)
+    Argv.push_back(A.data());
+  Argv.push_back(nullptr);
+  ::execv(Argv[0], Argv.data());
+  std::fprintf(stderr, "error: exec %s: %s\n", Opt.DaemonBin.c_str(),
+               std::strerror(errno));
+  ::_exit(127);
+}
+
+#endif // !_WIN32
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+#if defined(_WIN32)
+  std::fprintf(stderr, "granload requires POSIX sockets\n");
+  return 2;
+#else
+  // A server that vanishes mid-write is data, not a process signal.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  Options Opt;
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (const char *V = optValue(Arg, "--socket")) {
+      Opt.Socket = V;
+    } else if (const char *V = optValue(Arg, "--clients")) {
+      int N = std::atoi(V);
+      Opt.Clients = N > 0 ? static_cast<unsigned>(N) : 1;
+    } else if (const char *V = optValue(Arg, "--seed")) {
+      Opt.Seed = std::strtoull(V, nullptr, 10);
+    } else if (const char *V = optValue(Arg, "--jobs")) {
+      int N = std::atoi(V);
+      Opt.Jobs = N > 0 ? static_cast<unsigned>(N) : 1;
+    } else if (std::strcmp(Arg, "--budget") == 0) {
+      Opt.Budget = true;
+    } else if (std::strcmp(Arg, "--verify-direct") == 0) {
+      Opt.VerifyDirect = true;
+    } else if (const char *V = optValue(Arg, "--expect")) {
+      Opt.Expect.clear();
+      for (std::string_view S(V); !S.empty();) {
+        size_t Comma = S.find(',');
+        Opt.Expect.insert(std::string(S.substr(0, Comma)));
+        S = Comma == std::string_view::npos ? std::string_view()
+                                            : S.substr(Comma + 1);
+      }
+    } else if (const char *V = optValue(Arg, "--fault")) {
+      Opt.FaultSpec = V;
+    } else if (const char *V = optValue(Arg, "--out")) {
+      Opt.OutPath = V;
+    } else if (const char *V = optValue(Arg, "--daemon")) {
+      Opt.DaemonBin = V;
+    } else if (const char *V = optValue(Arg, "--daemon-fault")) {
+      Opt.DaemonFault = V;
+    } else if (const char *V = optValue(Arg, "--daemon-stats")) {
+      Opt.DaemonStats = V;
+    } else if (const char *V = optValue(Arg, "--cache-root")) {
+      Opt.CacheRoot = V;
+    } else if (const char *V = optValue(Arg, "--workers")) {
+      int N = std::atoi(V);
+      Opt.Workers = N > 0 ? static_cast<unsigned>(N) : 1;
+    } else if (const char *V = optValue(Arg, "--timeout-ms")) {
+      Opt.TimeoutMs = static_cast<unsigned>(std::atoi(V));
+    } else if (const char *V = optValue(Arg, "--drain-timeout-ms")) {
+      Opt.DrainTimeoutMs = static_cast<unsigned>(std::atoi(V));
+    } else if (std::strcmp(Arg, "--sigterm-mid-load") == 0) {
+      Opt.SigtermMidLoad = true;
+    } else if (const char *V = optValue(Arg, "--sigterm-after-ms")) {
+      Opt.SigtermAfterMs = static_cast<unsigned>(std::atoi(V));
+    } else if (const char *V = optValue(Arg, "--expect-daemon-exit")) {
+      Opt.ExpectDaemonExit.clear();
+      for (std::string_view S(V); !S.empty();) {
+        size_t Comma = S.find(',');
+        Opt.ExpectDaemonExit.insert(
+            std::atoi(std::string(S.substr(0, Comma)).c_str()));
+        S = Comma == std::string_view::npos ? std::string_view()
+                                            : S.substr(Comma + 1);
+      }
+    } else {
+      std::fprintf(stderr, "error: unknown option %s\n", Arg);
+      return 2;
+    }
+  }
+  if (Opt.Socket.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s --socket=PATH --clients=N [options]\n",
+                 Argv[0]);
+    return 2;
+  }
+  if (Opt.SigtermMidLoad) {
+    // Mid-load shutdown makes these normal client outcomes (including a
+    // client that was still connecting when the listener went away).
+    Opt.Expect.insert("shutting_down");
+    Opt.Expect.insert("closed");
+    Opt.Expect.insert("connect_failed");
+  }
+
+  std::unique_ptr<FaultInjector> Injector;
+  if (!Opt.FaultSpec.empty()) {
+    std::string Error;
+    Injector = FaultInjector::fromSpec(Opt.FaultSpec, &Error);
+    if (!Error.empty()) {
+      std::fprintf(stderr, "error: bad --fault spec: %s\n", Error.c_str());
+      return 2;
+    }
+    setFaultInjector(Injector.get());
+  }
+
+  pid_t DaemonPid = -1;
+  if (!Opt.DaemonBin.empty()) {
+    DaemonPid = spawnDaemon(Opt);
+    if (DaemonPid < 0) {
+      std::fprintf(stderr, "error: fork failed\n");
+      return 2;
+    }
+    // Wait for the daemon to bind before the load (and the mid-load
+    // SIGTERM timer) starts; otherwise --sigterm-after-ms would race the
+    // daemon's own startup.
+    int Probe = connectTo(Opt.Socket, 10000);
+    if (Probe < 0) {
+      std::fprintf(stderr, "error: daemon never bound %s\n",
+                   Opt.Socket.c_str());
+      ::kill(DaemonPid, SIGKILL);
+      return 2;
+    }
+    ::close(Probe);
+  }
+
+  std::vector<ClientResult> Results(Opt.Clients);
+  std::vector<std::thread> Threads;
+  Threads.reserve(Opt.Clients);
+  for (unsigned I = 0; I != Opt.Clients; ++I)
+    Threads.emplace_back(
+        [&Opt, &Results, I] { runClient(Opt, I, Results[I]); });
+
+  if (Opt.SigtermMidLoad && DaemonPid > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(Opt.SigtermAfterMs));
+    ::kill(DaemonPid, SIGTERM);
+  }
+  for (std::thread &T : Threads)
+    T.join();
+
+  int DaemonExit = -1;
+  if (DaemonPid > 0) {
+    if (!Opt.SigtermMidLoad)
+      ::kill(DaemonPid, SIGTERM);
+    int WaitStatus = 0;
+    ::waitpid(DaemonPid, &WaitStatus, 0);
+    DaemonExit = WIFEXITED(WaitStatus) ? WEXITSTATUS(WaitStatus) : 128;
+  }
+
+  // Merge per-client observations.
+  LatencyHistogram Latency;
+  std::map<std::string, uint64_t> Taxonomy;
+  uint64_t Requests = 0, Compared = 0, Mismatches = 0;
+  bool Unacceptable = false;
+  for (const ClientResult &R : Results) {
+    Latency.merge(R.Latency);
+    for (const auto &[Name, N] : R.Taxonomy)
+      Taxonomy[Name] += N;
+    Requests += R.Requests;
+    Compared += R.Compared;
+    Mismatches += R.Mismatches;
+    Unacceptable = Unacceptable || R.Unacceptable;
+  }
+
+  JsonWriter W;
+  W.beginObject();
+  W.key("clients");
+  W.value(Opt.Clients);
+  W.key("requests");
+  W.value(Requests);
+  W.key("latency");
+  Latency.writeJson(W);
+  W.key("taxonomy");
+  W.beginObject();
+  for (const auto &[Name, N] : Taxonomy) {
+    W.key(Name);
+    W.value(N);
+  }
+  W.endObject();
+  W.key("verify");
+  W.beginObject();
+  W.key("compared");
+  W.value(Compared);
+  W.key("mismatches");
+  W.value(Mismatches);
+  W.endObject();
+  if (Injector) {
+    W.key("client_faults_injected");
+    W.value(Injector->totalInjected());
+  }
+  if (DaemonPid > 0) {
+    W.key("daemon_exit");
+    W.value(DaemonExit);
+  }
+  W.key("acceptable");
+  W.value(!Unacceptable);
+  W.endObject();
+
+  std::string Report = W.take();
+  if (Opt.OutPath.empty()) {
+    std::printf("%s\n", Report.c_str());
+  } else if (!writeFileAtomic(Opt.OutPath, Report + "\n")) {
+    std::fprintf(stderr, "error: cannot write %s\n", Opt.OutPath.c_str());
+    return 1;
+  }
+
+  setFaultInjector(nullptr);
+  bool Ok = !Unacceptable && Mismatches == 0 &&
+            (DaemonPid < 0 || Opt.ExpectDaemonExit.count(DaemonExit));
+  return Ok ? 0 : 1;
+#endif
+}

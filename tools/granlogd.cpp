@@ -1,0 +1,148 @@
+//===- tools/granlogd.cpp - The analysis server daemon --------------------===//
+//
+// Runs AnalysisServer on a local socket until SIGTERM/SIGINT, then drains
+// gracefully: stops accepting, answers queued requests ShuttingDown, lets
+// in-flight requests finish (or degrade once --drain-timeout-ms passes),
+// flushes every session's persistent cache, and exits 0 on a clean drain
+// or 1 when a session flush failed.
+//
+// Usage:
+//   granlogd --socket=PATH [options]
+// Options:
+//   --socket=PATH        AF_UNIX socket path (required; a stale file from
+//                        a crashed predecessor is replaced)
+//   --workers=N          request-execution worker threads (default 4)
+//   --jobs=N             per-session SCC-parallel analysis jobs (default 1)
+//   --budget             per-client deterministic counter budget
+//                        (BudgetLimits::defaults(); hostile programs
+//                        degrade to Infinity instead of hanging a worker)
+//   --timeout-ms=N       per-request wall-clock deadline (default off)
+//   --max-sessions=N     session LRU cap (default 64)
+//   --max-store-entries=N  total fingerprint-store entry cap across
+//                        sessions (default off)
+//   --cache-root=DIR     per-client persistent solver caches under DIR
+//                        (stale atomic-write temps are swept at startup)
+//   --drain-timeout-ms=N grace for in-flight requests at shutdown
+//                        (default 5000)
+//   --fault=SPEC         deterministic fault injection,
+//                        "seed=S,rate=R,sites=a|b|c" (see
+//                        support/FaultInject.h; "off" disables)
+//   --log                structured event log on stderr
+//   --stats-on-exit      print the Stats-op JSON document on stdout after
+//                        the drain (what the CI load test archives)
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Server.h"
+#include "support/FaultInject.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace granlog;
+
+namespace {
+
+const char *optValue(const char *Arg, const char *Name) {
+  size_t Len = std::strlen(Name);
+  if (std::strncmp(Arg, Name, Len) == 0 && Arg[Len] == '=')
+    return Arg + Len + 1;
+  return nullptr;
+}
+
+void usage(const char *Prog) {
+  std::fprintf(stderr,
+               "usage: %s --socket=PATH [--workers=N] [--jobs=N] "
+               "[--budget] [--timeout-ms=N] [--max-sessions=N] "
+               "[--max-store-entries=N] [--cache-root=DIR] "
+               "[--drain-timeout-ms=N] [--fault=SPEC] [--log] "
+               "[--stats-on-exit]\n",
+               Prog);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ServerConfig Config;
+  std::string FaultSpec;
+  bool StatsOnExit = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (const char *V = optValue(Arg, "--socket")) {
+      Config.SocketPath = V;
+    } else if (const char *V = optValue(Arg, "--workers")) {
+      int N = std::atoi(V);
+      Config.Workers = N > 0 ? static_cast<unsigned>(N) : 1;
+    } else if (const char *V = optValue(Arg, "--jobs")) {
+      int N = std::atoi(V);
+      Config.Session.Jobs = N > 0 ? static_cast<unsigned>(N) : 1;
+    } else if (std::strcmp(Arg, "--budget") == 0) {
+      Config.Session.Limits = BudgetLimits::defaults();
+    } else if (const char *V = optValue(Arg, "--timeout-ms")) {
+      int N = std::atoi(V);
+      Config.RequestTimeoutMs = N > 0 ? static_cast<unsigned>(N) : 0;
+    } else if (const char *V = optValue(Arg, "--max-sessions")) {
+      Config.MaxSessions = static_cast<size_t>(std::atoll(V));
+    } else if (const char *V = optValue(Arg, "--max-store-entries")) {
+      Config.MaxStoreEntries = static_cast<size_t>(std::atoll(V));
+    } else if (const char *V = optValue(Arg, "--cache-root")) {
+      Config.CacheRoot = V;
+    } else if (const char *V = optValue(Arg, "--drain-timeout-ms")) {
+      int N = std::atoi(V);
+      Config.DrainTimeoutMs = N > 0 ? static_cast<unsigned>(N) : 0;
+    } else if (const char *V = optValue(Arg, "--fault")) {
+      FaultSpec = V;
+    } else if (std::strcmp(Arg, "--log") == 0) {
+      Config.Log = stderr;
+    } else if (std::strcmp(Arg, "--stats-on-exit") == 0) {
+      StatsOnExit = true;
+    } else {
+      std::fprintf(stderr, "error: unknown option %s\n", Arg);
+      usage(Argv[0]);
+      return 2;
+    }
+  }
+  if (Config.SocketPath.empty()) {
+    usage(Argv[0]);
+    return 2;
+  }
+
+  std::unique_ptr<FaultInjector> Injector;
+  if (!FaultSpec.empty()) {
+    std::string Error;
+    Injector = FaultInjector::fromSpec(FaultSpec, &Error);
+    if (!Error.empty()) {
+      std::fprintf(stderr, "error: bad --fault spec: %s\n", Error.c_str());
+      return 2;
+    }
+    setFaultInjector(Injector.get());
+  }
+
+  // Block the shutdown signals before any thread exists so every thread
+  // inherits the mask; the main thread then sigwait()s them, keeping the
+  // drain entirely out of async-signal context.
+  sigset_t Sigs;
+  sigemptyset(&Sigs);
+  sigaddset(&Sigs, SIGTERM);
+  sigaddset(&Sigs, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &Sigs, nullptr);
+
+  AnalysisServer Server(Config);
+  std::string Error;
+  if (!Server.start(&Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 2;
+  }
+
+  int Sig = 0;
+  sigwait(&Sigs, &Sig);
+  Server.requestStop();
+  int Rc = Server.waitForDrain();
+  if (StatsOnExit)
+    std::printf("%s\n", Server.statsJson().c_str());
+  setFaultInjector(nullptr);
+  return Rc;
+}
