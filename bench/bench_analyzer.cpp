@@ -27,6 +27,7 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -338,7 +339,57 @@ IncrementalMeasurement measureIncremental() {
 /// v3: dropped the legacy duplicate "version" key (it mirrored the
 /// *stats* document's StatsJsonVersion, not this document's schema) and
 /// added the "expr_arena" footprint section.
-constexpr int64_t BenchJsonSchemaVersion = 3;
+/// v4: added the "intervals" section (two-sided bound coverage: fraction
+/// of corpus predicates with a nontrivial lower cost bound, and the mean
+/// relative gap Hi/Lo at the probe size).
+constexpr int64_t BenchJsonSchemaVersion = 4;
+
+/// Interval-mode coverage over the corpus, for the "intervals" bench
+/// section.  Untimed on purpose: the timed batch stays on the default
+/// upper-only pipeline, so the perf gate measures what production runs.
+struct IntervalMeasurement {
+  bool Ok = false;
+  uint64_t Predicates = 0; ///< classified predicates over the corpus
+  uint64_t FiniteLo = 0;   ///< Lo(probe) finite and positive
+  uint64_t GapSamples = 0; ///< both bounds finite and positive
+  double MeanRelGap = 0;   ///< mean Hi/Lo over GapSamples
+};
+
+IntervalMeasurement measureIntervals() {
+  IntervalMeasurement M;
+  constexpr double Probe = 10.0;
+  double GapSum = 0;
+  for (const BenchmarkDef &B : benchmarkCorpus()) {
+    TermArena Arena;
+    Diagnostics Diags;
+    auto P = loadProgram(B.Source, Arena, Diags);
+    if (!P)
+      continue;
+    AnalyzerOptions Options{CostMetric::resolutions(), 65.0};
+    Options.Bounds = BoundsMode::Both;
+    GranularityAnalyzer GA(*P, Options);
+    GA.run();
+    for (const auto &Pred : P->predicates()) {
+      Functor F = Pred->functor();
+      ++M.Predicates;
+      std::vector<double> Sizes(GA.modes().inputPositions(F).size(),
+                                Probe);
+      std::optional<double> Lo = GA.costs().costLoAt(F, Sizes);
+      std::optional<double> Hi = GA.costs().costAt(F, Sizes);
+      if (!Lo || !std::isfinite(*Lo) || *Lo <= 0)
+        continue;
+      ++M.FiniteLo;
+      if (Hi && std::isfinite(*Hi) && *Hi > 0) {
+        ++M.GapSamples;
+        GapSum += *Hi / *Lo;
+      }
+    }
+  }
+  M.MeanRelGap =
+      M.GapSamples ? GapSum / static_cast<double>(M.GapSamples) : 0.0;
+  M.Ok = M.Predicates > 0;
+  return M;
+}
 
 /// One generated-corpus sharded run, for the "generated" bench section.
 struct GeneratedRun {
@@ -425,6 +476,26 @@ bool writeBatchJson(const char *Path, unsigned Jobs,
     W.value(Inc.WarmSeconds);
     W.key("cold_seconds");
     W.value(Inc.ColdSeconds);
+    W.endObject();
+  }
+  // Two-sided-interval coverage: how much of the corpus gets a
+  // nontrivial lower cost bound, and how tight the [lo, hi] intervals
+  // are.  CI history shows lower-bound coverage regressions the same way
+  // phase timings show perf regressions.
+  if (IntervalMeasurement Ivl = measureIntervals(); Ivl.Ok) {
+    W.key("intervals");
+    W.beginObject();
+    W.key("predicates");
+    W.value(Ivl.Predicates);
+    W.key("finite_lo");
+    W.value(Ivl.FiniteLo);
+    W.key("finite_lo_fraction");
+    W.value(static_cast<double>(Ivl.FiniteLo) /
+            static_cast<double>(Ivl.Predicates));
+    W.key("gap_samples");
+    W.value(Ivl.GapSamples);
+    W.key("mean_rel_gap");
+    W.value(Ivl.MeanRelGap);
     W.endObject();
   }
   // Generated-corpus throughput: the scale-out side of the Section 8

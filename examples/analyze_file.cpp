@@ -30,6 +30,12 @@
 //                        --trace-out (default: rolog)
 //   --jobs=N             analyze with N worker threads (SCC-parallel
 //                        pipeline; output is identical for any N)
+//   --bounds=upper|both  which resource bounds to compute.  upper (the
+//                        default) is the classic pipeline with unchanged
+//                        output; both adds the dual lower-bound passes,
+//                        printing [lo, hi] cost intervals and the
+//                        conservative-spawn threshold (spawn only when
+//                        even the minimal work repays W)
 //   --budget             analyze under the default resource budget
 //                        (generous per-SCC work limits; pathological
 //                        programs degrade to Infinity instead of hanging)
@@ -103,7 +109,7 @@ void usage(const char *Prog) {
               Prog);
   std::printf("options: --stats --stats-json=FILE --explain[=NAME] "
               "--trace-out=FILE --profile --input=N "
-              "--machine=rolog|andprolog --jobs=N\n");
+              "--machine=rolog|andprolog --jobs=N --bounds=upper|both\n");
   std::printf("         --budget --budget-expr-nodes=N "
               "--budget-solver-steps=N --budget-normalize-steps=N\n"
               "         --budget-parse-tokens=N --budget-clauses=N "
@@ -151,6 +157,7 @@ int main(int Argc, char **Argv) {
   std::string MachineName = "rolog";
   int TraceInput = -1;
   unsigned Jobs = 1;
+  BoundsMode Bounds = BoundsMode::Upper;
   BudgetLimits Limits;
   std::string CacheDir;
   std::string OnlySpec;
@@ -187,6 +194,15 @@ int main(int Argc, char **Argv) {
     } else if (const char *V = optValue(Arg, "--jobs")) {
       int N = std::atoi(V);
       Jobs = N > 0 ? static_cast<unsigned>(N) : 1;
+    } else if (const char *V = optValue(Arg, "--bounds")) {
+      if (std::strcmp(V, "both") == 0) {
+        Bounds = BoundsMode::Both;
+      } else if (std::strcmp(V, "upper") == 0) {
+        Bounds = BoundsMode::Upper;
+      } else {
+        std::printf("error: --bounds must be 'upper' or 'both'\n");
+        return 1;
+      }
     } else if (std::strcmp(Arg, "--budget") == 0) {
       Limits = BudgetLimits::defaults();
     } else if (const char *V = optValue(Arg, "--budget-expr-nodes")) {
@@ -310,6 +326,7 @@ int main(int Argc, char **Argv) {
     SO.Jobs = Jobs;
     SO.Limits = Limits;
     SO.CacheDir = CacheDir;
+    SO.Bounds = Bounds;
     if (AnalyzerTrace) {
       SO.Trace = &*AnalyzerTrace;
       SO.TraceProgram = TraceProg;
@@ -398,6 +415,7 @@ int main(int Argc, char **Argv) {
 
   AnalyzerOptions Options{Metric, W};
   Options.Jobs = Jobs;
+  Options.Bounds = Bounds;
   if (AnalyzerTrace) {
     Options.Trace = &*AnalyzerTrace;
     Options.TraceProgram = TraceProg;

@@ -82,6 +82,7 @@ const SessionUpdate &AnalysisSession::update(const Program &P,
   AO.Budget = UpdateBudget.get();
   AO.Trace = Options.Trace;
   AO.TraceProgram = Options.TraceProgram;
+  AO.Bounds = Options.Bounds;
   GA = std::make_unique<GranularityAnalyzer>(P, AO);
   GA->prepare();
 

@@ -62,6 +62,11 @@ struct SessionOptions {
   BudgetLimits Limits;
   /// Directory for the persistent solver cache ("" = in-memory only).
   std::string CacheDir;
+  /// Which resource bounds every update computes (see AnalyzerOptions).
+  /// Fixed per session like every other option here: stored SCC results
+  /// carry (or lack) lower bounds matching this mode, so replaying them
+  /// under the other mode would be wrong.
+  BoundsMode Bounds = BoundsMode::Upper;
   /// Analyzer span tracing (support/Tracer); null disables.  Each
   /// update() emits one session.update span enclosing its SCC spans.
   class Tracer *Trace = nullptr;

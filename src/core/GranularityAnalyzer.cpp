@@ -45,6 +45,7 @@ void GranularityAnalyzer::prepare() {
   Sizes->setSolverCache(Cache);
   Sizes->setBudget(Options.Budget);
   Sizes->setTracer(Options.Trace, Options.TraceProgram);
+  Sizes->setBounds(Options.Bounds);
 
   if (Options.Metric.kind() == CostMetricKind::Instructions) {
     ScopedTimer T(Stats, "phase.wam");
@@ -58,6 +59,7 @@ void GranularityAnalyzer::prepare() {
   Costs->setSolverCache(Cache);
   Costs->setBudget(Options.Budget);
   Costs->setTracer(Options.Trace, Options.TraceProgram);
+  Costs->setBounds(Options.Bounds);
 
   Actions.assign(CG->numSCCs(), SccAction::Analyze);
 }
@@ -132,6 +134,7 @@ void GranularityAnalyzer::runAnalyses() {
     Sizes->setSolverCache(Cache);
     Sizes->setBudget(Options.Budget);
     Sizes->setTracer(Options.Trace, Options.TraceProgram);
+    Sizes->setBounds(Options.Bounds);
   };
   auto MakeCosts = [&] {
     Costs = std::make_unique<CostAnalysis>(*P, *CG, *Modes, *Det, *Sizes,
@@ -142,6 +145,7 @@ void GranularityAnalyzer::runAnalyses() {
     Costs->setSolverCache(Cache);
     Costs->setBudget(Options.Budget);
     Costs->setTracer(Options.Trace, Options.TraceProgram);
+    Costs->setBounds(Options.Bounds);
   };
 
   if (Options.Jobs <= 1) {
@@ -253,7 +257,7 @@ void GranularityAnalyzer::classifyPredicate(const Predicate &Pred) {
   PredicateGranularity G;
   const PredicateCostInfo &CI = Costs->info(F);
   const PredicateSizeInfo &SI = Sizes->info(F);
-  G.CostFn = CI.CostFn ? CI.CostFn : makeInfinity();
+  G.CostFn = CI.Cost.Hi ? CI.Cost.Hi : makeInfinity();
   G.CostExact = CI.Exact;
   G.RecArgPos = SI.RecArgPos;
 
@@ -269,17 +273,31 @@ void GranularityAnalyzer::classifyPredicate(const Predicate &Pred) {
       G.TestMeasure = SI.Measures[Pos];
   }
 
+  // Conservative-spawn mode (intervals only): fire only when even the
+  // minimal work Lo exceeds W.
+  if (Options.Bounds == BoundsMode::Both) {
+    G.CostLo = CI.Cost.Lo ? CI.Cost.Lo : makeNumber(0);
+    std::vector<std::string> LoVars = exprVariables(G.CostLo);
+    std::string LoVar = LoVars.size() == 1 ? LoVars[0] : std::string("n1");
+    G.Conservative =
+        computeConservativeThreshold(G.CostLo, LoVar, Options.Overhead);
+    if (G.Conservative.Class == GrainClass::RuntimeTest)
+      G.Conservative.ArgPos = std::atoi(LoVar.c_str() + 1) - 1;
+  }
+
   // User directives override the inferred classification.
   switch (Pred.parallelDecl()) {
   case ParallelDecl::Parallel:
     if (G.Threshold.Class != GrainClass::AlwaysParallel)
       G.Directive = ParallelDecl::Parallel;
     G.Threshold.Class = GrainClass::AlwaysParallel;
+    G.Conservative.Class = GrainClass::AlwaysParallel;
     break;
   case ParallelDecl::Sequential:
     if (G.Threshold.Class != GrainClass::AlwaysSequential)
       G.Directive = ParallelDecl::Sequential;
     G.Threshold.Class = GrainClass::AlwaysSequential;
+    G.Conservative.Class = GrainClass::AlwaysSequential;
     break;
   case ParallelDecl::None:
     break;
@@ -335,7 +353,14 @@ std::string GranularityAnalyzer::report() const {
     if (It == Info.end())
       continue;
     const PredicateGranularity &G = It->second;
-    Out += "  " + P->symbols().text(F) + ": cost = " + exprText(G.CostFn);
+    // Interval mode renders two-sided bounds; upper-only mode keeps the
+    // historical byte-identical single-bound line.
+    if (Options.Bounds == BoundsMode::Both)
+      Out += "  " + P->symbols().text(F) + ": cost = [" +
+             exprText(G.CostLo ? G.CostLo : makeNumber(0)) + ", " +
+             exprText(G.CostFn) + "]";
+    else
+      Out += "  " + P->symbols().text(F) + ": cost = " + exprText(G.CostFn);
     switch (G.Threshold.Class) {
     case GrainClass::AlwaysSequential:
       Out += "  [always sequential]";
@@ -347,6 +372,21 @@ std::string GranularityAnalyzer::report() const {
       Out += "  [test: size(arg " + std::to_string(G.Threshold.ArgPos + 1) +
              ") =< " + std::to_string(G.Threshold.Threshold) + "]";
       break;
+    }
+    if (Options.Bounds == BoundsMode::Both) {
+      switch (G.Conservative.Class) {
+      case GrainClass::AlwaysSequential:
+        Out += "  [conservative: never spawn]";
+        break;
+      case GrainClass::AlwaysParallel:
+        Out += "  [conservative: always spawn]";
+        break;
+      case GrainClass::RuntimeTest:
+        Out += "  [conservative: spawn when size(arg " +
+               std::to_string(G.Conservative.ArgPos + 1) + ") > " +
+               std::to_string(G.Conservative.Threshold) + "]";
+        break;
+      }
     }
     Out += '\n';
   }
@@ -401,10 +441,16 @@ std::string GranularityAnalyzer::explain(Functor F) const {
   // Argument-size analysis provenance (Section 3 / schema table of
   // Section 5).
   for (unsigned I = 0; I != F.Arity; ++I) {
-    if (I >= SI.OutputSize.size() || !SI.OutputSize[I])
+    if (I >= SI.OutputSize.size() || !SI.OutputSize[I].Hi)
       continue;
-    Out += "  size of output arg " + std::to_string(I + 1) + ": " +
-           exprText(SI.OutputSize[I]);
+    if (Options.Bounds == BoundsMode::Both)
+      Out += "  size of output arg " + std::to_string(I + 1) + ": [" +
+             (SI.OutputSize[I].Lo ? exprText(SI.OutputSize[I].Lo)
+                                  : std::string("?")) +
+             ", " + exprText(SI.OutputSize[I].Hi) + "]";
+    else
+      Out += "  size of output arg " + std::to_string(I + 1) + ": " +
+             exprText(SI.OutputSize[I].Hi);
     if (I < SI.OutputSchema.size() && !SI.OutputSchema[I].empty())
       Out += "  [schema: " + SI.OutputSchema[I] + "]";
     if (I < SI.OutputWhy.size() && !SI.OutputWhy[I].empty())
@@ -420,8 +466,15 @@ std::string GranularityAnalyzer::explain(Functor F) const {
            ")\n";
 
   // Cost analysis provenance (Sections 4-5).
-  Out += "  cost bound: " + exprText(G.CostFn);
-  Out += G.CostExact ? "  (exact)\n" : "  (upper bound)\n";
+  if (Options.Bounds == BoundsMode::Both) {
+    Out += "  cost bound: [" +
+           exprText(G.CostLo ? G.CostLo : makeNumber(0)) + ", " +
+           exprText(G.CostFn) + "]";
+    Out += G.CostExact ? "  (exact)\n" : "  (interval)\n";
+  } else {
+    Out += "  cost bound: " + exprText(G.CostFn);
+    Out += G.CostExact ? "  (exact)\n" : "  (upper bound)\n";
+  }
   if (!CI.Schema.empty())
     Out += "  matched schema: " + CI.Schema + "\n";
   if (!CI.Why.empty())
@@ -456,6 +509,30 @@ std::string GranularityAnalyzer::explain(Functor F) const {
     break;
   }
   Out += '\n';
+
+  // Conservative-spawn decision over the lower bound (interval mode).
+  if (Options.Bounds == BoundsMode::Both) {
+    Out += std::string("  conservative: ") + className(G.Conservative.Class);
+    switch (G.Conservative.Class) {
+    case GrainClass::RuntimeTest:
+      Out += ": spawn when size(arg " +
+             std::to_string(G.Conservative.ArgPos + 1) + ") > " +
+             std::to_string(G.Conservative.Threshold) +
+             " (even the minimal work then exceeds W)";
+      break;
+    case GrainClass::AlwaysParallel:
+      Out += G.Directive == ParallelDecl::Parallel
+                 ? " (':- parallel' directive override)"
+                 : " (minimal work exceeds W already at size 0)";
+      break;
+    case GrainClass::AlwaysSequential:
+      Out += G.Directive == ParallelDecl::Sequential
+                 ? " (':- sequential' directive override)"
+                 : " (no promised minimum of work repays W)";
+      break;
+    }
+    Out += '\n';
+  }
   return Out;
 }
 
@@ -512,6 +589,20 @@ void GranularityAnalyzer::writeJson(JsonWriter &W,
       W.value(G.Threshold.ArgPos + 1);
       W.key("test_measure");
       W.value(measureName(G.TestMeasure));
+    }
+    // Additive interval keys, present only in Bounds == Both runs, so
+    // upper-only JSON stays byte-identical.
+    if (Options.Bounds == BoundsMode::Both) {
+      W.key("cost_lo");
+      W.value(exprText(G.CostLo ? G.CostLo : makeNumber(0)));
+      W.key("conservative_class");
+      W.value(className(G.Conservative.Class));
+      if (G.Conservative.Class == GrainClass::RuntimeTest) {
+        W.key("conservative_threshold");
+        W.value(static_cast<int64_t>(G.Conservative.Threshold));
+        W.key("conservative_test_arg");
+        W.value(G.Conservative.ArgPos + 1);
+      }
     }
     W.endObject();
   }

@@ -84,6 +84,12 @@ struct AnalyzerOptions {
   /// 0xffffffff (Tracer::None) leaves spans untagged — fine for
   /// single-program runs.
   uint32_t TraceProgram = 0xffffffffu;
+  /// Which resource bounds to compute.  Upper (the default) is the
+  /// classic pipeline with byte-identical output; Both adds the dual
+  /// lower-bound passes (failure-free minimal solutions) and surfaces
+  /// [lo, hi] intervals plus a conservative-spawn threshold in report(),
+  /// explain() and the stats JSON.
+  BoundsMode Bounds = BoundsMode::Upper;
 };
 
 /// Everything the analysis learned about one predicate.
@@ -96,6 +102,14 @@ struct PredicateGranularity {
   /// A ':- parallel'/':- sequential' directive that overrode the inferred
   /// classification (None when the classification was computed).
   ParallelDecl Directive = ParallelDecl::None;
+  /// Lower cost bound (AnalyzerOptions::Bounds == Both only; null in
+  /// upper-only mode).  Never Infinity: unknowns floor to 0.
+  ExprRef CostLo;
+  /// Conservative-spawn decision over CostLo (Both only): spawn a task
+  /// only when even the minimal work Lo exceeds W, so a spawned task is
+  /// *guaranteed* to repay its overhead.  The default flips to
+  /// AlwaysSequential when no lower bound is known.
+  ThresholdInfo Conservative;
 };
 
 /// Runs and stores the full pipeline over one Program.

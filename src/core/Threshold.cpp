@@ -78,3 +78,50 @@ ThresholdInfo granlog::computeThreshold(const ExprRef &CostFn,
   Result.Threshold = Lo;
   return Result;
 }
+
+ThresholdInfo granlog::computeConservativeThreshold(const ExprRef &LoFn,
+                                                    const std::string &Var,
+                                                    double Overhead,
+                                                    int64_t MaxSize) {
+  ThresholdInfo Result;
+  Result.Class = GrainClass::AlwaysSequential; // the dual default: a task
+  // with no promised minimum of work is never worth spawning.
+  if (!LoFn || LoFn->isInfinity())
+    return Result;
+  for (const std::string &V : exprVariables(LoFn))
+    if (V != Var)
+      return Result;
+
+  auto LoAt = [&](int64_t N) -> double {
+    std::optional<double> V =
+        evaluate(LoFn, {{Var, static_cast<double>(N)}});
+    return V ? *V : -HUGE_VAL; // unevaluable floors to "no promise"
+  };
+
+  if (LoAt(0) > Overhead) {
+    Result.Class = GrainClass::AlwaysParallel;
+    return Result;
+  }
+  if (LoAt(MaxSize) <= Overhead)
+    return Result; // AlwaysSequential
+  // Largest K with Lo(K) <= W (monotonicity assumption): spawn only for
+  // sizes strictly above K, where even the minimal work repays W.
+  int64_t Lo = 0;
+  int64_t Hi = 1;
+  while (Hi < MaxSize && LoAt(Hi) <= Overhead) {
+    Lo = Hi;
+    Hi *= 2;
+  }
+  if (Hi > MaxSize)
+    Hi = MaxSize;
+  while (Lo + 1 < Hi) {
+    int64_t Mid = Lo + (Hi - Lo) / 2;
+    if (LoAt(Mid) <= Overhead)
+      Lo = Mid;
+    else
+      Hi = Mid;
+  }
+  Result.Class = GrainClass::RuntimeTest;
+  Result.Threshold = Lo;
+  return Result;
+}

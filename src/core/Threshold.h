@@ -51,6 +51,21 @@ struct ThresholdInfo {
 ThresholdInfo computeThreshold(const ExprRef &CostFn, const std::string &Var,
                                double Overhead, int64_t MaxSize = 1 << 30);
 
+/// The conservative-spawn dual over a *lower* cost bound \p LoFn: a task
+/// is only worth spawning when even its minimal work exceeds W, i.e. when
+/// Lo(n) > W.  Returns:
+///  - AlwaysSequential if \p LoFn is null (no lower bound), Infinity,
+///    depends on several variables, or never exceeds W up to \p MaxSize —
+///    the dual default flips: "unknown" means "cannot promise enough
+///    work", so do not spawn;
+///  - AlwaysParallel   if Lo already exceeds W at size 0;
+///  - RuntimeTest with the largest K such that Lo(K) <= W otherwise
+///    (spawn when size > K).
+ThresholdInfo computeConservativeThreshold(const ExprRef &LoFn,
+                                           const std::string &Var,
+                                           double Overhead,
+                                           int64_t MaxSize = 1 << 30);
+
 /// Collects the distinct variable names occurring in \p E.
 std::vector<std::string> exprVariables(const ExprRef &E);
 

@@ -95,6 +95,7 @@ void analyzeOneImpl(const BenchmarkDef &B, const BatchConfig &Config,
     Options.Budget = &*RunBudget;
   Options.Trace = Config.Trace;
   Options.TraceProgram = TraceProg;
+  Options.Bounds = Config.Bounds;
   GranularityAnalyzer GA(*P, Options);
   GA.run();
   if (Config.Trace) {

@@ -97,6 +97,10 @@ struct BatchConfig {
   /// set, each benchmark gets a Program span (tagged with its registered
   /// program id) and a per-benchmark profile in BatchAnalysis.
   class Tracer *Trace = nullptr;
+  /// Which resource bounds every benchmark's analysis computes (see
+  /// AnalyzerOptions::Bounds).  Upper (the default) keeps batch output
+  /// byte-identical to pre-interval builds.
+  BoundsMode Bounds = BoundsMode::Upper;
 };
 
 /// Analysis-only results of one corpus benchmark in a batch.

@@ -55,7 +55,7 @@ CostAnalysis::CostAnalysis(const Program &P, const CallGraph &CG,
       Metric(Metric), Wam(Wam), Sols(P, CG, Det) {}
 
 const PredicateCostInfo &CostAnalysis::info(Functor F) const {
-  static const PredicateCostInfo Empty{nullptr, false, std::string()};
+  static const PredicateCostInfo Empty;
   auto It = Info.find(F);
   return It == Info.end() ? Empty : It->second;
 }
@@ -85,13 +85,21 @@ namespace {
 ///                       "H Test -> Alt1 ; Alt2" refinement)
 ///   (A ; B):            cost(A) + cost(B)   (both may run on backtracking)
 ///   \+ A:               cost(A)
+///
+/// With \p Lower the walker builds the failure-free minimal-solution
+/// *lower* bound instead: no solution multipliers (every reached goal
+/// executes at least once), (C -> T ; E) and (A ; B) pay the cheaper
+/// branch, and \+ A floors to 0 (it may fail after arbitrarily little
+/// work).  Lower-direction call costs never produce Infinity (unknowns
+/// floor to 0), so plain makeMin is safe here.
 class BodyCostWalker {
 public:
   BodyCostWalker(const SolutionsAnalysis &Sols, const SymbolTable &Symbols,
                  const std::vector<LiteralFacts> &Lits,
-                 const std::function<ExprRef(const LiteralFacts &)> &CallCost)
+                 const std::function<ExprRef(const LiteralFacts &)> &CallCost,
+                 bool Lower = false)
       : Sols(Sols), Symbols(Symbols), Lits(Lits), CallCost(CallCost),
-        Mult(makeNumber(1)) {}
+        Lower(Lower), Mult(makeNumber(1)) {}
 
   /// Cost of \p Goal; as a side effect Mult accumulates the product of
   /// the goal's solution bounds, so later siblings get equation (2)'s
@@ -119,14 +127,16 @@ public:
           Mult = AfterCond;
           ExprRef E = cost(S->arg(1));
           Mult = makeMax(MultT, Mult);
-          return makeAdd(C, makeMax(T, E));
+          // Lower: the condition runs, then exactly one branch.
+          return makeAdd(C, Lower ? makeMin({T, E}) : makeMax(T, E));
         }
         ExprRef Before = Mult;
         ExprRef A = cost(S->arg(0));
         Mult = Before;
         ExprRef B = cost(S->arg(1));
         Mult = makeMul(Before, solsExpr(Goal));
-        return makeAdd(A, B);
+        // Lower: a failure-free run may take either branch alone.
+        return Lower ? makeMin({A, B}) : makeAdd(A, B);
       }
       if (S->arity() == 2 && Name == "->") {
         ExprRef C = cost(S->arg(0));
@@ -137,7 +147,9 @@ public:
         ExprRef Before = Mult;
         ExprRef Inner = cost(S->arg(0));
         Mult = Before; // negation yields at most one (empty) solution
-        return Inner;
+        // Lower: \+ may cut off after arbitrarily little work (the walk
+        // above still consumed the inner literal facts to stay in sync).
+        return Lower ? makeNumber(0) : Inner;
       }
     }
     // A literal: take the next recorded fact.  'true' produces no fact.
@@ -146,6 +158,8 @@ public:
         return makeNumber(0);
     assert(Next < Lits.size() && "cost walk out of sync with facts");
     const LiteralFacts &LF = Lits[Next++];
+    if (Lower)
+      return CallCost(LF); // executed at least once; no solution factors
     ExprRef Result = makeMul(Mult, CallCost(LF));
     Mult = makeMul(Mult, solsExpr(Goal));
     return Result;
@@ -161,6 +175,7 @@ private:
   const SymbolTable &Symbols;
   const std::vector<LiteralFacts> &Lits;
   const std::function<ExprRef(const LiteralFacts &)> &CallCost;
+  bool Lower;
   ExprRef Mult;
   size_t Next = 0;
 };
@@ -168,11 +183,13 @@ private:
 } // namespace
 
 ExprRef CostAnalysis::clauseCost(Functor F, unsigned ClauseIndex,
-                                 const Clause &C) {
+                                 const Clause &C, bool Lower) {
   const SymbolTable &Symbols = P->symbols();
   // Input sizes per literal come from the size analysis, with same-SCC Psi
-  // functions already solved (the size analysis has completed).
-  ClauseFacts Facts = Sizes->analyzeClause(F, C, /*KeepSCCCalls=*/false);
+  // functions already solved (the size analysis has completed).  The
+  // lower direction reads lower input sizes (Infinity = unknown there).
+  ClauseFacts Facts = Sizes->analyzeClause(F, C, /*KeepSCCCalls=*/false,
+                                           Lower);
   bool UseWam = Wam && Metric.kind() == CostMetricKind::Instructions;
 
   size_t LitIndex = 0;
@@ -189,26 +206,42 @@ ExprRef CostAnalysis::clauseCost(Functor F, unsigned ClauseIndex,
     if (!LF.F)
       return Setup;
     if (LF.IsBuiltin) {
-      // findall runs an arbitrary goal to exhaustion: no static bound.
+      // findall runs an arbitrary goal to exhaustion: no static bound
+      // above, and nothing below (the goal may fail immediately).
       if (Symbols.text(LF.F->Name) == "findall")
-        return makeInfinity();
+        return Lower ? Setup : makeInfinity();
       return UseWam ? Setup
                     : makeNumber(Metric.builtinCost(*LF.F, Symbols));
     }
     if (!P->lookup(*LF.F))
-      return makeInfinity(); // undefined predicate: unbounded
+      return Lower ? Setup : makeInfinity(); // undefined: unbounded above
     // Gather the callee's input sizes in input-position order.
     std::vector<ExprRef> Args;
     std::vector<std::string> Params;
+    bool UnknownInput = false;
     for (unsigned I : Modes->inputPositions(*LF.F)) {
       Params.push_back(SizeAnalysis::paramName(I));
       Args.push_back(I < LF.InputSizes.size() && LF.InputSizes[I]
                          ? LF.InputSizes[I]
                          : makeInfinity());
+      UnknownInput |= Args.back()->isInfinity();
+    }
+    if (Lower) {
+      // An unknown lower input size must not be substituted into a
+      // closed form (it could vanish inside a min node); the call's
+      // contribution floors to 0 then — sound, costs are non-negative.
+      if (UnknownInput)
+        return Setup;
+      const PredicateCostInfo &Callee = info(*LF.F);
+      if (Callee.Cost.Lo)
+        return makeAdd(Setup,
+                       instantiateDef({Params, Callee.Cost.Lo}, Args));
+      return makeAdd(Setup,
+                     makeCall(costName(*LF.F), Args)); // same SCC
     }
     const PredicateCostInfo &Callee = info(*LF.F);
-    if (Callee.CostFn)
-      return makeAdd(Setup, instantiateDef({Params, Callee.CostFn}, Args));
+    if (Callee.Cost.Hi)
+      return makeAdd(Setup, instantiateDef({Params, Callee.Cost.Hi}, Args));
     return makeAdd(Setup,
                    makeCall(costName(*LF.F), Args)); // same SCC: symbolic
   };
@@ -216,14 +249,15 @@ ExprRef CostAnalysis::clauseCost(Functor F, unsigned ClauseIndex,
   ExprRef HeadCost =
       UseWam ? makeNumber(static_cast<int64_t>(Wam->headCost(F, ClauseIndex)))
              : makeNumber(Metric.headCost(F.Arity));
-  BodyCostWalker Walker(Sols, Symbols, Facts.Literals, CallCost);
+  BodyCostWalker Walker(Sols, Symbols, Facts.Literals, CallCost, Lower);
   return makeAdd(HeadCost, Walker.cost(C.body()));
 }
 
 void CostAnalysis::degradeSCC(const std::vector<Functor> &Members) {
   for (Functor F : Members) {
     PredicateCostInfo &CI = Info[F];
-    CI.CostFn = makeInfinity();
+    CI.Cost.Hi = makeInfinity();
+    CI.Cost.Lo = Bounds == BoundsMode::Both ? makeNumber(0) : nullptr;
     CI.Exact = false;
     CI.Schema.clear();
     CI.Why = budgetWhy(*ResourceBudget, MeterKind::Deadline);
@@ -271,17 +305,17 @@ void CostAnalysis::analyzeSCC(const std::vector<Functor> &Members) {
     bool Exact = true;
     std::string Schema, Why;
     if (std::optional<MeterKind> K = Meter.over()) {
-      CI.CostFn = makeInfinity();
+      CI.Cost.Hi = makeInfinity();
       Exact = false;
       Why = budgetWhy(*ResourceBudget, *K);
       ResourceBudget->record({"cost", *K, P->symbols().text(F)});
     } else {
-      CI.CostFn = solvePredicate(F, ClauseCosts[F], &Exact, &Schema, &Why);
-      if (CI.CostFn)
-        Meter.noteTreeSize(CI.CostFn->treeSize());
+      CI.Cost.Hi = solvePredicate(F, ClauseCosts[F], &Exact, &Schema, &Why);
+      if (CI.Cost.Hi)
+        Meter.noteTreeSize(CI.Cost.Hi->treeSize());
       if (std::optional<MeterKind> After = Meter.over()) {
-        if (CI.CostFn && !CI.CostFn->isInfinity()) {
-          CI.CostFn = makeInfinity();
+        if (CI.Cost.Hi && !CI.Cost.Hi->isInfinity()) {
+          CI.Cost.Hi = makeInfinity();
           Schema.clear();
           Why = budgetWhy(*ResourceBudget, *After);
           Exact = false;
@@ -292,16 +326,51 @@ void CostAnalysis::analyzeSCC(const std::vector<Functor> &Members) {
     CI.Exact = Exact;
     CI.Schema = Schema;
     CI.Why = Why;
-    if (CI.CostFn && CI.CostFn->isInfinity() && CI.Why.empty())
+    if (CI.Cost.Hi && CI.Cost.Hi->isInfinity() && CI.Why.empty())
       CI.Why = "a clause body contains an unbounded goal (undefined "
                "predicate, findall, or an unbounded solution count)";
     if (statsActive(Stats)) {
       statsAdd(Stats, "cost.predicates");
-      if (CI.CostFn && CI.CostFn->isInfinity())
+      if (CI.Cost.Hi && CI.Cost.Hi->isInfinity())
         statsAdd(Stats, "cost.infinity");
       if (!Exact)
         statsAdd(Stats, "cost.relaxed");
     }
+  }
+
+  // The dual lower-bound pass (BoundsMode::Both only).  Clause costs are
+  // rebuilt in the lower direction — the upper expressions embed solution
+  // multipliers and max-merges that have no lower reading.
+  if (Bounds != BoundsMode::Both)
+    return;
+  for (Functor F : Members) {
+    PredicateCostInfo &CI = Info[F];
+    const Predicate *Pred = P->lookup(F);
+    std::vector<ExprRef> LowerCosts;
+    if (Pred)
+      for (size_t I = 0; I != Pred->clauses().size(); ++I) {
+        if (Meter.over()) {
+          LowerCosts.push_back(makeNumber(0));
+          continue;
+        }
+        LowerCosts.push_back(clauseCost(F, static_cast<unsigned>(I),
+                                        Pred->clauses()[I], /*Lower=*/true));
+        Meter.noteTreeSize(LowerCosts.back()->treeSize());
+      }
+    CI.Cost.Lo = Meter.over() ? makeNumber(0)
+                              : solvePredicateLower(F, LowerCosts);
+    // Same oversized-tree guard as the upper pass; the degraded lower
+    // bound is 0.
+    Meter.noteTreeSize(CI.Cost.Lo->treeSize());
+    if (Meter.over())
+      CI.Cost.Lo = makeNumber(0);
+    // Intersect with the upper bound: a relaxed upper closed form can
+    // dip below the true cost at tiny sizes (where the recurrence never
+    // actually lands), which would invert the interval there.  min(Lo,
+    // Hi) only ever weakens Lo, so it stays a sound lower bound while
+    // pinning Lo <= Hi pointwise.
+    if (CI.Cost.Hi && !CI.Cost.Hi->isInfinity())
+      CI.Cost.Lo = makeMin({CI.Cost.Lo, CI.Cost.Hi});
   }
 }
 
@@ -486,10 +555,142 @@ ExprRef CostAnalysis::solvePredicate(Functor F,
   return Result;
 }
 
+ExprRef
+CostAnalysis::solvePredicateLower(Functor F,
+                                  const std::vector<ExprRef> &ClauseCosts) {
+  // Costs are non-negative, so 0 is always a sound lower bound: every
+  // failure path below degrades to it.
+  const ExprRef Fallback = makeNumber(0);
+  const Predicate *Pred = P->lookup(F);
+  if (!Pred || ClauseCosts.empty())
+    return Fallback;
+
+  // ':- trust_cost' asserts the actual cost, valid in both directions.
+  if (const Term *Trust = Pred->trustCost()) {
+    ExprRef T = trustTermToExpr(Trust, P->symbols());
+    return T->isInfinity() ? Fallback : T;
+  }
+
+  std::vector<unsigned> Inputs = Modes->inputPositions(F);
+  std::vector<std::string> Params;
+  for (unsigned I : Inputs)
+    Params.push_back(SizeAnalysis::paramName(I));
+
+  unsigned SCCId = CG->sccId(F);
+  const std::string SelfName = costName(F);
+
+  // The other SCC members' *lower* cost right-hand sides, min-merged
+  // across clauses (the executed clause may be any of them; exclusivity
+  // is irrelevant in the lower direction).
+  std::vector<std::string> SCCNames;
+  std::map<std::string, EquationDef> OtherDefs;
+  for (Functor M : CG->sccMembers(SCCId)) {
+    std::string Name = costName(M);
+    SCCNames.push_back(Name);
+    if (Name == SelfName)
+      continue;
+    const Predicate *MP = P->lookup(M);
+    if (!MP)
+      continue;
+    std::vector<std::string> MParams;
+    for (unsigned I : Modes->inputPositions(M))
+      MParams.push_back(SizeAnalysis::paramName(I));
+    std::vector<ExprRef> Rhses;
+    for (size_t I = 0; I != MP->clauses().size(); ++I)
+      Rhses.push_back(clauseCost(M, static_cast<unsigned>(I),
+                                 MP->clauses()[I], /*Lower=*/true));
+    OtherDefs[Name] = EquationDef{
+        MParams, Rhses.empty() ? makeNumber(0) : makeMin(std::move(Rhses))};
+  }
+
+  auto ContainsSCCCall = [&](const ExprRef &E) {
+    for (const std::string &Name : SCCNames)
+      if (containsCall(E, Name))
+        return true;
+    return false;
+  };
+
+  int RecArg = Sizes->recursionArg(F);
+  int RecIndex = -1;
+  for (size_t I = 0; I != Inputs.size(); ++I)
+    if (static_cast<int>(Inputs[I]) == RecArg)
+      RecIndex = static_cast<int>(I);
+  MeasureKind RecMeasure = RecArg >= 0 && !Sizes->info(F).Measures.empty()
+                               ? Sizes->info(F).Measures[RecArg]
+                               : MeasureKind::TermSize;
+
+  std::vector<Boundary> Boundaries;
+  std::vector<ExprRef> Bases;
+  std::vector<Recurrence> Recs;
+
+  for (size_t CI = 0; CI != ClauseCosts.size(); ++CI) {
+    const Clause &C = Pred->clauses()[CI];
+    ExprRef Rhs = ClauseCosts[CI];
+    if (!ContainsSCCCall(Rhs)) {
+      if (RecArg >= 0) {
+        const StructTerm *Head = dynCast<StructTerm>(deref(C.head()));
+        std::optional<int64_t> At =
+            Head ? minPatternSize(Head->arg(RecArg), RecMeasure,
+                                  P->symbols())
+                 : std::nullopt;
+        if (At) {
+          Boundaries.push_back({Rational(*At), Rhs});
+          continue;
+        }
+      }
+      Bases.push_back(Rhs);
+      continue;
+    }
+    ExprRef Reduced;
+    {
+      TraceSpan Norm(Trace, SpanKind::Normalize);
+      Reduced = inlineCalls(
+          Rhs, OtherDefs, static_cast<unsigned>(OtherDefs.size()) + 2);
+    }
+    if (WorkMeter *M = currentWorkMeter())
+      if (M->over())
+        return Fallback;
+    bool StillForeign = false;
+    for (const std::string &Name : SCCNames)
+      if (Name != SelfName && containsCall(Reduced, Name))
+        StillForeign = true;
+    if (StillForeign || RecIndex < 0)
+      return Fallback;
+    // The lower dual of the upper extractor's max-to-sum relaxation.
+    Reduced = lowerSelectOverCalls(Reduced, SelfName);
+    std::optional<Recurrence> R = extractRecurrence(
+        SelfName, Params, static_cast<unsigned>(RecIndex), Reduced);
+    if (!R)
+      return Fallback;
+    Recs.push_back(std::move(*R));
+  }
+
+  if (Recs.empty()) {
+    // Nonrecursive: the executed clause may be any of them, so min.
+    std::vector<ExprRef> All = Bases;
+    for (const Boundary &B : Boundaries)
+      All.push_back(B.Value);
+    return All.empty() ? Fallback : makeMin(std::move(All));
+  }
+
+  Recurrence Merged = mergeRecurrencesLower(Recs);
+  Merged.Boundaries = Boundaries;
+  SolveResult S = Solver.solve(Merged);
+  if (S.failed() || !S.Lo)
+    return Fallback;
+  ExprRef Lo = S.Lo;
+  if (!Bases.empty()) {
+    // A base clause applicable at any size caps the minimal work.
+    Bases.push_back(Lo);
+    Lo = makeMin(std::move(Bases));
+  }
+  return Lo->isInfinity() ? Fallback : Lo;
+}
+
 std::optional<double>
 CostAnalysis::costAt(Functor F, const std::vector<double> &InputSizes) const {
   const PredicateCostInfo &CI = info(F);
-  if (!CI.CostFn)
+  if (!CI.Cost.Hi)
     return std::nullopt;
   std::vector<unsigned> Inputs = Modes->inputPositions(F);
   if (Inputs.size() != InputSizes.size())
@@ -497,5 +698,20 @@ CostAnalysis::costAt(Functor F, const std::vector<double> &InputSizes) const {
   std::map<std::string, double> Env;
   for (size_t I = 0; I != Inputs.size(); ++I)
     Env[SizeAnalysis::paramName(Inputs[I])] = InputSizes[I];
-  return evaluate(CI.CostFn, Env);
+  return evaluate(CI.Cost.Hi, Env);
+}
+
+std::optional<double>
+CostAnalysis::costLoAt(Functor F,
+                       const std::vector<double> &InputSizes) const {
+  const PredicateCostInfo &CI = info(F);
+  if (!CI.Cost.Lo)
+    return std::nullopt;
+  std::vector<unsigned> Inputs = Modes->inputPositions(F);
+  if (Inputs.size() != InputSizes.size())
+    return std::nullopt;
+  std::map<std::string, double> Env;
+  for (size_t I = 0; I != Inputs.size(); ++I)
+    Env[SizeAnalysis::paramName(Inputs[I])] = InputSizes[I];
+  return evaluate(CI.Cost.Lo, Env);
 }

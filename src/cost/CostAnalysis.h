@@ -69,9 +69,14 @@ private:
 
 /// Cost-analysis result for one predicate.
 struct PredicateCostInfo {
-  /// Closed-form upper bound in the input-size parameters "n<pos+1>";
-  /// Infinity when no bound was found.
-  ExprRef CostFn;
+  /// Closed-form cost bounds in the input-size parameters "n<pos+1>".
+  /// Cost.Hi is the upper bound (Infinity when no bound was found;
+  /// nullptr only for an un-analyzed / same-SCC-in-progress entry).
+  /// Cost.Lo is the failure-free minimal-solution lower bound, filled
+  /// only in BoundsMode::Both (null otherwise); costs are non-negative,
+  /// so 0 is always a valid degraded lower bound and a filled Lo is
+  /// never null or Infinity.
+  BoundInterval Cost;
   bool Exact = false;
   std::string Schema; ///< solver schema used ("" if none / nonrecursive)
   /// Provenance: why the cost fell to Infinity (empty otherwise);
@@ -102,7 +107,7 @@ public:
 
   /// Installs a previously computed result for \p F, as if its SCC had
   /// been analyzed (see SizeAnalysis::injectInfo).  Must precede the
-  /// dirty SCCs' jobs: clauseCost treats a null callee CostFn as a
+  /// dirty SCCs' jobs: clauseCost treats a null callee Cost.Hi as a
   /// same-SCC symbolic call, so a missing injection would silently change
   /// a caller's equation rather than fail.
   void injectInfo(Functor F, PredicateCostInfo CI) {
@@ -118,11 +123,22 @@ public:
   /// The symbolic name of the cost function of \p F.
   std::string costName(Functor F) const;
 
-  /// Evaluates Cost_F for concrete input sizes (by input position order).
-  /// Returns +inf for Infinity, nullopt if the function is missing or the
-  /// wrong number of sizes was supplied.
+  /// Evaluates Cost_F (the upper bound) for concrete input sizes (by
+  /// input position order).  Returns +inf for Infinity, nullopt if the
+  /// function is missing or the wrong number of sizes was supplied.
   std::optional<double> costAt(Functor F,
                                const std::vector<double> &InputSizes) const;
+
+  /// Evaluates the lower cost bound Cost.Lo the same way; nullopt when no
+  /// lower bound was computed (upper-only mode).
+  std::optional<double> costLoAt(Functor F,
+                                 const std::vector<double> &InputSizes) const;
+
+  /// Selects which bounds to compute; call before run().  Both adds a
+  /// dual lower-bound pass per SCC (failure-free minimal solutions, min
+  /// over clauses) after the upper pass; the default (Upper) performs
+  /// exactly the pre-interval analysis.
+  void setBounds(BoundsMode B) { Bounds = B; }
 
   /// Removes a difference-equation schema before run() (ablations).
   void disableSchema(const std::string &Name) {
@@ -163,11 +179,22 @@ private:
   void degradeSCC(const std::vector<Functor> &Members);
 
   /// Builds the cost expression of one clause; SCC-internal calls appear
-  /// as symbolic Call nodes.
-  ExprRef clauseCost(Functor F, unsigned ClauseIndex, const Clause &C);
+  /// as symbolic Call nodes.  With \p Lower the walk builds the
+  /// failure-free minimal-solution lower bound instead: no solution
+  /// multipliers, if-then-else pays the condition plus the cheaper
+  /// branch, disjunctions take the min, negation and unbounded goals
+  /// floor to 0.
+  ExprRef clauseCost(Functor F, unsigned ClauseIndex, const Clause &C,
+                     bool Lower = false);
 
   ExprRef solvePredicate(Functor F, const std::vector<ExprRef> &ClauseCosts,
                          bool *Exact, std::string *Schema, std::string *Why);
+
+  /// Dual of solvePredicate: min over clauses (the executed clause may be
+  /// any of them), min-merged recurrences, SolveResult::Lo.  Any failure
+  /// degrades to 0 — costs are non-negative, so 0 is always sound.
+  ExprRef solvePredicateLower(Functor F,
+                              const std::vector<ExprRef> &ClauseCosts);
 
   const Program *P;
   const CallGraph *CG;
@@ -176,6 +203,7 @@ private:
   const SizeAnalysis *Sizes;
   CostMetric Metric;
   const WamCompiler *Wam;
+  BoundsMode Bounds = BoundsMode::Upper;
   DiffEqSolver Solver;
   SolutionsAnalysis Sols;
   StatsRegistry *Stats = nullptr;

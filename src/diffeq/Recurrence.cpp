@@ -310,3 +310,86 @@ Recurrence granlog::mergeRecurrences(const std::vector<Recurrence> &Rs,
                         : makeMax(std::move(Additives));
   return Merged;
 }
+
+Recurrence
+granlog::mergeRecurrencesLower(const std::vector<Recurrence> &Rs) {
+  assert(!Rs.empty() && "nothing to merge");
+  Recurrence Merged;
+  Merged.Function = Rs[0].Function;
+  Merged.Var = Rs[0].Var;
+  // A self term survives only if every clause has it (a clause without it
+  // has coefficient 0, and min with 0 is 0); the survivor keeps the min
+  // coefficient.  Start from the first clause's terms and intersect.
+  Merged.ShiftTerms = Rs[0].ShiftTerms;
+  Merged.DivideTerms = Rs[0].DivideTerms;
+  for (size_t I = 1; I != Rs.size(); ++I) {
+    const Recurrence &R = Rs[I];
+    assert(R.Function == Merged.Function && R.Var == Merged.Var &&
+           "merging unrelated recurrences");
+    std::vector<ShiftTerm> KeptShift;
+    for (const ShiftTerm &M : Merged.ShiftTerms)
+      for (const ShiftTerm &T : R.ShiftTerms)
+        if (M.Shift == T.Shift) {
+          KeptShift.push_back({std::min(M.Coeff, T.Coeff), M.Shift});
+          break;
+        }
+    Merged.ShiftTerms = std::move(KeptShift);
+    std::vector<DivideTerm> KeptDivide;
+    for (const DivideTerm &M : Merged.DivideTerms)
+      for (const DivideTerm &T : R.DivideTerms)
+        if (M.Divisor == T.Divisor) {
+          // f(n/b + c) >= f(n/b) for monotone f and c >= 0, so the min
+          // offset keeps the lower-bound property.
+          KeptDivide.push_back({std::min(M.Coeff, T.Coeff), M.Divisor,
+                                std::min(M.Offset, T.Offset)});
+          break;
+        }
+    Merged.DivideTerms = std::move(KeptDivide);
+  }
+  std::vector<ExprRef> Additives;
+  for (const Recurrence &R : Rs) {
+    Additives.push_back(R.Additive);
+    for (const Boundary &B : R.Boundaries)
+      Merged.Boundaries.push_back(B);
+  }
+  Merged.Additive = makeMin(std::move(Additives));
+  return Merged;
+}
+
+ExprRef granlog::lowerSelectOverCalls(const ExprRef &E,
+                                      const std::string &Function) {
+  if (E->operands().empty())
+    return E;
+  if (!containsCall(E, Function))
+    return E;
+  std::vector<ExprRef> Ops;
+  Ops.reserve(E->operands().size());
+  for (const ExprRef &Op : E->operands())
+    Ops.push_back(lowerSelectOverCalls(Op, Function));
+  switch (E->kind()) {
+  case ExprKind::Max: {
+    // max(a, b) >= a: keep the first call-containing operand (rewritten),
+    // preserving the recursive structure.
+    for (size_t I = 0; I != E->operands().size(); ++I)
+      if (containsCall(E->operands()[I], Function))
+        return Ops[I];
+    return makeMax(std::move(Ops)); // unreachable: containsCall held
+  }
+  case ExprKind::Min:
+    // min with a self-call has no linear lower form in f; 0 is the only
+    // universally sound floor for a non-negative resource.
+    return makeNumber(0);
+  case ExprKind::Add:
+    return makeAdd(std::move(Ops));
+  case ExprKind::Mul:
+    return makeMul(std::move(Ops));
+  case ExprKind::Pow:
+    return makePow(Ops[0], Ops[1]);
+  case ExprKind::Log2:
+    return makeLog2(Ops[0]);
+  case ExprKind::Call:
+    return makeCall(E->name(), std::move(Ops));
+  default:
+    return E;
+  }
+}

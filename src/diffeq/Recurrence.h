@@ -123,6 +123,25 @@ ExprRef inlineCalls(const ExprRef &E,
 /// Boundary conditions are unioned in both cases.
 Recurrence mergeRecurrences(const std::vector<Recurrence> &Rs, bool Sum);
 
+/// Merges the lower recurrences of alternative clauses into one sound
+/// *lower* bound (failure-free minimal solutions: the executed clause may
+/// be any of them, so the merge is a pointwise min):
+///   min_i (sum_j c_ij f(n-k_j) + g_i)
+///     >= sum_j (min_i c_ij) f(n-k_j) + min_i g_i
+/// by superadditivity of min over sums of non-negative terms.  A self
+/// term absent from some clause has coefficient 0 there, so only terms
+/// present in *every* clause survive (with the min coefficient); additive
+/// parts combine by min; boundary conditions are unioned.
+Recurrence mergeRecurrencesLower(const std::vector<Recurrence> &Rs);
+
+/// Rewrites \p E so that every Max/Min node containing a call to
+/// \p Function disappears in a lower-bound-sound way: max(a, b) >= a, so a
+/// Max keeps (only) its first call-containing operand; min(a, b) has no
+/// linear lower form in f, so a Min with self-calls collapses to 0.  The
+/// dual of the max-to-sum relaxation extractRecurrence applies for upper
+/// bounds — run this first when extracting a *lower* recurrence.
+ExprRef lowerSelectOverCalls(const ExprRef &E, const std::string &Function);
+
 } // namespace granlog
 
 #endif // GRANLOG_DIFFEQ_RECURRENCE_H

@@ -36,6 +36,34 @@ ShiftTerm granlog::collapseShiftTerms(const Recurrence &R, bool &WasExact) {
   return Result;
 }
 
+bool granlog::chooseBaseLower(const Recurrence &R, Rational &BaseAt,
+                              ExprRef &BaseValue) {
+  if (R.Boundaries.empty())
+    return false;
+  BaseAt = R.Boundaries[0].At;
+  std::vector<ExprRef> Values;
+  for (const Boundary &B : R.Boundaries) {
+    BaseAt = std::max(BaseAt, B.At);
+    Values.push_back(B.Value);
+  }
+  // An Infinity boundary value reads as f(At) >= Infinity — vacuously
+  // strong under the >= reading — and makeMin drops it, which is exactly
+  // the sound treatment here.
+  BaseValue = makeMin(std::move(Values));
+  return true;
+}
+
+ShiftTerm granlog::collapseShiftTermsLower(const Recurrence &R) {
+  assert(!R.ShiftTerms.empty() && R.DivideTerms.empty() &&
+         "collapse requires shift-only equations");
+  ShiftTerm Result = R.ShiftTerms[0];
+  for (size_t I = 1; I != R.ShiftTerms.size(); ++I) {
+    Result.Coeff += R.ShiftTerms[I].Coeff;
+    Result.Shift = std::max(Result.Shift, R.ShiftTerms[I].Shift);
+  }
+  return Result;
+}
+
 namespace {
 
 /// Substitutes a rational constant for the recurrence variable.
@@ -49,6 +77,15 @@ Rational rationalCeil(double Value) {
   return Rational(static_cast<int64_t>(std::ceil(Value * 4096.0)), 4096);
 }
 
+/// Normalizes a schema's lower bound before returning: never null, never
+/// Infinity.  An Infinity that survived into Lo means some ingredient was
+/// unknown (poisoned), and the only universally sound floor for a
+/// non-negative resource is 0.
+void finishLo(SolveResult &Result) {
+  if (!Result.Lo || Result.Lo->isInfinity())
+    Result.Lo = makeNumber(0);
+}
+
 /// No self terms at all: f(n) = g(n), possibly refined by boundary values.
 class ClosedSchema : public Schema {
 public:
@@ -60,7 +97,14 @@ public:
     std::vector<ExprRef> Parts{R.Additive};
     for (const Boundary &B : R.Boundaries)
       Parts.push_back(B.Value);
-    return SolveResult{makeMax(std::move(Parts)), name(), /*Exact=*/true};
+    // Folding boundary values in by max is a relaxation: the result is
+    // only an upper bound once there is anything to fold.  The equation
+    // is its own exact solution precisely when there are no boundaries.
+    SolveResult Result{makeMax(std::vector<ExprRef>(Parts)), name(),
+                       /*Exact=*/R.Boundaries.empty()};
+    Result.Lo = Result.Exact ? Result.Closed : makeMin(std::move(Parts));
+    finishLo(Result);
+    return Result;
   }
 };
 
@@ -92,6 +136,13 @@ public:
       return std::nullopt;
     WasExact &= R.Boundaries.size() == 1;
 
+    // Dual ingredients for the lower reading: the *largest* boundary with
+    // the *min* value, and the *max* shift.
+    Rational LowAt;
+    ExprRef LowValue;
+    chooseBaseLower(R, LowAt, LowValue);
+    ShiftTerm TL = collapseShiftTermsLower(R);
+
     if (T.Shift == Rational(1)) {
       std::optional<std::vector<ExprRef>> Poly =
           polynomialIn(R.Additive, R.Var);
@@ -100,7 +151,22 @@ public:
         ExprRef Closed = makeAdd(
             {BaseValue, G,
              makeScale(Rational(-1), atPoint(G, R.Var, BaseAt))});
-        return SolveResult{Closed, name(), WasExact};
+        SolveResult Result{Closed, name(), WasExact};
+        if (WasExact)
+          // An exact solve is its own minimal solution: Lo == Hi.
+          Result.Lo = Closed;
+        else if (T.Coeff == Rational(1) && TL.Shift == Rational(1))
+          // Coefficient sum 1 with every shift <= 1 reads as
+          // f(n) >= f(n-1) + g(n), so the Faulhaber sum unrolled down to
+          // the largest boundary is a sound lower bound too.
+          Result.Lo = makeAdd(
+              {LowValue, G,
+               makeScale(Rational(-1), atPoint(G, R.Var, LowAt))});
+        else
+          // Monotone f never drops below its latest base value.
+          Result.Lo = LowValue;
+        finishLo(Result);
+        return Result;
       }
     }
     // General monotone bound.
@@ -109,7 +175,24 @@ public:
                   makeSub(makeVar(R.Var), makeNumber(BaseAt))),
         makeNumber(1));
     ExprRef Closed = makeAdd(BaseValue, makeMul(Steps, R.Additive));
-    return SolveResult{Closed, name(), /*Exact=*/false};
+    SolveResult Result{Closed, name(), /*Exact=*/false};
+    // Lower reading: monotone f stays >= LowValue past the base, and with
+    // coefficient sum 1 each of the >= (n - LowAt)/K_max - 1 guaranteed
+    // unfoldings contributes at least g(LowAt) when that evaluates to a
+    // known non-negative constant.
+    Result.Lo = LowValue;
+    if (T.Coeff == Rational(1)) {
+      ExprRef GBase = atPoint(R.Additive, R.Var, LowAt);
+      if (GBase->isNumber() && !(GBase->number() < Rational(0))) {
+        ExprRef StepsLow = makeAdd(
+            makeScale(Rational(1) / TL.Shift,
+                      makeSub(makeVar(R.Var), makeNumber(LowAt))),
+            makeNumber(-1));
+        Result.Lo = makeAdd(LowValue, makeMul(StepsLow, GBase));
+      }
+    }
+    finishLo(Result);
+    return Result;
   }
 };
 
@@ -144,17 +227,39 @@ public:
     ExprRef Growth = makePow(makeNumber(A), Exponent);
     Rational InvAm1 = Rational(1) / (A - Rational(1));
 
+    // Lower reading: f(n) >= A f(n - K_max) + g(n) >= A f(n - K_max)
+    // (g non-negative), and unrolling floor((n - LowAt)/K_max) >=
+    // (n - LowAt)/K_max - 1 times over the largest boundary gives
+    //   f(n) >= LowValue * A^((n - LowAt)/K_max) / A.
+    auto lowerFloor = [&](const Recurrence &R) {
+      Rational LowAt;
+      ExprRef LowValue;
+      chooseBaseLower(R, LowAt, LowValue);
+      ShiftTerm TL = collapseShiftTermsLower(R);
+      ExprRef ExpLow =
+          makeScale(Rational(1) / TL.Shift,
+                    makeSub(makeVar(R.Var), makeNumber(LowAt)));
+      return makeScale(Rational(1) / A,
+                       makeMul(LowValue, makePow(makeNumber(A), ExpLow)));
+    };
+
     if (!containsVar(R.Additive, R.Var)) {
       // Constant additive part: exact closed form.
       ExprRef BOver = makeScale(InvAm1, R.Additive);
       ExprRef Closed =
           makeAdd(makeMul(makeAdd(BaseValue, BOver), Growth),
                   makeScale(Rational(-1), BOver));
-      return SolveResult{Closed, name(), WasExact};
+      SolveResult Result{Closed, name(), WasExact};
+      Result.Lo = WasExact ? Closed : lowerFloor(R);
+      finishLo(Result);
+      return Result;
     }
     ExprRef Closed = makeMul(
         makeAdd(BaseValue, makeScale(InvAm1, R.Additive)), Growth);
-    return SolveResult{Closed, name(), /*Exact=*/false};
+    SolveResult Result{Closed, name(), /*Exact=*/false};
+    Result.Lo = lowerFloor(R);
+    finishLo(Result);
+    return Result;
   }
 };
 
@@ -197,6 +302,13 @@ public:
     ExprRef BaseValue;
     if (!chooseBase(R, BaseAt, BaseValue))
       return std::nullopt;
+
+    // Lower reading: the library's divide-and-conquer forms are all
+    // relaxed, so the dual falls back to the monotone floor — f never
+    // drops below the min value of its largest boundary.
+    Rational LowAt;
+    ExprRef LowValue;
+    chooseBaseLower(R, LowAt, LowValue);
 
     ExprRef N = makeVar(R.Var);
     // Recursive arguments of the form n/b + c (c > 0, from e.g. even/odd
@@ -265,12 +377,18 @@ public:
       if (ExtraLevel)
         Base = makeScale(A, Base);
       Terms.push_back(Base);
-      return SolveResult{makeAdd(std::move(Terms)), name(), /*Exact=*/false};
+      SolveResult Result{makeAdd(std::move(Terms)), name(), /*Exact=*/false};
+      Result.Lo = LowValue;
+      finishLo(Result);
+      return Result;
     }
     // a > b^d, or non-polynomial g.
     if (A == Rational(1)) {
       ExprRef Closed = makeAdd(makeMul(Additive, Levels), BaseValue);
-      return SolveResult{Closed, name(), /*Exact=*/false};
+      SolveResult Result{Closed, name(), /*Exact=*/false};
+      Result.Lo = LowValue;
+      finishLo(Result);
+      return Result;
     }
     Rational C =
         rationalCeil(std::log(A.asDouble()) / std::log(B.asDouble()));
@@ -279,7 +397,10 @@ public:
     ExprRef Extra = ExtraLevel ? makeNumber(A) : makeNumber(1);
     ExprRef Closed = makeMul(
         {makeAdd(BaseValue, makeScale(AOverAm1, Additive)), NPowC, Extra});
-    return SolveResult{Closed, name(), /*Exact=*/false};
+    SolveResult Result{Closed, name(), /*Exact=*/false};
+    Result.Lo = LowValue;
+    finishLo(Result);
+    return Result;
   }
 };
 
@@ -307,6 +428,7 @@ SolveResult DiffEqSolver::solve(const Recurrence &R) const {
       Result = SolveResult{makeInfinity(), std::string(), /*Exact=*/false,
                            budgetWhy(*M->budget(), *K)};
       Result.Degraded = true;
+      Result.Lo = makeNumber(0);
       Solve.setDetail(TraceSolveDegraded);
       statsAdd(Stats, StatsPrefix + ".budget_degraded");
     } else {
@@ -389,8 +511,10 @@ SolveResult DiffEqSolver::solveDirect(const Recurrence &R) const {
       Why += std::string(" ") + S->name();
     Why += ")";
   }
-  return SolveResult{makeInfinity(), std::string(), /*Exact=*/false,
-                     std::move(Why)};
+  SolveResult Fail{makeInfinity(), std::string(), /*Exact=*/false,
+                   std::move(Why)};
+  Fail.Lo = makeNumber(0);
+  return Fail;
 }
 
 void DiffEqSolver::disableSchema(const std::string &Name) {

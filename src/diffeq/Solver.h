@@ -47,6 +47,18 @@ struct SolveResult {
   /// True when the solve was skipped because the scope's resource budget
   /// was exhausted (Closed is then Infinity and Why carries the meter).
   bool Degraded = false;
+  /// Closed-form lower bound in Recurrence::Var, under the dual reading of
+  /// the equation: any monotone non-decreasing, non-negative f with
+  ///   f(n) >= Sum C_i f(n - k_i) + g(n)   for n above the base, and
+  ///   f(At) >= Value                      for every boundary
+  /// satisfies f >= Lo pointwise (over the measured domain, n >= base).
+  /// Equals Closed when Exact (an exact solve of the lower recurrence IS
+  /// its minimal solution); a weaker per-schema floor otherwise; the
+  /// constant 0 when the schema has no useful dual or the solve failed.
+  /// Never null after DiffEqSolver::solve().  Callers that built an
+  /// *upper* recurrence must read Closed and ignore Lo; callers that
+  /// built a *lower* recurrence read Lo — one cached entry serves both.
+  ExprRef Lo;
 
   bool failed() const { return Closed->isInfinity(); }
 };
@@ -135,6 +147,18 @@ bool chooseBase(const Recurrence &R, Rational &BaseAt, ExprRef &BaseValue);
 /// equations.  Sound for monotone f:  sum C_i f(n-K_i) <= (sum C_i) f(n-K).
 /// Sets \p WasExact when the equation already had exactly one term.
 ShiftTerm collapseShiftTerms(const Recurrence &R, bool &WasExact);
+
+/// Dual of chooseBase for lower bounds: selects the *largest* boundary At
+/// and the *min* over boundary values, so that monotone f satisfies
+/// f(n) >= BaseValue for all n >= BaseAt.  Returns false when there is no
+/// boundary.
+bool chooseBaseLower(const Recurrence &R, Rational &BaseAt,
+                     ExprRef &BaseValue);
+
+/// Dual of collapseShiftTerms: A is still the sum of all coefficients but
+/// K is the *maximum* shift.  Sound for monotone f:
+///   sum C_i f(n-K_i) >= (sum C_i) f(n-K_max).
+ShiftTerm collapseShiftTermsLower(const Recurrence &R);
 
 /// @}
 

@@ -180,8 +180,11 @@ SolveResult SolverCache::solve(
   std::call_once(E->Once, [&] { E->Result = SolveFn(C->R); });
 
   SolveResult Result = E->Result;
-  for (const auto &[Canon, Orig] : C->RenameBack)
+  for (const auto &[Canon, Orig] : C->RenameBack) {
     Result.Closed = substituteVar(Result.Closed, Canon, makeVar(Orig));
+    if (Result.Lo)
+      Result.Lo = substituteVar(Result.Lo, Canon, makeVar(Orig));
+  }
   if (Out)
     *Out = Inserted ? Outcome::Miss
                     : (E->FromDisk ? Outcome::DiskHit : Outcome::Hit);
@@ -379,6 +382,8 @@ serializeEntry(const SolverCache::CacheKey &Key, const SolveResult &R) {
   W.beginObject();
   W.key("closed");
   writeExpr(W, R.Closed);
+  W.key("lo");
+  writeExpr(W, R.Lo ? R.Lo : makeNumber(0));
   W.key("schema");
   W.value(R.SchemaName);
   W.key("exact");
@@ -445,6 +450,9 @@ bool parseEntry(const JsonValue &V, SolverCache::CacheKey &Key,
   const JsonValue *Closed = Res->find("closed");
   if (!Closed || !(R.Closed = readExpr(*Closed)))
     return false;
+  const JsonValue *Lo = Res->find("lo");
+  if (!Lo || !(R.Lo = readExpr(*Lo)))
+    return false; // mandatory since DiskFormatVersion 2
   std::optional<std::string> Schema = Res->stringMember("schema");
   std::optional<bool> Exact = Res->boolMember("exact");
   std::optional<std::string> Why = Res->stringMember("why");

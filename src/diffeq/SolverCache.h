@@ -133,8 +133,9 @@ public:
   /// @{
 
   /// Bump when the JSON layout changes; old files are then rejected
-  /// (and overwritten on the next save).
-  static constexpr int DiskFormatVersion = 1;
+  /// (and overwritten on the next save).  v2 added the mandatory "lo"
+  /// closed form (SolveResult::Lo) to every stored result.
+  static constexpr int DiskFormatVersion = 2;
 
   /// Merges the entries of \p Path into this cache (loaded entries count
   /// hits as disk hits).  Returns false and sets \p Error when the file

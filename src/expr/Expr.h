@@ -329,6 +329,30 @@ ExprRef makeMin(std::vector<ExprRef> Ops);
 ExprRef makeCall(std::string Name, std::vector<ExprRef> Args);
 /// @}
 
+/// A two-sided resource interval: closed-form lower and upper bounds on
+/// one quantity (an argument size or a predicate cost).  Hi is the
+/// classic upper bound every analysis always computes; Lo is the
+/// failure-free minimal-solution lower bound and is null when the caller
+/// did not opt into lower bounds (BoundsMode::Upper).  When both are
+/// present the analyses guarantee Lo <= Hi pointwise over the measured
+/// input domain, and Lo == Hi when no relaxation was applied anywhere.
+struct BoundInterval {
+  ExprRef Lo; ///< lower bound; null in upper-only mode
+  ExprRef Hi; ///< upper bound; Infinity when unknown
+
+  bool operator==(const BoundInterval &) const = default;
+};
+
+/// Which bounds the analyses compute.  Upper (the default) is the
+/// paper's original single-sided analysis and leaves every report,
+/// cache and JSON byte-identical to pre-interval builds; Both adds the
+/// dual lower-bound pass (min over clauses, failure-free minimal
+/// solutions) and surfaces [lo, hi] intervals.
+enum class BoundsMode {
+  Upper, ///< upper bounds only (default; byte-identical legacy output)
+  Both,  ///< upper and lower bounds: two-sided intervals
+};
+
 /// Total structural order; 0 iff structurally equal.  Identical nodes
 /// (the common case under interning) short-circuit to 0.
 int compareExpr(const Expr &A, const Expr &B);

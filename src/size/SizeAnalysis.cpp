@@ -17,9 +17,10 @@ namespace granlog {
 /// by substituting callee output-size functions.
 class ClauseSizeWalker {
 public:
-  ClauseSizeWalker(const SizeAnalysis &SA, Functor Pred, bool KeepSCCCalls)
+  ClauseSizeWalker(const SizeAnalysis &SA, Functor Pred, bool KeepSCCCalls,
+                   bool Lower = false)
       : SA(SA), P(SA.program()), Symbols(P.symbols()), Pred(Pred),
-        KeepSCCCalls(KeepSCCCalls) {}
+        KeepSCCCalls(KeepSCCCalls), Lower(Lower) {}
 
   ClauseFacts walk(const Clause &C);
 
@@ -38,6 +39,12 @@ private:
   const SymbolTable &Symbols;
   Functor Pred;
   bool KeepSCCCalls;
+  /// Lower-bound direction: the environment holds *lower* bounds and
+  /// Infinity means "unknown" (no lower bound), so every propagation rule
+  /// must be monotone in its operands or restricted to exact (ground)
+  /// quantities.  Construction rules (cons, struct sizes) are exact and
+  /// shared; destructuring and arithmetic differ below.
+  bool Lower;
   std::map<const VarTerm *, VarSizes> Env;
 };
 
@@ -70,6 +77,13 @@ void ClauseSizeWalker::bindPattern(const Term *T, MeasureKind M, ExprRef S) {
       bindPattern(St->arg(1), M, makeSub(S, makeNumber(1)));
     return;
   case MeasureKind::TermSize: {
+    if (Lower) {
+      // Lower direction: sibling sizes are unbounded above, so only a
+      // single-argument structure destructures exactly (arg = S - 1).
+      if (St->arity() == 1)
+        bindPattern(St->arg(0), M, makeSub(S, makeNumber(1)));
+      return;
+    }
     // Each argument's size is at most S minus the functor symbol and the
     // minimal size (1) of each sibling.
     ExprRef Bound =
@@ -79,6 +93,13 @@ void ClauseSizeWalker::bindPattern(const Term *T, MeasureKind M, ExprRef S) {
     return;
   }
   case MeasureKind::TermDepth: {
+    if (Lower) {
+      // Only a single child is forced to realize depth S - 1; with
+      // several children any one of them may be shallow.
+      if (St->arity() == 1)
+        bindPattern(St->arg(0), M, makeSub(S, makeNumber(1)));
+      return;
+    }
     ExprRef Bound = makeSub(S, makeNumber(1));
     for (const Term *Arg : St->args())
       bindPattern(Arg, M, Bound);
@@ -161,9 +182,17 @@ ExprRef ClauseSizeWalker::evalArith(const Term *T) {
   const std::string &Name = Symbols.text(S->name());
   if (S->arity() == 1) {
     ExprRef A = evalArith(S->arg(0));
-    if (Name == "-")
+    if (Name == "-") {
+      // Negation flips the bound direction: sound in the lower walk only
+      // over an exact (ground) operand.
+      if (Lower && !deref(S->arg(0))->isGround())
+        return makeInfinity();
       return makeScale(Rational(-1), A);
-    if (Name == "+" || Name == "abs")
+    }
+    if (Name == "abs")
+      // |x| >= 0 always; the upper walk keeps its historical pass-through.
+      return Lower ? makeNumber(0) : A;
+    if (Name == "+")
       return A;
     return makeInfinity();
   }
@@ -171,6 +200,53 @@ ExprRef ClauseSizeWalker::evalArith(const Term *T) {
     return makeInfinity();
   ExprRef A = evalArith(S->arg(0));
   ExprRef B = evalArith(S->arg(1));
+  if (Lower) {
+    // The environment holds lower bounds, so every combination must be
+    // monotone in its operands or involve only exact ground quantities.
+    bool AGround = deref(S->arg(0))->isGround();
+    bool BGround = deref(S->arg(1))->isGround();
+    if (Name == "+")
+      return makeAdd(A, B);
+    if (Name == "-")
+      // Needs an *upper* bound on the subtrahend; only an exact ground
+      // constant provides one.
+      return BGround && B->isNumber() ? makeSub(A, B) : makeInfinity();
+    if (Name == "*") {
+      // Monotone only when scaling by a known non-negative constant.
+      if (BGround && B->isNumber() && !B->number().isNegative())
+        return makeMul(A, B);
+      if (AGround && A->isNumber() && !A->number().isNegative())
+        return makeMul(A, B);
+      return makeInfinity();
+    }
+    if (Name == "//" || Name == "/") {
+      // Integer division truncates: x / k >= x/k - 1 for ground k > 0.
+      if (BGround && B->isNumber() && B->number() > Rational(0))
+        return makeSub(makeScale(Rational(1) / B->number(), A),
+                       makeNumber(1));
+      return makeInfinity();
+    }
+    if (Name == "mod")
+      // x mod k >= 0 for k > 0 (result sign follows the divisor).
+      return BGround && B->isNumber() && B->number() > Rational(0)
+                 ? makeNumber(0)
+                 : makeInfinity();
+    if (Name == "min")
+      // makeMin would drop an Infinity operand, but here Infinity means
+      // "unknown" and must poison the whole min.
+      return A->isInfinity() || B->isInfinity() ? makeInfinity()
+                                                : makeMin({A, B});
+    if (Name == "max") {
+      // max is monotone in both operands, and max(a, b) >= b alone when
+      // a has no known floor.
+      if (A->isInfinity())
+        return B;
+      if (B->isInfinity())
+        return A;
+      return makeMax(A, B);
+    }
+    return makeInfinity();
+  }
   if (Name == "+")
     return makeAdd(A, B);
   if (Name == "-")
@@ -252,21 +328,39 @@ void ClauseSizeWalker::processUserCall(Functor F, const StructTerm *S,
   for (unsigned O = 0; O != F.Arity; ++O) {
     if (O >= Callee.Modes.size() || Callee.Modes[O] != ArgMode::Out)
       continue;
+    MeasureKind M = O < Callee.Measures.size() ? Callee.Measures[O]
+                                               : MeasureKind::TermSize;
+    ExprRef Form = O < Callee.OutputSize.size()
+                       ? (Lower ? Callee.OutputSize[O].Lo
+                                : Callee.OutputSize[O].Hi)
+                       : nullptr;
+    // An unknown (Infinity) lower input size must not be substituted into
+    // a closed form — it could vanish inside a min node and launder into
+    // a fake bound.  The whole call output is unknown then.
+    bool UnknownInput = false;
+    if (Lower)
+      for (const ExprRef &In : InputSizes)
+        UnknownInput |= In->isInfinity();
+    if (Lower && UnknownInput)
+      Form = nullptr;
     ExprRef Psi;
-    if (O < Callee.OutputSize.size() && Callee.OutputSize[O]) {
-      // Solved: instantiate the closed form.
+    if (Form) {
+      // Solved: instantiate the closed form.  Bounds are monotone in
+      // their inputs (Section 6), so instantiating the lower form at
+      // lower input sizes stays a lower bound.
       EquationDef Def;
       for (unsigned I : Inputs)
         Def.Params.push_back(SizeAnalysis::paramName(I));
-      Def.Rhs = Callee.OutputSize[O];
+      Def.Rhs = Form;
       Psi = instantiateDef(Def, InputSizes);
     } else if (KeepSCCCalls && P.lookup(F)) {
       Psi = makeCall(SA.psiName(F, O), InputSizes);
+    } else if (Lower && M != MeasureKind::IntValue) {
+      // Unknown callee output: any structural size is still >= 0.
+      Psi = makeNumber(0);
     } else {
       Psi = makeInfinity();
     }
-    MeasureKind M = O < Callee.Measures.size() ? Callee.Measures[O]
-                                               : MeasureKind::TermSize;
     if (S)
       bindPattern(S->arg(O), M, Psi);
   }
@@ -387,8 +481,9 @@ std::string SizeAnalysis::psiName(Functor F, unsigned OutPos) const {
 }
 
 ClauseFacts SizeAnalysis::analyzeClause(Functor Pred, const Clause &C,
-                                        bool KeepSCCCalls) const {
-  ClauseSizeWalker Walker(*this, Pred, KeepSCCCalls);
+                                        bool KeepSCCCalls,
+                                        bool Lower) const {
+  ClauseSizeWalker Walker(*this, Pred, KeepSCCCalls, Lower);
   return Walker.walk(C);
 }
 
@@ -496,13 +591,13 @@ void SizeAnalysis::degradeSCC(const std::vector<Functor> &Members) {
     PI.Modes = Modes->modes(F);
     if (PI.Measures.empty())
       PI.Measures.assign(F.Arity, MeasureKind::TermSize);
-    PI.OutputSize.assign(F.Arity, nullptr);
+    PI.OutputSize.assign(F.Arity, BoundInterval{});
     PI.OutputSchema.assign(F.Arity, std::string());
     PI.OutputWhy.assign(F.Arity, std::string());
     PI.RecArgPos = -1;
     PI.Exact = false;
     for (unsigned O : Modes->outputPositions(F)) {
-      PI.OutputSize[O] = makeInfinity();
+      PI.OutputSize[O].Hi = makeInfinity();
       PI.OutputWhy[O] = budgetWhy(*ResourceBudget, MeterKind::Deadline);
     }
     ResourceBudget->record(
@@ -591,22 +686,23 @@ void SizeAnalysis::analyzeSCC(const std::vector<Functor> &Members) {
   // Phase 3: solve each output of each member.
   for (Functor F : Members) {
     PredicateSizeInfo &PI = Info[F];
-    PI.OutputSize.assign(F.Arity, nullptr);
+    PI.OutputSize.assign(F.Arity, BoundInterval{});
     PI.OutputSchema.assign(F.Arity, std::string());
     PI.OutputWhy.assign(F.Arity, std::string());
     PI.RecArgPos = recursionArg(F);
     for (unsigned O : Modes->outputPositions(F)) {
       bool Exact = true;
-      PI.OutputSize[O] = solveOutput(F, O, Facts[F], &Exact,
-                                     &PI.OutputSchema[O], &PI.OutputWhy[O]);
+      PI.OutputSize[O].Hi = solveOutput(F, O, Facts[F], &Exact,
+                                        &PI.OutputSchema[O],
+                                        &PI.OutputWhy[O]);
       // Budget guard on the stored closed form: an oversized tree would
       // make every consumer (including report rendering) enumerate an
       // exponentially large expression, so it degrades to Infinity here.
-      if (PI.OutputSize[O])
-        Meter.noteTreeSize(PI.OutputSize[O]->treeSize());
+      if (PI.OutputSize[O].Hi)
+        Meter.noteTreeSize(PI.OutputSize[O].Hi->treeSize());
       if (std::optional<MeterKind> K = Meter.over()) {
-        if (PI.OutputSize[O] && !PI.OutputSize[O]->isInfinity()) {
-          PI.OutputSize[O] = makeInfinity();
+        if (PI.OutputSize[O].Hi && !PI.OutputSize[O].Hi->isInfinity()) {
+          PI.OutputSize[O].Hi = makeInfinity();
           PI.OutputSchema[O].clear();
           PI.OutputWhy[O] = budgetWhy(*ResourceBudget, *K);
           Exact = false;
@@ -616,11 +712,52 @@ void SizeAnalysis::analyzeSCC(const std::vector<Functor> &Members) {
       PI.Exact &= Exact;
       if (statsActive(Stats)) {
         statsAdd(Stats, "size.outputs");
-        if (PI.OutputSize[O] && PI.OutputSize[O]->isInfinity())
+        if (PI.OutputSize[O].Hi && PI.OutputSize[O].Hi->isInfinity())
           statsAdd(Stats, "size.infinity");
         if (!Exact)
           statsAdd(Stats, "size.relaxed");
       }
+    }
+  }
+
+  // Phase 4 (BoundsMode::Both only): the dual lower-bound pass.  Clause
+  // facts are re-walked in the lower direction — per-predicate Exact does
+  // not track callee exactness, so seeding Lo from the upper results
+  // would be unsound (a nonrecursive wrapper around a relaxed callee is
+  // marked Exact yet its Hi is only an upper bound).
+  if (Bounds != BoundsMode::Both)
+    return;
+  std::map<Functor, std::vector<ClauseFacts>> LowerFacts;
+  for (Functor F : Members) {
+    const Predicate *Pred = P->lookup(F);
+    if (!Pred)
+      continue;
+    for (const Clause &C : Pred->clauses())
+      LowerFacts[F].push_back(
+          analyzeClause(F, C, /*KeepSCCCalls=*/true, /*Lower=*/true));
+  }
+  for (Functor F : Members) {
+    PredicateSizeInfo &PI = Info[F];
+    for (unsigned O : Modes->outputPositions(F)) {
+      PI.OutputSize[O].Lo = solveOutputLower(F, O, LowerFacts[F]);
+      // Same oversized-tree guard as the upper pass; a degraded lower
+      // bound falls back to the measure's universal floor.
+      if (PI.OutputSize[O].Lo) {
+        Meter.noteTreeSize(PI.OutputSize[O].Lo->treeSize());
+        if (Meter.over())
+          PI.OutputSize[O].Lo =
+              PI.Measures[O] == MeasureKind::IntValue ? nullptr
+                                                      : makeNumber(0);
+      }
+      // Intersect with the upper bound: a relaxed upper closed form can
+      // dip below the true value at tiny sizes (where the recurrence
+      // never actually lands), which would invert the interval there.
+      // min(Lo, Hi) only ever weakens Lo, so it stays a sound lower
+      // bound while pinning Lo <= Hi pointwise.
+      if (PI.OutputSize[O].Lo && PI.OutputSize[O].Hi &&
+          !PI.OutputSize[O].Hi->isInfinity())
+        PI.OutputSize[O].Lo =
+            makeMin({PI.OutputSize[O].Lo, PI.OutputSize[O].Hi});
     }
   }
 }
@@ -804,4 +941,172 @@ ExprRef SizeAnalysis::solveOutput(Functor F, unsigned OutPos,
     Result = makeMax(std::move(Floors));
   }
   return Result;
+}
+
+namespace {
+
+/// min over lower bounds, where Infinity means "unknown" rather than
+/// "unbounded": makeMin would drop an Infinity operand and launder the
+/// unknown into a fake bound, so any Infinity poisons the whole min.
+ExprRef makeMinLower(std::vector<ExprRef> Ops) {
+  for (const ExprRef &Op : Ops)
+    if (Op->isInfinity())
+      return makeInfinity();
+  return makeMin(std::move(Ops));
+}
+
+} // namespace
+
+ExprRef SizeAnalysis::solveOutputLower(Functor F, unsigned OutPos,
+                                       const std::vector<ClauseFacts> &Facts) {
+  // The measure's universal floor, used whenever no bound is derivable:
+  // sizes are non-negative, but an integer *value* has no floor at all.
+  const MeasureKind OutM = OutPos < info(F).Measures.size()
+                               ? info(F).Measures[OutPos]
+                               : MeasureKind::TermSize;
+  const ExprRef Fallback =
+      OutM == MeasureKind::IntValue ? nullptr : makeNumber(0);
+
+  if (WorkMeter *M = currentWorkMeter())
+    if (M->over())
+      return Fallback;
+  const Predicate *Pred = P->lookup(F);
+  if (!Pred)
+    return Fallback;
+
+  // ':- trust_size' asserts the actual output size, so it is a valid
+  // bound in both directions.
+  if (const Term *Trust = Pred->trustSize(OutPos)) {
+    ExprRef T = trustTermToExpr(Trust, P->symbols());
+    return T->isInfinity() ? Fallback : T;
+  }
+
+  std::vector<unsigned> Inputs = Modes->inputPositions(F);
+  std::vector<std::string> Params;
+  for (unsigned I : Inputs)
+    Params.push_back(paramName(I));
+
+  const std::string SelfName = psiName(F, OutPos);
+  unsigned SCCId = CG->sccId(F);
+
+  // The other SCC unknowns, with their *lower* right-hand sides
+  // (min-merged across clauses — the executed clause may be any of them).
+  std::vector<std::string> SCCNames;
+  std::map<std::string, EquationDef> OtherDefs;
+  for (Functor M : CG->sccMembers(SCCId)) {
+    std::vector<std::string> MParams;
+    for (unsigned I : Modes->inputPositions(M))
+      MParams.push_back(paramName(I));
+    for (unsigned O : Modes->outputPositions(M)) {
+      std::string Name = psiName(M, O);
+      SCCNames.push_back(Name);
+      if (Name == SelfName)
+        continue;
+      std::vector<ExprRef> Rhses;
+      if (const Predicate *MP = P->lookup(M)) {
+        for (size_t CI = 0; CI != MP->clauses().size(); ++CI) {
+          ClauseFacts CF = M == F ? Facts[CI]
+                                  : analyzeClause(M, MP->clauses()[CI],
+                                                  /*KeepSCCCalls=*/true,
+                                                  /*Lower=*/true);
+          if (O < CF.HeadOutputSizes.size() && CF.HeadOutputSizes[O])
+            Rhses.push_back(CF.HeadOutputSizes[O]);
+        }
+      }
+      if (Rhses.empty())
+        Rhses.push_back(makeInfinity());
+      OtherDefs[Name] = EquationDef{MParams, makeMinLower(std::move(Rhses))};
+    }
+  }
+
+  auto ContainsSCCCall = [&](const ExprRef &E) {
+    for (const std::string &Name : SCCNames)
+      if (containsCall(E, Name))
+        return true;
+    return false;
+  };
+
+  int RecArg = recursionArg(F);
+  int RecIndex = -1;
+  for (size_t I = 0; I != Inputs.size(); ++I)
+    if (static_cast<int>(Inputs[I]) == RecArg)
+      RecIndex = static_cast<int>(I);
+
+  MeasureKind RecMeasure =
+      RecArg >= 0 ? info(F).Measures[RecArg] : MeasureKind::TermSize;
+
+  std::vector<Boundary> Boundaries;
+  std::vector<ExprRef> Floors;
+  std::vector<Recurrence> Recs;
+
+  for (size_t CI = 0; CI != Facts.size(); ++CI) {
+    const Clause &C = Pred->clauses()[CI];
+    ExprRef Rhs = Facts[CI].HeadOutputSizes[OutPos];
+    if (!Rhs)
+      continue;
+    if (!ContainsSCCCall(Rhs)) {
+      // Infinity boundary values are fine: chooseBaseLower drops them
+      // soundly (f(At) >= infinity-as-unknown imposes nothing).
+      if (RecArg >= 0) {
+        const StructTerm *Head = dynCast<StructTerm>(deref(C.head()));
+        std::optional<int64_t> At =
+            Head ? minPatternSize(Head->arg(RecArg), RecMeasure,
+                                  P->symbols())
+                 : std::nullopt;
+        if (At) {
+          Boundaries.push_back({Rational(*At), Rhs});
+          continue;
+        }
+      }
+      Floors.push_back(Rhs);
+      continue;
+    }
+    ExprRef Reduced;
+    {
+      TraceSpan Norm(Trace, SpanKind::Normalize);
+      Reduced = inlineCalls(
+          Rhs, OtherDefs, static_cast<unsigned>(OtherDefs.size()) + 2);
+    }
+    if (WorkMeter *M = currentWorkMeter())
+      if (M->over())
+        return Fallback;
+    bool StillForeign = false;
+    for (const std::string &Name : SCCNames)
+      if (Name != SelfName && containsCall(Reduced, Name))
+        StillForeign = true;
+    if (StillForeign || RecIndex < 0)
+      return Fallback;
+    // The lower dual of the upper extractor's max-to-sum relaxation:
+    // select one operand under max, zero out min over self-calls.
+    Reduced = lowerSelectOverCalls(Reduced, SelfName);
+    std::optional<Recurrence> R = extractRecurrence(
+        SelfName, Params, static_cast<unsigned>(RecIndex), Reduced);
+    if (!R)
+      return Fallback;
+    Recs.push_back(std::move(*R));
+  }
+
+  if (Recs.empty()) {
+    // Nonrecursive for this output: the executed clause may be any of
+    // them, so the lower bound is the min across clauses.
+    std::vector<ExprRef> All = Floors;
+    for (const Boundary &B : Boundaries)
+      All.push_back(B.Value);
+    if (All.empty())
+      return Fallback;
+    ExprRef Lo = makeMinLower(std::move(All));
+    return Lo->isInfinity() ? Fallback : Lo;
+  }
+
+  Recurrence Merged = mergeRecurrencesLower(Recs);
+  Merged.Boundaries = Boundaries;
+  SolveResult S = Solver.solve(Merged);
+  if (S.failed() || !S.Lo)
+    return Fallback;
+  ExprRef Lo = S.Lo;
+  if (!Floors.empty()) {
+    Floors.push_back(Lo);
+    Lo = makeMinLower(std::move(Floors));
+  }
+  return Lo->isInfinity() ? Fallback : Lo;
 }

@@ -48,10 +48,14 @@ namespace granlog {
 struct PredicateSizeInfo {
   std::vector<ArgMode> Modes;
   std::vector<MeasureKind> Measures;
-  /// Per argument position: the closed-form output size function in the
-  /// parameters "n1".."nk" (named by *argument position* of the inputs),
-  /// Infinity if unknown, nullptr for input positions.
-  std::vector<ExprRef> OutputSize;
+  /// Per argument position: the closed-form output size bounds in the
+  /// parameters "n1".."nk" (named by *argument position* of the inputs).
+  /// Hi is Infinity if unknown and nullptr for input positions; Lo is
+  /// filled only in BoundsMode::Both (failure-free minimal solutions —
+  /// min over clauses) and stays null for input positions, in upper-only
+  /// mode, and for IntValue outputs with no derivable lower bound (an
+  /// integer value has no universal floor).
+  std::vector<BoundInterval> OutputSize;
   /// Argument position whose size drives the recursion (-1 if the
   /// predicate is not recursive or no single decreasing argument exists).
   int RecArgPos = -1;
@@ -122,9 +126,12 @@ public:
   /// producing per-literal input sizes and head output sizes.  Used
   /// internally and by the cost analysis.  When \p KeepSCCCalls is true,
   /// calls to predicates in the same SCC as \p Pred appear as symbolic
-  /// Call nodes instead of closed forms.
+  /// Call nodes instead of closed forms.  When \p Lower is true the walk
+  /// runs in the lower-bound direction: the environment holds lower
+  /// bounds, callee Psi is read from OutputSize[..].Lo, and Infinity
+  /// means "unknown" (no lower bound derivable) rather than "unbounded".
   ClauseFacts analyzeClause(Functor Pred, const Clause &C,
-                            bool KeepSCCCalls) const;
+                            bool KeepSCCCalls, bool Lower = false) const;
 
   /// The canonical parameter name of argument position \p ArgPos (0-based):
   /// "n1", "n2", ...
@@ -146,6 +153,11 @@ public:
   void disableSchema(const std::string &Name) {
     Solver.disableSchema(Name);
   }
+
+  /// Selects which bounds to compute; call before run().  The default
+  /// (Upper) performs exactly the pre-interval analysis; Both adds a dual
+  /// lower-bound pass per SCC after the upper pass.
+  void setBounds(BoundsMode B) { Bounds = B; }
 
   /// Records domain counters ("size.*") and solver counters
   /// ("size.solver.*") into \p Stats; call before run().
@@ -190,9 +202,17 @@ private:
                       const std::vector<ClauseFacts> &Facts, bool *Exact,
                       std::string *Schema, std::string *Why);
 
+  /// Dual of solveOutput for the lower bound, from lower-direction clause
+  /// facts: min over clauses, min-merged recurrences, SolveResult::Lo.
+  /// Any failure degrades to the measure's universal floor (0 for size
+  /// measures, null — no bound — for IntValue).
+  ExprRef solveOutputLower(Functor F, unsigned OutPos,
+                           const std::vector<ClauseFacts> &Facts);
+
   const Program *P;
   const CallGraph *CG;
   const ModeTable *Modes;
+  BoundsMode Bounds = BoundsMode::Upper;
   DiffEqSolver Solver;
   StatsRegistry *Stats = nullptr;
   Budget *ResourceBudget = nullptr;

@@ -75,18 +75,18 @@ fib(M, N) :- M > 1, M1 is M - 1, M2 is M - 2,
 TEST_F(CostTest, AppendCostMatchesPaper) {
   analyze(NrevSource);
   const PredicateCostInfo &CI = CA->info(functor("append", 3));
-  ASSERT_TRUE(CI.CostFn);
+  ASSERT_TRUE(CI.Cost.Hi);
   // Cost_append(n1, n2) = n1 + 1 (paper Appendix A).
-  EXPECT_EQ(exprText(CI.CostFn), "1 + n1");
+  EXPECT_EQ(exprText(CI.Cost.Hi), "1 + n1");
   EXPECT_TRUE(CI.Exact);
 }
 
 TEST_F(CostTest, NrevCostMatchesPaper) {
   analyze(NrevSource);
   const PredicateCostInfo &CI = CA->info(functor("nrev", 2));
-  ASSERT_TRUE(CI.CostFn);
+  ASSERT_TRUE(CI.Cost.Hi);
   // Cost_nrev(n) = 0.5 n^2 + 1.5 n + 1 (paper Appendix A).
-  EXPECT_EQ(exprText(CI.CostFn), "1 + 3/2*n1 + 1/2*n1^2");
+  EXPECT_EQ(exprText(CI.Cost.Hi), "1 + 3/2*n1 + 1/2*n1^2");
   EXPECT_TRUE(CI.Exact);
   EXPECT_DOUBLE_EQ(costAt("nrev", 2, {30}), 0.5 * 900 + 1.5 * 30 + 1);
 }
@@ -94,7 +94,7 @@ TEST_F(CostTest, NrevCostMatchesPaper) {
 TEST_F(CostTest, FibCostMatchesPaper) {
   analyze(FibSource);
   const PredicateCostInfo &CI = CA->info(functor("fib", 2));
-  ASSERT_TRUE(CI.CostFn);
+  ASSERT_TRUE(CI.Cost.Hi);
   // Cost_fib(n) <= 2^{n+1} - 1 (paper Section 5).
   EXPECT_DOUBLE_EQ(costAt("fib", 2, {10}), std::pow(2, 11) - 1);
   EXPECT_EQ(CI.Schema, "geometric");
@@ -186,8 +186,8 @@ TEST_F(CostTest, MutualRecursionEvenOdd) {
     od(N) :- N > 1, M is N - 1, ev(M).
   )");
   const PredicateCostInfo &CI = CA->info(functor("ev", 1));
-  ASSERT_TRUE(CI.CostFn);
-  EXPECT_FALSE(CI.CostFn->isInfinity()) << exprText(CI.CostFn);
+  ASSERT_TRUE(CI.Cost.Hi);
+  EXPECT_FALSE(CI.Cost.Hi->isInfinity()) << exprText(CI.Cost.Hi);
   // True cost is about n resolutions; bound must cover it and stay
   // polynomial (the n/2-step recursion of depth 2 solves linearly).
   EXPECT_GE(costAt("ev", 1, {10}), 10.0 / 2);
@@ -200,8 +200,8 @@ TEST_F(CostTest, NonTerminatingPredicateIsInfinity) {
     loop(N) :- loop(N).
   )");
   const PredicateCostInfo &CI = CA->info(functor("loop", 1));
-  ASSERT_TRUE(CI.CostFn);
-  EXPECT_TRUE(CI.CostFn->isInfinity());
+  ASSERT_TRUE(CI.Cost.Hi);
+  EXPECT_TRUE(CI.Cost.Hi->isInfinity());
 }
 
 TEST_F(CostTest, GrowingRecursionIsInfinity) {
@@ -212,7 +212,7 @@ TEST_F(CostTest, GrowingRecursionIsInfinity) {
     up(N) :- N < 100, M is N + 1, up(M).
   )");
   // The recursion argument increases: no downward difference equation.
-  EXPECT_TRUE(CA->info(functor("up", 1)).CostFn->isInfinity());
+  EXPECT_TRUE(CA->info(functor("up", 1)).Cost.Hi->isInfinity());
 }
 
 TEST_F(CostTest, NondeterministicClausesSummed) {
@@ -334,7 +334,7 @@ TEST_F(CostTest, TrustCostOverridesInference) {
 
 TEST_F(CostTest, UndefinedCalleeGivesInfinity) {
   analyze(":- mode(p(i)).\np(X) :- undefined_thing(X).");
-  EXPECT_TRUE(CA->info(functor("p", 1)).CostFn->isInfinity());
+  EXPECT_TRUE(CA->info(functor("p", 1)).Cost.Hi->isInfinity());
 }
 
 } // namespace

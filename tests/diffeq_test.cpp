@@ -392,6 +392,133 @@ TEST_F(DiffEqTest, RecurrenceStrPrintsDivideOffsets) {
   EXPECT_EQ(R.str(), "f(n) = f(n/2 + 1/2) + 2*f(n/2) + 1; f(1) = 0");
 }
 
+// --- Lower-bound (dual) reading ---
+
+TEST_F(DiffEqTest, ExactSchemasHaveLoEqualHi) {
+  // An exact solve is its own minimal solution, so the lower reading
+  // coincides with the closed form.  Append, nrev and hanoi all solve
+  // exactly (single shift term, single boundary, no relaxation).
+  auto Check = [&](Recurrence R) {
+    SolveResult S = Solver.solve(R);
+    ASSERT_FALSE(S.failed()) << R.str();
+    ASSERT_TRUE(S.Exact) << R.str();
+    ASSERT_TRUE(S.Lo) << R.str();
+    EXPECT_EQ(exprText(S.Lo), exprText(S.Closed)) << R.str();
+  };
+  Recurrence Append;
+  Append.Function = "cost:append";
+  Append.Var = "n";
+  Append.ShiftTerms.push_back({Rational(1), Rational(1)});
+  Append.Additive = makeNumber(1);
+  Append.Boundaries.push_back({Rational(0), makeNumber(1)});
+  Check(Append);
+
+  Recurrence Nrev = Append;
+  Nrev.Function = "cost:nrev";
+  Nrev.Additive = makeAdd(n(), makeNumber(1));
+  Check(Nrev);
+
+  Recurrence Hanoi = Append;
+  Hanoi.Function = "cost:hanoi";
+  Hanoi.ShiftTerms[0] = {Rational(2), Rational(1)};
+  Check(Hanoi);
+}
+
+TEST_F(DiffEqTest, LowerBoundIsSoundOnFibonacci) {
+  // The geometric collapse of fib's two shift terms relaxes in both
+  // directions: Closed over-approximates, Lo under-approximates.  The
+  // true iterates must sit in between, and Lo must not be trivially 0
+  // (the schema promises a growing floor).
+  Recurrence R;
+  R.Function = "f";
+  R.Var = "n";
+  R.ShiftTerms.push_back({Rational(1), Rational(1)});
+  R.ShiftTerms.push_back({Rational(1), Rational(2)});
+  R.Additive = makeNumber(1);
+  R.Boundaries.push_back({Rational(0), makeNumber(1)});
+  R.Boundaries.push_back({Rational(1), makeNumber(1)});
+  SolveResult S = Solver.solve(R);
+  ASSERT_FALSE(S.failed());
+  EXPECT_FALSE(S.Exact);
+  ASSERT_TRUE(S.Lo);
+  double F[21];
+  F[0] = F[1] = 1;
+  for (int I = 2; I <= 20; ++I)
+    F[I] = F[I - 1] + F[I - 2] + 1;
+  for (int I = 0; I <= 20; ++I) {
+    auto Lo = evaluate(S.Lo, {{"n", static_cast<double>(I)}});
+    ASSERT_TRUE(Lo.has_value()) << exprText(S.Lo);
+    EXPECT_LE(*Lo, F[I] + 1e-9) << "at n=" << I;
+    EXPECT_LE(*Lo, evalAt(S.Closed, I) + 1e-9) << "at n=" << I;
+  }
+  EXPECT_GT(evaluate(S.Lo, {{"n", 20.0}}).value_or(0), 100.0)
+      << "lower bound should grow: " << exprText(S.Lo);
+}
+
+TEST_F(DiffEqTest, MultipleBoundariesLowerUsesMinValue) {
+  // f(n) = f(n-1) + 1 with f(0) = 1 and f(1) = 5.  The upper reading
+  // bases on the max boundary value; the lower reading must base on the
+  // min, staying below every actual trajectory (f(2) = 6 via f(1) = 5,
+  // but f(1) itself can be as small as 2 via f(0) = 1).
+  Recurrence R;
+  R.Function = "f";
+  R.Var = "n";
+  R.ShiftTerms.push_back({Rational(1), Rational(1)});
+  R.Additive = makeNumber(1);
+  R.Boundaries.push_back({Rational(0), makeNumber(1)});
+  R.Boundaries.push_back({Rational(1), makeNumber(5)});
+  SolveResult S = Solver.solve(R);
+  ASSERT_FALSE(S.failed());
+  EXPECT_FALSE(S.Exact);
+  ASSERT_TRUE(S.Lo);
+  for (int I = 0; I <= 12; ++I) {
+    auto Lo = evaluate(S.Lo, {{"n", static_cast<double>(I)}});
+    ASSERT_TRUE(Lo.has_value());
+    // Minimal trajectory: f(0)=1, f(1) >= 2 (recurrence from f(0)), so
+    // f(n) >= n + 1.  Lo must be below that and below Closed.
+    EXPECT_LE(*Lo, I + 1.0 + 1e-9) << "at n=" << I;
+    EXPECT_LE(*Lo, evalAt(S.Closed, I) + 1e-9) << "at n=" << I;
+  }
+}
+
+TEST_F(DiffEqTest, DivideAndConquerLowerBelowTrueValue) {
+  // Mergesort shape: f(n) = 2 f(n/2) + n, f(1) = 1.  Lo must bound the
+  // true iterates from below at power-of-two sizes.
+  Recurrence R;
+  R.Function = "f";
+  R.Var = "n";
+  R.DivideTerms.push_back({Rational(2), Rational(2)});
+  R.Additive = n();
+  R.Boundaries.push_back({Rational(1), makeNumber(1)});
+  SolveResult S = Solver.solve(R);
+  ASSERT_FALSE(S.failed());
+  ASSERT_TRUE(S.Lo);
+  auto F = [](auto &&Self, double N) -> double {
+    if (N <= 1)
+      return 1;
+    return 2 * Self(Self, N / 2) + N;
+  };
+  for (double N : {1.0, 2.0, 4.0, 16.0, 256.0, 1024.0}) {
+    auto Lo = evaluate(S.Lo, {{"n", N}});
+    ASSERT_TRUE(Lo.has_value());
+    EXPECT_LE(*Lo, F(F, N) + 1e-6) << "at n=" << N;
+  }
+}
+
+TEST_F(DiffEqTest, FailedSolveHasZeroLo) {
+  // Failure leaves no information in either direction: Closed is
+  // Infinity (no upper bound), Lo is 0 (no promised minimum).
+  Recurrence R;
+  R.Function = "f";
+  R.Var = "n";
+  R.ShiftTerms.push_back({Rational(1), Rational(1)});
+  R.Additive = makeNumber(1);
+  SolveResult S = Solver.solve(R);
+  ASSERT_TRUE(S.failed());
+  ASSERT_TRUE(S.Lo);
+  EXPECT_EQ(exprText(S.Lo), "0");
+}
+
 // Property sweep: the first-order-sum schema is exact for k=1 polynomial
 // additive parts — compare against direct iteration.
 class SumSchemaProperty : public ::testing::TestWithParam<int> {};
@@ -411,6 +538,7 @@ TEST_P(SumSchemaProperty, MatchesDirectIteration) {
   SolveResult S = Solver.solve(R);
   ASSERT_FALSE(S.failed());
   EXPECT_TRUE(S.Exact);
+  EXPECT_EQ(exprText(S.Lo), exprText(S.Closed)); // exact => Lo == Hi
   double F = 7;
   for (int N = 1; N <= 12; ++N) {
     double G = 0;

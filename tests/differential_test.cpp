@@ -101,4 +101,79 @@ INSTANTIATE_TEST_SUITE_P(Seed1, GeneratedDifferential,
                            return "Slice" + std::to_string(Info.param);
                          });
 
+/// The lower-bound mirror: in interval mode every measured execution
+/// must do at least the statically promised minimum of work.  A
+/// generated goal always succeeds on its first solution (the generator
+/// emits deterministic programs), so the failure-free assumption of the
+/// lower analysis holds and the measured resolution count is a genuine
+/// witness for Lo(sizes) <= actual.
+class GeneratedLowerDifferential : public ::testing::TestWithParam<unsigned> {
+};
+
+TEST_P(GeneratedLowerDifferential, MeasuredCostNeverBelowLowerBound) {
+  constexpr unsigned SliceSize = 50;
+  unsigned Begin = GetParam() * SliceSize;
+  unsigned Checked = 0, Exempt = 0;
+
+  for (unsigned I = Begin; I != Begin + SliceSize; ++I) {
+    GeneratedProgram G = generateProgram(1, I);
+    TermArena Arena;
+    Diagnostics Diags;
+    std::optional<Program> P = loadProgram(G.Source, Arena, Diags);
+    ASSERT_TRUE(P) << G.Name << ":\n" << G.Source << Diags.str();
+
+    AnalyzerOptions Opts{CostMetric::resolutions(), 48.0};
+    Opts.Bounds = BoundsMode::Both;
+    GranularityAnalyzer GA(*P, Opts);
+    GA.run();
+
+    const Term *Goal = buildGeneratedGoal(G, Arena, G.DefaultInput);
+    InterpOptions IOpts;
+    IOpts.CaptureTree = false;
+    Interpreter Interp(*P, Arena, IOpts);
+    ASSERT_TRUE(Interp.solve(Goal)) << G.Name << ":\n" << G.Source;
+    double Actual = static_cast<double>(Interp.counters().Resolutions);
+
+    Symbol S = Arena.symbols().lookup(G.EntryPred);
+    ASSERT_TRUE(S.isValid()) << G.Name;
+    Functor F{S, G.EntryArity};
+    const PredicateSizeInfo &SI = GA.sizes().info(F);
+    const StructTerm *GT = cast<StructTerm>(deref(Goal));
+    std::vector<double> InputSizes;
+    bool Unmeasured = false;
+    for (unsigned Pos : GA.modes().inputPositions(F)) {
+      MeasureKind M = Pos < SI.Measures.size() ? SI.Measures[Pos]
+                                               : MeasureKind::TermSize;
+      std::optional<int64_t> Size =
+          groundSize(GT->arg(Pos), M, Arena.symbols());
+      if (!Size)
+        Unmeasured = true;
+      InputSizes.push_back(Size ? static_cast<double>(*Size) : 0.0);
+    }
+    std::optional<double> Lo = GA.costs().costLoAt(F, InputSizes);
+    if (Unmeasured || !Lo || !std::isfinite(*Lo)) {
+      ++Exempt;
+      continue;
+    }
+    ++Checked;
+    EXPECT_GE(Actual, *Lo * (1 - 1e-9) - 1e-6)
+        << G.Name << " (input " << G.DefaultInput << ", family "
+        << schemaFamilyName(G.Family) << "): lower bound " << *Lo
+        << " > actual " << Actual << "\n"
+        << G.Source;
+  }
+
+  // Lo floors to 0 rather than degrading to Infinity, so nearly the
+  // whole slice should be checkable.
+  EXPECT_GE(Checked, SliceSize / 2)
+      << "only " << Checked << " of " << SliceSize
+      << " programs checkable (" << Exempt << " exempt)";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seed1, GeneratedLowerDifferential,
+                         ::testing::Range(0u, 4u),
+                         [](const ::testing::TestParamInfo<unsigned> &Info) {
+                           return "Slice" + std::to_string(Info.param);
+                         });
+
 } // namespace

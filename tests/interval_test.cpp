@@ -1,0 +1,213 @@
+//===- tests/interval_test.cpp - Two-sided bound invariants ---------------===//
+//
+// Interval-mode (AnalyzerOptions::Bounds == Both) lockdown:
+//  * the pointwise invariant Lo <= Hi, for cost intervals and size
+//    intervals alike, over the whole corpus and a generated-program
+//    sweep — sampled at concrete input sizes, since the bounds are
+//    symbolic closed forms;
+//  * interval reports are --jobs invariant and warm == cold through an
+//    incremental session, byte for byte (the interval rendering must not
+//    break the determinism contracts the upper-only pipeline pins);
+//  * upper-only mode computes no lower bounds at all — the interval
+//    machinery must be invisible unless opted into.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AnalysisSession.h"
+#include "core/GranularityAnalyzer.h"
+#include "corpus/Corpus.h"
+#include "program/Generator.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+using namespace granlog;
+
+namespace {
+
+/// One Both-mode analysis with everything it borrows kept alive.
+struct BothRun {
+  TermArena Arena;
+  Diagnostics Diags;
+  std::optional<Program> P;
+  std::unique_ptr<GranularityAnalyzer> GA;
+};
+
+std::unique_ptr<BothRun> analyzeBoth(const std::string &Source,
+                                     unsigned Jobs = 1) {
+  auto Run = std::make_unique<BothRun>();
+  Run->P = loadProgram(Source, Run->Arena, Run->Diags);
+  if (!Run->P)
+    return Run;
+  AnalyzerOptions Options{CostMetric::resolutions(), 48.0};
+  Options.Jobs = Jobs;
+  Options.Bounds = BoundsMode::Both;
+  Run->GA = std::make_unique<GranularityAnalyzer>(*Run->P, Options);
+  Run->GA->run();
+  return Run;
+}
+
+constexpr double SampleSizes[] = {0, 1, 2, 3, 5, 10, 17};
+
+/// Checks Lo <= Hi for every predicate of \p Run at the sampled input
+/// sizes: the cost interval via costAt/costLoAt, the size interval of
+/// every output position by direct evaluation over the "n1".."nk"
+/// parameters.  Hi may be +inf (unknown upper bound) — the invariant
+/// holds trivially there; a null or unevaluable bound is skipped (no
+/// claim is made, so there is nothing to compare).
+void expectIntervalsHold(const BothRun &Run, const std::string &Tag) {
+  ASSERT_TRUE(Run.GA) << Tag;
+  const GranularityAnalyzer &GA = *Run.GA;
+  for (const auto &Pred : Run.P->predicates()) {
+    Functor F = Pred->functor();
+    std::string Name(Run.P->symbols().text(F.Name));
+
+    size_t NumInputs = GA.modes().inputPositions(F).size();
+    for (double V : SampleSizes) {
+      std::vector<double> Sizes(NumInputs, V);
+      std::optional<double> Hi = GA.costs().costAt(F, Sizes);
+      std::optional<double> Lo = GA.costs().costLoAt(F, Sizes);
+      if (!Hi || !Lo)
+        continue;
+      EXPECT_LE(*Lo, *Hi * (1 + 1e-9) + 1e-6)
+          << Tag << ": cost interval of " << Name << "/" << F.Arity
+          << " inverted at size " << V;
+    }
+
+    const PredicateSizeInfo &SI = GA.sizes().info(F);
+    for (size_t O = 0; O != SI.OutputSize.size(); ++O) {
+      const BoundInterval &B = SI.OutputSize[O];
+      if (!B.Hi || !B.Lo)
+        continue;
+      for (double V : SampleSizes) {
+        std::map<std::string, double> Env;
+        for (unsigned A = 0; A != F.Arity; ++A)
+          Env[SizeAnalysis::paramName(A)] = V;
+        std::optional<double> Hi = evaluate(B.Hi, Env);
+        std::optional<double> Lo = evaluate(B.Lo, Env);
+        if (!Hi || !Lo)
+          continue;
+        EXPECT_LE(*Lo, *Hi * (1 + 1e-9) + 1e-6)
+            << Tag << ": size interval of " << Name << "/" << F.Arity
+            << " output " << O << " inverted at size " << V;
+      }
+    }
+  }
+}
+
+class CorpusIntervals : public ::testing::TestWithParam<const BenchmarkDef *> {
+};
+
+TEST_P(CorpusIntervals, LoNeverExceedsHi) {
+  const BenchmarkDef &B = *GetParam();
+  auto Run = analyzeBoth(B.Source);
+  ASSERT_TRUE(Run->P) << B.Name << ": " << Run->Diags.str();
+  expectIntervalsHold(*Run, B.Name);
+}
+
+TEST_P(CorpusIntervals, Jobs8IntervalReportMatchesJobs1) {
+  const BenchmarkDef &B = *GetParam();
+  auto Want = analyzeBoth(B.Source, /*Jobs=*/1);
+  ASSERT_TRUE(Want->GA) << B.Name;
+  for (int Repeat = 0; Repeat != 3; ++Repeat) {
+    auto Got = analyzeBoth(B.Source, /*Jobs=*/8);
+    ASSERT_TRUE(Got->GA) << B.Name;
+    EXPECT_EQ(Got->GA->report(), Want->GA->report())
+        << B.Name << " repeat " << Repeat;
+    EXPECT_EQ(Got->GA->explainAll(), Want->GA->explainAll())
+        << B.Name << " repeat " << Repeat;
+  }
+}
+
+TEST_P(CorpusIntervals, WarmSessionMatchesColdInBothMode) {
+  // The incremental warm == cold contract must extend to interval mode:
+  // replaying a stored SCC replays its lower bounds too.  Revision 2
+  // appends an unrelated fact so the second update actually reuses SCCs
+  // instead of re-analyzing everything.
+  const BenchmarkDef &B = *GetParam();
+  SessionOptions SO;
+  SO.Overhead = 48.0;
+  SO.Bounds = BoundsMode::Both;
+  AnalysisSession Session(SO);
+  const std::string Base = B.Source;
+  const std::vector<std::string> Revisions = {
+      Base,
+      Base + "\nzzz_probe(0).\n",
+  };
+  for (size_t Rev = 0; Rev != Revisions.size(); ++Rev) {
+    TermArena Arena;
+    Diagnostics Diags;
+    std::optional<Program> P = loadProgram(Revisions[Rev], Arena, Diags);
+    ASSERT_TRUE(P) << B.Name << ": " << Diags.str();
+    const SessionUpdate &U = Session.update(*P);
+    if (Rev > 0)
+      EXPECT_GT(U.ReusedSCCs, 0u) << B.Name;
+
+    auto Cold = analyzeBoth(Revisions[Rev]);
+    ASSERT_TRUE(Cold->GA) << B.Name;
+    EXPECT_EQ(U.Report, Cold->GA->report())
+        << B.Name << " revision " << Rev;
+    EXPECT_EQ(U.ExplainAll, Cold->GA->explainAll())
+        << B.Name << " revision " << Rev;
+  }
+}
+
+TEST_P(CorpusIntervals, UpperModeComputesNoLowerBounds) {
+  // The default pipeline must not even produce lower bounds, let alone
+  // print them: null CostLo, nullopt costLoAt, and no interval bracket in
+  // the report.
+  const BenchmarkDef &B = *GetParam();
+  TermArena Arena;
+  Diagnostics Diags;
+  std::optional<Program> P = loadProgram(B.Source, Arena, Diags);
+  ASSERT_TRUE(P) << B.Name << ": " << Diags.str();
+  GranularityAnalyzer GA(*P, {CostMetric::resolutions(), 48.0});
+  GA.run();
+  for (const auto &Pred : P->predicates()) {
+    Functor F = Pred->functor();
+    EXPECT_FALSE(GA.info(F).CostLo);
+    EXPECT_FALSE(GA.costs().costLoAt(F, std::vector<double>(
+        GA.modes().inputPositions(F).size(), 4.0)));
+    EXPECT_FALSE(GA.costs().info(F).Cost.Lo);
+    for (const BoundInterval &B2 : GA.sizes().info(F).OutputSize)
+      EXPECT_FALSE(B2.Lo);
+  }
+  EXPECT_EQ(GA.report().find("cost = ["), std::string::npos) << B.Name;
+}
+
+std::vector<const BenchmarkDef *> allBenchmarks() {
+  std::vector<const BenchmarkDef *> Out;
+  for (const BenchmarkDef &B : benchmarkCorpus())
+    Out.push_back(&B);
+  return Out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, CorpusIntervals, ::testing::ValuesIn(allBenchmarks()),
+    [](const ::testing::TestParamInfo<const BenchmarkDef *> &Info) {
+      return Info.param->Name;
+    });
+
+/// The generated corpus exercises schema shapes the hand-written corpus
+/// misses; one 50-program slice per ctest shard.
+class GeneratedIntervals : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(GeneratedIntervals, LoNeverExceedsHi) {
+  constexpr unsigned SliceSize = 50;
+  unsigned Begin = GetParam() * SliceSize;
+  for (unsigned I = Begin; I != Begin + SliceSize; ++I) {
+    GeneratedProgram G = generateProgram(1, I);
+    auto Run = analyzeBoth(G.Source);
+    ASSERT_TRUE(Run->P) << G.Name << ":\n"
+                        << G.Source << Run->Diags.str();
+    expectIntervalsHold(*Run, G.Name);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seed1, GeneratedIntervals,
+                         ::testing::Range(0u, 4u),
+                         [](const ::testing::TestParamInfo<unsigned> &Info) {
+                           return "Slice" + std::to_string(Info.param);
+                         });
+
+} // namespace

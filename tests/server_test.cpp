@@ -531,6 +531,37 @@ TEST(AnalysisServer, EndToEndSessionOverSocket) {
   EXPECT_FALSE(std::filesystem::exists(Config.SocketPath));
 }
 
+TEST(AnalysisServer, IntervalModeSessionMatchesDirectLibrary) {
+  // A daemon started with --bounds=both serves interval reports: the
+  // response body is byte-identical to a direct Both-mode library
+  // session and actually carries the [lo, hi] rendering.
+  GeneratedProgram G = generateProgram(21, 0);
+  ServerConfig Config;
+  Config.SocketPath = shortSocketPath("ivl");
+  Config.Session.Bounds = BoundsMode::Both;
+  AnalysisServer Server(Config);
+  std::string Error;
+  ASSERT_TRUE(Server.start(&Error)) << Error;
+
+  SessionOptions SO;
+  SO.Bounds = BoundsMode::Both;
+  AnalysisSession Direct(SO);
+  std::string WantReport = updateWith(Direct, G.Source).Report;
+
+  TestClient C;
+  ASSERT_TRUE(C.connect(Config.SocketPath));
+  std::optional<Response> R = C.exchange(makeHello("ivl-client"));
+  ASSERT_TRUE(R);
+  R = C.exchange(makeUpdate(G.Source, 2));
+  ASSERT_TRUE(R);
+  EXPECT_EQ(R->St, Status::Ok);
+  EXPECT_EQ(R->Body, WantReport);
+  EXPECT_NE(R->Body.find("cost = ["), std::string::npos) << R->Body;
+
+  Server.requestStop();
+  EXPECT_EQ(Server.waitForDrain(), 0);
+}
+
 TEST(AnalysisServer, IsolationAndProtocolErrors) {
   ServerConfig Config;
   Config.SocketPath = shortSocketPath("iso");

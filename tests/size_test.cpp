@@ -39,10 +39,10 @@ protected:
                const std::map<std::string, double> &Env) {
     const PredicateSizeInfo &PI = SA->info(F);
     EXPECT_LT(OutPos, PI.OutputSize.size());
-    EXPECT_TRUE(PI.OutputSize[OutPos]) << "no size function";
-    auto V = evaluate(PI.OutputSize[OutPos], Env);
+    EXPECT_TRUE(PI.OutputSize[OutPos].Hi) << "no size function";
+    auto V = evaluate(PI.OutputSize[OutPos].Hi, Env);
     EXPECT_TRUE(V.has_value())
-        << "unevaluable: " << exprText(PI.OutputSize[OutPos]);
+        << "unevaluable: " << exprText(PI.OutputSize[OutPos].Hi);
     return V.value_or(-1);
   }
 
@@ -73,7 +73,7 @@ TEST_F(SizeTest, AppendOutputIsSumOfInputs) {
   const PredicateSizeInfo &PI = SA->info(Append);
   ASSERT_EQ(PI.OutputSize.size(), 3u);
   // Psi_append(n1, n2) = n1 + n2 (paper Appendix A).
-  EXPECT_EQ(exprText(PI.OutputSize[2]), "n1 + n2");
+  EXPECT_EQ(exprText(PI.OutputSize[2].Hi), "n1 + n2");
   EXPECT_TRUE(PI.Exact);
   EXPECT_EQ(PI.RecArgPos, 0);
 }
@@ -83,7 +83,7 @@ TEST_F(SizeTest, NrevOutputEqualsInput) {
   Functor Nrev = functor("nrev", 2);
   const PredicateSizeInfo &PI = SA->info(Nrev);
   // Psi_nrev(n1) = n1 (paper Appendix A).
-  EXPECT_EQ(exprText(PI.OutputSize[1]), "n1");
+  EXPECT_EQ(exprText(PI.OutputSize[1].Hi), "n1");
   EXPECT_TRUE(PI.Exact);
 }
 
@@ -107,10 +107,10 @@ TEST_F(SizeTest, PartitionOutputsBoundedByInput) {
   Functor Part = functor("part", 4);
   const PredicateSizeInfo &PI = SA->info(Part);
   // Upper bound: every element may land in either list => Psi = n1 each.
-  ASSERT_TRUE(PI.OutputSize[2]);
-  ASSERT_TRUE(PI.OutputSize[3]);
-  EXPECT_EQ(exprText(PI.OutputSize[2]), "n1");
-  EXPECT_EQ(exprText(PI.OutputSize[3]), "n1");
+  ASSERT_TRUE(PI.OutputSize[2].Hi);
+  ASSERT_TRUE(PI.OutputSize[3].Hi);
+  EXPECT_EQ(exprText(PI.OutputSize[2].Hi), "n1");
+  EXPECT_EQ(exprText(PI.OutputSize[3].Hi), "n1");
 }
 
 TEST_F(SizeTest, IntegerMeasureThroughIs) {
@@ -178,9 +178,9 @@ TEST_F(SizeTest, MutualRecursionEvenOdd) {
   // ev counts down: output = n.
   Functor Ev = functor("ev", 2);
   const PredicateSizeInfo &PI = SA->info(Ev);
-  ASSERT_TRUE(PI.OutputSize[1]);
-  EXPECT_FALSE(PI.OutputSize[1]->isInfinity())
-      << exprText(PI.OutputSize[1]);
+  ASSERT_TRUE(PI.OutputSize[1].Hi);
+  EXPECT_FALSE(PI.OutputSize[1].Hi->isInfinity())
+      << exprText(PI.OutputSize[1].Hi);
   EXPECT_GE(psiAt(Ev, 1, {{"n1", 8.0}}), 8.0);
 }
 
@@ -191,8 +191,8 @@ TEST_F(SizeTest, UnboundedOutputIsInfinity) {
     mystery(_, _).
   )");
   const PredicateSizeInfo &PI = SA->info(functor("mystery", 2));
-  ASSERT_TRUE(PI.OutputSize[1]);
-  EXPECT_TRUE(PI.OutputSize[1]->isInfinity());
+  ASSERT_TRUE(PI.OutputSize[1].Hi);
+  EXPECT_TRUE(PI.OutputSize[1].Hi->isInfinity());
 }
 
 TEST_F(SizeTest, NonRecursivePredicateClosedForm) {

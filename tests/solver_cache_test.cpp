@@ -91,6 +91,11 @@ void expectSameResult(const SolveResult &A, const SolveResult &B,
   EXPECT_EQ(A.SchemaName, B.SchemaName) << R.str();
   EXPECT_EQ(A.Exact, B.Exact) << R.str();
   EXPECT_EQ(A.Why, B.Why) << R.str();
+  // Both readings of the entry must replay: the lower closed form is part
+  // of every stored result since DiskFormatVersion 2.
+  ASSERT_TRUE(A.Lo) << R.str();
+  ASSERT_TRUE(B.Lo) << R.str();
+  EXPECT_EQ(exprText(A.Lo), exprText(B.Lo)) << R.str();
 }
 
 TEST(SolverCacheTest, CacheOnEqualsCacheOffRandomized) {
@@ -382,15 +387,12 @@ TEST(SolverCacheDiskTest, FormatVersionMismatchRejected) {
   std::remove(Path.c_str());
 }
 
-TEST(SolverCacheDiskTest, OldBuildCacheFileRemainsReadable) {
-  // Byte-literal solver-cache.json as written by the pre-arena
-  // (shared_ptr-based) build for the fib benchmark.  The disk format is
-  // structural — tagged expression trees, no arena indices or symbol ids
-  // — so a cache written before the arena expression core landed must
-  // load cleanly and serve solves from disk.  (The other half of the
-  // contract — a file from an *incompatible* format version is rejected
-  // with a clean diagnostic, never half-loaded — is
-  // FormatVersionMismatchRejected above.)
+TEST(SolverCacheDiskTest, PreIntervalV1FileRejected) {
+  // Byte-literal solver-cache.json as written by format-version-1 builds
+  // (before the mandatory "lo" lower closed form landed).  Replaying such
+  // an entry would serve a result with no lower reading, so the load must
+  // be rejected whole with the version diagnostic — never half-loaded —
+  // and leave a usable fresh cache behind.
   static const char *const OldDoc =
       R"({"version":1,"entries":[{"sig":"closed,first-order-sum,geometric,divide-and-conquer","shift":[{"cn":1,"cd":1,"sn":2,"sd":1},{"cn":1,"cd":1,"sn":1,"sd":1}],"divide":[],"additive":{"k":"num","n":0,"d":1},"boundaries":[{"an":0,"ad":1,"value":{"k":"num","n":0,"d":1}},{"an":1,"ad":1,"value":{"k":"num","n":1,"d":1}}],"result":{"closed":{"k":"pow","ops":[{"k":"num","n":2,"d":1},{"k":"var","v":"_g0"}]},"schema":"geometric","exact":false,"why":""}},{"sig":"closed,first-order-sum,geometric,divide-and-conquer","shift":[{"cn":1,"cd":1,"sn":2,"sd":1},{"cn":1,"cd":1,"sn":1,"sd":1}],"divide":[],"additive":{"k":"num","n":1,"d":1},"boundaries":[{"an":0,"ad":1,"value":{"k":"num","n":1,"d":1}},{"an":1,"ad":1,"value":{"k":"num","n":1,"d":1}}],"result":{"closed":{"k":"add","ops":[{"k":"num","n":-1,"d":1},{"k":"mul","ops":[{"k":"num","n":2,"d":1},{"k":"pow","ops":[{"k":"num","n":2,"d":1},{"k":"var","v":"_g0"}]}]}]},"schema":"geometric","exact":false,"why":""}}]})";
   std::string Path = tempCachePath("granlog_oldbuild.json");
@@ -401,12 +403,46 @@ TEST(SolverCacheDiskTest, OldBuildCacheFileRemainsReadable) {
 
   SolverCache Loaded;
   std::string Error;
-  ASSERT_TRUE(Loaded.loadFromFile(Path, &Error)) << Error;
-  EXPECT_EQ(Loaded.entries(), 2u);
+  EXPECT_FALSE(Loaded.loadFromFile(Path, &Error));
+  EXPECT_NE(Error.find("format version 1"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("this build reads version 2"), std::string::npos)
+      << Error;
+  EXPECT_EQ(Loaded.entries(), 0u);
 
-  // fib's cost recurrence: c(n) = c(n-1) + c(n-2) + 1, c(0) = c(1) = 1 —
-  // the second entry in the document.  Solving it through the loaded
-  // cache must be a disk hit that reproduces the direct solver's answer.
+  // The rejected load leaves a fully usable cache behind.
+  Recurrence R;
+  R.Function = "f";
+  R.Var = "n";
+  R.ShiftTerms.push_back({Rational(1), Rational(1)});
+  R.Additive = makeNumber(1);
+  R.Boundaries.push_back({Rational(0), makeNumber(0)});
+  DiffEqSolver Solver;
+  Solver.setCache(&Loaded);
+  expectSameResult(Solver.solve(R), DiffEqSolver().solve(R), R);
+  EXPECT_EQ(Loaded.entries(), 1u);
+
+  std::remove(Path.c_str());
+}
+
+TEST(SolverCacheDiskTest, VersionTwoFileRemainsReadable) {
+  // Byte-literal solver-cache.json in the current (version 2) format for
+  // fib's cost recurrence c(n) = c(n-1) + c(n-2) + 1, c(0) = c(1) = 1.
+  // The disk format is structural — tagged expression trees, no arena
+  // indices or symbol ids — so a file written by any version-2 build
+  // must load cleanly and serve both readings (closed and lo) from disk.
+  static const char *const Doc =
+      R"({"version":2,"entries":[{"sig":"closed,first-order-sum,geometric,divide-and-conquer","shift":[{"cn":1,"cd":1,"sn":2,"sd":1},{"cn":1,"cd":1,"sn":1,"sd":1}],"divide":[],"additive":{"k":"num","n":1,"d":1},"boundaries":[{"an":0,"ad":1,"value":{"k":"num","n":1,"d":1}},{"an":1,"ad":1,"value":{"k":"num","n":1,"d":1}}],"result":{"closed":{"k":"add","ops":[{"k":"num","n":-1,"d":1},{"k":"mul","ops":[{"k":"num","n":2,"d":1},{"k":"pow","ops":[{"k":"num","n":2,"d":1},{"k":"var","v":"_g0"}]}]}]},"lo":{"k":"mul","ops":[{"k":"num","n":1,"d":2},{"k":"pow","ops":[{"k":"num","n":2,"d":1},{"k":"mul","ops":[{"k":"num","n":1,"d":2},{"k":"add","ops":[{"k":"num","n":-1,"d":1},{"k":"var","v":"_g0"}]}]}]}]},"schema":"geometric","exact":false,"why":""}}]})";
+  std::string Path = tempCachePath("granlog_v2build.json");
+  {
+    std::ofstream Out(Path, std::ios::binary);
+    Out << Doc;
+  }
+
+  SolverCache Loaded;
+  std::string Error;
+  ASSERT_TRUE(Loaded.loadFromFile(Path, &Error)) << Error;
+  EXPECT_EQ(Loaded.entries(), 1u);
+
   Recurrence Fib;
   Fib.Function = "fib";
   Fib.Var = "n";

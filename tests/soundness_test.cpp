@@ -133,7 +133,7 @@ protected:
     Functor F{Arena.symbols().lookup(Pred), Arity};
     const PredicateSizeInfo &SI = GA.sizes().info(F);
     ASSERT_LT(OutPos, SI.OutputSize.size());
-    ASSERT_TRUE(SI.OutputSize[OutPos]);
+    ASSERT_TRUE(SI.OutputSize[OutPos].Hi);
 
     std::map<std::string, double> Env;
     std::vector<unsigned> Inputs = GA.modes().inputPositions(F);
@@ -141,7 +141,7 @@ protected:
     for (size_t J = 0; J != Inputs.size(); ++J)
       Env[SizeAnalysis::paramName(Inputs[J])] =
           static_cast<double>(InputSizes[J]);
-    std::optional<double> Bound = evaluate(SI.OutputSize[OutPos], Env);
+    std::optional<double> Bound = evaluate(SI.OutputSize[OutPos].Hi, Env);
     ASSERT_TRUE(Bound.has_value());
 
     const StructTerm *G = cast<StructTerm>(deref(Goal));

@@ -13,6 +13,10 @@
 //                        a crashed predecessor is replaced)
 //   --workers=N          request-execution worker threads (default 4)
 //   --jobs=N             per-session SCC-parallel analysis jobs (default 1)
+//   --bounds=upper|both  resource bounds every session computes: upper
+//                        (default) is the classic pipeline; both adds the
+//                        dual lower-bound passes, so reports and explain
+//                        responses carry [lo, hi] cost intervals
 //   --budget             per-client deterministic counter budget
 //                        (BudgetLimits::defaults(); hostile programs
 //                        degrade to Infinity instead of hanging a worker)
@@ -55,6 +59,7 @@ const char *optValue(const char *Arg, const char *Name) {
 void usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s --socket=PATH [--workers=N] [--jobs=N] "
+               "[--bounds=upper|both] "
                "[--budget] [--timeout-ms=N] [--max-sessions=N] "
                "[--max-store-entries=N] [--cache-root=DIR] "
                "[--drain-timeout-ms=N] [--fault=SPEC] [--log] "
@@ -79,6 +84,15 @@ int main(int Argc, char **Argv) {
     } else if (const char *V = optValue(Arg, "--jobs")) {
       int N = std::atoi(V);
       Config.Session.Jobs = N > 0 ? static_cast<unsigned>(N) : 1;
+    } else if (const char *V = optValue(Arg, "--bounds")) {
+      if (std::strcmp(V, "both") == 0) {
+        Config.Session.Bounds = BoundsMode::Both;
+      } else if (std::strcmp(V, "upper") == 0) {
+        Config.Session.Bounds = BoundsMode::Upper;
+      } else {
+        std::fprintf(stderr, "error: --bounds must be 'upper' or 'both'\n");
+        return 1;
+      }
     } else if (std::strcmp(Arg, "--budget") == 0) {
       Config.Session.Limits = BudgetLimits::defaults();
     } else if (const char *V = optValue(Arg, "--timeout-ms")) {
